@@ -1,0 +1,86 @@
+//! Benchmarks of the added protocols: the waste-based SBA and the
+//! multi-valued family, measured per 32 sampled runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_model::sample::{self, PatternSampler};
+use eba_model::{FailureMode, Scenario};
+use eba_protocols::multi::{execute_multi, MultiConfig, MultiFloodMin, MultiRelay};
+use eba_protocols::SbaWaste;
+use eba_sim::execute;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sba_waste(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sba_waste_32runs");
+    for n in [8usize, 32, 64] {
+        let t = n / 4;
+        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let sampler = PatternSampler::new(scenario);
+        let runs: Vec<_> = (0..32)
+            .map(|_| {
+                (
+                    sample::random_config_biased(n, 1.0 / n as f64, &mut rng),
+                    sampler.sample(&mut rng),
+                )
+            })
+            .collect();
+        let protocol = SbaWaste::new(n, t);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &runs, |b, runs| {
+            b.iter(|| {
+                for (config, pattern) in runs {
+                    black_box(execute(&protocol, config, pattern, scenario.horizon()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn multi_valued(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_valued_32runs");
+    for n in [8usize, 32] {
+        let t = n / 4;
+        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3 * n as u64);
+        let sampler = PatternSampler::new(scenario);
+        let domain = 5u8;
+        let runs: Vec<_> = (0..32)
+            .map(|_| {
+                let values = (0..n)
+                    .map(|_| rand::Rng::gen_range(&mut rng, 0..domain))
+                    .collect();
+                (MultiConfig::new(domain, values), sampler.sample(&mut rng))
+            })
+            .collect();
+        let flood = MultiFloodMin::new(t);
+        let relay = MultiRelay::new(t, (0..domain).collect());
+        group.bench_with_input(
+            BenchmarkId::new("MultiFloodMin", n),
+            &runs,
+            |b, runs| {
+                b.iter(|| {
+                    for (config, pattern) in runs {
+                        black_box(execute_multi(&flood, config, pattern, scenario.horizon()));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("MultiRelay", n), &runs, |b, runs| {
+            b.iter(|| {
+                for (config, pattern) in runs {
+                    black_box(execute_multi(&relay, config, pattern, scenario.horizon()));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sba_waste, multi_valued
+}
+criterion_main!(benches);

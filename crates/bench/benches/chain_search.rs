@@ -1,0 +1,32 @@
+//! Cost of the `∃0*` 0-chain search (Section 6.2) over exhaustive
+//! omission systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::chains::exists_zero_star;
+use eba_kripke::Evaluator;
+use eba_model::{FailureMode, Scenario};
+use eba_sim::GeneratedSystem;
+use std::hint::black_box;
+
+fn chain_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exists_zero_star");
+    group.sample_size(10);
+    for (n, t, horizon) in [(3usize, 1usize, 2u16), (4, 1, 3)] {
+        let scenario = Scenario::new(n, t, FailureMode::Omission, horizon).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let mut eval = Evaluator::new(system);
+                    black_box(exists_zero_star(&mut eval));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain_search);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! EXP10 companion: cost of the knowledge engine — system generation,
+//! continual-common-knowledge evaluation, and the full two-step
+//! optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::{Constructor, DecisionPair, FipDecisions};
+use eba_kripke::{Evaluator, Formula, NonRigidSet};
+use eba_model::{FailureMode, Scenario, Value};
+use eba_sim::GeneratedSystem;
+use std::hint::black_box;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(3, 1, FailureMode::Crash, 3).unwrap(),
+        Scenario::new(4, 1, FailureMode::Crash, 3).unwrap(),
+        Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
+    ]
+}
+
+fn system_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_generation");
+    for scenario in scenarios() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario),
+            &scenario,
+            |b, scenario| b.iter(|| black_box(GeneratedSystem::exhaustive(scenario))),
+        );
+    }
+    group.finish();
+}
+
+fn continual_common_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continual_common_knowledge");
+    for scenario in scenarios() {
+        let system = GeneratedSystem::exhaustive(&scenario);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    // Fresh evaluator each iteration: measure the
+                    // reachability construction, not the cache hit.
+                    let mut eval = Evaluator::new(system);
+                    let f = Formula::exists(Value::Zero)
+                        .continual_common(NonRigidSet::Nonfaulty);
+                    black_box(eval.eval(&f));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn two_step_optimization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_step_optimization");
+    group.sample_size(10);
+    for scenario in scenarios() {
+        let system = GeneratedSystem::exhaustive(&scenario);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let mut ctor = Constructor::new(system);
+                    let pair = ctor.optimize(&DecisionPair::empty(system.n()));
+                    black_box(FipDecisions::compute(system, &pair, "F^{Λ,2}"));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = system_generation, continual_common_knowledge, two_step_optimization
+}
+criterion_main!(benches);

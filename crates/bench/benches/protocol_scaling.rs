@@ -1,0 +1,70 @@
+//! EXP9 companion: wall-clock cost of one simulated run for each
+//! message-level protocol, across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_model::sample::{self, PatternSampler};
+use eba_model::{FailureMode, FailurePattern, InitialConfig, Scenario};
+use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay};
+use eba_sim::{execute, Protocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn sampled_runs(
+    scenario: &Scenario,
+    count: usize,
+    seed: u64,
+) -> Vec<(InitialConfig, FailurePattern)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = PatternSampler::new(*scenario);
+    (0..count)
+        .map(|_| {
+            (
+                sample::random_config_biased(scenario.n(), 1.0 / scenario.n() as f64, &mut rng),
+                sampler.sample(&mut rng),
+            )
+        })
+        .collect()
+}
+
+fn bench_protocol<P: Protocol>(
+    c: &mut Criterion,
+    group_name: &str,
+    protocol: &P,
+    scenario: &Scenario,
+) {
+    let runs = sampled_runs(scenario, 32, 17);
+    let mut group = c.benchmark_group(group_name);
+    group.bench_with_input(
+        BenchmarkId::new(protocol.name().to_owned(), scenario.n()),
+        &runs,
+        |b, runs| {
+            b.iter(|| {
+                for (config, pattern) in runs {
+                    black_box(execute(protocol, config, pattern, scenario.horizon()));
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+fn protocol_scaling(c: &mut Criterion) {
+    for n in [8usize, 32, 64] {
+        let t = n / 4;
+        let crash = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let omission = Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).unwrap();
+        bench_protocol(c, "crash_32runs", &Relay::p0(t), &crash);
+        bench_protocol(c, "crash_32runs", &P0Opt::new(t), &crash);
+        bench_protocol(c, "crash_32runs", &EarlyStoppingCrash::new(t), &crash);
+        bench_protocol(c, "crash_32runs", &FloodMin::new(t), &crash);
+        bench_protocol(c, "omission_32runs", &ChainOmission::new(n), &omission);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = protocol_scaling
+}
+criterion_main!(benches);

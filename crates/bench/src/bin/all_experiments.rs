@@ -1,0 +1,28 @@
+//! Runs the entire experiment suite (EXP1–EXP10) in sequence.
+use eba_bench::experiments as exp;
+
+fn main() {
+    let suites: Vec<(&str, Vec<eba_bench::Table>)> = vec![
+        ("EXP1", exp::exp1()),
+        ("EXP2", exp::exp2()),
+        ("EXP3", exp::exp3()),
+        ("EXP4", exp::exp4()),
+        ("EXP5", exp::exp5()),
+        ("EXP6", exp::exp6()),
+        ("EXP7", exp::exp7()),
+        ("EXP8", exp::exp8()),
+        ("EXP9", exp::exp9()),
+        ("EXP10", exp::exp10()),
+        ("EXP11", exp::exp11()),
+        ("EXP12", exp::exp12()),
+    ];
+    for (name, tables) in suites {
+        eprintln!("[{name}] done");
+        for table in tables {
+            table.print();
+        }
+    }
+    exp::exp6b_f_star_gain().print();
+    exp::exp6c_two_optima().print();
+    exp::exp7b().print();
+}

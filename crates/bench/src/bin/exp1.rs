@@ -1,0 +1,6 @@
+//! Experiment EXP1; see `eba_bench::experiments::exp1`.
+fn main() {
+    for table in eba_bench::experiments::exp1() {
+        table.print();
+    }
+}

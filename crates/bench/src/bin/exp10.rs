@@ -1,0 +1,6 @@
+//! Experiment EXP10; see `eba_bench::experiments::exp10`.
+fn main() {
+    for table in eba_bench::experiments::exp10() {
+        table.print();
+    }
+}

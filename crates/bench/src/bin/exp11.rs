@@ -1,0 +1,6 @@
+//! Experiment EXP11; see `eba_bench::experiments::exp11`.
+fn main() {
+    for table in eba_bench::experiments::exp11() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment EXP12; see `eba_bench::experiments::exp12`.
+fn main() {
+    for table in eba_bench::experiments::exp12() {
+        table.print();
+    }
+}

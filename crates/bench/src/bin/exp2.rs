@@ -1,0 +1,6 @@
+//! Experiment EXP2; see `eba_bench::experiments::exp2`.
+fn main() {
+    for table in eba_bench::experiments::exp2() {
+        table.print();
+    }
+}

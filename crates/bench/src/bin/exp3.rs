@@ -1,0 +1,6 @@
+//! Experiment EXP3; see `eba_bench::experiments::exp3`.
+fn main() {
+    for table in eba_bench::experiments::exp3() {
+        table.print();
+    }
+}

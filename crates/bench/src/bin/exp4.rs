@@ -1,0 +1,6 @@
+//! Experiment EXP4; see `eba_bench::experiments::exp4`.
+fn main() {
+    for table in eba_bench::experiments::exp4() {
+        table.print();
+    }
+}

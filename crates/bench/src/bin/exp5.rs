@@ -1,0 +1,6 @@
+//! Experiment EXP5; see `eba_bench::experiments::exp5`.
+fn main() {
+    for table in eba_bench::experiments::exp5() {
+        table.print();
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment EXP6; see `eba_bench::experiments::exp6`.
+fn main() {
+    for table in eba_bench::experiments::exp6() {
+        table.print();
+    }
+    eba_bench::experiments::exp6b_f_star_gain().print();
+    eba_bench::experiments::exp6c_two_optima().print();
+}

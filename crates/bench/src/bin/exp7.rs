@@ -1,0 +1,7 @@
+//! Experiment EXP7; see `eba_bench::experiments::exp7`.
+fn main() {
+    for table in eba_bench::experiments::exp7() {
+        table.print();
+    }
+    eba_bench::experiments::exp7b().print();
+}

@@ -1,0 +1,6 @@
+//! Experiment EXP8; see `eba_bench::experiments::exp8`.
+fn main() {
+    for table in eba_bench::experiments::exp8() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment EXP9; see `eba_bench::experiments::exp9`.
+fn main() {
+    for table in eba_bench::experiments::exp9() {
+        table.print();
+    }
+}

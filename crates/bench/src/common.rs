@@ -1,0 +1,125 @@
+//! Shared helpers for the experiment implementations.
+
+use eba_core::FipDecisions;
+use eba_model::{InitialConfig, ProcessorId, Scenario, Time};
+use eba_sim::stats::DecisionStats;
+use eba_sim::{execute, GeneratedSystem, Protocol};
+
+/// Whether heavyweight experiment variants are enabled
+/// (`EBA_EXP_FULL=1`).
+#[must_use]
+pub fn full_mode() -> bool {
+    std::env::var("EBA_EXP_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Decision times of every nonfaulty processor of every run of the
+/// generated system under a message-level protocol, aligned with the
+/// system's run ids.
+pub fn message_level_times<P: Protocol>(
+    protocol: &P,
+    system: &GeneratedSystem,
+) -> Vec<Vec<Option<Time>>> {
+    system
+        .run_ids()
+        .map(|run| {
+            let record = system.run(run);
+            let trace = execute(
+                protocol,
+                &record.config,
+                &record.pattern,
+                system.horizon(),
+            );
+            ProcessorId::all(system.n())
+                .map(|p| {
+                    record
+                        .nonfaulty
+                        .contains(p)
+                        .then(|| trace.decision_time(p))
+                        .flatten()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Decision-time statistics of a knowledge-level protocol over nonfaulty
+/// processors.
+#[must_use]
+pub fn fip_stats(system: &GeneratedSystem, d: &FipDecisions) -> DecisionStats {
+    let mut stats = DecisionStats::new();
+    for run in system.run_ids() {
+        for p in system.nonfaulty(run) {
+            stats.record(d.decision(run, p));
+        }
+    }
+    stats
+}
+
+/// Compares two aligned decision-time tables: returns
+/// `(dominates, strictly, earlier, equal, later)` for "does `a` dominate
+/// `b`".
+#[must_use]
+pub fn compare_times(
+    a: &[Vec<Option<Time>>],
+    b: &[Vec<Option<Time>>],
+) -> (bool, bool, u64, u64, u64) {
+    let (mut earlier, mut equal, mut later) = (0u64, 0u64, 0u64);
+    for (ra, rb) in a.iter().zip(b) {
+        for (ta, tb) in ra.iter().zip(rb) {
+            match (ta, tb) {
+                (Some(ta), Some(tb)) if ta < tb => earlier += 1,
+                (Some(ta), Some(tb)) if ta > tb => later += 1,
+                (Some(_), Some(_)) => equal += 1,
+                (Some(_), None) => earlier += 1,
+                (None, Some(_)) => later += 1,
+                (None, None) => {}
+            }
+        }
+    }
+    let dominates = later == 0;
+    (dominates, dominates && earlier > 0, earlier, equal, later)
+}
+
+/// All-ones / all-zeros / one-zero convenience configurations.
+#[must_use]
+pub fn one_zero_config(n: usize) -> InitialConfig {
+    InitialConfig::from_bits(n, ((1u128 << n) - 1) & !1)
+}
+
+/// Builds an exhaustive system, asserting the scenario is valid.
+#[must_use]
+pub fn exhaustive(n: usize, t: usize, mode: eba_model::FailureMode, horizon: u16) -> GeneratedSystem {
+    let scenario = Scenario::new(n, t, mode, horizon).expect("valid scenario");
+    GeneratedSystem::exhaustive(&scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{FailureMode, Value};
+
+    #[test]
+    fn one_zero_config_shape() {
+        let c = one_zero_config(4);
+        assert_eq!(c.value(ProcessorId::new(0)), Value::Zero);
+        assert_eq!(c.holders(Value::One).len(), 3);
+    }
+
+    #[test]
+    fn compare_times_counts() {
+        let t = |k: u16| Some(Time::new(k));
+        let a = vec![vec![t(0), t(1), None]];
+        let b = vec![vec![t(1), t(1), None]];
+        let (dom, strict, earlier, equal, later) = compare_times(&a, &b);
+        assert!(dom && strict);
+        assert_eq!((earlier, equal, later), (1, 1, 0));
+        let (dom, strict, ..) = compare_times(&b, &a);
+        assert!(!dom && !strict);
+    }
+
+    #[test]
+    fn exhaustive_helper_builds() {
+        let system = exhaustive(3, 1, FailureMode::Crash, 2);
+        assert!(system.num_runs() > 0);
+    }
+}

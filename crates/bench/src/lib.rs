@@ -1,0 +1,33 @@
+//! Experiment harness and benchmarks for the EBA reproduction.
+//!
+//! Every table or figure-equivalent claim of the paper has an experiment
+//! here (see DESIGN.md §5 for the index):
+//!
+//! | binary | claim |
+//! |---|---|
+//! | `exp1` | Prop 2.1 — no optimum EBA protocol |
+//! | `exp2` | §2.2 — `P0opt` strictly dominates `P0` |
+//! | `exp3` | Thm 6.1/6.2 — `F^{Λ,2} = FIP(Z^cr,O^cr) ≅ P0opt` |
+//! | `exp4` | Prop 6.3 — omission-mode non-decision |
+//! | `exp5` | Prop 6.4 — 0-chain protocol decides by `f + 1` |
+//! | `exp6` | Prop 5.1 / Thm 5.2 / Prop 6.6 — two-step optimization |
+//! | `exp7` | \[DRS90\] motivation — EBA vs SBA decision times |
+//! | `exp8` | Prop 3.1 / Lemma 3.4 — operator axioms |
+//! | `exp9` | message-level protocol scaling |
+//! | `exp10` | engine cost + horizon ablation |
+//! | `exp11` | general-omission extension (beyond the paper) |
+//! | `exp12` | multi-valued extension (Section 2.1 note) |
+//! | `all_experiments` | everything above in sequence |
+//!
+//! Run with `cargo run --release -p eba-bench --bin expN`; set
+//! `EBA_EXP_FULL=1` for the heavyweight variants. Criterion benches live
+//! in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

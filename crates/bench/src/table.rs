@@ -1,0 +1,124 @@
+//! Minimal aligned-table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple text table: a header row plus data rows, rendered with
+/// per-column alignment. Every experiment binary prints its results as
+/// one or more of these so EXPERIMENTS.md can quote them verbatim.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> =
+            self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let pad = w - cell.chars().count();
+                let _ = write!(s, "| {}{} ", cell, " ".repeat(pad));
+            }
+            s.push('|');
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        sep.push('|');
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats an `Option<f64>` with three decimals, `-` when absent.
+#[must_use]
+pub fn fmt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |v| format!("{v:.3}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(["alpha".into(), "1".into()]);
+        t.row(["b".into(), "23456".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("## demo"));
+        assert!(rendered.contains("| alpha | 1     |"));
+        assert!(rendered.contains("| b     | 23456 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_f64_handles_none() {
+        assert_eq!(fmt_f64(None), "-");
+        assert_eq!(fmt_f64(Some(1.5)), "1.500");
+    }
+}

@@ -1,0 +1,369 @@
+//! `eba-check`: a command-line epistemic model checker.
+//!
+//! Builds the exhaustive (or sampled) system of full-information runs for
+//! a scenario and checks a formula over every point, reporting validity
+//! and counterexamples/witnesses. See `eba-check --help` for the formula
+//! syntax.
+
+use eba_kripke::explain::Timeline;
+use eba_kripke::parse::parse_formula;
+use eba_kripke::{Evaluator, Formula};
+use eba_model::{
+    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
+    Round, Scenario, Time, Value,
+};
+use eba_sim::GeneratedSystem;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+eba-check — model-check epistemic formulas over Byzantine-agreement systems
+
+USAGE:
+    eba-check [OPTIONS] FORMULA
+
+OPTIONS:
+    --n N            number of processors        (default 3)
+    --t T            failure bound               (default 1)
+    --mode MODE      crash | omission | general-omission   (default crash)
+    --horizon H      rounds simulated            (default t + 2)
+    --sampled R S    use R seeded random runs (seed S) instead of the
+                     exhaustive system
+    --witness        also print a point where the formula holds
+    --quiet          print only the verdict line
+    --timeline       timeline mode: print per-time truth values of the
+                     FORMULAs along one run, selected with --config and
+                     --pattern (requires the exhaustive system)
+    --config BITS    timeline run's initial values, one char per
+                     processor, p1 first (e.g. 011)
+    --pattern SPEC   timeline run's failure pattern; ';'-separated
+                     per-processor behaviors:
+                       p1:clean
+                       p1:silent                  (mute from round 1)
+                       p1:crash@2                 (crash round 2, deliver none)
+                       p1:crash@2->p2,p3          (…deliver to p2, p3)
+                       p1:omit@1->p3[@2->p2,...]  (omission rounds)
+                     default: failure-free
+    --help           this text
+
+FORMULA SYNTAX (processors are 1-based):
+    atoms:       true  false  E0  E1  init(i)=0  init(i)=1  N(i)
+    connectives: !f   f & g   f | g   f -> g   f <-> g
+    knowledge:   K_i(f)   B_i(f)   E(f)   SK(f) someone   D(f) distributed
+                 C(f) common   CC(f) continual common
+    temporal:    G(f) always   F(f) eventually   A(f) all times   S(f) some time
+
+EXAMPLES:
+    # Continual common knowledge is stronger than common knowledge:
+    eba-check 'CC(E0) -> C(E0)'            # valid
+    eba-check 'C(E0) -> CC(E0)'            # NOT valid, counterexample shown
+
+    # The knowledge axiom for belief guarded by nonfaultiness:
+    eba-check --mode omission 'B_1(E0) -> (N(1) -> E0)'
+
+    # Watch knowledge build along a run:
+    eba-check --timeline --config 011 --pattern 'p1:crash@1->p2' \
+        'B_2(E0)' 'B_3(E0)' 'C(E0)'
+
+EXIT CODE: 0 if valid (or timeline printed), 1 if not valid, 2 on usage
+errors.
+";
+
+struct Options {
+    n: usize,
+    t: usize,
+    mode: FailureMode,
+    horizon: Option<u16>,
+    sampled: Option<(usize, u64)>,
+    witness: bool,
+    quiet: bool,
+    timeline: bool,
+    config: Option<String>,
+    pattern: Option<String>,
+    formulas: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        n: 3,
+        t: 1,
+        mode: FailureMode::Crash,
+        horizon: None,
+        sampled: None,
+        witness: false,
+        quiet: false,
+        timeline: false,
+        config: None,
+        pattern: None,
+        formulas: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
+    let mut positional = Vec::new();
+    while let Some(arg) = iter.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--n" => options.n = take("--n")?.parse().map_err(|_| "bad --n")?,
+            "--t" => options.t = take("--t")?.parse().map_err(|_| "bad --t")?,
+            "--horizon" => {
+                options.horizon =
+                    Some(take("--horizon")?.parse().map_err(|_| "bad --horizon")?);
+            }
+            "--mode" => {
+                options.mode = match take("--mode")?.as_str() {
+                    "crash" => FailureMode::Crash,
+                    "omission" => FailureMode::Omission,
+                    "general-omission" => FailureMode::GeneralOmission,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+            }
+            "--sampled" => {
+                let runs = take("--sampled")?.parse().map_err(|_| "bad run count")?;
+                let seed = take("--sampled")?.parse().map_err(|_| "bad seed")?;
+                options.sampled = Some((runs, seed));
+            }
+            "--witness" => options.witness = true,
+            "--quiet" => options.quiet = true,
+            "--timeline" => options.timeline = true,
+            "--config" => options.config = Some(take("--config")?),
+            "--pattern" => options.pattern = Some(take("--pattern")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if positional.is_empty() {
+        return Err("missing FORMULA".to_owned());
+    }
+    if !options.timeline && positional.len() > 1 {
+        return Err("expected exactly one FORMULA (pass --timeline for several)".to_owned());
+    }
+    options.formulas = positional;
+    Ok(options)
+}
+
+/// Parses `--config` bit strings: one char per processor, `p1` first.
+fn parse_config(spec: &str, n: usize) -> Result<InitialConfig, String> {
+    if spec.len() != n {
+        return Err(format!("--config needs exactly {n} bits, got {}", spec.len()));
+    }
+    let values = spec
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(Value::Zero),
+            '1' => Ok(Value::One),
+            other => Err(format!("bad config bit `{other}`")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(InitialConfig::new(values))
+}
+
+/// Parses a `--pattern` spec; see the help text for the grammar.
+fn parse_pattern(
+    spec: &str,
+    scenario: &Scenario,
+) -> Result<FailurePattern, String> {
+    let n = scenario.n();
+    let mut pattern = FailurePattern::failure_free(n);
+    let parse_proc = |s: &str| -> Result<ProcessorId, String> {
+        let raw: usize = s
+            .strip_prefix('p')
+            .ok_or_else(|| format!("expected `pN`, got `{s}`"))?
+            .parse()
+            .map_err(|_| format!("bad processor `{s}`"))?;
+        if raw == 0 || raw > n {
+            return Err(format!("processor `{s}` out of range 1..={n}"));
+        }
+        Ok(ProcessorId::new(raw - 1))
+    };
+    let parse_receivers = |s: &str| -> Result<ProcSet, String> {
+        if s.is_empty() || s == "{}" {
+            return Ok(ProcSet::empty());
+        }
+        s.split(',').map(|part| parse_proc(part.trim())).collect()
+    };
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let entry = entry.trim();
+        let (proc_part, behavior_part) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("expected `pN:behavior`, got `{entry}`"))?;
+        let p = parse_proc(proc_part.trim())?;
+        let behavior_part = behavior_part.trim();
+        let behavior = if behavior_part == "clean" {
+            FaultyBehavior::Clean
+        } else if behavior_part == "silent" {
+            match scenario.mode() {
+                FailureMode::Crash => FaultyBehavior::Crash {
+                    round: Round::new(1),
+                    receivers: ProcSet::empty(),
+                },
+                _ => FaultyBehavior::Omission {
+                    omissions: vec![
+                        ProcSet::full(n) - ProcSet::singleton(p);
+                        scenario.horizon().index()
+                    ],
+                },
+            }
+        } else if let Some(rest) = behavior_part.strip_prefix("crash@") {
+            let (round_part, receivers) = match rest.split_once("->") {
+                Some((r, recv)) => (r, parse_receivers(recv.trim())?),
+                None => (rest, ProcSet::empty()),
+            };
+            let round: u16 = round_part
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad crash round in `{entry}`"))?;
+            if round == 0 || round > scenario.horizon().ticks() {
+                return Err(format!("crash round out of range in `{entry}`"));
+            }
+            FaultyBehavior::Crash { round: Round::new(round), receivers }
+        } else if let Some(rest) = behavior_part.strip_prefix("omit@") {
+            let mut omissions = vec![ProcSet::empty(); scenario.horizon().index()];
+            for clause in rest.split('@') {
+                let (round_part, recv) = clause
+                    .split_once("->")
+                    .ok_or_else(|| format!("expected `R->procs` in `{entry}`"))?;
+                let round: usize = round_part
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad omission round in `{entry}`"))?;
+                if round == 0 || round > omissions.len() {
+                    return Err(format!("omission round out of range in `{entry}`"));
+                }
+                omissions[round - 1] = parse_receivers(recv.trim())?;
+            }
+            FaultyBehavior::Omission { omissions }
+        } else {
+            return Err(format!("unknown behavior in `{entry}`"));
+        };
+        pattern.set_behavior(p, behavior);
+    }
+    scenario.validate_pattern(&pattern).map_err(|e| e.to_string())?;
+    Ok(pattern)
+}
+
+fn describe_point(
+    system: &GeneratedSystem,
+    run: eba_sim::RunId,
+    time: Time,
+) -> String {
+    let record = system.run(run);
+    format!(
+        "run {} at {time}: config {} under [{}] (nonfaulty {})",
+        run.index(),
+        record.config,
+        record.pattern,
+        record.nonfaulty,
+    )
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) if message.is_empty() => {
+            print!("{HELP}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        Err(message) => return Err(message),
+    };
+
+    let horizon = options.horizon.unwrap_or(options.t as u16 + 2);
+    let scenario = Scenario::new(options.n, options.t, options.mode, horizon)
+        .map_err(|e| e.to_string())?;
+
+    if options.timeline && options.sampled.is_some() {
+        return Err("--timeline needs the exhaustive system; drop --sampled".into());
+    }
+
+    let formulas: Vec<(String, Formula)> = options
+        .formulas
+        .iter()
+        .map(|text| {
+            parse_formula(text)
+                .map(|f| (text.clone(), f))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Validate the timeline run selection before doing any heavy work or
+    // printing the preamble.
+    let timeline_run = if options.timeline {
+        let config = match &options.config {
+            Some(spec) => parse_config(spec, options.n)?,
+            None => InitialConfig::uniform(options.n, Value::One),
+        };
+        let pattern = match &options.pattern {
+            Some(spec) => parse_pattern(spec, &scenario)?,
+            None => FailurePattern::failure_free(options.n),
+        };
+        Some((config, pattern))
+    } else {
+        None
+    };
+
+    let system = match options.sampled {
+        Some((runs, seed)) => GeneratedSystem::sampled(&scenario, runs, seed),
+        None => GeneratedSystem::exhaustive(&scenario),
+    };
+    if !options.quiet {
+        println!(
+            "scenario {scenario}: {} runs, {} points ({})",
+            system.num_runs(),
+            system.num_points(),
+            if options.sampled.is_some() { "sampled" } else { "exhaustive" },
+        );
+        for (_, f) in &formulas {
+            println!("formula: {f}");
+        }
+    }
+
+    let mut eval = Evaluator::new(&system);
+
+    if let Some((config, pattern)) = timeline_run {
+        let run = system
+            .find_run(&config, &pattern)
+            .ok_or("run not in the generated system")?;
+        println!("run: {config} under [{pattern}]");
+        let timeline = Timeline::build(&mut eval, run, &formulas);
+        println!("{timeline}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let formula = &formulas[0].1;
+    let satisfied = eval.eval(formula);
+    let holding = satisfied.count_ones();
+    let total = satisfied.len();
+
+    if holding == total {
+        println!("VALID ({total} points)");
+        return Ok(ExitCode::SUCCESS);
+    }
+    println!("NOT VALID: holds at {holding}/{total} points");
+    if let Some((run, time)) = eval.counterexample(formula) {
+        println!("counterexample: {}", describe_point(&system, run, time));
+    }
+    if options.witness {
+        match satisfied.first_one() {
+            Some(idx) => {
+                let (run, time) = eval.point_of(idx);
+                println!("witness: {}", describe_point(&system, run, time));
+            }
+            None => println!("witness: none (formula is unsatisfiable here)"),
+        }
+    }
+    Ok(ExitCode::from(1))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `eba-check --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end tests of the `eba-check` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_eba-check"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.code(),
+    )
+}
+
+#[test]
+fn valid_formula_exits_zero() {
+    let (stdout, _, code) = run(&["CC(E0) -> C(E0)"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("VALID"));
+}
+
+#[test]
+fn invalid_formula_exits_one_with_counterexample() {
+    let (stdout, _, code) = run(&["C(E0) -> CC(E0)"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("NOT VALID"));
+    assert!(stdout.contains("counterexample: run"));
+}
+
+#[test]
+fn witness_flag_prints_a_witness() {
+    let (stdout, _, code) = run(&["--witness", "B_1(E0)"]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("witness: run"));
+}
+
+#[test]
+fn mode_and_size_options_are_honored() {
+    let (stdout, _, code) =
+        run(&["--n", "4", "--t", "1", "--mode", "omission", "B_1(E0) -> (N(1) -> E0)"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("mode=omission"));
+    assert!(stdout.contains("n=4"));
+}
+
+#[test]
+fn general_omission_mode_is_available() {
+    let (stdout, _, code) = run(&[
+        "--mode",
+        "general-omission",
+        "--horizon",
+        "2",
+        "K_1(E0) -> E0",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn sampled_systems_work() {
+    let (stdout, _, code) =
+        run(&["--n", "6", "--t", "2", "--sampled", "40", "7", "K_1(E0) -> E0"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("sampled"));
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    let (_, stderr, code) = run(&["E0 &"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("parse error"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let (_, stderr, code) = run(&["--mode", "byzantine", "E0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown mode"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let (stdout, _, code) = run(&["--help"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("FORMULA SYNTAX"));
+}
+
+#[test]
+fn quiet_suppresses_preamble() {
+    let (stdout, _, code) = run(&["--quiet", "true"]);
+    assert_eq!(code, Some(0));
+    assert!(!stdout.contains("scenario"));
+    assert!(stdout.contains("VALID"));
+}
+
+#[test]
+fn timeline_mode_prints_a_grid() {
+    let (stdout, _, code) = run(&[
+        "--timeline",
+        "--config",
+        "011",
+        "--pattern",
+        "p1:crash@1->p2",
+        "B_2(E0)",
+        "C(E0)",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("run: ⟨0,1,1⟩"));
+    assert!(stdout.contains("●"));
+    assert!(stdout.contains("·"));
+}
+
+#[test]
+fn timeline_defaults_to_failure_free_all_ones() {
+    let (stdout, _, code) = run(&["--timeline", "E1"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("failure-free"));
+}
+
+#[test]
+fn timeline_omission_pattern_parses() {
+    let (stdout, _, code) = run(&[
+        "--mode",
+        "omission",
+        "--timeline",
+        "--config",
+        "011",
+        "--pattern",
+        "p1:omit@1->p2,p3",
+        "B_2(E0)",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("omit"));
+}
+
+#[test]
+fn timeline_silent_shorthand() {
+    let (stdout, _, code) =
+        run(&["--timeline", "--config", "011", "--pattern", "p1:silent", "C(E0)"]);
+    assert_eq!(code, Some(0), "{stdout}");
+}
+
+#[test]
+fn bad_pattern_specs_exit_two() {
+    for spec in ["p1", "p9:clean", "p1:crash@0", "p1:warp", "p1:omit@9->p2"] {
+        let (_, stderr, code) =
+            run(&["--timeline", "--config", "011", "--pattern", spec, "E0"]);
+        assert_eq!(code, Some(2), "spec `{spec}` should fail: {stderr}");
+    }
+}
+
+#[test]
+fn multiple_formulas_require_timeline() {
+    let (_, stderr, code) = run(&["E0", "E1"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--timeline"));
+}

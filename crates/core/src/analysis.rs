@@ -1,0 +1,246 @@
+//! Decision-time analysis over generated systems: breakdowns by failure
+//! count and configuration class, used by the experiment harness
+//! (EXP5/EXP7) and available to downstream users comparing protocols.
+
+use crate::FipDecisions;
+use eba_model::{ProcessorId, Time, Value};
+use eba_sim::stats::DecisionStats;
+use eba_sim::GeneratedSystem;
+use std::fmt;
+
+/// A class of initial configurations, for grouped reporting.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ConfigClass {
+    /// Every processor starts with 0.
+    AllZero,
+    /// Every processor starts with 1.
+    AllOne,
+    /// Both values occur.
+    Mixed,
+}
+
+impl ConfigClass {
+    /// Classifies a configuration.
+    #[must_use]
+    pub fn of(config: &eba_model::InitialConfig) -> ConfigClass {
+        match (config.exists(Value::Zero), config.exists(Value::One)) {
+            (true, false) => ConfigClass::AllZero,
+            (false, true) => ConfigClass::AllOne,
+            _ => ConfigClass::Mixed,
+        }
+    }
+
+    /// All classes, in display order.
+    pub const ALL: [ConfigClass; 3] =
+        [ConfigClass::AllZero, ConfigClass::AllOne, ConfigClass::Mixed];
+}
+
+impl fmt::Display for ConfigClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigClass::AllZero => write!(f, "all-0"),
+            ConfigClass::AllOne => write!(f, "all-1"),
+            ConfigClass::Mixed => write!(f, "mixed"),
+        }
+    }
+}
+
+/// Decision-time statistics grouped along one axis (failure count or
+/// configuration class).
+#[derive(Clone, Debug, Default)]
+pub struct Breakdown {
+    rows: Vec<(String, DecisionStats)>,
+}
+
+impl Breakdown {
+    /// The labeled rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[(String, DecisionStats)] {
+        &self.rows
+    }
+
+    /// Looks up a row by label.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<&DecisionStats> {
+        self.rows.iter().find(|(l, _)| l == label).map(|(_, s)| s)
+    }
+
+    fn entry(&mut self, label: String) -> &mut DecisionStats {
+        if let Some(pos) = self.rows.iter().position(|(l, _)| *l == label) {
+            return &mut self.rows[pos].1;
+        }
+        self.rows.push((label, DecisionStats::new()));
+        &mut self.rows.last_mut().expect("just pushed").1
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, stats) in &self.rows {
+            writeln!(f, "{label:>8}: {stats}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Groups nonfaulty decision times by the run's actual number of
+/// failures `f` (rows labeled `f=0`, `f=1`, …, sorted).
+#[must_use]
+pub fn by_failures(system: &GeneratedSystem, d: &FipDecisions) -> Breakdown {
+    let mut breakdown = Breakdown::default();
+    let max_f = system
+        .run_ids()
+        .map(|r| system.run(r).pattern.num_faulty())
+        .max()
+        .unwrap_or(0);
+    for f in 0..=max_f {
+        let stats = breakdown.entry(format!("f={f}"));
+        for run in system.run_ids() {
+            if system.run(run).pattern.num_faulty() != f {
+                continue;
+            }
+            for p in system.nonfaulty(run) {
+                stats.record(d.decision(run, p));
+            }
+        }
+    }
+    breakdown
+}
+
+/// Groups nonfaulty decision times by [`ConfigClass`].
+#[must_use]
+pub fn by_config_class(system: &GeneratedSystem, d: &FipDecisions) -> Breakdown {
+    let mut breakdown = Breakdown::default();
+    for class in ConfigClass::ALL {
+        breakdown.entry(class.to_string());
+    }
+    for run in system.run_ids() {
+        let class = ConfigClass::of(&system.run(run).config);
+        let stats = breakdown.entry(class.to_string());
+        for p in system.nonfaulty(run) {
+            stats.record(d.decision(run, p));
+        }
+    }
+    breakdown
+}
+
+/// The latest nonfaulty decision time across the entire system, or `None`
+/// if some nonfaulty processor never decides (i.e. the decision property
+/// fails within the horizon).
+#[must_use]
+pub fn worst_case_decision_time(
+    system: &GeneratedSystem,
+    d: &FipDecisions,
+) -> Option<Time> {
+    let mut worst = Time::ZERO;
+    for run in system.run_ids() {
+        for p in system.nonfaulty(run) {
+            worst = worst.max(d.decision_time(run, p)?);
+        }
+    }
+    Some(worst)
+}
+
+/// Per-processor decision-time means — exposes asymmetries between
+/// processors (there are none for the symmetric protocols of the paper;
+/// the test asserts that too).
+#[must_use]
+pub fn by_processor(system: &GeneratedSystem, d: &FipDecisions) -> Vec<DecisionStats> {
+    let n = system.n();
+    let mut out = vec![DecisionStats::new(); n];
+    for run in system.run_ids() {
+        for p in system.nonfaulty(run) {
+            out[p.index()].record(d.decision(run, p));
+        }
+    }
+    let _ = ProcessorId::all(n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::f_lambda_2;
+    use crate::Constructor;
+    use eba_model::{FailureMode, Scenario};
+
+    fn crash_decisions() -> (GeneratedSystem, FipDecisions) {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut ctor = Constructor::new(&system);
+        let pair = f_lambda_2(&mut ctor);
+        let d = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+        (system, d)
+    }
+
+    #[test]
+    fn failure_breakdown_covers_all_decisions() {
+        let (system, d) = crash_decisions();
+        let breakdown = by_failures(&system, &d);
+        assert_eq!(breakdown.rows().len(), 2); // f = 0 and f = 1
+        let total: u64 =
+            breakdown.rows().iter().map(|(_, s)| s.decided() + s.undecided()).sum();
+        let population: u64 =
+            system.run_ids().map(|r| system.nonfaulty(r).len() as u64).sum();
+        assert_eq!(total, population);
+        // More failures cannot make the worst case better.
+        let f0 = breakdown.get("f=0").unwrap().max_time().unwrap();
+        let f1 = breakdown.get("f=1").unwrap().max_time().unwrap();
+        assert!(f1 >= f0);
+    }
+
+    #[test]
+    fn config_class_breakdown() {
+        let (system, d) = crash_decisions();
+        let breakdown = by_config_class(&system, &d);
+        // All-zero runs decide at time 0 (everyone holds the 0).
+        let all0 = breakdown.get("all-0").unwrap();
+        assert_eq!(all0.mean_time(), Some(0.0));
+        // All-one runs cannot decide at time 0 (a hidden 0 is possible).
+        let all1 = breakdown.get("all-1").unwrap();
+        assert!(all1.mean_time().unwrap() > 0.5);
+        assert!(breakdown.get("mixed").unwrap().decided() > 0);
+        assert!(breakdown.get("nonsense").is_none());
+    }
+
+    #[test]
+    fn worst_case_matches_t_plus_one() {
+        let (system, d) = crash_decisions();
+        assert_eq!(worst_case_decision_time(&system, &d), Some(Time::new(2)));
+    }
+
+    #[test]
+    fn processors_are_symmetric() {
+        let (system, d) = crash_decisions();
+        let per = by_processor(&system, &d);
+        let means: Vec<_> = per.iter().map(|s| s.mean_time().unwrap()).collect();
+        for m in &means {
+            assert!((m - means[0]).abs() < 1e-9, "{means:?}");
+        }
+    }
+
+    #[test]
+    fn config_class_classification() {
+        use eba_model::InitialConfig;
+        assert_eq!(
+            ConfigClass::of(&InitialConfig::uniform(3, Value::Zero)),
+            ConfigClass::AllZero
+        );
+        assert_eq!(
+            ConfigClass::of(&InitialConfig::uniform(3, Value::One)),
+            ConfigClass::AllOne
+        );
+        assert_eq!(
+            ConfigClass::of(&InitialConfig::from_bits(3, 0b010)),
+            ConfigClass::Mixed
+        );
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let (system, d) = crash_decisions();
+        let text = by_failures(&system, &d).to_string();
+        assert!(text.contains("f=0"));
+        assert!(text.contains("decided="));
+    }
+}

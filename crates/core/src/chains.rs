@@ -1,0 +1,229 @@
+//! 0-chains and the `∃0*` predicate (Section 6.2).
+//!
+//! In the omission failure mode there is no bound on when a processor can
+//! first learn `∃0`, so the paper's terminating omission-mode EBA protocol
+//! accepts a 0 only when it arrives through a *0-chain*: a 0-chain exists
+//! at point `(r, m)` iff there are `m` **distinct** processors
+//! `i_1, …, i_m` such that `i_1` has initial value 0, `i_{k+1}` received a
+//! message from `i_k` in round `k` while not believing `i_k` faulty
+//! (`¬B^N_{i_{k+1}}(i_k ∉ N)` at `(r, k)`), and `i_m` is nonfaulty
+//! (cf. \[DS82\]). `∃0*` holds at `(r, m)` iff a 0-chain exists at some
+//! `(r, m′)` with `m′ ≤ m`.
+
+use eba_kripke::{Bitset, Evaluator, Formula, NonRigidSet};
+use eba_model::{ProcessorId, Round, Time};
+use std::rc::Rc;
+
+/// Computes the `∃0*` predicate over every point of the evaluator's
+/// system, as a [`Bitset`] indexed by linear point index (register it
+/// with [`Evaluator::register_point_pred`] to use it in formulas).
+///
+/// The "not known faulty" side-condition of each chain link is a genuine
+/// knowledge test and is evaluated exactly on the generated system.
+///
+/// # Panics
+///
+/// Panics if the system has more than 16 processors (the chain search
+/// enumerates processor subsets).
+#[must_use]
+pub fn exists_zero_star(eval: &mut Evaluator<'_>) -> Bitset {
+    let system = eval.system();
+    let n = system.n();
+    assert!(n <= 16, "0-chain search is exponential in n; n ≤ 16 required");
+    let horizon = system.horizon();
+
+    // knows_faulty[receiver][sender]: points where B^N_receiver(sender ∉ N).
+    let knows_faulty: Vec<Vec<Rc<Bitset>>> = (0..n)
+        .map(|j| {
+            (0..n)
+                .map(|i| {
+                    let f = Formula::Nonfaulty(ProcessorId::new(i))
+                        .not()
+                        .believed_by(ProcessorId::new(j), NonRigidSet::Nonfaulty);
+                    eval.eval(&f)
+                })
+                .collect()
+        })
+        .collect();
+
+    let system = eval.system();
+    let mut out = Bitset::new_false(eval.num_points());
+    let masks = 1usize << n;
+
+    for run in system.run_ids() {
+        let record = system.run(run);
+        // alive[e * masks + mask]: a chain of |mask| distinct processors
+        // ending at `e` with used-set `mask` is consistent with the run so
+        // far (links verified through round |mask| − 1).
+        let mut alive = vec![false; n * masks];
+        for i in 0..n {
+            if record.config.value(ProcessorId::new(i)) == eba_model::Value::Zero {
+                alive[i * masks + (1 << i)] = true;
+            }
+        }
+
+        let mut chain_seen = false;
+        for time in Time::upto(horizon) {
+            let m = time.index();
+            if m == 0 {
+                // A 0-chain needs at least one processor; none exists at
+                // time 0.
+                continue;
+            }
+            // A chain of exactly m processors exists at (r, m) iff some
+            // alive chain of length m ends at a nonfaulty processor.
+            for e in record.nonfaulty {
+                for mask in 0..masks {
+                    if (mask.count_ones() as usize) == m && alive[e.index() * masks + mask] {
+                        chain_seen = true;
+                    }
+                }
+            }
+            if chain_seen {
+                out.set(eval.point_index(run, time), true);
+            }
+
+            // Extend chains of length m to length m + 1 via round m:
+            // i_{m+1} receives from i_m in round m and does not believe
+            // i_m faulty at (r, m).
+            if time < horizon {
+                let round = Round::new(m as u16);
+                let point = eval.point_index(run, time);
+                let mut next = vec![false; n * masks];
+                for e in 0..n {
+                    for mask in 0..masks {
+                        if (mask.count_ones() as usize) != m || !alive[e * masks + mask]
+                        {
+                            continue;
+                        }
+                        for e2 in 0..n {
+                            if mask >> e2 & 1 == 1 {
+                                continue;
+                            }
+                            let sender = ProcessorId::new(e);
+                            let receiver = ProcessorId::new(e2);
+                            if !record.pattern.delivers(sender, receiver, round) {
+                                continue;
+                            }
+                            if knows_faulty[e2][e].get(point) {
+                                continue;
+                            }
+                            next[e2 * masks + (mask | 1 << e2)] = true;
+                        }
+                    }
+                }
+                // Chains of length ≤ m stay alive alongside the new ones
+                // (they may still witness ∃0* at their own length, which
+                // `chain_seen` has already latched).
+                alive = next;
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        sample, FailureMode, FailurePattern, InitialConfig, Scenario, Value,
+    };
+    use eba_sim::GeneratedSystem;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    fn omission_system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    #[test]
+    fn never_holds_at_time_zero() {
+        let system = omission_system();
+        let mut eval = Evaluator::new(&system);
+        let star = exists_zero_star(&mut eval);
+        for run in system.run_ids() {
+            assert!(!star.get(eval.point_index(run, Time::ZERO)));
+        }
+    }
+
+    #[test]
+    fn nonfaulty_zero_holder_gives_chain_at_time_one() {
+        let system = omission_system();
+        let mut eval = Evaluator::new(&system);
+        let star = exists_zero_star(&mut eval);
+        let run = system
+            .find_run(
+                &InitialConfig::from_bits(3, 0b110),
+                &FailurePattern::failure_free(3),
+            )
+            .unwrap();
+        assert!(star.get(eval.point_index(run, Time::new(1))));
+        // Monotone in time.
+        assert!(star.get(eval.point_index(run, Time::new(2))));
+    }
+
+    #[test]
+    fn no_zero_no_chain() {
+        let system = omission_system();
+        let mut eval = Evaluator::new(&system);
+        let star = exists_zero_star(&mut eval);
+        for run in system.run_ids() {
+            if !system.run(run).config.exists(Value::Zero) {
+                for time in Time::upto(system.horizon()) {
+                    assert!(!star.get(eval.point_index(run, time)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_faulty_zero_holder_blocks_the_chain() {
+        // p0 holds the only 0 but is silent from round 1 (faulty): no
+        // message carries the 0, so no 0-chain ever forms.
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let star = exists_zero_star(&mut eval);
+        let pattern = sample::silent_processor(&scenario, p(0));
+        let run = system
+            .find_run(&InitialConfig::from_bits(3, 0b110), &pattern)
+            .unwrap();
+        for time in Time::upto(system.horizon()) {
+            assert!(
+                !star.get(eval.point_index(run, time)),
+                "unexpected 0-chain at {time}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_zero_holder_that_speaks_starts_a_chain() {
+        // p0 holds 0, is faulty but delivers its round-1 message to p1:
+        // the chain p0 → p1 exists at time 2 (p1 nonfaulty, and p1 does
+        // not know p0 is faulty at time 1).
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let star = exists_zero_star(&mut eval);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            eba_model::FaultyBehavior::Omission {
+                omissions: vec![
+                    eba_model::ProcSet::singleton(p(2)),
+                    eba_model::ProcSet::full(3) - eba_model::ProcSet::singleton(p(0)),
+                ],
+            },
+        );
+        let run = system
+            .find_run(&InitialConfig::from_bits(3, 0b110), &pattern)
+            .unwrap();
+        // At time 1 the chain [p0] fails (p0 faulty); but [p0 → p1] is a
+        // valid chain of length 2 at time 2.
+        assert!(!star.get(eval.point_index(run, Time::new(1))));
+        assert!(star.get(eval.point_index(run, Time::new(2))));
+    }
+}

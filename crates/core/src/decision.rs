@@ -1,0 +1,141 @@
+//! Decision sets and decision pairs (Section 4).
+
+use eba_kripke::StateSets;
+use std::fmt;
+
+/// A decision pair `(Z, O)`: the local states at which each processor
+/// decides (or has decided) 0, and those at which it decides 1
+/// (Section 4 of the paper).
+///
+/// Together with the generated full-information system, a decision pair
+/// completely determines the full-information protocol `FIP(Z, O)` —
+/// full-information protocols differ only in their output functions
+/// (Section 2.4).
+///
+/// # Example
+///
+/// ```
+/// use eba_core::DecisionPair;
+///
+/// let pair = DecisionPair::empty(4); // the never-deciding protocol F^Λ
+/// assert!(pair.zero().is_empty() && pair.one().is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecisionPair {
+    zero: StateSets,
+    one: StateSets,
+}
+
+impl DecisionPair {
+    /// Creates a pair from explicit decision sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two families disagree on the number of processors.
+    #[must_use]
+    pub fn new(zero: StateSets, one: StateSets) -> Self {
+        assert_eq!(
+            zero.n(),
+            one.n(),
+            "decision sets must cover the same processors"
+        );
+        DecisionPair { zero, one }
+    }
+
+    /// The decision pair of the never-deciding protocol `F^Λ`
+    /// (Section 6.1): `Z_i = O_i = ∅`.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        DecisionPair { zero: StateSets::empty(n), one: StateSets::empty(n) }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.zero.n()
+    }
+
+    /// The decide-0 sets `Z`.
+    #[must_use]
+    pub fn zero(&self) -> &StateSets {
+        &self.zero
+    }
+
+    /// The decide-1 sets `O`.
+    #[must_use]
+    pub fn one(&self) -> &StateSets {
+        &self.one
+    }
+
+    /// Consumes the pair, returning `(Z, O)`.
+    #[must_use]
+    pub fn into_parts(self) -> (StateSets, StateSets) {
+        (self.zero, self.one)
+    }
+
+    /// Whether both components are empty (the `F^Λ` pair).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.zero.is_empty() && self.one.is_empty()
+    }
+
+    /// Total number of views across both components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.zero.len() + self.one.len()
+    }
+}
+
+impl fmt::Display for DecisionPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DecisionPair(|Z|={}, |O|={}, n={})",
+            self.zero.len(),
+            self.one.len(),
+            self.n()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{ProcessorId, Value};
+    use eba_sim::ViewTable;
+
+    #[test]
+    fn empty_pair() {
+        let pair = DecisionPair::empty(3);
+        assert!(pair.is_empty());
+        assert_eq!(pair.len(), 0);
+        assert_eq!(pair.n(), 3);
+    }
+
+    #[test]
+    fn new_and_accessors() {
+        let mut table = ViewTable::new();
+        let v = table.leaf(ProcessorId::new(0), Value::Zero);
+        let mut z = StateSets::empty(2);
+        z.insert(ProcessorId::new(0), v);
+        let pair = DecisionPair::new(z.clone(), StateSets::empty(2));
+        assert_eq!(pair.zero(), &z);
+        assert!(!pair.is_empty());
+        assert_eq!(pair.len(), 1);
+        let (z2, o2) = pair.into_parts();
+        assert_eq!(z2, z);
+        assert!(o2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "same processors")]
+    fn mismatched_n_rejected() {
+        let _ = DecisionPair::new(StateSets::empty(2), StateSets::empty(3));
+    }
+
+    #[test]
+    fn display_reports_sizes() {
+        let pair = DecisionPair::empty(2);
+        assert_eq!(pair.to_string(), "DecisionPair(|Z|=0, |O|=0, n=2)");
+    }
+}

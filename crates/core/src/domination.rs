@@ -1,0 +1,246 @@
+//! The domination preorder on protocols (Section 2.3).
+
+use crate::FipDecisions;
+use eba_model::ProcessorId;
+use eba_sim::{GeneratedSystem, RunId};
+use std::fmt;
+
+/// The outcome of comparing two protocols' decisions run-by-run:
+/// does `a` dominate `b`?
+///
+/// Following Section 2.3: `a` **dominates** `b` if every nonfaulty
+/// processor that decides in a run of `b` also decides in the
+/// corresponding run of `a`, at least as soon. `a` **strictly dominates**
+/// `b` if additionally some nonfaulty processor decides sooner in some
+/// run of `a` (deciding where `b` never decides counts as sooner).
+#[derive(Clone, Debug)]
+pub struct DominationReport {
+    /// Whether `a` dominates `b`.
+    pub dominates: bool,
+    /// Whether `a` strictly dominates `b`.
+    pub strict: bool,
+    /// Pairs where `a` is strictly earlier (or decides where `b` does
+    /// not).
+    pub earlier: u64,
+    /// Pairs where both decide at the same time.
+    pub equal: u64,
+    /// Pairs where `a` is later or missing a decision `b` makes —
+    /// non-zero exactly when `dominates` is false.
+    pub later: u64,
+    /// The first violating `(run, processor)` witnessing non-domination.
+    pub first_violation: Option<(RunId, ProcessorId)>,
+    /// Sum over all compared pairs of `time_b − time_a` where both
+    /// decide (total rounds saved by `a`).
+    pub rounds_saved: i64,
+    /// The largest single-pair improvement of `a` over `b` in rounds
+    /// (only over pairs where both decide).
+    pub max_gap: u16,
+}
+
+impl DominationReport {
+    /// Whether the two protocols make decisions at identical times
+    /// everywhere (each dominates the other).
+    #[must_use]
+    pub fn equivalent_times(&self) -> bool {
+        self.dominates && !self.strict
+    }
+}
+
+impl fmt::Display for DominationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dominates={} strict={} earlier={} equal={} later={} saved={} max-gap={}",
+            self.dominates,
+            self.strict,
+            self.earlier,
+            self.equal,
+            self.later,
+            self.rounds_saved,
+            self.max_gap,
+        )
+    }
+}
+
+/// Compares two protocols over the same generated system: does `a`
+/// dominate `b`?
+///
+/// Both [`FipDecisions`] must have been computed over `system` (runs are
+/// matched by id, which *is* the corresponding-run relation since all
+/// full-information protocols share the system).
+///
+/// # Panics
+///
+/// Panics if the decision tables do not match the system's dimensions.
+///
+/// # Example
+///
+/// ```
+/// use eba_core::{dominates, DecisionPair, FipDecisions};
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::GeneratedSystem;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// let never = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+/// // Every protocol dominates the never-deciding protocol…
+/// let report = dominates(&system, &never, &never);
+/// assert!(report.dominates && !report.strict);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn dominates(
+    system: &GeneratedSystem,
+    a: &FipDecisions,
+    b: &FipDecisions,
+) -> DominationReport {
+    assert_eq!(a.num_runs(), system.num_runs());
+    assert_eq!(b.num_runs(), system.num_runs());
+    assert_eq!(a.n(), system.n());
+    assert_eq!(b.n(), system.n());
+
+    let mut report = DominationReport {
+        dominates: true,
+        strict: false,
+        earlier: 0,
+        equal: 0,
+        later: 0,
+        first_violation: None,
+        rounds_saved: 0,
+        max_gap: 0,
+    };
+
+    for run in system.run_ids() {
+        for p in system.nonfaulty(run) {
+            match (a.decision_time(run, p), b.decision_time(run, p)) {
+                (None, None) => {}
+                (Some(_), None) => {
+                    // `a` decides where `b` never does: strictly earlier.
+                    report.earlier += 1;
+                    report.strict = true;
+                }
+                (None, Some(_)) => {
+                    report.later += 1;
+                    if report.first_violation.is_none() {
+                        report.first_violation = Some((run, p));
+                    }
+                    report.dominates = false;
+                }
+                (Some(ta), Some(tb)) => {
+                    report.rounds_saved += i64::from(tb.ticks()) - i64::from(ta.ticks());
+                    if ta < tb {
+                        report.earlier += 1;
+                        report.strict = true;
+                        report.max_gap = report.max_gap.max(tb - ta);
+                    } else if ta == tb {
+                        report.equal += 1;
+                    } else {
+                        report.later += 1;
+                        if report.first_violation.is_none() {
+                            report.first_violation = Some((run, p));
+                        }
+                        report.dominates = false;
+                    }
+                }
+            }
+        }
+    }
+
+    report.strict &= report.dominates;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionPair;
+    use eba_kripke::StateSets;
+    use eba_model::{FailureMode, Scenario, Time};
+
+    fn system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    /// Decide 1 (everything is vacuously consistent for this test) the
+    /// first time the view's time reaches `at`.
+    fn decide_one_at(system: &GeneratedSystem, at: u16) -> FipDecisions {
+        let table = system.table();
+        let mut one = StateSets::empty(3);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            if table.time(v) >= Time::new(at) {
+                one.insert(table.proc(v), v);
+            }
+        }
+        FipDecisions::compute(
+            system,
+            &DecisionPair::new(StateSets::empty(3), one),
+            format!("one@{at}"),
+        )
+    }
+
+    #[test]
+    fn earlier_strictly_dominates_later() {
+        let system = system();
+        let fast = decide_one_at(&system, 0);
+        let slow = decide_one_at(&system, 2);
+        let report = dominates(&system, &fast, &slow);
+        assert!(report.dominates);
+        assert!(report.strict);
+        assert_eq!(report.later, 0);
+        assert!(report.rounds_saved > 0);
+        assert_eq!(report.max_gap, 2);
+
+        let reverse = dominates(&system, &slow, &fast);
+        assert!(!reverse.dominates);
+        assert!(!reverse.strict);
+        assert!(reverse.first_violation.is_some());
+    }
+
+    #[test]
+    fn self_domination_is_non_strict() {
+        let system = system();
+        let d = decide_one_at(&system, 1);
+        let report = dominates(&system, &d, &d);
+        assert!(report.dominates && !report.strict);
+        assert!(report.equivalent_times());
+        assert_eq!(report.rounds_saved, 0);
+    }
+
+    #[test]
+    fn deciding_where_other_never_does_is_strict() {
+        let system = system();
+        let some = decide_one_at(&system, 0);
+        let never = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+        let report = dominates(&system, &some, &never);
+        assert!(report.dominates && report.strict);
+        let reverse = dominates(&system, &never, &some);
+        assert!(!reverse.dominates);
+    }
+
+    #[test]
+    fn crashed_processor_decisions_do_not_count() {
+        // Frozen faulty processors never affect domination because the
+        // comparison ranges over nonfaulty processors only. (Implicitly
+        // exercised by every other test; here we check the counts are
+        // bounded by nonfaulty populations.)
+        let system = system();
+        let a = decide_one_at(&system, 0);
+        let b = decide_one_at(&system, 1);
+        let report = dominates(&system, &a, &b);
+        let population: u64 =
+            system.run_ids().map(|r| system.nonfaulty(r).len() as u64).sum();
+        assert_eq!(report.earlier + report.equal + report.later, population);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let system = system();
+        let d = decide_one_at(&system, 1);
+        let report = dominates(&system, &d, &d);
+        assert!(report.to_string().contains("dominates=true"));
+    }
+}

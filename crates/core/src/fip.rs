@@ -1,0 +1,295 @@
+//! `FIP(Z, O)`: deriving decisions from a decision pair over a generated
+//! system.
+
+use crate::DecisionPair;
+use eba_model::{ProcSet, ProcessorId, Time, Value};
+use eba_sim::{Decision, GeneratedSystem, RunId};
+
+/// A conflict: a processor whose state entered both `Z_i` and `O_i` at the
+/// same time.
+///
+/// Well-formed decision pairs never conflict for *nonfaulty* processors
+/// (the constructions of Section 5 guarantee it — `Z'_i` requires
+/// `C□ ∃0`, `O'_i` requires `¬C□ ∃0`); a faulty processor that knows it
+/// is faulty satisfies every `B^N_i` vacuously and may conflict, which is
+/// harmless since only nonfaulty decisions matter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Conflict {
+    /// The run in which the conflict occurred.
+    pub run: RunId,
+    /// The conflicted processor.
+    pub proc: ProcessorId,
+    /// The time at which both decision sets first contained its state.
+    pub time: Time,
+}
+
+/// The decisions of `FIP(Z, O)` across an entire generated system.
+///
+/// Produced by [`FipDecisions::compute`]; indexed by `(run, processor)`.
+#[derive(Clone, Debug)]
+pub struct FipDecisions {
+    name: String,
+    times: usize,
+    n: usize,
+    decisions: Vec<Option<Decision>>,
+    conflicts: Vec<Conflict>,
+}
+
+impl FipDecisions {
+    /// Runs `FIP(Z, O)` over the system: every processor decides the
+    /// first time its view enters a decision set; decisions are
+    /// irreversible. Ties between `Z_i` and `O_i` are recorded as
+    /// [`Conflict`]s and resolved in favor of 0 (documented, arbitrary —
+    /// nonfaulty processors never conflict under the paper's
+    /// constructions, which the test suites assert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair's processor count differs from the system's.
+    #[must_use]
+    pub fn compute(
+        system: &GeneratedSystem,
+        pair: &DecisionPair,
+        name: impl Into<String>,
+    ) -> Self {
+        assert_eq!(pair.n(), system.n(), "decision pair does not match the system");
+        let n = system.n();
+        let times = system.horizon().index() + 1;
+        let mut decisions = vec![None; system.num_runs() * n];
+        let mut conflicts = Vec::new();
+
+        for run in system.run_ids() {
+            for p in ProcessorId::all(n) {
+                let slot = run.index() * n + p.index();
+                'time: for time in Time::upto(system.horizon()) {
+                    let view = system.view(run, p, time);
+                    let in_zero = pair.zero().contains(p, view);
+                    let in_one = pair.one().contains(p, view);
+                    if in_zero && in_one {
+                        conflicts.push(Conflict { run, proc: p, time });
+                    }
+                    let value = if in_zero {
+                        Value::Zero
+                    } else if in_one {
+                        Value::One
+                    } else {
+                        continue 'time;
+                    };
+                    decisions[slot] = Some(Decision { value, time });
+                    break 'time;
+                }
+            }
+        }
+
+        FipDecisions { name: name.into(), times, n, decisions, conflicts }
+    }
+
+    /// A short name for reports (e.g. `"F^{Λ,2}"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of runs covered.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.decisions.len() / self.n
+    }
+
+    /// Number of times per run (horizon + 1).
+    #[must_use]
+    pub fn times(&self) -> usize {
+        self.times
+    }
+
+    /// The decision of processor `p` in run `r`, if any.
+    #[must_use]
+    pub fn decision(&self, r: RunId, p: ProcessorId) -> Option<Decision> {
+        self.decisions[r.index() * self.n + p.index()]
+    }
+
+    /// The decision time of `p` in `r`, if it decides.
+    #[must_use]
+    pub fn decision_time(&self, r: RunId, p: ProcessorId) -> Option<Time> {
+        self.decision(r, p).map(|d| d.time)
+    }
+
+    /// All recorded conflicts.
+    #[must_use]
+    pub fn conflicts(&self) -> &[Conflict] {
+        &self.conflicts
+    }
+
+    /// Conflicts involving processors that are *nonfaulty* in the
+    /// conflicting run — these indicate a malformed decision pair.
+    #[must_use]
+    pub fn nonfaulty_conflicts(&self, system: &GeneratedSystem) -> Vec<Conflict> {
+        self.conflicts
+            .iter()
+            .copied()
+            .filter(|c| system.nonfaulty(c.run).contains(c.proc))
+            .collect()
+    }
+
+    /// The distinct values decided by the given processors in run `r`.
+    #[must_use]
+    pub fn decided_values(&self, r: RunId, among: ProcSet) -> Vec<Value> {
+        let mut values: Vec<Value> = among
+            .iter()
+            .filter_map(|p| self.decision(r, p).map(|d| d.value))
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_kripke::StateSets;
+    use eba_model::{FailureMode, Scenario};
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    fn system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    /// The decision pair "decide your own initial value at time 0" —
+    /// not an agreement protocol, but a sharp test of the mechanics.
+    fn own_value_pair(system: &GeneratedSystem) -> DecisionPair {
+        let table = system.table();
+        let mut zero = StateSets::empty(3);
+        let mut one = StateSets::empty(3);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            let owner = table.proc(v);
+            match table.own_value(v) {
+                Value::Zero => zero.insert(owner, v),
+                Value::One => one.insert(owner, v),
+            };
+        }
+        DecisionPair::new(zero, one)
+    }
+
+    #[test]
+    fn empty_pair_never_decides() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+        for r in system.run_ids() {
+            for i in 0..3 {
+                assert_eq!(d.decision(r, p(i)), None);
+            }
+        }
+        assert!(d.conflicts().is_empty());
+        assert_eq!(d.name(), "F^Λ");
+    }
+
+    #[test]
+    fn own_value_pair_decides_at_time_zero() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &own_value_pair(&system), "own-value");
+        for r in system.run_ids() {
+            let config = &system.run(r).config;
+            for i in 0..3 {
+                let dec = d.decision(r, p(i)).unwrap();
+                assert_eq!(dec.time, Time::ZERO);
+                assert_eq!(dec.value, config.value(p(i)));
+            }
+        }
+        assert!(d.conflicts().is_empty());
+    }
+
+    #[test]
+    fn decisions_are_irreversible_first_hit() {
+        // A pair whose Z contains p0's time-0 zero view and whose O
+        // contains every later view: the time-0 decision must win.
+        let system = system();
+        let table = system.table();
+        let mut zero = StateSets::empty(3);
+        let mut one = StateSets::empty(3);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            if table.proc(v) != p(0) {
+                continue;
+            }
+            if table.time(v) == Time::ZERO && table.own_value(v) == Value::Zero {
+                zero.insert(p(0), v);
+            }
+            if table.time(v) > Time::ZERO {
+                one.insert(p(0), v);
+            }
+        }
+        let d = FipDecisions::compute(&system, &DecisionPair::new(zero, one), "latch");
+        for r in system.run_ids() {
+            // A p0 that crashes immediately never reaches a time-1 view;
+            // restrict to runs where it is nonfaulty.
+            if !system.nonfaulty(r).contains(p(0)) {
+                continue;
+            }
+            let config = &system.run(r).config;
+            let dec = d.decision(r, p(0)).unwrap();
+            if config.value(p(0)) == Value::Zero {
+                assert_eq!(dec.value, Value::Zero);
+                assert_eq!(dec.time, Time::ZERO);
+            } else {
+                assert_eq!(dec.value, Value::One);
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_are_detected() {
+        let system = system();
+        let table = system.table();
+        // Put p0's every view in both sets.
+        let mut zero = StateSets::empty(3);
+        let mut one = StateSets::empty(3);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            if table.proc(v) == p(0) {
+                zero.insert(p(0), v);
+                one.insert(p(0), v);
+            }
+        }
+        let d = FipDecisions::compute(&system, &DecisionPair::new(zero, one), "conflicted");
+        assert!(!d.conflicts().is_empty());
+        // Ties resolve to 0.
+        for r in system.run_ids() {
+            assert_eq!(d.decision(r, p(0)).unwrap().value, Value::Zero);
+        }
+        assert!(!d.nonfaulty_conflicts(&system).is_empty());
+    }
+
+    #[test]
+    fn decided_values_collects_distinct() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &own_value_pair(&system), "own-value");
+        let mixed = system
+            .find_run(
+                &eba_model::InitialConfig::from_bits(3, 0b001),
+                &eba_model::FailurePattern::failure_free(3),
+            )
+            .unwrap();
+        let values = d.decided_values(mixed, ProcSet::full(3));
+        assert_eq!(values, vec![Value::Zero, Value::One]);
+    }
+
+    #[test]
+    #[allow(unused_must_use)]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_pair_rejected() {
+        let system = system();
+        FipDecisions::compute(&system, &DecisionPair::empty(4), "bad");
+    }
+}

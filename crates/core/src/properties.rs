@@ -1,0 +1,266 @@
+//! Verification of the Byzantine agreement properties (Section 2.1).
+
+use crate::FipDecisions;
+use eba_model::{ProcessorId, Value};
+use eba_sim::{GeneratedSystem, RunId};
+use std::fmt;
+
+/// The result of verifying a protocol's decisions against the agreement
+/// properties of Section 2.1, with counterexamples.
+///
+/// * *Decision*: every nonfaulty processor decides (within the horizon);
+/// * *(Weak) agreement*: nonfaulty processors do not decide differently;
+/// * *(Weak) validity*: if all initial values are `v`, nonfaulty
+///   decisions are `v`;
+/// * *Simultaneity* (SBA only): nonfaulty decisions share a time.
+#[derive(Clone, Debug, Default)]
+pub struct PropertyReport {
+    /// Runs with a nonfaulty processor that never decides.
+    pub decision_violations: Vec<(RunId, ProcessorId)>,
+    /// Runs whose nonfaulty processors decide on different values.
+    pub agreement_violations: Vec<RunId>,
+    /// Runs violating weak validity.
+    pub validity_violations: Vec<RunId>,
+    /// Runs whose nonfaulty decisions are not simultaneous.
+    pub simultaneity_violations: Vec<RunId>,
+    /// Nonfaulty conflicts (states in both `Z_i` and `O_i`).
+    pub nonfaulty_conflicts: usize,
+    /// Number of runs examined.
+    pub runs_checked: usize,
+}
+
+impl PropertyReport {
+    /// Whether the decisions satisfy **weak agreement** and **weak
+    /// validity** — i.e. the protocol is a *nontrivial agreement
+    /// protocol* (Section 2.1, properties 2′ and 3′), with no conflicts.
+    #[must_use]
+    pub fn is_nontrivial_agreement(&self) -> bool {
+        self.agreement_violations.is_empty()
+            && self.validity_violations.is_empty()
+            && self.nonfaulty_conflicts == 0
+    }
+
+    /// Whether the decisions satisfy full **EBA**: nontrivial agreement
+    /// plus the decision property.
+    #[must_use]
+    pub fn is_eba(&self) -> bool {
+        self.is_nontrivial_agreement() && self.decision_violations.is_empty()
+    }
+
+    /// Whether the decisions satisfy **SBA**: EBA plus simultaneity.
+    #[must_use]
+    pub fn is_sba(&self) -> bool {
+        self.is_eba() && self.simultaneity_violations.is_empty()
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "runs={} decision-viol={} agreement-viol={} validity-viol={} simult-viol={} conflicts={}",
+            self.runs_checked,
+            self.decision_violations.len(),
+            self.agreement_violations.len(),
+            self.validity_violations.len(),
+            self.simultaneity_violations.len(),
+            self.nonfaulty_conflicts,
+        )
+    }
+}
+
+/// Verifies the decisions of a protocol over every run of the system.
+///
+/// # Example
+///
+/// ```
+/// use eba_core::{verify_properties, DecisionPair, FipDecisions};
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::GeneratedSystem;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// // The never-deciding protocol F^Λ is a nontrivial agreement protocol
+/// // (vacuously) but not an EBA protocol.
+/// let decisions = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+/// let report = verify_properties(&system, &decisions);
+/// assert!(report.is_nontrivial_agreement());
+/// assert!(!report.is_eba());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn verify_properties(
+    system: &GeneratedSystem,
+    decisions: &FipDecisions,
+) -> PropertyReport {
+    let mut report = PropertyReport {
+        runs_checked: system.num_runs(),
+        nonfaulty_conflicts: decisions.nonfaulty_conflicts(system).len(),
+        ..PropertyReport::default()
+    };
+
+    for run in system.run_ids() {
+        let record = system.run(run);
+        let nonfaulty = record.nonfaulty;
+
+        for p in nonfaulty {
+            if decisions.decision(run, p).is_none() {
+                report.decision_violations.push((run, p));
+            }
+        }
+
+        let values = decisions.decided_values(run, nonfaulty);
+        if values.len() > 1 {
+            report.agreement_violations.push(run);
+        }
+
+        if record.config.all_same() {
+            let v = record.config.value(ProcessorId::new(0));
+            if values.iter().any(|&d| d != v) {
+                report.validity_violations.push(run);
+            }
+        }
+
+        let mut times = nonfaulty.iter().filter_map(|p| decisions.decision_time(run, p));
+        if let Some(first) = times.next() {
+            let undecided_exists =
+                nonfaulty.iter().any(|p| decisions.decision(run, p).is_none());
+            if undecided_exists || times.any(|t| t != first) {
+                report.simultaneity_violations.push(run);
+            }
+        }
+    }
+
+    report
+}
+
+/// Validity as used in the strict EBA statement (property 3): when all
+/// initial values are `v`, nonfaulty processors must actually decide `v`
+/// (not merely avoid deciding otherwise). Returns the offending runs.
+#[must_use]
+pub fn strict_validity_violations(
+    system: &GeneratedSystem,
+    decisions: &FipDecisions,
+) -> Vec<(RunId, ProcessorId)> {
+    let mut out = Vec::new();
+    for run in system.run_ids() {
+        let record = system.run(run);
+        if !record.config.all_same() {
+            continue;
+        }
+        let v = record.config.value(ProcessorId::new(0));
+        for p in record.nonfaulty {
+            match decisions.decision(run, p) {
+                Some(d) if d.value == v => {}
+                _ => out.push((run, p)),
+            }
+        }
+    }
+    out
+}
+
+/// Counts, per decided value, how many nonfaulty decisions the protocol
+/// makes across the system — a quick sanity profile used in experiment
+/// output.
+#[must_use]
+pub fn decision_profile(
+    system: &GeneratedSystem,
+    decisions: &FipDecisions,
+) -> (u64, u64, u64) {
+    let (mut zeros, mut ones, mut undecided) = (0, 0, 0);
+    for run in system.run_ids() {
+        for p in system.nonfaulty(run) {
+            match decisions.decision(run, p) {
+                Some(d) if d.value == Value::Zero => zeros += 1,
+                Some(_) => ones += 1,
+                None => undecided += 1,
+            }
+        }
+    }
+    (zeros, ones, undecided)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DecisionPair;
+    use eba_kripke::StateSets;
+    use eba_model::{FailureMode, Scenario};
+
+    fn system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    fn own_value_pair(system: &GeneratedSystem) -> DecisionPair {
+        let table = system.table();
+        let mut zero = StateSets::empty(3);
+        let mut one = StateSets::empty(3);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            let owner = table.proc(v);
+            match table.own_value(v) {
+                Value::Zero => zero.insert(owner, v),
+                Value::One => one.insert(owner, v),
+            };
+        }
+        DecisionPair::new(zero, one)
+    }
+
+    #[test]
+    fn never_deciding_is_nontrivial_but_not_eba() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+        let report = verify_properties(&system, &d);
+        assert!(report.is_nontrivial_agreement());
+        assert!(!report.is_eba());
+        assert!(!report.decision_violations.is_empty());
+        // Simultaneity is vacuous when nobody decides.
+        assert!(report.simultaneity_violations.is_empty());
+    }
+
+    #[test]
+    fn own_value_decisions_violate_agreement() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &own_value_pair(&system), "own-value");
+        let report = verify_properties(&system, &d);
+        // Deciding your own value satisfies decision & validity but not
+        // agreement (mixed configurations disagree immediately).
+        assert!(report.decision_violations.is_empty());
+        assert!(report.validity_violations.is_empty());
+        assert!(!report.agreement_violations.is_empty());
+        assert!(!report.is_nontrivial_agreement());
+        assert!(!report.is_sba());
+    }
+
+    #[test]
+    fn strict_validity_catches_non_decision() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+        let violations = strict_validity_violations(&system, &d);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn decision_profile_sums_match() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &own_value_pair(&system), "own-value");
+        let (zeros, ones, undecided) = decision_profile(&system, &d);
+        assert_eq!(undecided, 0);
+        let total: u64 = system
+            .run_ids()
+            .map(|r| system.nonfaulty(r).len() as u64)
+            .sum();
+        assert_eq!(zeros + ones, total);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let system = system();
+        let d = FipDecisions::compute(&system, &DecisionPair::empty(3), "F^Λ");
+        let report = verify_properties(&system, &d);
+        assert!(report.to_string().contains("decision-viol="));
+    }
+}

@@ -1,0 +1,244 @@
+//! The paper's knowledge-level protocols (Sections 6.1 and 6.2), plus the
+//! common-knowledge SBA rule used for comparison experiments.
+
+use crate::chains::exists_zero_star;
+use crate::{Constructor, DecisionPair};
+use eba_kripke::{Formula, NonRigidSet};
+use eba_model::{ProcessorId, Value};
+
+/// `F^Λ`: the full-information protocol in which no processor ever
+/// decides (`Z_i = O_i = ∅`, Section 6.1). The seed of the `F^{Λ,2}`
+/// construction.
+#[must_use]
+pub fn f_lambda(n: usize) -> DecisionPair {
+    DecisionPair::empty(n)
+}
+
+/// `F^{Λ,1}`: one zero-first optimization step from `F^Λ`. Section 6.1
+/// shows its sets simplify to `Z_i = B^N_i ∃0` and `O_i = B^N_i false`.
+pub fn f_lambda_1(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let n = ctor.system().n();
+    ctor.step_zero(&f_lambda(n))
+}
+
+/// `F^{Λ,2}`: the two-step optimization of `F^Λ` (Section 6.1) — an
+/// optimal nontrivial agreement protocol in both failure modes; an
+/// optimal **EBA** protocol in the crash mode (Theorem 6.2) but not in
+/// the omission mode (Proposition 6.3 exhibits non-deciding runs).
+pub fn f_lambda_2(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let n = ctor.system().n();
+    ctor.optimize(&f_lambda(n))
+}
+
+/// The explicit crash-mode rule of Theorem 6.1:
+/// `Z^cr_i = B^N_i ∃0` and `O^cr_i = B^N_i((N ∧ Z^cr) = ∅)`
+/// ("believe that no nonfaulty processor knows of a 0").
+///
+/// Theorem 6.1 proves `F^{Λ,2} = FIP(Z^cr, O^cr)` in the crash mode;
+/// the reproduction *checks* that equality instead of assuming it
+/// (experiment EXP3).
+pub fn crash_rule(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let n = ctor.system().n();
+    let zero = ctor.views_satisfying(|i| {
+        Formula::exists(Value::Zero).believed_by(i, NonRigidSet::Nonfaulty)
+    });
+    let z_id = ctor.evaluator().register_state_sets(zero.clone());
+    // (N ∧ Z^cr) = ∅: no processor is both nonfaulty and in Z^cr.
+    let empty = Formula::conj(ProcessorId::all(n).map(|j| {
+        Formula::Nonfaulty(j).and(Formula::StateIn(j, z_id)).not()
+    }));
+    let one = ctor
+        .views_satisfying(|i| empty.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    DecisionPair::new(zero, one)
+}
+
+/// `FIP(Z⁰, O⁰)`: the terminating omission-mode EBA protocol of
+/// Section 6.2, built on 0-chains: `Z⁰_i = B^N_i ◇̄∃0*` ("believes a
+/// 0-chain forms at some time of this run") and `O⁰_i = B^N_i ¬◇̄∃0*`
+/// ("believes no 0-chain ever forms"). Proposition 6.4: in a run with
+/// `f` failures all nonfaulty processors decide by time `f + 1`.
+///
+/// The paper writes the rules as `B^N_i ∃0*` / `B^N_i ¬∃0*`; taken
+/// literally over the time-indexed `∃0*` ("a chain of length `≤ m`
+/// exists") those are wrong at the margins — `¬∃0*` is vacuously believed
+/// at time 0 (deciding 1 instantly everywhere), and the `f + 1` bound of
+/// Proposition 6.4 needs a processor that has just *received* a chain
+/// prefix to decide 0, one round before the completed chain itself
+/// appears. The run-closed reading `◇̄∃0*` (a chain at *some* time of the
+/// run) repairs both and is exactly the reading under which Lemma A.11's
+/// equivalences hold ("the only way processor `i` can believe that `∃0*`
+/// holds at some point in a run is …" — the lemma itself quantifies over
+/// the whole run). The test suite verifies the resulting protocol has
+/// every property the paper proves for `FIP(Z⁰, O⁰)`.
+pub fn zero_chain_pair(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let star = {
+        let eval = ctor.evaluator();
+        let bits = exists_zero_star(eval);
+        eval.register_point_pred(bits)
+    };
+    let ever_chain = Formula::PointPred(star).sometime_all();
+    let zero = ctor
+        .views_satisfying(|i| ever_chain.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    let one = ctor.views_satisfying(|i| {
+        ever_chain.clone().not().believed_by(i, NonRigidSet::Nonfaulty)
+    });
+    DecisionPair::new(zero, one)
+}
+
+/// `F*`: the optimal omission-mode EBA protocol of Proposition 6.6,
+/// obtained by applying the Theorem 5.2 construction to `FIP(Z⁰, O⁰)`.
+pub fn f_star(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let base = zero_chain_pair(ctor);
+    ctor.optimize(&base)
+}
+
+/// The *literal* closed form of `F*` as printed in Proposition 6.6:
+/// `Z*_i = B^N_i(∃0 ∧ C□_{N∧Z⁰} ∃0)` and
+/// `O*_i = B^N_i(∃1 ∧ ¬C□_{N∧Z⁰} ∃0)`.
+///
+/// **Reproduction note.** Under the standard convention that `C□_S φ` is
+/// vacuously true wherever `S` is empty (which the paper itself uses —
+/// "if `S(r, m′)` is empty for all `m′ ≥ 0` then `E□_S φ` holds"), this
+/// closed form degenerates: every member of `N ∧ Z⁰` knows `∃0`, so
+/// `C□_{N∧Z⁰} ∃0` is *valid*, `¬C□_{N∧Z⁰} ∃0` is unsatisfiable, and the
+/// decide-1 rule never fires — the literal form is a nontrivial agreement
+/// protocol but not an EBA protocol (model-checked in the test suite,
+/// where it is also shown to be dominated by [`f_star`]). The mechanical
+/// Theorem 5.2 construction ([`f_star`]) is the reading under which
+/// Proposition 6.6's *claims* (optimal EBA dominating `FIP(Z⁰, O⁰)`) all
+/// verify.
+pub fn f_star_direct(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let base = zero_chain_pair(ctor);
+    let z0_id = ctor.evaluator().register_state_sets(base.zero().clone());
+    let s = NonRigidSet::NonfaultyAnd(z0_id);
+    let c0 = Formula::exists(Value::Zero).continual_common(s);
+    let zero = ctor.views_satisfying(|i| {
+        Formula::exists(Value::Zero)
+            .and(c0.clone())
+            .believed_by(i, NonRigidSet::Nonfaulty)
+    });
+    let one = ctor.views_satisfying(|i| {
+        Formula::exists(Value::One)
+            .and(c0.clone().not())
+            .believed_by(i, NonRigidSet::Nonfaulty)
+    });
+    DecisionPair::new(zero, one)
+}
+
+/// The common-knowledge decision rule for **simultaneous** Byzantine
+/// agreement, per the characterization of \[DM90\]/\[MT88\] that the paper
+/// builds on: decide 0 when `C_N ∃0` holds, decide 1 when `C_N ∃1` holds
+/// and `C_N ∃0` does not (the tie-break makes the rule deterministic).
+///
+/// Because common knowledge arises simultaneously at all nonfaulty
+/// processors, the induced decisions are simultaneous; this is the SBA
+/// baseline of the EBA-vs-SBA comparison (experiment EXP7).
+pub fn sba_common_knowledge_pair(ctor: &mut Constructor<'_>) -> DecisionPair {
+    let c0 = Formula::exists(Value::Zero).common(NonRigidSet::Nonfaulty);
+    let c1 = Formula::exists(Value::One).common(NonRigidSet::Nonfaulty);
+    let zero =
+        ctor.views_satisfying(|i| c0.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    let one = ctor.views_satisfying(|i| {
+        c1.clone().and(c0.clone().not()).believed_by(i, NonRigidSet::Nonfaulty)
+    });
+    DecisionPair::new(zero, one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_optimality, dominates, verify_properties, FipDecisions};
+    use eba_model::{FailureMode, Scenario};
+    use eba_sim::GeneratedSystem;
+
+    fn crash_system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    fn omission_system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    #[test]
+    fn theorem_6_1_crash_rule_equals_f_lambda_2() {
+        let system = crash_system();
+        let mut ctor = Constructor::new(&system);
+        let fl2 = f_lambda_2(&mut ctor);
+        let rule = crash_rule(&mut ctor);
+        let d_fl2 = FipDecisions::compute(&system, &fl2, "F^{Λ,2}");
+        let d_rule = FipDecisions::compute(&system, &rule, "FIP(Z^cr,O^cr)");
+        let fwd = dominates(&system, &d_fl2, &d_rule);
+        let bwd = dominates(&system, &d_rule, &d_fl2);
+        assert!(
+            fwd.equivalent_times() && bwd.equivalent_times(),
+            "Theorem 6.1 equality failed: {fwd} / {bwd}"
+        );
+    }
+
+    #[test]
+    fn zero_chain_protocol_is_eba_in_omission_mode() {
+        let system = omission_system();
+        let mut ctor = Constructor::new(&system);
+        let pair = zero_chain_pair(&mut ctor);
+        let d = FipDecisions::compute(&system, &pair, "FIP(Z⁰,O⁰)");
+        let report = verify_properties(&system, &d);
+        assert!(report.is_eba(), "{report}");
+    }
+
+    #[test]
+    fn proposition_6_4_decisions_by_f_plus_one() {
+        let system = omission_system();
+        let mut ctor = Constructor::new(&system);
+        let pair = zero_chain_pair(&mut ctor);
+        let d = FipDecisions::compute(&system, &pair, "FIP(Z⁰,O⁰)");
+        for run in system.run_ids() {
+            let f = system.run(run).pattern.num_faulty() as u16;
+            for p in system.nonfaulty(run) {
+                let t = d.decision_time(run, p).expect("EBA decides");
+                assert!(
+                    t.ticks() <= f + 1,
+                    "run {}: {p} decided at {t} with f = {f}",
+                    run.index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f_star_is_optimal_and_dominates_the_chain_protocol() {
+        let system = omission_system();
+        let mut ctor = Constructor::new(&system);
+        let base = zero_chain_pair(&mut ctor);
+        let star = f_star(&mut ctor);
+        let d_base = FipDecisions::compute(&system, &base, "FIP(Z⁰,O⁰)");
+        let d_star = FipDecisions::compute(&system, &star, "F*");
+        let report = verify_properties(&system, &d_star);
+        assert!(report.is_eba(), "{report}");
+        assert!(dominates(&system, &d_star, &d_base).dominates);
+        assert!(check_optimality(&mut ctor, &star).is_optimal());
+    }
+
+    #[test]
+    fn sba_rule_is_simultaneous() {
+        let system = crash_system();
+        let mut ctor = Constructor::new(&system);
+        let pair = sba_common_knowledge_pair(&mut ctor);
+        let d = FipDecisions::compute(&system, &pair, "SBA");
+        let report = verify_properties(&system, &d);
+        assert!(report.is_sba(), "{report}");
+    }
+
+    #[test]
+    fn sba_never_beats_optimal_eba() {
+        let system = crash_system();
+        let mut ctor = Constructor::new(&system);
+        let eba = f_lambda_2(&mut ctor);
+        let sba = sba_common_knowledge_pair(&mut ctor);
+        let d_eba = FipDecisions::compute(&system, &eba, "F^{Λ,2}");
+        let d_sba = FipDecisions::compute(&system, &sba, "SBA");
+        let report = dominates(&system, &d_eba, &d_sba);
+        assert!(report.dominates && report.strict, "{report}");
+    }
+}

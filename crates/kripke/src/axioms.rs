@@ -1,0 +1,247 @@
+//! Axiom checkers for the knowledge operators (Proposition 3.1 and
+//! Lemma 3.4).
+//!
+//! These helpers verify, over a concrete generated system, that the
+//! implemented operators satisfy the modal properties the paper proves:
+//! S5 for `K_i`, and K45 + fixed point + induction + stability for
+//! continual common knowledge. They are used by the test suites and by
+//! experiment EXP8.
+
+use crate::{Evaluator, Formula, NonRigidSet};
+use eba_model::ProcessorId;
+
+/// The outcome of one axiom check: the axiom's name and whether it held
+/// (with a counterexample point rendered into the message when it did
+/// not).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AxiomReport {
+    /// Short axiom name (e.g. `"knowledge axiom"`).
+    pub name: &'static str,
+    /// `None` when the axiom held; otherwise a description of a failing
+    /// point.
+    pub violation: Option<String>,
+}
+
+impl AxiomReport {
+    fn check(eval: &mut Evaluator<'_>, name: &'static str, f: &Formula) -> Self {
+        let violation = eval.counterexample(f).map(|(run, time)| {
+            format!("fails at run {}, {time} (formula {f})", run.index())
+        });
+        AxiomReport { name, violation }
+    }
+
+    /// Whether the axiom held.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Checks the S5 properties of `K_i` (Proposition 3.1) on the given
+/// formulas: distribution, knowledge, positive and negative introspection,
+/// and knowledge generalization (only applicable when `φ` is valid).
+pub fn check_s5(
+    eval: &mut Evaluator<'_>,
+    i: ProcessorId,
+    phi: &Formula,
+    psi: &Formula,
+) -> Vec<AxiomReport> {
+    let k = |f: &Formula| f.clone().known_by(i);
+    let mut reports = Vec::new();
+
+    // (a) knowledge generalization: if ⊨ φ then ⊨ K_i φ.
+    if eval.valid(phi) {
+        reports.push(AxiomReport::check(eval, "knowledge generalization", &k(phi)));
+    }
+    // (b) distribution: (K_i φ ∧ K_i(φ ⇒ ψ)) ⇒ K_i ψ.
+    let dist = k(phi)
+        .and(k(&phi.clone().implies(psi.clone())))
+        .implies(k(psi));
+    reports.push(AxiomReport::check(eval, "distribution axiom", &dist));
+    // (c) knowledge axiom: K_i φ ⇒ φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "knowledge axiom",
+        &k(phi).implies(phi.clone()),
+    ));
+    // (d) positive introspection: K_i φ ⇒ K_i K_i φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "positive introspection",
+        &k(phi).implies(k(&k(phi))),
+    ));
+    // (e) negative introspection: ¬K_i φ ⇒ K_i ¬K_i φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "negative introspection",
+        &k(phi).not().implies(k(&k(phi).not())),
+    ));
+    reports
+}
+
+/// Checks the continual-common-knowledge properties of Lemma 3.4 on the
+/// given formulas: K45 (distribution, positive and negative
+/// introspection), generalization, the fixed-point axiom, the induction
+/// rule, and stability (`C□_S φ ⇒ □̄ C□_S φ`).
+pub fn check_continual_common(
+    eval: &mut Evaluator<'_>,
+    s: NonRigidSet,
+    phi: &Formula,
+    psi: &Formula,
+) -> Vec<AxiomReport> {
+    let cc = |f: &Formula| f.clone().continual_common(s);
+    let mut reports = Vec::new();
+
+    // (a) generalization: if ⊨ φ then ⊨ C□_S φ.
+    if eval.valid(phi) {
+        reports.push(AxiomReport::check(eval, "C□ generalization", &cc(phi)));
+    }
+    // (b) distribution.
+    let dist = cc(phi)
+        .and(cc(&phi.clone().implies(psi.clone())))
+        .implies(cc(psi));
+    reports.push(AxiomReport::check(eval, "C□ distribution", &dist));
+    // (c) positive introspection: C□ φ ⇒ C□ C□ φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "C□ positive introspection",
+        &cc(phi).implies(cc(&cc(phi))),
+    ));
+    // (d) negative introspection: ¬C□ φ ⇒ C□ ¬C□ φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "C□ negative introspection",
+        &cc(phi).not().implies(cc(&cc(phi).not())),
+    ));
+    // (e) fixed-point axiom: C□ φ ⇒ E□_S (φ ∧ C□ φ).
+    reports.push(AxiomReport::check(
+        eval,
+        "C□ fixed-point axiom",
+        &cc(phi).implies(phi.clone().and(cc(phi)).everyone_box(s)),
+    ));
+    // (f) induction rule: if ⊨ φ ⇒ E□_S(φ ∧ ψ) then ⊨ φ ⇒ C□_S ψ.
+    let premise = phi
+        .clone()
+        .implies(phi.clone().and(psi.clone()).everyone_box(s));
+    if eval.valid(&premise) {
+        reports.push(AxiomReport::check(
+            eval,
+            "C□ induction rule",
+            &phi.clone().implies(cc(psi)),
+        ));
+    }
+    // (g) stability: C□ φ ⇒ □̄ C□ φ.
+    reports.push(AxiomReport::check(
+        eval,
+        "C□ stability",
+        &cc(phi).implies(cc(phi).always_all()),
+    ));
+    // Strengthening: C□_S φ ⇒ C_S φ (continual common knowledge is
+    // stronger than common knowledge — end of Section 3.3).
+    reports.push(AxiomReport::check(
+        eval,
+        "C□ implies C",
+        &cc(phi).implies(phi.clone().common(s)),
+    ));
+    reports
+}
+
+/// Convenience: run [`check_s5`] and [`check_continual_common`] over a
+/// batch of formulas and return only the violations.
+pub fn all_violations(
+    eval: &mut Evaluator<'_>,
+    processors: &[ProcessorId],
+    sets: &[NonRigidSet],
+    formulas: &[Formula],
+) -> Vec<AxiomReport> {
+    let mut violations = Vec::new();
+    for phi in formulas {
+        for psi in formulas {
+            for &i in processors {
+                violations.extend(
+                    check_s5(eval, i, phi, psi).into_iter().filter(|r| !r.holds()),
+                );
+            }
+            for &s in sets {
+                violations.extend(
+                    check_continual_common(eval, s, phi, psi)
+                        .into_iter()
+                        .filter(|r| !r.holds()),
+                );
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{FailureMode, Scenario, Value};
+    use eba_sim::GeneratedSystem;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn s5_holds_on_crash_system() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::Zero);
+        let psi = Formula::exists(Value::One);
+        for i in 0..3 {
+            for report in check_s5(&mut eval, p(i), &phi, &psi) {
+                assert!(report.holds(), "{}: {:?}", report.name, report.violation);
+            }
+        }
+    }
+
+    #[test]
+    fn continual_common_axioms_hold_on_crash_system() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::Zero);
+        let psi = Formula::exists(Value::Zero).or(Formula::exists(Value::One));
+        for report in
+            check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi)
+        {
+            assert!(report.holds(), "{}: {:?}", report.name, report.violation);
+        }
+    }
+
+    #[test]
+    fn continual_common_axioms_hold_on_omission_system() {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::One);
+        let psi = Formula::exists(Value::Zero);
+        for report in
+            check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi)
+        {
+            assert!(report.holds(), "{}: {:?}", report.name, report.violation);
+        }
+    }
+
+    #[test]
+    fn all_violations_finds_nothing_on_valid_operators() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let formulas = [
+            Formula::exists(Value::Zero),
+            Formula::exists(Value::One),
+            Formula::exists(Value::Zero).known_by(p(0)),
+        ];
+        let violations = all_violations(
+            &mut eval,
+            &[p(0), p(1)],
+            &[NonRigidSet::Nonfaulty, NonRigidSet::Everyone],
+            &formulas,
+        );
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

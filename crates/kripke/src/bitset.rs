@@ -1,0 +1,271 @@
+//! Dense bitsets over point indices.
+
+use std::fmt;
+use std::ops::{BitAndAssign, BitOrAssign};
+
+/// A fixed-length dense bitset, used to represent the set of points of a
+/// generated system satisfying a formula.
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::Bitset;
+///
+/// let mut s = Bitset::new_false(10);
+/// s.set(3, true);
+/// assert!(s.get(3));
+/// assert_eq!(s.count_ones(), 1);
+/// s.invert();
+/// assert_eq!(s.count_ones(), 9);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Creates a bitset of `len` bits, all `false`.
+    #[must_use]
+    pub fn new_false(len: usize) -> Self {
+        Bitset { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a bitset of `len` bits, all `true`.
+    #[must_use]
+    pub fn new_true(len: usize) -> Self {
+        let mut s = Bitset { words: vec![u64::MAX; len.div_ceil(64)], len };
+        s.clear_tail();
+        s
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of `true` bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is `true`.
+    #[must_use]
+    pub fn all(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Whether any bit is `true`.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Flips every bit in place.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_tail();
+    }
+
+    /// The index of the first `true` bit, if any.
+    #[must_use]
+    pub fn first_one(&self) -> Option<usize> {
+        for (k, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(k * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// The index of the first `false` bit, if any.
+    #[must_use]
+    pub fn first_zero(&self) -> Option<usize> {
+        for (k, &w) in self.words.iter().enumerate() {
+            if w != u64::MAX {
+                let idx = k * 64 + w.trailing_ones() as usize;
+                if idx < self.len {
+                    return Some(idx);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over the indices of `true` bits in increasing order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(k, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(k * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Whether `self ⊆ other` (as sets of `true` indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn is_subset(&self, other: &Bitset) -> bool {
+        assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+}
+
+impl BitAndAssign<&Bitset> for Bitset {
+    fn bitand_assign(&mut self, rhs: &Bitset) {
+        assert_eq!(self.len, rhs.len);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a &= b;
+        }
+    }
+}
+
+impl BitOrAssign<&Bitset> for Bitset {
+    fn bitor_assign(&mut self, rhs: &Bitset) {
+        assert_eq!(self.len, rhs.len);
+        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
+            *a |= b;
+        }
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitset[{}; {} ones]", self.len, self.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_false_and_true() {
+        let f = Bitset::new_false(100);
+        assert_eq!(f.count_ones(), 0);
+        assert!(!f.any());
+        let t = Bitset::new_true(100);
+        assert_eq!(t.count_ones(), 100);
+        assert!(t.all());
+    }
+
+    #[test]
+    fn set_get() {
+        let mut s = Bitset::new_false(70);
+        s.set(0, true);
+        s.set(69, true);
+        assert!(s.get(0) && s.get(69) && !s.get(35));
+        s.set(0, false);
+        assert!(!s.get(0));
+        assert_eq!(s.count_ones(), 1);
+    }
+
+    #[test]
+    fn invert_respects_tail() {
+        let mut s = Bitset::new_false(65);
+        s.invert();
+        assert_eq!(s.count_ones(), 65);
+        assert!(s.all());
+    }
+
+    #[test]
+    fn first_one_and_zero() {
+        let mut s = Bitset::new_false(130);
+        assert_eq!(s.first_one(), None);
+        assert_eq!(s.first_zero(), Some(0));
+        s.set(128, true);
+        assert_eq!(s.first_one(), Some(128));
+        let mut t = Bitset::new_true(130);
+        assert_eq!(t.first_zero(), None);
+        t.set(129, false);
+        assert_eq!(t.first_zero(), Some(129));
+    }
+
+    #[test]
+    fn ones_iterator() {
+        let mut s = Bitset::new_false(200);
+        for i in [3, 64, 150] {
+            s.set(i, true);
+        }
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![3, 64, 150]);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let mut a = Bitset::new_false(10);
+        a.set(1, true);
+        a.set(2, true);
+        let mut b = Bitset::new_false(10);
+        b.set(2, true);
+        b.set(3, true);
+        let mut and = a.clone();
+        and &= &b;
+        assert_eq!(and.ones().collect::<Vec<_>>(), vec![2]);
+        let mut or = a.clone();
+        or |= &b;
+        assert_eq!(or.ones().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(and.is_subset(&a));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let s = Bitset::new_false(3);
+        let _ = s.get(3);
+    }
+}

@@ -1,0 +1,961 @@
+//! The memoizing formula evaluator over a generated system.
+
+use crate::bitset::Bitset;
+use crate::formula::Formula;
+use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
+use crate::uf::UnionFind;
+use eba_model::{ProcSet, ProcessorId, Time};
+use eba_sim::{GeneratedSystem, RunId, ViewId};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// The reachability structure of a nonrigid set `S` over a generated
+/// system: the point-level components behind `C_S` (the \[DM90\]
+/// characterization) and their projection onto runs behind `C□_S`
+/// (Corollary 3.3); see DESIGN.md §4.
+///
+/// Two points are linked when some processor belongs to `S` at both and
+/// has the same local state at both. Since FIP states encode the clock,
+/// links preserve time; the `□̄` in `E□_S` lets a chain restart at any time
+/// of the current run, which projects reachability onto runs.
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    /// Per point: compact component id, or `u32::MAX` where `S` is empty.
+    point_comp: Vec<u32>,
+    num_point_comps: usize,
+    /// Per run: compact run-component id.
+    run_comp: Vec<u32>,
+    /// Per run: whether the run contains any point with `S` nonempty.
+    run_has_s_points: Vec<bool>,
+    /// Per point: the members of `S` at that point.
+    s_members: Vec<ProcSet>,
+}
+
+impl Reachability {
+    /// The component id of a point, or `None` where `S` is empty.
+    #[must_use]
+    pub fn point_component(&self, point: usize) -> Option<u32> {
+        (self.point_comp[point] != u32::MAX).then_some(self.point_comp[point])
+    }
+
+    /// Number of point-level components.
+    #[must_use]
+    pub fn num_point_components(&self) -> usize {
+        self.num_point_comps
+    }
+
+    /// The run-component id of a run.
+    #[must_use]
+    pub fn run_component(&self, run: RunId) -> u32 {
+        self.run_comp[run.index()]
+    }
+
+    /// Whether the run contains any point where `S` is nonempty.
+    #[must_use]
+    pub fn run_has_s_points(&self, run: RunId) -> bool {
+        self.run_has_s_points[run.index()]
+    }
+
+    /// The members of `S` at a point.
+    #[must_use]
+    pub fn members(&self, point: usize) -> ProcSet {
+        self.s_members[point]
+    }
+}
+
+/// A memoizing evaluator of [`Formula`]s over a [`GeneratedSystem`].
+///
+/// Points of the system are indexed linearly (`run × (horizon + 1) +
+/// time`); every formula evaluates to the [`Bitset`] of points satisfying
+/// it, cached by formula structure. State-set families and per-run
+/// predicates are registered up front and referenced by id from formulas.
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::{Evaluator, Formula};
+/// use eba_model::{FailureMode, Scenario, Value};
+/// use eba_sim::GeneratedSystem;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// let mut eval = Evaluator::new(&system);
+/// // "Some processor started with 0 or some processor started with 1"
+/// // holds everywhere.
+/// let f = Formula::exists(Value::Zero).or(Formula::exists(Value::One));
+/// assert!(eval.valid(&f));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Evaluator<'a> {
+    system: &'a GeneratedSystem,
+    n: usize,
+    times: usize,
+    num_points: usize,
+    state_sets: Vec<StateSets>,
+    run_preds: Vec<Vec<bool>>,
+    point_preds: Vec<Rc<Bitset>>,
+    cache: HashMap<Formula, Rc<Bitset>>,
+    reach_cache: HashMap<NonRigidSet, Rc<Reachability>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator over `system`.
+    #[must_use]
+    pub fn new(system: &'a GeneratedSystem) -> Self {
+        let n = system.n();
+        let times = system.horizon().index() + 1;
+        Evaluator {
+            system,
+            n,
+            times,
+            num_points: system.num_runs() * times,
+            state_sets: Vec::new(),
+            run_preds: Vec::new(),
+            point_preds: Vec::new(),
+            cache: HashMap::new(),
+            reach_cache: HashMap::new(),
+        }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn system(&self) -> &'a GeneratedSystem {
+        self.system
+    }
+
+    /// Number of linear point indices.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Registers a state-set family for use in formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family's processor count differs from the system's.
+    pub fn register_state_sets(&mut self, sets: StateSets) -> StateSetsId {
+        assert_eq!(sets.n(), self.n, "state-set family has the wrong processor count");
+        let id = StateSetsId(u32::try_from(self.state_sets.len()).expect("id overflow"));
+        self.state_sets.push(sets);
+        id
+    }
+
+    /// The registered family behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was not issued by this evaluator.
+    #[must_use]
+    pub fn state_sets(&self, id: StateSetsId) -> &StateSets {
+        &self.state_sets[id.0 as usize]
+    }
+
+    /// Registers a per-run predicate for use in formulas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's length differs from the number of runs.
+    pub fn register_run_pred(&mut self, pred: Vec<bool>) -> RunPredId {
+        assert_eq!(pred.len(), self.system.num_runs(), "run predicate has the wrong length");
+        let id = RunPredId(u32::try_from(self.run_preds.len()).expect("id overflow"));
+        self.run_preds.push(pred);
+        id
+    }
+
+    /// Registers a per-point predicate for use in formulas; the bitset is
+    /// indexed by linear point index (see [`Evaluator::point_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitset's length differs from [`Evaluator::num_points`].
+    pub fn register_point_pred(&mut self, pred: Bitset) -> PointPredId {
+        assert_eq!(pred.len(), self.num_points, "point predicate has the wrong length");
+        let id = PointPredId(u32::try_from(self.point_preds.len()).expect("id overflow"));
+        self.point_preds.push(Rc::new(pred));
+        id
+    }
+
+    /// The linear index of a point.
+    #[must_use]
+    pub fn point_index(&self, run: RunId, time: Time) -> usize {
+        run.index() * self.times + time.index()
+    }
+
+    /// The (run, time) of a linear point index.
+    #[must_use]
+    pub fn point_of(&self, index: usize) -> (RunId, Time) {
+        (RunId::new(index / self.times), Time::new((index % self.times) as u16))
+    }
+
+    /// The members of nonrigid set `s` at a point.
+    #[must_use]
+    pub fn members(&self, s: NonRigidSet, run: RunId, time: Time) -> ProcSet {
+        match s {
+            NonRigidSet::Everyone => ProcSet::full(self.n),
+            NonRigidSet::Nonfaulty => self.system.nonfaulty(run),
+            NonRigidSet::NonfaultyAnd(id) => {
+                let sets = &self.state_sets[id.0 as usize];
+                self.system
+                    .nonfaulty(run)
+                    .iter()
+                    .filter(|&p| sets.contains(p, self.system.view(run, p, time)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Evaluates a formula, returning the set of points satisfying it.
+    pub fn eval(&mut self, formula: &Formula) -> Rc<Bitset> {
+        if let Some(cached) = self.cache.get(formula) {
+            return Rc::clone(cached);
+        }
+        let result = Rc::new(self.compute(formula));
+        self.cache.insert(formula.clone(), Rc::clone(&result));
+        result
+    }
+
+    /// Whether the formula holds at the given point.
+    pub fn holds_at(&mut self, formula: &Formula, run: RunId, time: Time) -> bool {
+        let idx = self.point_index(run, time);
+        self.eval(formula).get(idx)
+    }
+
+    /// Whether the formula is valid in the system (holds at every point).
+    pub fn valid(&mut self, formula: &Formula) -> bool {
+        self.eval(formula).all()
+    }
+
+    /// A point where the formula fails, if any.
+    pub fn counterexample(&mut self, formula: &Formula) -> Option<(RunId, Time)> {
+        let set = self.eval(formula);
+        set.first_zero().map(|idx| self.point_of(idx))
+    }
+
+    /// The views of processor `p` at which the formula holds.
+    ///
+    /// Since a formula like `B^N_p φ` depends only on `p`'s local state,
+    /// the result is exact for such formulas: it is the decision set the
+    /// formula describes. For formulas that are not state-determined, a
+    /// view is included only if the formula holds at *every* point where
+    /// `p` has that view.
+    pub fn views_where(&mut self, p: ProcessorId, formula: &Formula) -> HashSet<ViewId> {
+        let set = self.eval(formula);
+        let mut status: HashMap<ViewId, bool> = HashMap::new();
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                let v = self.system.view(run, p, time);
+                let entry = status.entry(v).or_insert(true);
+                *entry &= set.get(idx);
+            }
+        }
+        status.into_iter().filter_map(|(v, ok)| ok.then_some(v)).collect()
+    }
+
+    fn broadcast_run_level<F: Fn(RunId) -> bool>(&self, f: F) -> Bitset {
+        let mut out = Bitset::new_false(self.num_points);
+        for run in self.system.run_ids() {
+            if f(run) {
+                for time in 0..self.times {
+                    out.set(run.index() * self.times + time, true);
+                }
+            }
+        }
+        out
+    }
+
+    fn compute(&mut self, formula: &Formula) -> Bitset {
+        match formula {
+            Formula::True => Bitset::new_true(self.num_points),
+            Formula::False => Bitset::new_false(self.num_points),
+            Formula::Exists(v) => {
+                self.broadcast_run_level(|r| self.system.run(r).config.exists(*v))
+            }
+            Formula::Initial(p, v) => {
+                self.broadcast_run_level(|r| self.system.run(r).config.value(*p) == *v)
+            }
+            Formula::Nonfaulty(p) => {
+                self.broadcast_run_level(|r| self.system.nonfaulty(r).contains(*p))
+            }
+            Formula::StateIn(p, id) => {
+                let sets = &self.state_sets[id.0 as usize];
+                let mut out = Bitset::new_false(self.num_points);
+                for run in self.system.run_ids() {
+                    for time in Time::upto(self.system.horizon()) {
+                        if sets.contains(*p, self.system.view(run, *p, time)) {
+                            out.set(self.point_index(run, time), true);
+                        }
+                    }
+                }
+                out
+            }
+            Formula::RunPred(id) => {
+                let pred = self.run_preds[id.0 as usize].clone();
+                self.broadcast_run_level(|r| pred[r.index()])
+            }
+            Formula::PointPred(id) => (*self.point_preds[id.0 as usize]).clone(),
+            Formula::Not(inner) => {
+                let mut out = (*self.eval(inner)).clone();
+                out.invert();
+                out
+            }
+            Formula::And(fs) => {
+                let mut out = Bitset::new_true(self.num_points);
+                for f in fs {
+                    out &= &self.eval(f);
+                }
+                out
+            }
+            Formula::Or(fs) => {
+                let mut out = Bitset::new_false(self.num_points);
+                for f in fs {
+                    out |= &self.eval(f);
+                }
+                out
+            }
+            Formula::Knows(p, inner) => {
+                let phi = self.eval(inner);
+                self.knowledge_like(*p, &phi, None)
+            }
+            Formula::Believes(p, s, inner) => {
+                let phi = self.eval(inner);
+                self.knowledge_like(*p, &phi, Some(*s))
+            }
+            Formula::Everyone(s, inner) => {
+                let believes: Vec<Bitset> = (0..self.n)
+                    .map(|i| {
+                        let phi = self.eval(inner);
+                        self.knowledge_like(ProcessorId::new(i), &phi, Some(*s))
+                    })
+                    .collect();
+                let mut out = Bitset::new_true(self.num_points);
+                for run in self.system.run_ids() {
+                    for time in Time::upto(self.system.horizon()) {
+                        let idx = self.point_index(run, time);
+                        let members = self.members(*s, run, time);
+                        let ok = members.iter().all(|i| believes[i.index()].get(idx));
+                        out.set(idx, ok);
+                    }
+                }
+                out
+            }
+            Formula::Someone(s, inner) => {
+                let believes: Vec<Bitset> = (0..self.n)
+                    .map(|i| {
+                        let phi = self.eval(inner);
+                        self.knowledge_like(ProcessorId::new(i), &phi, Some(*s))
+                    })
+                    .collect();
+                let mut out = Bitset::new_false(self.num_points);
+                for run in self.system.run_ids() {
+                    for time in Time::upto(self.system.horizon()) {
+                        let idx = self.point_index(run, time);
+                        let members = self.members(*s, run, time);
+                        let ok = members.iter().any(|i| believes[i.index()].get(idx));
+                        out.set(idx, ok);
+                    }
+                }
+                out
+            }
+            Formula::Distributed(s, inner) => {
+                let phi = self.eval(inner);
+                self.distributed_knowledge(*s, &phi)
+            }
+            Formula::Common(s, inner) => {
+                let phi = self.eval(inner);
+                let reach = self.reachability(*s);
+                // comp_sat[c] = φ holds at every point of component c.
+                let mut comp_sat = vec![true; reach.num_point_comps];
+                for idx in 0..self.num_points {
+                    if let Some(c) = reach.point_component(idx) {
+                        if !phi.get(idx) {
+                            comp_sat[c as usize] = false;
+                        }
+                    }
+                }
+                let mut out = Bitset::new_false(self.num_points);
+                for idx in 0..self.num_points {
+                    let ok = match reach.point_component(idx) {
+                        None => true, // S empty here: E_S^k vacuous for all k
+                        Some(c) => comp_sat[c as usize],
+                    };
+                    out.set(idx, ok);
+                }
+                out
+            }
+            Formula::ContinualCommon(s, inner) => {
+                let phi = self.eval(inner);
+                let reach = self.reachability(*s);
+                // run_comp_sat[rc] = φ holds at every S-nonempty point of
+                // every run in run-component rc.
+                let num_run_comps = self
+                    .system
+                    .run_ids()
+                    .map(|r| reach.run_component(r) as usize + 1)
+                    .max()
+                    .unwrap_or(0);
+                let mut run_comp_sat = vec![true; num_run_comps];
+                for idx in 0..self.num_points {
+                    if reach.point_component(idx).is_some() && !phi.get(idx) {
+                        let (run, _) = self.point_of(idx);
+                        run_comp_sat[reach.run_component(run) as usize] = false;
+                    }
+                }
+                let mut out = Bitset::new_false(self.num_points);
+                for run in self.system.run_ids() {
+                    let ok = if reach.run_has_s_points(run) {
+                        run_comp_sat[reach.run_component(run) as usize]
+                    } else {
+                        true // no reachable points at all: vacuously true
+                    };
+                    if ok {
+                        for time in 0..self.times {
+                            out.set(run.index() * self.times + time, true);
+                        }
+                    }
+                }
+                out
+            }
+            Formula::Always(inner) => {
+                let phi = self.eval(inner);
+                let mut out = Bitset::new_false(self.num_points);
+                for run in self.system.run_ids() {
+                    let base = run.index() * self.times;
+                    let mut suffix = true;
+                    for time in (0..self.times).rev() {
+                        suffix &= phi.get(base + time);
+                        out.set(base + time, suffix);
+                    }
+                }
+                out
+            }
+            Formula::Eventually(inner) => {
+                let phi = self.eval(inner);
+                let mut out = Bitset::new_false(self.num_points);
+                for run in self.system.run_ids() {
+                    let base = run.index() * self.times;
+                    let mut suffix = false;
+                    for time in (0..self.times).rev() {
+                        suffix |= phi.get(base + time);
+                        out.set(base + time, suffix);
+                    }
+                }
+                out
+            }
+            Formula::AlwaysAll(inner) => {
+                let phi = self.eval(inner);
+                self.broadcast_run_level(|run| {
+                    let base = run.index() * self.times;
+                    (0..self.times).all(|time| phi.get(base + time))
+                })
+            }
+            Formula::SometimeAll(inner) => {
+                let phi = self.eval(inner);
+                self.broadcast_run_level(|run| {
+                    let base = run.index() * self.times;
+                    (0..self.times).any(|time| phi.get(base + time))
+                })
+            }
+        }
+    }
+
+    /// Shared implementation of `K_p` (with `restrict = None`) and `B^S_p`
+    /// (with `restrict = Some(S)`): the result at a point depends only on
+    /// `p`'s view there, and is the conjunction of `φ` over all points
+    /// where `p` has that view (and, for `B`, belongs to `S`).
+    fn knowledge_like(
+        &mut self,
+        p: ProcessorId,
+        phi: &Bitset,
+        restrict: Option<NonRigidSet>,
+    ) -> Bitset {
+        let table_len = self.system.table().len();
+        let mut view_ok = vec![true; table_len];
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                if phi.get(idx) {
+                    continue;
+                }
+                let in_scope = match restrict {
+                    None => true,
+                    Some(s) => self.members(s, run, time).contains(p),
+                };
+                if in_scope {
+                    let v = self.system.view(run, p, time);
+                    view_ok[v.index()] = false;
+                }
+            }
+        }
+        let mut out = Bitset::new_false(self.num_points);
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                let v = self.system.view(run, p, time);
+                out.set(idx, view_ok[v.index()]);
+            }
+        }
+        out
+    }
+
+    /// `D_S φ`: at a point `p`, φ holds at every point `q` that the
+    /// members of `S(p)` *jointly* cannot distinguish from `p` — same
+    /// membership-relevant views for every member. Points are bucketed by
+    /// `(S(p), members' views)`; `D` holds iff φ holds throughout the
+    /// bucket. With `S(p)` empty every point is indistinguishable and the
+    /// operator is vacuous (matching `E_S`'s convention).
+    fn distributed_knowledge(&mut self, s: NonRigidSet, phi: &Bitset) -> Bitset {
+        use std::collections::hash_map::Entry;
+        let mut bucket_of: Vec<u32> = vec![u32::MAX; self.num_points];
+        let mut sat: Vec<bool> = Vec::new();
+        let mut index: HashMap<(u128, Vec<ViewId>), u32> = HashMap::new();
+        let mut all_empty_ok = true;
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                let members = self.members(s, run, time);
+                if members.is_empty() {
+                    all_empty_ok &= phi.get(idx);
+                    continue;
+                }
+                let views: Vec<ViewId> = members
+                    .iter()
+                    .map(|i| self.system.view(run, i, time))
+                    .collect();
+                let bucket = match index.entry((members.bits(), views)) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        let id = sat.len() as u32;
+                        e.insert(id);
+                        sat.push(true);
+                        id
+                    }
+                };
+                bucket_of[idx] = bucket;
+                sat[bucket as usize] &= phi.get(idx);
+            }
+        }
+        let mut out = Bitset::new_false(self.num_points);
+        for (idx, &bucket) in bucket_of.iter().enumerate() {
+            let ok = if bucket == u32::MAX {
+                // S empty here: every point (with S empty) is jointly
+                // indistinguishable from this one.
+                all_empty_ok
+            } else {
+                sat[bucket as usize]
+            };
+            out.set(idx, ok);
+        }
+        out
+    }
+
+    /// Computes (or fetches) the reachability structure of `s`.
+    pub fn reachability(&mut self, s: NonRigidSet) -> Rc<Reachability> {
+        if let Some(cached) = self.reach_cache.get(&s) {
+            return Rc::clone(cached);
+        }
+        let built = Rc::new(self.build_reachability(s));
+        self.reach_cache.insert(s, Rc::clone(&built));
+        built
+    }
+
+    fn build_reachability(&self, s: NonRigidSet) -> Reachability {
+        // Members of S at every point.
+        let mut s_members = vec![ProcSet::empty(); self.num_points];
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                s_members[idx] = self.members(s, run, time);
+            }
+        }
+
+        // Point-level union-find: two points are linked when some i ∈ S at
+        // both has the same view at both. Bucket by (i's view).
+        let table_len = self.system.table().len();
+        let mut uf = UnionFind::new(self.num_points);
+        let mut first_by_view = vec![u32::MAX; table_len];
+        for i in ProcessorId::all(self.n) {
+            for slot in first_by_view.iter_mut() {
+                *slot = u32::MAX;
+            }
+            for run in self.system.run_ids() {
+                for time in Time::upto(self.system.horizon()) {
+                    let idx = self.point_index(run, time);
+                    if !s_members[idx].contains(i) {
+                        continue;
+                    }
+                    let v = self.system.view(run, i, time).index();
+                    if first_by_view[v] == u32::MAX {
+                        first_by_view[v] = idx as u32;
+                    } else {
+                        uf.union(first_by_view[v] as usize, idx);
+                    }
+                }
+            }
+        }
+
+        // Compact point components, restricted to S-nonempty points.
+        let (raw_ids, _) = uf.component_ids();
+        let mut comp_remap: HashMap<u32, u32> = HashMap::new();
+        let mut point_comp = vec![u32::MAX; self.num_points];
+        for idx in 0..self.num_points {
+            if s_members[idx].is_empty() {
+                continue;
+            }
+            let next_id = comp_remap.len() as u32;
+            let compact = *comp_remap.entry(raw_ids[idx]).or_insert(next_id);
+            point_comp[idx] = compact;
+        }
+        let num_point_comps = comp_remap.len();
+
+        // Project onto runs: runs sharing a point component are merged.
+        let num_runs = self.system.num_runs();
+        let mut run_uf = UnionFind::new(num_runs);
+        let mut first_run_of_comp = vec![u32::MAX; num_point_comps];
+        let mut run_has_s_points = vec![false; num_runs];
+        for (idx, &c) in point_comp.iter().enumerate() {
+            if c == u32::MAX {
+                continue;
+            }
+            let run = idx / self.times;
+            run_has_s_points[run] = true;
+            if first_run_of_comp[c as usize] == u32::MAX {
+                first_run_of_comp[c as usize] = run as u32;
+            } else {
+                run_uf.union(first_run_of_comp[c as usize] as usize, run);
+            }
+        }
+        let (run_comp, _) = run_uf.component_ids();
+
+        Reachability {
+            point_comp,
+            num_point_comps,
+            run_comp,
+            run_has_s_points,
+            s_members,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{FailureMode, Scenario, Value};
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    fn crash_system() -> GeneratedSystem {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    }
+
+    #[test]
+    fn tautologies_are_valid() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        assert!(eval.valid(&Formula::True));
+        assert!(!eval.valid(&Formula::False));
+        assert!(eval.valid(&Formula::exists(Value::Zero).or(Formula::exists(Value::One))));
+        let f = Formula::exists(Value::Zero);
+        assert!(eval.valid(&f.clone().or(f.not())));
+    }
+
+    #[test]
+    fn processors_know_their_own_value() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        for i in 0..3 {
+            for v in Value::ALL {
+                // init(i)=v ⇒ K_i ∃v.
+                let f = Formula::Initial(p(i), v)
+                    .implies(Formula::exists(v).known_by(p(i)));
+                assert!(eval.valid(&f));
+            }
+        }
+    }
+
+    #[test]
+    fn knowledge_axiom_holds() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::Zero);
+        let f = phi.clone().known_by(p(0)).implies(phi);
+        assert!(eval.valid(&f));
+    }
+
+    #[test]
+    fn knowledge_is_not_omniscience() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        // ∃0 ⇒ K_1 ∃0 is NOT valid at time 0 (p1 may hold 1 while p2
+        // holds 0).
+        let f = Formula::exists(Value::Zero)
+            .implies(Formula::exists(Value::Zero).known_by(p(0)));
+        assert!(!eval.valid(&f));
+        let (run, time) = eval.counterexample(&f).unwrap();
+        assert_eq!(time, Time::ZERO);
+        let config = &system.run(run).config;
+        assert_ne!(config.value(p(0)), Value::Zero);
+        assert!(config.exists(Value::Zero));
+    }
+
+    #[test]
+    fn after_failure_free_round_everyone_knows() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        // In failure-free runs, by time 1 everyone knows every initial
+        // value: check K_i ∃0 whenever ∃0.
+        let config = eba_model::InitialConfig::from_bits(3, 0b110);
+        let pattern = eba_model::FailurePattern::failure_free(3);
+        let run = system.find_run(&config, &pattern).unwrap();
+        for i in 0..3 {
+            assert!(eval.holds_at(
+                &Formula::exists(Value::Zero).known_by(p(i)),
+                run,
+                Time::new(1)
+            ));
+            assert!(!eval.holds_at(
+                &Formula::exists(Value::Zero).known_by(p(i)),
+                run,
+                Time::ZERO
+            ) || i == 0);
+        }
+    }
+
+    #[test]
+    fn belief_is_vacuous_for_known_faulty() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        // B^N_i φ ⇒ (i ∈ N ⇒ φ) is valid (belief is knowledge guarded by
+        // membership).
+        let phi = Formula::exists(Value::Zero);
+        let f = phi
+            .clone()
+            .believed_by(p(1), NonRigidSet::Nonfaulty)
+            .implies(Formula::Nonfaulty(p(1)).implies(phi));
+        assert!(eval.valid(&f));
+    }
+
+    #[test]
+    fn common_knowledge_implies_everyone_knows() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::One);
+        let f = phi
+            .clone()
+            .common(NonRigidSet::Nonfaulty)
+            .implies(phi.everyone(NonRigidSet::Nonfaulty));
+        assert!(eval.valid(&f));
+    }
+
+    #[test]
+    fn continual_common_implies_common() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        for v in Value::ALL {
+            let phi = Formula::exists(v);
+            let f = phi
+                .clone()
+                .continual_common(NonRigidSet::Nonfaulty)
+                .implies(phi.common(NonRigidSet::Nonfaulty));
+            assert!(eval.valid(&f), "C□ ⇒ C failed for ∃{v}");
+        }
+    }
+
+    #[test]
+    fn continual_common_is_constant_along_runs() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let f = Formula::exists(Value::One).continual_common(NonRigidSet::Nonfaulty);
+        let set = eval.eval(&f);
+        for run in system.run_ids() {
+            let base = run.index() * 3;
+            let v0 = set.get(base);
+            for t in 1..3 {
+                assert_eq!(set.get(base + t), v0);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_operators() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        // □φ ⇒ φ and φ ⇒ ◇φ.
+        let phi = Formula::exists(Value::Zero).known_by(p(0));
+        assert!(eval.valid(&phi.clone().always().implies(phi.clone())));
+        assert!(eval.valid(&phi.clone().implies(phi.clone().eventually())));
+        // □̄φ ⇒ □φ.
+        assert!(eval.valid(&phi.clone().always_all().implies(phi.clone().always())));
+        // φ ⇒ ◇̄φ.
+        assert!(eval.valid(&phi.clone().implies(phi.sometime_all())));
+    }
+
+    #[test]
+    fn knowledge_is_monotone_over_time_for_stable_facts() {
+        // With perfect recall, K_i of a run-level fact persists: K_i ∃0 ⇒
+        // □ K_i ∃0.
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let k = Formula::exists(Value::Zero).known_by(p(2));
+        assert!(eval.valid(&k.clone().implies(k.always())));
+    }
+
+    #[test]
+    fn views_where_extracts_state_sets() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let f = Formula::exists(Value::Zero).believed_by(p(0), NonRigidSet::Nonfaulty);
+        let views = eval.views_where(p(0), &f);
+        // Every extracted view sees a zero (B^N implies the fact when the
+        // view occurs for a nonfaulty p0 somewhere — all p0 views here).
+        assert!(!views.is_empty());
+        for v in &views {
+            assert_eq!(system.table().proc(*v), p(0));
+        }
+    }
+
+    #[test]
+    fn registered_state_sets_work_as_atoms() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let sets = StateSets::with_value_seen(system.table(), 3, Value::Zero);
+        let id = eval.register_state_sets(sets);
+        // StateIn(p, A) ⇔ K_p ∃0 — "has seen a zero" is exactly knowing
+        // ∃0 in a full-information system … at least the ⇒ direction: the
+        // view contains a zero, so every compatible run has a zero.
+        let f = Formula::StateIn(p(1), id).implies(Formula::exists(Value::Zero).known_by(p(1)));
+        assert!(eval.valid(&f));
+    }
+
+    #[test]
+    fn run_predicates_broadcast() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let pred: Vec<bool> =
+            system.run_ids().map(|r| system.run(r).config.all_same()).collect();
+        let id = eval.register_run_pred(pred);
+        let f = Formula::RunPred(id)
+            .implies(Formula::exists(Value::Zero).and(Formula::exists(Value::One)).not());
+        assert!(eval.valid(&f));
+    }
+
+    #[test]
+    fn knowledge_hierarchy_c_e_k_d() {
+        // The [HM90] hierarchy over the (always nonempty) nonfaulty set:
+        // C ⇒ E ⇒ B_i (for members) ⇒ D ⇒ φ, and E ⇒ S.
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        for v in Value::ALL {
+            let phi = Formula::exists(v);
+            let n = NonRigidSet::Nonfaulty;
+            let c = phi.clone().common(n);
+            let e = phi.clone().everyone(n);
+            let s = phi.clone().someone(n);
+            let d = phi.clone().distributed(n);
+            assert!(eval.valid(&c.clone().implies(e.clone())));
+            assert!(eval.valid(&e.clone().implies(s.clone())));
+            for i in 0..3 {
+                let member = Formula::Nonfaulty(p(i));
+                let b = phi.clone().believed_by(p(i), n);
+                assert!(eval.valid(&member.clone().and(e.clone()).implies(b.clone())));
+                assert!(eval.valid(&member.and(b).implies(d.clone())));
+            }
+            assert!(eval.valid(&d.implies(phi)));
+        }
+    }
+
+    #[test]
+    fn distributed_knowledge_pools_information() {
+        // At time 0 nobody alone knows ∃0 unless it holds it, but the
+        // group's pooled information always settles ∃0 one way or the
+        // other: D_N(∃0) ∨ D_N(¬∃0) is valid at time 0 … and in fact
+        // everywhere only if the faulty processors' values never matter.
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::Zero);
+        let d_pos = phi.clone().distributed(NonRigidSet::Nonfaulty);
+        let d_neg = phi.clone().not().distributed(NonRigidSet::Nonfaulty);
+        // Pooled knowledge decides ∃0 whenever every processor is
+        // nonfaulty (the failure-free runs), since the group jointly sees
+        // every initial value.
+        let everyone_fine = Formula::conj(
+            (0..3).map(|i| Formula::Nonfaulty(p(i))),
+        );
+        assert!(eval.valid(&everyone_fine.implies(d_pos.clone().or(d_neg))));
+        // A *member's* knowledge feeds the pool — but only a member's: a
+        // faulty processor's private knowledge does not reach D_N.
+        let k = phi.known_by(p(0));
+        let member = Formula::Nonfaulty(p(0));
+        assert!(eval.valid(&member.and(k.clone()).implies(d_pos.clone())));
+        assert!(
+            !eval.valid(&k.clone().implies(d_pos.clone())),
+            "unguarded K_1 ⇒ D_N must fail (the knower may be faulty)"
+        );
+        // And D is strictly stronger than any individual's knowledge.
+        assert!(!eval.valid(&d_pos.implies(k)));
+    }
+
+    #[test]
+    fn everyone_equals_conjunction_of_member_beliefs() {
+        // E_S φ at a point ⟺ every member of S(point) believes φ there —
+        // checked pointwise against per-processor B evaluations.
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let phi = Formula::exists(Value::Zero);
+        let e = eval.eval(&phi.clone().everyone(NonRigidSet::Nonfaulty));
+        let believes: Vec<_> = (0..3)
+            .map(|i| {
+                eval.eval(&phi.clone().believed_by(p(i), NonRigidSet::Nonfaulty))
+            })
+            .collect();
+        for run in system.run_ids() {
+            for time in Time::upto(system.horizon()) {
+                let idx = eval.point_index(run, time);
+                let members = eval.members(NonRigidSet::Nonfaulty, run, time);
+                let expected =
+                    members.iter().all(|i| believes[i.index()].get(idx));
+                assert_eq!(e.get(idx), expected, "run {} {time}", run.index());
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_accessors_are_consistent() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let reach = eval.reachability(NonRigidSet::Nonfaulty);
+        for idx in 0..eval.num_points() {
+            let (run, time) = eval.point_of(idx);
+            let members = reach.members(idx);
+            assert_eq!(members, eval.members(NonRigidSet::Nonfaulty, run, time));
+            // S nonempty ⟺ the point has a component.
+            assert_eq!(members.is_empty(), reach.point_component(idx).is_none());
+            if reach.point_component(idx).is_some() {
+                assert!(reach.run_has_s_points(run));
+                assert!(
+                    (reach.point_component(idx).unwrap() as usize)
+                        < reach.num_point_components()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_nonrigid_set_gives_vacuous_common_knowledge() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        // N ∧ ∅-states is empty everywhere: C□ of anything (even false)
+        // holds.
+        let empty = StateSets::empty(3);
+        let id = eval.register_state_sets(empty);
+        let s = NonRigidSet::NonfaultyAnd(id);
+        assert!(eval.valid(&Formula::False.continual_common(s)));
+        assert!(eval.valid(&Formula::False.common(s)));
+    }
+}

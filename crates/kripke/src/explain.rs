@@ -1,0 +1,185 @@
+//! Human-readable knowledge timelines: for a run, which formulas hold at
+//! which times. Used by the `run_explorer` example and handy when
+//! debugging protocols.
+
+use crate::{Evaluator, Formula};
+use eba_model::Time;
+use eba_sim::RunId;
+use std::fmt;
+
+/// A truth-value timeline of labeled formulas along one run.
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::{explain::Timeline, Evaluator, Formula, NonRigidSet};
+/// use eba_model::{FailureMode, Scenario, Value};
+/// use eba_sim::{GeneratedSystem, RunId};
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// let mut eval = Evaluator::new(&system);
+/// let timeline = Timeline::build(
+///     &mut eval,
+///     RunId::new(0),
+///     &[("C_N ∃0".into(), Formula::exists(Value::Zero).common(NonRigidSet::Nonfaulty))],
+/// );
+/// println!("{timeline}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    run: RunId,
+    labels: Vec<String>,
+    /// `grid[row][time]`.
+    grid: Vec<Vec<bool>>,
+}
+
+impl Timeline {
+    /// Evaluates every labeled formula at every time of `run`.
+    pub fn build(
+        eval: &mut Evaluator<'_>,
+        run: RunId,
+        formulas: &[(String, Formula)],
+    ) -> Timeline {
+        let horizon = eval.system().horizon();
+        let mut labels = Vec::with_capacity(formulas.len());
+        let mut grid = Vec::with_capacity(formulas.len());
+        for (label, formula) in formulas {
+            let satisfied = eval.eval(formula);
+            labels.push(label.clone());
+            grid.push(
+                Time::upto(horizon)
+                    .map(|time| satisfied.get(eval.point_index(run, time)))
+                    .collect(),
+            );
+        }
+        Timeline { run, labels, grid }
+    }
+
+    /// The run this timeline describes.
+    #[must_use]
+    pub fn run(&self) -> RunId {
+        self.run
+    }
+
+    /// Truth value of row `row` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `time` is out of range.
+    #[must_use]
+    pub fn holds(&self, row: usize, time: Time) -> bool {
+        self.grid[row][time.index()]
+    }
+
+    /// The first time row `row` becomes true, if ever.
+    #[must_use]
+    pub fn first_true(&self, row: usize) -> Option<Time> {
+        self.grid[row]
+            .iter()
+            .position(|&b| b)
+            .map(|idx| Time::new(idx as u16))
+    }
+
+    /// Whether row `row` is monotone (never goes from true back to
+    /// false) — the signature of stable knowledge.
+    #[must_use]
+    pub fn is_monotone(&self, row: usize) -> bool {
+        !self.grid[row].windows(2).any(|w| w[0] && !w[1])
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+        let times = self.grid.first().map_or(0, Vec::len);
+        write!(f, "{:>width$} ", "time")?;
+        for t in 0..times {
+            write!(f, "{t:>3}")?;
+        }
+        writeln!(f)?;
+        for (label, row) in self.labels.iter().zip(&self.grid) {
+            let pad = width - label.chars().count();
+            write!(f, "{}{label} ", " ".repeat(pad))?;
+            for &b in row {
+                write!(f, "{:>3}", if b { "●" } else { "·" })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NonRigidSet;
+    use eba_model::{FailureMode, ProcessorId, Scenario, Value};
+    use eba_sim::GeneratedSystem;
+
+    fn build_timeline() -> Timeline {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let mut eval = Evaluator::new(&system);
+        let run = system
+            .find_run(
+                &eba_model::InitialConfig::from_bits(3, 0b110),
+                &eba_model::FailurePattern::failure_free(3),
+            )
+            .unwrap();
+        Timeline::build(
+            &mut eval,
+            run,
+            &[
+                (
+                    "B_2 ∃0".into(),
+                    Formula::exists(Value::Zero)
+                        .believed_by(ProcessorId::new(1), NonRigidSet::Nonfaulty),
+                ),
+                (
+                    "C_N ∃0".into(),
+                    Formula::exists(Value::Zero).common(NonRigidSet::Nonfaulty),
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn knowledge_precedes_common_knowledge() {
+        let timeline = build_timeline();
+        let knows = timeline.first_true(0).expect("p2 learns the 0");
+        let common = timeline.first_true(1).expect("C arises");
+        assert!(knows < common, "{knows} vs {common}");
+        assert_eq!(knows, Time::new(1));
+        assert_eq!(common, Time::new(2));
+    }
+
+    #[test]
+    fn stable_knowledge_is_monotone() {
+        let timeline = build_timeline();
+        assert!(timeline.is_monotone(0));
+        assert!(timeline.is_monotone(1));
+    }
+
+    #[test]
+    fn display_draws_dots_and_bullets() {
+        let timeline = build_timeline();
+        let rendered = timeline.to_string();
+        assert!(rendered.contains("●"));
+        assert!(rendered.contains("·"));
+        assert!(rendered.contains("B_2 ∃0"));
+    }
+
+    #[test]
+    fn holds_matches_first_true() {
+        let timeline = build_timeline();
+        let first = timeline.first_true(0).unwrap();
+        assert!(timeline.holds(0, first));
+        if let Some(prev) = first.prev() {
+            assert!(!timeline.holds(0, prev));
+        }
+    }
+}

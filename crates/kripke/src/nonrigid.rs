@@ -1,0 +1,253 @@
+//! State sets and nonrigid sets of processors.
+
+use eba_model::{ProcessorId, Value};
+use eba_sim::{ViewId, ViewTable};
+use std::collections::HashSet;
+
+/// A family of local-state sets, one per processor: `A = (A_1, …, A_n)`
+/// where `A_i` is a set of full-information views owned by processor `i`.
+///
+/// This is the paper's notion of a *decision set* (Section 4) viewed
+/// structurally: "processor `i`'s current state lies in `A_i`" is a
+/// property of a point that depends only on `i`'s local state. State sets
+/// double as the state-dependent component of nonrigid sets (`N ∧ A`).
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::StateSets;
+/// use eba_model::{ProcessorId, Value};
+/// use eba_sim::ViewTable;
+///
+/// let mut table = ViewTable::new();
+/// let v = table.leaf(ProcessorId::new(0), Value::Zero);
+/// let mut sets = StateSets::empty(2);
+/// sets.insert(ProcessorId::new(0), v);
+/// assert!(sets.contains(ProcessorId::new(0), v));
+/// assert!(!sets.contains(ProcessorId::new(1), v));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateSets {
+    per_proc: Vec<HashSet<ViewId>>,
+}
+
+impl StateSets {
+    /// Creates an empty family for `n` processors.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        StateSets { per_proc: vec![HashSet::new(); n] }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Adds view `v` to `A_p`; returns `true` if newly added.
+    pub fn insert(&mut self, p: ProcessorId, v: ViewId) -> bool {
+        self.per_proc[p.index()].insert(v)
+    }
+
+    /// Whether `v ∈ A_p`.
+    #[must_use]
+    pub fn contains(&self, p: ProcessorId, v: ViewId) -> bool {
+        self.per_proc[p.index()].contains(&v)
+    }
+
+    /// The set `A_p`.
+    #[must_use]
+    pub fn of(&self, p: ProcessorId) -> &HashSet<ViewId> {
+        &self.per_proc[p.index()]
+    }
+
+    /// Total number of views across all processors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_proc.iter().map(HashSet::len).sum()
+    }
+
+    /// Whether every `A_i` is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_proc.iter().all(HashSet::is_empty)
+    }
+
+    /// Whether `A_i ⊆ B_i` for every processor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families have different `n`.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &StateSets) -> bool {
+        assert_eq!(self.n(), other.n());
+        self.per_proc
+            .iter()
+            .zip(&other.per_proc)
+            .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// Pointwise union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families have different `n`.
+    #[must_use]
+    pub fn union(&self, other: &StateSets) -> StateSets {
+        assert_eq!(self.n(), other.n());
+        StateSets {
+            per_proc: self
+                .per_proc
+                .iter()
+                .zip(&other.per_proc)
+                .map(|(a, b)| a.union(b).copied().collect())
+                .collect(),
+        }
+    }
+
+    /// Pointwise difference `A_i \ B_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the families have different `n`.
+    #[must_use]
+    pub fn difference(&self, other: &StateSets) -> StateSets {
+        assert_eq!(self.n(), other.n());
+        StateSets {
+            per_proc: self
+                .per_proc
+                .iter()
+                .zip(&other.per_proc)
+                .map(|(a, b)| a.difference(b).copied().collect())
+                .collect(),
+        }
+    }
+
+    /// Builds the family `{v : predicate(p, v)}` over an explicit list of
+    /// `(owner, view)` pairs.
+    pub fn from_views<F>(n: usize, views: &[(ProcessorId, ViewId)], predicate: F) -> StateSets
+    where
+        F: Fn(ProcessorId, ViewId) -> bool,
+    {
+        let mut sets = StateSets::empty(n);
+        for &(p, v) in views {
+            if predicate(p, v) {
+                sets.insert(p, v);
+            }
+        }
+        sets
+    }
+
+    /// Convenience: the family of all views (from `table`) whose owner has
+    /// learned of an initial value `value` — e.g. the states where
+    /// `B^N_i ∃0` is about to be tested. Mostly useful in tests.
+    #[must_use]
+    pub fn with_value_seen(table: &ViewTable, n: usize, value: Value) -> StateSets {
+        let mut sets = StateSets::empty(n);
+        for idx in 0..table.len() {
+            let v = eba_sim::ViewId::from_index(idx);
+            if table.exists_value(v, value) {
+                let owner = table.proc(v);
+                if owner.index() < n {
+                    sets.insert(owner, v);
+                }
+            }
+        }
+        sets
+    }
+}
+
+/// An identifier of a [`StateSets`] registered with an
+/// [`crate::Evaluator`]; formulas refer to state sets by id so they stay
+/// hashable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateSetsId(pub(crate) u32);
+
+/// An identifier of a per-run predicate registered with an
+/// [`crate::Evaluator`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RunPredId(pub(crate) u32);
+
+/// An identifier of a per-point predicate registered with an
+/// [`crate::Evaluator`] (e.g. the time-dependent `∃0*` of Section 6.2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PointPredId(pub(crate) u32);
+
+/// A nonrigid set of processors (Section 3.1): a function from points to
+/// sets of processors.
+///
+/// The reproduction needs three shapes: the constant full set, the
+/// nonfaulty set `N`, and `N ∧ A` for a state-set family `A` (the
+/// decision-set-indexed nonrigid sets of Sections 4–6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NonRigidSet {
+    /// The constant set of all processors.
+    Everyone,
+    /// The nonfaulty processors `N` (constant along a run, varying across
+    /// runs).
+    Nonfaulty,
+    /// `N ∧ A`: nonfaulty processors whose current local state lies in
+    /// their component of the registered state-set family.
+    NonfaultyAnd(StateSetsId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut table = ViewTable::new();
+        let v0 = table.leaf(p(0), Value::Zero);
+        let v1 = table.leaf(p(1), Value::One);
+        let mut sets = StateSets::empty(2);
+        assert!(sets.is_empty());
+        assert!(sets.insert(p(0), v0));
+        assert!(!sets.insert(p(0), v0));
+        sets.insert(p(1), v1);
+        assert_eq!(sets.len(), 2);
+        assert!(sets.contains(p(0), v0));
+        assert!(!sets.contains(p(1), v0));
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let mut table = ViewTable::new();
+        let v0 = table.leaf(p(0), Value::Zero);
+        let v1 = table.leaf(p(0), Value::One);
+        let mut a = StateSets::empty(1);
+        a.insert(p(0), v0);
+        let mut b = StateSets::empty(1);
+        b.insert(p(0), v0);
+        b.insert(p(0), v1);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        let u = a.union(&b);
+        assert_eq!(u, b);
+    }
+
+    #[test]
+    fn with_value_seen_collects_views() {
+        let mut table = ViewTable::new();
+        let zero = table.leaf(p(0), Value::Zero);
+        let one = table.leaf(p(1), Value::One);
+        let sets = StateSets::with_value_seen(&table, 2, Value::Zero);
+        assert!(sets.contains(p(0), zero));
+        assert!(!sets.contains(p(1), one));
+    }
+
+    #[test]
+    fn equality_supports_fixed_point_detection() {
+        let mut table = ViewTable::new();
+        let v = table.leaf(p(0), Value::Zero);
+        let mut a = StateSets::empty(1);
+        a.insert(p(0), v);
+        let mut b = StateSets::empty(1);
+        b.insert(p(0), v);
+        assert_eq!(a, b);
+    }
+}

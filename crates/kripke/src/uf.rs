@@ -1,0 +1,145 @@
+//! Union-find (disjoint-set) structure for reachability computations.
+
+/// A classic union-find with path halving and union by size, used to
+/// compute the `S`-reachability components behind `C_S` (common knowledge)
+/// and `C□_S` (continual common knowledge).
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(1, 2));
+/// uf.union(1, 2);
+/// assert!(uf.same(0, 3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton components.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `x`'s component.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the components of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Whether `a` and `b` are in the same component.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Resolves every element's representative, returning a vector mapping
+    /// each element to a compact component id in `0..num_components`.
+    pub fn component_ids(&mut self) -> (Vec<u32>, usize) {
+        let len = self.len();
+        let mut ids = vec![u32::MAX; len];
+        let mut next = 0u32;
+        let mut result = vec![0u32; len];
+        // `find` needs `&mut self`, so iterate by index rather than over
+        // `result` mutably.
+        #[allow(clippy::needless_range_loop)]
+        for x in 0..len {
+            let root = self.find(x);
+            if ids[root] == u32::MAX {
+                ids[root] = next;
+                next += 1;
+            }
+            result[x] = ids[root];
+        }
+        (result, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert!(!uf.same(0, 1));
+        assert_eq!(uf.len(), 3);
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+    }
+
+    #[test]
+    fn component_ids_are_compact() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(3, 4);
+        let (ids, count) = uf.component_ids();
+        assert_eq!(count, 4);
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(ids[3], ids[4]);
+        assert_ne!(ids[0], ids[3]);
+        assert!(ids.iter().all(|&i| (i as usize) < count));
+    }
+
+    #[test]
+    fn large_chain() {
+        let mut uf = UnionFind::new(1000);
+        for i in 0..999 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 999));
+        let (_, count) = uf.component_ids();
+        assert_eq!(count, 1);
+    }
+}

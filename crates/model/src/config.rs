@@ -1,0 +1,184 @@
+//! Initial configurations.
+
+use crate::{ProcSet, ProcessorId, Value};
+use std::fmt;
+use std::ops::Index;
+
+/// An initial configuration: the list of the processors' initial values
+/// (Section 2.3 of the paper calls this the system's *initial
+/// configuration*).
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{InitialConfig, ProcessorId, Value};
+///
+/// let config = InitialConfig::from_bits(3, 0b101);
+/// assert_eq!(config[ProcessorId::new(0)], Value::One);
+/// assert_eq!(config[ProcessorId::new(1)], Value::Zero);
+/// assert!(config.exists(Value::Zero) && config.exists(Value::One));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InitialConfig {
+    values: Vec<Value>,
+}
+
+impl InitialConfig {
+    /// Creates a configuration from explicit per-processor values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or longer than
+    /// [`ProcessorId::MAX_PROCESSORS`].
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        assert!(!values.is_empty(), "a system has at least one processor");
+        assert!(values.len() <= ProcessorId::MAX_PROCESSORS);
+        InitialConfig { values }
+    }
+
+    /// Creates a configuration in which every processor holds `value`.
+    #[must_use]
+    pub fn uniform(n: usize, value: Value) -> Self {
+        InitialConfig::new(vec![value; n])
+    }
+
+    /// Creates a configuration from a bit mask: bit `i` gives processor
+    /// `i`'s value (`1 ↦ Value::One`).
+    #[must_use]
+    pub fn from_bits(n: usize, bits: u128) -> Self {
+        InitialConfig::new(
+            (0..n).map(|i| Value::from_bit(bits >> i & 1 == 1)).collect(),
+        )
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The initial value of processor `p`.
+    #[must_use]
+    pub fn value(&self, p: ProcessorId) -> Value {
+        self.values[p.index()]
+    }
+
+    /// The values as a slice, indexed by processor index.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Whether some processor starts with `v` (the paper's `∃0` / `∃1`
+    /// atoms refer to this predicate of the run's configuration).
+    #[must_use]
+    pub fn exists(&self, v: Value) -> bool {
+        self.values.contains(&v)
+    }
+
+    /// Whether all processors start with the same value.
+    #[must_use]
+    pub fn all_same(&self) -> bool {
+        self.values.iter().all(|&v| v == self.values[0])
+    }
+
+    /// The set of processors whose initial value is `v`.
+    #[must_use]
+    pub fn holders(&self, v: Value) -> ProcSet {
+        ProcessorId::all(self.n()).filter(|&p| self.value(p) == v).collect()
+    }
+
+    /// Encodes the configuration as a bit mask (inverse of
+    /// [`InitialConfig::from_bits`]).
+    #[must_use]
+    pub fn to_bits(&self) -> u128 {
+        self.values
+            .iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, v)| acc | (u128::from(v.as_bit()) << i))
+    }
+
+    /// Enumerates all `2^n` configurations of `n` processors, in increasing
+    /// bit-mask order.
+    pub fn enumerate_all(n: usize) -> impl Iterator<Item = InitialConfig> {
+        assert!(n <= 32, "exhaustive configuration enumeration is limited to n ≤ 32");
+        (0u128..(1u128 << n)).map(move |bits| InitialConfig::from_bits(n, bits))
+    }
+}
+
+impl Index<ProcessorId> for InitialConfig {
+    type Output = Value;
+    fn index(&self, p: ProcessorId) -> &Value {
+        &self.values[p.index()]
+    }
+}
+
+impl fmt::Display for InitialConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for bits in 0..16u128 {
+            let c = InitialConfig::from_bits(4, bits);
+            assert_eq!(c.to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn uniform_all_same() {
+        for v in Value::ALL {
+            let c = InitialConfig::uniform(5, v);
+            assert!(c.all_same());
+            assert!(c.exists(v));
+            assert!(!c.exists(v.other()));
+            assert_eq!(c.holders(v).len(), 5);
+        }
+    }
+
+    #[test]
+    fn mixed_configuration() {
+        let c = InitialConfig::from_bits(3, 0b010);
+        assert!(!c.all_same());
+        assert!(c.exists(Value::Zero));
+        assert!(c.exists(Value::One));
+        assert_eq!(c.holders(Value::One), ProcSet::singleton(ProcessorId::new(1)));
+    }
+
+    #[test]
+    fn enumerate_all_is_exhaustive_and_distinct() {
+        let all: Vec<_> = InitialConfig::enumerate_all(3).collect();
+        assert_eq!(all.len(), 8);
+        let mut bits: Vec<_> = all.iter().map(InitialConfig::to_bits).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 8);
+    }
+
+    #[test]
+    fn display() {
+        let c = InitialConfig::from_bits(3, 0b101);
+        assert_eq!(c.to_string(), "⟨1,0,1⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_rejected() {
+        let _ = InitialConfig::new(vec![]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Compact sets of processors.
+
+use crate::ProcessorId;
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitXor, Not, Sub};
+
+/// A set of processors, represented as a 128-bit mask.
+///
+/// `ProcSet` is the workhorse set type of the workspace: failure patterns,
+/// heard-from sets, nonfaulty sets, and nonrigid-set snapshots are all
+/// `ProcSet`s. Supports systems of up to 128 processors.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{ProcSet, ProcessorId};
+///
+/// let mut s = ProcSet::empty();
+/// s.insert(ProcessorId::new(0));
+/// s.insert(ProcessorId::new(2));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(ProcessorId::new(2)));
+/// let all = ProcSet::full(4);
+/// assert_eq!((all - s).len(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProcSet(u128);
+
+impl ProcSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        ProcSet(0)
+    }
+
+    /// The set of all `n` processors `{0, …, n−1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 128, "ProcSet supports at most 128 processors");
+        if n == 128 {
+            ProcSet(u128::MAX)
+        } else {
+            ProcSet((1u128 << n) - 1)
+        }
+    }
+
+    /// The singleton set `{p}`.
+    #[must_use]
+    pub fn singleton(p: ProcessorId) -> Self {
+        ProcSet(1u128 << p.index())
+    }
+
+    /// Builds a set from a raw bit mask. Bit `i` corresponds to processor `i`.
+    #[must_use]
+    pub const fn from_bits(bits: u128) -> Self {
+        ProcSet(bits)
+    }
+
+    /// Returns the raw bit mask.
+    #[must_use]
+    pub const fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Tests whether `p` is a member.
+    #[must_use]
+    pub fn contains(self, p: ProcessorId) -> bool {
+        self.0 & (1u128 << p.index()) != 0
+    }
+
+    /// Inserts `p`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, p: ProcessorId) -> bool {
+        let bit = 1u128 << p.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Removes `p`; returns `true` if it was present.
+    pub fn remove(&mut self, p: ProcessorId) -> bool {
+        let bit = 1u128 << p.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub const fn is_subset(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the two sets share no members.
+    #[must_use]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersection(self, other: Self) -> Self {
+        ProcSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        ProcSet(self.0 | other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub const fn difference(self, other: Self) -> Self {
+        ProcSet(self.0 & !other.0)
+    }
+
+    /// Complement relative to the full set of `n` processors.
+    #[must_use]
+    pub fn complement(self, n: usize) -> Self {
+        ProcSet(!self.0 & Self::full(n).0)
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The member with the smallest index, if any.
+    #[must_use]
+    pub fn first(self) -> Option<ProcessorId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(ProcessorId::new(self.0.trailing_zeros() as usize))
+        }
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`], in increasing index order.
+#[derive(Clone, Debug)]
+pub struct Iter(u128);
+
+impl Iterator for Iter {
+    type Item = ProcessorId;
+
+    fn next(&mut self) -> Option<ProcessorId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(ProcessorId::new(idx))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let k = self.0.count_ones() as usize;
+        (k, Some(k))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for ProcSet {
+    type Item = ProcessorId;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl FromIterator<ProcessorId> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = ProcessorId>>(iter: I) -> Self {
+        let mut s = ProcSet::empty();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl Extend<ProcessorId> for ProcSet {
+    fn extend<I: IntoIterator<Item = ProcessorId>>(&mut self, iter: I) {
+        for p in iter {
+            self.insert(p);
+        }
+    }
+}
+
+impl BitAnd for ProcSet {
+    type Output = ProcSet;
+    fn bitand(self, rhs: Self) -> Self {
+        self.intersection(rhs)
+    }
+}
+
+impl BitOr for ProcSet {
+    type Output = ProcSet;
+    fn bitor(self, rhs: Self) -> Self {
+        self.union(rhs)
+    }
+}
+
+impl BitXor for ProcSet {
+    type Output = ProcSet;
+    fn bitxor(self, rhs: Self) -> Self {
+        ProcSet(self.0 ^ rhs.0)
+    }
+}
+
+impl Sub for ProcSet {
+    type Output = ProcSet;
+    fn sub(self, rhs: Self) -> Self {
+        self.difference(rhs)
+    }
+}
+
+impl Not for ProcSet {
+    type Output = ProcSet;
+    /// Bitwise complement over all 128 potential processors; prefer
+    /// [`ProcSet::complement`] when the system size is known.
+    fn not(self) -> Self {
+        ProcSet(!self.0)
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|p| p.index())).finish()
+    }
+}
+
+impl fmt::Display for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, p) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterates over all subsets of `base`, including the empty set and `base`
+/// itself, in an unspecified but deterministic order.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{ProcSet, procset_subsets};
+///
+/// let base = ProcSet::full(3);
+/// let subsets: Vec<_> = procset_subsets(base).collect();
+/// assert_eq!(subsets.len(), 8);
+/// ```
+pub fn subsets(base: ProcSet) -> Subsets {
+    Subsets { base: base.bits(), current: 0, done: false }
+}
+
+/// Iterator over all subsets of a [`ProcSet`]; see [`subsets`].
+#[derive(Clone, Debug)]
+pub struct Subsets {
+    base: u128,
+    current: u128,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = ProcSet;
+
+    fn next(&mut self) -> Option<ProcSet> {
+        if self.done {
+            return None;
+        }
+        let result = ProcSet::from_bits(self.current);
+        if self.current == self.base {
+            self.done = true;
+        } else {
+            // Standard trick: enumerate sub-masks of `base` in increasing
+            // numeric order.
+            self.current = (self.current.wrapping_sub(self.base)) & self.base;
+        }
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn empty_and_full() {
+        assert!(ProcSet::empty().is_empty());
+        assert_eq!(ProcSet::full(5).len(), 5);
+        assert_eq!(ProcSet::full(128).len(), 128);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::empty();
+        assert!(s.insert(p(3)));
+        assert!(!s.insert(p(3)));
+        assert!(s.contains(p(3)));
+        assert!(s.remove(p(3)));
+        assert!(!s.remove(p(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ProcSet = [p(0), p(1)].into_iter().collect();
+        let b: ProcSet = [p(1), p(2)].into_iter().collect();
+        assert_eq!((a | b).len(), 3);
+        assert_eq!((a & b).len(), 1);
+        assert_eq!((a - b).len(), 1);
+        assert_eq!((a ^ b).len(), 2);
+        assert!(a.intersection(b).contains(p(1)));
+        assert!((a - b).contains(p(0)));
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a: ProcSet = [p(0)].into_iter().collect();
+        let b: ProcSet = [p(0), p(1)].into_iter().collect();
+        let c: ProcSet = [p(2)].into_iter().collect();
+        assert!(a.is_subset(b));
+        assert!(!b.is_subset(a));
+        assert!(a.is_disjoint(c));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn complement_respects_n() {
+        let a: ProcSet = [p(0)].into_iter().collect();
+        let comp = a.complement(3);
+        assert_eq!(comp, [p(1), p(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let s: ProcSet = [p(5), p(1), p(9)].into_iter().collect();
+        let v: Vec<_> = s.iter().map(ProcessorId::index).collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(s.first(), Some(p(1)));
+        assert_eq!(ProcSet::empty().first(), None);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let base = ProcSet::full(4);
+        let all: Vec<_> = subsets(base).collect();
+        assert_eq!(all.len(), 16);
+        // All distinct.
+        let mut sorted: Vec<u128> = all.iter().map(|s| s.bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16);
+        // Every element is a subset of base.
+        assert!(all.iter().all(|s| s.is_subset(base)));
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let all: Vec<_> = subsets(ProcSet::empty()).collect();
+        assert_eq!(all, vec![ProcSet::empty()]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s: ProcSet = [p(0), p(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{p1, p3}");
+        assert_eq!(format!("{s:?}"), "{0, 2}");
+    }
+}

@@ -1,0 +1,334 @@
+//! Seeded random and adversarial failure-pattern generation.
+//!
+//! Exhaustive enumeration ([`crate::enumerate`]) is exact but limited to
+//! small scenarios; the samplers here generate reproducible random runs for
+//! larger ones. All sampling is driven by an explicit [`rand::Rng`], so
+//! experiments are deterministic given a seed.
+
+use crate::{
+    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
+    Scenario, Value,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A configurable random failure-pattern sampler.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{sample::PatternSampler, FailureMode, Scenario};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(16, 4, FailureMode::Omission, 6)?;
+/// let sampler = PatternSampler::new(scenario).omission_density(0.25);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let pattern = sampler.sample(&mut rng);
+/// assert!(scenario.validate_pattern(&pattern).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PatternSampler {
+    scenario: Scenario,
+    clean_probability: f64,
+    omission_density: f64,
+    exact_faulty: Option<usize>,
+}
+
+impl PatternSampler {
+    /// Creates a sampler with default parameters: faulty count uniform in
+    /// `0..=t`, clean probability 0.1, omission density 0.3.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        PatternSampler {
+            scenario,
+            clean_probability: 0.1,
+            omission_density: 0.3,
+            exact_faulty: None,
+        }
+    }
+
+    /// Sets the probability that a faulty processor is clean within the
+    /// horizon (fails only later).
+    #[must_use]
+    pub fn clean_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.clean_probability = p;
+        self
+    }
+
+    /// Sets the per-(round, receiver) omission probability used in
+    /// omission mode.
+    #[must_use]
+    pub fn omission_density(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.omission_density = p;
+        self
+    }
+
+    /// Forces every sampled pattern to have exactly `f` faulty processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f > t`.
+    #[must_use]
+    pub fn exact_faulty(mut self, f: usize) -> Self {
+        assert!(f <= self.scenario.t(), "f = {f} exceeds t = {}", self.scenario.t());
+        self.exact_faulty = Some(f);
+        self
+    }
+
+    /// Samples one failure pattern.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> FailurePattern {
+        let n = self.scenario.n();
+        let f = self
+            .exact_faulty
+            .unwrap_or_else(|| rng.gen_range(0..=self.scenario.t()));
+        let mut ids: Vec<ProcessorId> = ProcessorId::all(n).collect();
+        ids.shuffle(rng);
+        let mut pattern = FailurePattern::failure_free(n);
+        for &p in ids.iter().take(f) {
+            pattern.set_behavior(p, self.sample_behavior(p, rng));
+        }
+        pattern
+    }
+
+    /// Samples one faulty behavior for processor `p`.
+    pub fn sample_behavior<R: Rng + ?Sized>(
+        &self,
+        p: ProcessorId,
+        rng: &mut R,
+    ) -> FaultyBehavior {
+        let n = self.scenario.n();
+        let horizon = self.scenario.horizon();
+        let others = ProcSet::full(n) - ProcSet::singleton(p);
+        match self.scenario.mode() {
+            FailureMode::Crash => {
+                if rng.gen_bool(self.clean_probability) {
+                    return FaultyBehavior::Clean;
+                }
+                let round = Round::new(rng.gen_range(1..=horizon.ticks()));
+                let receivers: ProcSet =
+                    others.iter().filter(|_| rng.gen_bool(0.5)).collect();
+                FaultyBehavior::Crash { round, receivers }
+            }
+            FailureMode::Omission => {
+                let omissions: Vec<ProcSet> = (0..horizon.index())
+                    .map(|_| {
+                        others
+                            .iter()
+                            .filter(|_| rng.gen_bool(self.omission_density))
+                            .collect()
+                    })
+                    .collect();
+                FaultyBehavior::Omission { omissions }
+            }
+            FailureMode::GeneralOmission => {
+                let vector = |rng: &mut R| -> Vec<ProcSet> {
+                    (0..horizon.index())
+                        .map(|_| {
+                            others
+                                .iter()
+                                .filter(|_| rng.gen_bool(self.omission_density))
+                                .collect()
+                        })
+                        .collect()
+                };
+                FaultyBehavior::GeneralOmission { send: vector(rng), receive: vector(rng) }
+            }
+        }
+    }
+}
+
+/// Samples a uniformly random initial configuration of `n` processors.
+pub fn random_config<R: Rng + ?Sized>(n: usize, rng: &mut R) -> InitialConfig {
+    InitialConfig::new((0..n).map(|_| Value::from_bit(rng.gen_bool(0.5))).collect())
+}
+
+/// Samples a configuration in which each processor independently holds 0
+/// with probability `zero_probability`.
+///
+/// With uniform sampling a large system almost surely contains a 0 and
+/// every interesting protocol decides 0 immediately; biasing the zeros
+/// sparse (or away entirely) exercises the decide-1 rules that the
+/// paper's optimization is about.
+///
+/// # Panics
+///
+/// Panics if `zero_probability` is outside `[0, 1]`.
+pub fn random_config_biased<R: Rng + ?Sized>(
+    n: usize,
+    zero_probability: f64,
+    rng: &mut R,
+) -> InitialConfig {
+    InitialConfig::new(
+        (0..n)
+            .map(|_| Value::from_bit(!rng.gen_bool(zero_probability)))
+            .collect(),
+    )
+}
+
+/// The classic lower-bound adversary: a *silence chain*.
+///
+/// Processor `chain[k]` crashes in round `k + 1`, delivering its
+/// crash-round message only to `chain[k + 1]` (the last chain member
+/// delivers to nobody). This is the pattern family behind the `t + 1`
+/// round lower bound (\[DS82\]) and behind the runs used in the proofs of
+/// Theorem 6.2: information about an initial value travels along a single
+/// thread that dies with the chain.
+///
+/// # Panics
+///
+/// Panics if the chain is empty, longer than the horizon, longer than `t`,
+/// or contains duplicates.
+#[must_use]
+pub fn silence_chain(scenario: &Scenario, chain: &[ProcessorId]) -> FailurePattern {
+    assert!(!chain.is_empty(), "a silence chain needs at least one processor");
+    assert!(chain.len() <= scenario.t(), "chain exceeds the failure bound t");
+    assert!(
+        chain.len() <= scenario.horizon().index(),
+        "chain exceeds the horizon"
+    );
+    let distinct: ProcSet = chain.iter().copied().collect();
+    assert_eq!(distinct.len(), chain.len(), "chain members must be distinct");
+
+    let mut pattern = FailurePattern::failure_free(scenario.n());
+    for (k, &p) in chain.iter().enumerate() {
+        let round = Round::new(k as u16 + 1);
+        let receivers = match chain.get(k + 1) {
+            Some(&next) => ProcSet::singleton(next),
+            None => ProcSet::empty(),
+        };
+        let behavior = match scenario.mode() {
+            FailureMode::Crash => FaultyBehavior::Crash { round, receivers },
+            FailureMode::Omission | FailureMode::GeneralOmission => {
+                let others = ProcSet::full(scenario.n()) - ProcSet::singleton(p);
+                let omissions = (1..=scenario.horizon().ticks())
+                    .map(|r| {
+                        if r < round.number() {
+                            ProcSet::empty()
+                        } else if r == round.number() {
+                            others - receivers
+                        } else {
+                            others
+                        }
+                    })
+                    .collect();
+                FaultyBehavior::Omission { omissions }
+            }
+        };
+        pattern.set_behavior(p, behavior);
+    }
+    pattern
+}
+
+/// A pattern in which `p` is silent from the very first round (crashes in
+/// round 1 delivering nothing, or omits everything in omission mode) —
+/// the adversary of Proposition 6.3's witness run.
+#[must_use]
+pub fn silent_processor(scenario: &Scenario, p: ProcessorId) -> FailurePattern {
+    silence_chain(scenario, &[p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn sampled_patterns_validate() {
+        for mode in FailureMode::ALL {
+            let scenario = Scenario::new(8, 3, mode, 5).unwrap();
+            let sampler = PatternSampler::new(scenario);
+            let mut rng = StdRng::seed_from_u64(42);
+            for _ in 0..200 {
+                let pat = sampler.sample(&mut rng);
+                scenario.validate_pattern(&pat).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let scenario = Scenario::new(8, 3, FailureMode::Crash, 5).unwrap();
+        let sampler = PatternSampler::new(scenario);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn exact_faulty_is_respected() {
+        let scenario = Scenario::new(8, 4, FailureMode::Omission, 4).unwrap();
+        let sampler = PatternSampler::new(scenario).exact_faulty(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(sampler.sample(&mut rng).num_faulty(), 4);
+        }
+    }
+
+    #[test]
+    fn random_config_covers_both_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen_zero = false;
+        let mut seen_one = false;
+        for _ in 0..50 {
+            let c = random_config(6, &mut rng);
+            seen_zero |= c.exists(Value::Zero);
+            seen_one |= c.exists(Value::One);
+        }
+        assert!(seen_zero && seen_one);
+    }
+
+    #[test]
+    fn silence_chain_crash_structure() {
+        let scenario = Scenario::new(5, 2, FailureMode::Crash, 4).unwrap();
+        let pattern = silence_chain(&scenario, &[p(0), p(1)]);
+        scenario.validate_pattern(&pattern).unwrap();
+        // p0 delivers its round-1 message only to p1.
+        assert!(pattern.delivers(p(0), p(1), Round::new(1)));
+        assert!(!pattern.delivers(p(0), p(2), Round::new(1)));
+        assert!(!pattern.delivers(p(0), p(1), Round::new(2)));
+        // p1 delivers its round-2 message to nobody.
+        assert!(pattern.delivers(p(1), p(2), Round::new(1)));
+        assert!(!pattern.delivers(p(1), p(2), Round::new(2)));
+    }
+
+    #[test]
+    fn silence_chain_omission_structure() {
+        let scenario = Scenario::new(5, 2, FailureMode::Omission, 4).unwrap();
+        let pattern = silence_chain(&scenario, &[p(0), p(1)]);
+        scenario.validate_pattern(&pattern).unwrap();
+        assert!(pattern.delivers(p(0), p(1), Round::new(1)));
+        assert!(!pattern.delivers(p(0), p(2), Round::new(1)));
+        assert!(!pattern.delivers(p(0), p(3), Round::new(3)));
+    }
+
+    #[test]
+    fn silent_processor_is_silent() {
+        let scenario = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+        let pattern = silent_processor(&scenario, p(2));
+        for r in 1..=3 {
+            for q in [0, 1, 3] {
+                assert!(!pattern.delivers(p(2), p(q), Round::new(r)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn silence_chain_rejects_duplicates() {
+        let scenario = Scenario::new(5, 2, FailureMode::Crash, 4).unwrap();
+        let _ = silence_chain(&scenario, &[p(0), p(0)]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Finite system scenarios.
+
+use crate::{FailureMode, FailurePattern, ModelError, Time};
+use std::fmt;
+
+/// A fully-specified finite instance of the paper's model: `n` processors,
+/// at most `t` of which may be faulty, a [`FailureMode`], and a finite
+/// *horizon* (the number of rounds a generated system simulates).
+///
+/// # Horizon
+///
+/// The paper's systems contain runs of unbounded length; the reproduction
+/// works with a finite horizon `T`. Every protocol studied in the paper
+/// decides by time `t + 1` (crash) or `f + 1 ≤ t + 1` (the omission-mode
+/// 0-chain protocol), so a horizon of `t + 2`
+/// ([`Scenario::recommended_horizon`]) captures every decision and makes
+/// the knowledge tests the protocols use stable; see DESIGN.md §2 and the
+/// horizon ablation in EXP10.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailureMode, Scenario};
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let s = Scenario::new(4, 1, FailureMode::Crash, 3)?;
+/// assert_eq!(s.n(), 4);
+/// assert_eq!(s.t(), 1);
+/// assert_eq!(s.horizon().ticks(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Scenario {
+    n: usize,
+    t: usize,
+    mode: FailureMode,
+    horizon: Time,
+}
+
+impl Scenario {
+    /// Creates a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] if `n < 2`, `n > 128`,
+    /// `t ≥ n`, or `horizon < 1`.
+    pub fn new(
+        n: usize,
+        t: usize,
+        mode: FailureMode,
+        horizon: u16,
+    ) -> Result<Self, ModelError> {
+        if n < 2 {
+            return Err(ModelError::invalid_scenario("need at least two processors"));
+        }
+        if n > crate::ProcessorId::MAX_PROCESSORS {
+            return Err(ModelError::invalid_scenario(format!(
+                "n = {n} exceeds the supported maximum of {}",
+                crate::ProcessorId::MAX_PROCESSORS
+            )));
+        }
+        if t >= n {
+            return Err(ModelError::invalid_scenario(format!(
+                "t = {t} must be smaller than n = {n}"
+            )));
+        }
+        if horizon == 0 {
+            return Err(ModelError::invalid_scenario("horizon must cover at least one round"));
+        }
+        Ok(Scenario { n, t, mode, horizon: Time::new(horizon) })
+    }
+
+    /// Creates a scenario with the recommended horizon `t + 2`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scenario::new`].
+    pub fn with_recommended_horizon(
+        n: usize,
+        t: usize,
+        mode: FailureMode,
+    ) -> Result<Self, ModelError> {
+        Scenario::new(n, t, mode, t as u16 + 2)
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Upper bound on the number of faulty processors.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The failure mode.
+    #[must_use]
+    pub fn mode(&self) -> FailureMode {
+        self.mode
+    }
+
+    /// The horizon: generated runs cover times `0..=horizon`.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The recommended horizon for this `(n, t)`: `t + 2` rounds.
+    #[must_use]
+    pub fn recommended_horizon(&self) -> Time {
+        Time::new(self.t as u16 + 2)
+    }
+
+    /// Returns a copy of this scenario with a different horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] if `horizon < 1`.
+    pub fn with_horizon(self, horizon: u16) -> Result<Self, ModelError> {
+        Scenario::new(self.n, self.t, self.mode, horizon)
+    }
+
+    /// Validates a failure pattern against this scenario.
+    ///
+    /// # Errors
+    ///
+    /// See [`FailurePattern::validate`]; additionally rejects patterns
+    /// whose processor count differs from `n`.
+    pub fn validate_pattern(&self, pattern: &FailurePattern) -> Result<(), ModelError> {
+        if pattern.n() != self.n {
+            return Err(ModelError::invalid_pattern(format!(
+                "pattern is over {} processors, scenario has {}",
+                pattern.n(),
+                self.n
+            )));
+        }
+        pattern.validate(self.mode, self.t, self.horizon)
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} t={} mode={} T={}",
+            self.n,
+            self.t,
+            self.mode,
+            self.horizon.ticks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultyBehavior, ProcessorId};
+
+    #[test]
+    fn valid_scenario() {
+        let s = Scenario::new(4, 2, FailureMode::Omission, 4).unwrap();
+        assert_eq!(s.n(), 4);
+        assert_eq!(s.t(), 2);
+        assert_eq!(s.mode(), FailureMode::Omission);
+        assert_eq!(s.horizon(), Time::new(4));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Scenario::new(1, 0, FailureMode::Crash, 2).is_err());
+        assert!(Scenario::new(3, 3, FailureMode::Crash, 2).is_err());
+        assert!(Scenario::new(3, 1, FailureMode::Crash, 0).is_err());
+        assert!(Scenario::new(129, 1, FailureMode::Crash, 2).is_err());
+    }
+
+    #[test]
+    fn recommended_horizon_is_t_plus_two() {
+        let s = Scenario::with_recommended_horizon(5, 2, FailureMode::Crash).unwrap();
+        assert_eq!(s.horizon(), Time::new(4));
+        assert_eq!(s.recommended_horizon(), Time::new(4));
+    }
+
+    #[test]
+    fn with_horizon_changes_only_horizon() {
+        let s = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+        let s2 = s.with_horizon(5).unwrap();
+        assert_eq!(s2.horizon(), Time::new(5));
+        assert_eq!(s2.n(), 4);
+    }
+
+    #[test]
+    fn validate_pattern_checks_size_and_content() {
+        let s = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        assert!(s.validate_pattern(&FailurePattern::failure_free(4)).is_err());
+        assert!(s.validate_pattern(&FailurePattern::failure_free(3)).is_ok());
+        let bad = FailurePattern::failure_free(3).with_behavior(
+            ProcessorId::new(0),
+            FaultyBehavior::Omission { omissions: vec![] },
+        );
+        assert!(s.validate_pattern(&bad).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+        assert_eq!(s.to_string(), "n=4 t=1 mode=crash T=3");
+    }
+}

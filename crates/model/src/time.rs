@@ -1,0 +1,207 @@
+//! The synchronous global clock.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the shared global clock, starting at 0.
+///
+/// Following Section 2.3 of the paper, *round* `k` takes place between time
+/// `k − 1` and time `k`: messages are sent *during* a round, while decisions
+/// are made *at* a time.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{Round, Time};
+///
+/// let t = Time::new(3);
+/// assert_eq!(t.ending_round(), Some(Round::new(3)));
+/// assert_eq!(Time::ZERO.ending_round(), None);
+/// assert_eq!(Round::new(3).end(), t);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Time(u16);
+
+impl Time {
+    /// Time 0, the start of every run.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from a raw tick count.
+    #[must_use]
+    pub fn new(ticks: u16) -> Self {
+        Time(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[must_use]
+    pub fn ticks(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw tick count as a `usize`, for indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The round that ends at this time, or `None` at time 0.
+    #[must_use]
+    pub fn ending_round(self) -> Option<Round> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Round(self.0))
+        }
+    }
+
+    /// The next time tick.
+    #[must_use]
+    pub fn next(self) -> Time {
+        Time(self.0 + 1)
+    }
+
+    /// The previous time tick, or `None` at time 0.
+    #[must_use]
+    pub fn prev(self) -> Option<Time> {
+        self.0.checked_sub(1).map(Time)
+    }
+
+    /// Iterates over all times `0..=horizon`.
+    pub fn upto(horizon: Time) -> impl DoubleEndedIterator<Item = Time> + Clone {
+        (0..=horizon.0).map(Time)
+    }
+}
+
+impl Add<u16> for Time {
+    type Output = Time;
+    fn add(self, rhs: u16) -> Time {
+        Time(self.0 + rhs)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u16;
+    /// Number of ticks between two times.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`.
+    fn sub(self, rhs: Time) -> u16 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A communication round, numbered from 1.
+///
+/// Round `k` takes place between [`Time`] `k − 1` and time `k`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Round(u16);
+
+impl Round {
+    /// The first round.
+    pub const FIRST: Round = Round(1);
+
+    /// Creates a round from its (one-based) number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number == 0`; rounds start at 1.
+    #[must_use]
+    pub fn new(number: u16) -> Self {
+        assert!(number >= 1, "rounds are numbered from 1");
+        Round(number)
+    }
+
+    /// The one-based round number.
+    #[must_use]
+    pub fn number(self) -> u16 {
+        self.0
+    }
+
+    /// The time at which the round starts (`k − 1`).
+    #[must_use]
+    pub fn start(self) -> Time {
+        Time(self.0 - 1)
+    }
+
+    /// The time at which the round ends (`k`).
+    #[must_use]
+    pub fn end(self) -> Time {
+        Time(self.0)
+    }
+
+    /// The next round.
+    #[must_use]
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// Iterates over rounds `1..=last` (all rounds within a horizon of
+    /// `last` time ticks).
+    pub fn upto(last: Time) -> impl DoubleEndedIterator<Item = Round> + Clone {
+        (1..=last.ticks()).map(Round)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_time_correspondence() {
+        let r = Round::new(4);
+        assert_eq!(r.start(), Time::new(3));
+        assert_eq!(r.end(), Time::new(4));
+        assert_eq!(Time::new(4).ending_round(), Some(r));
+        assert_eq!(Time::ZERO.ending_round(), None);
+    }
+
+    #[test]
+    fn next_prev() {
+        assert_eq!(Time::ZERO.next(), Time::new(1));
+        assert_eq!(Time::new(1).prev(), Some(Time::ZERO));
+        assert_eq!(Time::ZERO.prev(), None);
+        assert_eq!(Round::FIRST.next(), Round::new(2));
+    }
+
+    #[test]
+    fn iterators_cover_horizon() {
+        let times: Vec<_> = Time::upto(Time::new(3)).collect();
+        assert_eq!(times.len(), 4);
+        let rounds: Vec<_> = Round::upto(Time::new(3)).collect();
+        assert_eq!(rounds.len(), 3);
+        assert_eq!(rounds[0], Round::FIRST);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn round_zero_rejected() {
+        let _ = Round::new(0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Time::new(2) + 3, Time::new(5));
+        assert_eq!(Time::new(5) - Time::new(2), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Time::new(2).to_string(), "t2");
+        assert_eq!(Round::new(2).to_string(), "r2");
+    }
+}

@@ -1,0 +1,116 @@
+//! Binary agreement values.
+
+use std::fmt;
+
+/// An agreement value, `V = {0, 1}` in the paper.
+///
+/// The paper focuses on binary agreement; extending to larger value sets is
+/// straightforward (Section 2.1) but binary suffices to reproduce every
+/// result, so we keep the set small and `Copy`.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::Value;
+///
+/// assert_eq!(Value::Zero.other(), Value::One);
+/// assert_eq!(Value::from_bit(true), Value::One);
+/// assert_eq!(Value::Zero.to_string(), "0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Value {
+    /// The value 0.
+    Zero,
+    /// The value 1.
+    One,
+}
+
+impl Value {
+    /// Both values, in numeric order.
+    pub const ALL: [Value; 2] = [Value::Zero, Value::One];
+
+    /// Returns the other value (`1 − v`).
+    #[must_use]
+    pub fn other(self) -> Value {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+        }
+    }
+
+    /// Converts a bit to a value: `false ↦ 0`, `true ↦ 1`.
+    #[must_use]
+    pub fn from_bit(bit: bool) -> Value {
+        if bit {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+
+    /// Returns the value as a bit: `0 ↦ false`, `1 ↦ true`.
+    #[must_use]
+    pub fn as_bit(self) -> bool {
+        matches!(self, Value::One)
+    }
+
+    /// Returns the value as the integer 0 or 1.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        self.as_bit() as u8
+    }
+}
+
+impl Default for Value {
+    /// Defaults to `Zero`, matching the numeric default.
+    fn default() -> Self {
+        Value::Zero
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(bit: bool) -> Self {
+        Value::from_bit(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for v in Value::ALL {
+            assert_eq!(v.other().other(), v);
+            assert_ne!(v.other(), v);
+        }
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        for v in Value::ALL {
+            assert_eq!(Value::from_bit(v.as_bit()), v);
+        }
+        assert_eq!(Value::from(false), Value::Zero);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Value::Zero.to_string(), "0");
+        assert_eq!(Value::One.to_string(), "1");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Value::Zero < Value::One);
+        assert_eq!(Value::Zero.as_u8(), 0);
+        assert_eq!(Value::One.as_u8(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Round-trip tests for the optional `serde` feature
+//! (`cargo test -p eba-model --features serde`).
+
+#![cfg(feature = "serde")]
+
+use eba_model::{
+    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
+    Round, Scenario, Time, Value,
+};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn scalar_types_round_trip() {
+    for v in Value::ALL {
+        assert_eq!(round_trip(&v), v);
+    }
+    let p = ProcessorId::new(7);
+    assert_eq!(round_trip(&p), p);
+    let t = Time::new(5);
+    assert_eq!(round_trip(&t), t);
+    let r = Round::new(3);
+    assert_eq!(round_trip(&r), r);
+}
+
+#[test]
+fn procset_round_trips() {
+    let s: ProcSet = [0usize, 3, 127]
+        .into_iter()
+        .map(ProcessorId::new)
+        .collect();
+    assert_eq!(round_trip(&s), s);
+    assert_eq!(round_trip(&ProcSet::empty()), ProcSet::empty());
+}
+
+#[test]
+fn config_round_trips() {
+    let c = InitialConfig::from_bits(6, 0b101101);
+    assert_eq!(round_trip(&c), c);
+}
+
+#[test]
+fn failure_patterns_round_trip() {
+    let pattern = FailurePattern::failure_free(4)
+        .with_behavior(
+            ProcessorId::new(0),
+            FaultyBehavior::Crash {
+                round: Round::new(2),
+                receivers: ProcSet::singleton(ProcessorId::new(1)),
+            },
+        )
+        .with_behavior(
+            ProcessorId::new(2),
+            FaultyBehavior::GeneralOmission {
+                send: vec![ProcSet::empty(), ProcSet::singleton(ProcessorId::new(3))],
+                receive: vec![ProcSet::singleton(ProcessorId::new(0)), ProcSet::empty()],
+            },
+        );
+    assert_eq!(round_trip(&pattern), pattern);
+}
+
+#[test]
+fn scenarios_round_trip() {
+    for mode in FailureMode::ALL_EXTENDED {
+        let scenario = Scenario::new(5, 2, mode, 4).unwrap();
+        assert_eq!(round_trip(&scenario), scenario);
+    }
+}
+
+#[test]
+fn pattern_survives_reserialization_and_still_validates() {
+    let scenario = Scenario::new(4, 2, FailureMode::Omission, 3).unwrap();
+    let pattern = FailurePattern::failure_free(4).with_behavior(
+        ProcessorId::new(1),
+        FaultyBehavior::Omission {
+            omissions: vec![ProcSet::empty(); 3],
+        },
+    );
+    let back = round_trip(&pattern);
+    scenario.validate_pattern(&back).unwrap();
+}

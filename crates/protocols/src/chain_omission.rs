@@ -1,0 +1,331 @@
+//! The 0-chain accept/accuse protocol: message-level omission-mode EBA
+//! (Section 6.2, Proposition 6.4).
+
+use eba_model::{ProcSet, ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// Message-level implementation of the terminating omission-mode EBA
+/// protocol `FIP(Z⁰, O⁰)` of Section 6.2, with linear-size messages.
+///
+/// Rules:
+///
+/// * every processor broadcasts, every round, the set of processors it
+///   knows to be faulty (in the sending-omission mode a missing message
+///   *proves* its sender faulty, and processors never lie, so
+///   accusations are sound);
+/// * a 0-holder decides 0 at time 0 and broadcasts the chain `[itself]`
+///   in round 1;
+/// * a processor that receives, in round `m`, a chain of `m` distinct
+///   processors ending in a sender it does not (yet) know to be faulty,
+///   *accepts*: it decides 0 and broadcasts the chain extended with
+///   itself in round `m + 1` (cf. the `∃0*` acceptance rule and \[DS82\]);
+/// * a processor that completes a round in which it learns of **no new
+///   failures** without having accepted decides 1 (the quiet-round rule
+///   from the proof of Proposition 6.4).
+///
+/// In a run with `f` actual failures, at most `f` rounds can each reveal
+/// a new failure, so every nonfaulty processor decides by time `f + 1`.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailurePattern, InitialConfig, ProcessorId, Time, Value};
+/// use eba_protocols::ChainOmission;
+/// use eba_sim::execute;
+///
+/// let protocol = ChainOmission::new(4);
+/// let config = InitialConfig::uniform(4, Value::One);
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(5));
+/// // Failure-free all-ones: round 1 is quiet, decide 1 at time 1 = f+1.
+/// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(1)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChainOmission {
+    n: usize,
+}
+
+impl ChainOmission {
+    /// Creates the protocol for `n` processors.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ChainOmission { n }
+    }
+}
+
+/// A [`ChainOmission`] message: fault accusations plus an optional
+/// 0-chain being relayed.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ChainMessage {
+    /// Every processor the sender knows to be faulty.
+    pub known_faulty: ProcSet,
+    /// A 0-chain the sender accepted in the previous round (ending with
+    /// the sender itself), if any.
+    pub chain: Option<Vec<ProcessorId>>,
+}
+
+/// The local state of [`ChainOmission`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ChainState {
+    me: ProcessorId,
+    n: u8,
+    /// Processors known to be faulty (own observations + accusations).
+    pub known_faulty: ProcSet,
+    /// The accepted chain (ending with `me`) and the round to relay it in.
+    accepted: Option<(Vec<ProcessorId>, u16)>,
+    /// Rounds completed.
+    now: u16,
+    /// Latched decision.
+    decided: Option<Value>,
+}
+
+impl Protocol for ChainOmission {
+    type State = ChainState;
+    type Message = ChainMessage;
+
+    fn name(&self) -> &str {
+        "ChainOmission"
+    }
+
+    fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> ChainState {
+        assert_eq!(n, self.n, "protocol instantiated for a different system size");
+        let zero = value == Value::Zero;
+        ChainState {
+            me: p,
+            n: n as u8,
+            known_faulty: ProcSet::empty(),
+            // A 0-holder "accepts" its own chain at time 0 and relays it
+            // in round 1.
+            accepted: zero.then(|| (vec![p], 1)),
+            now: 0,
+            decided: zero.then_some(Value::Zero),
+        }
+    }
+
+    fn message(
+        &self,
+        state: &ChainState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        round: Round,
+    ) -> Option<ChainMessage> {
+        let chain = match &state.accepted {
+            Some((chain, relay_round)) if *relay_round == round.number() => {
+                Some(chain.clone())
+            }
+            _ => None,
+        };
+        Some(ChainMessage { known_faulty: state.known_faulty, chain })
+    }
+
+    fn transition(
+        &self,
+        state: &ChainState,
+        _p: ProcessorId,
+        round: Round,
+        received: &[Option<ChainMessage>],
+    ) -> ChainState {
+        let mut next = state.clone();
+        next.now += 1;
+
+        // 1. Fault detection: a missing message proves its sender faulty;
+        //    received accusations are sound and adopted.
+        let mut heard = ProcSet::empty();
+        for (j, msg) in received.iter().enumerate() {
+            if let Some(msg) = msg {
+                heard.insert(ProcessorId::new(j));
+                next.known_faulty = next.known_faulty | msg.known_faulty;
+            }
+        }
+        let everyone_else =
+            ProcSet::full(self.n) - ProcSet::singleton(state.me);
+        next.known_faulty = next.known_faulty | (everyone_else - heard);
+        // Never accuse ourselves (we cannot observe our own omissions).
+        next.known_faulty.remove(state.me);
+        let learned_new_fault = next.known_faulty != state.known_faulty;
+
+        // 2. Chain acceptance: a chain of `m` distinct processors ending
+        //    in its sender, received in round m, sender not known faulty.
+        if next.accepted.is_none() {
+            for (j, msg) in received.iter().enumerate() {
+                let sender = ProcessorId::new(j);
+                let Some(ChainMessage { chain: Some(chain), .. }) = msg else {
+                    continue;
+                };
+                if chain.len() != round.number() as usize {
+                    continue; // stale or malformed: reject
+                }
+                if chain.last() != Some(&sender) {
+                    continue;
+                }
+                if next.known_faulty.contains(sender) {
+                    continue;
+                }
+                let members: ProcSet = chain.iter().copied().collect();
+                if members.len() != chain.len() || members.contains(state.me) {
+                    continue;
+                }
+                let mut extended = chain.clone();
+                extended.push(state.me);
+                next.accepted = Some((extended, round.number() + 1));
+                break;
+            }
+        }
+
+        // 3. Decision: accepted chains mean 0; a quiet round means 1.
+        if next.decided.is_none() {
+            if next.accepted.is_some() {
+                next.decided = Some(Value::Zero);
+            } else if !learned_new_fault {
+                next.decided = Some(Value::One);
+            }
+        }
+
+        next
+    }
+
+    fn output(&self, state: &ChainState, _p: ProcessorId) -> Option<Value> {
+        state.decided
+    }
+
+    fn message_units(&self, message: &ChainMessage) -> u64 {
+        // One word for the accusation set plus the relayed chain, if any.
+        1 + message.chain.as_ref().map_or(0, |c| c.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig,
+        Scenario, Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn zero_holders_decide_at_time_zero() {
+        let protocol = ChainOmission::new(3);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &FailurePattern::failure_free(3),
+            Time::new(3),
+        );
+        assert_eq!(trace.decision_time(p(0)), Some(Time::ZERO));
+        assert_eq!(trace.decided_value(p(0)), Some(Value::Zero));
+        // Chain [p0] reaches everyone in round 1.
+        for i in 1..3 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(1)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::Zero));
+        }
+    }
+
+    #[test]
+    fn quiet_first_round_decides_one() {
+        let protocol = ChainOmission::new(4);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &FailurePattern::failure_free(4),
+            Time::new(3),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(1)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+    }
+
+    #[test]
+    fn selective_reveal_still_agrees() {
+        // Faulty 0-holder p0 sends its chain only to p1; p1 relays to
+        // everyone, so p2 accepts the 2-chain in round 2.
+        let protocol = ChainOmission::new(3);
+        let others = ProcSet::full(3) - ProcSet::singleton(p(0));
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Omission {
+                omissions: vec![others - ProcSet::singleton(p(1)), others, others],
+            },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(3),
+        );
+        assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
+        assert_eq!(trace.decision_time(p(1)), Some(Time::new(1)));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::Zero));
+        assert_eq!(trace.decision_time(p(2)), Some(Time::new(2)));
+        assert!(trace.satisfies_weak_agreement());
+    }
+
+    #[test]
+    fn silent_zero_holder_leads_to_one() {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 3).unwrap();
+        let protocol = ChainOmission::new(3);
+        let pattern = sample::silent_processor(&scenario, p(0));
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(3),
+        );
+        // Round 1 reveals p0 faulty; round 2 is quiet: decide 1 at f+1=2.
+        for i in 1..3 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(2)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+        assert!(trace.satisfies_weak_agreement());
+        assert!(trace.satisfies_weak_validity());
+    }
+
+    #[test]
+    fn exhaustive_small_omission_eba_with_f_plus_one_bound() {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 3).unwrap();
+        let protocol = ChainOmission::new(3);
+        for pattern in enumerate::patterns(&scenario) {
+            let f = pattern.num_faulty() as u16;
+            for config in InitialConfig::enumerate_all(3) {
+                let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+                for q in trace.nonfaulty() {
+                    let t = trace
+                        .decision_time(q)
+                        .unwrap_or_else(|| panic!("{q} undecided: {config} {pattern}"));
+                    assert!(
+                        t.ticks() <= f + 1,
+                        "{q} decided at {t}, f = {f}: {config} {pattern}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_larger_omission_scenarios_agree() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let scenario = Scenario::new(6, 2, FailureMode::Omission, 4).unwrap();
+        let protocol = ChainOmission::new(6);
+        let sampler = sample::PatternSampler::new(scenario);
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..300 {
+            let config = sample::random_config(6, &mut rng);
+            let pattern = sampler.sample(&mut rng);
+            let f = pattern.num_faulty() as u16;
+            let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+            assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+            assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+            for q in trace.nonfaulty() {
+                let t = trace.decision_time(q).expect("nonfaulty must decide");
+                assert!(t.ticks() <= f + 1, "{config} {pattern}");
+            }
+        }
+    }
+}

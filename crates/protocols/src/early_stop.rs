@@ -1,0 +1,174 @@
+//! Clean-round early-stopping EBA for crash failures.
+
+use eba_model::{ProcSet, ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// An early-stopping EBA protocol for the crash mode: processors flood
+/// the minimum value they have seen, and a processor decides its current
+/// minimum the first time it observes a *clean round* — a round in which
+/// it hears from exactly the same set of processors as in the previous
+/// round (so no crash hid information from it), with a `t + 1` fallback.
+///
+/// With `f` actual failures a clean round occurs by round `f + 2`, so
+/// decisions happen by time `min(f + 2, t + 1)` — an early-stopping
+/// baseline sitting strictly between `FloodMin` (always `t + 1`) and the
+/// optimal `P0opt`. Used in the domination experiments as a third,
+/// non-optimal-but-adaptive data point.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailurePattern, InitialConfig, ProcessorId, Time, Value};
+/// use eba_protocols::EarlyStoppingCrash;
+/// use eba_sim::execute;
+///
+/// let protocol = EarlyStoppingCrash::new(2);
+/// let config = InitialConfig::uniform(4, Value::One);
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(4));
+/// // Failure-free: round 2 is already clean, beating t+1 = 3.
+/// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(2)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EarlyStoppingCrash {
+    t: u16,
+}
+
+impl EarlyStoppingCrash {
+    /// Creates the protocol for a system tolerating `t` crash failures.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        EarlyStoppingCrash { t: t as u16 }
+    }
+}
+
+/// The local state of [`EarlyStoppingCrash`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EarlyStopState {
+    /// Minimum initial value seen so far.
+    pub min: Value,
+    /// Who was heard from in the previous round.
+    heard_prev: Option<ProcSet>,
+    /// Rounds completed.
+    now: u16,
+    /// Latched decision and its time.
+    decided: Option<(Value, u16)>,
+}
+
+impl Protocol for EarlyStoppingCrash {
+    type State = EarlyStopState;
+    type Message = Value;
+
+    fn name(&self) -> &str {
+        "EarlyStop"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> EarlyStopState {
+        EarlyStopState { min: value, heard_prev: None, now: 0, decided: None }
+    }
+
+    fn message(
+        &self,
+        state: &EarlyStopState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        round: Round,
+    ) -> Option<Value> {
+        // Keep flooding until one round after deciding.
+        match state.decided {
+            Some((_, at)) if round.number() > at + 1 => None,
+            _ => Some(state.min),
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &EarlyStopState,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<Value>],
+    ) -> EarlyStopState {
+        let mut heard = ProcSet::empty();
+        let mut min = state.min;
+        for (j, msg) in received.iter().enumerate() {
+            if let Some(v) = msg {
+                heard.insert(ProcessorId::new(j));
+                min = min.min(*v);
+            }
+        }
+        let now = state.now + 1;
+        let decided = state.decided.or({
+            if state.heard_prev == Some(heard) || now > self.t {
+                Some((min, now))
+            } else {
+                None
+            }
+        });
+        EarlyStopState { min, heard_prev: Some(heard), now, decided }
+    }
+
+    fn output(&self, state: &EarlyStopState, _p: ProcessorId) -> Option<Value> {
+        state.decided.map(|(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario,
+        Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn failure_free_decides_at_time_two() {
+        let protocol = EarlyStoppingCrash::new(3);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(5, 0b11110),
+            &FailurePattern::failure_free(5),
+            Time::new(5),
+        );
+        for i in 0..5 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(2)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::Zero));
+        }
+    }
+
+    #[test]
+    fn exhaustive_crash_eba_properties() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let protocol = EarlyStoppingCrash::new(1);
+        for pattern in enumerate::patterns(&scenario) {
+            for config in InitialConfig::enumerate_all(3) {
+                let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                assert!(trace.satisfies_decision(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_delays_decision_by_at_most_one_clean_round() {
+        let protocol = EarlyStoppingCrash::new(2);
+        let pattern = FailurePattern::failure_free(4).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &pattern,
+            Time::new(4),
+        );
+        // Round 1 loses p0, round 2 matches round 1: decide at time 2.
+        for i in 1..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(2)));
+        }
+    }
+}

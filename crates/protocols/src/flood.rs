@@ -1,0 +1,163 @@
+//! `FloodMin`: the classic `t + 1`-round simultaneous baseline.
+
+use eba_model::{ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// The classic flooding protocol for crash failures: every processor
+/// relays the minimum value it has seen for `t + 1` rounds and decides it
+/// at time `t + 1`.
+///
+/// All (alive) processors decide at the same round, so this doubles as
+/// the naive *simultaneous* BA protocol — the scale-level stand-in for
+/// the SBA baseline in the EBA-vs-SBA comparison (the exact
+/// common-knowledge SBA rule lives in `eba-core`). Correct in the crash
+/// failure mode only (a sending-omission adversary can split the minimum
+/// in the last round).
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailurePattern, InitialConfig, ProcessorId, Time, Value};
+/// use eba_protocols::FloodMin;
+/// use eba_sim::execute;
+///
+/// let protocol = FloodMin::new(1);
+/// let config = InitialConfig::from_bits(3, 0b101);
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// // Everyone decides min = 0, simultaneously at t+1 = 2.
+/// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(2)));
+/// assert!(trace.satisfies_simultaneity());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FloodMin {
+    t: u16,
+}
+
+impl FloodMin {
+    /// Creates the protocol for a system tolerating `t` crash failures.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        FloodMin { t: t as u16 }
+    }
+}
+
+/// The local state of [`FloodMin`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FloodState {
+    /// Minimum initial value seen so far.
+    pub min: Value,
+    /// Rounds completed.
+    pub now: u16,
+    /// Latched decision.
+    pub decided: Option<Value>,
+}
+
+impl Protocol for FloodMin {
+    type State = FloodState;
+    type Message = Value;
+
+    fn name(&self) -> &str {
+        "FloodMin"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> FloodState {
+        FloodState { min: value, now: 0, decided: None }
+    }
+
+    fn message(
+        &self,
+        state: &FloodState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        round: Round,
+    ) -> Option<Value> {
+        (round.number() <= self.t + 1).then_some(state.min)
+    }
+
+    fn transition(
+        &self,
+        state: &FloodState,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<Value>],
+    ) -> FloodState {
+        let min = received.iter().flatten().fold(state.min, |acc, &v| acc.min(v));
+        let now = state.now + 1;
+        let decided = state.decided.or_else(|| (now > self.t).then_some(min));
+        FloodState { min, now, decided }
+    }
+
+    fn output(&self, state: &FloodState, _p: ProcessorId) -> Option<Value> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        enumerate, FailureMode, FailurePattern, InitialConfig, Scenario, Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn decides_min_simultaneously() {
+        let protocol = FloodMin::new(2);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(4, 0b0111),
+            &FailurePattern::failure_free(4),
+            Time::new(4),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(3)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::Zero));
+        }
+        assert!(trace.satisfies_simultaneity());
+    }
+
+    #[test]
+    fn exhaustive_crash_sba_properties() {
+        // FloodMin is a correct SBA protocol under crash failures:
+        // exhaustively check n=3, t=1.
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let protocol = FloodMin::new(1);
+        for pattern in enumerate::patterns(&scenario) {
+            for config in InitialConfig::enumerate_all(3) {
+                let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                assert!(trace.satisfies_decision(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+                assert!(trace.satisfies_simultaneity(), "{config} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn omission_mode_can_break_flooding() {
+        // The documented counterexample: with sending omissions the
+        // faulty 0-holder can reveal its value to one processor in the
+        // final round.
+        let protocol = FloodMin::new(1);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            eba_model::FaultyBehavior::Omission {
+                omissions: vec![
+                    eba_model::ProcSet::full(3) - eba_model::ProcSet::singleton(p(0)),
+                    eba_model::ProcSet::singleton(p(2)),
+                ],
+            },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(2),
+        );
+        assert!(!trace.satisfies_weak_agreement());
+    }
+}

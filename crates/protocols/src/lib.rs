@@ -1,0 +1,47 @@
+//! Message-level agreement protocols with realistic (linear-size)
+//! messages, built on the `eba-sim` executor.
+//!
+//! Where `eba-core` works at the *knowledge level* (decision sets over
+//! full-information views, exact but exponential), this crate implements
+//! the concrete protocols the paper discusses as executable state
+//! machines that scale to hundreds of processors:
+//!
+//! * [`Relay`] — the `P0`/`P1` protocols of \[LF82\] used in
+//!   Proposition 2.1's proof that no optimum EBA protocol exists;
+//! * [`P0Opt`] — the optimal crash-mode EBA protocol of Section 2.2
+//!   (shown equal to `F^{Λ,2}` by Theorem 6.2);
+//! * [`FloodMin`] — the classic `t + 1`-round simultaneous baseline
+//!   (crash mode);
+//! * [`EarlyStoppingCrash`] — clean-round early-stopping EBA (crash
+//!   mode);
+//! * [`ChainOmission`] — the 0-chain accept/accuse protocol implementing
+//!   `FIP(Z⁰, O⁰)` of Section 6.2 at the message level (omission mode,
+//!   decides by time `f + 1`);
+//! * [`SbaWaste`] — early-stopping simultaneous agreement in the style of
+//!   \[DM90\]'s waste-based optimum SBA (crash mode), verified against the
+//!   exact common-knowledge rule;
+//! * [`multi`] — multi-valued agreement over arbitrary finite domains
+//!   (the Section 2.1 extension note), including the multi-valued
+//!   no-optimum argument;
+//! * [`runner`] — campaign helpers running a protocol over exhaustive or
+//!   sampled run sets and validating the agreement properties.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain_omission;
+mod early_stop;
+mod flood;
+mod p0;
+mod p0opt;
+mod sba_waste;
+
+pub mod multi;
+pub mod runner;
+
+pub use chain_omission::{ChainMessage, ChainOmission, ChainState};
+pub use early_stop::{EarlyStoppingCrash, EarlyStopState};
+pub use flood::{FloodMin, FloodState};
+pub use p0::{Relay, RelayState};
+pub use p0opt::{P0Opt, P0OptMessage, P0OptState};
+pub use sba_waste::{SbaWaste, SbaWasteMessage, SbaWasteState};

@@ -1,0 +1,596 @@
+//! Multi-valued agreement (the Section 2.1 extension note: "Extending
+//! our methods to the general case is straightforward").
+//!
+//! The paper works with `V = {0, 1}` for simplicity; these protocols work
+//! over an arbitrary finite domain `V = {0, …, k − 1}` in the crash mode:
+//!
+//! * [`MultiFloodMin`] — flood the minimum seen for `t + 1` rounds and
+//!   decide it (simultaneous);
+//! * [`MultiEarlyStop`] — the clean-round early-stopping variant (the
+//!   multi-valued generalization of [`crate::EarlyStoppingCrash`]);
+//! * [`MultiRelay`] — the multi-valued generalization of `P0`: a priority
+//!   list of values; the top value is decided the instant it is learned,
+//!   and the `t + 1` fallback decides the highest-priority member of the
+//!   flooded seen-set (consistent by the FloodSet theorem). As in
+//!   Proposition 2.1, the `k!` priority orders give protocols none of
+//!   which dominates another — the no-optimum argument generalizes
+//!   (tested).
+//!
+//! Values are `u8`s below the protocol's domain size; decisions are
+//! reported through a per-processor decision log rather than the binary
+//! [`eba_sim::Protocol`] output (whose output type is the paper's binary
+//! `V`), so these protocols implement [`MultiProtocol`] and run under
+//! [`execute_multi`].
+
+use eba_model::{FailurePattern, InitialConfig, ProcSet, ProcessorId, Round, Time, Value};
+use std::fmt::Debug;
+
+/// A multi-valued initial configuration: one value in `0..domain` per
+/// processor.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MultiConfig {
+    domain: u8,
+    values: Vec<u8>,
+}
+
+impl MultiConfig {
+    /// Creates a configuration; every value must be below `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, or any value is `≥ domain`.
+    #[must_use]
+    pub fn new(domain: u8, values: Vec<u8>) -> Self {
+        assert!(!values.is_empty());
+        assert!(values.iter().all(|&v| v < domain), "value out of domain");
+        MultiConfig { domain, values }
+    }
+
+    /// Embeds a binary [`InitialConfig`].
+    #[must_use]
+    pub fn from_binary(config: &InitialConfig) -> Self {
+        MultiConfig {
+            domain: 2,
+            values: config.values().iter().map(|v| v.as_u8()).collect(),
+        }
+    }
+
+    /// The domain size `k`.
+    #[must_use]
+    pub fn domain(&self) -> u8 {
+        self.domain
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value of processor `p`.
+    #[must_use]
+    pub fn value(&self, p: ProcessorId) -> u8 {
+        self.values[p.index()]
+    }
+
+    /// Whether all processors hold the same value.
+    #[must_use]
+    pub fn all_same(&self) -> bool {
+        self.values.iter().all(|&v| v == self.values[0])
+    }
+
+    /// Enumerates all `k^n` configurations (for exhaustive tests).
+    pub fn enumerate_all(domain: u8, n: usize) -> impl Iterator<Item = MultiConfig> {
+        let total = (u64::from(domain)).pow(n as u32);
+        (0..total).map(move |mut code| {
+            let values = (0..n)
+                .map(|_| {
+                    let v = (code % u64::from(domain)) as u8;
+                    code /= u64::from(domain);
+                    v
+                })
+                .collect();
+            MultiConfig { domain, values }
+        })
+    }
+}
+
+/// A deterministic synchronous protocol over a multi-valued domain.
+pub trait MultiProtocol {
+    /// The local-state set.
+    type State: Clone + Debug;
+    /// The message alphabet.
+    type Message: Clone + Debug;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+    /// The initial state of `p` given its initial value.
+    fn initial_state(&self, p: ProcessorId, n: usize, value: u8) -> Self::State;
+    /// The message from `from` to `to` in `round`, if any.
+    fn message(&self, state: &Self::State, from: ProcessorId, to: ProcessorId, round: Round)
+        -> Option<Self::Message>;
+    /// The state transition at the end of `round`.
+    fn transition(
+        &self,
+        state: &Self::State,
+        p: ProcessorId,
+        round: Round,
+        received: &[Option<Self::Message>],
+    ) -> Self::State;
+    /// The decided value, once decided.
+    fn output(&self, state: &Self::State, p: ProcessorId) -> Option<u8>;
+}
+
+/// The outcome of one multi-valued run.
+#[derive(Clone, Debug)]
+pub struct MultiTrace {
+    nonfaulty: ProcSet,
+    config: MultiConfig,
+    decisions: Vec<Option<(u8, Time)>>,
+}
+
+impl MultiTrace {
+    /// The decision of `p`, if any.
+    #[must_use]
+    pub fn decision(&self, p: ProcessorId) -> Option<(u8, Time)> {
+        self.decisions[p.index()]
+    }
+
+    /// The nonfaulty processors.
+    #[must_use]
+    pub fn nonfaulty(&self) -> ProcSet {
+        self.nonfaulty
+    }
+
+    /// Weak agreement over nonfaulty processors.
+    #[must_use]
+    pub fn satisfies_weak_agreement(&self) -> bool {
+        let mut values =
+            self.nonfaulty.iter().filter_map(|p| self.decision(p)).map(|(v, _)| v);
+        match values.next() {
+            None => true,
+            Some(first) => values.all(|v| v == first),
+        }
+    }
+
+    /// Weak validity: identical inputs force that output.
+    #[must_use]
+    pub fn satisfies_weak_validity(&self) -> bool {
+        if !self.config.all_same() {
+            return true;
+        }
+        let v = self.config.value(ProcessorId::new(0));
+        self.nonfaulty
+            .iter()
+            .filter_map(|p| self.decision(p))
+            .all(|(d, _)| d == v)
+    }
+
+    /// *Strong* validity: the decided value is some processor's initial
+    /// value (meaningful for multi-valued domains; trivial for binary).
+    #[must_use]
+    pub fn satisfies_strong_validity(&self) -> bool {
+        self.nonfaulty
+            .iter()
+            .filter_map(|p| self.decision(p))
+            .all(|(d, _)| (0..self.config.n()).any(|q| {
+                self.config.value(ProcessorId::new(q)) == d
+            }))
+    }
+
+    /// Every nonfaulty processor decided.
+    #[must_use]
+    pub fn satisfies_decision(&self) -> bool {
+        self.nonfaulty.iter().all(|p| self.decision(p).is_some())
+    }
+}
+
+/// Executes a multi-valued protocol, mirroring [`eba_sim::execute`]'s
+/// semantics (crash-dead processors freeze, the pattern governs
+/// delivery).
+///
+/// # Panics
+///
+/// Panics if the configuration and pattern disagree on `n`.
+pub fn execute_multi<P: MultiProtocol>(
+    protocol: &P,
+    config: &MultiConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
+) -> MultiTrace {
+    let n = config.n();
+    assert_eq!(n, pattern.n());
+    let mut states: Vec<P::State> = ProcessorId::all(n)
+        .map(|p| protocol.initial_state(p, n, config.value(p)))
+        .collect();
+    let mut decisions: Vec<Option<(u8, Time)>> = vec![None; n];
+    let record = |states: &[P::State], time: Time, decisions: &mut Vec<Option<(u8, Time)>>| {
+        for (idx, state) in states.iter().enumerate() {
+            if decisions[idx].is_none() {
+                if let Some(v) = protocol.output(state, ProcessorId::new(idx)) {
+                    decisions[idx] = Some((v, time));
+                }
+            }
+        }
+    };
+    record(&states, Time::ZERO, &mut decisions);
+    for round in Round::upto(horizon) {
+        let prev = states.clone();
+        for receiver in ProcessorId::all(n) {
+            if pattern.crashed_by(receiver, round.end()) {
+                continue; // frozen
+            }
+            let received: Vec<Option<P::Message>> = ProcessorId::all(n)
+                .map(|sender| {
+                    pattern
+                        .delivers(sender, receiver, round)
+                        .then(|| protocol.message(&prev[sender.index()], sender, receiver, round))
+                        .flatten()
+                })
+                .collect();
+            states[receiver.index()] =
+                protocol.transition(&prev[receiver.index()], receiver, round, &received);
+        }
+        record(&states, round.end(), &mut decisions);
+    }
+    MultiTrace { nonfaulty: pattern.nonfaulty_set(), config: config.clone(), decisions }
+}
+
+/// Multi-valued `FloodMin`: flood the minimum for `t + 1` rounds, decide
+/// it simultaneously (crash mode).
+#[derive(Clone, Copy, Debug)]
+pub struct MultiFloodMin {
+    t: u16,
+}
+
+impl MultiFloodMin {
+    /// Creates the protocol for `t` tolerated crash failures.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        MultiFloodMin { t: t as u16 }
+    }
+}
+
+impl MultiProtocol for MultiFloodMin {
+    type State = (u8, u16, Option<u8>);
+    type Message = u8;
+
+    fn name(&self) -> &str {
+        "MultiFloodMin"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: u8) -> Self::State {
+        (value, 0, None)
+    }
+
+    fn message(&self, state: &Self::State, _f: ProcessorId, _t: ProcessorId, _r: Round) -> Option<u8> {
+        Some(state.0)
+    }
+
+    fn transition(
+        &self,
+        state: &Self::State,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<u8>],
+    ) -> Self::State {
+        let min = received.iter().flatten().fold(state.0, |acc, &v| acc.min(v));
+        let now = state.1 + 1;
+        let decided = state.2.or((now > self.t).then_some(min));
+        (min, now, decided)
+    }
+
+    fn output(&self, state: &Self::State, _p: ProcessorId) -> Option<u8> {
+        state.2
+    }
+}
+
+/// Multi-valued clean-round early stopping (crash mode): decide the
+/// current minimum at the first round whose heard-from set matches the
+/// previous round's, with a `t + 1` fallback.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiEarlyStop {
+    t: u16,
+}
+
+impl MultiEarlyStop {
+    /// Creates the protocol for `t` tolerated crash failures.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        MultiEarlyStop { t: t as u16 }
+    }
+}
+
+/// State of [`MultiEarlyStop`].
+#[derive(Clone, Debug)]
+pub struct MultiEarlyStopState {
+    min: u8,
+    heard_prev: Option<ProcSet>,
+    now: u16,
+    decided: Option<u8>,
+}
+
+impl MultiProtocol for MultiEarlyStop {
+    type State = MultiEarlyStopState;
+    type Message = u8;
+
+    fn name(&self) -> &str {
+        "MultiEarlyStop"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: u8) -> Self::State {
+        MultiEarlyStopState { min: value, heard_prev: None, now: 0, decided: None }
+    }
+
+    fn message(&self, state: &Self::State, _f: ProcessorId, _t: ProcessorId, _r: Round) -> Option<u8> {
+        Some(state.min)
+    }
+
+    fn transition(
+        &self,
+        state: &Self::State,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<u8>],
+    ) -> Self::State {
+        let mut heard = ProcSet::empty();
+        let mut min = state.min;
+        for (j, msg) in received.iter().enumerate() {
+            if let Some(v) = msg {
+                heard.insert(ProcessorId::new(j));
+                min = min.min(*v);
+            }
+        }
+        let now = state.now + 1;
+        let decided = state.decided.or({
+            if state.heard_prev == Some(heard) || now > self.t {
+                Some(min)
+            } else {
+                None
+            }
+        });
+        MultiEarlyStopState { min, heard_prev: Some(heard), now, decided }
+    }
+
+    fn output(&self, state: &Self::State, _p: ProcessorId) -> Option<u8> {
+        state.decided
+    }
+}
+
+/// The multi-valued generalization of `P0`/`P1` (Proposition 2.1): a
+/// priority order over the domain. The *top*-priority value is decided
+/// the instant it is learned (its holders decide at time 0 — exactly
+/// `P0`'s rule for 0); all values seen are flooded as a set, and a
+/// processor that has not learned the top value by time `t + 1` decides
+/// the highest-priority value in its seen-set. The FloodSet theorem
+/// (crash mode: after `t + 1` rounds of set flooding all nonfaulty
+/// processors hold the same set) makes the fallback consistent, and
+/// consistency with the eager deciders follows as for `P0`: a top value
+/// known to any nonfaulty processor by `t + 1` is known to all.
+///
+/// `MultiRelay::new(t, vec![0, 1])` makes the same decisions as `P0`
+/// except that the fallback can fire early when 1's presence is already
+/// universal — so, exactly as in the paper, no protocol can dominate two
+/// `MultiRelay`s with different top priorities (the holders of each top
+/// value decide at time 0).
+#[derive(Clone, Debug)]
+pub struct MultiRelay {
+    t: u16,
+    /// `priority[0]` is decided most eagerly.
+    priority: Vec<u8>,
+}
+
+impl MultiRelay {
+    /// Creates the protocol; `priority` must be a permutation of
+    /// `0..domain` (domain ≤ 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priority` is not a permutation of `0..priority.len()`
+    /// or the domain exceeds 8 values.
+    #[must_use]
+    pub fn new(t: usize, priority: Vec<u8>) -> Self {
+        assert!(priority.len() <= 8, "seen-sets are 8-bit masks");
+        let mut sorted = priority.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.iter().enumerate().all(|(i, &v)| v as usize == i),
+            "priority must be a permutation of the domain"
+        );
+        MultiRelay { t: t as u16, priority }
+    }
+
+    fn top(&self) -> u8 {
+        self.priority[0]
+    }
+}
+
+/// State of [`MultiRelay`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultiRelayState {
+    /// Bitmask of values seen.
+    seen: u8,
+    now: u16,
+    decided: Option<u8>,
+}
+
+impl MultiProtocol for MultiRelay {
+    type State = MultiRelayState;
+    /// Messages carry the sender's seen-set mask.
+    type Message = u8;
+
+    fn name(&self) -> &str {
+        "MultiRelay"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: u8) -> Self::State {
+        let seen = 1u8 << value;
+        // Top-priority holders decide immediately (P0's rule for 0).
+        let decided = (value == self.top()).then_some(value);
+        MultiRelayState { seen, now: 0, decided }
+    }
+
+    fn message(
+        &self,
+        state: &Self::State,
+        _f: ProcessorId,
+        _t: ProcessorId,
+        round: Round,
+    ) -> Option<u8> {
+        (round.number() <= self.t + 1).then_some(state.seen)
+    }
+
+    fn transition(
+        &self,
+        state: &Self::State,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<u8>],
+    ) -> Self::State {
+        let mut next = *state;
+        next.now += 1;
+        for mask in received.iter().flatten() {
+            next.seen |= mask;
+        }
+        if next.decided.is_none() {
+            if next.seen & (1 << self.top()) != 0 {
+                next.decided = Some(self.top());
+            } else if next.now > self.t {
+                // FloodSet: all nonfaulty share `seen` now; pick the
+                // highest-priority member.
+                next.decided = self
+                    .priority
+                    .iter()
+                    .copied()
+                    .find(|&v| next.seen & (1 << v) != 0);
+            }
+        }
+        next
+    }
+
+    fn output(&self, state: &Self::State, _p: ProcessorId) -> Option<u8> {
+        state.decided
+    }
+}
+
+/// Re-export of binary values for embedding tests.
+#[must_use]
+pub fn binary_as_multi(v: Value) -> u8 {
+    v.as_u8()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{enumerate, FailureMode, Scenario};
+
+    fn exhaustive_check<P: MultiProtocol>(
+        protocol: &P,
+        domain: u8,
+        n: usize,
+        t: usize,
+        horizon: u16,
+        require_simultaneous: bool,
+    ) {
+        let scenario = Scenario::new(n, t, FailureMode::Crash, horizon).unwrap();
+        for pattern in enumerate::patterns(&scenario) {
+            for config in MultiConfig::enumerate_all(domain, n) {
+                let trace = execute_multi(protocol, &config, &pattern, scenario.horizon());
+                assert!(trace.satisfies_decision(), "{pattern}");
+                assert!(trace.satisfies_weak_agreement(), "{pattern}");
+                assert!(trace.satisfies_weak_validity(), "{pattern}");
+                assert!(trace.satisfies_strong_validity(), "{pattern}");
+                if require_simultaneous {
+                    let mut times =
+                        trace.nonfaulty().iter().map(|p| trace.decision(p).unwrap().1);
+                    let first = times.next().unwrap();
+                    assert!(times.all(|x| x == first), "{pattern}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_floodmin_is_simultaneous_agreement_domain3() {
+        exhaustive_check(&MultiFloodMin::new(1), 3, 3, 1, 3, true);
+    }
+
+    #[test]
+    fn multi_early_stop_is_agreement_domain3() {
+        exhaustive_check(&MultiEarlyStop::new(1), 3, 3, 1, 3, false);
+    }
+
+    #[test]
+    fn multi_relay_is_agreement_domain3() {
+        for priority in [vec![0u8, 1, 2], vec![2, 0, 1], vec![1, 2, 0]] {
+            exhaustive_check(&MultiRelay::new(1, priority), 3, 3, 1, 3, false);
+        }
+    }
+
+    #[test]
+    fn multi_relay_with_binary_domain_decides_zero_like_p0() {
+        // MultiRelay(t, [0,1]) decides 0 at exactly P0's times (the
+        // decide-0 rule is identical); its decide-1 fallback is never
+        // later than P0's t+1 timeout.
+        use crate::Relay;
+        use eba_sim::execute;
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let relay = Relay::p0(1);
+        let multi = MultiRelay::new(1, vec![0, 1]);
+        for pattern in enumerate::patterns(&scenario) {
+            for config in InitialConfig::enumerate_all(3) {
+                let binary = execute(&relay, &config, &pattern, scenario.horizon());
+                let mc = MultiConfig::from_binary(&config);
+                let m = execute_multi(&multi, &mc, &pattern, scenario.horizon());
+                for p in pattern.nonfaulty_set() {
+                    let b = binary.decision(p).map(|d| (d.value.as_u8(), d.time));
+                    let (mv, mt) = m.decision(p).unwrap();
+                    let (bv, bt) = b.unwrap();
+                    assert_eq!(mv, bv, "{config} {pattern} {p}");
+                    if mv == 0 {
+                        assert_eq!(mt, bt, "{config} {pattern} {p}");
+                    } else {
+                        assert!(mt <= bt, "{config} {pattern} {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_optimum_generalizes_to_three_values() {
+        // Proposition 2.1, multi-valued: holders of the top-priority
+        // value decide at time 0, so protocols with different top values
+        // are mutually undominated.
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let a = MultiRelay::new(1, vec![0, 1, 2]);
+        let b = MultiRelay::new(1, vec![2, 0, 1]);
+        let mut a_beats = false;
+        let mut b_beats = false;
+        for pattern in enumerate::patterns(&scenario) {
+            for config in MultiConfig::enumerate_all(3, 3) {
+                let ta = execute_multi(&a, &config, &pattern, scenario.horizon());
+                let tb = execute_multi(&b, &config, &pattern, scenario.horizon());
+                for p in pattern.nonfaulty_set() {
+                    let (_, time_a) = ta.decision(p).unwrap();
+                    let (_, time_b) = tb.decision(p).unwrap();
+                    a_beats |= time_a < time_b;
+                    b_beats |= time_b < time_a;
+                }
+            }
+        }
+        assert!(a_beats && b_beats, "neither may dominate the other");
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        assert_eq!(MultiConfig::enumerate_all(3, 3).count(), 27);
+        assert_eq!(MultiConfig::enumerate_all(2, 4).count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_priority_rejected() {
+        let _ = MultiRelay::new(1, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The `P0` / `P1` relay protocols of \[LF82\] (Proposition 2.1).
+
+use eba_model::{ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// The relay protocol `P_v` (Section 2.2 / Proposition 2.1): when a
+/// processor first learns that some processor has the *favored* initial
+/// value `v`, it decides `v`, relays `v` for one round, and halts; a
+/// processor that still has not learned of any `v` by time `t + 1`
+/// decides the other value and halts.
+///
+/// `P0 = Relay::p0(t)` favors 0 (all 0-holders decide at time 0);
+/// `P1 = Relay::p1(t)` is the symmetric protocol. No protocol can
+/// dominate both — this pair is the paper's proof that optimum EBA
+/// protocols do not exist.
+///
+/// Correct as an EBA protocol in the crash failure mode.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailurePattern, InitialConfig, ProcessorId, Time, Value};
+/// use eba_protocols::Relay;
+/// use eba_sim::execute;
+///
+/// let p0 = Relay::p0(1);
+/// let config = InitialConfig::from_bits(3, 0b110); // p1 holds 0
+/// let trace = execute(&p0, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// // The 0-holder decides at time 0; the others at time 1.
+/// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(0)));
+/// assert_eq!(trace.decision_time(ProcessorId::new(1)), Some(Time::new(1)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Relay {
+    favored: Value,
+    t: u16,
+}
+
+impl Relay {
+    /// The protocol `P0`: favors value 0.
+    #[must_use]
+    pub fn p0(t: usize) -> Self {
+        Relay { favored: Value::Zero, t: t as u16 }
+    }
+
+    /// The protocol `P1`: favors value 1.
+    #[must_use]
+    pub fn p1(t: usize) -> Self {
+        Relay { favored: Value::One, t: t as u16 }
+    }
+
+    /// The favored value.
+    #[must_use]
+    pub fn favored(&self) -> Value {
+        self.favored
+    }
+}
+
+/// The local state of [`Relay`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RelayState {
+    /// Time at which the favored value was learned, if it was.
+    learned_at: Option<u16>,
+    /// Current time (rounds completed).
+    now: u16,
+    /// Latched decision.
+    decided: Option<Value>,
+}
+
+impl Protocol for Relay {
+    type State = RelayState;
+    /// The only message is "the favored value exists".
+    type Message = ();
+
+    fn name(&self) -> &str {
+        match self.favored {
+            Value::Zero => "P0",
+            Value::One => "P1",
+        }
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> RelayState {
+        let learned = value == self.favored;
+        RelayState {
+            learned_at: learned.then_some(0),
+            now: 0,
+            decided: learned.then_some(self.favored),
+        }
+    }
+
+    fn message(
+        &self,
+        state: &RelayState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        round: Round,
+    ) -> Option<()> {
+        // Relay for exactly one round after learning, then halt.
+        match state.learned_at {
+            Some(at) if round.number() == at + 1 => Some(()),
+            _ => None,
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &RelayState,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<()>],
+    ) -> RelayState {
+        let mut next = *state;
+        next.now += 1;
+        if next.learned_at.is_none() && received.iter().any(Option::is_some) {
+            next.learned_at = Some(next.now);
+        }
+        if next.decided.is_none() {
+            if next.learned_at.is_some() {
+                next.decided = Some(self.favored);
+            } else if next.now > self.t {
+                next.decided = Some(self.favored.other());
+            }
+        }
+        next
+    }
+
+    fn output(&self, state: &RelayState, _p: ProcessorId) -> Option<Value> {
+        state.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn all_favored_decide_at_time_zero() {
+        let protocol = Relay::p0(1);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::Zero),
+            &FailurePattern::failure_free(4),
+            Time::new(3),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::ZERO));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::Zero));
+        }
+    }
+
+    #[test]
+    fn unfavored_only_decides_other_at_t_plus_one() {
+        let protocol = Relay::p0(2);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &FailurePattern::failure_free(4),
+            Time::new(4),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(3)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+    }
+
+    #[test]
+    fn relayed_zero_travels_one_hop_per_round() {
+        let protocol = Relay::p0(2);
+        // Only p0 holds 0; failure-free: everyone learns it in round 1.
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &FailurePattern::failure_free(3),
+            Time::new(4),
+        );
+        assert_eq!(trace.decision_time(p(1)), Some(Time::new(1)));
+        assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
+    }
+
+    #[test]
+    fn hidden_zero_with_crash_leads_to_one_decision() {
+        // p0 holds the only 0 and crashes before telling anyone: the rest
+        // decide 1 at t+1; EBA properties hold (p0 is faulty).
+        let protocol = Relay::p0(1);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(3),
+        );
+        assert_eq!(trace.decided_value(p(1)), Some(Value::One));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::One));
+        assert!(trace.satisfies_weak_agreement());
+        assert!(trace.satisfies_weak_validity());
+    }
+
+    #[test]
+    fn late_partial_relay_is_still_consistent() {
+        // p0 (value 0) crashes in round 1 delivering only to p1; p1
+        // relays in round 2, so p2 learns at time 2 < t+1 = 3 and all
+        // nonfaulty decide 0.
+        let protocol = Relay::p0(2);
+        let pattern = FailurePattern::failure_free(4).with_behavior(
+            p(0),
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::singleton(p(1)),
+            },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(4, 0b1110),
+            &pattern,
+            Time::new(4),
+        );
+        assert_eq!(trace.decision_time(p(1)), Some(Time::new(1)));
+        assert_eq!(trace.decision_time(p(2)), Some(Time::new(2)));
+        assert_eq!(trace.decision_time(p(3)), Some(Time::new(2)));
+        assert!(trace.satisfies_weak_agreement());
+    }
+
+    #[test]
+    fn p1_is_the_mirror_image() {
+        let protocol = Relay::p1(1);
+        assert_eq!(protocol.name(), "P1");
+        assert_eq!(protocol.favored(), Value::One);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(3, Value::One),
+            &FailurePattern::failure_free(3),
+            Time::new(2),
+        );
+        for i in 0..3 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::ZERO));
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! `P0opt`: the optimal crash-mode EBA protocol of Section 2.2.
+
+use eba_model::{ProcSet, ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// The optimal crash-mode EBA protocol `P0opt` (Section 2.2).
+///
+/// Every processor maintains its information about the initial values of
+/// all processors and sends this list to everyone in every round. The
+/// decision rules:
+///
+/// * **decide 0** the first time the processor knows some initial value
+///   was 0 (the same rule as `P0` — no correct protocol can decide 0
+///   faster);
+/// * **decide 1** the first time either
+///   (a) it knows *all* initial values are 1, or
+///   (b) it hears from the same set of processors in two consecutive
+///   rounds and still does not know of any 0.
+///
+/// Theorem 6.2 proves nonfaulty processors decide at *corresponding
+/// points* of `P0opt` and the knowledge-level optimum `F^{Λ,2}` — i.e.
+/// `P0opt` is an optimal EBA protocol for the crash mode, implementable
+/// with linear-size messages. The reproduction checks the correspondence
+/// exhaustively (experiment EXP3).
+///
+/// By default processors keep sending in every round — the proof of
+/// Theorem 6.2 relies on this ("in `P0opt` every processor sends a message
+/// to all other processors in every round"). The Section 2.2 prose also
+/// notes a processor may halt one round after deciding;
+/// [`P0Opt::with_halting`] enables that variant (it stays a correct EBA
+/// protocol, but heard-from sets — and hence rule (b) firing times — can
+/// shift, so it no longer corresponds point-for-point to `F^{Λ,2}`).
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailurePattern, InitialConfig, ProcessorId, Time, Value};
+/// use eba_protocols::P0Opt;
+/// use eba_sim::execute;
+///
+/// let protocol = P0Opt::new(1);
+/// let config = InitialConfig::uniform(3, Value::One);
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// // Rule (a): after one failure-free round everyone knows all values
+/// // are 1 and decides — two rounds faster than P0's t+1 timeout.
+/// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(1)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct P0Opt {
+    t: u16,
+    halting: bool,
+}
+
+impl P0Opt {
+    /// Creates the protocol for a system tolerating `t` crash failures
+    /// (`t` is used only for reporting; the rules are failure-adaptive).
+    /// Processors send in every round (the variant analyzed by
+    /// Theorem 6.2).
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        P0Opt { t: t as u16, halting: false }
+    }
+
+    /// The Section 2.2 halting variant: processors communicate for one
+    /// more round after deciding, then send nothing.
+    #[must_use]
+    pub fn with_halting(t: usize) -> Self {
+        P0Opt { t: t as u16, halting: true }
+    }
+
+    /// The failure bound the protocol was instantiated with.
+    #[must_use]
+    pub fn t(&self) -> u16 {
+        self.t
+    }
+
+    /// Whether this instance halts one round after deciding.
+    #[must_use]
+    pub fn halting(&self) -> bool {
+        self.halting
+    }
+}
+
+/// A `P0opt` message: the sender's current knowledge of initial values.
+///
+/// `values[j] = Some(v)` when the sender knows processor `j` started with
+/// `v`. Linear in `n`, as the paper notes ("messages of linear size").
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct P0OptMessage {
+    /// Per-processor knowledge of initial values.
+    pub values: Vec<Option<Value>>,
+}
+
+/// The local state of [`P0Opt`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct P0OptState {
+    me: ProcessorId,
+    /// Current knowledge of initial values, indexed by processor.
+    known: Vec<Option<Value>>,
+    /// Who was heard from in the previous round (`None` before round 1).
+    heard_prev: Option<ProcSet>,
+    /// Rounds completed.
+    now: u16,
+    /// Latched decision and the time it was made.
+    decided: Option<(Value, u16)>,
+}
+
+impl P0OptState {
+    /// Whether this state knows some initial value was 0.
+    #[must_use]
+    pub fn knows_zero(&self) -> bool {
+        self.known.contains(&Some(Value::Zero))
+    }
+
+    /// Whether this state knows every initial value (and all are 1).
+    #[must_use]
+    pub fn knows_all_one(&self) -> bool {
+        self.known.iter().all(|v| *v == Some(Value::One))
+    }
+}
+
+impl Protocol for P0Opt {
+    type State = P0OptState;
+    type Message = P0OptMessage;
+
+    fn name(&self) -> &str {
+        "P0opt"
+    }
+
+    fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> P0OptState {
+        let mut known = vec![None; n];
+        known[p.index()] = Some(value);
+        // A 0-holder already knows ∃0 and decides at time 0 (the P0 rule).
+        let decided = (value == Value::Zero).then_some((Value::Zero, 0));
+        P0OptState { me: p, known, heard_prev: None, now: 0, decided }
+    }
+
+    fn message(
+        &self,
+        state: &P0OptState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        round: Round,
+    ) -> Option<P0OptMessage> {
+        match state.decided {
+            Some((_, at)) if self.halting && round.number() > at + 1 => None,
+            _ => Some(P0OptMessage { values: state.known.clone() }),
+        }
+    }
+
+    fn transition(
+        &self,
+        state: &P0OptState,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<P0OptMessage>],
+    ) -> P0OptState {
+        let mut next = state.clone();
+        next.now += 1;
+        let mut heard = ProcSet::empty();
+        for (j, msg) in received.iter().enumerate() {
+            let Some(msg) = msg else { continue };
+            heard.insert(ProcessorId::new(j));
+            for (k, v) in msg.values.iter().enumerate() {
+                if let Some(v) = v {
+                    debug_assert!(next.known[k].is_none() || next.known[k] == Some(*v));
+                    next.known[k] = Some(*v);
+                }
+            }
+        }
+
+        if next.decided.is_none() {
+            if next.knows_zero() {
+                next.decided = Some((Value::Zero, next.now));
+            } else if next.knows_all_one() || state.heard_prev == Some(heard) {
+                // Rule (a): all initial values are known to be 1.
+                // Rule (b): heard from the same set of processors in two
+                // consecutive rounds without learning of a 0.
+                next.decided = Some((Value::One, next.now));
+            }
+        }
+
+        next.heard_prev = Some(heard);
+        next
+    }
+
+    fn output(&self, state: &P0OptState, _p: ProcessorId) -> Option<Value> {
+        state.decided.map(|(v, _)| v)
+    }
+
+    fn message_units(&self, message: &P0OptMessage) -> u64 {
+        // One word per processor slot: the "linear size" the paper notes.
+        message.values.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        FailurePattern, FaultyBehavior, InitialConfig, Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn zero_holders_decide_immediately() {
+        let protocol = P0Opt::new(2);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(4, 0b1110),
+            &FailurePattern::failure_free(4),
+            Time::new(4),
+        );
+        assert_eq!(trace.decision_time(p(0)), Some(Time::ZERO));
+        assert_eq!(trace.decided_value(p(0)), Some(Value::Zero));
+        // Everyone else learns the 0 in round 1.
+        for i in 1..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(1)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::Zero));
+        }
+    }
+
+    #[test]
+    fn all_ones_failure_free_decides_at_time_one() {
+        let protocol = P0Opt::new(2);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &FailurePattern::failure_free(4),
+            Time::new(4),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(1)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+    }
+
+    #[test]
+    fn quiet_round_rule_fires_after_silent_crash() {
+        // p0 holds 1 like everyone, but crashes silently in round 1: the
+        // others hear from {p1, p2} in rounds 1 and 2 — by rule (b) they
+        // decide 1 at time 2 without ever knowing p0's value.
+        let protocol = P0Opt::new(2);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(3, Value::One),
+            &pattern,
+            Time::new(4),
+        );
+        for i in 1..3 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(2)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+    }
+
+    #[test]
+    fn hidden_zero_crash_decides_one_consistently() {
+        let protocol = P0Opt::new(1);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(3),
+        );
+        assert_eq!(trace.decided_value(p(1)), Some(Value::One));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::One));
+        assert!(trace.satisfies_weak_agreement());
+        assert!(trace.satisfies_weak_validity());
+    }
+
+    #[test]
+    fn staggered_crash_delays_but_preserves_agreement() {
+        // p0 (value 0) delivers round-1 only to p1; p1 relays the 0 in
+        // round 2; p2 must not decide 1 at time 2 via the quiet-round
+        // rule before it sees the 0 in the same round.
+        let protocol = P0Opt::new(2);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::singleton(p(1)),
+            },
+        );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(4),
+        );
+        assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::Zero));
+        assert!(trace.satisfies_weak_agreement());
+    }
+
+    #[test]
+    fn halting_variant_is_still_a_safe_eba_protocol() {
+        use eba_model::{enumerate, FailureMode, Scenario};
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 4).unwrap();
+        let protocol = P0Opt::with_halting(1);
+        assert!(protocol.halting());
+        for pattern in enumerate::patterns(&scenario) {
+            for config in InitialConfig::enumerate_all(3) {
+                let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                assert!(trace.satisfies_decision(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_by_t_plus_one() {
+        // Exhaustive over n=3, t=1 crash scenarios: every nonfaulty
+        // processor decides by time t+1 = 2.
+        use eba_model::{enumerate, Scenario, FailureMode};
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 4).unwrap();
+        let protocol = P0Opt::new(1);
+        for pattern in enumerate::patterns(&scenario) {
+            for config in InitialConfig::enumerate_all(3) {
+                let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                for q in trace.nonfaulty() {
+                    let t = trace
+                        .decision_time(q)
+                        .unwrap_or_else(|| panic!("{q} undecided: {config} {pattern}"));
+                    assert!(t <= Time::new(2), "{q} decided at {t}: {config} {pattern}");
+                }
+                assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+            }
+        }
+    }
+}

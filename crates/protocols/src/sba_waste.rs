@@ -1,0 +1,256 @@
+//! `SbaWaste`: early-stopping *simultaneous* agreement for crash
+//! failures, in the style of Dwork–Moses \[DM90\].
+//!
+//! \[DM90\] prove that in the crash mode common knowledge of the initial
+//! configuration's relevant facts arises at time `t + 1 − W`, where the
+//! *waste* `W` measures how wastefully the adversary spent its failures:
+//! if many crashes reveal themselves early, common knowledge (and hence
+//! simultaneous decision) arrives early. This protocol implements the
+//! matching decision rule with linear-size messages:
+//!
+//! * every processor gossips its knowledge of initial values plus, for
+//!   every processor `q`, the best known bound "`q` crashed in round
+//!   `≤ j`" (a missing round-`j` message from `q` proves `q` crashed in
+//!   round `≤ j`; bounds are merged by minimum);
+//! * at time `m` let `D_j` = number of processors known to have crashed
+//!   in rounds `≤ j`, and `W(m) = max_{1 ≤ j ≤ m} max(0, D_j − j)`;
+//! * decide at the first time `m ≥ min(t + 1, n − 1) − W(m)`: 0 if a 0
+//!   is known, else 1. (The `n − 1` cap is the degenerate `t ≥ n − 1`
+//!   corner: a hidden-information chain needs `t + 1` *distinct*
+//!   processors, so with fewer processors common knowledge arrives at
+//!   `n − 1` already — found by differential testing against the exact
+//!   rule, the same corner that bounds Theorem 6.2.)
+//!
+//! The reproduction *verifies* (rather than assumes) that this rule
+//! matches the exact common-knowledge SBA rule — decisions at identical
+//! times with identical values — exhaustively over small systems; see
+//! `tests/sba_optimum.rs`.
+
+use eba_model::{ProcessorId, Round, Value};
+use eba_sim::Protocol;
+
+/// The waste-based simultaneous-agreement protocol; see the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct SbaWaste {
+    t: u16,
+    n: u16,
+}
+
+impl SbaWaste {
+    /// Creates the protocol for `n` processors tolerating `t` crash
+    /// failures.
+    #[must_use]
+    pub fn new(n: usize, t: usize) -> Self {
+        SbaWaste { t: t as u16, n: n as u16 }
+    }
+
+    /// The base decision horizon `min(t + 1, n − 1)`.
+    #[must_use]
+    pub fn horizon_cap(&self) -> u16 {
+        (self.t + 1).min(self.n - 1)
+    }
+}
+
+/// An [`SbaWaste`] message: value knowledge plus crash bounds.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SbaWasteMessage {
+    /// Known initial values (`values[q] = Some(v)` if the sender knows
+    /// `q` started with `v`).
+    pub values: Vec<Option<Value>>,
+    /// `crashed_by[q] = Some(j)`: the sender knows `q` crashed in round
+    /// `≤ j`.
+    pub crashed_by: Vec<Option<u16>>,
+}
+
+/// The local state of [`SbaWaste`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SbaWasteState {
+    known: Vec<Option<Value>>,
+    crashed_by: Vec<Option<u16>>,
+    now: u16,
+    decided: Option<Value>,
+}
+
+impl SbaWasteState {
+    /// The current waste estimate `max_j max(0, D_j − j)`.
+    #[must_use]
+    pub fn waste(&self) -> u16 {
+        let mut best = 0u16;
+        for j in 1..=self.now {
+            let d_j = self
+                .crashed_by
+                .iter()
+                .filter(|b| b.is_some_and(|bound| bound <= j))
+                .count() as u16;
+            best = best.max(d_j.saturating_sub(j));
+        }
+        best
+    }
+
+    /// Whether a 0 is known.
+    #[must_use]
+    pub fn knows_zero(&self) -> bool {
+        self.known.contains(&Some(Value::Zero))
+    }
+}
+
+impl Protocol for SbaWaste {
+    type State = SbaWasteState;
+    type Message = SbaWasteMessage;
+
+    fn name(&self) -> &str {
+        "SbaWaste"
+    }
+
+    fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> SbaWasteState {
+        assert_eq!(n, self.n as usize, "protocol instantiated for a different n");
+        let mut known = vec![None; n];
+        known[p.index()] = Some(value);
+        SbaWasteState { known, crashed_by: vec![None; n], now: 0, decided: None }
+    }
+
+    fn message(
+        &self,
+        state: &SbaWasteState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        _round: Round,
+    ) -> Option<SbaWasteMessage> {
+        Some(SbaWasteMessage {
+            values: state.known.clone(),
+            crashed_by: state.crashed_by.clone(),
+        })
+    }
+
+    fn transition(
+        &self,
+        state: &SbaWasteState,
+        p: ProcessorId,
+        round: Round,
+        received: &[Option<SbaWasteMessage>],
+    ) -> SbaWasteState {
+        let mut next = state.clone();
+        next.now += 1;
+        for (q, msg) in received.iter().enumerate() {
+            match msg {
+                Some(msg) => {
+                    for (k, v) in msg.values.iter().enumerate() {
+                        if let Some(v) = v {
+                            next.known[k] = Some(*v);
+                        }
+                    }
+                    for (k, bound) in msg.crashed_by.iter().enumerate() {
+                        if let Some(bound) = bound {
+                            next.crashed_by[k] = Some(match next.crashed_by[k] {
+                                Some(prev) => prev.min(*bound),
+                                None => *bound,
+                            });
+                        }
+                    }
+                }
+                None if q != p.index() => {
+                    // A missing message proves its sender crashed in this
+                    // round or earlier.
+                    let bound = round.number();
+                    next.crashed_by[q] = Some(match next.crashed_by[q] {
+                        Some(prev) => prev.min(bound),
+                        None => bound,
+                    });
+                }
+                None => {}
+            }
+        }
+
+        if next.decided.is_none()
+            && next.now >= self.horizon_cap().saturating_sub(next.waste())
+        {
+            next.decided = Some(if next.knows_zero() {
+                Value::Zero
+            } else {
+                Value::One
+            });
+        }
+        next
+    }
+
+    fn output(&self, state: &SbaWasteState, _p: ProcessorId) -> Option<Value> {
+        state.decided
+    }
+
+    fn message_units(&self, message: &SbaWasteMessage) -> u64 {
+        (message.values.len() + message.crashed_by.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{
+        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet,
+        Scenario, Time,
+    };
+    use eba_sim::execute;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn failure_free_decides_at_t_plus_one() {
+        let protocol = SbaWaste::new(4, 2);
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &FailurePattern::failure_free(4),
+            Time::new(4),
+        );
+        for i in 0..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(3)));
+            assert_eq!(trace.decided_value(p(i)), Some(Value::One));
+        }
+        assert!(trace.satisfies_simultaneity());
+    }
+
+    #[test]
+    fn visible_double_crash_saves_a_round() {
+        // Both failures burn in round 1, visibly: waste 1, decide at
+        // t+1−1 = 2.
+        let protocol = SbaWaste::new(4, 2);
+        let pattern = FailurePattern::failure_free(4)
+            .with_behavior(
+                p(0),
+                FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            )
+            .with_behavior(
+                p(1),
+                FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            );
+        let trace = execute(
+            &protocol,
+            &InitialConfig::uniform(4, Value::One),
+            &pattern,
+            Time::new(5),
+        );
+        for i in 2..4 {
+            assert_eq!(trace.decision_time(p(i)), Some(Time::new(2)));
+        }
+        assert!(trace.satisfies_simultaneity());
+    }
+
+    #[test]
+    fn exhaustive_sba_properties_small() {
+        for (n, t, hz) in [(3usize, 1usize, 3u16), (4, 2, 5)] {
+            let scenario = Scenario::new(n, t, FailureMode::Crash, hz).unwrap();
+            let protocol = SbaWaste::new(n, t);
+            for pattern in enumerate::patterns(&scenario) {
+                for config in InitialConfig::enumerate_all(n) {
+                    let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+                    assert!(trace.satisfies_decision(), "{config} {pattern}");
+                    assert!(trace.satisfies_weak_agreement(), "{config} {pattern}");
+                    assert!(trace.satisfies_weak_validity(), "{config} {pattern}");
+                    assert!(trace.satisfies_simultaneity(), "{config} {pattern}");
+                }
+            }
+        }
+    }
+}

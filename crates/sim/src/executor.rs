@@ -1,0 +1,281 @@
+//! Running a protocol against a configuration and a failure pattern.
+
+use crate::{Decision, Protocol, Trace};
+use eba_model::{FailurePattern, InitialConfig, ProcessorId, Round, Time};
+
+/// Executes `protocol` for `horizon` rounds under the given initial
+/// configuration and failure pattern, returning the complete [`Trace`].
+///
+/// Semantics (Sections 2.1 and 2.3 of the paper):
+///
+/// * in every round each alive processor computes its outgoing messages
+///   from its current state, then receives the messages delivered to it,
+///   then transitions;
+/// * the failure pattern decides delivery: a faulty sender's messages may
+///   be dropped per its behavior, and a crashed receiver receives nothing
+///   from its crash round on;
+/// * decisions are read off the output function at each time; the trace
+///   records the first (irreversible) decision of each processor.
+///
+/// # Panics
+///
+/// Panics if `config` and `pattern` disagree on the number of processors.
+/// In debug builds, also panics if the protocol revokes or changes a
+/// decision (outputs are required to be irreversible).
+///
+/// # Example
+///
+/// See [`Protocol`] for a complete protocol definition; executing it:
+///
+/// ```
+/// # use eba_model::{FailurePattern, InitialConfig, ProcessorId, Round, Time, Value};
+/// # use eba_sim::{execute, Protocol};
+/// # struct Echo;
+/// # impl Protocol for Echo {
+/// #     type State = Value;
+/// #     type Message = ();
+/// #     fn name(&self) -> &str { "echo" }
+/// #     fn initial_state(&self, _: ProcessorId, _: usize, v: Value) -> Value { v }
+/// #     fn message(&self, _: &Value, _: ProcessorId, _: ProcessorId, _: Round) -> Option<()> { None }
+/// #     fn transition(&self, s: &Value, _: ProcessorId, _: Round, _: &[Option<()>]) -> Value { *s }
+/// #     fn output(&self, s: &Value, _: ProcessorId) -> Option<Value> { Some(*s) }
+/// # }
+/// let config = InitialConfig::uniform(3, Value::One);
+/// let pattern = FailurePattern::failure_free(3);
+/// let trace = execute(&Echo, &config, &pattern, Time::new(2));
+/// assert_eq!(trace.decided_value(ProcessorId::new(0)), Some(Value::One));
+/// ```
+pub fn execute<P: Protocol>(
+    protocol: &P,
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
+) -> Trace<P::State> {
+    let n = config.n();
+    assert_eq!(
+        n,
+        pattern.n(),
+        "configuration and failure pattern disagree on the number of processors"
+    );
+
+    let mut states: Vec<Vec<P::State>> = Vec::with_capacity(horizon.index() + 1);
+    states.push(
+        ProcessorId::all(n)
+            .map(|p| protocol.initial_state(p, n, config.value(p)))
+            .collect(),
+    );
+
+    let mut decisions: Vec<Option<Decision>> = vec![None; n];
+    let mut messages_delivered = 0u64;
+    let mut message_units = 0u64;
+    record_decisions(protocol, &states[0], Time::ZERO, &mut decisions);
+
+    for round in Round::upto(horizon) {
+        let prev = states.last().expect("at least the initial states are present");
+        let mut next: Vec<P::State> = Vec::with_capacity(n);
+        for receiver in ProcessorId::all(n) {
+            // A crashed processor is dead from its crash round on: its
+            // state is carried forward unchanged (it neither sends nor
+            // receives; its decisions no longer matter since it is
+            // faulty).
+            if pattern.crashed_by(receiver, round.end()) {
+                next.push(prev[receiver.index()].clone());
+                continue;
+            }
+            let received: Vec<Option<P::Message>> = ProcessorId::all(n)
+                .map(|sender| {
+                    if !pattern.delivers(sender, receiver, round) {
+                        return None;
+                    }
+                    let msg =
+                        protocol.message(&prev[sender.index()], sender, receiver, round);
+                    if let Some(msg) = &msg {
+                        messages_delivered += 1;
+                        message_units += protocol.message_units(msg);
+                    }
+                    msg
+                })
+                .collect();
+            next.push(protocol.transition(
+                &prev[receiver.index()],
+                receiver,
+                round,
+                &received,
+            ));
+        }
+        record_decisions(protocol, &next, round.end(), &mut decisions);
+        states.push(next);
+    }
+
+    Trace::new(
+        config.clone(),
+        pattern.clone(),
+        horizon,
+        states,
+        decisions,
+        messages_delivered,
+        message_units,
+    )
+}
+
+fn record_decisions<P: Protocol>(
+    protocol: &P,
+    states: &[P::State],
+    time: Time,
+    decisions: &mut [Option<Decision>],
+) {
+    for (idx, state) in states.iter().enumerate() {
+        let output = protocol.output(state, ProcessorId::new(idx));
+        match (decisions[idx], output) {
+            (None, Some(value)) => {
+                decisions[idx] = Some(Decision { value, time });
+            }
+            (Some(prior), new) => {
+                debug_assert_eq!(
+                    new,
+                    Some(prior.value),
+                    "protocol revoked or changed a decision at {time}"
+                );
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{FaultyBehavior, ProcSet, Value};
+
+    /// Every processor floods the minimum value it has seen and decides on
+    /// it after `n` rounds — a crude flooding consensus used to exercise
+    /// the executor.
+    struct FloodMin {
+        rounds: u16,
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct FloodState {
+        min: Value,
+        round: u16,
+        decided: Option<Value>,
+    }
+
+    impl Protocol for FloodMin {
+        type State = FloodState;
+        type Message = Value;
+
+        fn name(&self) -> &str {
+            "flood-min"
+        }
+
+        fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> FloodState {
+            FloodState { min: value, round: 0, decided: None }
+        }
+
+        fn message(
+            &self,
+            state: &FloodState,
+            _from: ProcessorId,
+            _to: ProcessorId,
+            _round: Round,
+        ) -> Option<Value> {
+            Some(state.min)
+        }
+
+        fn transition(
+            &self,
+            state: &FloodState,
+            _p: ProcessorId,
+            _round: Round,
+            received: &[Option<Value>],
+        ) -> FloodState {
+            let min = received.iter().flatten().fold(state.min, |acc, &v| acc.min(v));
+            let round = state.round + 1;
+            let decided = state
+                .decided
+                .or_else(|| (round >= self.rounds).then_some(min));
+            FloodState { min, round, decided }
+        }
+
+        fn output(&self, state: &FloodState, _p: ProcessorId) -> Option<Value> {
+            state.decided
+        }
+    }
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn failure_free_flooding_agrees_on_min() {
+        let protocol = FloodMin { rounds: 2 };
+        let config = InitialConfig::from_bits(3, 0b110); // p1 holds 0
+        let pattern = FailurePattern::failure_free(3);
+        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        for q in 0..3 {
+            assert_eq!(trace.decided_value(p(q)), Some(Value::Zero));
+            assert_eq!(trace.decision_time(p(q)), Some(Time::new(2)));
+        }
+        assert!(trace.satisfies_weak_agreement());
+        assert!(trace.satisfies_simultaneity());
+    }
+
+    #[test]
+    fn silent_zero_holder_keeps_zero_hidden() {
+        let protocol = FloodMin { rounds: 2 };
+        // p0 holds 0 but crashes in round 1 delivering nothing.
+        let config = InitialConfig::from_bits(3, 0b110);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        assert_eq!(trace.decided_value(p(1)), Some(Value::One));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::One));
+        assert_eq!(trace.nonfaulty(), [p(1), p(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn crash_with_partial_delivery_splits_information_for_a_round() {
+        let protocol = FloodMin { rounds: 1 };
+        // p0 holds 0, crashes in round 1 delivering only to p1: p1 decides
+        // 0, p2 decides 1 (flooding for a single round is not agreement —
+        // which is the point of the Byzantine agreement problem).
+        let config = InitialConfig::from_bits(3, 0b110);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::singleton(p(1)),
+            },
+        );
+        let trace = execute(&protocol, &config, &pattern, Time::new(2));
+        assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
+        assert_eq!(trace.decided_value(p(2)), Some(Value::One));
+        assert!(!trace.satisfies_weak_agreement());
+    }
+
+    #[test]
+    fn crashed_processor_state_is_frozen() {
+        let protocol = FloodMin { rounds: 1 };
+        let config = InitialConfig::uniform(3, Value::One);
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        assert_eq!(trace.state(p(0), Time::new(3)).round, 0);
+        assert_eq!(trace.state(p(1), Time::new(3)).round, 3);
+    }
+
+    #[test]
+    fn message_count_reflects_deliveries() {
+        let protocol = FloodMin { rounds: 1 };
+        let config = InitialConfig::uniform(2, Value::One);
+        let pattern = FailurePattern::failure_free(2);
+        let trace = execute(&protocol, &config, &pattern, Time::new(1));
+        // Two processors exchange one message each for one round.
+        assert_eq!(trace.messages_delivered(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Synchronous round-based simulator and full-information view machinery.
+//!
+//! This crate provides the execution substrate of the reproduction:
+//!
+//! * [`Protocol`] — the paper's notion of a protocol (Section 2.3): a
+//!   message-generation function, a state-transition function, and an
+//!   output function, all deterministic;
+//! * [`execute`] / [`Trace`] — running a protocol against an initial
+//!   configuration and a failure pattern, producing the full run;
+//! * [`ViewTable`] / [`ViewId`] — hash-consed *full-information views*
+//!   (Section 2.4): the local states of processors running the
+//!   full-information protocol, shared across runs so that two points have
+//!   equal `ViewId` exactly when the processor has the same FIP local
+//!   state at both;
+//! * [`GeneratedSystem`] — the set of runs of the full-information
+//!   protocol for a scenario (exhaustive or sampled), the object on which
+//!   all knowledge tests are evaluated.
+//!
+//! # Example
+//!
+//! ```
+//! use eba_model::{FailureMode, Scenario};
+//! use eba_sim::GeneratedSystem;
+//!
+//! # fn main() -> Result<(), eba_model::ModelError> {
+//! let scenario = Scenario::new(3, 1, FailureMode::Crash, 3)?;
+//! let system = GeneratedSystem::exhaustive(&scenario);
+//! assert!(system.num_runs() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod full_info;
+mod protocol;
+mod system;
+mod trace;
+mod view;
+
+pub mod stats;
+
+pub use executor::execute;
+pub use full_info::{FullInformation, View};
+pub use protocol::Protocol;
+pub use system::{GeneratedSystem, RunId, RunRecord};
+pub use trace::{Decision, Trace};
+pub use view::{fip_views, ViewId, ViewNode, ViewTable};

@@ -1,0 +1,149 @@
+//! The protocol abstraction of Section 2.3.
+
+use eba_model::{ProcessorId, Round, Value};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A deterministic synchronous protocol, following the formalization of
+/// Section 2.3 of the paper: a protocol is a message-generation function
+/// `μ_ij : Q → L`, a state-transition function `δ_i : Q × Lⁿ → Q`, and an
+/// output function.
+///
+/// Conventions:
+///
+/// * `None` plays the role of the null message `Λ`;
+/// * the output function returns `None` for `⊥` (no decision yet); once a
+///   processor outputs a value its later outputs must stay equal
+///   (decisions are irreversible) — [`crate::execute`] asserts this in
+///   debug builds and [`crate::Trace`] records the first decision;
+/// * the executor passes the processor id and round number explicitly for
+///   convenience; a well-formed protocol state determines both.
+///
+/// # Example
+///
+/// A one-round protocol where everyone broadcasts its value and decides on
+/// the minimum value it has seen:
+///
+/// ```
+/// use eba_model::{ProcessorId, Round, Value};
+/// use eba_sim::Protocol;
+///
+/// struct MinOnce;
+///
+/// impl Protocol for MinOnce {
+///     type State = (Value, bool); // (minimum seen, done)
+///     type Message = Value;
+///
+///     fn name(&self) -> &'static str { "min-once" }
+///
+///     fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> Self::State {
+///         (value, false)
+///     }
+///
+///     fn message(
+///         &self,
+///         state: &Self::State,
+///         _from: ProcessorId,
+///         _to: ProcessorId,
+///         round: Round,
+///     ) -> Option<Value> {
+///         (round == Round::FIRST).then_some(state.0)
+///     }
+///
+///     fn transition(
+///         &self,
+///         state: &Self::State,
+///         _p: ProcessorId,
+///         _round: Round,
+///         received: &[Option<Value>],
+///     ) -> Self::State {
+///         let min = received
+///             .iter()
+///             .flatten()
+///             .fold(state.0, |acc, &v| acc.min(v));
+///         (min, true)
+///     }
+///
+///     fn output(&self, state: &Self::State, _p: ProcessorId) -> Option<Value> {
+///         state.1.then_some(state.0)
+///     }
+/// }
+/// ```
+pub trait Protocol {
+    /// The local-state set `Q`.
+    type State: Clone + Eq + Hash + Debug;
+    /// The message alphabet `L` (without the null message, which is
+    /// modeled by `Option::None`).
+    type Message: Clone + Eq + Debug;
+
+    /// A short human-readable protocol name, used in reports.
+    fn name(&self) -> &str;
+
+    /// The initial state `σ_i` of processor `p`, given its initial value.
+    fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> Self::State;
+
+    /// The message-generation function `μ_{from,to}` for `round`; `None`
+    /// is the null message.
+    fn message(
+        &self,
+        state: &Self::State,
+        from: ProcessorId,
+        to: ProcessorId,
+        round: Round,
+    ) -> Option<Self::Message>;
+
+    /// The state-transition function `δ_p`: computes the state at the end
+    /// of `round` from the state at its start and the messages received
+    /// during it (`received[j]` is the message from processor `j`, if
+    /// delivered; `received[p] = None` always — own memory lives in the
+    /// state).
+    fn transition(
+        &self,
+        state: &Self::State,
+        p: ProcessorId,
+        round: Round,
+        received: &[Option<Self::Message>],
+    ) -> Self::State;
+
+    /// The output function: `Some(v)` once the processor has decided `v`,
+    /// `None` for `⊥`.
+    fn output(&self, state: &Self::State, p: ProcessorId) -> Option<Value>;
+
+    /// The size of a message in abstract units (think words); used by the
+    /// executor to account message complexity. Defaults to 1 — override
+    /// for protocols with structured messages (Section 6.1 of the paper
+    /// distinguishes `P0opt`'s linear-size messages from the exponential
+    /// full-information exchange).
+    fn message_units(&self, _message: &Self::Message) -> u64 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: runners store heterogeneous
+    /// protocols behind `dyn`.
+    #[test]
+    fn protocol_is_object_safe() {
+        struct Null;
+        impl Protocol for Null {
+            type State = ();
+            type Message = ();
+            fn name(&self) -> &str {
+                "null"
+            }
+            fn initial_state(&self, _: ProcessorId, _: usize, _: Value) {}
+            fn message(&self, (): &(), _: ProcessorId, _: ProcessorId, _: Round) -> Option<()> {
+                None
+            }
+            fn transition(&self, (): &(), _: ProcessorId, _: Round, _: &[Option<()>]) {}
+            fn output(&self, (): &(), _: ProcessorId) -> Option<Value> {
+                None
+            }
+        }
+        let boxed: Box<dyn Protocol<State = (), Message = ()>> = Box::new(Null);
+        assert_eq!(boxed.name(), "null");
+    }
+}

@@ -1,0 +1,314 @@
+//! Generated systems: the set of runs of the full-information protocol.
+
+use crate::view::{fip_views, ViewId, ViewTable};
+use eba_model::{
+    enumerate, sample, FailurePattern, InitialConfig, ProcSet, ProcessorId, Scenario, Time,
+};
+use std::collections::HashMap;
+
+/// Identifies a run within a [`GeneratedSystem`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RunId(u32);
+
+impl RunId {
+    /// The index of this run.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a run id from an index.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        RunId(u32::try_from(index).expect("run id overflow"))
+    }
+}
+
+/// The defining data of one run: runs are uniquely determined by an
+/// initial configuration and a failure pattern (Section 2.3).
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// The run's initial configuration.
+    pub config: InitialConfig,
+    /// The run's failure pattern.
+    pub pattern: FailurePattern,
+    /// The set of processors nonfaulty throughout the run (the value of
+    /// the nonrigid set `N` on this run).
+    pub nonfaulty: ProcSet,
+}
+
+/// The set of runs of the full-information protocol for a scenario, with
+/// every processor's view interned at every time.
+///
+/// This is the paper's system `R_P` (restricted to the FIP and a finite
+/// horizon) — the structure over which all knowledge formulas are
+/// evaluated. Since all full-information protocols have the same states at
+/// corresponding points (Section 2.4, Corollary A.5), a single generated
+/// system serves every `FIP(Z, O)` over it: decision pairs are just view
+/// predicates layered on top.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::GeneratedSystem;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// // 8 configurations × 25 patterns.
+/// assert_eq!(system.num_runs(), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GeneratedSystem {
+    scenario: Scenario,
+    runs: Vec<RunRecord>,
+    /// Flattened `views[run][time][proc]`.
+    views: Vec<ViewId>,
+    table: ViewTable,
+    lookup: HashMap<(u128, FailurePattern), RunId>,
+}
+
+impl GeneratedSystem {
+    /// Generates the system containing **every** run of the scenario:
+    /// every initial configuration crossed with every canonical failure
+    /// pattern.
+    ///
+    /// The size is `2^n × count_patterns(scenario)`; check
+    /// [`enumerate::count_patterns`] before calling this on large
+    /// scenarios.
+    #[must_use]
+    pub fn exhaustive(scenario: &Scenario) -> Self {
+        let configs: Vec<InitialConfig> =
+            InitialConfig::enumerate_all(scenario.n()).collect();
+        let mut runs = Vec::new();
+        for pattern in enumerate::patterns(scenario) {
+            for config in &configs {
+                runs.push((config.clone(), pattern.clone()));
+            }
+        }
+        Self::from_runs(scenario, runs)
+    }
+
+    /// Generates a sampled system: `num_runs` random (configuration,
+    /// pattern) pairs drawn with the given seed, deduplicated, plus the
+    /// failure-free run of every sampled configuration (so corresponding
+    /// failure-free behavior is always present).
+    #[must_use]
+    pub fn sampled(scenario: &Scenario, num_runs: usize, seed: u64) -> Self {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = sample::PatternSampler::new(*scenario);
+        let mut runs = Vec::with_capacity(num_runs * 2);
+        for _ in 0..num_runs {
+            let config = sample::random_config(scenario.n(), &mut rng);
+            let pattern = sampler.sample(&mut rng);
+            runs.push((config.clone(), FailurePattern::failure_free(scenario.n())));
+            runs.push((config, pattern));
+        }
+        Self::from_runs(scenario, runs)
+    }
+
+    /// Builds a system from an explicit list of runs. Duplicate
+    /// (configuration, pattern) pairs are kept only once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern fails validation against the scenario.
+    #[must_use]
+    pub fn from_runs(
+        scenario: &Scenario,
+        run_specs: Vec<(InitialConfig, FailurePattern)>,
+    ) -> Self {
+        let n = scenario.n();
+        let horizon = scenario.horizon();
+        let slots_per_run = (horizon.index() + 1) * n;
+
+        let mut table = ViewTable::new();
+        let mut runs = Vec::new();
+        let mut views = Vec::with_capacity(run_specs.len() * slots_per_run);
+        let mut lookup = HashMap::new();
+
+        for (config, pattern) in run_specs {
+            scenario
+                .validate_pattern(&pattern)
+                .expect("failure pattern invalid for the scenario");
+            let key = (config.to_bits(), pattern.clone());
+            if lookup.contains_key(&key) {
+                continue;
+            }
+            let id = RunId::new(runs.len());
+            lookup.insert(key, id);
+            let run_views = fip_views(&config, &pattern, horizon, &mut table);
+            for time_views in &run_views {
+                views.extend_from_slice(time_views);
+            }
+            let nonfaulty = pattern.nonfaulty_set();
+            runs.push(RunRecord { config, pattern, nonfaulty });
+        }
+
+        GeneratedSystem { scenario: *scenario, runs, views, table, lookup }
+    }
+
+    /// The scenario this system was generated for.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.scenario.n()
+    }
+
+    /// The horizon: every run covers times `0..=horizon`.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.scenario.horizon()
+    }
+
+    /// Number of runs.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of (run, time) points.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.num_runs() * (self.horizon().index() + 1)
+    }
+
+    /// Iterates over all run ids.
+    pub fn run_ids(&self) -> impl DoubleEndedIterator<Item = RunId> + Clone {
+        (0..self.runs.len()).map(RunId::new)
+    }
+
+    /// The record of run `r`.
+    #[must_use]
+    pub fn run(&self, r: RunId) -> &RunRecord {
+        &self.runs[r.index()]
+    }
+
+    /// The set of nonfaulty processors of run `r`.
+    #[must_use]
+    pub fn nonfaulty(&self, r: RunId) -> ProcSet {
+        self.runs[r.index()].nonfaulty
+    }
+
+    /// The view (FIP local state) of processor `p` at time `time` of run
+    /// `r`.
+    #[must_use]
+    pub fn view(&self, r: RunId, p: ProcessorId, time: Time) -> ViewId {
+        let n = self.n();
+        let slots_per_run = (self.horizon().index() + 1) * n;
+        self.views[r.index() * slots_per_run + time.index() * n + p.index()]
+    }
+
+    /// The view table holding all interned views.
+    #[must_use]
+    pub fn table(&self) -> &ViewTable {
+        &self.table
+    }
+
+    /// Finds the run with the given configuration and pattern, if present
+    /// (used to pair *corresponding runs* across protocols).
+    #[must_use]
+    pub fn find_run(
+        &self,
+        config: &InitialConfig,
+        pattern: &FailurePattern,
+    ) -> Option<RunId> {
+        self.lookup.get(&(config.to_bits(), pattern.clone())).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{FailureMode, Value};
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn exhaustive_size_matches_enumeration() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let expected = 8 * enumerate::count_patterns(&scenario) as usize;
+        assert_eq!(system.num_runs(), expected);
+        assert_eq!(system.num_points(), expected * 3);
+    }
+
+    #[test]
+    fn views_are_consistent_with_records() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        for r in system.run_ids() {
+            let record = system.run(r);
+            for q in ProcessorId::all(3) {
+                let v0 = system.view(r, q, Time::ZERO);
+                assert_eq!(system.table().own_value(v0), record.config.value(q));
+                assert_eq!(system.table().time(v0), Time::ZERO);
+                assert_eq!(system.table().proc(v0), q);
+            }
+        }
+    }
+
+    #[test]
+    fn find_run_locates_corresponding_runs() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        let config = InitialConfig::uniform(3, Value::One);
+        let pattern = FailurePattern::failure_free(3);
+        let r = system.find_run(&config, &pattern).unwrap();
+        assert_eq!(system.run(r).config, config);
+        assert_eq!(system.nonfaulty(r), ProcSet::full(3));
+    }
+
+    #[test]
+    fn from_runs_deduplicates() {
+        let scenario = Scenario::new(2, 1, FailureMode::Crash, 1).unwrap();
+        let config = InitialConfig::uniform(2, Value::Zero);
+        let pattern = FailurePattern::failure_free(2);
+        let system = GeneratedSystem::from_runs(
+            &scenario,
+            vec![(config.clone(), pattern.clone()), (config, pattern)],
+        );
+        assert_eq!(system.num_runs(), 1);
+    }
+
+    #[test]
+    fn sampled_systems_are_reproducible() {
+        let scenario = Scenario::new(6, 2, FailureMode::Omission, 4).unwrap();
+        let a = GeneratedSystem::sampled(&scenario, 50, 9);
+        let b = GeneratedSystem::sampled(&scenario, 50, 9);
+        assert_eq!(a.num_runs(), b.num_runs());
+        for (ra, rb) in a.run_ids().zip(b.run_ids()) {
+            assert_eq!(a.run(ra).config, b.run(rb).config);
+            assert_eq!(a.run(ra).pattern, b.run(rb).pattern);
+        }
+    }
+
+    #[test]
+    fn interning_shares_views_across_runs() {
+        // In a failure-free world every run's views depend only on the
+        // configuration, so the table stays small relative to the run
+        // count.
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        assert!(system.table().len() < system.num_points() * system.n());
+        // p0's time-0 view appears in many runs but is interned once per
+        // initial value.
+        let zeros = system
+            .run_ids()
+            .map(|r| system.view(r, p(0), Time::ZERO))
+            .collect::<std::collections::HashSet<_>>();
+        assert_eq!(zeros.len(), 2);
+    }
+}

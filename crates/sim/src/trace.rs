@@ -1,0 +1,250 @@
+//! Execution traces.
+
+use eba_model::{
+    FailurePattern, InitialConfig, ProcSet, ProcessorId, Time, Value,
+};
+
+/// An irreversible decision: the value and the time at which it was first
+/// output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Decision {
+    /// The decided value.
+    pub value: Value,
+    /// The time at which the decision was made (decisions happen at times,
+    /// not during rounds — Section 2.3).
+    pub time: Time,
+}
+
+/// A complete record of one run of a protocol: per-time local states, the
+/// first decision of every processor, and the run's defining data.
+///
+/// Produced by [`crate::execute`].
+#[derive(Clone, Debug)]
+pub struct Trace<S> {
+    config: InitialConfig,
+    pattern: FailurePattern,
+    horizon: Time,
+    /// `states[time][proc]`.
+    states: Vec<Vec<S>>,
+    decisions: Vec<Option<Decision>>,
+    messages_delivered: u64,
+    message_units: u64,
+}
+
+impl<S> Trace<S> {
+    pub(crate) fn new(
+        config: InitialConfig,
+        pattern: FailurePattern,
+        horizon: Time,
+        states: Vec<Vec<S>>,
+        decisions: Vec<Option<Decision>>,
+        messages_delivered: u64,
+        message_units: u64,
+    ) -> Self {
+        Trace {
+            config,
+            pattern,
+            horizon,
+            states,
+            decisions,
+            messages_delivered,
+            message_units,
+        }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.config.n()
+    }
+
+    /// The run's initial configuration.
+    #[must_use]
+    pub fn config(&self) -> &InitialConfig {
+        &self.config
+    }
+
+    /// The run's failure pattern.
+    #[must_use]
+    pub fn pattern(&self) -> &FailurePattern {
+        &self.pattern
+    }
+
+    /// The last simulated time.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// The set of processors nonfaulty throughout the run.
+    #[must_use]
+    pub fn nonfaulty(&self) -> ProcSet {
+        self.pattern.nonfaulty_set()
+    }
+
+    /// The local state of `p` at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` exceeds the horizon.
+    #[must_use]
+    pub fn state(&self, p: ProcessorId, time: Time) -> &S {
+        &self.states[time.index()][p.index()]
+    }
+
+    /// The first decision of `p`, if it ever decides within the horizon.
+    #[must_use]
+    pub fn decision(&self, p: ProcessorId) -> Option<Decision> {
+        self.decisions[p.index()]
+    }
+
+    /// The time at which `p` decides, if it does.
+    #[must_use]
+    pub fn decision_time(&self, p: ProcessorId) -> Option<Time> {
+        self.decision(p).map(|d| d.time)
+    }
+
+    /// The value `p` decides, if it does.
+    #[must_use]
+    pub fn decided_value(&self, p: ProcessorId) -> Option<Value> {
+        self.decision(p).map(|d| d.value)
+    }
+
+    /// Whether every nonfaulty processor decided within the horizon.
+    #[must_use]
+    pub fn all_nonfaulty_decided(&self) -> bool {
+        self.nonfaulty().iter().all(|p| self.decision(p).is_some())
+    }
+
+    /// The latest decision time among nonfaulty processors, or `None` if
+    /// some nonfaulty processor never decides.
+    #[must_use]
+    pub fn last_nonfaulty_decision_time(&self) -> Option<Time> {
+        self.nonfaulty()
+            .iter()
+            .map(|p| self.decision_time(p))
+            .collect::<Option<Vec<_>>>()
+            .and_then(|times| times.into_iter().max())
+    }
+
+    /// The distinct values decided by nonfaulty processors.
+    #[must_use]
+    pub fn nonfaulty_decided_values(&self) -> Vec<Value> {
+        let mut values: Vec<Value> =
+            self.nonfaulty().iter().filter_map(|p| self.decided_value(p)).collect();
+        values.sort_unstable();
+        values.dedup();
+        values
+    }
+
+    /// Total number of messages delivered during the run.
+    #[must_use]
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Total size of delivered messages, in the protocol's abstract units
+    /// (see [`crate::Protocol::message_units`]).
+    #[must_use]
+    pub fn message_units(&self) -> u64 {
+        self.message_units
+    }
+
+    /// Checks the *weak agreement* property (2′): nonfaulty processors do
+    /// not decide on different values.
+    #[must_use]
+    pub fn satisfies_weak_agreement(&self) -> bool {
+        self.nonfaulty_decided_values().len() <= 1
+    }
+
+    /// Checks the *weak validity* property (3′): if all initial values are
+    /// identical, every nonfaulty decision equals that value.
+    #[must_use]
+    pub fn satisfies_weak_validity(&self) -> bool {
+        if !self.config.all_same() {
+            return true;
+        }
+        let v = self.config.value(ProcessorId::new(0));
+        self.nonfaulty()
+            .iter()
+            .filter_map(|p| self.decided_value(p))
+            .all(|d| d == v)
+    }
+
+    /// Checks the EBA *decision* property restricted to the horizon: every
+    /// nonfaulty processor decides. (A protocol that decides after the
+    /// horizon fails this check; choose the horizon accordingly.)
+    #[must_use]
+    pub fn satisfies_decision(&self) -> bool {
+        self.all_nonfaulty_decided()
+    }
+
+    /// Checks the SBA *simultaneity* property (4): all nonfaulty
+    /// processors decide at the same time.
+    #[must_use]
+    pub fn satisfies_simultaneity(&self) -> bool {
+        let mut times =
+            self.nonfaulty().iter().map(|p| self.decision_time(p));
+        match times.next() {
+            None => true,
+            Some(first) => times.all(|t| t == first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_with_decisions(decisions: Vec<Option<Decision>>) -> Trace<()> {
+        let n = decisions.len();
+        Trace::new(
+            InitialConfig::uniform(n, Value::One),
+            FailurePattern::failure_free(n),
+            Time::new(2),
+            vec![vec![(); n]; 3],
+            decisions,
+            0,
+            0,
+        )
+    }
+
+    fn d(v: Value, t: u16) -> Option<Decision> {
+        Some(Decision { value: v, time: Time::new(t) })
+    }
+
+    #[test]
+    fn agreement_checks() {
+        let t = trace_with_decisions(vec![d(Value::One, 1), d(Value::One, 2)]);
+        assert!(t.satisfies_weak_agreement());
+        let t = trace_with_decisions(vec![d(Value::One, 1), d(Value::Zero, 2)]);
+        assert!(!t.satisfies_weak_agreement());
+        let t = trace_with_decisions(vec![d(Value::One, 1), None]);
+        assert!(t.satisfies_weak_agreement());
+        assert!(!t.satisfies_decision());
+    }
+
+    #[test]
+    fn validity_checks() {
+        // All-ones configuration with a 0 decision violates weak validity.
+        let t = trace_with_decisions(vec![d(Value::Zero, 1), d(Value::Zero, 1)]);
+        assert!(!t.satisfies_weak_validity());
+        let t = trace_with_decisions(vec![d(Value::One, 1), d(Value::One, 1)]);
+        assert!(t.satisfies_weak_validity());
+    }
+
+    #[test]
+    fn simultaneity_checks() {
+        let t = trace_with_decisions(vec![d(Value::One, 1), d(Value::One, 1)]);
+        assert!(t.satisfies_simultaneity());
+        let t = trace_with_decisions(vec![d(Value::One, 1), d(Value::One, 2)]);
+        assert!(!t.satisfies_simultaneity());
+        assert_eq!(t.last_nonfaulty_decision_time(), Some(Time::new(2)));
+    }
+
+    #[test]
+    fn last_decision_time_none_when_undecided() {
+        let t = trace_with_decisions(vec![d(Value::One, 1), None]);
+        assert_eq!(t.last_nonfaulty_decision_time(), None);
+    }
+}

@@ -1,0 +1,488 @@
+//! Hash-consed full-information views.
+//!
+//! In a full-information protocol (Section 2.4 of the paper) every
+//! processor sends its entire local state to everyone in every round. The
+//! local state of processor `i` at time `m` is therefore a *view*: its
+//! initial value at time 0, and at time `m > 0` its view at `m − 1`
+//! together with, for every sender `j`, either `⊥` (message not delivered)
+//! or `j`'s view at `m − 1`.
+//!
+//! Views are hash-consed in a [`ViewTable`]: structurally equal views get
+//! the same [`ViewId`], *across runs*. Since the FIP local state is exactly
+//! the view, two points of the generated system are indistinguishable to
+//! `i` precisely when `i`'s `ViewId` is equal at both — this is what makes
+//! the knowledge machinery of `eba-kripke` a set of bucket lookups.
+//!
+//! The table caches derived attributes per view (does a 0 appear anywhere?
+//! which processors' initial values are known? who was heard from in the
+//! last round?) so protocol decision rules run in O(1) per view.
+
+use eba_model::{
+    FailurePattern, InitialConfig, ProcSet, ProcessorId, Round, Time, Value,
+};
+use std::collections::HashMap;
+
+/// An interned full-information view; equal ids ⟺ identical FIP local
+/// state (within one [`ViewTable`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ViewId(u32);
+
+impl ViewId {
+    /// The table index of this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a table index (the inverse of
+    /// [`ViewId::index`]); only meaningful for indices smaller than the
+    /// owning table's [`ViewTable::len`].
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ViewId(u32::try_from(index).expect("view index overflow"))
+    }
+}
+
+/// The structure of a view: a time-0 leaf or an extension node.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ViewNode {
+    /// The view of `proc` at time 0: its initial value.
+    Leaf {
+        /// The view's owner.
+        proc: ProcessorId,
+        /// The owner's initial value.
+        value: Value,
+    },
+    /// The view of a processor at time `m > 0`.
+    Node {
+        /// The owner's view at the previous time.
+        prev: ViewId,
+        /// `received[j]` is `j`'s view at the previous time if `j`'s
+        /// round-`m` message was delivered, `None` otherwise
+        /// (`received[owner]` is always `None`; own memory is `prev`).
+        received: Box<[Option<ViewId>]>,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ViewMeta {
+    proc: ProcessorId,
+    time: Time,
+    own_value: Value,
+    exists_zero: bool,
+    exists_one: bool,
+    known_procs: ProcSet,
+    known_zeros: ProcSet,
+    heard_from: ProcSet,
+}
+
+/// An interning table for full-information views; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{ProcessorId, Value};
+/// use eba_sim::ViewTable;
+///
+/// let mut table = ViewTable::new();
+/// let a = table.leaf(ProcessorId::new(0), Value::Zero);
+/// let b = table.leaf(ProcessorId::new(0), Value::Zero);
+/// assert_eq!(a, b); // hash-consing
+/// assert!(table.exists_zero(a));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ViewTable {
+    nodes: Vec<ViewNode>,
+    meta: Vec<ViewMeta>,
+    index: HashMap<ViewNode, ViewId>,
+}
+
+impl ViewTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ViewTable::default()
+    }
+
+    /// Number of distinct views interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn intern(&mut self, node: ViewNode, meta: ViewMeta) -> ViewId {
+        if let Some(&id) = self.index.get(&node) {
+            return id;
+        }
+        let id = ViewId(u32::try_from(self.nodes.len()).expect("view table overflow"));
+        self.index.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.meta.push(meta);
+        id
+    }
+
+    /// Interns the time-0 view of `proc` with initial value `value`.
+    pub fn leaf(&mut self, proc: ProcessorId, value: Value) -> ViewId {
+        let meta = ViewMeta {
+            proc,
+            time: Time::ZERO,
+            own_value: value,
+            exists_zero: value == Value::Zero,
+            exists_one: value == Value::One,
+            known_procs: ProcSet::singleton(proc),
+            known_zeros: if value == Value::Zero {
+                ProcSet::singleton(proc)
+            } else {
+                ProcSet::empty()
+            },
+            heard_from: ProcSet::empty(),
+        };
+        self.intern(ViewNode::Leaf { proc, value }, meta)
+    }
+
+    /// Interns the view obtained by extending `prev` with one round of
+    /// receptions: `received[j]` must be `j`'s view at the owner's
+    /// previous time if delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a received view is not at the owner's
+    /// previous time or `received[owner]` is not `None`.
+    pub fn extend(&mut self, prev: ViewId, received: Vec<Option<ViewId>>) -> ViewId {
+        let prev_meta = self.meta[prev.index()];
+        debug_assert!(received
+            .iter()
+            .flatten()
+            .all(|v| self.meta[v.index()].time == prev_meta.time));
+        debug_assert!(received[prev_meta.proc.index()].is_none());
+
+        let mut exists_zero = prev_meta.exists_zero;
+        let mut exists_one = prev_meta.exists_one;
+        let mut known_procs = prev_meta.known_procs;
+        let mut known_zeros = prev_meta.known_zeros;
+        let mut heard_from = ProcSet::empty();
+        for (j, v) in received.iter().enumerate() {
+            if let Some(v) = v {
+                let m = &self.meta[v.index()];
+                exists_zero |= m.exists_zero;
+                exists_one |= m.exists_one;
+                known_procs = known_procs | m.known_procs;
+                known_zeros = known_zeros | m.known_zeros;
+                heard_from.insert(ProcessorId::new(j));
+            }
+        }
+        let meta = ViewMeta {
+            proc: prev_meta.proc,
+            time: prev_meta.time.next(),
+            own_value: prev_meta.own_value,
+            exists_zero,
+            exists_one,
+            known_procs,
+            known_zeros,
+            heard_from,
+        };
+        self.intern(
+            ViewNode::Node { prev, received: received.into_boxed_slice() },
+            meta,
+        )
+    }
+
+    /// The structure of view `id`.
+    #[must_use]
+    pub fn node(&self, id: ViewId) -> &ViewNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The owner of the view.
+    #[must_use]
+    pub fn proc(&self, id: ViewId) -> ProcessorId {
+        self.meta[id.index()].proc
+    }
+
+    /// The time of the view (its depth; the FIP state includes the global
+    /// clock).
+    #[must_use]
+    pub fn time(&self, id: ViewId) -> Time {
+        self.meta[id.index()].time
+    }
+
+    /// The owner's own initial value.
+    #[must_use]
+    pub fn own_value(&self, id: ViewId) -> Value {
+        self.meta[id.index()].own_value
+    }
+
+    /// Whether an initial value 0 appears anywhere in the view (the owner
+    /// has *learned of a 0*).
+    #[must_use]
+    pub fn exists_zero(&self, id: ViewId) -> bool {
+        self.meta[id.index()].exists_zero
+    }
+
+    /// Whether an initial value 1 appears anywhere in the view.
+    #[must_use]
+    pub fn exists_one(&self, id: ViewId) -> bool {
+        self.meta[id.index()].exists_one
+    }
+
+    /// Whether an initial value `v` appears anywhere in the view.
+    #[must_use]
+    pub fn exists_value(&self, id: ViewId, v: Value) -> bool {
+        match v {
+            Value::Zero => self.exists_zero(id),
+            Value::One => self.exists_one(id),
+        }
+    }
+
+    /// The set of processors whose initial values appear in the view.
+    #[must_use]
+    pub fn known_procs(&self, id: ViewId) -> ProcSet {
+        self.meta[id.index()].known_procs
+    }
+
+    /// The set of processors the view shows to have started with 0.
+    #[must_use]
+    pub fn known_zeros(&self, id: ViewId) -> ProcSet {
+        self.meta[id.index()].known_zeros
+    }
+
+    /// Whether the view contains the initial values of all `n` processors
+    /// and all of them are 1 ("knows that all initial values are 1").
+    #[must_use]
+    pub fn knows_all_one(&self, id: ViewId, n: usize) -> bool {
+        self.known_procs(id) == ProcSet::full(n) && !self.exists_zero(id)
+    }
+
+    /// The set of processors whose message was received in the view's last
+    /// round (empty for time-0 views).
+    #[must_use]
+    pub fn heard_from(&self, id: ViewId) -> ProcSet {
+        self.meta[id.index()].heard_from
+    }
+
+    /// The owner's view at the previous time, or `None` for a leaf.
+    #[must_use]
+    pub fn prev(&self, id: ViewId) -> Option<ViewId> {
+        match self.node(id) {
+            ViewNode::Leaf { .. } => None,
+            ViewNode::Node { prev, .. } => Some(*prev),
+        }
+    }
+
+    /// The view received from `j` in the last round, or `None` for a leaf
+    /// or an undelivered message.
+    #[must_use]
+    pub fn received_from(&self, id: ViewId, j: ProcessorId) -> Option<ViewId> {
+        match self.node(id) {
+            ViewNode::Leaf { .. } => None,
+            ViewNode::Node { received, .. } => received[j.index()],
+        }
+    }
+
+    /// The owner's view at an earlier time `time ≤ time(id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time > time(id)`.
+    #[must_use]
+    pub fn at_time(&self, id: ViewId, time: Time) -> ViewId {
+        let mut current = id;
+        while self.time(current) > time {
+            current = self.prev(current).expect("non-leaf views have a predecessor");
+        }
+        assert_eq!(self.time(current), time, "time exceeds the view's time");
+        current
+    }
+}
+
+/// Computes the full-information views of every processor at every time of
+/// the run determined by `(config, pattern)`, up to `horizon`.
+///
+/// Returns `views[time][proc]`. A crashed processor's view is frozen at
+/// its crash; a crashed processor is faulty, so its post-crash view never
+/// participates in any `N`-relative knowledge test.
+///
+/// # Panics
+///
+/// Panics if `config` and `pattern` disagree on `n`.
+#[must_use]
+pub fn fip_views(
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
+    table: &mut ViewTable,
+) -> Vec<Vec<ViewId>> {
+    let n = config.n();
+    assert_eq!(n, pattern.n());
+    let mut views: Vec<Vec<ViewId>> = Vec::with_capacity(horizon.index() + 1);
+    views.push(ProcessorId::all(n).map(|p| table.leaf(p, config.value(p))).collect());
+    for round in Round::upto(horizon) {
+        let prev_views = views.last().expect("time 0 is always present").clone();
+        let mut now: Vec<ViewId> = Vec::with_capacity(n);
+        for receiver in ProcessorId::all(n) {
+            if pattern.crashed_by(receiver, round.end()) {
+                now.push(prev_views[receiver.index()]);
+                continue;
+            }
+            let received: Vec<Option<ViewId>> = ProcessorId::all(n)
+                .map(|sender| {
+                    pattern
+                        .delivers(sender, receiver, round)
+                        .then(|| prev_views[sender.index()])
+                })
+                .collect();
+            now.push(table.extend(prev_views[receiver.index()], received));
+        }
+        views.push(now);
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::FaultyBehavior;
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    #[test]
+    fn leaves_are_interned() {
+        let mut t = ViewTable::new();
+        let a = t.leaf(p(0), Value::One);
+        let b = t.leaf(p(0), Value::One);
+        let c = t.leaf(p(0), Value::Zero);
+        let d = t.leaf(p(1), Value::One);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn leaf_metadata() {
+        let mut t = ViewTable::new();
+        let a = t.leaf(p(2), Value::Zero);
+        assert_eq!(t.proc(a), p(2));
+        assert_eq!(t.time(a), Time::ZERO);
+        assert_eq!(t.own_value(a), Value::Zero);
+        assert!(t.exists_zero(a));
+        assert!(!t.exists_one(a));
+        assert_eq!(t.known_procs(a), ProcSet::singleton(p(2)));
+        assert_eq!(t.known_zeros(a), ProcSet::singleton(p(2)));
+        assert_eq!(t.heard_from(a), ProcSet::empty());
+        assert_eq!(t.prev(a), None);
+    }
+
+    #[test]
+    fn extension_merges_metadata() {
+        let mut t = ViewTable::new();
+        let v0 = t.leaf(p(0), Value::One);
+        let v1 = t.leaf(p(1), Value::Zero);
+        let ext = t.extend(v0, vec![None, Some(v1), None]);
+        assert_eq!(t.proc(ext), p(0));
+        assert_eq!(t.time(ext), Time::new(1));
+        assert!(t.exists_zero(ext));
+        assert!(t.exists_one(ext));
+        assert_eq!(t.known_procs(ext), [p(0), p(1)].into_iter().collect());
+        assert_eq!(t.known_zeros(ext), ProcSet::singleton(p(1)));
+        assert_eq!(t.heard_from(ext), ProcSet::singleton(p(1)));
+        assert_eq!(t.prev(ext), Some(v0));
+        assert_eq!(t.received_from(ext, p(1)), Some(v1));
+        assert_eq!(t.received_from(ext, p(2)), None);
+    }
+
+    #[test]
+    fn fip_views_failure_free_everyone_learns_everything() {
+        let mut t = ViewTable::new();
+        let config = InitialConfig::from_bits(3, 0b011);
+        let pattern = FailurePattern::failure_free(3);
+        let views = fip_views(&config, &pattern, Time::new(2), &mut t);
+        for (q, &v) in views[1].iter().enumerate() {
+            assert_eq!(t.known_procs(v), ProcSet::full(3));
+            assert!(t.exists_zero(v));
+            assert!(!t.knows_all_one(v, 3));
+            assert_eq!(t.heard_from(v), ProcSet::full(3) - ProcSet::singleton(p(q)));
+        }
+    }
+
+    #[test]
+    fn fip_views_equal_across_indistinguishable_runs() {
+        // p0 silent from round 1; the remaining processors cannot tell
+        // whether p0's value was 0 or 1: their views must be interned to
+        // the same ids.
+        let mut t = ViewTable::new();
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let run_a = fip_views(&InitialConfig::from_bits(3, 0b110), &pattern, Time::new(2), &mut t);
+        let run_b = fip_views(&InitialConfig::from_bits(3, 0b111), &pattern, Time::new(2), &mut t);
+        for time in 0..=2 {
+            for q in 1..3 {
+                assert_eq!(run_a[time][q], run_b[time][q], "time {time}, processor {q}");
+            }
+        }
+        // p0's own views differ (it knows its own value).
+        assert_ne!(run_a[0][0], run_b[0][0]);
+    }
+
+    #[test]
+    fn fip_views_distinguish_once_information_flows() {
+        let mut t = ViewTable::new();
+        let pattern = FailurePattern::failure_free(3);
+        let run_a = fip_views(&InitialConfig::from_bits(3, 0b110), &pattern, Time::new(2), &mut t);
+        let run_b = fip_views(&InitialConfig::from_bits(3, 0b111), &pattern, Time::new(2), &mut t);
+        // After one failure-free round everyone knows p0's value.
+        for q in 0..3 {
+            assert_ne!(run_a[1][q], run_b[1][q]);
+        }
+    }
+
+    #[test]
+    fn crashed_views_freeze() {
+        let mut t = ViewTable::new();
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+        let views =
+            fip_views(&InitialConfig::uniform(3, Value::One), &pattern, Time::new(3), &mut t);
+        assert_eq!(views[1][0], views[0][0]);
+        assert_eq!(views[3][0], views[0][0]);
+        assert_ne!(views[1][1], views[0][1]);
+    }
+
+    #[test]
+    fn at_time_walks_back() {
+        let mut t = ViewTable::new();
+        let config = InitialConfig::uniform(2, Value::One);
+        let pattern = FailurePattern::failure_free(2);
+        let views = fip_views(&config, &pattern, Time::new(3), &mut t);
+        let late = views[3][0];
+        assert_eq!(t.at_time(late, Time::new(1)), views[1][0]);
+        assert_eq!(t.at_time(late, Time::new(3)), late);
+    }
+
+    #[test]
+    fn omission_faulty_receiver_keeps_receiving() {
+        let mut t = ViewTable::new();
+        let pattern = FailurePattern::failure_free(2).with_behavior(
+            p(0),
+            FaultyBehavior::Omission { omissions: vec![ProcSet::singleton(p(1))] },
+        );
+        let views =
+            fip_views(&InitialConfig::uniform(2, Value::One), &pattern, Time::new(1), &mut t);
+        // p1 did not hear from p0 …
+        assert_eq!(t.heard_from(views[1][1]), ProcSet::empty());
+        // … but the omission-faulty p0 still hears from p1.
+        assert_eq!(t.heard_from(views[1][0]), ProcSet::singleton(p(1)));
+    }
+}

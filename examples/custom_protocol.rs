@@ -1,0 +1,148 @@
+//! Bring your own protocol: implement [`Protocol`], validate it with the
+//! harness, and measure it against the knowledge-level optimum.
+//!
+//! The custom protocol here is a plausible-looking "lazy relay": decide 0
+//! on learning of a 0 (like `P0`), and decide 1 after two quiet rounds
+//! in a row — a stricter (and slower) variant of `P0opt`'s rule (b).
+//! The harness shows it is *safe* (agreement + validity, exhaustively)
+//! but *not optimal*: the derived `F^{Λ,2}` strictly dominates it, and
+//! the Theorem 5.3 conditions pinpoint the slack.
+//!
+//! ```text
+//! cargo run --example custom_protocol
+//! ```
+
+use eba::prelude::*;
+use eba_core::protocols::f_lambda_2;
+use eba_protocols::runner::run_exhaustive;
+
+/// The custom protocol: `P0`'s decide-0 rule plus a double-quiet-round
+/// decide-1 rule.
+#[derive(Clone, Copy, Debug)]
+struct LazyRelay;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct LazyState {
+    knows_zero: bool,
+    heard: Vec<ProcSet>, // heard-from set per completed round
+    decided: Option<Value>,
+}
+
+impl Protocol for LazyRelay {
+    type State = LazyState;
+    type Message = bool; // "I know of a 0"
+
+    fn name(&self) -> &str {
+        "LazyRelay"
+    }
+
+    fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> LazyState {
+        let knows_zero = value == Value::Zero;
+        LazyState {
+            knows_zero,
+            heard: Vec::new(),
+            decided: knows_zero.then_some(Value::Zero),
+        }
+    }
+
+    fn message(
+        &self,
+        state: &LazyState,
+        _from: ProcessorId,
+        _to: ProcessorId,
+        _round: Round,
+    ) -> Option<bool> {
+        Some(state.knows_zero)
+    }
+
+    fn transition(
+        &self,
+        state: &LazyState,
+        _p: ProcessorId,
+        _round: Round,
+        received: &[Option<bool>],
+    ) -> LazyState {
+        let mut next = state.clone();
+        let mut heard = ProcSet::empty();
+        for (j, msg) in received.iter().enumerate() {
+            if let Some(flag) = msg {
+                heard.insert(ProcessorId::new(j));
+                next.knows_zero |= flag;
+            }
+        }
+        next.heard.push(heard);
+        if next.decided.is_none() {
+            if next.knows_zero {
+                next.decided = Some(Value::Zero);
+            } else if next.heard.len() >= 3 {
+                // Two quiet rounds in a row: the same heard-from set three
+                // times running.
+                let k = next.heard.len();
+                if next.heard[k - 1] == next.heard[k - 2]
+                    && next.heard[k - 2] == next.heard[k - 3]
+                {
+                    next.decided = Some(Value::One);
+                }
+            }
+        }
+        next
+    }
+
+    fn output(&self, state: &LazyState, _p: ProcessorId) -> Option<Value> {
+        state.decided
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::new(4, 1, FailureMode::Crash, 5)?;
+
+    // 1. Safety, exhaustively: every initial configuration × every
+    //    failure pattern.
+    let report = run_exhaustive(&LazyRelay, &scenario);
+    println!("exhaustive campaign: {report}");
+    assert!(report.safe(), "LazyRelay must satisfy agreement + validity");
+    assert!(report.live(), "LazyRelay must decide within the horizon");
+
+    // 2. How far from optimal? Compare with F^{Λ,2} run-by-run.
+    let knowledge_scenario = Scenario::new(4, 1, FailureMode::Crash, 3)?;
+    let system = GeneratedSystem::exhaustive(&knowledge_scenario);
+    let mut ctor = Constructor::new(&system);
+    let optimal = f_lambda_2(&mut ctor);
+    let d_optimal = FipDecisions::compute(&system, &optimal, "F^{Λ,2}");
+
+    let mut equal = 0u64;
+    let mut optimal_earlier = 0u64;
+    let mut lazy_earlier = 0u64;
+    let mut max_gap = 0u16;
+    for run in system.run_ids() {
+        let record = system.run(run);
+        let trace = execute(&LazyRelay, &record.config, &record.pattern, Time::new(5));
+        for p in record.nonfaulty {
+            let lazy = trace.decision_time(p).expect("decides by horizon 5");
+            let opt = d_optimal
+                .decision_time(run, p)
+                .expect("the optimum decides within its horizon");
+            match opt.cmp(&lazy) {
+                std::cmp::Ordering::Less => {
+                    optimal_earlier += 1;
+                    max_gap = max_gap.max(lazy - opt);
+                }
+                std::cmp::Ordering::Equal => equal += 1,
+                std::cmp::Ordering::Greater => lazy_earlier += 1,
+            }
+        }
+    }
+    println!(
+        "vs F^{{Λ,2}}: equal={equal} optimal-earlier={optimal_earlier} \
+         lazy-earlier={lazy_earlier} max-gap={max_gap} rounds"
+    );
+    assert_eq!(lazy_earlier, 0, "nothing beats the optimum");
+    assert!(optimal_earlier > 0, "LazyRelay leaves rounds on the table");
+
+    // 3. The Theorem 5.3 verdict on the optimum itself.
+    println!("F^{{Λ,2}} optimality: {}", check_optimality(&mut ctor, &optimal));
+
+    println!("\nconclusion: LazyRelay is safe but dominated — run the two-step");
+    println!("construction (Constructor::optimize) to close the gap.");
+    Ok(())
+}

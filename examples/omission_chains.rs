@@ -1,0 +1,92 @@
+//! Omission-mode agreement: 0-chains at scale and the optimal `F*`.
+//!
+//! A sensor network must agree whether any node raised an alarm (0 =
+//! alarm, 1 = all clear) while lossy nodes may silently drop outgoing
+//! messages. The chain protocol of Section 6.2 decides by round `f + 1`;
+//! we sweep the number of actual failures `f`, pit it against the
+//! worst-case silence-chain adversary, and — on a small instance — build
+//! the knowledge-level optimum `F*` that dominates it.
+//!
+//! ```text
+//! cargo run --release --example omission_chains
+//! ```
+
+use eba::prelude::*;
+use eba_core::protocols::{f_star, zero_chain_pair};
+use eba_model::sample::{self, PatternSampler};
+use eba_protocols::ChainOmission;
+use eba_sim::stats::DecisionStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 16;
+const T: usize = 6;
+const RUNS_PER_F: usize = 400;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::new(N, T, FailureMode::Omission, T as u16 + 2)?;
+    let protocol = ChainOmission::new(N);
+    println!("scenario: {scenario}\n");
+
+    // Sweep the actual number of failures: Proposition 6.4 promises
+    // decisions by time f + 1.
+    println!("{:<4} {:>10} {:>8} {:>8}", "f", "runs", "mean", "max(≤f+1)");
+    let mut rng = StdRng::seed_from_u64(99);
+    for f in 0..=T {
+        let sampler = PatternSampler::new(scenario).exact_faulty(f);
+        let mut stats = DecisionStats::new();
+        for _ in 0..RUNS_PER_F {
+            // Sparse zeros so decide-1 (the f+1-bounded side) dominates.
+            let config = sample::random_config_biased(N, 0.5 / N as f64, &mut rng);
+            let pattern = sampler.sample(&mut rng);
+            let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+            assert!(trace.satisfies_weak_agreement());
+            assert!(trace.satisfies_weak_validity());
+            for p in trace.nonfaulty() {
+                let t = trace.decision_time(p).expect("EBA decides");
+                assert!(t.ticks() <= f as u16 + 1, "f+1 bound violated");
+            }
+            stats.record_trace(&trace);
+        }
+        println!(
+            "{:<4} {:>10} {:>8.3} {:>8}",
+            f,
+            RUNS_PER_F,
+            stats.mean_time().unwrap_or(f64::NAN),
+            stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+        );
+    }
+
+    // The worst-case adversary: a silence chain whispering the only alarm
+    // down a line of lossy nodes.
+    let chain_members: Vec<ProcessorId> = (0..T).map(ProcessorId::new).collect();
+    let worst = sample::silence_chain(&scenario, &chain_members);
+    let mut config_bits = (1u128 << N) - 1;
+    config_bits &= !1; // processor 0 raises the alarm (value 0)
+    let config = InitialConfig::from_bits(N, config_bits);
+    let trace = execute(&protocol, &config, &worst, scenario.horizon());
+    let max = trace
+        .last_nonfaulty_decision_time()
+        .expect("all nonfaulty decide");
+    println!(
+        "\nsilence-chain adversary (f = {T}): slowest nonfaulty decision at {max} \
+         (bound f+1 = {})",
+        T + 1
+    );
+
+    // Knowledge level, small instance: F* dominates FIP(Z⁰, O⁰).
+    let small = Scenario::new(4, 1, FailureMode::Omission, 3)?;
+    let system = GeneratedSystem::exhaustive(&small);
+    let mut ctor = Constructor::new(&system);
+    let base = zero_chain_pair(&mut ctor);
+    let star = f_star(&mut ctor);
+    let d_base = FipDecisions::compute(&system, &base, "FIP(Z⁰,O⁰)");
+    let d_star = FipDecisions::compute(&system, &star, "F*");
+    let dom = dominates(&system, &d_star, &d_base);
+    println!("\nknowledge level ({small}):");
+    println!("  F* vs FIP(Z⁰,O⁰): {dom}");
+    println!("  F* optimal: {}", check_optimality(&mut ctor, &star));
+    assert!(dom.dominates);
+
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: derive the optimal crash-mode EBA protocol from nothing.
+//!
+//! Builds the full-information system for a small scenario, applies the
+//! paper's two-step optimization (Theorem 5.2) to the never-deciding
+//! protocol `F^Λ`, verifies the result is an optimal EBA protocol
+//! (Theorem 5.3), and prints what it decides on a few interesting runs.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use eba::prelude::*;
+use eba_model::sample;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A system of 4 processors, at most 1 crash failure, simulated for
+    //    t + 2 = 3 rounds.
+    let scenario = Scenario::with_recommended_horizon(4, 1, FailureMode::Crash)?;
+    println!("scenario: {scenario}");
+
+    // 2. Generate *every* run of the full-information protocol.
+    let system = GeneratedSystem::exhaustive(&scenario);
+    println!(
+        "generated system: {} runs, {} points, {} distinct views",
+        system.num_runs(),
+        system.num_points(),
+        system.table().len()
+    );
+
+    // 3. Optimize the never-deciding protocol F^Λ. Two steps suffice
+    //    (Theorem 5.2); the result is the paper's F^{Λ,2}.
+    let mut ctor = Constructor::new(&system);
+    let f_lambda_2 = ctor.optimize(&DecisionPair::empty(scenario.n()));
+    let decisions = FipDecisions::compute(&system, &f_lambda_2, "F^{Λ,2}");
+
+    // 4. Verify: it is an EBA protocol, and it is optimal.
+    let properties = verify_properties(&system, &decisions);
+    println!("properties: {properties}");
+    assert!(properties.is_eba());
+    let optimality = check_optimality(&mut ctor, &f_lambda_2);
+    println!("optimality (Theorem 5.3): {optimality}");
+    assert!(optimality.is_optimal());
+
+    // 5. Watch it decide. Failure-free all-ones: decide 1 at time 1.
+    let show = |config: &InitialConfig, pattern: &FailurePattern| {
+        let run = system.find_run(config, pattern).expect("run exists");
+        print!("  {config} under [{pattern}]:");
+        for p in ProcessorId::all(scenario.n()) {
+            match decisions.decision(run, p) {
+                Some(d) => print!("  {p}→{} @{}", d.value, d.time),
+                None => print!("  {p}→⊥"),
+            }
+        }
+        println!();
+    };
+
+    println!("\ndecisions of F^{{Λ,2}}:");
+    let failure_free = FailurePattern::failure_free(scenario.n());
+    show(&InitialConfig::uniform(4, Value::One), &failure_free);
+    show(&InitialConfig::uniform(4, Value::Zero), &failure_free);
+    show(&InitialConfig::from_bits(4, 0b1110), &failure_free);
+    // A 0-holder crashing before revealing its value: the survivors
+    // settle on 1 as soon as knowledge permits.
+    let silent = sample::silent_processor(&scenario, ProcessorId::new(0));
+    show(&InitialConfig::from_bits(4, 0b1110), &silent);
+
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Run explorer: watch knowledge build up round by round.
+//!
+//! Picks a handful of instructive runs and prints, for each, the timeline
+//! of the knowledge conditions the paper's decision rules test — from
+//! plain belief `B^N_i ∃0`, through common knowledge `C_N ∃0`, to the
+//! continual common knowledge `C□_{N∧O} ∃0` that gates the optimal
+//! decide-0 rule.
+//!
+//! ```text
+//! cargo run --example run_explorer
+//! ```
+
+use eba::prelude::*;
+use eba_core::protocols::f_lambda_2;
+use eba_kripke::explain::Timeline;
+use eba_model::sample;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3)?;
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+
+    // The optimal protocol's decision sets, so we can display its exact
+    // gating conditions.
+    let pair = f_lambda_2(&mut ctor);
+    let (z_id, o_id) = {
+        let eval = ctor.evaluator();
+        (
+            eval.register_state_sets(pair.zero().clone()),
+            eval.register_state_sets(pair.one().clone()),
+        )
+    };
+
+    let p2 = ProcessorId::new(1);
+    let formulas: Vec<(String, Formula)> = vec![
+        ("∃0".into(), Formula::exists(Value::Zero)),
+        (
+            "B^N_p2 ∃0".into(),
+            Formula::exists(Value::Zero).believed_by(p2, NonRigidSet::Nonfaulty),
+        ),
+        (
+            "E_N ∃0".into(),
+            Formula::exists(Value::Zero).everyone(NonRigidSet::Nonfaulty),
+        ),
+        (
+            "C_N ∃0".into(),
+            Formula::exists(Value::Zero).common(NonRigidSet::Nonfaulty),
+        ),
+        (
+            "C□_{N∧O} ∃0".into(),
+            Formula::exists(Value::Zero)
+                .continual_common(NonRigidSet::NonfaultyAnd(o_id)),
+        ),
+        ("p2 decides 0".into(), Formula::StateIn(p2, z_id)),
+        ("p2 decides 1".into(), Formula::StateIn(p2, o_id)),
+    ];
+
+    let show = |ctor: &mut Constructor<'_>, title: &str, config: InitialConfig, pattern: FailurePattern| {
+        let run = ctor.system().find_run(&config, &pattern).expect("run exists");
+        println!("— {title}: {config} under [{pattern}]");
+        let timeline = Timeline::build(ctor.evaluator(), run, &formulas);
+        println!("{timeline}");
+    };
+
+    show(
+        &mut ctor,
+        "failure-free with one 0",
+        InitialConfig::from_bits(3, 0b110),
+        FailurePattern::failure_free(3),
+    );
+    show(
+        &mut ctor,
+        "all ones, failure-free",
+        InitialConfig::uniform(3, Value::One),
+        FailurePattern::failure_free(3),
+    );
+    show(
+        &mut ctor,
+        "the 0-holder dies silently",
+        InitialConfig::from_bits(3, 0b110),
+        sample::silent_processor(&scenario, ProcessorId::new(0)),
+    );
+    show(
+        &mut ctor,
+        "the 0-holder whispers to p2, then dies",
+        InitialConfig::from_bits(3, 0b110),
+        FailurePattern::failure_free(3).with_behavior(
+            ProcessorId::new(0),
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::singleton(p2),
+            },
+        ),
+    );
+
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Cross-protocol domination structure (Section 2.2 / experiment EXP2):
+//! over every run of exhaustive crash scenarios,
+//! `P0opt` dominates `P0`, `EarlyStoppingCrash`, and `FloodMin`
+//! (strictly), and the non-optimal protocols form the expected partial
+//! order.
+
+use eba::prelude::*;
+use eba_protocols::{EarlyStoppingCrash, FloodMin, P0Opt, Relay};
+
+/// Decision times of every nonfaulty processor across every run of the
+/// scenario, as (run-key, per-processor times).
+fn times_for<P: Protocol>(
+    protocol: &P,
+    scenario: &Scenario,
+) -> Vec<Vec<Option<Time>>> {
+    let configs: Vec<InitialConfig> =
+        InitialConfig::enumerate_all(scenario.n()).collect();
+    let mut out = Vec::new();
+    for pattern in eba_model::enumerate::patterns(scenario) {
+        for config in &configs {
+            let trace = execute(protocol, config, &pattern, scenario.horizon());
+            out.push(
+                ProcessorId::all(scenario.n())
+                    .map(|p| {
+                        pattern
+                            .nonfaulty_set()
+                            .contains(p)
+                            .then(|| trace.decision_time(p))
+                            .flatten()
+                    })
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// Returns (dominates, strictly).
+fn compare(a: &[Vec<Option<Time>>], b: &[Vec<Option<Time>>]) -> (bool, bool) {
+    let mut dominates = true;
+    let mut strict = false;
+    for (ra, rb) in a.iter().zip(b) {
+        for (ta, tb) in ra.iter().zip(rb) {
+            match (ta, tb) {
+                (Some(ta), Some(tb)) => {
+                    if ta > tb {
+                        dominates = false;
+                    } else if ta < tb {
+                        strict = true;
+                    }
+                }
+                (None, Some(_)) => dominates = false,
+                (Some(_), None) => strict = true,
+                (None, None) => {}
+            }
+        }
+    }
+    (dominates, dominates && strict)
+}
+
+#[test]
+fn p0opt_strictly_dominates_the_field() {
+    let scenario = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+    let opt = times_for(&P0Opt::new(1), &scenario);
+    let p0 = times_for(&Relay::p0(1), &scenario);
+    let early = times_for(&EarlyStoppingCrash::new(1), &scenario);
+    let flood = times_for(&FloodMin::new(1), &scenario);
+
+    for (name, other) in [("P0", &p0), ("EarlyStop", &early), ("FloodMin", &flood)] {
+        let (dom, strict) = compare(&opt, other);
+        assert!(dom, "P0opt fails to dominate {name}");
+        assert!(strict, "P0opt should strictly dominate {name}");
+    }
+}
+
+#[test]
+fn early_stopping_strictly_dominates_floodmin() {
+    let scenario = Scenario::new(4, 2, FailureMode::Crash, 4).unwrap();
+    let early = times_for(&EarlyStoppingCrash::new(2), &scenario);
+    let flood = times_for(&FloodMin::new(2), &scenario);
+    let (dom, strict) = compare(&early, &flood);
+    assert!(dom && strict);
+}
+
+#[test]
+fn p0_does_not_dominate_p0opt() {
+    let scenario = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+    let opt = times_for(&P0Opt::new(1), &scenario);
+    let p0 = times_for(&Relay::p0(1), &scenario);
+    let (dom, _) = compare(&p0, &opt);
+    assert!(!dom);
+}
+
+/// P0 and P0opt decide 0 at identical times: the paper's point that the
+/// optimization cannot touch the decide-0 rule (no correct protocol
+/// decides 0 faster than "first learn of a 0").
+#[test]
+fn decide_zero_times_match_between_p0_and_p0opt() {
+    let scenario = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+    let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(4).collect();
+    for pattern in eba_model::enumerate::patterns(&scenario) {
+        for config in &configs {
+            let a = execute(&Relay::p0(1), config, &pattern, scenario.horizon());
+            let b = execute(&P0Opt::new(1), config, &pattern, scenario.horizon());
+            for p in pattern.nonfaulty_set() {
+                let da = a.decision(p);
+                let db = b.decision(p);
+                if let (Some(da), Some(db)) = (da, db) {
+                    if da.value == Value::Zero && db.value == Value::Zero {
+                        assert_eq!(da.time, db.time, "{config} {pattern} {p}");
+                    }
+                }
+            }
+        }
+    }
+}

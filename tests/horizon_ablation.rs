@@ -1,0 +1,95 @@
+//! Horizon-substitution validation (DESIGN.md §2): the paper's systems
+//! have unbounded runs; the reproduction truncates at a finite horizon
+//! `T`. This test checks the substitution is behavior-preserving for the
+//! protocols under study: decisions of nonfaulty processors on runs whose
+//! failure patterns fit the *smaller* horizon are identical when the
+//! system is regenerated with a larger horizon (which both extends runs
+//! and enriches the pattern space).
+
+use eba::prelude::*;
+use eba_core::protocols::{f_lambda_2, zero_chain_pair};
+
+/// Computes F^{Λ,2} decisions at two horizons and compares them on the
+/// shared runs.
+fn compare_horizons(
+    n: usize,
+    t: usize,
+    mode: FailureMode,
+    small: u16,
+    large: u16,
+    build: fn(&mut Constructor<'_>) -> DecisionPair,
+    name: &str,
+) {
+    let scenario_small = Scenario::new(n, t, mode, small).unwrap();
+    let scenario_large = Scenario::new(n, t, mode, large).unwrap();
+    let sys_small = GeneratedSystem::exhaustive(&scenario_small);
+    let sys_large = GeneratedSystem::exhaustive(&scenario_large);
+
+    let mut ctor_small = Constructor::new(&sys_small);
+    let mut ctor_large = Constructor::new(&sys_large);
+    let d_small =
+        FipDecisions::compute(&sys_small, &build(&mut ctor_small), name);
+    let d_large =
+        FipDecisions::compute(&sys_large, &build(&mut ctor_large), name);
+
+    let mut compared = 0u64;
+    for run_small in sys_small.run_ids() {
+        let record = sys_small.run(run_small);
+        // Patterns valid at the small horizon are valid at the large one
+        // except for the re-encoding of omission vectors, which must be
+        // padded with empty rounds.
+        let padded = pad_pattern(&record.pattern, mode, large);
+        let Some(run_large) = sys_large.find_run(&record.config, &padded) else {
+            continue;
+        };
+        for p in record.nonfaulty {
+            assert_eq!(
+                d_small.decision(run_small, p),
+                d_large.decision(run_large, p),
+                "{name}: horizon {small} vs {large} diverges at {p} \
+                 ({} / {})",
+                record.config,
+                record.pattern,
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "no shared runs compared");
+}
+
+fn pad_pattern(
+    pattern: &FailurePattern,
+    mode: FailureMode,
+    horizon: u16,
+) -> FailurePattern {
+    let mut out = FailurePattern::failure_free(pattern.n());
+    for p in ProcessorId::all(pattern.n()) {
+        if let Some(behavior) = pattern.behavior(p) {
+            let padded = match (mode, behavior) {
+                (FailureMode::Omission, FaultyBehavior::Omission { omissions }) => {
+                    let mut omissions = omissions.clone();
+                    omissions.resize(horizon as usize, ProcSet::empty());
+                    FaultyBehavior::Omission { omissions }
+                }
+                _ => behavior.clone(),
+            };
+            out.set_behavior(p, padded);
+        }
+    }
+    out
+}
+
+#[test]
+fn f_lambda_2_crash_is_horizon_stable() {
+    compare_horizons(3, 1, FailureMode::Crash, 3, 4, f_lambda_2, "F^{Λ,2}");
+}
+
+#[test]
+fn f_lambda_2_crash_is_horizon_stable_above_recommended() {
+    compare_horizons(3, 1, FailureMode::Crash, 4, 5, f_lambda_2, "F^{Λ,2}");
+}
+
+#[test]
+fn zero_chain_omission_is_horizon_stable() {
+    compare_horizons(3, 1, FailureMode::Omission, 2, 3, zero_chain_pair, "FIP(Z⁰,O⁰)");
+}

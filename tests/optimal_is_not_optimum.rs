@@ -1,0 +1,88 @@
+//! Optimal ≠ optimum, at the knowledge level.
+//!
+//! Proposition 2.1 shows no *optimum* EBA protocol exists, via the
+//! message-level pair `P0`/`P1`. The knowledge-level mirror: the
+//! Theorem 5.2 construction run zero-first (`step_one ∘ step_zero`) and
+//! one-first (`step_zero ∘ step_one`) from the same seed produces two
+//! protocols that are **both optimal** (each passes the Theorem 5.3
+//! characterization) yet **neither dominates the other** — each is
+//! strictly faster on the configurations its first step favors.
+
+use eba::prelude::*;
+
+fn optimal_pair(
+    system: &GeneratedSystem,
+) -> (DecisionPair, DecisionPair, FipDecisions, FipDecisions) {
+    let mut ctor = Constructor::new(system);
+    let seed = DecisionPair::empty(system.n());
+    let zero_first = ctor.optimize(&seed);
+    let one_first = ctor.optimize_one_first(&seed);
+    let d_zero = FipDecisions::compute(system, &zero_first, "F² (0-first)");
+    let d_one = FipDecisions::compute(system, &one_first, "F² (1-first)");
+    (zero_first, one_first, d_zero, d_one)
+}
+
+#[test]
+fn both_constructions_are_optimal_but_incomparable_crash() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let (zero_first, one_first, d_zero, d_one) = optimal_pair(&system);
+
+    let mut ctor = Constructor::new(&system);
+    assert!(check_optimality(&mut ctor, &zero_first).is_optimal());
+    assert!(check_optimality(&mut ctor, &one_first).is_optimal());
+
+    let fwd = dominates(&system, &d_zero, &d_one);
+    let bwd = dominates(&system, &d_one, &d_zero);
+    assert!(!fwd.dominates, "zero-first should not dominate one-first: {fwd}");
+    assert!(!bwd.dominates, "one-first should not dominate zero-first: {bwd}");
+    // Each is strictly faster somewhere.
+    assert!(fwd.earlier > 0 && bwd.earlier > 0);
+}
+
+#[test]
+fn both_constructions_are_optimal_but_incomparable_omission() {
+    let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let (zero_first, one_first, d_zero, d_one) = optimal_pair(&system);
+
+    let mut ctor = Constructor::new(&system);
+    assert!(check_optimality(&mut ctor, &zero_first).is_optimal());
+    assert!(check_optimality(&mut ctor, &one_first).is_optimal());
+
+    let fwd = dominates(&system, &d_zero, &d_one);
+    let bwd = dominates(&system, &d_one, &d_zero);
+    assert!(!fwd.dominates && !bwd.dominates);
+}
+
+/// The two optima disagree exactly where Prop 2.1 predicts: the
+/// zero-first protocol decides earlier on 0-heavy runs, the one-first on
+/// 1-heavy runs.
+#[test]
+fn disagreements_follow_the_favored_value() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let (_, _, d_zero, d_one) = optimal_pair(&system);
+
+    let all_zero = system
+        .find_run(
+            &InitialConfig::uniform(3, Value::Zero),
+            &FailurePattern::failure_free(3),
+        )
+        .unwrap();
+    let all_one = system
+        .find_run(
+            &InitialConfig::uniform(3, Value::One),
+            &FailurePattern::failure_free(3),
+        )
+        .unwrap();
+    for p in ProcessorId::all(3) {
+        // All-zeros: the zero-first optimum decides at time 0; the
+        // one-first must wait to rule out a decision of 1.
+        assert_eq!(d_zero.decision_time(all_zero, p), Some(Time::ZERO));
+        assert!(d_one.decision_time(all_zero, p).unwrap() > Time::ZERO);
+        // All-ones: symmetric.
+        assert_eq!(d_one.decision_time(all_one, p), Some(Time::ZERO));
+        assert!(d_zero.decision_time(all_one, p).unwrap() > Time::ZERO);
+    }
+}

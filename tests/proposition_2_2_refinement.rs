@@ -1,0 +1,79 @@
+//! Proposition 2.2 / Corollary 2.3: the full-information protocol makes
+//! the finest state distinctions — for any protocol `P` there is a
+//! per-processor function from FIP views to `P`-states that commutes with
+//! corresponding points. We verify the function is well defined for each
+//! of our message-level protocols: across every pair of corresponding
+//! points, equal views imply equal protocol states.
+
+use eba::prelude::*;
+use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+fn check_refinement<P>(protocol: &P, scenario: &Scenario)
+where
+    P: Protocol,
+    P::State: Hash,
+{
+    let system = GeneratedSystem::exhaustive(scenario);
+    // f_p : ViewId -> P::State, built incrementally; any collision with a
+    // different state falsifies Proposition 2.2 for this protocol.
+    let mut maps: Vec<HashMap<eba_sim::ViewId, P::State>> =
+        vec![HashMap::new(); scenario.n()];
+    for run in system.run_ids() {
+        let record = system.run(run);
+        let trace = execute(protocol, &record.config, &record.pattern, scenario.horizon());
+        for time in Time::upto(scenario.horizon()) {
+            for p in ProcessorId::all(scenario.n()) {
+                // Crashed processors freeze in both models but the trace
+                // keeps their last state; skip them for cleanliness.
+                if record.pattern.crashed_by(p, time) {
+                    continue;
+                }
+                let view = system.view(run, p, time);
+                let state = trace.state(p, time).clone();
+                match maps[p.index()].get(&view) {
+                    None => {
+                        maps[p.index()].insert(view, state);
+                    }
+                    Some(prior) => assert_eq!(
+                        prior, &state,
+                        "{p} at {time}: same FIP view, different {} states \
+                         (run {}: {} / {})",
+                        protocol.name(),
+                        run.index(),
+                        record.config,
+                        record.pattern,
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fip_views_refine_relay_states() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    check_refinement(&Relay::p0(1), &scenario);
+    check_refinement(&Relay::p1(1), &scenario);
+}
+
+#[test]
+fn fip_views_refine_p0opt_states() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    check_refinement(&P0Opt::new(1), &scenario);
+    check_refinement(&P0Opt::with_halting(1), &scenario);
+}
+
+#[test]
+fn fip_views_refine_floodmin_and_earlystop_states() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    check_refinement(&FloodMin::new(1), &scenario);
+    check_refinement(&EarlyStoppingCrash::new(1), &scenario);
+}
+
+#[test]
+fn fip_views_refine_chain_omission_states() {
+    let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+    check_refinement(&ChainOmission::new(3), &scenario);
+}

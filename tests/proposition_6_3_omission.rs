@@ -1,0 +1,53 @@
+//! Proposition 6.3: for `t > 1` and `n ≥ t + 2`, the omission failure
+//! mode has runs of `F^{Λ,2}` in which the nonfaulty processors never
+//! decide — `F^{Λ,2}` is an optimal nontrivial agreement protocol in both
+//! modes, but an EBA protocol only in the crash mode.
+//!
+//! Witness (the paper's): all processors start with 1; one processor is
+//! faulty and never sends anything. Every nonfaulty processor forever
+//! considers it possible that the silent processor held a 0 and will
+//! reveal it, so `C□_{N∧Z^{Λ,1}} ∃1` never holds and nobody can decide 1.
+//!
+//! Checked on the exhaustively generated system at `n = 4`, `t = 2`
+//! (~400k runs).
+
+use eba::prelude::*;
+use eba_core::protocols::f_lambda_2;
+
+#[test]
+fn omission_witness_run_never_decides() {
+    let scenario = Scenario::new(4, 2, FailureMode::Omission, 2).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let d = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+
+    // The paper's witness: all ones, p1 silent-faulty.
+    let config = InitialConfig::uniform(4, Value::One);
+    let pattern = eba_model::sample::silent_processor(&scenario, ProcessorId::new(0));
+    let run = system.find_run(&config, &pattern).unwrap();
+    for p in system.nonfaulty(run) {
+        assert_eq!(
+            d.decision(run, p),
+            None,
+            "{p} decided in the Proposition 6.3 witness run"
+        );
+    }
+
+    // Contrast with the crash mode, where the same adversary cannot stop
+    // decisions (Theorem 6.2): F^{Λ,2} decides everywhere there.
+    let crash = Scenario::new(4, 2, FailureMode::Crash, 4).unwrap();
+    let crash_system = GeneratedSystem::exhaustive(&crash);
+    let mut crash_ctor = Constructor::new(&crash_system);
+    let crash_pair = f_lambda_2(&mut crash_ctor);
+    let crash_d = FipDecisions::compute(&crash_system, &crash_pair, "F^{Λ,2}");
+    let report = verify_properties(&crash_system, &crash_d);
+    assert!(report.is_eba(), "crash-mode F^{{Λ,2}} must be EBA: {report}");
+
+    // And F^{Λ,2} is still a nontrivial agreement protocol in the
+    // omission mode — it just fails the decision property.
+    let report = verify_properties(&system, &d);
+    assert!(report.is_nontrivial_agreement(), "{report}");
+    assert!(!report.is_eba());
+    assert!(!report.decision_violations.is_empty());
+}

@@ -1,0 +1,161 @@
+//! Section 4: continual common knowledge is necessary (Proposition 4.3)
+//! and sufficient (Proposition 4.4) for nontrivial agreement, plus the
+//! decision-fact sanity properties (Proposition 4.1, Lemma 4.2).
+
+use eba::prelude::*;
+use eba_core::protocols::{crash_rule, f_lambda_2, zero_chain_pair};
+
+fn crash_system() -> GeneratedSystem {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    GeneratedSystem::exhaustive(&scenario)
+}
+
+fn omission_system() -> GeneratedSystem {
+    let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+    GeneratedSystem::exhaustive(&scenario)
+}
+
+/// Proposition 4.1(a): a processor never decides both values; checked via
+/// the absence of nonfaulty conflicts for every constructed protocol.
+#[test]
+fn proposition_4_1_no_double_decisions() {
+    let system = crash_system();
+    let mut ctor = Constructor::new(&system);
+    for (pair, name) in [
+        (f_lambda_2(&mut ctor), "F^{Λ,2}"),
+        (crash_rule(&mut ctor), "FIP(Z^cr,O^cr)"),
+    ] {
+        let d = FipDecisions::compute(&system, &pair, name);
+        assert!(d.nonfaulty_conflicts(&system).is_empty(), "{name} conflicted");
+    }
+}
+
+/// Lemma 4.2: if nonfaulty `i` decides 0 in run `r`, no nonfaulty `j`
+/// ever decides 1 in `r` — at any time, before or after.
+#[test]
+fn lemma_4_2_cross_value_exclusion() {
+    let system = crash_system();
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let d = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+    for run in system.run_ids() {
+        let values = d.decided_values(run, system.nonfaulty(run));
+        assert!(values.len() <= 1, "run {} decided {values:?}", run.index());
+    }
+}
+
+/// Proposition 4.3 (necessity): for a nontrivial agreement protocol
+/// `FIP(Z, O)`,
+/// `decide_i(0) ⇒ B^N_i(∃0 ∧ C□_{N∧O} ∃0 ∧ ¬decide_i(1))` and
+/// symmetrically for 1. Checked for three different protocols in both
+/// failure modes.
+#[test]
+fn proposition_4_3_necessity() {
+    for (system, mode) in
+        [(crash_system(), "crash"), (omission_system(), "omission")]
+    {
+        let mut ctor = Constructor::new(&system);
+        let pairs = if mode == "crash" {
+            vec![
+                (f_lambda_2(&mut ctor), "F^{Λ,2}"),
+                (crash_rule(&mut ctor), "FIP(Z^cr,O^cr)"),
+            ]
+        } else {
+            vec![
+                (zero_chain_pair(&mut ctor), "FIP(Z⁰,O⁰)"),
+                (f_lambda_2(&mut ctor), "F^{Λ,2}"),
+            ]
+        };
+        for (pair, name) in pairs {
+            let n = system.n();
+            let (z_id, o_id) = {
+                let eval = ctor.evaluator();
+                (
+                    eval.register_state_sets(pair.zero().clone()),
+                    eval.register_state_sets(pair.one().clone()),
+                )
+            };
+            let c0 = Formula::exists(Value::Zero)
+                .continual_common(NonRigidSet::NonfaultyAnd(o_id));
+            let c1 = Formula::exists(Value::One)
+                .continual_common(NonRigidSet::NonfaultyAnd(z_id));
+            for i in ProcessorId::all(n) {
+                let decide0 = Formula::StateIn(i, z_id);
+                let decide1 = Formula::StateIn(i, o_id);
+                let nec0 = decide0.clone().implies(
+                    Formula::exists(Value::Zero)
+                        .and(c0.clone())
+                        .and(decide1.clone().not())
+                        .believed_by(i, NonRigidSet::Nonfaulty),
+                );
+                let nec1 = decide1.clone().implies(
+                    Formula::exists(Value::One)
+                        .and(c1.clone())
+                        .and(decide0.clone().not())
+                        .believed_by(i, NonRigidSet::Nonfaulty),
+                );
+                // The necessity conditions concern nonfaulty deciders.
+                let guarded0 = Formula::Nonfaulty(i).implies(nec0);
+                let guarded1 = Formula::Nonfaulty(i).implies(nec1);
+                assert!(
+                    ctor.evaluator().valid(&guarded0),
+                    "{mode}/{name}: Prop 4.3(a) fails for {i}"
+                );
+                assert!(
+                    ctor.evaluator().valid(&guarded1),
+                    "{mode}/{name}: Prop 4.3(b) fails for {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Proposition 4.4 (sufficiency): a protocol with `decide_i(0) ⇒ B^N_i ∃0`
+/// and `decide_i(1) ⇔ B^N_i(∃1 ∧ C□_{N∧Z} ∃1)` is a nontrivial agreement
+/// protocol.
+///
+/// The hypothesis presumes a *protocol* — single-valued decisions — so
+/// states satisfying both `B^N_i ∃0` and the decide-1 condition must
+/// decide 1 (the biconditional forces it). We build such an instance by
+/// iterating `Z ← B∃0 \ O`, `O ← B(∃1 ∧ C□_{N∧Z}∃1)` to its (finite,
+/// monotone) fixed point, then verify weak agreement and weak validity
+/// exhaustively in both failure modes. A first model-checking pass showed
+/// that naively putting the overlap into `Z` breaks agreement — the
+/// single-valuedness is load-bearing.
+#[test]
+fn proposition_4_4_sufficiency() {
+    for system in [crash_system(), omission_system()] {
+        let mut ctor = Constructor::new(&system);
+
+        let know_zero = ctor.views_satisfying(|i| {
+            Formula::exists(Value::Zero).believed_by(i, NonRigidSet::Nonfaulty)
+        });
+
+        let mut z = know_zero.clone();
+        let mut one;
+        let mut iterations = 0;
+        loop {
+            iterations += 1;
+            assert!(iterations <= 10, "fixed point failed to converge");
+            let z_id = ctor.evaluator().register_state_sets(z.clone());
+            let c1 = Formula::exists(Value::One)
+                .continual_common(NonRigidSet::NonfaultyAnd(z_id));
+            one = ctor.views_satisfying(|i| {
+                Formula::exists(Value::One)
+                    .and(c1.clone())
+                    .believed_by(i, NonRigidSet::Nonfaulty)
+            });
+            let new_z = know_zero.difference(&one);
+            if new_z == z {
+                break;
+            }
+            z = new_z;
+        }
+
+        let pair = DecisionPair::new(z, one);
+        let d = FipDecisions::compute(&system, &pair, "Prop-4.4 instance");
+        assert!(d.nonfaulty_conflicts(&system).is_empty());
+        let report = verify_properties(&system, &d);
+        assert!(report.is_nontrivial_agreement(), "Prop 4.4: {report}");
+    }
+}

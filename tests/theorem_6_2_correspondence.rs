@@ -1,0 +1,153 @@
+//! Theorem 6.2: in the crash failure mode, nonfaulty processors make the
+//! same decisions at corresponding points of the message-level `P0opt`
+//! and the knowledge-level optimum `F^{Λ,2}`.
+//!
+//! This is the paper's bridge between the abstract characterization and a
+//! protocol with linear-size messages — checked here exhaustively over
+//! every run of several small scenarios.
+
+use eba::prelude::*;
+use eba_core::protocols::f_lambda_2;
+use eba_protocols::P0Opt;
+
+/// Executes P0opt on every run of `system` and compares every nonfaulty
+/// processor's (value, time) decision with the `F^{Λ,2}` decisions.
+fn check_correspondence(n: usize, t: usize, horizon: u16) {
+    let scenario = Scenario::new(n, t, FailureMode::Crash, horizon).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let knowledge = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+
+    let protocol = P0Opt::new(t);
+    let mut compared = 0u64;
+    for run in system.run_ids() {
+        let record = system.run(run);
+        let trace = execute(&protocol, &record.config, &record.pattern, scenario.horizon());
+        for p in record.nonfaulty {
+            let message_level = trace.decision(p);
+            let knowledge_level = knowledge.decision(run, p);
+            assert_eq!(
+                message_level, knowledge_level,
+                "divergence at run {} ({} / {}), {p}",
+                run.index(),
+                record.config,
+                record.pattern,
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared > 0);
+}
+
+#[test]
+fn correspondence_n3_t1() {
+    check_correspondence(3, 1, 3);
+}
+
+#[test]
+fn correspondence_n4_t1() {
+    check_correspondence(4, 1, 3);
+}
+
+#[test]
+fn correspondence_n5_t1() {
+    check_correspondence(5, 1, 3);
+}
+
+/// **Reproduction finding.** For `t ≥ 2` the exact point-for-point
+/// equivalence of Theorem 6.2 fails: with two processors crashing in the
+/// *same* round — one delivering only to `i`, the other silent — `i`'s
+/// full-information view at time 2 already proves the hidden 0 can never
+/// reach a nonfaulty processor, so `F^{Λ,2}` decides 1 at time 2, while
+/// `P0opt`'s rule (b) needs a third round of stable heard-from sets.
+/// (The appendix's chain construction threads all vanishing processors
+/// through a single chain and does not cover two unrelated same-round
+/// crashers.) What survives — and is asserted here — is the *domination*
+/// direction: `F^{Λ,2}` decides no later than `P0opt` everywhere, and in
+/// the witness run strictly earlier.
+#[test]
+#[ignore = "n=4, t=2 exhausts ~100k runs; run with --ignored (covered by exp3)"]
+fn f_lambda_2_strictly_dominates_p0opt_at_t2() {
+    let scenario = Scenario::new(4, 2, FailureMode::Crash, 4).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let knowledge = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+
+    let protocol = P0Opt::new(2);
+    let mut strictly_earlier = 0u64;
+    for run in system.run_ids() {
+        let record = system.run(run);
+        let trace = execute(&protocol, &record.config, &record.pattern, scenario.horizon());
+        for p in record.nonfaulty {
+            let message_time = trace.decision_time(p);
+            let knowledge_time = knowledge.decision_time(run, p);
+            match (knowledge_time, message_time) {
+                (Some(tk), Some(tm)) => {
+                    assert!(
+                        tk <= tm,
+                        "F^{{Λ,2}} later than P0opt at run {} ({} / {}), {p}",
+                        run.index(),
+                        record.config,
+                        record.pattern,
+                    );
+                    strictly_earlier += u64::from(tk < tm);
+                }
+                (None, Some(_)) => panic!("F^{{Λ,2}} undecided where P0opt decides"),
+                (Some(_), None) => strictly_earlier += 1,
+                (None, None) => {}
+            }
+        }
+    }
+    assert!(strictly_earlier > 0, "expected the documented t ≥ 2 divergence");
+}
+
+/// The `n ≥ t + 2` assumption of Theorem 6.2 is necessary: at `n = t + 1`
+/// a processor can observe that *all* other processors are faulty (it
+/// hears from nobody in round 1), at which point the knowledge-level
+/// optimum already knows no nonfaulty processor will ever learn of a 0
+/// and decides 1 at time 1 — one round before `P0opt`'s two-quiet-rounds
+/// rule (b) can fire. Witness: n = 3, t = 2, configuration ⟨0,0,1⟩, both
+/// 0-holders crash silently in round 1.
+#[test]
+fn correspondence_fails_without_n_ge_t_plus_2() {
+    let scenario = Scenario::new(3, 2, FailureMode::Crash, 4).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let knowledge = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+
+    let p3 = ProcessorId::new(2);
+    let config = InitialConfig::from_bits(3, 0b100);
+    let pattern = FailurePattern::failure_free(3)
+        .with_behavior(
+            ProcessorId::new(0),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        )
+        .with_behavior(
+            ProcessorId::new(1),
+            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+        );
+    let run = system.find_run(&config, &pattern).unwrap();
+
+    let trace = execute(&P0Opt::new(2), &config, &pattern, scenario.horizon());
+    let knowledge_time = knowledge.decision_time(run, p3).unwrap();
+    let message_time = trace.decision_time(p3).unwrap();
+    assert_eq!(knowledge_time, Time::new(1));
+    assert_eq!(message_time, Time::new(2));
+}
+
+/// Theorem 6.2's other half: both protocols are optimal EBA protocols —
+/// `F^{Λ,2}` passes the Theorem 5.3 characterization and `P0opt` (being
+/// decision-equivalent) therefore does too.
+#[test]
+fn f_lambda_2_is_an_optimal_eba_protocol() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let mut ctor = Constructor::new(&system);
+    let pair = f_lambda_2(&mut ctor);
+    let decisions = FipDecisions::compute(&system, &pair, "F^{Λ,2}");
+    assert!(verify_properties(&system, &decisions).is_eba());
+    assert!(check_optimality(&mut ctor, &pair).is_optimal());
+}
