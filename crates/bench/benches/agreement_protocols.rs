@@ -56,17 +56,13 @@ fn multi_valued(c: &mut Criterion) {
             .collect();
         let flood = MultiFloodMin::new(t);
         let relay = MultiRelay::new(t, (0..domain).collect());
-        group.bench_with_input(
-            BenchmarkId::new("MultiFloodMin", n),
-            &runs,
-            |b, runs| {
-                b.iter(|| {
-                    for (config, pattern) in runs {
-                        black_box(execute_multi(&flood, config, pattern, scenario.horizon()));
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("MultiFloodMin", n), &runs, |b, runs| {
+            b.iter(|| {
+                for (config, pattern) in runs {
+                    black_box(execute_multi(&flood, config, pattern, scenario.horizon()));
+                }
+            });
+        });
         group.bench_with_input(BenchmarkId::new("MultiRelay", n), &runs, |b, runs| {
             b.iter(|| {
                 for (config, pattern) in runs {

@@ -41,8 +41,7 @@ fn continual_common_knowledge(c: &mut Criterion) {
                     // Fresh evaluator each iteration: measure the
                     // reachability construction, not the cache hit.
                     let mut eval = Evaluator::new(system);
-                    let f = Formula::exists(Value::Zero)
-                        .continual_common(NonRigidSet::Nonfaulty);
+                    let f = Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty);
                     black_box(eval.eval(&f));
                 });
             },

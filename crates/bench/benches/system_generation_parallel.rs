@@ -1,0 +1,72 @@
+//! Sharded system generation and the shared knowledge cache.
+//!
+//! Measures [`SystemBuilder`] at 1 worker vs. all available cores (the
+//! output is bit-identical either way, so this is a pure throughput
+//! comparison), and the effect of reusing a [`KnowledgeCache`] across
+//! evaluators instead of recomputing reachability from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet};
+use eba_model::{FailureMode, Scenario, Value};
+use eba_sim::{GeneratedSystem, SystemBuilder};
+use std::hint::black_box;
+use std::thread;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(3, 1, FailureMode::Crash, 3).unwrap(),
+        Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
+        Scenario::new(4, 1, FailureMode::Crash, 3).unwrap(),
+    ]
+}
+
+fn system_generation(c: &mut Criterion) {
+    let cores = thread::available_parallelism().map_or(1, |p| p.get());
+    let mut group = c.benchmark_group("system_generation");
+    group.sample_size(10);
+    let thread_counts = if cores > 1 { vec![1, cores] } else { vec![1] };
+    for scenario in scenarios() {
+        for &threads in &thread_counts {
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), scenario),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| {
+                        black_box(
+                            SystemBuilder::new(scenario)
+                                .threads(threads)
+                                .build()
+                                .unwrap(),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn knowledge_cache_reuse(c: &mut Criterion) {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let phi = Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty);
+    let mut group = c.benchmark_group("knowledge_cache");
+    group.bench_function("cold_evaluator", |b| {
+        b.iter(|| {
+            let mut eval = Evaluator::new(&system);
+            black_box(eval.eval(&phi).count_ones())
+        });
+    });
+    group.bench_function("shared_cache_evaluator", |b| {
+        let cache = KnowledgeCache::new();
+        Evaluator::with_cache(&system, cache.clone()).eval(&phi);
+        b.iter(|| {
+            let mut eval = Evaluator::with_cache(&system, cache.clone());
+            black_box(eval.eval(&phi).count_ones())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, system_generation, knowledge_cache_reuse);
+criterion_main!(benches);

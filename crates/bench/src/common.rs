@@ -9,7 +9,9 @@ use eba_sim::{execute, GeneratedSystem, Protocol};
 /// (`EBA_EXP_FULL=1`).
 #[must_use]
 pub fn full_mode() -> bool {
-    std::env::var("EBA_EXP_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EBA_EXP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Decision times of every nonfaulty processor of every run of the
@@ -23,12 +25,7 @@ pub fn message_level_times<P: Protocol>(
         .run_ids()
         .map(|run| {
             let record = system.run(run);
-            let trace = execute(
-                protocol,
-                &record.config,
-                &record.pattern,
-                system.horizon(),
-            );
+            let trace = execute(protocol, &record.config, &record.pattern, system.horizon());
             ProcessorId::all(system.n())
                 .map(|p| {
                     record
@@ -88,7 +85,12 @@ pub fn one_zero_config(n: usize) -> InitialConfig {
 
 /// Builds an exhaustive system, asserting the scenario is valid.
 #[must_use]
-pub fn exhaustive(n: usize, t: usize, mode: eba_model::FailureMode, horizon: u16) -> GeneratedSystem {
+pub fn exhaustive(
+    n: usize,
+    t: usize,
+    mode: eba_model::FailureMode,
+    horizon: u16,
+) -> GeneratedSystem {
     let scenario = Scenario::new(n, t, mode, horizon).expect("valid scenario");
     GeneratedSystem::exhaustive(&scenario)
 }

@@ -14,7 +14,7 @@ use eba_core::protocols::{
 use eba_core::{
     check_optimality, dominates, verify_properties, Constructor, DecisionPair, FipDecisions,
 };
-use eba_kripke::{axioms, Evaluator, Formula, NonRigidSet};
+use eba_kripke::{axioms, Evaluator, Formula, KnowledgeCache, NonRigidSet};
 use eba_model::sample::{self, PatternSampler};
 use eba_model::{FailureMode, InitialConfig, ProcessorId, Scenario, Value};
 use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay, SbaWaste};
@@ -29,7 +29,13 @@ use rand::SeedableRng;
 pub fn exp1() -> Vec<Table> {
     let mut cross = Table::new(
         "EXP1: P0 vs P1 (Prop 2.1) — crash, exhaustive",
-        &["n", "t", "pairs P0 earlier", "pairs P1 earlier", "either dominates?"],
+        &[
+            "n",
+            "t",
+            "pairs P0 earlier",
+            "pairs P1 earlier",
+            "either dominates?",
+        ],
     );
     for (n, t) in [(3usize, 1usize), (4, 1), (4, 2)] {
         let system = exhaustive(n, t, FailureMode::Crash, t as u16 + 2);
@@ -83,7 +89,15 @@ pub fn exp1() -> Vec<Table> {
 pub fn exp2() -> Vec<Table> {
     let mut table = Table::new(
         "EXP2: P0opt vs P0 (Section 2.2) — crash",
-        &["scenario", "pairs", "earlier", "equal", "later", "dominates", "strict"],
+        &[
+            "scenario",
+            "pairs",
+            "earlier",
+            "equal",
+            "later",
+            "dominates",
+            "strict",
+        ],
     );
     for (n, t) in [(3usize, 1usize), (4, 1), (4, 2)] {
         let system = exhaustive(n, t, FailureMode::Crash, t as u16 + 2);
@@ -101,7 +115,11 @@ pub fn exp2() -> Vec<Table> {
         ]);
     }
     // Sampled larger scenarios.
-    for (n, t, runs, seed) in [(8usize, 2usize, 1000usize, 1u64), (16, 4, 600, 2), (32, 8, 300, 3)] {
+    for (n, t, runs, seed) in [
+        (8usize, 2usize, 1000usize, 1u64),
+        (16, 4, 600, 2),
+        (32, 8, 300, 3),
+    ] {
         let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = PatternSampler::new(scenario);
@@ -141,7 +159,14 @@ pub fn exp2() -> Vec<Table> {
 pub fn exp3() -> Vec<Table> {
     let mut table = Table::new(
         "EXP3: F^{Λ,2} vs FIP(Z^cr,O^cr) vs P0opt (Thm 6.1/6.2) — crash",
-        &["scenario", "comparison", "equal", "F earlier", "F later", "verdict"],
+        &[
+            "scenario",
+            "comparison",
+            "equal",
+            "F earlier",
+            "F later",
+            "verdict",
+        ],
     );
     let mut scenarios = vec![(3usize, 1usize), (4, 1)];
     if full_mode() {
@@ -220,7 +245,13 @@ pub fn exp3() -> Vec<Table> {
 pub fn exp4() -> Vec<Table> {
     let mut table = Table::new(
         "EXP4: F^{Λ,2} non-decision in omission mode (Prop 6.3)",
-        &["scenario", "runs", "undecided runs", "witness run undecided", "nontrivial agreement"],
+        &[
+            "scenario",
+            "runs",
+            "undecided runs",
+            "witness run undecided",
+            "nontrivial agreement",
+        ],
     );
     let system = exhaustive(4, 2, FailureMode::Omission, 2);
     let scenario = *system.scenario();
@@ -231,7 +262,11 @@ pub fn exp4() -> Vec<Table> {
 
     let mut undecided_runs = 0u64;
     for run in system.run_ids() {
-        if system.nonfaulty(run).iter().any(|p| d.decision(run, p).is_none()) {
+        if system
+            .nonfaulty(run)
+            .iter()
+            .any(|p| d.decision(run, p).is_none())
+        {
             undecided_runs += 1;
         }
     }
@@ -273,7 +308,15 @@ pub fn exp4() -> Vec<Table> {
 pub fn exp5() -> Vec<Table> {
     let mut knowledge = Table::new(
         "EXP5a: FIP(Z⁰,O⁰) decision times by f (knowledge level, exhaustive omission)",
-        &["scenario", "f", "nonfaulty decisions", "mean", "max", "bound f+1", "ok"],
+        &[
+            "scenario",
+            "f",
+            "nonfaulty decisions",
+            "mean",
+            "max",
+            "bound f+1",
+            "ok",
+        ],
     );
     for (n, t) in [(3usize, 1usize), (4, 1)] {
         let system = exhaustive(n, t, FailureMode::Omission, t as u16 + 2);
@@ -298,7 +341,9 @@ pub fn exp5() -> Vec<Table> {
                 f.to_string(),
                 stats.decided().to_string(),
                 fmt_f64(stats.mean_time()),
-                stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+                stats
+                    .max_time()
+                    .map_or_else(|| "-".into(), |t| t.to_string()),
                 (f + 1).to_string(),
                 ok.to_string(),
             ]);
@@ -320,8 +365,12 @@ pub fn exp5() -> Vec<Table> {
             for _ in 0..runs {
                 let config = sample::random_config_biased(n, 0.5 / n as f64, &mut rng);
                 let pattern = sampler.sample(&mut rng);
-                let trace =
-                    execute(&ChainOmission::new(n), &config, &pattern, scenario.horizon());
+                let trace = execute(
+                    &ChainOmission::new(n),
+                    &config,
+                    &pattern,
+                    scenario.horizon(),
+                );
                 ok &= trace.satisfies_weak_agreement() && trace.satisfies_weak_validity();
                 for p in trace.nonfaulty() {
                     let dec = trace.decision(p);
@@ -335,7 +384,9 @@ pub fn exp5() -> Vec<Table> {
                 f.to_string(),
                 runs.to_string(),
                 fmt_f64(stats.mean_time()),
-                stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+                stats
+                    .max_time()
+                    .map_or_else(|| "-".into(), |t| t.to_string()),
                 (f + 1).to_string(),
                 ok.to_string(),
             ]);
@@ -361,17 +412,17 @@ pub fn exp6() -> Vec<Table> {
         ],
     );
 
-    // Crash mode, from F^Λ.
+    // Crash mode, from F^Λ and from the crash rule (already optimal: F²
+    // changes nothing). Both cases run over one system with a shared
+    // knowledge cache, so the second constructor reuses the first's
+    // reachability computations.
     {
         let system = exhaustive(3, 1, FailureMode::Crash, 3);
-        let mut ctor = Constructor::new(&system);
+        let cache = KnowledgeCache::new();
+        let mut ctor = Constructor::with_cache(&system, cache.clone());
         let base = DecisionPair::empty(3);
         run_exp6_case(&mut table, &system, &mut ctor, &base, "F^Λ (never decide)");
-    }
-    // Crash mode, from the crash rule (already optimal: F² changes nothing).
-    {
-        let system = exhaustive(3, 1, FailureMode::Crash, 3);
-        let mut ctor = Constructor::new(&system);
+        let mut ctor = Constructor::with_cache(&system, cache);
         let base = crash_rule(&mut ctor);
         run_exp6_case(&mut table, &system, &mut ctor, &base, "FIP(Z^cr,O^cr)");
     }
@@ -421,7 +472,15 @@ fn run_exp6_case(
 pub fn exp7() -> Vec<Table> {
     let mut table = Table::new(
         "EXP7: optimal EBA vs common-knowledge SBA (crash, exhaustive)",
-        &["scenario", "EBA mean", "SBA mean", "EBA max", "SBA max", "rounds saved", "SBA simultaneous"],
+        &[
+            "scenario",
+            "EBA mean",
+            "SBA mean",
+            "EBA max",
+            "SBA max",
+            "rounds saved",
+            "SBA simultaneous",
+        ],
     );
     for (n, t) in [(3usize, 1usize), (4, 1), (3, 2)] {
         let system = exhaustive(n, t, FailureMode::Crash, t as u16 + 2);
@@ -452,9 +511,15 @@ pub fn exp7() -> Vec<Table> {
 pub fn exp7b() -> Table {
     let mut table = Table::new(
         "EXP7b: P0opt (EBA) vs SbaWaste (optimum SBA) — crash, sampled",
-        &["n", "t", "runs", "EBA mean", "SBA mean", "EBA max", "SBA max"],
+        &[
+            "n", "t", "runs", "EBA mean", "SBA mean", "EBA max", "SBA max",
+        ],
     );
-    for (n, t, runs, seed) in [(8usize, 2usize, 800usize, 31u64), (16, 4, 400, 32), (32, 8, 200, 33)] {
+    for (n, t, runs, seed) in [
+        (8usize, 2usize, 800usize, 31u64),
+        (16, 4, 400, 32),
+        (32, 8, 200, 33),
+    ] {
         let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = PatternSampler::new(scenario);
@@ -474,8 +539,12 @@ pub fn exp7b() -> Table {
             runs.to_string(),
             fmt_f64(eba_stats.mean_time()),
             fmt_f64(sba_stats.mean_time()),
-            eba_stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
-            sba_stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+            eba_stats
+                .max_time()
+                .map_or_else(|| "-".into(), |t| t.to_string()),
+            sba_stats
+                .max_time()
+                .map_or_else(|| "-".into(), |t| t.to_string()),
         ]);
     }
     table
@@ -513,7 +582,11 @@ pub fn exp8() -> Vec<Table> {
 
     let mut strict = Table::new(
         "EXP8b: C□ is strictly stronger than C (Section 3.3)",
-        &["system", "C□φ ⇒ Cφ valid", "Cφ ⇒ C□φ valid (expected false)"],
+        &[
+            "system",
+            "C□φ ⇒ Cφ valid",
+            "Cφ ⇒ C□φ valid (expected false)",
+        ],
     );
     for (mode, horizon) in [(FailureMode::Crash, 3), (FailureMode::Omission, 2)] {
         let system = exhaustive(3, 1, mode, horizon);
@@ -535,9 +608,23 @@ pub fn exp8() -> Vec<Table> {
 pub fn exp9() -> Vec<Table> {
     let mut table = Table::new(
         "EXP9: message-level scaling (crash + omission, sampled)",
-        &["protocol", "n", "t", "runs", "mean", "max", "msgs/run", "units/run", "safe"],
+        &[
+            "protocol",
+            "n",
+            "t",
+            "runs",
+            "mean",
+            "max",
+            "msgs/run",
+            "units/run",
+            "safe",
+        ],
     );
-    let sizes: &[usize] = if full_mode() { &[8, 16, 32, 64, 128] } else { &[8, 16, 32, 64] };
+    let sizes: &[usize] = if full_mode() {
+        &[8, 16, 32, 64, 128]
+    } else {
+        &[8, 16, 32, 64]
+    };
     for &n in sizes {
         let t = n / 4;
         let runs = 200usize;
@@ -553,13 +640,10 @@ pub fn exp9() -> Vec<Table> {
                 let mut units = 0u64;
                 let mut safe = true;
                 for _ in 0..runs {
-                    let config =
-                        sample::random_config_biased(n, 1.0 / n as f64, &mut rng);
+                    let config = sample::random_config_biased(n, 1.0 / n as f64, &mut rng);
                     let pattern = sampler.sample(&mut rng);
-                    let trace =
-                        execute(&$protocol, &config, &pattern, $scenario.horizon());
-                    safe &= trace.satisfies_weak_agreement()
-                        && trace.satisfies_weak_validity();
+                    let trace = execute(&$protocol, &config, &pattern, $scenario.horizon());
+                    safe &= trace.satisfies_weak_agreement() && trace.satisfies_weak_validity();
                     stats.record_trace(&trace);
                     msgs += trace.messages_delivered();
                     units += trace.message_units();
@@ -570,7 +654,9 @@ pub fn exp9() -> Vec<Table> {
                     t.to_string(),
                     runs.to_string(),
                     fmt_f64(stats.mean_time()),
-                    stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+                    stats
+                        .max_time()
+                        .map_or_else(|| "-".into(), |t| t.to_string()),
                     (msgs / runs as u64).to_string(),
                     (units / runs as u64).to_string(),
                     safe.to_string(),
@@ -591,7 +677,13 @@ pub fn exp9() -> Vec<Table> {
 pub fn exp10() -> Vec<Table> {
     let mut cost = Table::new(
         "EXP10a: generated-system and engine sizes",
-        &["scenario", "runs", "points", "distinct views", "F^{Λ,2} build (ms)"],
+        &[
+            "scenario",
+            "runs",
+            "points",
+            "distinct views",
+            "F^{Λ,2} build (ms)",
+        ],
     );
     let mut scenarios = vec![
         (3usize, 1usize, FailureMode::Crash, 3u16),
@@ -621,7 +713,12 @@ pub fn exp10() -> Vec<Table> {
 
     let mut ablation = Table::new(
         "EXP10b: horizon ablation — F^{Λ,2} decisions on shared runs",
-        &["scenario", "horizons", "shared decisions compared", "identical"],
+        &[
+            "scenario",
+            "horizons",
+            "shared decisions compared",
+            "identical",
+        ],
     );
     for (small, large) in [(3u16, 4u16), (4, 5)] {
         let sys_a = exhaustive(3, 1, FailureMode::Crash, small);
@@ -657,7 +754,14 @@ pub fn exp10() -> Vec<Table> {
 pub fn exp6c_two_optima() -> Table {
     let mut table = Table::new(
         "EXP6c: two incomparable optima (zero-first vs one-first F²)",
-        &["scenario", "0-first optimal", "1-first optimal", "0-first earlier", "1-first earlier", "either dominates"],
+        &[
+            "scenario",
+            "0-first optimal",
+            "1-first optimal",
+            "0-first earlier",
+            "1-first earlier",
+            "either dominates",
+        ],
     );
     for (mode, horizon) in [(FailureMode::Crash, 3u16), (FailureMode::Omission, 2)] {
         let system = exhaustive(3, 1, mode, horizon);
@@ -671,8 +775,12 @@ pub fn exp6c_two_optima() -> Table {
         let bwd = dominates(&system, &d_one, &d_zero);
         table.row([
             system.scenario().to_string(),
-            check_optimality(&mut ctor, &zero_first).is_optimal().to_string(),
-            check_optimality(&mut ctor, &one_first).is_optimal().to_string(),
+            check_optimality(&mut ctor, &zero_first)
+                .is_optimal()
+                .to_string(),
+            check_optimality(&mut ctor, &one_first)
+                .is_optimal()
+                .to_string(),
             fwd.earlier.to_string(),
             bwd.earlier.to_string(),
             (fwd.dominates || bwd.dominates).to_string(),
@@ -697,7 +805,9 @@ pub fn exp11() -> Vec<Table> {
     table.row([
         "Thm 5.2: F² nontrivial agreement".into(),
         system.scenario().to_string(),
-        verify_properties(&system, &d2).is_nontrivial_agreement().to_string(),
+        verify_properties(&system, &d2)
+            .is_nontrivial_agreement()
+            .to_string(),
     ]);
     table.row([
         "Thm 5.3: F² optimal".into(),
@@ -710,9 +820,10 @@ pub fn exp11() -> Vec<Table> {
     let chain_report = verify_properties(&system, &dc);
     let f_bound = system.run_ids().all(|run| {
         let f = system.run(run).pattern.num_faulty() as u16;
-        system.nonfaulty(run).iter().all(|p| {
-            dc.decision_time(run, p).is_some_and(|t| t.ticks() <= f + 1)
-        })
+        system
+            .nonfaulty(run)
+            .iter()
+            .all(|p| dc.decision_time(run, p).is_some_and(|t| t.ticks() <= f + 1))
     });
     table.row([
         "Prop 6.4: FIP(Z⁰,O⁰) is EBA, ≤ f+1".into(),
@@ -729,10 +840,14 @@ pub fn exp11() -> Vec<Table> {
         for _ in 0..runs {
             let config = sample::random_config_biased(n, 1.5 / n as f64, &mut rng);
             let pattern = sampler.sample(&mut rng);
-            let trace = execute(&ChainOmission::new(n), &config, &pattern, scenario.horizon());
-            violations += u64::from(
-                !trace.satisfies_weak_agreement() || !trace.satisfies_weak_validity(),
+            let trace = execute(
+                &ChainOmission::new(n),
+                &config,
+                &pattern,
+                scenario.horizon(),
             );
+            violations +=
+                u64::from(!trace.satisfies_weak_agreement() || !trace.satisfies_weak_validity());
         }
         table.row([
             format!("ChainOmission safety violations / {runs} runs"),
@@ -752,20 +867,27 @@ pub fn exp12() -> Vec<Table> {
     };
     let mut table = Table::new(
         "EXP12: multi-valued agreement (Section 2.1 extension) — crash, exhaustive",
-        &["protocol", "domain", "n", "t", "runs", "agreement", "strong validity", "decision"],
+        &[
+            "protocol",
+            "domain",
+            "n",
+            "t",
+            "runs",
+            "agreement",
+            "strong validity",
+            "decision",
+        ],
     );
     let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
     for domain in [2u8, 3, 4] {
-        let configs: Vec<MultiConfig> =
-            MultiConfig::enumerate_all(domain, 3).collect();
+        let configs: Vec<MultiConfig> = MultiConfig::enumerate_all(domain, 3).collect();
         macro_rules! campaign {
             ($protocol:expr, $name:expr) => {{
                 let mut runs = 0u64;
                 let (mut agree, mut strong, mut decide) = (true, true, true);
                 for pattern in eba_model::enumerate::patterns(&scenario) {
                     for config in &configs {
-                        let trace =
-                            execute_multi(&$protocol, config, &pattern, scenario.horizon());
+                        let trace = execute_multi(&$protocol, config, &pattern, scenario.horizon());
                         runs += 1;
                         agree &= trace.satisfies_weak_agreement();
                         strong &= trace.satisfies_strong_validity();
@@ -791,7 +913,13 @@ pub fn exp12() -> Vec<Table> {
 
     let mut no_optimum = Table::new(
         "EXP12b: no-optimum generalizes (MultiRelay priorities, domain 3)",
-        &["priority A", "priority B", "A earlier", "B earlier", "either dominates"],
+        &[
+            "priority A",
+            "priority B",
+            "A earlier",
+            "B earlier",
+            "either dominates",
+        ],
     );
     let configs: Vec<MultiConfig> = MultiConfig::enumerate_all(3, 3).collect();
     let orders: [Vec<u8>; 3] = [vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]];
@@ -879,7 +1007,8 @@ mod tests {
         for line in rendered.lines().skip(3) {
             if line.starts_with('|') {
                 let last_cell = line
-                    .split('|').rfind(|c| !c.trim().is_empty())
+                    .split('|')
+                    .rfind(|c| !c.trim().is_empty())
                     .unwrap_or("")
                     .trim();
                 assert_eq!(last_cell, "0", "{line}");
@@ -889,8 +1018,11 @@ mod tests {
         // (true, false) in its last two cells.
         let strict = tables[1].render();
         for line in strict.lines().skip(3).filter(|l| l.starts_with('|')) {
-            let cells: Vec<&str> =
-                line.split('|').map(str::trim).filter(|c| !c.is_empty()).collect();
+            let cells: Vec<&str> = line
+                .split('|')
+                .map(str::trim)
+                .filter(|c| !c.is_empty())
+                .collect();
             assert_eq!(&cells[cells.len() - 2..], &["true", "false"], "{line}");
         }
     }

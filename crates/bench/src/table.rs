@@ -49,8 +49,7 @@ impl Table {
     /// Renders the table.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut widths: Vec<usize> =
-            self.header.iter().map(|h| h.chars().count()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.chars().count());

@@ -9,10 +9,10 @@ use eba_kripke::explain::Timeline;
 use eba_kripke::parse::parse_formula;
 use eba_kripke::{Evaluator, Formula};
 use eba_model::{
-    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
-    Round, Scenario, Time, Value,
+    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
+    Scenario, Time, Value,
 };
-use eba_sim::GeneratedSystem;
+use eba_sim::{GeneratedSystem, SystemBuilder};
 use std::process::ExitCode;
 
 const HELP: &str = "\
@@ -28,6 +28,10 @@ OPTIONS:
     --horizon H      rounds simulated            (default t + 2)
     --sampled R S    use R seeded random runs (seed S) instead of the
                      exhaustive system
+    --threads N      worker threads for system generation and knowledge
+                     evaluation (default: all available cores)
+    --shards K       split exhaustive generation into K shards (default:
+                     4 per thread; the result is identical for any K)
     --witness        also print a point where the formula holds
     --quiet          print only the verdict line
     --timeline       timeline mode: print per-time truth values of the
@@ -74,6 +78,8 @@ struct Options {
     mode: FailureMode,
     horizon: Option<u16>,
     sampled: Option<(usize, u64)>,
+    threads: Option<usize>,
+    shards: Option<usize>,
     witness: bool,
     quiet: bool,
     timeline: bool,
@@ -89,6 +95,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         mode: FailureMode::Crash,
         horizon: None,
         sampled: None,
+        threads: None,
+        shards: None,
         witness: false,
         quiet: false,
         timeline: false,
@@ -100,15 +108,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut positional = Vec::new();
     while let Some(arg) = iter.next() {
         let mut take = |name: &str| -> Result<String, String> {
-            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--help" | "-h" => return Err(String::new()),
             "--n" => options.n = take("--n")?.parse().map_err(|_| "bad --n")?,
             "--t" => options.t = take("--t")?.parse().map_err(|_| "bad --t")?,
             "--horizon" => {
-                options.horizon =
-                    Some(take("--horizon")?.parse().map_err(|_| "bad --horizon")?);
+                options.horizon = Some(take("--horizon")?.parse().map_err(|_| "bad --horizon")?);
             }
             "--mode" => {
                 options.mode = match take("--mode")?.as_str() {
@@ -122,6 +131,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let runs = take("--sampled")?.parse().map_err(|_| "bad run count")?;
                 let seed = take("--sampled")?.parse().map_err(|_| "bad seed")?;
                 options.sampled = Some((runs, seed));
+            }
+            "--threads" => {
+                let threads: usize = take("--threads")?.parse().map_err(|_| "bad --threads")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                options.threads = Some(threads);
+            }
+            "--shards" => {
+                let shards: usize = take("--shards")?.parse().map_err(|_| "bad --shards")?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+                options.shards = Some(shards);
             }
             "--witness" => options.witness = true,
             "--quiet" => options.quiet = true,
@@ -147,7 +170,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 /// Parses `--config` bit strings: one char per processor, `p1` first.
 fn parse_config(spec: &str, n: usize) -> Result<InitialConfig, String> {
     if spec.len() != n {
-        return Err(format!("--config needs exactly {n} bits, got {}", spec.len()));
+        return Err(format!(
+            "--config needs exactly {n} bits, got {}",
+            spec.len()
+        ));
     }
     let values = spec
         .chars()
@@ -161,10 +187,7 @@ fn parse_config(spec: &str, n: usize) -> Result<InitialConfig, String> {
 }
 
 /// Parses a `--pattern` spec; see the help text for the grammar.
-fn parse_pattern(
-    spec: &str,
-    scenario: &Scenario,
-) -> Result<FailurePattern, String> {
+fn parse_pattern(spec: &str, scenario: &Scenario) -> Result<FailurePattern, String> {
     let n = scenario.n();
     let mut pattern = FailurePattern::failure_free(n);
     let parse_proc = |s: &str| -> Result<ProcessorId, String> {
@@ -218,7 +241,10 @@ fn parse_pattern(
             if round == 0 || round > scenario.horizon().ticks() {
                 return Err(format!("crash round out of range in `{entry}`"));
             }
-            FaultyBehavior::Crash { round: Round::new(round), receivers }
+            FaultyBehavior::Crash {
+                round: Round::new(round),
+                receivers,
+            }
         } else if let Some(rest) = behavior_part.strip_prefix("omit@") {
             let mut omissions = vec![ProcSet::empty(); scenario.horizon().index()];
             for clause in rest.split('@') {
@@ -240,15 +266,13 @@ fn parse_pattern(
         };
         pattern.set_behavior(p, behavior);
     }
-    scenario.validate_pattern(&pattern).map_err(|e| e.to_string())?;
+    scenario
+        .validate_pattern(&pattern)
+        .map_err(|e| e.to_string())?;
     Ok(pattern)
 }
 
-fn describe_point(
-    system: &GeneratedSystem,
-    run: eba_sim::RunId,
-    time: Time,
-) -> String {
+fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> String {
     let record = system.run(run);
     format!(
         "run {} at {time}: config {} under [{}] (nonfaulty {})",
@@ -271,8 +295,8 @@ fn run() -> Result<ExitCode, String> {
     };
 
     let horizon = options.horizon.unwrap_or(options.t as u16 + 2);
-    let scenario = Scenario::new(options.n, options.t, options.mode, horizon)
-        .map_err(|e| e.to_string())?;
+    let scenario =
+        Scenario::new(options.n, options.t, options.mode, horizon).map_err(|e| e.to_string())?;
 
     if options.timeline && options.sampled.is_some() {
         return Err("--timeline needs the exhaustive system; drop --sampled".into());
@@ -304,16 +328,33 @@ fn run() -> Result<ExitCode, String> {
         None
     };
 
+    if options.shards.is_some() && options.sampled.is_some() {
+        return Err("--shards applies to exhaustive generation; drop --sampled".into());
+    }
+
     let system = match options.sampled {
         Some((runs, seed)) => GeneratedSystem::sampled(&scenario, runs, seed),
-        None => GeneratedSystem::exhaustive(&scenario),
+        None => {
+            let mut builder = SystemBuilder::new(&scenario);
+            if let Some(threads) = options.threads {
+                builder = builder.threads(threads);
+            }
+            if let Some(shards) = options.shards {
+                builder = builder.shards(shards);
+            }
+            builder.build().map_err(|e| e.to_string())?
+        }
     };
     if !options.quiet {
         println!(
             "scenario {scenario}: {} runs, {} points ({})",
             system.num_runs(),
             system.num_points(),
-            if options.sampled.is_some() { "sampled" } else { "exhaustive" },
+            if options.sampled.is_some() {
+                "sampled"
+            } else {
+                "exhaustive"
+            },
         );
         for (_, f) in &formulas {
             println!("formula: {f}");
@@ -321,6 +362,9 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let mut eval = Evaluator::new(&system);
+    if let Some(threads) = options.threads {
+        eval.set_threads(threads);
+    }
 
     if let Some((config, pattern)) = timeline_run {
         let run = system

@@ -38,8 +38,15 @@ fn witness_flag_prints_a_witness() {
 
 #[test]
 fn mode_and_size_options_are_honored() {
-    let (stdout, _, code) =
-        run(&["--n", "4", "--t", "1", "--mode", "omission", "B_1(E0) -> (N(1) -> E0)"]);
+    let (stdout, _, code) = run(&[
+        "--n",
+        "4",
+        "--t",
+        "1",
+        "--mode",
+        "omission",
+        "B_1(E0) -> (N(1) -> E0)",
+    ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("mode=omission"));
     assert!(stdout.contains("n=4"));
@@ -59,8 +66,16 @@ fn general_omission_mode_is_available() {
 
 #[test]
 fn sampled_systems_work() {
-    let (stdout, _, code) =
-        run(&["--n", "6", "--t", "2", "--sampled", "40", "7", "K_1(E0) -> E0"]);
+    let (stdout, _, code) = run(&[
+        "--n",
+        "6",
+        "--t",
+        "2",
+        "--sampled",
+        "40",
+        "7",
+        "K_1(E0) -> E0",
+    ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("sampled"));
 }
@@ -136,16 +151,21 @@ fn timeline_omission_pattern_parses() {
 
 #[test]
 fn timeline_silent_shorthand() {
-    let (stdout, _, code) =
-        run(&["--timeline", "--config", "011", "--pattern", "p1:silent", "C(E0)"]);
+    let (stdout, _, code) = run(&[
+        "--timeline",
+        "--config",
+        "011",
+        "--pattern",
+        "p1:silent",
+        "C(E0)",
+    ]);
     assert_eq!(code, Some(0), "{stdout}");
 }
 
 #[test]
 fn bad_pattern_specs_exit_two() {
     for spec in ["p1", "p9:clean", "p1:crash@0", "p1:warp", "p1:omit@9->p2"] {
-        let (_, stderr, code) =
-            run(&["--timeline", "--config", "011", "--pattern", spec, "E0"]);
+        let (_, stderr, code) = run(&["--timeline", "--config", "011", "--pattern", spec, "E0"]);
         assert_eq!(code, Some(2), "spec `{spec}` should fail: {stderr}");
     }
 }

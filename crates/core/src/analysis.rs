@@ -31,8 +31,11 @@ impl ConfigClass {
     }
 
     /// All classes, in display order.
-    pub const ALL: [ConfigClass; 3] =
-        [ConfigClass::AllZero, ConfigClass::AllOne, ConfigClass::Mixed];
+    pub const ALL: [ConfigClass; 3] = [
+        ConfigClass::AllZero,
+        ConfigClass::AllOne,
+        ConfigClass::Mixed,
+    ];
 }
 
 impl fmt::Display for ConfigClass {
@@ -128,10 +131,7 @@ pub fn by_config_class(system: &GeneratedSystem, d: &FipDecisions) -> Breakdown 
 /// if some nonfaulty processor never decides (i.e. the decision property
 /// fails within the horizon).
 #[must_use]
-pub fn worst_case_decision_time(
-    system: &GeneratedSystem,
-    d: &FipDecisions,
-) -> Option<Time> {
+pub fn worst_case_decision_time(system: &GeneratedSystem, d: &FipDecisions) -> Option<Time> {
     let mut worst = Time::ZERO;
     for run in system.run_ids() {
         for p in system.nonfaulty(run) {
@@ -178,10 +178,15 @@ mod tests {
         let (system, d) = crash_decisions();
         let breakdown = by_failures(&system, &d);
         assert_eq!(breakdown.rows().len(), 2); // f = 0 and f = 1
-        let total: u64 =
-            breakdown.rows().iter().map(|(_, s)| s.decided() + s.undecided()).sum();
-        let population: u64 =
-            system.run_ids().map(|r| system.nonfaulty(r).len() as u64).sum();
+        let total: u64 = breakdown
+            .rows()
+            .iter()
+            .map(|(_, s)| s.decided() + s.undecided())
+            .sum();
+        let population: u64 = system
+            .run_ids()
+            .map(|r| system.nonfaulty(r).len() as u64)
+            .sum();
         assert_eq!(total, population);
         // More failures cannot make the worst case better.
         let f0 = breakdown.get("f=0").unwrap().max_time().unwrap();

@@ -12,7 +12,7 @@
 
 use eba_kripke::{Bitset, Evaluator, Formula, NonRigidSet};
 use eba_model::{ProcessorId, Round, Time};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Computes the `∃0*` predicate over every point of the evaluator's
 /// system, as a [`Bitset`] indexed by linear point index (register it
@@ -29,11 +29,14 @@ use std::rc::Rc;
 pub fn exists_zero_star(eval: &mut Evaluator<'_>) -> Bitset {
     let system = eval.system();
     let n = system.n();
-    assert!(n <= 16, "0-chain search is exponential in n; n ≤ 16 required");
+    assert!(
+        n <= 16,
+        "0-chain search is exponential in n; n ≤ 16 required"
+    );
     let horizon = system.horizon();
 
     // knows_faulty[receiver][sender]: points where B^N_receiver(sender ∉ N).
-    let knows_faulty: Vec<Vec<Rc<Bitset>>> = (0..n)
+    let knows_faulty: Vec<Vec<Arc<Bitset>>> = (0..n)
         .map(|j| {
             (0..n)
                 .map(|i| {
@@ -92,8 +95,7 @@ pub fn exists_zero_star(eval: &mut Evaluator<'_>) -> Bitset {
                 let mut next = vec![false; n * masks];
                 for e in 0..n {
                     for mask in 0..masks {
-                        if (mask.count_ones() as usize) != m || !alive[e * masks + mask]
-                        {
+                        if (mask.count_ones() as usize) != m || !alive[e * masks + mask] {
                             continue;
                         }
                         for e2 in 0..n {
@@ -126,9 +128,7 @@ pub fn exists_zero_star(eval: &mut Evaluator<'_>) -> Bitset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eba_model::{
-        sample, FailureMode, FailurePattern, InitialConfig, Scenario, Value,
-    };
+    use eba_model::{sample, FailureMode, FailurePattern, InitialConfig, Scenario, Value};
     use eba_sim::GeneratedSystem;
 
     fn p(i: usize) -> ProcessorId {

@@ -19,7 +19,7 @@
 //! point.
 
 use crate::{DecisionPair, FipDecisions};
-use eba_kripke::{Evaluator, Formula, NonRigidSet, StateSets};
+use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};
 use eba_model::{ProcessorId, Value};
 use eba_sim::GeneratedSystem;
 
@@ -53,7 +53,22 @@ impl<'a> Constructor<'a> {
     /// Creates a constructor over `system`.
     #[must_use]
     pub fn new(system: &'a GeneratedSystem) -> Self {
-        Constructor { eval: Evaluator::new(system) }
+        Constructor {
+            eval: Evaluator::new(system),
+        }
+    }
+
+    /// Creates a constructor whose evaluator publishes reachability
+    /// structures to (and reads them from) the given shared
+    /// [`KnowledgeCache`]. Constructors and ad-hoc evaluators over the
+    /// same system can then reuse each other's `C_S`/`C□_S` work — the
+    /// optimization steps re-derive the same `N ∧ O`/`N ∧ Z` families
+    /// often enough that this removes the dominant repeated cost.
+    #[must_use]
+    pub fn with_cache(system: &'a GeneratedSystem, cache: KnowledgeCache) -> Self {
+        Constructor {
+            eval: Evaluator::with_cache(system, cache),
+        }
     }
 
     /// The underlying system.
@@ -189,10 +204,7 @@ impl<'a> Constructor<'a> {
 
     /// The decision table of `FIP(pair)` masked to nonfaulty processors,
     /// used for fixed-point detection.
-    fn nonfaulty_decision_table(
-        &self,
-        pair: &DecisionPair,
-    ) -> Vec<Option<eba_sim::Decision>> {
+    fn nonfaulty_decision_table(&self, pair: &DecisionPair) -> Vec<Option<eba_sim::Decision>> {
         let system = self.system();
         let d = FipDecisions::compute(system, pair, "probe");
         let n = system.n();

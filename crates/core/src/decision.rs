@@ -46,7 +46,10 @@ impl DecisionPair {
     /// (Section 6.1): `Z_i = O_i = ∅`.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        DecisionPair { zero: StateSets::empty(n), one: StateSets::empty(n) }
+        DecisionPair {
+            zero: StateSets::empty(n),
+            one: StateSets::empty(n),
+        }
     }
 
     /// Number of processors.

@@ -91,11 +91,7 @@ impl fmt::Display for DominationReport {
 /// # }
 /// ```
 #[must_use]
-pub fn dominates(
-    system: &GeneratedSystem,
-    a: &FipDecisions,
-    b: &FipDecisions,
-) -> DominationReport {
+pub fn dominates(system: &GeneratedSystem, a: &FipDecisions, b: &FipDecisions) -> DominationReport {
     assert_eq!(a.num_runs(), system.num_runs());
     assert_eq!(b.num_runs(), system.num_runs());
     assert_eq!(a.n(), system.n());
@@ -231,8 +227,10 @@ mod tests {
         let a = decide_one_at(&system, 0);
         let b = decide_one_at(&system, 1);
         let report = dominates(&system, &a, &b);
-        let population: u64 =
-            system.run_ids().map(|r| system.nonfaulty(r).len() as u64).sum();
+        let population: u64 = system
+            .run_ids()
+            .map(|r| system.nonfaulty(r).len() as u64)
+            .sum();
         assert_eq!(report.earlier + report.equal + report.later, population);
     }
 

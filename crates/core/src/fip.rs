@@ -47,12 +47,12 @@ impl FipDecisions {
     ///
     /// Panics if the pair's processor count differs from the system's.
     #[must_use]
-    pub fn compute(
-        system: &GeneratedSystem,
-        pair: &DecisionPair,
-        name: impl Into<String>,
-    ) -> Self {
-        assert_eq!(pair.n(), system.n(), "decision pair does not match the system");
+    pub fn compute(system: &GeneratedSystem, pair: &DecisionPair, name: impl Into<String>) -> Self {
+        assert_eq!(
+            pair.n(),
+            system.n(),
+            "decision pair does not match the system"
+        );
         let n = system.n();
         let times = system.horizon().index() + 1;
         let mut decisions = vec![None; system.num_runs() * n];
@@ -81,7 +81,13 @@ impl FipDecisions {
             }
         }
 
-        FipDecisions { name: name.into(), times, n, decisions, conflicts }
+        FipDecisions {
+            name: name.into(),
+            times,
+            n,
+            decisions,
+            conflicts,
+        }
     }
 
     /// A short name for reports (e.g. `"F^{Λ,2}"`).

@@ -83,8 +83,7 @@ pub fn lift_protocol<P: Protocol>(system: &GeneratedSystem, protocol: &P) -> Dec
 
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace =
-            execute(protocol, &record.config, &record.pattern, system.horizon());
+        let trace = execute(protocol, &record.config, &record.pattern, system.horizon());
         for p in ProcessorId::all(n) {
             for time in Time::upto(system.horizon()) {
                 // A crashed processor's trace state freezes exactly like
@@ -137,15 +136,14 @@ mod tests {
         let d = FipDecisions::compute(&system, &lifted, "FIP(P0)");
         for run in system.run_ids() {
             let record = system.run(run);
-            let trace =
-                execute(&Relay::p0(1), &record.config, &record.pattern, system.horizon());
+            let trace = execute(
+                &Relay::p0(1),
+                &record.config,
+                &record.pattern,
+                system.horizon(),
+            );
             for p in record.nonfaulty {
-                assert_eq!(
-                    d.decision(run, p),
-                    trace.decision(p),
-                    "run {}",
-                    run.index()
-                );
+                assert_eq!(d.decision(run, p), trace.decision(p), "run {}", run.index());
             }
         }
         // Corollary 2.3: the lifted FIP is (at least weakly) a nontrivial
@@ -185,7 +183,10 @@ mod tests {
         let b = FipDecisions::compute(&system, &from_nothing, "F^{Λ,2}");
         let fwd = dominates(&system, &a, &b);
         let bwd = dominates(&system, &b, &a);
-        assert!(fwd.equivalent_times() && bwd.equivalent_times(), "{fwd} / {bwd}");
+        assert!(
+            fwd.equivalent_times() && bwd.equivalent_times(),
+            "{fwd} / {bwd}"
+        );
     }
 
     #[test]

@@ -86,10 +86,7 @@ impl fmt::Display for OptimalityReport {
 /// # }
 /// ```
 #[must_use]
-pub fn check_optimality(
-    ctor: &mut Constructor<'_>,
-    pair: &DecisionPair,
-) -> OptimalityReport {
+pub fn check_optimality(ctor: &mut Constructor<'_>, pair: &DecisionPair) -> OptimalityReport {
     let n = ctor.system().n();
     let (z_id, o_id) = {
         let eval = ctor.evaluator();
@@ -98,10 +95,8 @@ pub fn check_optimality(
             eval.register_state_sets(pair.one().clone()),
         )
     };
-    let c0 = Formula::exists(Value::Zero)
-        .continual_common(NonRigidSet::NonfaultyAnd(o_id));
-    let c1 = Formula::exists(Value::One)
-        .continual_common(NonRigidSet::NonfaultyAnd(z_id));
+    let c0 = Formula::exists(Value::Zero).continual_common(NonRigidSet::NonfaultyAnd(o_id));
+    let c1 = Formula::exists(Value::One).continual_common(NonRigidSet::NonfaultyAnd(z_id));
 
     let mut checks = Vec::with_capacity(2 * n);
     for i in ProcessorId::all(n) {

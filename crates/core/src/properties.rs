@@ -91,10 +91,7 @@ impl fmt::Display for PropertyReport {
 /// # }
 /// ```
 #[must_use]
-pub fn verify_properties(
-    system: &GeneratedSystem,
-    decisions: &FipDecisions,
-) -> PropertyReport {
+pub fn verify_properties(system: &GeneratedSystem, decisions: &FipDecisions) -> PropertyReport {
     let mut report = PropertyReport {
         runs_checked: system.num_runs(),
         nonfaulty_conflicts: decisions.nonfaulty_conflicts(system).len(),
@@ -123,10 +120,13 @@ pub fn verify_properties(
             }
         }
 
-        let mut times = nonfaulty.iter().filter_map(|p| decisions.decision_time(run, p));
+        let mut times = nonfaulty
+            .iter()
+            .filter_map(|p| decisions.decision_time(run, p));
         if let Some(first) = times.next() {
-            let undecided_exists =
-                nonfaulty.iter().any(|p| decisions.decision(run, p).is_none());
+            let undecided_exists = nonfaulty
+                .iter()
+                .any(|p| decisions.decision(run, p).is_none());
             if undecided_exists || times.any(|t| t != first) {
                 report.simultaneity_violations.push(run);
             }
@@ -165,10 +165,7 @@ pub fn strict_validity_violations(
 /// makes across the system — a quick sanity profile used in experiment
 /// output.
 #[must_use]
-pub fn decision_profile(
-    system: &GeneratedSystem,
-    decisions: &FipDecisions,
-) -> (u64, u64, u64) {
+pub fn decision_profile(system: &GeneratedSystem, decisions: &FipDecisions) -> (u64, u64, u64) {
     let (mut zeros, mut ones, mut undecided) = (0, 0, 0);
     for run in system.run_ids() {
         for p in system.nonfaulty(run) {

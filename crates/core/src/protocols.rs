@@ -39,16 +39,14 @@ pub fn f_lambda_2(ctor: &mut Constructor<'_>) -> DecisionPair {
 /// (experiment EXP3).
 pub fn crash_rule(ctor: &mut Constructor<'_>) -> DecisionPair {
     let n = ctor.system().n();
-    let zero = ctor.views_satisfying(|i| {
-        Formula::exists(Value::Zero).believed_by(i, NonRigidSet::Nonfaulty)
-    });
+    let zero = ctor
+        .views_satisfying(|i| Formula::exists(Value::Zero).believed_by(i, NonRigidSet::Nonfaulty));
     let z_id = ctor.evaluator().register_state_sets(zero.clone());
     // (N ∧ Z^cr) = ∅: no processor is both nonfaulty and in Z^cr.
-    let empty = Formula::conj(ProcessorId::all(n).map(|j| {
-        Formula::Nonfaulty(j).and(Formula::StateIn(j, z_id)).not()
-    }));
-    let one = ctor
-        .views_satisfying(|i| empty.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    let empty = Formula::conj(
+        ProcessorId::all(n).map(|j| Formula::Nonfaulty(j).and(Formula::StateIn(j, z_id)).not()),
+    );
+    let one = ctor.views_satisfying(|i| empty.clone().believed_by(i, NonRigidSet::Nonfaulty));
     DecisionPair::new(zero, one)
 }
 
@@ -77,10 +75,12 @@ pub fn zero_chain_pair(ctor: &mut Constructor<'_>) -> DecisionPair {
         eval.register_point_pred(bits)
     };
     let ever_chain = Formula::PointPred(star).sometime_all();
-    let zero = ctor
-        .views_satisfying(|i| ever_chain.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    let zero = ctor.views_satisfying(|i| ever_chain.clone().believed_by(i, NonRigidSet::Nonfaulty));
     let one = ctor.views_satisfying(|i| {
-        ever_chain.clone().not().believed_by(i, NonRigidSet::Nonfaulty)
+        ever_chain
+            .clone()
+            .not()
+            .believed_by(i, NonRigidSet::Nonfaulty)
     });
     DecisionPair::new(zero, one)
 }
@@ -136,10 +136,11 @@ pub fn f_star_direct(ctor: &mut Constructor<'_>) -> DecisionPair {
 pub fn sba_common_knowledge_pair(ctor: &mut Constructor<'_>) -> DecisionPair {
     let c0 = Formula::exists(Value::Zero).common(NonRigidSet::Nonfaulty);
     let c1 = Formula::exists(Value::One).common(NonRigidSet::Nonfaulty);
-    let zero =
-        ctor.views_satisfying(|i| c0.clone().believed_by(i, NonRigidSet::Nonfaulty));
+    let zero = ctor.views_satisfying(|i| c0.clone().believed_by(i, NonRigidSet::Nonfaulty));
     let one = ctor.views_satisfying(|i| {
-        c1.clone().and(c0.clone().not()).believed_by(i, NonRigidSet::Nonfaulty)
+        c1.clone()
+            .and(c0.clone().not())
+            .believed_by(i, NonRigidSet::Nonfaulty)
     });
     DecisionPair::new(zero, one)
 }

@@ -24,9 +24,9 @@ pub struct AxiomReport {
 
 impl AxiomReport {
     fn check(eval: &mut Evaluator<'_>, name: &'static str, f: &Formula) -> Self {
-        let violation = eval.counterexample(f).map(|(run, time)| {
-            format!("fails at run {}, {time} (formula {f})", run.index())
-        });
+        let violation = eval
+            .counterexample(f)
+            .map(|(run, time)| format!("fails at run {}, {time} (formula {f})", run.index()));
         AxiomReport { name, violation }
     }
 
@@ -51,7 +51,11 @@ pub fn check_s5(
 
     // (a) knowledge generalization: if ⊨ φ then ⊨ K_i φ.
     if eval.valid(phi) {
-        reports.push(AxiomReport::check(eval, "knowledge generalization", &k(phi)));
+        reports.push(AxiomReport::check(
+            eval,
+            "knowledge generalization",
+            &k(phi),
+        ));
     }
     // (b) distribution: (K_i φ ∧ K_i(φ ⇒ ψ)) ⇒ K_i ψ.
     let dist = k(phi)
@@ -159,7 +163,9 @@ pub fn all_violations(
         for psi in formulas {
             for &i in processors {
                 violations.extend(
-                    check_s5(eval, i, phi, psi).into_iter().filter(|r| !r.holds()),
+                    check_s5(eval, i, phi, psi)
+                        .into_iter()
+                        .filter(|r| !r.holds()),
                 );
             }
             for &s in sets {
@@ -205,9 +211,7 @@ mod tests {
         let mut eval = Evaluator::new(&system);
         let phi = Formula::exists(Value::Zero);
         let psi = Formula::exists(Value::Zero).or(Formula::exists(Value::One));
-        for report in
-            check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi)
-        {
+        for report in check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi) {
             assert!(report.holds(), "{}: {:?}", report.name, report.violation);
         }
     }
@@ -219,9 +223,7 @@ mod tests {
         let mut eval = Evaluator::new(&system);
         let phi = Formula::exists(Value::One);
         let psi = Formula::exists(Value::Zero);
-        for report in
-            check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi)
-        {
+        for report in check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi) {
             assert!(report.holds(), "{}: {:?}", report.name, report.violation);
         }
     }

@@ -28,13 +28,19 @@ impl Bitset {
     /// Creates a bitset of `len` bits, all `false`.
     #[must_use]
     pub fn new_false(len: usize) -> Self {
-        Bitset { words: vec![0; len.div_ceil(64)], len }
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a bitset of `len` bits, all `true`.
     #[must_use]
     pub fn new_true(len: usize) -> Self {
-        let mut s = Bitset { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut s = Bitset {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         s.clear_tail();
         s
     }
@@ -161,7 +167,10 @@ impl Bitset {
     #[must_use]
     pub fn is_subset(&self, other: &Bitset) -> bool {
         assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 }
 

@@ -1,0 +1,109 @@
+//! A knowledge cache shared across evaluators over the same system.
+//!
+//! Computing the [`Reachability`] structure of a nonrigid set is the
+//! dominant cost of evaluating `C_S`/`C□_S` formulas. Within one
+//! [`Evaluator`](crate::Evaluator) it is memoized per [`NonRigidSet`], but
+//! the ids inside a `NonRigidSet::NonfaultyAnd` are evaluator-relative, so
+//! that memo cannot be handed to another evaluator. [`KnowledgeCache`]
+//! closes the gap: it keys reachability by the *content* of the nonrigid
+//! set ([`ReachKey`]) and can therefore be shared — cheaply cloned — among
+//! any number of evaluators, including the fresh evaluators the
+//! construction pipeline spins up per optimization step. Lookups take a
+//! mutex, but only on the first request per `(evaluator, set)` pair; after
+//! that the evaluator's local memo answers.
+//!
+//! A cache is only meaningful for evaluators over the **same generated
+//! system**: reachability indexes the system's points. Sharing one across
+//! systems is caught in debug builds (the point counts disagree) but is
+//! undefined behaviorally in release builds — make a new cache per system.
+
+use crate::eval::Reachability;
+use eba_sim::ViewId;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The content of a nonrigid set, independent of any evaluator's id
+/// numbering: the `NonfaultyAnd` variant carries the sorted per-processor
+/// view lists of the state-set family.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) enum ReachKey {
+    Everyone,
+    Nonfaulty,
+    NonfaultyAnd(Vec<Box<[ViewId]>>),
+}
+
+/// A shareable, thread-safe memo of [`Reachability`] structures; see the
+/// module docs. Cloning is cheap and clones share the same storage.
+///
+/// # Example
+///
+/// ```
+/// use eba_kripke::{Evaluator, KnowledgeCache, NonRigidSet};
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::GeneratedSystem;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = GeneratedSystem::exhaustive(&scenario);
+/// let cache = KnowledgeCache::new();
+/// let mut first = Evaluator::with_cache(&system, cache.clone());
+/// first.reachability(NonRigidSet::Nonfaulty); // computed
+/// let mut second = Evaluator::with_cache(&system, cache.clone());
+/// second.reachability(NonRigidSet::Nonfaulty); // served from the cache
+/// assert_eq!(cache.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgeCache {
+    reach: Arc<Mutex<HashMap<ReachKey, Arc<Reachability>>>>,
+}
+
+impl KnowledgeCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        KnowledgeCache::default()
+    }
+
+    /// Number of reachability structures currently cached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reach.lock().expect("knowledge cache poisoned").len()
+    }
+
+    /// Whether nothing is cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached structure (e.g. to bound memory between
+    /// scenarios when reusing one cache handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    pub fn clear(&self) {
+        self.reach.lock().expect("knowledge cache poisoned").clear();
+    }
+
+    pub(crate) fn get(&self, key: &ReachKey) -> Option<Arc<Reachability>> {
+        self.reach
+            .lock()
+            .expect("knowledge cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn insert(&self, key: ReachKey, value: Arc<Reachability>) {
+        self.reach
+            .lock()
+            .expect("knowledge cache poisoned")
+            .insert(key, value);
+    }
+}

@@ -1,13 +1,19 @@
 //! The memoizing formula evaluator over a generated system.
 
 use crate::bitset::Bitset;
+use crate::cache::{KnowledgeCache, ReachKey};
 use crate::formula::Formula;
 use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
 use crate::uf::UnionFind;
 use eba_model::{ProcSet, ProcessorId, Time};
 use eba_sim::{GeneratedSystem, RunId, ViewId};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::thread;
+
+/// Point count below which reachability edges are collected on the
+/// calling thread: spawning workers costs more than the scan saves.
+const PARALLEL_POINTS_THRESHOLD: usize = 1 << 12;
 
 /// The reachability structure of a nonrigid set `S` over a generated
 /// system: the point-level components behind `C_S` (the \[DM90\]
@@ -61,6 +67,12 @@ impl Reachability {
     pub fn members(&self, point: usize) -> ProcSet {
         self.s_members[point]
     }
+
+    /// The number of points this structure was computed over.
+    #[must_use]
+    pub fn num_points(&self) -> usize {
+        self.s_members.len()
+    }
 }
 
 /// A memoizing evaluator of [`Formula`]s over a [`GeneratedSystem`].
@@ -93,17 +105,30 @@ pub struct Evaluator<'a> {
     n: usize,
     times: usize,
     num_points: usize,
+    threads: usize,
     state_sets: Vec<StateSets>,
     run_preds: Vec<Vec<bool>>,
-    point_preds: Vec<Rc<Bitset>>,
-    cache: HashMap<Formula, Rc<Bitset>>,
-    reach_cache: HashMap<NonRigidSet, Rc<Reachability>>,
+    point_preds: Vec<Arc<Bitset>>,
+    cache: HashMap<Formula, Arc<Bitset>>,
+    reach_cache: HashMap<NonRigidSet, Arc<Reachability>>,
+    shared: KnowledgeCache,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator over `system`.
+    /// Creates an evaluator over `system` with a private knowledge cache
+    /// and one reachability worker per available CPU.
     #[must_use]
     pub fn new(system: &'a GeneratedSystem) -> Self {
+        Evaluator::with_cache(system, KnowledgeCache::new())
+    }
+
+    /// Creates an evaluator over `system` backed by a shared
+    /// [`KnowledgeCache`]: reachability structures computed here are
+    /// visible to every other evaluator holding a clone of `cache`, and
+    /// vice versa. All sharers must evaluate over the same system; see the
+    /// cache's docs.
+    #[must_use]
+    pub fn with_cache(system: &'a GeneratedSystem, cache: KnowledgeCache) -> Self {
         let n = system.n();
         let times = system.horizon().index() + 1;
         Evaluator {
@@ -111,12 +136,28 @@ impl<'a> Evaluator<'a> {
             n,
             times,
             num_points: system.num_runs() * times,
+            threads: thread::available_parallelism().map_or(1, |p| p.get()),
             state_sets: Vec::new(),
             run_preds: Vec::new(),
             point_preds: Vec::new(),
             cache: HashMap::new(),
             reach_cache: HashMap::new(),
+            shared: cache,
         }
+    }
+
+    /// Sets the number of worker threads used to collect reachability
+    /// edges (clamped to at least 1). Results are identical for every
+    /// thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The shared knowledge cache backing this evaluator (clone it to
+    /// share with further evaluators over the same system).
+    #[must_use]
+    pub fn knowledge_cache(&self) -> &KnowledgeCache {
+        &self.shared
     }
 
     /// The underlying system.
@@ -137,7 +178,11 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the family's processor count differs from the system's.
     pub fn register_state_sets(&mut self, sets: StateSets) -> StateSetsId {
-        assert_eq!(sets.n(), self.n, "state-set family has the wrong processor count");
+        assert_eq!(
+            sets.n(),
+            self.n,
+            "state-set family has the wrong processor count"
+        );
         let id = StateSetsId(u32::try_from(self.state_sets.len()).expect("id overflow"));
         self.state_sets.push(sets);
         id
@@ -159,7 +204,11 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the vector's length differs from the number of runs.
     pub fn register_run_pred(&mut self, pred: Vec<bool>) -> RunPredId {
-        assert_eq!(pred.len(), self.system.num_runs(), "run predicate has the wrong length");
+        assert_eq!(
+            pred.len(),
+            self.system.num_runs(),
+            "run predicate has the wrong length"
+        );
         let id = RunPredId(u32::try_from(self.run_preds.len()).expect("id overflow"));
         self.run_preds.push(pred);
         id
@@ -172,9 +221,13 @@ impl<'a> Evaluator<'a> {
     ///
     /// Panics if the bitset's length differs from [`Evaluator::num_points`].
     pub fn register_point_pred(&mut self, pred: Bitset) -> PointPredId {
-        assert_eq!(pred.len(), self.num_points, "point predicate has the wrong length");
+        assert_eq!(
+            pred.len(),
+            self.num_points,
+            "point predicate has the wrong length"
+        );
         let id = PointPredId(u32::try_from(self.point_preds.len()).expect("id overflow"));
-        self.point_preds.push(Rc::new(pred));
+        self.point_preds.push(Arc::new(pred));
         id
     }
 
@@ -187,7 +240,10 @@ impl<'a> Evaluator<'a> {
     /// The (run, time) of a linear point index.
     #[must_use]
     pub fn point_of(&self, index: usize) -> (RunId, Time) {
-        (RunId::new(index / self.times), Time::new((index % self.times) as u16))
+        (
+            RunId::new(index / self.times),
+            Time::new((index % self.times) as u16),
+        )
     }
 
     /// The members of nonrigid set `s` at a point.
@@ -208,12 +264,12 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates a formula, returning the set of points satisfying it.
-    pub fn eval(&mut self, formula: &Formula) -> Rc<Bitset> {
+    pub fn eval(&mut self, formula: &Formula) -> Arc<Bitset> {
         if let Some(cached) = self.cache.get(formula) {
-            return Rc::clone(cached);
+            return Arc::clone(cached);
         }
-        let result = Rc::new(self.compute(formula));
-        self.cache.insert(formula.clone(), Rc::clone(&result));
+        let result = Arc::new(self.compute(formula));
+        self.cache.insert(formula.clone(), Arc::clone(&result));
         result
     }
 
@@ -252,7 +308,10 @@ impl<'a> Evaluator<'a> {
                 *entry &= set.get(idx);
             }
         }
-        status.into_iter().filter_map(|(v, ok)| ok.then_some(v)).collect()
+        status
+            .into_iter()
+            .filter_map(|(v, ok)| ok.then_some(v))
+            .collect()
     }
 
     fn broadcast_run_level<F: Fn(RunId) -> bool>(&self, f: F) -> Bitset {
@@ -553,13 +612,65 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Computes (or fetches) the reachability structure of `s`.
-    pub fn reachability(&mut self, s: NonRigidSet) -> Rc<Reachability> {
+    ///
+    /// Lookup is staged: this evaluator's local memo first, then the
+    /// shared [`KnowledgeCache`] (keyed by the set's *content*, so a hit
+    /// can come from a different evaluator over the same system), and only
+    /// then a fresh computation, which is published to both.
+    pub fn reachability(&mut self, s: NonRigidSet) -> Arc<Reachability> {
         if let Some(cached) = self.reach_cache.get(&s) {
-            return Rc::clone(cached);
+            return Arc::clone(cached);
         }
-        let built = Rc::new(self.build_reachability(s));
-        self.reach_cache.insert(s, Rc::clone(&built));
+        let key = self.reach_key(s);
+        let built = match self.shared.get(&key) {
+            Some(shared) => {
+                debug_assert_eq!(
+                    shared.num_points(),
+                    self.num_points,
+                    "knowledge cache shared across different systems"
+                );
+                shared
+            }
+            None => {
+                let built = Arc::new(self.build_reachability(s));
+                self.shared.insert(key, Arc::clone(&built));
+                built
+            }
+        };
+        self.reach_cache.insert(s, Arc::clone(&built));
         built
+    }
+
+    fn reach_key(&self, s: NonRigidSet) -> ReachKey {
+        match s {
+            NonRigidSet::Everyone => ReachKey::Everyone,
+            NonRigidSet::Nonfaulty => ReachKey::Nonfaulty,
+            NonRigidSet::NonfaultyAnd(id) => {
+                ReachKey::NonfaultyAnd(self.state_sets[id.0 as usize].canonical())
+            }
+        }
+    }
+
+    /// Collects the union edges contributed by processor `i`: one edge per
+    /// `S`-containing point after the first per distinct view of `i`.
+    fn collect_reach_edges(&self, i: ProcessorId, s_members: &[ProcSet]) -> Vec<(u32, u32)> {
+        let mut first_by_view = vec![u32::MAX; self.system.table().len()];
+        let mut edges = Vec::new();
+        for run in self.system.run_ids() {
+            for time in Time::upto(self.system.horizon()) {
+                let idx = self.point_index(run, time);
+                if !s_members[idx].contains(i) {
+                    continue;
+                }
+                let v = self.system.view(run, i, time).index();
+                if first_by_view[v] == u32::MAX {
+                    first_by_view[v] = idx as u32;
+                } else {
+                    edges.push((first_by_view[v], idx as u32));
+                }
+            }
+        }
+        edges
     }
 
     fn build_reachability(&self, s: NonRigidSet) -> Reachability {
@@ -573,27 +684,50 @@ impl<'a> Evaluator<'a> {
         }
 
         // Point-level union-find: two points are linked when some i ∈ S at
-        // both has the same view at both. Bucket by (i's view).
-        let table_len = self.system.table().len();
+        // both has the same view at both. Bucket by (i's view). Edge
+        // collection is independent per processor, so it fans out across
+        // worker threads; the unions are applied sequentially in processor
+        // order afterwards, giving the exact edge sequence of a
+        // single-threaded scan (and hence identical components) for every
+        // thread count.
+        let workers = self.threads.min(self.n);
+        let per_proc_edges: Vec<Vec<(u32, u32)>> =
+            if workers > 1 && self.num_points >= PARALLEL_POINTS_THRESHOLD {
+                let s_members_ref = &s_members;
+                let mut slots: Vec<Option<Vec<(u32, u32)>>> = Vec::new();
+                slots.resize_with(self.n, || None);
+                thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for worker in 0..workers {
+                        handles.push(scope.spawn(move || {
+                            (worker..self.n)
+                                .step_by(workers)
+                                .map(|i| {
+                                    let p = ProcessorId::new(i);
+                                    (i, self.collect_reach_edges(p, s_members_ref))
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    for handle in handles {
+                        for (i, edges) in handle.join().expect("reachability worker panicked") {
+                            slots[i] = Some(edges);
+                        }
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every processor is scanned"))
+                    .collect()
+            } else {
+                ProcessorId::all(self.n)
+                    .map(|i| self.collect_reach_edges(i, &s_members))
+                    .collect()
+            };
         let mut uf = UnionFind::new(self.num_points);
-        let mut first_by_view = vec![u32::MAX; table_len];
-        for i in ProcessorId::all(self.n) {
-            for slot in first_by_view.iter_mut() {
-                *slot = u32::MAX;
-            }
-            for run in self.system.run_ids() {
-                for time in Time::upto(self.system.horizon()) {
-                    let idx = self.point_index(run, time);
-                    if !s_members[idx].contains(i) {
-                        continue;
-                    }
-                    let v = self.system.view(run, i, time).index();
-                    if first_by_view[v] == u32::MAX {
-                        first_by_view[v] = idx as u32;
-                    } else {
-                        uf.union(first_by_view[v] as usize, idx);
-                    }
-                }
+        for edges in &per_proc_edges {
+            for &(a, b) in edges {
+                uf.union(a as usize, b as usize);
             }
         }
 
@@ -672,8 +806,7 @@ mod tests {
         for i in 0..3 {
             for v in Value::ALL {
                 // init(i)=v ⇒ K_i ∃v.
-                let f = Formula::Initial(p(i), v)
-                    .implies(Formula::exists(v).known_by(p(i)));
+                let f = Formula::Initial(p(i), v).implies(Formula::exists(v).known_by(p(i)));
                 assert!(eval.valid(&f));
             }
         }
@@ -694,8 +827,7 @@ mod tests {
         let mut eval = Evaluator::new(&system);
         // ∃0 ⇒ K_1 ∃0 is NOT valid at time 0 (p1 may hold 1 while p2
         // holds 0).
-        let f = Formula::exists(Value::Zero)
-            .implies(Formula::exists(Value::Zero).known_by(p(0)));
+        let f = Formula::exists(Value::Zero).implies(Formula::exists(Value::Zero).known_by(p(0)));
         assert!(!eval.valid(&f));
         let (run, time) = eval.counterexample(&f).unwrap();
         assert_eq!(time, Time::ZERO);
@@ -719,11 +851,13 @@ mod tests {
                 run,
                 Time::new(1)
             ));
-            assert!(!eval.holds_at(
-                &Formula::exists(Value::Zero).known_by(p(i)),
-                run,
-                Time::ZERO
-            ) || i == 0);
+            assert!(
+                !eval.holds_at(
+                    &Formula::exists(Value::Zero).known_by(p(i)),
+                    run,
+                    Time::ZERO
+                ) || i == 0
+            );
         }
     }
 
@@ -837,11 +971,16 @@ mod tests {
     fn run_predicates_broadcast() {
         let system = crash_system();
         let mut eval = Evaluator::new(&system);
-        let pred: Vec<bool> =
-            system.run_ids().map(|r| system.run(r).config.all_same()).collect();
+        let pred: Vec<bool> = system
+            .run_ids()
+            .map(|r| system.run(r).config.all_same())
+            .collect();
         let id = eval.register_run_pred(pred);
-        let f = Formula::RunPred(id)
-            .implies(Formula::exists(Value::Zero).and(Formula::exists(Value::One)).not());
+        let f = Formula::RunPred(id).implies(
+            Formula::exists(Value::Zero)
+                .and(Formula::exists(Value::One))
+                .not(),
+        );
         assert!(eval.valid(&f));
     }
 
@@ -884,9 +1023,7 @@ mod tests {
         // Pooled knowledge decides ∃0 whenever every processor is
         // nonfaulty (the failure-free runs), since the group jointly sees
         // every initial value.
-        let everyone_fine = Formula::conj(
-            (0..3).map(|i| Formula::Nonfaulty(p(i))),
-        );
+        let everyone_fine = Formula::conj((0..3).map(|i| Formula::Nonfaulty(p(i))));
         assert!(eval.valid(&everyone_fine.implies(d_pos.clone().or(d_neg))));
         // A *member's* knowledge feeds the pool — but only a member's: a
         // faulty processor's private knowledge does not reach D_N.
@@ -910,16 +1047,13 @@ mod tests {
         let phi = Formula::exists(Value::Zero);
         let e = eval.eval(&phi.clone().everyone(NonRigidSet::Nonfaulty));
         let believes: Vec<_> = (0..3)
-            .map(|i| {
-                eval.eval(&phi.clone().believed_by(p(i), NonRigidSet::Nonfaulty))
-            })
+            .map(|i| eval.eval(&phi.clone().believed_by(p(i), NonRigidSet::Nonfaulty)))
             .collect();
         for run in system.run_ids() {
             for time in Time::upto(system.horizon()) {
                 let idx = eval.point_index(run, time);
                 let members = eval.members(NonRigidSet::Nonfaulty, run, time);
-                let expected =
-                    members.iter().all(|i| believes[i.index()].get(idx));
+                let expected = members.iter().all(|i| believes[i.index()].get(idx));
                 assert_eq!(e.get(idx), expected, "run {} {time}", run.index());
             }
         }
@@ -939,8 +1073,7 @@ mod tests {
             if reach.point_component(idx).is_some() {
                 assert!(reach.run_has_s_points(run));
                 assert!(
-                    (reach.point_component(idx).unwrap() as usize)
-                        < reach.num_point_components()
+                    (reach.point_component(idx).unwrap() as usize) < reach.num_point_components()
                 );
             }
         }
@@ -957,5 +1090,79 @@ mod tests {
         let s = NonRigidSet::NonfaultyAnd(id);
         assert!(eval.valid(&Formula::False.continual_common(s)));
         assert!(eval.valid(&Formula::False.common(s)));
+    }
+
+    #[test]
+    fn knowledge_cache_is_shared_across_evaluators() {
+        let system = crash_system();
+        let cache = KnowledgeCache::new();
+        let mut a = Evaluator::with_cache(&system, cache.clone());
+        let ra = a.reachability(NonRigidSet::Nonfaulty);
+        assert_eq!(cache.len(), 1);
+        let mut b = Evaluator::with_cache(&system, cache.clone());
+        let rb = b.reachability(NonRigidSet::Nonfaulty);
+        assert!(
+            Arc::ptr_eq(&ra, &rb),
+            "second evaluator must reuse the cached structure"
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn knowledge_cache_matches_state_sets_by_content() {
+        // The same family registered under *different ids* in two
+        // evaluators resolves to one cache entry: keys are canonical
+        // content, not evaluator-relative ids.
+        let system = crash_system();
+        let cache = KnowledgeCache::new();
+        let sets = StateSets::with_value_seen(system.table(), 3, Value::Zero);
+        let mut a = Evaluator::with_cache(&system, cache.clone());
+        let id_a = a.register_state_sets(sets.clone());
+        let r1 = a.reachability(NonRigidSet::NonfaultyAnd(id_a));
+        let len_after_first = cache.len();
+        let mut b = Evaluator::with_cache(&system, cache.clone());
+        b.register_state_sets(StateSets::empty(3)); // shift the id space
+        let id_b = b.register_state_sets(sets);
+        assert_ne!(id_a, id_b);
+        let r2 = b.reachability(NonRigidSet::NonfaultyAnd(id_b));
+        assert!(Arc::ptr_eq(&r1, &r2));
+        assert_eq!(cache.len(), len_after_first);
+    }
+
+    #[test]
+    fn parallel_reachability_matches_sequential() {
+        // Big enough to cross PARALLEL_POINTS_THRESHOLD, so the threaded
+        // edge-collection path actually runs.
+        let scenario = Scenario::new(3, 2, FailureMode::Crash, 3).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        assert!(
+            system.num_points() >= PARALLEL_POINTS_THRESHOLD,
+            "test scenario no longer exercises the parallel path"
+        );
+        let mut seq = Evaluator::new(&system);
+        seq.set_threads(1);
+        let mut par = Evaluator::new(&system);
+        par.set_threads(4);
+        for s in [NonRigidSet::Everyone, NonRigidSet::Nonfaulty] {
+            let a = seq.reachability(s);
+            let b = par.reachability(s);
+            assert_eq!(a.num_point_components(), b.num_point_components());
+            for idx in 0..system.num_points() {
+                assert_eq!(
+                    a.point_component(idx),
+                    b.point_component(idx),
+                    "component of point {idx} under {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaluator_and_cache_are_send() {
+        fn require_send<T: Send>() {}
+        fn require_sync<T: Sync>() {}
+        require_send::<Evaluator<'static>>();
+        require_send::<KnowledgeCache>();
+        require_sync::<KnowledgeCache>();
     }
 }

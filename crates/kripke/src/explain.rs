@@ -39,11 +39,7 @@ pub struct Timeline {
 
 impl Timeline {
     /// Evaluates every labeled formula at every time of `run`.
-    pub fn build(
-        eval: &mut Evaluator<'_>,
-        run: RunId,
-        formulas: &[(String, Formula)],
-    ) -> Timeline {
+    pub fn build(eval: &mut Evaluator<'_>, run: RunId, formulas: &[(String, Formula)]) -> Timeline {
         let horizon = eval.system().horizon();
         let mut labels = Vec::with_capacity(formulas.len());
         let mut grid = Vec::with_capacity(formulas.len());
@@ -94,7 +90,12 @@ impl Timeline {
 
 impl fmt::Display for Timeline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let width = self.labels.iter().map(|l| l.chars().count()).max().unwrap_or(0);
+        let width = self
+            .labels
+            .iter()
+            .map(|l| l.chars().count())
+            .max()
+            .unwrap_or(0);
         let times = self.grid.first().map_or(0, Vec::len);
         write!(f, "{:>width$} ", "time")?;
         for t in 0..times {

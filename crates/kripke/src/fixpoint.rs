@@ -14,18 +14,14 @@
 use crate::bitset::Bitset;
 use crate::{Evaluator, Formula, NonRigidSet};
 use eba_model::Time;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Computes `C_S φ` by greatest-fixed-point iteration of
 /// `X ← E_S(φ ∧ X)`, starting from `True`.
 ///
 /// Returns the satisfaction bitset and the number of iterations needed
 /// (including the final confirming pass).
-pub fn common_by_gfp(
-    eval: &mut Evaluator<'_>,
-    s: NonRigidSet,
-    phi: &Formula,
-) -> (Bitset, usize) {
+pub fn common_by_gfp(eval: &mut Evaluator<'_>, s: NonRigidSet, phi: &Formula) -> (Bitset, usize) {
     gfp(eval, phi, |inner| inner.everyone(s))
 }
 
@@ -54,7 +50,7 @@ where
         iterations += 1;
         let x_id = eval.register_point_pred(current.clone());
         let formula = step(phi.clone().and(Formula::PointPred(x_id)));
-        let next = Rc::unwrap_or_clone(eval.eval(&formula));
+        let next = Arc::unwrap_or_clone(eval.eval(&formula));
         if next == current {
             return (current, iterations);
         }
@@ -108,12 +104,8 @@ mod tests {
 
     fn systems() -> Vec<GeneratedSystem> {
         vec![
-            GeneratedSystem::exhaustive(
-                &Scenario::new(3, 1, FailureMode::Crash, 2).unwrap(),
-            ),
-            GeneratedSystem::exhaustive(
-                &Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
-            ),
+            GeneratedSystem::exhaustive(&Scenario::new(3, 1, FailureMode::Crash, 2).unwrap()),
+            GeneratedSystem::exhaustive(&Scenario::new(3, 1, FailureMode::Omission, 2).unwrap()),
         ]
     }
 
@@ -134,8 +126,7 @@ mod tests {
             for phi in formulas() {
                 let mut eval = Evaluator::new(&system);
                 let via_reach = eval.eval(&phi.clone().common(NonRigidSet::Nonfaulty));
-                let (via_gfp, iters) =
-                    common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
+                let (via_gfp, iters) = common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
                 assert!(iters < 50, "gfp failed to converge quickly");
                 assert_eq!(
                     diff(&eval, &via_reach, &via_gfp),
@@ -151,10 +142,8 @@ mod tests {
         for system in systems() {
             for phi in formulas() {
                 let mut eval = Evaluator::new(&system);
-                let via_reach =
-                    eval.eval(&phi.clone().continual_common(NonRigidSet::Nonfaulty));
-                let (via_gfp, _) =
-                    continual_common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
+                let via_reach = eval.eval(&phi.clone().continual_common(NonRigidSet::Nonfaulty));
+                let (via_gfp, _) = continual_common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
                 assert_eq!(
                     diff(&eval, &via_reach, &via_gfp),
                     None,
@@ -172,8 +161,7 @@ mod tests {
             let exact = eval.eval(&phi.clone().common(NonRigidSet::Nonfaulty));
             // E^k must be ⊇ C for every k, and equal for large k.
             for depth in 1..=3 {
-                let approx =
-                    everyone_iterated(&mut eval, NonRigidSet::Nonfaulty, &phi, depth);
+                let approx = everyone_iterated(&mut eval, NonRigidSet::Nonfaulty, &phi, depth);
                 assert!(exact.is_subset(&approx), "C ⊆ E^{depth} violated");
             }
             let deep = everyone_iterated(&mut eval, NonRigidSet::Nonfaulty, &phi, 64);

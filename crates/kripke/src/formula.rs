@@ -270,9 +270,7 @@ impl Formula {
             | Formula::Eventually(f)
             | Formula::AlwaysAll(f)
             | Formula::SometimeAll(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(Formula::size).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
         }
     }
 }
@@ -407,7 +405,9 @@ mod tests {
 
     #[test]
     fn and_flattens() {
-        let f = Formula::True.and(Formula::False).and(Formula::Exists(Value::Zero));
+        let f = Formula::True
+            .and(Formula::False)
+            .and(Formula::Exists(Value::Zero));
         match f {
             Formula::And(fs) => assert_eq!(fs.len(), 3),
             other => panic!("expected flattened And, got {other:?}"),

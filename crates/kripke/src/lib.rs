@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod bitset;
+mod cache;
 mod eval;
 mod formula;
 mod nonrigid;
@@ -55,6 +56,7 @@ pub mod fixpoint;
 pub mod parse;
 
 pub use bitset::Bitset;
+pub use cache::KnowledgeCache;
 pub use eval::{Evaluator, Reachability};
 pub use formula::Formula;
 pub use nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};

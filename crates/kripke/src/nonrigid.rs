@@ -35,7 +35,9 @@ impl StateSets {
     /// Creates an empty family for `n` processors.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        StateSets { per_proc: vec![HashSet::new(); n] }
+        StateSets {
+            per_proc: vec![HashSet::new(); n],
+        }
     }
 
     /// Number of processors.
@@ -136,6 +138,22 @@ impl StateSets {
             }
         }
         sets
+    }
+
+    /// The family's content in canonical form: per processor, the sorted
+    /// list of views. Equal families produce equal canonical forms, which
+    /// is what lets the shared [`crate::KnowledgeCache`] recognize the
+    /// same family across evaluators with different id numberings.
+    #[must_use]
+    pub fn canonical(&self) -> Vec<Box<[ViewId]>> {
+        self.per_proc
+            .iter()
+            .map(|views| {
+                let mut sorted: Vec<ViewId> = views.iter().copied().collect();
+                sorted.sort_unstable();
+                sorted.into_boxed_slice()
+            })
+            .collect()
     }
 
     /// Convenience: the family of all views (from `table`) whose owner has

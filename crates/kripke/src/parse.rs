@@ -81,7 +81,10 @@ struct Parser<'a> {
 /// Returns a [`ParseError`] naming the offending position on malformed
 /// input.
 pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
-    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let formula = parser.iff()?;
     parser.skip_ws();
     if parser.pos != parser.input.len() {
@@ -92,7 +95,10 @@ pub fn parse_formula(input: &str) -> Result<Formula, ParseError> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), offset: self.pos }
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -384,7 +390,10 @@ mod tests {
     #[test]
     fn iff_and_right_assoc_implies() {
         let f = parse_formula("E0 <-> E1").unwrap();
-        assert_eq!(f, Formula::exists(Value::Zero).iff(Formula::exists(Value::One)));
+        assert_eq!(
+            f,
+            Formula::exists(Value::Zero).iff(Formula::exists(Value::One))
+        );
         let g = parse_formula("E0 -> E1 -> false").unwrap();
         let expected = Formula::exists(Value::Zero)
             .implies(Formula::exists(Value::One).implies(Formula::False));
@@ -413,7 +422,10 @@ mod tests {
             parse_formula("E(E0)").unwrap(),
             Formula::exists(Value::Zero).everyone(NonRigidSet::Nonfaulty)
         );
-        assert_eq!(parse_formula("G(E0)").unwrap(), Formula::exists(Value::Zero).always());
+        assert_eq!(
+            parse_formula("G(E0)").unwrap(),
+            Formula::exists(Value::Zero).always()
+        );
         assert_eq!(
             parse_formula("F(E0)").unwrap(),
             Formula::exists(Value::Zero).eventually()
@@ -460,7 +472,10 @@ mod tests {
         assert!(err.offset >= 4, "{err}");
         assert!(parse_formula("K_(E0)").is_err());
         assert!(parse_formula("E0 E1").is_err());
-        assert!(parse_formula("init(0)=1").is_err(), "processors are 1-based");
+        assert!(
+            parse_formula("init(0)=1").is_err(),
+            "processors are 1-based"
+        );
         assert!(parse_formula("").is_err());
         assert!(parse_formula("(E0").is_err());
     }
@@ -469,7 +484,10 @@ mod tests {
     fn unicode_display_forms_parse() {
         assert_eq!(parse_formula("∃0").unwrap(), Formula::exists(Value::Zero));
         assert_eq!(parse_formula("⊤").unwrap(), Formula::True);
-        assert_eq!(parse_formula("¬(∃1)").unwrap(), Formula::exists(Value::One).not());
+        assert_eq!(
+            parse_formula("¬(∃1)").unwrap(),
+            Formula::exists(Value::One).not()
+        );
         assert_eq!(
             parse_formula("(∃0 ∧ ∃1)").unwrap(),
             Formula::exists(Value::Zero).and(Formula::exists(Value::One))
@@ -482,10 +500,7 @@ mod tests {
             parse_formula("C□_N(∃0)").unwrap(),
             Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty)
         );
-        assert_eq!(
-            parse_formula("p3∈N").unwrap(),
-            Formula::Nonfaulty(p(2))
-        );
+        assert_eq!(parse_formula("p3∈N").unwrap(), Formula::Nonfaulty(p(2)));
         assert_eq!(
             parse_formula("□̄(∃0)").unwrap(),
             Formula::exists(Value::Zero).always_all()
@@ -514,7 +529,9 @@ mod tests {
                 .always_all()
                 .not(),
             Formula::True.iff(Formula::False.or(Formula::exists(Value::One))),
-            Formula::Initial(p(2), Value::One).known_by(p(0)).eventually(),
+            Formula::Initial(p(2), Value::One)
+                .known_by(p(0))
+                .eventually(),
         ];
         for f in samples {
             let rendered = f.to_string();

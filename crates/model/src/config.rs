@@ -19,7 +19,6 @@ use std::ops::Index;
 /// assert!(config.exists(Value::Zero) && config.exists(Value::One));
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InitialConfig {
     values: Vec<Value>,
 }
@@ -49,7 +48,9 @@ impl InitialConfig {
     #[must_use]
     pub fn from_bits(n: usize, bits: u128) -> Self {
         InitialConfig::new(
-            (0..n).map(|i| Value::from_bit(bits >> i & 1 == 1)).collect(),
+            (0..n)
+                .map(|i| Value::from_bit(bits >> i & 1 == 1))
+                .collect(),
         )
     }
 
@@ -87,7 +88,9 @@ impl InitialConfig {
     /// The set of processors whose initial value is `v`.
     #[must_use]
     pub fn holders(&self, v: Value) -> ProcSet {
-        ProcessorId::all(self.n()).filter(|&p| self.value(p) == v).collect()
+        ProcessorId::all(self.n())
+            .filter(|&p| self.value(p) == v)
+            .collect()
     }
 
     /// Encodes the configuration as a bit mask (inverse of
@@ -103,7 +106,10 @@ impl InitialConfig {
     /// Enumerates all `2^n` configurations of `n` processors, in increasing
     /// bit-mask order.
     pub fn enumerate_all(n: usize) -> impl Iterator<Item = InitialConfig> {
-        assert!(n <= 32, "exhaustive configuration enumeration is limited to n ≤ 32");
+        assert!(
+            n <= 32,
+            "exhaustive configuration enumeration is limited to n ≤ 32"
+        );
         (0u128..(1u128 << n)).map(move |bits| InitialConfig::from_bits(n, bits))
     }
 }
@@ -157,7 +163,10 @@ mod tests {
         assert!(!c.all_same());
         assert!(c.exists(Value::Zero));
         assert!(c.exists(Value::One));
-        assert_eq!(c.holders(Value::One), ProcSet::singleton(ProcessorId::new(1)));
+        assert_eq!(
+            c.holders(Value::One),
+            ProcSet::singleton(ProcessorId::new(1))
+        );
     }
 
     #[test]

@@ -63,7 +63,9 @@ fn fill_omissions(
     rounds: usize,
 ) {
     if round_idx == rounds {
-        out.push(FaultyBehavior::Omission { omissions: current.clone() });
+        out.push(FaultyBehavior::Omission {
+            omissions: current.clone(),
+        });
         return;
     }
     for omitted in subsets(others) {
@@ -77,11 +79,7 @@ fn fill_omissions(
 /// every pair of send/receive omission vectors. The space is the square
 /// of the sending-omission space — use only for very small scenarios.
 #[must_use]
-pub fn general_omission_behaviors(
-    p: ProcessorId,
-    n: usize,
-    horizon: Time,
-) -> Vec<FaultyBehavior> {
+pub fn general_omission_behaviors(p: ProcessorId, n: usize, horizon: Time) -> Vec<FaultyBehavior> {
     let sends = omission_behaviors(p, n, horizon);
     let mut out = Vec::with_capacity(sends.len() * sends.len());
     for send_behavior in &sends {
@@ -118,8 +116,7 @@ pub fn behaviors(scenario: &Scenario, p: ProcessorId) -> Vec<FaultyBehavior> {
 /// increasing size order within a deterministic overall order.
 #[must_use]
 pub fn faulty_sets(n: usize, t: usize) -> Vec<ProcSet> {
-    let mut sets: Vec<ProcSet> =
-        subsets(ProcSet::full(n)).filter(|s| s.len() <= t).collect();
+    let mut sets: Vec<ProcSet> = subsets(ProcSet::full(n)).filter(|s| s.len() <= t).collect();
     sets.sort_by_key(|s| (s.len(), s.bits()));
     sets
 }
@@ -140,8 +137,11 @@ impl Patterns {
     fn load_set(&mut self) {
         let set = self.faulty_sets[self.set_idx];
         self.members = set.iter().collect();
-        self.behavior_lists =
-            self.members.iter().map(|&p| behaviors(&self.scenario, p)).collect();
+        self.behavior_lists = self
+            .members
+            .iter()
+            .map(|&p| behaviors(&self.scenario, p))
+            .collect();
         self.odometer = vec![0; self.members.len()];
     }
 
@@ -151,6 +151,46 @@ impl Patterns {
             pat.set_behavior(p, self.behavior_lists[k][self.odometer[k]].clone());
         }
         pat
+    }
+
+    /// Positions the iterator so that the next `next()` call yields the
+    /// pattern at position `index` of the full enumeration order, in
+    /// O(#faulty-sets) time (no patterns are materialized while seeking).
+    ///
+    /// Seeking to [`count_patterns`] or beyond leaves the iterator
+    /// exhausted. This is the primitive behind
+    /// [`ScenarioSpace`](crate::ScenarioSpace) sharding: a shard over
+    /// `[start, end)` is `patterns(&s)` seeked to `start` and taken
+    /// `end − start` times.
+    pub fn seek(&mut self, mut index: u128) {
+        // Every processor has the same number of canonical behaviors (the
+        // lists differ only in which processor the receiver sets exclude),
+        // so a faulty set of size k contributes per_proc^k patterns and we
+        // can skip whole sets without materializing behavior lists.
+        let per_proc = behaviors(&self.scenario, ProcessorId::new(0)).len() as u128;
+        self.finished = false;
+        self.set_idx = 0;
+        loop {
+            if self.set_idx >= self.faulty_sets.len() {
+                self.finished = true;
+                return;
+            }
+            let block = per_proc.pow(self.faulty_sets[self.set_idx].len() as u32);
+            if index < block {
+                break;
+            }
+            index -= block;
+            self.set_idx += 1;
+        }
+        self.load_set();
+        // Mixed-radix decomposition of the within-set offset; the first
+        // member is the fastest-moving digit, matching `advance`.
+        for k in 0..self.odometer.len() {
+            let len = self.behavior_lists[k].len() as u128;
+            self.odometer[k] = (index % len) as usize;
+            index /= len;
+        }
+        debug_assert_eq!(index, 0, "seek offset exceeded the faulty set's block");
     }
 
     fn advance(&mut self) {

@@ -16,15 +16,36 @@ pub enum ModelError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// A generated artifact outgrew a fixed-width id space (e.g. more
+    /// distinct views than a `u32` view id can index).
+    CapacityExceeded {
+        /// The id space or table that overflowed.
+        what: &'static str,
+        /// The largest count the representation supports.
+        limit: u128,
+    },
 }
 
 impl ModelError {
     pub(crate) fn invalid_scenario(reason: impl Into<String>) -> Self {
-        ModelError::InvalidScenario { reason: reason.into() }
+        ModelError::InvalidScenario {
+            reason: reason.into(),
+        }
     }
 
     pub(crate) fn invalid_pattern(reason: impl Into<String>) -> Self {
-        ModelError::InvalidPattern { reason: reason.into() }
+        ModelError::InvalidPattern {
+            reason: reason.into(),
+        }
+    }
+
+    /// An error reporting that `what` cannot hold more than `limit` items.
+    ///
+    /// Public because downstream crates (the simulator's system builder)
+    /// surface their own id-space overflows through this type.
+    #[must_use]
+    pub fn capacity_exceeded(what: &'static str, limit: u128) -> Self {
+        ModelError::CapacityExceeded { what, limit }
     }
 }
 
@@ -36,6 +57,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::InvalidPattern { reason } => {
                 write!(f, "invalid failure pattern: {reason}")
+            }
+            ModelError::CapacityExceeded { what, limit } => {
+                write!(f, "capacity exceeded: {what} holds at most {limit} items")
             }
         }
     }

@@ -13,7 +13,6 @@ use std::fmt;
 /// results carry over (experiment EXP11). Byzantine failures remain out
 /// of scope.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FailureMode {
     /// A faulty processor obeys its protocol until some round `k`, sends an
     /// arbitrary subset of its round-`k` messages, and sends nothing
@@ -34,8 +33,11 @@ impl FailureMode {
     pub const ALL: [FailureMode; 2] = [FailureMode::Crash, FailureMode::Omission];
 
     /// The paper's modes plus the general-omission extension.
-    pub const ALL_EXTENDED: [FailureMode; 3] =
-        [FailureMode::Crash, FailureMode::Omission, FailureMode::GeneralOmission];
+    pub const ALL_EXTENDED: [FailureMode; 3] = [
+        FailureMode::Crash,
+        FailureMode::Omission,
+        FailureMode::GeneralOmission,
+    ];
 }
 
 impl fmt::Display for FailureMode {
@@ -57,7 +59,6 @@ impl fmt::Display for FailureMode {
 /// processor that observes only correct behavior from `j` can still not
 /// rule out that `j` is faulty.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FaultyBehavior {
     /// Faulty, but exhibits no deviation within the horizon.
     Clean,
@@ -102,9 +103,7 @@ impl FaultyBehavior {
             (FaultyBehavior::Omission { .. }, FailureMode::Omission) => true,
             // General omission subsumes sending omission.
             (FaultyBehavior::Omission { .. }, FailureMode::GeneralOmission) => true,
-            (FaultyBehavior::GeneralOmission { .. }, FailureMode::GeneralOmission) => {
-                true
-            }
+            (FaultyBehavior::GeneralOmission { .. }, FailureMode::GeneralOmission) => true,
             _ => false,
         }
     }
@@ -115,7 +114,10 @@ impl FaultyBehavior {
     pub fn delivers(&self, round: Round, receiver: ProcessorId) -> bool {
         match self {
             FaultyBehavior::Clean => true,
-            FaultyBehavior::Crash { round: crash_round, receivers } => {
+            FaultyBehavior::Crash {
+                round: crash_round,
+                receivers,
+            } => {
                 if round < *crash_round {
                     true
                 } else if round == *crash_round {
@@ -154,7 +156,9 @@ impl FaultyBehavior {
     #[must_use]
     pub fn is_dead_in(&self, round: Round) -> bool {
         match self {
-            FaultyBehavior::Crash { round: crash_round, .. } => round > *crash_round,
+            FaultyBehavior::Crash {
+                round: crash_round, ..
+            } => round > *crash_round,
             _ => false,
         }
     }
@@ -165,8 +169,7 @@ impl FaultyBehavior {
     #[must_use]
     pub fn first_deviation(&self, me: ProcessorId, n: usize, horizon: Time) -> Option<Round> {
         let others = ProcSet::full(n) - ProcSet::singleton(me);
-        Round::upto(horizon)
-            .find(|&r| others.iter().any(|q| !self.delivers(r, q)))
+        Round::upto(horizon).find(|&r| others.iter().any(|q| !self.delivers(r, q)))
     }
 }
 
@@ -229,7 +232,6 @@ impl fmt::Display for FaultyBehavior {
 /// assert!(!pattern.delivers(p0, ProcessorId::new(1), Round::new(1)));
 /// ```
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FailurePattern {
     behaviors: Vec<Option<FaultyBehavior>>,
 }
@@ -239,7 +241,9 @@ impl FailurePattern {
     #[must_use]
     pub fn failure_free(n: usize) -> Self {
         assert!((1..=ProcessorId::MAX_PROCESSORS).contains(&n));
-        FailurePattern { behaviors: vec![None; n] }
+        FailurePattern {
+            behaviors: vec![None; n],
+        }
     }
 
     /// Returns a copy of this pattern in which `p` is faulty with the
@@ -276,7 +280,9 @@ impl FailurePattern {
     /// The set of faulty processors.
     #[must_use]
     pub fn faulty_set(&self) -> ProcSet {
-        ProcessorId::all(self.n()).filter(|&p| self.is_faulty(p)).collect()
+        ProcessorId::all(self.n())
+            .filter(|&p| self.is_faulty(p))
+            .collect()
     }
 
     /// The set of nonfaulty processors (the paper's nonrigid set `N`,
@@ -336,12 +342,7 @@ impl FailurePattern {
     /// are faulty, a behavior is not allowed under `mode`, a crash round or
     /// omission vector exceeds the horizon, or a behavior addresses the
     /// faulty processor itself.
-    pub fn validate(
-        &self,
-        mode: FailureMode,
-        t: usize,
-        horizon: Time,
-    ) -> Result<(), ModelError> {
+    pub fn validate(&self, mode: FailureMode, t: usize, horizon: Time) -> Result<(), ModelError> {
         if self.num_faulty() > t {
             return Err(ModelError::invalid_pattern(format!(
                 "{} faulty processors exceeds the bound t = {t}",
@@ -349,7 +350,9 @@ impl FailurePattern {
             )));
         }
         for p in ProcessorId::all(self.n()) {
-            let Some(behavior) = self.behavior(p) else { continue };
+            let Some(behavior) = self.behavior(p) else {
+                continue;
+            };
             if !behavior.allowed_in(mode) {
                 return Err(ModelError::invalid_pattern(format!(
                     "behavior {behavior} of {p} is not allowed in {mode} mode"
@@ -384,8 +387,7 @@ impl FailurePattern {
                     }
                 }
                 FaultyBehavior::GeneralOmission { send, receive } => {
-                    if send.len() != horizon.index() || receive.len() != horizon.index()
-                    {
+                    if send.len() != horizon.index() || receive.len() != horizon.index() {
                         return Err(ModelError::invalid_pattern(format!(
                             "general-omission vectors of {p} have lengths {}/{}, \
                              expected horizon {}",
@@ -482,8 +484,14 @@ mod tests {
 
     #[test]
     fn first_deviation_finds_crash() {
-        let b = FaultyBehavior::Crash { round: Round::new(2), receivers: ProcSet::empty() };
-        assert_eq!(b.first_deviation(p(0), 3, Time::new(4)), Some(Round::new(2)));
+        let b = FaultyBehavior::Crash {
+            round: Round::new(2),
+            receivers: ProcSet::empty(),
+        };
+        assert_eq!(
+            b.first_deviation(p(0), 3, Time::new(4)),
+            Some(Round::new(2))
+        );
         // Crash in the last round delivering to everyone: no deviation inside
         // the horizon.
         let b = FaultyBehavior::Crash {
@@ -497,7 +505,10 @@ mod tests {
     fn crashed_receiver_gets_nothing() {
         let pat = FailurePattern::failure_free(3).with_behavior(
             p(1),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         // In its crash round and after, the crashed processor receives
         // nothing.
@@ -521,9 +532,14 @@ mod tests {
     fn validate_rejects_wrong_mode() {
         let pat = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
-        assert!(pat.validate(FailureMode::Omission, 1, Time::new(2)).is_err());
+        assert!(pat
+            .validate(FailureMode::Omission, 1, Time::new(2))
+            .is_err());
         assert!(pat.validate(FailureMode::Crash, 1, Time::new(2)).is_ok());
     }
 
@@ -531,14 +547,21 @@ mod tests {
     fn validate_rejects_horizon_overflow() {
         let pat = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(4), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(4),
+                receivers: ProcSet::empty(),
+            },
         );
         assert!(pat.validate(FailureMode::Crash, 1, Time::new(3)).is_err());
         let pat = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Omission { omissions: vec![ProcSet::empty(); 2] },
+            FaultyBehavior::Omission {
+                omissions: vec![ProcSet::empty(); 2],
+            },
         );
-        assert!(pat.validate(FailureMode::Omission, 1, Time::new(3)).is_err());
+        assert!(pat
+            .validate(FailureMode::Omission, 1, Time::new(3))
+            .is_err());
         assert!(pat.validate(FailureMode::Omission, 1, Time::new(2)).is_ok());
     }
 
@@ -546,9 +569,13 @@ mod tests {
     fn validate_rejects_self_addressing() {
         let pat = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Omission { omissions: vec![ProcSet::singleton(p(0))] },
+            FaultyBehavior::Omission {
+                omissions: vec![ProcSet::singleton(p(0))],
+            },
         );
-        assert!(pat.validate(FailureMode::Omission, 1, Time::new(1)).is_err());
+        assert!(pat
+            .validate(FailureMode::Omission, 1, Time::new(1))
+            .is_err());
     }
 
     #[test]

@@ -19,7 +19,6 @@ use std::fmt;
 /// assert_eq!(p.to_string(), "p1");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessorId(u8);
 
 impl ProcessorId {

@@ -53,6 +53,7 @@ mod failure;
 mod ids;
 mod procset;
 mod scenario;
+mod space;
 mod time;
 mod value;
 
@@ -65,5 +66,6 @@ pub use failure::{FailureMode, FailurePattern, FaultyBehavior};
 pub use ids::ProcessorId;
 pub use procset::{subsets as procset_subsets, ProcSet, Subsets};
 pub use scenario::Scenario;
+pub use space::{ScenarioSpace, Shard, ShardPatterns};
 pub use time::{Round, Time};
 pub use value::Value;

@@ -24,7 +24,6 @@ use std::ops::{BitAnd, BitOr, BitXor, Not, Sub};
 /// assert_eq!((all - s).len(), 2);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcSet(u128);
 
 impl ProcSet {
@@ -244,7 +243,9 @@ impl Not for ProcSet {
 
 impl fmt::Debug for ProcSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|p| p.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|p| p.index()))
+            .finish()
     }
 }
 
@@ -274,7 +275,11 @@ impl fmt::Display for ProcSet {
 /// assert_eq!(subsets.len(), 8);
 /// ```
 pub fn subsets(base: ProcSet) -> Subsets {
-    Subsets { base: base.bits(), current: 0, done: false }
+    Subsets {
+        base: base.bits(),
+        current: 0,
+        done: false,
+    }
 }
 
 /// Iterator over all subsets of a [`ProcSet`]; see [`subsets`].

@@ -75,7 +75,11 @@ impl PatternSampler {
     /// Panics if `f > t`.
     #[must_use]
     pub fn exact_faulty(mut self, f: usize) -> Self {
-        assert!(f <= self.scenario.t(), "f = {f} exceeds t = {}", self.scenario.t());
+        assert!(
+            f <= self.scenario.t(),
+            "f = {f} exceeds t = {}",
+            self.scenario.t()
+        );
         self.exact_faulty = Some(f);
         self
     }
@@ -96,11 +100,7 @@ impl PatternSampler {
     }
 
     /// Samples one faulty behavior for processor `p`.
-    pub fn sample_behavior<R: Rng + ?Sized>(
-        &self,
-        p: ProcessorId,
-        rng: &mut R,
-    ) -> FaultyBehavior {
+    pub fn sample_behavior<R: Rng + ?Sized>(&self, p: ProcessorId, rng: &mut R) -> FaultyBehavior {
         let n = self.scenario.n();
         let horizon = self.scenario.horizon();
         let others = ProcSet::full(n) - ProcSet::singleton(p);
@@ -110,8 +110,7 @@ impl PatternSampler {
                     return FaultyBehavior::Clean;
                 }
                 let round = Round::new(rng.gen_range(1..=horizon.ticks()));
-                let receivers: ProcSet =
-                    others.iter().filter(|_| rng.gen_bool(0.5)).collect();
+                let receivers: ProcSet = others.iter().filter(|_| rng.gen_bool(0.5)).collect();
                 FaultyBehavior::Crash { round, receivers }
             }
             FailureMode::Omission => {
@@ -136,7 +135,10 @@ impl PatternSampler {
                         })
                         .collect()
                 };
-                FaultyBehavior::GeneralOmission { send: vector(rng), receive: vector(rng) }
+                FaultyBehavior::GeneralOmission {
+                    send: vector(rng),
+                    receive: vector(rng),
+                }
             }
         }
     }
@@ -185,14 +187,24 @@ pub fn random_config_biased<R: Rng + ?Sized>(
 /// or contains duplicates.
 #[must_use]
 pub fn silence_chain(scenario: &Scenario, chain: &[ProcessorId]) -> FailurePattern {
-    assert!(!chain.is_empty(), "a silence chain needs at least one processor");
-    assert!(chain.len() <= scenario.t(), "chain exceeds the failure bound t");
+    assert!(
+        !chain.is_empty(),
+        "a silence chain needs at least one processor"
+    );
+    assert!(
+        chain.len() <= scenario.t(),
+        "chain exceeds the failure bound t"
+    );
     assert!(
         chain.len() <= scenario.horizon().index(),
         "chain exceeds the horizon"
     );
     let distinct: ProcSet = chain.iter().copied().collect();
-    assert_eq!(distinct.len(), chain.len(), "chain members must be distinct");
+    assert_eq!(
+        distinct.len(),
+        chain.len(),
+        "chain members must be distinct"
+    );
 
     let mut pattern = FailurePattern::failure_free(scenario.n());
     for (k, &p) in chain.iter().enumerate() {
@@ -261,7 +273,9 @@ mod tests {
         let sampler = PatternSampler::new(scenario);
         let run = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..20).map(|_| sampler.sample(&mut rng)).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| sampler.sample(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));

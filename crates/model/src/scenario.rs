@@ -31,7 +31,6 @@ use std::fmt;
 /// # }
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scenario {
     n: usize,
     t: usize,
@@ -46,12 +45,7 @@ impl Scenario {
     ///
     /// Returns [`ModelError::InvalidScenario`] if `n < 2`, `n > 128`,
     /// `t ≥ n`, or `horizon < 1`.
-    pub fn new(
-        n: usize,
-        t: usize,
-        mode: FailureMode,
-        horizon: u16,
-    ) -> Result<Self, ModelError> {
+    pub fn new(n: usize, t: usize, mode: FailureMode, horizon: u16) -> Result<Self, ModelError> {
         if n < 2 {
             return Err(ModelError::invalid_scenario("need at least two processors"));
         }
@@ -67,9 +61,16 @@ impl Scenario {
             )));
         }
         if horizon == 0 {
-            return Err(ModelError::invalid_scenario("horizon must cover at least one round"));
+            return Err(ModelError::invalid_scenario(
+                "horizon must cover at least one round",
+            ));
         }
-        Ok(Scenario { n, t, mode, horizon: Time::new(horizon) })
+        Ok(Scenario {
+            n,
+            t,
+            mode,
+            horizon: Time::new(horizon),
+        })
     }
 
     /// Creates a scenario with the recommended horizon `t + 2`.
@@ -195,7 +196,9 @@ mod tests {
     #[test]
     fn validate_pattern_checks_size_and_content() {
         let s = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
-        assert!(s.validate_pattern(&FailurePattern::failure_free(4)).is_err());
+        assert!(s
+            .validate_pattern(&FailurePattern::failure_free(4))
+            .is_err());
         assert!(s.validate_pattern(&FailurePattern::failure_free(3)).is_ok());
         let bad = FailurePattern::failure_free(3).with_behavior(
             ProcessorId::new(0),

@@ -20,7 +20,6 @@ use std::ops::{Add, Sub};
 /// assert_eq!(Round::new(3).end(), t);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Time(u16);
 
 impl Time {
@@ -102,7 +101,6 @@ impl fmt::Display for Time {
 ///
 /// Round `k` takes place between [`Time`] `k − 1` and time `k`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Round(u16);
 
 impl Round {

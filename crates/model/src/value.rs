@@ -18,7 +18,6 @@ use std::fmt;
 /// assert_eq!(Value::Zero.to_string(), "0");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Value {
     /// The value 0.
     Zero,

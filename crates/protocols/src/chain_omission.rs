@@ -87,7 +87,10 @@ impl Protocol for ChainOmission {
     }
 
     fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> ChainState {
-        assert_eq!(n, self.n, "protocol instantiated for a different system size");
+        assert_eq!(
+            n, self.n,
+            "protocol instantiated for a different system size"
+        );
         let zero = value == Value::Zero;
         ChainState {
             me: p,
@@ -109,12 +112,13 @@ impl Protocol for ChainOmission {
         round: Round,
     ) -> Option<ChainMessage> {
         let chain = match &state.accepted {
-            Some((chain, relay_round)) if *relay_round == round.number() => {
-                Some(chain.clone())
-            }
+            Some((chain, relay_round)) if *relay_round == round.number() => Some(chain.clone()),
             _ => None,
         };
-        Some(ChainMessage { known_faulty: state.known_faulty, chain })
+        Some(ChainMessage {
+            known_faulty: state.known_faulty,
+            chain,
+        })
     }
 
     fn transition(
@@ -136,8 +140,7 @@ impl Protocol for ChainOmission {
                 next.known_faulty = next.known_faulty | msg.known_faulty;
             }
         }
-        let everyone_else =
-            ProcSet::full(self.n) - ProcSet::singleton(state.me);
+        let everyone_else = ProcSet::full(self.n) - ProcSet::singleton(state.me);
         next.known_faulty = next.known_faulty | (everyone_else - heard);
         // Never accuse ourselves (we cannot observe our own omissions).
         next.known_faulty.remove(state.me);
@@ -148,7 +151,10 @@ impl Protocol for ChainOmission {
         if next.accepted.is_none() {
             for (j, msg) in received.iter().enumerate() {
                 let sender = ProcessorId::new(j);
-                let Some(ChainMessage { chain: Some(chain), .. }) = msg else {
+                let Some(ChainMessage {
+                    chain: Some(chain), ..
+                }) = msg
+                else {
                     continue;
                 };
                 if chain.len() != round.number() as usize {
@@ -197,8 +203,8 @@ impl Protocol for ChainOmission {
 mod tests {
     use super::*;
     use eba_model::{
-        enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig,
-        Scenario, Time,
+        enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario,
+        Time,
     };
     use eba_sim::execute;
 

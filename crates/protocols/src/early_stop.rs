@@ -63,7 +63,12 @@ impl Protocol for EarlyStoppingCrash {
     }
 
     fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> EarlyStopState {
-        EarlyStopState { min: value, heard_prev: None, now: 0, decided: None }
+        EarlyStopState {
+            min: value,
+            heard_prev: None,
+            now: 0,
+            decided: None,
+        }
     }
 
     fn message(
@@ -103,7 +108,12 @@ impl Protocol for EarlyStoppingCrash {
                 None
             }
         });
-        EarlyStopState { min, heard_prev: Some(heard), now, decided }
+        EarlyStopState {
+            min,
+            heard_prev: Some(heard),
+            now,
+            decided,
+        }
     }
 
     fn output(&self, state: &EarlyStopState, _p: ProcessorId) -> Option<Value> {
@@ -115,8 +125,7 @@ impl Protocol for EarlyStoppingCrash {
 mod tests {
     use super::*;
     use eba_model::{
-        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario,
-        Time,
+        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario, Time,
     };
     use eba_sim::execute;
 
@@ -158,7 +167,10 @@ mod tests {
         let protocol = EarlyStoppingCrash::new(2);
         let pattern = FailurePattern::failure_free(4).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(
             &protocol,

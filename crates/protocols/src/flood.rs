@@ -61,7 +61,11 @@ impl Protocol for FloodMin {
     }
 
     fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> FloodState {
-        FloodState { min: value, now: 0, decided: None }
+        FloodState {
+            min: value,
+            now: 0,
+            decided: None,
+        }
     }
 
     fn message(
@@ -81,7 +85,10 @@ impl Protocol for FloodMin {
         _round: Round,
         received: &[Option<Value>],
     ) -> FloodState {
-        let min = received.iter().flatten().fold(state.min, |acc, &v| acc.min(v));
+        let min = received
+            .iter()
+            .flatten()
+            .fold(state.min, |acc, &v| acc.min(v));
         let now = state.now + 1;
         let decided = state.decided.or_else(|| (now > self.t).then_some(min));
         FloodState { min, now, decided }
@@ -95,9 +102,7 @@ impl Protocol for FloodMin {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eba_model::{
-        enumerate, FailureMode, FailurePattern, InitialConfig, Scenario, Time,
-    };
+    use eba_model::{enumerate, FailureMode, FailurePattern, InitialConfig, Scenario, Time};
     use eba_sim::execute;
 
     fn p(i: usize) -> ProcessorId {

@@ -40,7 +40,7 @@ pub mod multi;
 pub mod runner;
 
 pub use chain_omission::{ChainMessage, ChainOmission, ChainState};
-pub use early_stop::{EarlyStoppingCrash, EarlyStopState};
+pub use early_stop::{EarlyStopState, EarlyStoppingCrash};
 pub use flood::{FloodMin, FloodState};
 pub use p0::{Relay, RelayState};
 pub use p0opt::{P0Opt, P0OptMessage, P0OptState};

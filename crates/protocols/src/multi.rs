@@ -107,8 +107,13 @@ pub trait MultiProtocol {
     /// The initial state of `p` given its initial value.
     fn initial_state(&self, p: ProcessorId, n: usize, value: u8) -> Self::State;
     /// The message from `from` to `to` in `round`, if any.
-    fn message(&self, state: &Self::State, from: ProcessorId, to: ProcessorId, round: Round)
-        -> Option<Self::Message>;
+    fn message(
+        &self,
+        state: &Self::State,
+        from: ProcessorId,
+        to: ProcessorId,
+        round: Round,
+    ) -> Option<Self::Message>;
     /// The state transition at the end of `round`.
     fn transition(
         &self,
@@ -145,8 +150,11 @@ impl MultiTrace {
     /// Weak agreement over nonfaulty processors.
     #[must_use]
     pub fn satisfies_weak_agreement(&self) -> bool {
-        let mut values =
-            self.nonfaulty.iter().filter_map(|p| self.decision(p)).map(|(v, _)| v);
+        let mut values = self
+            .nonfaulty
+            .iter()
+            .filter_map(|p| self.decision(p))
+            .map(|(v, _)| v);
         match values.next() {
             None => true,
             Some(first) => values.all(|v| v == first),
@@ -173,9 +181,7 @@ impl MultiTrace {
         self.nonfaulty
             .iter()
             .filter_map(|p| self.decision(p))
-            .all(|(d, _)| (0..self.config.n()).any(|q| {
-                self.config.value(ProcessorId::new(q)) == d
-            }))
+            .all(|(d, _)| (0..self.config.n()).any(|q| self.config.value(ProcessorId::new(q)) == d))
     }
 
     /// Every nonfaulty processor decided.
@@ -233,7 +239,11 @@ pub fn execute_multi<P: MultiProtocol>(
         }
         record(&states, round.end(), &mut decisions);
     }
-    MultiTrace { nonfaulty: pattern.nonfaulty_set(), config: config.clone(), decisions }
+    MultiTrace {
+        nonfaulty: pattern.nonfaulty_set(),
+        config: config.clone(),
+        decisions,
+    }
 }
 
 /// Multi-valued `FloodMin`: flood the minimum for `t + 1` rounds, decide
@@ -263,7 +273,13 @@ impl MultiProtocol for MultiFloodMin {
         (value, 0, None)
     }
 
-    fn message(&self, state: &Self::State, _f: ProcessorId, _t: ProcessorId, _r: Round) -> Option<u8> {
+    fn message(
+        &self,
+        state: &Self::State,
+        _f: ProcessorId,
+        _t: ProcessorId,
+        _r: Round,
+    ) -> Option<u8> {
         Some(state.0)
     }
 
@@ -274,7 +290,10 @@ impl MultiProtocol for MultiFloodMin {
         _round: Round,
         received: &[Option<u8>],
     ) -> Self::State {
-        let min = received.iter().flatten().fold(state.0, |acc, &v| acc.min(v));
+        let min = received
+            .iter()
+            .flatten()
+            .fold(state.0, |acc, &v| acc.min(v));
         let now = state.1 + 1;
         let decided = state.2.or((now > self.t).then_some(min));
         (min, now, decided)
@@ -319,10 +338,21 @@ impl MultiProtocol for MultiEarlyStop {
     }
 
     fn initial_state(&self, _p: ProcessorId, _n: usize, value: u8) -> Self::State {
-        MultiEarlyStopState { min: value, heard_prev: None, now: 0, decided: None }
+        MultiEarlyStopState {
+            min: value,
+            heard_prev: None,
+            now: 0,
+            decided: None,
+        }
     }
 
-    fn message(&self, state: &Self::State, _f: ProcessorId, _t: ProcessorId, _r: Round) -> Option<u8> {
+    fn message(
+        &self,
+        state: &Self::State,
+        _f: ProcessorId,
+        _t: ProcessorId,
+        _r: Round,
+    ) -> Option<u8> {
         Some(state.min)
     }
 
@@ -349,7 +379,12 @@ impl MultiProtocol for MultiEarlyStop {
                 None
             }
         });
-        MultiEarlyStopState { min, heard_prev: Some(heard), now, decided }
+        MultiEarlyStopState {
+            min,
+            heard_prev: Some(heard),
+            now,
+            decided,
+        }
     }
 
     fn output(&self, state: &Self::State, _p: ProcessorId) -> Option<u8> {
@@ -397,7 +432,10 @@ impl MultiRelay {
             sorted.iter().enumerate().all(|(i, &v)| v as usize == i),
             "priority must be a permutation of the domain"
         );
-        MultiRelay { t: t as u16, priority }
+        MultiRelay {
+            t: t as u16,
+            priority,
+        }
     }
 
     fn top(&self) -> u8 {
@@ -427,7 +465,11 @@ impl MultiProtocol for MultiRelay {
         let seen = 1u8 << value;
         // Top-priority holders decide immediately (P0's rule for 0).
         let decided = (value == self.top()).then_some(value);
-        MultiRelayState { seen, now: 0, decided }
+        MultiRelayState {
+            seen,
+            now: 0,
+            decided,
+        }
     }
 
     fn message(
@@ -501,8 +543,10 @@ mod tests {
                 assert!(trace.satisfies_weak_validity(), "{pattern}");
                 assert!(trace.satisfies_strong_validity(), "{pattern}");
                 if require_simultaneous {
-                    let mut times =
-                        trace.nonfaulty().iter().map(|p| trace.decision(p).unwrap().1);
+                    let mut times = trace
+                        .nonfaulty()
+                        .iter()
+                        .map(|p| trace.decision(p).unwrap().1);
                     let first = times.next().unwrap();
                     assert!(times.all(|x| x == first), "{pattern}");
                 }

@@ -40,13 +40,19 @@ impl Relay {
     /// The protocol `P0`: favors value 0.
     #[must_use]
     pub fn p0(t: usize) -> Self {
-        Relay { favored: Value::Zero, t: t as u16 }
+        Relay {
+            favored: Value::Zero,
+            t: t as u16,
+        }
     }
 
     /// The protocol `P1`: favors value 1.
     #[must_use]
     pub fn p1(t: usize) -> Self {
-        Relay { favored: Value::One, t: t as u16 }
+        Relay {
+            favored: Value::One,
+            t: t as u16,
+        }
     }
 
     /// The favored value.
@@ -132,9 +138,7 @@ impl Protocol for Relay {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eba_model::{
-        FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Time,
-    };
+    use eba_model::{FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Time};
     use eba_sim::execute;
 
     fn p(i: usize) -> ProcessorId {
@@ -192,7 +196,10 @@ mod tests {
         let protocol = Relay::p0(1);
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(
             &protocol,

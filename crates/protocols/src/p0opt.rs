@@ -58,14 +58,20 @@ impl P0Opt {
     /// Theorem 6.2).
     #[must_use]
     pub fn new(t: usize) -> Self {
-        P0Opt { t: t as u16, halting: false }
+        P0Opt {
+            t: t as u16,
+            halting: false,
+        }
     }
 
     /// The Section 2.2 halting variant: processors communicate for one
     /// more round after deciding, then send nothing.
     #[must_use]
     pub fn with_halting(t: usize) -> Self {
-        P0Opt { t: t as u16, halting: true }
+        P0Opt {
+            t: t as u16,
+            halting: true,
+        }
     }
 
     /// The failure bound the protocol was instantiated with.
@@ -132,7 +138,13 @@ impl Protocol for P0Opt {
         known[p.index()] = Some(value);
         // A 0-holder already knows ∃0 and decides at time 0 (the P0 rule).
         let decided = (value == Value::Zero).then_some((Value::Zero, 0));
-        P0OptState { me: p, known, heard_prev: None, now: 0, decided }
+        P0OptState {
+            me: p,
+            known,
+            heard_prev: None,
+            now: 0,
+            decided,
+        }
     }
 
     fn message(
@@ -144,7 +156,9 @@ impl Protocol for P0Opt {
     ) -> Option<P0OptMessage> {
         match state.decided {
             Some((_, at)) if self.halting && round.number() > at + 1 => None,
-            _ => Some(P0OptMessage { values: state.known.clone() }),
+            _ => Some(P0OptMessage {
+                values: state.known.clone(),
+            }),
         }
     }
 
@@ -197,9 +211,7 @@ impl Protocol for P0Opt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eba_model::{
-        FailurePattern, FaultyBehavior, InitialConfig, Time,
-    };
+    use eba_model::{FailurePattern, FaultyBehavior, InitialConfig, Time};
     use eba_sim::execute;
 
     fn p(i: usize) -> ProcessorId {
@@ -247,7 +259,10 @@ mod tests {
         let protocol = P0Opt::new(2);
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(
             &protocol,
@@ -266,7 +281,10 @@ mod tests {
         let protocol = P0Opt::new(1);
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(
             &protocol,
@@ -324,7 +342,7 @@ mod tests {
     fn decisions_by_t_plus_one() {
         // Exhaustive over n=3, t=1 crash scenarios: every nonfaulty
         // processor decides by time t+1 = 2.
-        use eba_model::{enumerate, Scenario, FailureMode};
+        use eba_model::{enumerate, FailureMode, Scenario};
         let scenario = Scenario::new(3, 1, FailureMode::Crash, 4).unwrap();
         let protocol = P0Opt::new(1);
         for pattern in enumerate::patterns(&scenario) {

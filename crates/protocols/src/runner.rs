@@ -1,14 +1,13 @@
 //! Campaign runners: execute a protocol across exhaustive or sampled run
 //! sets, validating properties and collecting decision statistics.
 
-use eba_model::{
-    enumerate, sample, FailurePattern, InitialConfig, Scenario,
-};
+use eba_model::{enumerate, sample, FailurePattern, InitialConfig, Scenario, ScenarioSpace};
 use eba_sim::stats::DecisionStats;
 use eba_sim::{execute, Protocol};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+use std::thread;
 
 /// Aggregate results of running one protocol over a set of runs.
 #[derive(Clone, Debug)]
@@ -46,6 +45,19 @@ impl CampaignReport {
     #[must_use]
     pub fn live(&self) -> bool {
         self.safe() && self.decision_violations == 0
+    }
+
+    /// Folds another report (over a disjoint slice of the same campaign)
+    /// into this one. Every field is a sum or a merge, so the result is
+    /// independent of merge order.
+    pub fn merge(&mut self, other: &CampaignReport) {
+        self.runs += other.runs;
+        self.stats.merge(&other.stats);
+        self.agreement_violations += other.agreement_violations;
+        self.validity_violations += other.validity_violations;
+        self.decision_violations += other.decision_violations;
+        self.non_simultaneous += other.non_simultaneous;
+        self.messages_delivered += other.messages_delivered;
     }
 }
 
@@ -99,8 +111,7 @@ pub fn run_campaign<P: Protocol>(
 /// × all canonical failure patterns). Exponential; check
 /// [`enumerate::count_patterns`] first.
 pub fn run_exhaustive<P: Protocol>(protocol: &P, scenario: &Scenario) -> CampaignReport {
-    let configs: Vec<InitialConfig> =
-        InitialConfig::enumerate_all(scenario.n()).collect();
+    let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
     let runs = enumerate::patterns(scenario).flat_map(|pattern| {
         configs
             .iter()
@@ -109,6 +120,62 @@ pub fn run_exhaustive<P: Protocol>(protocol: &P, scenario: &Scenario) -> Campaig
             .collect::<Vec<_>>()
     });
     run_campaign(protocol, scenario, runs)
+}
+
+/// Runs `protocol` over every run of the scenario, splitting the pattern
+/// axis into [`ScenarioSpace`] shards executed by `threads` worker
+/// threads. Every aggregate in the report is commutative, so the result
+/// equals [`run_exhaustive`] for any thread count.
+pub fn run_exhaustive_threaded<P: Protocol + Sync>(
+    protocol: &P,
+    scenario: &Scenario,
+    threads: usize,
+) -> CampaignReport {
+    let workers = threads.max(1);
+    if workers == 1 {
+        return run_exhaustive(protocol, scenario);
+    }
+    let space = ScenarioSpace::new(*scenario);
+    let shards = space.shards(workers * 4);
+    let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
+    let mut partials: Vec<Option<CampaignReport>> = Vec::new();
+    partials.resize_with(shards.len(), || None);
+    thread::scope(|scope| {
+        let shards = &shards;
+        let configs = &configs;
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            handles.push(scope.spawn(move || {
+                shards
+                    .iter()
+                    .skip(worker)
+                    .step_by(workers)
+                    .map(|shard| {
+                        let runs = space.shard_patterns(*shard).flat_map(|pattern| {
+                            configs
+                                .iter()
+                                .cloned()
+                                .map(move |config| (config, pattern.clone()))
+                        });
+                        (shard.index(), run_campaign(protocol, scenario, runs))
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (index, report) in handle.join().expect("campaign worker panicked") {
+                partials[index] = Some(report);
+            }
+        }
+    });
+    let mut merged: Option<CampaignReport> = None;
+    for partial in partials.into_iter().flatten() {
+        match &mut merged {
+            None => merged = Some(partial),
+            Some(acc) => acc.merge(&partial),
+        }
+    }
+    merged.expect("a scenario always has at least one shard")
 }
 
 /// Runs `protocol` over `count` seeded random runs of the scenario.
@@ -151,6 +218,24 @@ mod tests {
         let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
         let report = run_exhaustive(&P0Opt::new(1), &scenario);
         assert!(report.live(), "{report}");
+    }
+
+    #[test]
+    fn threaded_campaign_matches_sequential() {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let sequential = run_exhaustive(&Relay::p0(1), &scenario);
+        for threads in [1, 2, 5] {
+            let threaded = run_exhaustive_threaded(&Relay::p0(1), &scenario, threads);
+            assert_eq!(threaded.runs, sequential.runs, "{threads} threads");
+            assert_eq!(threaded.stats.histogram(), sequential.stats.histogram());
+            assert_eq!(threaded.stats.undecided(), sequential.stats.undecided());
+            assert_eq!(threaded.messages_delivered, sequential.messages_delivered);
+            assert_eq!(
+                threaded.agreement_violations,
+                sequential.agreement_violations
+            );
+            assert_eq!(threaded.non_simultaneous, sequential.non_simultaneous);
+        }
     }
 
     #[test]

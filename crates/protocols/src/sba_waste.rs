@@ -41,7 +41,10 @@ impl SbaWaste {
     /// failures.
     #[must_use]
     pub fn new(n: usize, t: usize) -> Self {
-        SbaWaste { t: t as u16, n: n as u16 }
+        SbaWaste {
+            t: t as u16,
+            n: n as u16,
+        }
     }
 
     /// The base decision horizon `min(t + 1, n − 1)`.
@@ -103,10 +106,18 @@ impl Protocol for SbaWaste {
     }
 
     fn initial_state(&self, p: ProcessorId, n: usize, value: Value) -> SbaWasteState {
-        assert_eq!(n, self.n as usize, "protocol instantiated for a different n");
+        assert_eq!(
+            n, self.n as usize,
+            "protocol instantiated for a different n"
+        );
         let mut known = vec![None; n];
         known[p.index()] = Some(value);
-        SbaWasteState { known, crashed_by: vec![None; n], now: 0, decided: None }
+        SbaWasteState {
+            known,
+            crashed_by: vec![None; n],
+            now: 0,
+            decided: None,
+        }
     }
 
     fn message(
@@ -161,9 +172,7 @@ impl Protocol for SbaWaste {
             }
         }
 
-        if next.decided.is_none()
-            && next.now >= self.horizon_cap().saturating_sub(next.waste())
-        {
+        if next.decided.is_none() && next.now >= self.horizon_cap().saturating_sub(next.waste()) {
             next.decided = Some(if next.knows_zero() {
                 Value::Zero
             } else {
@@ -186,8 +195,8 @@ impl Protocol for SbaWaste {
 mod tests {
     use super::*;
     use eba_model::{
-        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet,
-        Scenario, Time,
+        enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Scenario,
+        Time,
     };
     use eba_sim::execute;
 
@@ -219,11 +228,17 @@ mod tests {
         let pattern = FailurePattern::failure_free(4)
             .with_behavior(
                 p(0),
-                FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+                FaultyBehavior::Crash {
+                    round: Round::new(1),
+                    receivers: ProcSet::empty(),
+                },
             )
             .with_behavior(
                 p(1),
-                FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+                FaultyBehavior::Crash {
+                    round: Round::new(1),
+                    receivers: ProcSet::empty(),
+                },
             );
         let trace = execute(
             &protocol,

@@ -1,0 +1,334 @@
+//! Staged, shardable construction of generated systems.
+//!
+//! [`SystemBuilder`] replaces the monolithic exhaustive generation loop
+//! with a three-stage pipeline:
+//!
+//! 1. **shard** — the scenario's pattern axis is split into deterministic
+//!    contiguous chunks by [`ScenarioSpace::shards`];
+//! 2. **build** — each shard enumerates its `(pattern, config)` block and
+//!    interns full-information views into a *shard-local* [`ViewTable`],
+//!    with no shared state, so shards run on independent threads;
+//! 3. **merge** — shard tables are absorbed into one canonical table *in
+//!    shard order* ([`ViewTable::absorb`]), and shard run lists are
+//!    concatenated.
+//!
+//! Because shards cover contiguous slices of the sequential enumeration
+//! order and `absorb` re-interns each shard's views in first-encounter
+//! order, the merged system is **bit-identical** to a sequential build:
+//! the same `ViewId` and `RunId` assignment for every worker/shard count.
+//! Downstream artifacts (decision tables, optimality verdicts, printed
+//! ids) therefore never depend on the machine's parallelism.
+//!
+//! Id-space overflows surface as [`ModelError::CapacityExceeded`] from
+//! [`SystemBuilder::build`] instead of panicking mid-generation.
+
+use crate::system::{GeneratedSystem, RunId, RunRecord};
+use crate::view::{try_fip_views, ViewId, ViewTable};
+use eba_model::{InitialConfig, ModelError, Scenario, ScenarioSpace, Shard};
+use std::collections::HashMap;
+use std::thread;
+
+/// The number of runs a [`GeneratedSystem`] can hold (`RunId` is a `u32`).
+pub const RUN_CAPACITY: u128 = 1 << 32;
+
+/// How many shards each worker thread gets by default; more shards than
+/// threads lets fast shards backfill while slow ones finish.
+const SHARDS_PER_THREAD: usize = 4;
+
+/// Configurable, parallel builder for exhaustive [`GeneratedSystem`]s; see
+/// the module docs for the staging and the determinism guarantee.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::SystemBuilder;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+/// let system = SystemBuilder::new(&scenario).threads(2).build()?;
+/// assert_eq!(system.num_runs(), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SystemBuilder {
+    scenario: Scenario,
+    threads: usize,
+    shards: Option<usize>,
+}
+
+impl SystemBuilder {
+    /// A builder for the exhaustive system of `scenario`, defaulting to
+    /// one worker per available CPU.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        let threads = thread::available_parallelism().map_or(1, |p| p.get());
+        SystemBuilder {
+            scenario: *scenario,
+            threads,
+            shards: None,
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1). One
+    /// thread builds sequentially on the caller's thread.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the number of shards (clamped to at least 1). Defaults to
+    /// four per worker thread. The result is identical for every shard
+    /// count; this knob only tunes load balance against merge overhead.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Builds the exhaustive system: every initial configuration crossed
+    /// with every canonical failure pattern, in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] when the scenario has more
+    /// runs than `RunId` can index (checked up front, before any work) or
+    /// more distinct views than `ViewId` can index.
+    pub fn build(self) -> Result<GeneratedSystem, ModelError> {
+        let space = ScenarioSpace::new(self.scenario);
+        if space.total_runs() > RUN_CAPACITY {
+            return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY));
+        }
+        let configs: Vec<InitialConfig> = space.configs().collect();
+        let shard_count = self.shards.unwrap_or_else(|| {
+            if self.threads == 1 {
+                1
+            } else {
+                self.threads * SHARDS_PER_THREAD
+            }
+        });
+        let shards = space.shards(shard_count);
+
+        let workers = self.threads.min(shards.len());
+        let parts: Vec<Result<ShardBuild, ModelError>> = if workers <= 1 {
+            shards
+                .iter()
+                .map(|&shard| build_shard(&space, &configs, shard))
+                .collect()
+        } else {
+            build_shards_parallel(&space, &configs, &shards, workers)
+        };
+
+        merge(self.scenario, parts)
+    }
+}
+
+/// The output of one shard: runs and views with *shard-local* view ids.
+struct ShardBuild {
+    table: ViewTable,
+    views: Vec<ViewId>,
+    runs: Vec<RunRecord>,
+}
+
+fn build_shard(
+    space: &ScenarioSpace,
+    configs: &[InitialConfig],
+    shard: Shard,
+) -> Result<ShardBuild, ModelError> {
+    let scenario = space.scenario();
+    let horizon = scenario.horizon();
+    let mut table = ViewTable::new();
+    let mut runs = Vec::new();
+    let mut views = Vec::new();
+    for pattern in space.shard_patterns(shard) {
+        debug_assert!(scenario.validate_pattern(&pattern).is_ok());
+        let nonfaulty = pattern.nonfaulty_set();
+        for config in configs {
+            let run_views = try_fip_views(config, &pattern, horizon, &mut table)?;
+            for time_views in &run_views {
+                views.extend_from_slice(time_views);
+            }
+            runs.push(RunRecord {
+                config: config.clone(),
+                pattern: pattern.clone(),
+                nonfaulty,
+            });
+        }
+    }
+    Ok(ShardBuild { table, views, runs })
+}
+
+fn build_shards_parallel(
+    space: &ScenarioSpace,
+    configs: &[InitialConfig],
+    shards: &[Shard],
+    workers: usize,
+) -> Vec<Result<ShardBuild, ModelError>> {
+    let mut slots: Vec<Option<Result<ShardBuild, ModelError>>> = Vec::new();
+    slots.resize_with(shards.len(), || None);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            handles.push(scope.spawn(move || {
+                // Round-robin shard assignment; shard sizes are balanced,
+                // so striding keeps workers within one shard of each
+                // other.
+                shards
+                    .iter()
+                    .enumerate()
+                    .skip(worker)
+                    .step_by(workers)
+                    .map(|(index, &shard)| (index, build_shard(space, configs, shard)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            for (index, part) in handle.join().expect("system builder worker panicked") {
+                slots[index] = Some(part);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard is assigned to exactly one worker"))
+        .collect()
+}
+
+fn merge(
+    scenario: Scenario,
+    parts: Vec<Result<ShardBuild, ModelError>>,
+) -> Result<GeneratedSystem, ModelError> {
+    let mut table = ViewTable::new();
+    let mut views = Vec::new();
+    let mut runs: Vec<RunRecord> = Vec::new();
+    let mut lookup = HashMap::new();
+    for part in parts {
+        let part = part?;
+        let remap = table.absorb(&part.table)?;
+        views.extend(part.views.iter().map(|v| remap[v.index()]));
+        runs.reserve(part.runs.len());
+        for record in part.runs {
+            let id = RunId::try_new(runs.len())?;
+            let prior = lookup.insert((record.config.to_bits(), record.pattern.clone()), id);
+            debug_assert!(
+                prior.is_none(),
+                "exhaustive enumeration yielded a duplicate run"
+            );
+            runs.push(record);
+        }
+    }
+    Ok(GeneratedSystem::from_parts(
+        scenario, runs, views, table, lookup,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::{enumerate, FailureMode, ProcessorId, Time};
+
+    fn scenario() -> Scenario {
+        Scenario::new(3, 2, FailureMode::Crash, 2).unwrap()
+    }
+
+    fn assert_identical(a: &GeneratedSystem, b: &GeneratedSystem) {
+        assert_eq!(a.num_runs(), b.num_runs());
+        assert_eq!(a.table().len(), b.table().len());
+        let n = a.n();
+        for r in a.run_ids() {
+            assert_eq!(a.run(r).config, b.run(r).config);
+            assert_eq!(a.run(r).pattern, b.run(r).pattern);
+            assert_eq!(a.nonfaulty(r), b.nonfaulty(r));
+            for time in 0..=a.horizon().index() {
+                for p in ProcessorId::all(n) {
+                    assert_eq!(
+                        a.view(r, p, Time::new(time as u16)),
+                        b.view(r, p, Time::new(time as u16)),
+                        "run {r:?}, time {time}, processor {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_builds_are_bit_identical_to_sequential() {
+        let scenario = scenario();
+        let sequential = SystemBuilder::new(&scenario)
+            .threads(1)
+            .shards(1)
+            .build()
+            .unwrap();
+        for (threads, shards) in [(2, 2), (3, 5), (4, 16), (2, 7), (8, 3)] {
+            let parallel = SystemBuilder::new(&scenario)
+                .threads(threads)
+                .shards(shards)
+                .build()
+                .unwrap();
+            assert_identical(&sequential, &parallel);
+        }
+    }
+
+    #[test]
+    fn builder_matches_legacy_from_runs_path() {
+        let scenario = scenario();
+        let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
+        let mut specs = Vec::new();
+        for pattern in enumerate::patterns(&scenario) {
+            for config in &configs {
+                specs.push((config.clone(), pattern.clone()));
+            }
+        }
+        let legacy = GeneratedSystem::from_runs(&scenario, specs);
+        let built = SystemBuilder::new(&scenario)
+            .threads(3)
+            .shards(6)
+            .build()
+            .unwrap();
+        assert_identical(&legacy, &built);
+    }
+
+    #[test]
+    fn oversized_scenarios_error_before_doing_work() {
+        let scenario = Scenario::new(6, 5, FailureMode::Crash, 3).unwrap();
+        let space = ScenarioSpace::new(scenario);
+        assert!(space.total_runs() > RUN_CAPACITY);
+        let err = SystemBuilder::new(&scenario).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::CapacityExceeded {
+                what: "run ids",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn shard_knob_never_changes_the_result() {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let base = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        for shards in [1, 2, 9, 1000] {
+            let other = SystemBuilder::new(&scenario)
+                .threads(2)
+                .shards(shards)
+                .build()
+                .unwrap();
+            assert_identical(&base, &other);
+        }
+    }
+
+    #[test]
+    fn generated_systems_cross_thread_boundaries() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<GeneratedSystem>();
+        assert_send_sync::<SystemBuilder>();
+
+        let system = SystemBuilder::new(&scenario()).threads(2).build().unwrap();
+        let shared = std::sync::Arc::new(system);
+        let clone = std::sync::Arc::clone(&shared);
+        let runs = thread::spawn(move || clone.num_runs()).join().unwrap();
+        assert_eq!(runs, shared.num_runs());
+    }
+}

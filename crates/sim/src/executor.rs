@@ -71,7 +71,9 @@ pub fn execute<P: Protocol>(
     record_decisions(protocol, &states[0], Time::ZERO, &mut decisions);
 
     for round in Round::upto(horizon) {
-        let prev = states.last().expect("at least the initial states are present");
+        let prev = states
+            .last()
+            .expect("at least the initial states are present");
         let mut next: Vec<P::State> = Vec::with_capacity(n);
         for receiver in ProcessorId::all(n) {
             // A crashed processor is dead from its crash round on: its
@@ -87,8 +89,7 @@ pub fn execute<P: Protocol>(
                     if !pattern.delivers(sender, receiver, round) {
                         return None;
                     }
-                    let msg =
-                        protocol.message(&prev[sender.index()], sender, receiver, round);
+                    let msg = protocol.message(&prev[sender.index()], sender, receiver, round);
                     if let Some(msg) = &msg {
                         messages_delivered += 1;
                         message_units += protocol.message_units(msg);
@@ -96,12 +97,7 @@ pub fn execute<P: Protocol>(
                     msg
                 })
                 .collect();
-            next.push(protocol.transition(
-                &prev[receiver.index()],
-                receiver,
-                round,
-                &received,
-            ));
+            next.push(protocol.transition(&prev[receiver.index()], receiver, round, &received));
         }
         record_decisions(protocol, &next, round.end(), &mut decisions);
         states.push(next);
@@ -170,7 +166,11 @@ mod tests {
         }
 
         fn initial_state(&self, _p: ProcessorId, _n: usize, value: Value) -> FloodState {
-            FloodState { min: value, round: 0, decided: None }
+            FloodState {
+                min: value,
+                round: 0,
+                decided: None,
+            }
         }
 
         fn message(
@@ -190,12 +190,19 @@ mod tests {
             _round: Round,
             received: &[Option<Value>],
         ) -> FloodState {
-            let min = received.iter().flatten().fold(state.min, |acc, &v| acc.min(v));
+            let min = received
+                .iter()
+                .flatten()
+                .fold(state.min, |acc, &v| acc.min(v));
             let round = state.round + 1;
             let decided = state
                 .decided
                 .or_else(|| (round >= self.rounds).then_some(min));
-            FloodState { min, round, decided }
+            FloodState {
+                min,
+                round,
+                decided,
+            }
         }
 
         fn output(&self, state: &FloodState, _p: ProcessorId) -> Option<Value> {
@@ -228,7 +235,10 @@ mod tests {
         let config = InitialConfig::from_bits(3, 0b110);
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(&protocol, &config, &pattern, Time::new(3));
         assert_eq!(trace.decided_value(p(1)), Some(Value::One));
@@ -262,7 +272,10 @@ mod tests {
         let config = InitialConfig::uniform(3, Value::One);
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
         let trace = execute(&protocol, &config, &pattern, Time::new(3));
         assert_eq!(trace.state(p(0), Time::new(3)).round, 0);

@@ -41,11 +41,17 @@ impl View {
         match (self, table.node(id)) {
             (
                 View::Leaf { proc, value },
-                crate::ViewNode::Leaf { proc: tp, value: tv },
+                crate::ViewNode::Leaf {
+                    proc: tp,
+                    value: tv,
+                },
             ) => proc == tp && value == tv,
             (
                 View::Node { prev, received },
-                crate::ViewNode::Node { prev: tprev, received: treceived },
+                crate::ViewNode::Node {
+                    prev: tprev,
+                    received: treceived,
+                },
             ) => {
                 if received.len() != treceived.len() {
                     return false;
@@ -53,13 +59,14 @@ impl View {
                 if !prev.matches(table, *tprev) {
                     return false;
                 }
-                received.iter().zip(treceived.iter()).all(|(mine, theirs)| {
-                    match (mine, theirs) {
+                received
+                    .iter()
+                    .zip(treceived.iter())
+                    .all(|(mine, theirs)| match (mine, theirs) {
                         (None, None) => true,
                         (Some(mine), Some(theirs)) => mine.matches(table, *theirs),
                         _ => false,
-                    }
-                })
+                    })
             }
             _ => false,
         }
@@ -82,8 +89,7 @@ impl View {
         match self {
             View::Leaf { .. } => 1,
             View::Node { prev, received } => {
-                1 + prev.size()
-                    + received.iter().flatten().map(|v| v.size()).sum::<u64>()
+                1 + prev.size() + received.iter().flatten().map(|v| v.size()).sum::<u64>()
             }
         }
     }
@@ -126,7 +132,10 @@ impl Protocol for FullInformation {
     ) -> Arc<View> {
         Arc::new(View::Node {
             prev: Arc::clone(state),
-            received: received.iter().map(|m| m.as_ref().map(Arc::clone)).collect(),
+            received: received
+                .iter()
+                .map(|m| m.as_ref().map(Arc::clone))
+                .collect(),
         })
     }
 
@@ -192,10 +201,7 @@ mod tests {
         let pattern = eba_model::FailurePattern::failure_free(3);
         let trace = execute(&FullInformation, &config, &pattern, scenario.horizon());
         for time in Time::upto(scenario.horizon()) {
-            assert_eq!(
-                trace.state(ProcessorId::new(0), time).time(),
-                time.ticks()
-            );
+            assert_eq!(trace.state(ProcessorId::new(0), time).time(), time.ticks());
         }
     }
 

@@ -14,7 +14,9 @@
 //!   state at both;
 //! * [`GeneratedSystem`] — the set of runs of the full-information
 //!   protocol for a scenario (exhaustive or sampled), the object on which
-//!   all knowledge tests are evaluated.
+//!   all knowledge tests are evaluated;
+//! * [`SystemBuilder`] — staged, shard-parallel exhaustive generation
+//!   whose output is bit-identical for every thread/shard count.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod executor;
 mod full_info;
 mod protocol;
@@ -42,9 +45,10 @@ mod view;
 
 pub mod stats;
 
+pub use builder::{SystemBuilder, RUN_CAPACITY};
 pub use executor::execute;
 pub use full_info::{FullInformation, View};
 pub use protocol::Protocol;
 pub use system::{GeneratedSystem, RunId, RunRecord};
 pub use trace::{Decision, Trace};
-pub use view::{fip_views, ViewId, ViewNode, ViewTable};
+pub use view::{fip_views, try_fip_views, ViewId, ViewNode, ViewTable, VIEW_CAPACITY};

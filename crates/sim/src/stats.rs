@@ -128,7 +128,9 @@ impl DecisionStats {
         if self.decided() == 0 {
             return None;
         }
-        Some(Time::new(self.per_value.iter().map(|pv| pv.max).max().unwrap_or(0)))
+        Some(Time::new(
+            self.per_value.iter().map(|pv| pv.max).max().unwrap_or(0),
+        ))
     }
 
     /// Maximum decision time for decisions on `v`.
@@ -155,8 +157,10 @@ impl fmt::Display for DecisionStats {
             self.decided_on(Value::Zero),
             self.decided_on(Value::One),
             self.undecided(),
-            self.mean_time().map_or_else(|| "-".into(), |m| format!("{m:.2}")),
-            self.max_time().map_or_else(|| "-".into(), |m| m.to_string()),
+            self.mean_time()
+                .map_or_else(|| "-".into(), |m| format!("{m:.2}")),
+            self.max_time()
+                .map_or_else(|| "-".into(), |m| m.to_string()),
         )
     }
 }
@@ -166,7 +170,10 @@ mod tests {
     use super::*;
 
     fn d(v: Value, t: u16) -> Option<Decision> {
-        Some(Decision { value: v, time: Time::new(t) })
+        Some(Decision {
+            value: v,
+            time: Time::new(t),
+        })
     }
 
     #[test]

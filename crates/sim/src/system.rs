@@ -1,8 +1,9 @@
 //! Generated systems: the set of runs of the full-information protocol.
 
+use crate::builder::{SystemBuilder, RUN_CAPACITY};
 use crate::view::{fip_views, ViewId, ViewTable};
 use eba_model::{
-    enumerate, sample, FailurePattern, InitialConfig, ProcSet, ProcessorId, Scenario, Time,
+    sample, FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Scenario, Time,
 };
 use std::collections::HashMap;
 
@@ -18,9 +19,22 @@ impl RunId {
     }
 
     /// Creates a run id from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u32`; for untrusted indices use
+    /// [`RunId::try_new`].
     #[must_use]
     pub fn new(index: usize) -> Self {
-        RunId(u32::try_from(index).expect("run id overflow"))
+        RunId::try_new(index).expect("run id overflow")
+    }
+
+    /// Fallible [`RunId::new`], reporting id-space exhaustion as a
+    /// [`ModelError::CapacityExceeded`] instead of panicking.
+    pub fn try_new(index: usize) -> Result<Self, ModelError> {
+        u32::try_from(index)
+            .map(RunId)
+            .map_err(|_| ModelError::capacity_exceeded("run ids", RUN_CAPACITY))
     }
 }
 
@@ -76,20 +90,22 @@ impl GeneratedSystem {
     /// every initial configuration crossed with every canonical failure
     /// pattern.
     ///
-    /// The size is `2^n × count_patterns(scenario)`; check
-    /// [`enumerate::count_patterns`] before calling this on large
-    /// scenarios.
+    /// Delegates to [`SystemBuilder`] with its default worker count; use
+    /// the builder directly to control threads and shards or to handle
+    /// capacity overflow as an error. The size is
+    /// `2^n × count_patterns(scenario)`; check
+    /// [`eba_model::enumerate::count_patterns`] (or
+    /// [`eba_model::ScenarioSpace::total_runs`]) before calling this on
+    /// large scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario overflows the run or view id space.
     #[must_use]
     pub fn exhaustive(scenario: &Scenario) -> Self {
-        let configs: Vec<InitialConfig> =
-            InitialConfig::enumerate_all(scenario.n()).collect();
-        let mut runs = Vec::new();
-        for pattern in enumerate::patterns(scenario) {
-            for config in &configs {
-                runs.push((config.clone(), pattern.clone()));
-            }
-        }
-        Self::from_runs(scenario, runs)
+        SystemBuilder::new(scenario)
+            .build()
+            .expect("scenario exceeds id capacity")
     }
 
     /// Generates a sampled system: `num_runs` random (configuration,
@@ -119,10 +135,7 @@ impl GeneratedSystem {
     ///
     /// Panics if a pattern fails validation against the scenario.
     #[must_use]
-    pub fn from_runs(
-        scenario: &Scenario,
-        run_specs: Vec<(InitialConfig, FailurePattern)>,
-    ) -> Self {
+    pub fn from_runs(scenario: &Scenario, run_specs: Vec<(InitialConfig, FailurePattern)>) -> Self {
         let n = scenario.n();
         let horizon = scenario.horizon();
         let slots_per_run = (horizon.index() + 1) * n;
@@ -147,10 +160,38 @@ impl GeneratedSystem {
                 views.extend_from_slice(time_views);
             }
             let nonfaulty = pattern.nonfaulty_set();
-            runs.push(RunRecord { config, pattern, nonfaulty });
+            runs.push(RunRecord {
+                config,
+                pattern,
+                nonfaulty,
+            });
         }
 
-        GeneratedSystem { scenario: *scenario, runs, views, table, lookup }
+        GeneratedSystem {
+            scenario: *scenario,
+            runs,
+            views,
+            table,
+            lookup,
+        }
+    }
+
+    /// Assembles a system from parts the [`SystemBuilder`] has already
+    /// validated (runs in enumeration order, views remapped to `table`).
+    pub(crate) fn from_parts(
+        scenario: Scenario,
+        runs: Vec<RunRecord>,
+        views: Vec<ViewId>,
+        table: ViewTable,
+        lookup: HashMap<(u128, FailurePattern), RunId>,
+    ) -> Self {
+        GeneratedSystem {
+            scenario,
+            runs,
+            views,
+            table,
+            lookup,
+        }
     }
 
     /// The scenario this system was generated for.
@@ -218,19 +259,17 @@ impl GeneratedSystem {
     /// Finds the run with the given configuration and pattern, if present
     /// (used to pair *corresponding runs* across protocols).
     #[must_use]
-    pub fn find_run(
-        &self,
-        config: &InitialConfig,
-        pattern: &FailurePattern,
-    ) -> Option<RunId> {
-        self.lookup.get(&(config.to_bits(), pattern.clone())).copied()
+    pub fn find_run(&self, config: &InitialConfig, pattern: &FailurePattern) -> Option<RunId> {
+        self.lookup
+            .get(&(config.to_bits(), pattern.clone()))
+            .copied()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eba_model::{FailureMode, Value};
+    use eba_model::{enumerate, FailureMode, Value};
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

@@ -1,8 +1,6 @@
 //! Execution traces.
 
-use eba_model::{
-    FailurePattern, InitialConfig, ProcSet, ProcessorId, Time, Value,
-};
+use eba_model::{FailurePattern, InitialConfig, ProcSet, ProcessorId, Time, Value};
 
 /// An irreversible decision: the value and the time at which it was first
 /// output.
@@ -130,8 +128,11 @@ impl<S> Trace<S> {
     /// The distinct values decided by nonfaulty processors.
     #[must_use]
     pub fn nonfaulty_decided_values(&self) -> Vec<Value> {
-        let mut values: Vec<Value> =
-            self.nonfaulty().iter().filter_map(|p| self.decided_value(p)).collect();
+        let mut values: Vec<Value> = self
+            .nonfaulty()
+            .iter()
+            .filter_map(|p| self.decided_value(p))
+            .collect();
         values.sort_unstable();
         values.dedup();
         values
@@ -183,8 +184,7 @@ impl<S> Trace<S> {
     /// processors decide at the same time.
     #[must_use]
     pub fn satisfies_simultaneity(&self) -> bool {
-        let mut times =
-            self.nonfaulty().iter().map(|p| self.decision_time(p));
+        let mut times = self.nonfaulty().iter().map(|p| self.decision_time(p));
         match times.next() {
             None => true,
             Some(first) => times.all(|t| t == first),
@@ -210,7 +210,10 @@ mod tests {
     }
 
     fn d(v: Value, t: u16) -> Option<Decision> {
-        Some(Decision { value: v, time: Time::new(t) })
+        Some(Decision {
+            value: v,
+            time: Time::new(t),
+        })
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! last round?) so protocol decision rules run in O(1) per view.
 
 use eba_model::{
-    FailurePattern, InitialConfig, ProcSet, ProcessorId, Round, Time, Value,
+    FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Round, Time, Value,
 };
 use std::collections::HashMap;
+
+/// The number of views a [`ViewTable`] can hold (`ViewId` is a `u32`).
+pub const VIEW_CAPACITY: u128 = 1 << 32;
 
 /// An interned full-information view; equal ids ⟺ identical FIP local
 /// state (within one [`ViewTable`]).
@@ -37,9 +40,22 @@ impl ViewId {
     /// Reconstructs an id from a table index (the inverse of
     /// [`ViewId::index`]); only meaningful for indices smaller than the
     /// owning table's [`ViewTable::len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit a `u32`. Indices obtained from a
+    /// `ViewTable` always fit; for untrusted indices use
+    /// [`ViewId::try_from_index`].
     #[must_use]
     pub fn from_index(index: usize) -> Self {
-        ViewId(u32::try_from(index).expect("view index overflow"))
+        ViewId::try_from_index(index).expect("view index overflow")
+    }
+
+    /// Fallible [`ViewId::from_index`]: `None` when `index` exceeds the
+    /// id space instead of panicking.
+    #[must_use]
+    pub fn try_from_index(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(ViewId)
     }
 }
 
@@ -116,19 +132,58 @@ impl ViewTable {
         self.nodes.is_empty()
     }
 
-    fn intern(&mut self, node: ViewNode, meta: ViewMeta) -> ViewId {
+    fn try_intern(&mut self, node: ViewNode, meta: ViewMeta) -> Result<ViewId, ModelError> {
         if let Some(&id) = self.index.get(&node) {
-            return id;
+            return Ok(id);
         }
-        let id = ViewId(u32::try_from(self.nodes.len()).expect("view table overflow"));
+        let Some(id) = ViewId::try_from_index(self.nodes.len()) else {
+            return Err(ModelError::capacity_exceeded("view table", VIEW_CAPACITY));
+        };
         self.index.insert(node.clone(), id);
         self.nodes.push(node);
         self.meta.push(meta);
-        id
+        Ok(id)
+    }
+
+    /// Re-interns every view of `other` into `self`, in `other`'s id
+    /// order, and returns the translation table: entry `i` is the id in
+    /// `self` of `other`'s view `i`.
+    ///
+    /// Because a table's nodes only ever reference smaller ids, a single
+    /// in-order pass suffices. This is the merge step of the parallel
+    /// system builder: absorbing shard-local tables in shard order visits
+    /// first encounters in exactly the sequential enumeration order, so
+    /// the combined table is bit-identical to a sequential build.
+    pub fn absorb(&mut self, other: &ViewTable) -> Result<Vec<ViewId>, ModelError> {
+        let mut remap: Vec<ViewId> = Vec::with_capacity(other.len());
+        for (node, meta) in other.nodes.iter().zip(&other.meta) {
+            let translated = match node {
+                ViewNode::Leaf { .. } => node.clone(),
+                ViewNode::Node { prev, received } => ViewNode::Node {
+                    prev: remap[prev.index()],
+                    received: received
+                        .iter()
+                        .map(|slot| slot.map(|v| remap[v.index()]))
+                        .collect(),
+                },
+            };
+            remap.push(self.try_intern(translated, *meta)?);
+        }
+        Ok(remap)
     }
 
     /// Interns the time-0 view of `proc` with initial value `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is full; see [`ViewTable::try_leaf`].
     pub fn leaf(&mut self, proc: ProcessorId, value: Value) -> ViewId {
+        self.try_leaf(proc, value).expect("view table overflow")
+    }
+
+    /// Fallible [`ViewTable::leaf`], reporting table overflow as a
+    /// [`ModelError::CapacityExceeded`] instead of panicking.
+    pub fn try_leaf(&mut self, proc: ProcessorId, value: Value) -> Result<ViewId, ModelError> {
         let meta = ViewMeta {
             proc,
             time: Time::ZERO,
@@ -143,7 +198,7 @@ impl ViewTable {
             },
             heard_from: ProcSet::empty(),
         };
-        self.intern(ViewNode::Leaf { proc, value }, meta)
+        self.try_intern(ViewNode::Leaf { proc, value }, meta)
     }
 
     /// Interns the view obtained by extending `prev` with one round of
@@ -152,9 +207,21 @@ impl ViewTable {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if a received view is not at the owner's
-    /// previous time or `received[owner]` is not `None`.
+    /// Panics if the table is full (see [`ViewTable::try_extend`]), and in
+    /// debug builds if a received view is not at the owner's previous time
+    /// or `received[owner]` is not `None`.
     pub fn extend(&mut self, prev: ViewId, received: Vec<Option<ViewId>>) -> ViewId {
+        self.try_extend(prev, received)
+            .expect("view table overflow")
+    }
+
+    /// Fallible [`ViewTable::extend`], reporting table overflow as a
+    /// [`ModelError::CapacityExceeded`] instead of panicking.
+    pub fn try_extend(
+        &mut self,
+        prev: ViewId,
+        received: Vec<Option<ViewId>>,
+    ) -> Result<ViewId, ModelError> {
         let prev_meta = self.meta[prev.index()];
         debug_assert!(received
             .iter()
@@ -187,8 +254,11 @@ impl ViewTable {
             known_zeros,
             heard_from,
         };
-        self.intern(
-            ViewNode::Node { prev, received: received.into_boxed_slice() },
+        self.try_intern(
+            ViewNode::Node {
+                prev,
+                received: received.into_boxed_slice(),
+            },
             meta,
         )
     }
@@ -294,7 +364,9 @@ impl ViewTable {
     pub fn at_time(&self, id: ViewId, time: Time) -> ViewId {
         let mut current = id;
         while self.time(current) > time {
-            current = self.prev(current).expect("non-leaf views have a predecessor");
+            current = self
+                .prev(current)
+                .expect("non-leaf views have a predecessor");
         }
         assert_eq!(self.time(current), time, "time exceeds the view's time");
         current
@@ -310,7 +382,8 @@ impl ViewTable {
 ///
 /// # Panics
 ///
-/// Panics if `config` and `pattern` disagree on `n`.
+/// Panics if `config` and `pattern` disagree on `n`, or if the table
+/// overflows (see [`try_fip_views`]).
 #[must_use]
 pub fn fip_views(
     config: &InitialConfig,
@@ -318,10 +391,29 @@ pub fn fip_views(
     horizon: Time,
     table: &mut ViewTable,
 ) -> Vec<Vec<ViewId>> {
+    try_fip_views(config, pattern, horizon, table).expect("view table overflow")
+}
+
+/// Fallible [`fip_views`], reporting table overflow as a
+/// [`ModelError::CapacityExceeded`] instead of panicking.
+///
+/// # Panics
+///
+/// Panics if `config` and `pattern` disagree on `n`.
+pub fn try_fip_views(
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
+    table: &mut ViewTable,
+) -> Result<Vec<Vec<ViewId>>, ModelError> {
     let n = config.n();
     assert_eq!(n, pattern.n());
     let mut views: Vec<Vec<ViewId>> = Vec::with_capacity(horizon.index() + 1);
-    views.push(ProcessorId::all(n).map(|p| table.leaf(p, config.value(p))).collect());
+    let mut leaves = Vec::with_capacity(n);
+    for p in ProcessorId::all(n) {
+        leaves.push(table.try_leaf(p, config.value(p))?);
+    }
+    views.push(leaves);
     for round in Round::upto(horizon) {
         let prev_views = views.last().expect("time 0 is always present").clone();
         let mut now: Vec<ViewId> = Vec::with_capacity(n);
@@ -337,11 +429,11 @@ pub fn fip_views(
                         .then(|| prev_views[sender.index()])
                 })
                 .collect();
-            now.push(table.extend(prev_views[receiver.index()], received));
+            now.push(table.try_extend(prev_views[receiver.index()], received)?);
         }
         views.push(now);
     }
-    views
+    Ok(views)
 }
 
 #[cfg(test)]
@@ -421,10 +513,23 @@ mod tests {
         let mut t = ViewTable::new();
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
-        let run_a = fip_views(&InitialConfig::from_bits(3, 0b110), &pattern, Time::new(2), &mut t);
-        let run_b = fip_views(&InitialConfig::from_bits(3, 0b111), &pattern, Time::new(2), &mut t);
+        let run_a = fip_views(
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(2),
+            &mut t,
+        );
+        let run_b = fip_views(
+            &InitialConfig::from_bits(3, 0b111),
+            &pattern,
+            Time::new(2),
+            &mut t,
+        );
         for time in 0..=2 {
             for q in 1..3 {
                 assert_eq!(run_a[time][q], run_b[time][q], "time {time}, processor {q}");
@@ -438,8 +543,18 @@ mod tests {
     fn fip_views_distinguish_once_information_flows() {
         let mut t = ViewTable::new();
         let pattern = FailurePattern::failure_free(3);
-        let run_a = fip_views(&InitialConfig::from_bits(3, 0b110), &pattern, Time::new(2), &mut t);
-        let run_b = fip_views(&InitialConfig::from_bits(3, 0b111), &pattern, Time::new(2), &mut t);
+        let run_a = fip_views(
+            &InitialConfig::from_bits(3, 0b110),
+            &pattern,
+            Time::new(2),
+            &mut t,
+        );
+        let run_b = fip_views(
+            &InitialConfig::from_bits(3, 0b111),
+            &pattern,
+            Time::new(2),
+            &mut t,
+        );
         // After one failure-free round everyone knows p0's value.
         for q in 0..3 {
             assert_ne!(run_a[1][q], run_b[1][q]);
@@ -451,10 +566,17 @@ mod tests {
         let mut t = ViewTable::new();
         let pattern = FailurePattern::failure_free(3).with_behavior(
             p(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
-        let views =
-            fip_views(&InitialConfig::uniform(3, Value::One), &pattern, Time::new(3), &mut t);
+        let views = fip_views(
+            &InitialConfig::uniform(3, Value::One),
+            &pattern,
+            Time::new(3),
+            &mut t,
+        );
         assert_eq!(views[1][0], views[0][0]);
         assert_eq!(views[3][0], views[0][0]);
         assert_ne!(views[1][1], views[0][1]);
@@ -472,14 +594,55 @@ mod tests {
     }
 
     #[test]
+    fn absorb_reinterns_with_stable_semantics() {
+        // Build the same two runs in one table sequentially and in two
+        // tables merged by absorb; ids must coincide.
+        let config_a = InitialConfig::from_bits(3, 0b011);
+        let config_b = InitialConfig::from_bits(3, 0b101);
+        let pattern = FailurePattern::failure_free(3);
+
+        let mut sequential = ViewTable::new();
+        let seq_a = fip_views(&config_a, &pattern, Time::new(2), &mut sequential);
+        let seq_b = fip_views(&config_b, &pattern, Time::new(2), &mut sequential);
+
+        let mut left = ViewTable::new();
+        let shard_a = fip_views(&config_a, &pattern, Time::new(2), &mut left);
+        let mut right = ViewTable::new();
+        let shard_b = fip_views(&config_b, &pattern, Time::new(2), &mut right);
+
+        let mut merged = ViewTable::new();
+        let remap_left = merged.absorb(&left).unwrap();
+        let remap_right = merged.absorb(&right).unwrap();
+        assert_eq!(merged.len(), sequential.len());
+        for time in 0..=2 {
+            for q in 0..3 {
+                assert_eq!(remap_left[shard_a[time][q].index()], seq_a[time][q]);
+                assert_eq!(remap_right[shard_b[time][q].index()], seq_b[time][q]);
+            }
+        }
+    }
+
+    #[test]
+    fn try_from_index_rejects_oversized_indices() {
+        assert_eq!(ViewId::try_from_index(7), Some(ViewId::from_index(7)));
+        assert_eq!(ViewId::try_from_index(usize::MAX), None);
+    }
+
+    #[test]
     fn omission_faulty_receiver_keeps_receiving() {
         let mut t = ViewTable::new();
         let pattern = FailurePattern::failure_free(2).with_behavior(
             p(0),
-            FaultyBehavior::Omission { omissions: vec![ProcSet::singleton(p(1))] },
+            FaultyBehavior::Omission {
+                omissions: vec![ProcSet::singleton(p(1))],
+            },
         );
-        let views =
-            fip_views(&InitialConfig::uniform(2, Value::One), &pattern, Time::new(1), &mut t);
+        let views = fip_views(
+            &InitialConfig::uniform(2, Value::One),
+            &pattern,
+            Time::new(1),
+            &mut t,
+        );
         // p1 did not hear from p0 …
         assert_eq!(t.heard_from(views[1][1]), ProcSet::empty());
         // … but the omission-faulty p0 still hears from p1.

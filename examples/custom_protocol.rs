@@ -78,8 +78,7 @@ impl Protocol for LazyRelay {
                 // Two quiet rounds in a row: the same heard-from set three
                 // times running.
                 let k = next.heard.len();
-                if next.heard[k - 1] == next.heard[k - 2]
-                    && next.heard[k - 2] == next.heard[k - 3]
+                if next.heard[k - 1] == next.heard[k - 2] && next.heard[k - 2] == next.heard[k - 3]
                 {
                     next.decided = Some(Value::One);
                 }
@@ -140,7 +139,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(optimal_earlier > 0, "LazyRelay leaves rounds on the table");
 
     // 3. The Theorem 5.3 verdict on the optimum itself.
-    println!("F^{{Λ,2}} optimality: {}", check_optimality(&mut ctor, &optimal));
+    println!(
+        "F^{{Λ,2}} optimality: {}",
+        check_optimality(&mut ctor, &optimal)
+    );
 
     println!("\nconclusion: LazyRelay is safe but dominated — run the two-step");
     println!("construction (Constructor::optimize) to close the gap.");

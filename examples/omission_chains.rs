@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             f,
             RUNS_PER_F,
             stats.mean_time().unwrap_or(f64::NAN),
-            stats.max_time().map_or_else(|| "-".into(), |t| t.to_string()),
+            stats
+                .max_time()
+                .map_or_else(|| "-".into(), |t| t.to_string()),
         );
     }
 

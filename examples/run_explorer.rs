@@ -48,15 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "C□_{N∧O} ∃0".into(),
-            Formula::exists(Value::Zero)
-                .continual_common(NonRigidSet::NonfaultyAnd(o_id)),
+            Formula::exists(Value::Zero).continual_common(NonRigidSet::NonfaultyAnd(o_id)),
         ),
         ("p2 decides 0".into(), Formula::StateIn(p2, z_id)),
         ("p2 decides 1".into(), Formula::StateIn(p2, o_id)),
     ];
 
-    let show = |ctor: &mut Constructor<'_>, title: &str, config: InitialConfig, pattern: FailurePattern| {
-        let run = ctor.system().find_run(&config, &pattern).expect("run exists");
+    let show = |ctor: &mut Constructor<'_>,
+                title: &str,
+                config: InitialConfig,
+                pattern: FailurePattern| {
+        let run = ctor
+            .system()
+            .find_run(&config, &pattern)
+            .expect("run exists");
         println!("— {title}: {config} under [{pattern}]");
         let timeline = Timeline::build(ctor.evaluator(), run, &formulas);
         println!("{timeline}");

@@ -1,0 +1,207 @@
+//! Offline deterministic stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This shim implements the subset of the API the
+//! workspace uses: the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map`/`prop_recursive`/`boxed`, [`prop_oneof!`], ranges and
+//! tuples as strategies, `bool::ANY`, `num::*::ANY`, `array::uniform3`,
+//! [`prop_assert!`]/[`prop_assert_eq!`], `ProptestConfig`, and
+//! `TestCaseError`.
+//!
+//! Differences from upstream: no shrinking (failing inputs are reported
+//! as-is), and case generation is seeded deterministically from the test
+//! name, so runs are reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates `true` or `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric strategies, one submodule per primitive type.
+pub mod num {
+    macro_rules! int_any_mod {
+        ($($mod_name:ident => $t:ty),* $(,)?) => {$(
+            /// Strategies for this integer type.
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Generates any value of the type, uniformly.
+                #[derive(Clone, Copy, Debug)]
+                pub struct Any;
+
+                /// The canonical full-range strategy.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                        wide as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_any_mod! {
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+        i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize,
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy producing `[S::Value; 3]` from three independent draws.
+    #[derive(Clone, Debug)]
+    pub struct Uniform3<S>(S);
+
+    /// Generates `[T; 3]` arrays by sampling `strategy` three times.
+    pub fn uniform3<S: Strategy>(strategy: S) -> Uniform3<S> {
+        Uniform3(strategy)
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [
+                self.0.generate(rng),
+                self.0.generate(rng),
+                self.0.generate(rng),
+            ]
+        }
+    }
+}
+
+/// The glob-import module mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property-based tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    u64::from(case),
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest `{}` failed at case {} of {}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        err,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    (($config:expr);) => {};
+}
+
+/// Picks one of the listed strategies uniformly per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+/// Fails the enclosing property when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)).to_owned(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {left:?}\n right: {right:?}",
+                    stringify!($left),
+                    stringify!($right),
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}

@@ -1,0 +1,319 @@
+//! Value-generation strategies (no shrinking; see the crate docs).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree: `generate` draws a
+/// fresh value directly, and failing cases are reported without shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives a strategy for smaller
+    /// instances (eventually bottoming out at `self`) and returns the
+    /// strategy for one more level of structure. `depth` bounds the
+    /// nesting; `_desired_size` and `_expected_branch_size` are accepted
+    /// for API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let expanded = f(current).boxed();
+            // One part leaves to two parts deeper structure keeps trees
+            // shallow-biased while still exercising every level.
+            current = Union::weighted(vec![(1, leaf.clone()), (2, expanded)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe core of [`Strategy`], used behind [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self // already erased; avoid double indirection
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A weighted choice between strategies; the expansion of
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// A uniform choice between the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// A weighted choice between the given strategies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or all weights are zero.
+    #[must_use]
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "Union needs at least one positively weighted option"
+        );
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut ticket = rng.below(u128::from(self.total_weight)) as u64;
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if ticket < weight {
+                return option.generate(rng);
+            }
+            ticket -= weight;
+        }
+        unreachable!("ticket drawn below the total weight");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = rng.below(span);
+                ((self.start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive range strategy");
+                let span = ((end as i128).wrapping_sub(start as i128) as u128) + 1;
+                let offset = rng.below(span);
+                ((start as i128).wrapping_add(offset as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// u128 ranges don't fit the i128 arithmetic above; the workspace only uses
+// sub-2^64 spans, which `below` handles directly.
+impl Strategy for Range<u128> {
+    type Value = u128;
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (0u128..1 << 8).generate(&mut rng);
+            assert!(y < 256);
+            let z = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let mut rng = rng();
+        let s = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursion_bottoms_out() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = rng();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let t = strat.generate(&mut rng);
+            max_depth = max_depth.max(depth(&t));
+            assert!(depth(&t) <= 3);
+        }
+        assert!(
+            max_depth >= 2,
+            "recursion never fired (max depth {max_depth})"
+        );
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut rng = rng();
+        let s = ((0usize..3), (10u16..12)).prop_map(|(a, b)| a + b as usize);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((10..14).contains(&v));
+        }
+    }
+}

@@ -24,13 +24,13 @@ pub use eba_sim as sim;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use eba_core::{
-        check_optimality, dominates, lift_protocol, verify_properties, Constructor,
-        DecisionPair, FipDecisions,
+        check_optimality, dominates, lift_protocol, verify_properties, Constructor, DecisionPair,
+        FipDecisions,
     };
     pub use eba_kripke::{Evaluator, Formula, NonRigidSet, StateSets};
     pub use eba_model::{
-        FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
-        Round, Scenario, Time, Value,
+        FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
+        Scenario, Time, Value,
     };
     pub use eba_sim::{execute, GeneratedSystem, Protocol, RunId, Trace};
 }

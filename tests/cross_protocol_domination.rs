@@ -9,12 +9,8 @@ use eba_protocols::{EarlyStoppingCrash, FloodMin, P0Opt, Relay};
 
 /// Decision times of every nonfaulty processor across every run of the
 /// scenario, as (run-key, per-processor times).
-fn times_for<P: Protocol>(
-    protocol: &P,
-    scenario: &Scenario,
-) -> Vec<Vec<Option<Time>>> {
-    let configs: Vec<InitialConfig> =
-        InitialConfig::enumerate_all(scenario.n()).collect();
+fn times_for<P: Protocol>(protocol: &P, scenario: &Scenario) -> Vec<Vec<Option<Time>>> {
+    let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
     let mut out = Vec::new();
     for pattern in eba_model::enumerate::patterns(scenario) {
         for config in &configs {

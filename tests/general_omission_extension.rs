@@ -48,9 +48,7 @@ fn knowledge_axioms_extend_to_general_omission() {
             assert!(report.holds(), "{}: {:?}", report.name, report.violation);
         }
     }
-    for report in
-        axioms::check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi)
-    {
+    for report in axioms::check_continual_common(&mut eval, NonRigidSet::Nonfaulty, &phi, &psi) {
         assert!(report.holds(), "{}: {:?}", report.name, report.violation);
     }
 }
@@ -135,7 +133,12 @@ fn message_level_accusations_break_under_general_omission() {
         );
     scenario.validate_pattern(&pattern).unwrap();
 
-    let trace = execute(&ChainOmission::new(n), &config, &pattern, scenario.horizon());
+    let trace = execute(
+        &ChainOmission::new(n),
+        &config,
+        &pattern,
+        scenario.horizon(),
+    );
     // The nonfaulty p2 accepted the chain and decided 0 …
     assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
     // … while the poisoned accusation drives the nonfaulty p4 to 1.

@@ -27,10 +27,8 @@ fn compare_horizons(
 
     let mut ctor_small = Constructor::new(&sys_small);
     let mut ctor_large = Constructor::new(&sys_large);
-    let d_small =
-        FipDecisions::compute(&sys_small, &build(&mut ctor_small), name);
-    let d_large =
-        FipDecisions::compute(&sys_large, &build(&mut ctor_large), name);
+    let d_small = FipDecisions::compute(&sys_small, &build(&mut ctor_small), name);
+    let d_large = FipDecisions::compute(&sys_large, &build(&mut ctor_large), name);
 
     let mut compared = 0u64;
     for run_small in sys_small.run_ids() {
@@ -57,11 +55,7 @@ fn compare_horizons(
     assert!(compared > 0, "no shared runs compared");
 }
 
-fn pad_pattern(
-    pattern: &FailurePattern,
-    mode: FailureMode,
-    horizon: u16,
-) -> FailurePattern {
+fn pad_pattern(pattern: &FailurePattern, mode: FailureMode, horizon: u16) -> FailurePattern {
     let mut out = FailurePattern::failure_free(pattern.n());
     for p in ProcessorId::all(pattern.n()) {
         if let Some(behavior) = pattern.behavior(p) {
@@ -91,5 +85,13 @@ fn f_lambda_2_crash_is_horizon_stable_above_recommended() {
 
 #[test]
 fn zero_chain_omission_is_horizon_stable() {
-    compare_horizons(3, 1, FailureMode::Omission, 2, 3, zero_chain_pair, "FIP(Z⁰,O⁰)");
+    compare_horizons(
+        3,
+        1,
+        FailureMode::Omission,
+        2,
+        3,
+        zero_chain_pair,
+        "FIP(Z⁰,O⁰)",
+    );
 }

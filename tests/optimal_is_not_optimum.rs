@@ -34,8 +34,14 @@ fn both_constructions_are_optimal_but_incomparable_crash() {
 
     let fwd = dominates(&system, &d_zero, &d_one);
     let bwd = dominates(&system, &d_one, &d_zero);
-    assert!(!fwd.dominates, "zero-first should not dominate one-first: {fwd}");
-    assert!(!bwd.dominates, "one-first should not dominate zero-first: {bwd}");
+    assert!(
+        !fwd.dominates,
+        "zero-first should not dominate one-first: {fwd}"
+    );
+    assert!(
+        !bwd.dominates,
+        "one-first should not dominate zero-first: {bwd}"
+    );
     // Each is strictly faster somewhere.
     assert!(fwd.earlier > 0 && bwd.earlier > 0);
 }

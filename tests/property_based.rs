@@ -39,16 +39,22 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(|f| f.not()),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (0usize..3, inner.clone()).prop_map(|(i, f)| f.known_by(ProcessorId::new(i))),
             (0usize..3, inner.clone())
-                .prop_map(|(i, f)| f.known_by(ProcessorId::new(i))),
-            (0usize..3, inner.clone()).prop_map(|(i, f)| {
-                f.believed_by(ProcessorId::new(i), NonRigidSet::Nonfaulty)
-            }),
-            inner.clone().prop_map(|f| f.everyone(NonRigidSet::Nonfaulty)),
-            inner.clone().prop_map(|f| f.someone(NonRigidSet::Nonfaulty)),
-            inner.clone().prop_map(|f| f.distributed(NonRigidSet::Nonfaulty)),
+                .prop_map(|(i, f)| { f.believed_by(ProcessorId::new(i), NonRigidSet::Nonfaulty) }),
+            inner
+                .clone()
+                .prop_map(|f| f.everyone(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.someone(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.distributed(NonRigidSet::Nonfaulty)),
             inner.clone().prop_map(|f| f.common(NonRigidSet::Nonfaulty)),
-            inner.clone().prop_map(|f| f.continual_common(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.continual_common(NonRigidSet::Nonfaulty)),
             inner.clone().prop_map(Formula::always),
             inner.clone().prop_map(Formula::eventually),
             inner.clone().prop_map(Formula::always_all),

@@ -13,8 +13,7 @@ fn decision_table(
     protocol: &Relay,
     scenario: &Scenario,
 ) -> Vec<(InitialConfig, FailurePattern, Vec<Option<Time>>)> {
-    let configs: Vec<InitialConfig> =
-        InitialConfig::enumerate_all(scenario.n()).collect();
+    let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
     let mut out = Vec::new();
     for pattern in eba_model::enumerate::patterns(scenario) {
         for config in &configs {
@@ -40,9 +39,7 @@ fn p0_and_p1_are_both_eba_protocols() {
 #[test]
 fn holders_of_the_favored_value_decide_at_time_zero() {
     let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
-    for (protocol, favored) in
-        [(Relay::p0(1), Value::Zero), (Relay::p1(1), Value::One)]
-    {
+    for (protocol, favored) in [(Relay::p0(1), Value::Zero), (Relay::p1(1), Value::One)] {
         for (config, _pattern, times) in decision_table(&protocol, &scenario) {
             for p in ProcessorId::all(3) {
                 if config.value(p) == favored {
@@ -96,7 +93,11 @@ fn silence_chain_forces_t_plus_one_rounds() {
     for (name, times) in [
         ("P0", {
             let trace = execute(&Relay::p0(t), &config, &chain, scenario.horizon());
-            trace.nonfaulty().iter().map(|p| trace.decision_time(p)).collect::<Vec<_>>()
+            trace
+                .nonfaulty()
+                .iter()
+                .map(|p| trace.decision_time(p))
+                .collect::<Vec<_>>()
         }),
         ("P0opt", {
             let trace = execute(
@@ -105,7 +106,11 @@ fn silence_chain_forces_t_plus_one_rounds() {
                 &chain,
                 scenario.horizon(),
             );
-            trace.nonfaulty().iter().map(|p| trace.decision_time(p)).collect::<Vec<_>>()
+            trace
+                .nonfaulty()
+                .iter()
+                .map(|p| trace.decision_time(p))
+                .collect::<Vec<_>>()
         }),
     ] {
         let max = times.iter().map(|t| t.expect("decides")).max().unwrap();

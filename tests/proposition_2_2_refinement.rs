@@ -18,11 +18,15 @@ where
     let system = GeneratedSystem::exhaustive(scenario);
     // f_p : ViewId -> P::State, built incrementally; any collision with a
     // different state falsifies Proposition 2.2 for this protocol.
-    let mut maps: Vec<HashMap<eba_sim::ViewId, P::State>> =
-        vec![HashMap::new(); scenario.n()];
+    let mut maps: Vec<HashMap<eba_sim::ViewId, P::State>> = vec![HashMap::new(); scenario.n()];
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(protocol, &record.config, &record.pattern, scenario.horizon());
+        let trace = execute(
+            protocol,
+            &record.config,
+            &record.pattern,
+            scenario.horizon(),
+        );
         for time in Time::upto(scenario.horizon()) {
             for p in ProcessorId::all(scenario.n()) {
                 // Crashed processors freeze in both models but the trace
@@ -37,7 +41,8 @@ where
                         maps[p.index()].insert(view, state);
                     }
                     Some(prior) => assert_eq!(
-                        prior, &state,
+                        prior,
+                        &state,
                         "{p} at {time}: same FIP view, different {} states \
                          (run {}: {} / {})",
                         protocol.name(),

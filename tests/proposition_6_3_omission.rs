@@ -42,7 +42,10 @@ fn omission_witness_run_never_decides() {
     let crash_pair = f_lambda_2(&mut crash_ctor);
     let crash_d = FipDecisions::compute(&crash_system, &crash_pair, "F^{Λ,2}");
     let report = verify_properties(&crash_system, &crash_d);
-    assert!(report.is_eba(), "crash-mode F^{{Λ,2}} must be EBA: {report}");
+    assert!(
+        report.is_eba(),
+        "crash-mode F^{{Λ,2}} must be EBA: {report}"
+    );
 
     // And F^{Λ,2} is still a nontrivial agreement protocol in the
     // omission mode — it just fails the decision property.

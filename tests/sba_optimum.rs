@@ -23,12 +23,18 @@ fn check(n: usize, t: usize, horizon: u16) {
     let mut compared = 0u64;
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(&protocol, &record.config, &record.pattern, scenario.horizon());
+        let trace = execute(
+            &protocol,
+            &record.config,
+            &record.pattern,
+            scenario.horizon(),
+        );
         for p in record.nonfaulty {
             let exact_time = exact.decision_time(run, p);
             let waste_time = trace.decision_time(p);
             assert_eq!(
-                exact_time, waste_time,
+                exact_time,
+                waste_time,
                 "decision times diverge at run {} ({} / [{}]), {p}: \
                  exact {exact_time:?} vs waste {waste_time:?}",
                 run.index(),

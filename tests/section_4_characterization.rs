@@ -26,7 +26,10 @@ fn proposition_4_1_no_double_decisions() {
         (crash_rule(&mut ctor), "FIP(Z^cr,O^cr)"),
     ] {
         let d = FipDecisions::compute(&system, &pair, name);
-        assert!(d.nonfaulty_conflicts(&system).is_empty(), "{name} conflicted");
+        assert!(
+            d.nonfaulty_conflicts(&system).is_empty(),
+            "{name} conflicted"
+        );
     }
 }
 
@@ -51,9 +54,7 @@ fn lemma_4_2_cross_value_exclusion() {
 /// failure modes.
 #[test]
 fn proposition_4_3_necessity() {
-    for (system, mode) in
-        [(crash_system(), "crash"), (omission_system(), "omission")]
-    {
+    for (system, mode) in [(crash_system(), "crash"), (omission_system(), "omission")] {
         let mut ctor = Constructor::new(&system);
         let pairs = if mode == "crash" {
             vec![
@@ -75,10 +76,8 @@ fn proposition_4_3_necessity() {
                     eval.register_state_sets(pair.one().clone()),
                 )
             };
-            let c0 = Formula::exists(Value::Zero)
-                .continual_common(NonRigidSet::NonfaultyAnd(o_id));
-            let c1 = Formula::exists(Value::One)
-                .continual_common(NonRigidSet::NonfaultyAnd(z_id));
+            let c0 = Formula::exists(Value::Zero).continual_common(NonRigidSet::NonfaultyAnd(o_id));
+            let c1 = Formula::exists(Value::One).continual_common(NonRigidSet::NonfaultyAnd(z_id));
             for i in ProcessorId::all(n) {
                 let decide0 = Formula::StateIn(i, z_id);
                 let decide1 = Formula::StateIn(i, o_id);
@@ -138,8 +137,7 @@ fn proposition_4_4_sufficiency() {
             iterations += 1;
             assert!(iterations <= 10, "fixed point failed to converge");
             let z_id = ctor.evaluator().register_state_sets(z.clone());
-            let c1 = Formula::exists(Value::One)
-                .continual_common(NonRigidSet::NonfaultyAnd(z_id));
+            let c1 = Formula::exists(Value::One).continual_common(NonRigidSet::NonfaultyAnd(z_id));
             one = ctor.views_satisfying(|i| {
                 Formula::exists(Value::One)
                     .and(c1.clone())

@@ -10,11 +10,7 @@ fn omission_system(n: usize, t: usize, horizon: u16) -> GeneratedSystem {
 }
 
 /// Two decision tables agree on every nonfaulty processor of every run.
-fn same_nonfaulty_decisions(
-    system: &GeneratedSystem,
-    a: &FipDecisions,
-    b: &FipDecisions,
-) -> bool {
+fn same_nonfaulty_decisions(system: &GeneratedSystem, a: &FipDecisions, b: &FipDecisions) -> bool {
     system.run_ids().all(|run| {
         system
             .nonfaulty(run)
@@ -58,8 +54,7 @@ fn f_star_literal_closed_form_degenerates() {
     // C□_{N∧Z⁰} ∃0 is valid in the system …
     let z0 = zero_chain_pair(&mut ctor);
     let z0_id = ctor.evaluator().register_state_sets(z0.zero().clone());
-    let c0 = Formula::exists(Value::Zero)
-        .continual_common(NonRigidSet::NonfaultyAnd(z0_id));
+    let c0 = Formula::exists(Value::Zero).continual_common(NonRigidSet::NonfaultyAnd(z0_id));
     assert!(ctor.evaluator().valid(&c0), "C□_{{N∧Z⁰}}∃0 should be valid");
 
     // … so the literal form never decides 1, failing EBA, while the

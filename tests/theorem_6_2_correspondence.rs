@@ -23,12 +23,18 @@ fn check_correspondence(n: usize, t: usize, horizon: u16) {
     let mut compared = 0u64;
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(&protocol, &record.config, &record.pattern, scenario.horizon());
+        let trace = execute(
+            &protocol,
+            &record.config,
+            &record.pattern,
+            scenario.horizon(),
+        );
         for p in record.nonfaulty {
             let message_level = trace.decision(p);
             let knowledge_level = knowledge.decision(run, p);
             assert_eq!(
-                message_level, knowledge_level,
+                message_level,
+                knowledge_level,
                 "divergence at run {} ({} / {}), {p}",
                 run.index(),
                 record.config,
@@ -79,7 +85,12 @@ fn f_lambda_2_strictly_dominates_p0opt_at_t2() {
     let mut strictly_earlier = 0u64;
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(&protocol, &record.config, &record.pattern, scenario.horizon());
+        let trace = execute(
+            &protocol,
+            &record.config,
+            &record.pattern,
+            scenario.horizon(),
+        );
         for p in record.nonfaulty {
             let message_time = trace.decision_time(p);
             let knowledge_time = knowledge.decision_time(run, p);
@@ -100,7 +111,10 @@ fn f_lambda_2_strictly_dominates_p0opt_at_t2() {
             }
         }
     }
-    assert!(strictly_earlier > 0, "expected the documented t ≥ 2 divergence");
+    assert!(
+        strictly_earlier > 0,
+        "expected the documented t ≥ 2 divergence"
+    );
 }
 
 /// The `n ≥ t + 2` assumption of Theorem 6.2 is necessary: at `n = t + 1`
@@ -123,11 +137,17 @@ fn correspondence_fails_without_n_ge_t_plus_2() {
     let pattern = FailurePattern::failure_free(3)
         .with_behavior(
             ProcessorId::new(0),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         )
         .with_behavior(
             ProcessorId::new(1),
-            FaultyBehavior::Crash { round: Round::new(1), receivers: ProcSet::empty() },
+            FaultyBehavior::Crash {
+                round: Round::new(1),
+                receivers: ProcSet::empty(),
+            },
         );
     let run = system.find_run(&config, &pattern).unwrap();
 
