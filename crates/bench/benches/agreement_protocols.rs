@@ -6,7 +6,7 @@ use eba_model::sample::{self, PatternSampler};
 use eba_model::{FailureMode, Scenario};
 use eba_protocols::multi::{execute_multi, MultiConfig, MultiFloodMin, MultiRelay};
 use eba_protocols::SbaWaste;
-use eba_sim::execute;
+use eba_sim::execute_unchecked;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -30,7 +30,12 @@ fn sba_waste(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &runs, |b, runs| {
             b.iter(|| {
                 for (config, pattern) in runs {
-                    black_box(execute(&protocol, config, pattern, scenario.horizon()));
+                    black_box(execute_unchecked(
+                        &protocol,
+                        config,
+                        pattern,
+                        scenario.horizon(),
+                    ));
                 }
             });
         });

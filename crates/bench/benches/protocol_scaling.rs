@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eba_model::sample::{self, PatternSampler};
 use eba_model::{FailureMode, FailurePattern, InitialConfig, Scenario};
 use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay};
-use eba_sim::{execute, Protocol};
+use eba_sim::{execute_unchecked, Protocol};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -41,7 +41,12 @@ fn bench_protocol<P: Protocol>(
         |b, runs| {
             b.iter(|| {
                 for (config, pattern) in runs {
-                    black_box(execute(protocol, config, pattern, scenario.horizon()));
+                    black_box(execute_unchecked(
+                        protocol,
+                        config,
+                        pattern,
+                        scenario.horizon(),
+                    ));
                 }
             });
         },

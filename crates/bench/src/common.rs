@@ -3,7 +3,7 @@
 use eba_core::FipDecisions;
 use eba_model::{InitialConfig, ProcessorId, Scenario, Time};
 use eba_sim::stats::DecisionStats;
-use eba_sim::{execute, GeneratedSystem, Protocol};
+use eba_sim::{execute_unchecked, GeneratedSystem, Protocol};
 
 /// Whether heavyweight experiment variants are enabled
 /// (`EBA_EXP_FULL=1`).
@@ -25,7 +25,8 @@ pub fn message_level_times<P: Protocol>(
         .run_ids()
         .map(|run| {
             let record = system.run(run);
-            let trace = execute(protocol, &record.config, &record.pattern, system.horizon());
+            let trace =
+                execute_unchecked(protocol, &record.config, &record.pattern, system.horizon());
             ProcessorId::all(system.n())
                 .map(|p| {
                     record

@@ -19,7 +19,7 @@ use eba_model::sample::{self, PatternSampler};
 use eba_model::{FailureMode, InitialConfig, ProcessorId, Scenario, Value};
 use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay, SbaWaste};
 use eba_sim::stats::DecisionStats;
-use eba_sim::{execute, Protocol};
+use eba_sim::{execute_unchecked, Protocol};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -64,11 +64,12 @@ pub fn exp1() -> Vec<Table> {
         let config = one_zero_config(n);
         for (name, time) in [
             ("P0", {
-                let trace = execute(&Relay::p0(t), &config, &pattern, scenario.horizon());
+                let trace = execute_unchecked(&Relay::p0(t), &config, &pattern, scenario.horizon());
                 trace.last_nonfaulty_decision_time()
             }),
             ("P0opt", {
-                let trace = execute(&P0Opt::new(t), &config, &pattern, scenario.horizon());
+                let trace =
+                    execute_unchecked(&P0Opt::new(t), &config, &pattern, scenario.horizon());
                 trace.last_nonfaulty_decision_time()
             }),
         ] {
@@ -129,8 +130,8 @@ pub fn exp2() -> Vec<Table> {
         for _ in 0..runs {
             let config = sample::random_config_biased(n, 1.0 / n as f64, &mut rng);
             let pattern = sampler.sample(&mut rng);
-            let a = execute(&P0Opt::new(t), &config, &pattern, scenario.horizon());
-            let b = execute(&Relay::p0(t), &config, &pattern, scenario.horizon());
+            let a = execute_unchecked(&P0Opt::new(t), &config, &pattern, scenario.horizon());
+            let b = execute_unchecked(&Relay::p0(t), &config, &pattern, scenario.horizon());
             for p in pattern.nonfaulty_set() {
                 match (a.decision_time(p), b.decision_time(p)) {
                     (Some(ta), Some(tb)) if ta < tb => earlier += 1,
@@ -365,7 +366,7 @@ pub fn exp5() -> Vec<Table> {
             for _ in 0..runs {
                 let config = sample::random_config_biased(n, 0.5 / n as f64, &mut rng);
                 let pattern = sampler.sample(&mut rng);
-                let trace = execute(
+                let trace = execute_unchecked(
                     &ChainOmission::new(n),
                     &config,
                     &pattern,
@@ -528,8 +529,9 @@ pub fn exp7b() -> Table {
         for _ in 0..runs {
             let config = sample::random_config_biased(n, 1.0 / n as f64, &mut rng);
             let pattern = sampler.sample(&mut rng);
-            let eba = execute(&P0Opt::new(t), &config, &pattern, scenario.horizon());
-            let sba = execute(&SbaWaste::new(n, t), &config, &pattern, scenario.horizon());
+            let eba = execute_unchecked(&P0Opt::new(t), &config, &pattern, scenario.horizon());
+            let sba =
+                execute_unchecked(&SbaWaste::new(n, t), &config, &pattern, scenario.horizon());
             eba_stats.record_trace(&eba);
             sba_stats.record_trace(&sba);
         }
@@ -642,7 +644,8 @@ pub fn exp9() -> Vec<Table> {
                 for _ in 0..runs {
                     let config = sample::random_config_biased(n, 1.0 / n as f64, &mut rng);
                     let pattern = sampler.sample(&mut rng);
-                    let trace = execute(&$protocol, &config, &pattern, $scenario.horizon());
+                    let trace =
+                        execute_unchecked(&$protocol, &config, &pattern, $scenario.horizon());
                     safe &= trace.satisfies_weak_agreement() && trace.satisfies_weak_validity();
                     stats.record_trace(&trace);
                     msgs += trace.messages_delivered();
@@ -840,7 +843,7 @@ pub fn exp11() -> Vec<Table> {
         for _ in 0..runs {
             let config = sample::random_config_biased(n, 1.5 / n as f64, &mut rng);
             let pattern = sampler.sample(&mut rng);
-            let trace = execute(
+            let trace = execute_unchecked(
                 &ChainOmission::new(n),
                 &config,
                 &pattern,

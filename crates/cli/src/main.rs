@@ -10,10 +10,11 @@ use eba_kripke::parse::parse_formula;
 use eba_kripke::{Evaluator, Formula};
 use eba_model::{
     FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
-    Scenario, Time, Value,
+    RunBudget, Scenario, Time, Value,
 };
-use eba_sim::{GeneratedSystem, SystemBuilder};
+use eba_sim::{BuildOutcome, GeneratedSystem, SystemBuilder};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const HELP: &str = "\
 eba-check — model-check epistemic formulas over Byzantine-agreement systems
@@ -32,6 +33,11 @@ OPTIONS:
                      evaluation (default: all available cores)
     --shards K       split exhaustive generation into K shards (default:
                      4 per thread; the result is identical for any K)
+    --deadline SECS  wall-clock budget for exhaustive generation; on
+                     exhaustion the verdict covers only the completed
+                     prefix of shards and a PARTIAL banner is printed
+    --max-runs N     cap on generated runs, honored at shard granularity;
+                     exceeding it also yields a PARTIAL prefix verdict
     --witness        also print a point where the formula holds
     --quiet          print only the verdict line
     --timeline       timeline mode: print per-time truth values of the
@@ -80,6 +86,8 @@ struct Options {
     sampled: Option<(usize, u64)>,
     threads: Option<usize>,
     shards: Option<usize>,
+    deadline: Option<Duration>,
+    max_runs: Option<u64>,
     witness: bool,
     quiet: bool,
     timeline: bool,
@@ -97,6 +105,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sampled: None,
         threads: None,
         shards: None,
+        deadline: None,
+        max_runs: None,
         witness: false,
         quiet: false,
         timeline: false,
@@ -128,8 +138,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--sampled" => {
-                let runs = take("--sampled")?.parse().map_err(|_| "bad run count")?;
+                let runs: usize = take("--sampled")?.parse().map_err(|_| "bad run count")?;
                 let seed = take("--sampled")?.parse().map_err(|_| "bad seed")?;
+                if runs == 0 {
+                    return Err("--sampled needs at least 1 run".to_owned());
+                }
                 options.sampled = Some((runs, seed));
             }
             "--threads" => {
@@ -145,6 +158,20 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--shards must be at least 1".to_owned());
                 }
                 options.shards = Some(shards);
+            }
+            "--deadline" => {
+                let secs: f64 = take("--deadline")?.parse().map_err(|_| "bad --deadline")?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".to_owned());
+                }
+                options.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-runs" => {
+                let max: u64 = take("--max-runs")?.parse().map_err(|_| "bad --max-runs")?;
+                if max == 0 {
+                    return Err("--max-runs must be at least 1".to_owned());
+                }
+                options.max_runs = Some(max);
             }
             "--witness" => options.witness = true,
             "--quiet" => options.quiet = true,
@@ -331,6 +358,13 @@ fn run() -> Result<ExitCode, String> {
     if options.shards.is_some() && options.sampled.is_some() {
         return Err("--shards applies to exhaustive generation; drop --sampled".into());
     }
+    let budgeted = options.deadline.is_some() || options.max_runs.is_some();
+    if budgeted && options.sampled.is_some() {
+        return Err("--deadline/--max-runs govern exhaustive generation; drop --sampled".into());
+    }
+    if budgeted && options.timeline {
+        return Err("--timeline needs the complete system; drop --deadline/--max-runs".into());
+    }
 
     let system = match options.sampled {
         Some((runs, seed)) => GeneratedSystem::sampled(&scenario, runs, seed),
@@ -342,7 +376,44 @@ fn run() -> Result<ExitCode, String> {
             if let Some(shards) = options.shards {
                 builder = builder.shards(shards);
             }
-            builder.build().map_err(|e| e.to_string())?
+            if budgeted {
+                let mut budget = RunBudget::unlimited();
+                if let Some(deadline) = options.deadline {
+                    budget = budget.with_deadline(deadline);
+                }
+                if let Some(max_runs) = options.max_runs {
+                    budget = budget.with_max_runs(max_runs);
+                }
+                match builder
+                    .budget(budget)
+                    .build_governed()
+                    .map_err(|e| e.to_string())?
+                {
+                    BuildOutcome::Complete { system, .. } => system,
+                    BuildOutcome::Partial {
+                        system,
+                        completed_shards,
+                        total_shards,
+                        budget_hit,
+                        ..
+                    } => {
+                        if system.num_runs() == 0 {
+                            return Err(format!(
+                                "budget exhausted before any shard completed ({budget_hit}); \
+                                 raise --deadline/--max-runs"
+                            ));
+                        }
+                        println!(
+                            "PARTIAL: {budget_hit}; verdict covers {completed_shards}/{total_shards} \
+                             shards ({} runs)",
+                            system.num_runs(),
+                        );
+                        system
+                    }
+                }
+            } else {
+                builder.build().map_err(|e| e.to_string())?
+            }
         }
     };
     if !options.quiet {

@@ -176,3 +176,73 @@ fn multiple_formulas_require_timeline() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--timeline"));
 }
+
+#[test]
+fn zero_knobs_exit_two_with_one_line_diagnostics() {
+    for args in [
+        ["--threads", "0"],
+        ["--shards", "0"],
+        ["--max-runs", "0"],
+        ["--deadline", "0"],
+    ] {
+        let (_, stderr, code) = run(&[args[0], args[1], "E0"]);
+        assert_eq!(code, Some(2), "{args:?}: {stderr}");
+        let diagnostic = stderr.lines().next().unwrap_or_default();
+        assert!(
+            diagnostic.starts_with("error:") && diagnostic.contains(args[0]),
+            "{args:?}: {stderr}"
+        );
+    }
+    let (_, stderr, code) = run(&["--sampled", "0", "7", "E0"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--sampled needs at least 1 run"));
+}
+
+#[test]
+fn generous_budget_still_reports_complete_verdict() {
+    let (stdout, _, code) = run(&[
+        "--deadline",
+        "120",
+        "--max-runs",
+        "1000000",
+        "CC(E0) -> C(E0)",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("VALID"));
+    assert!(!stdout.contains("PARTIAL"), "{stdout}");
+}
+
+#[test]
+fn exhausted_run_budget_prints_partial_banner() {
+    // 3,1,omission,2 has well over 50 runs; with 64 shards each shard is
+    // small enough that a nonempty prefix fits under the cap, so the
+    // verdict must carry a PARTIAL banner.
+    let (stdout, _, code) = run(&[
+        "--mode",
+        "omission",
+        "--horizon",
+        "2",
+        "--shards",
+        "64",
+        "--max-runs",
+        "50",
+        "--quiet",
+        "true",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("PARTIAL: run budget of 50 exhausted"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("shards ("), "{stdout}");
+}
+
+#[test]
+fn budget_flags_conflict_with_sampled_and_timeline() {
+    let (_, stderr, code) = run(&["--sampled", "10", "7", "--deadline", "5", "E0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("drop --sampled"), "{stderr}");
+    let (_, stderr, code) = run(&["--timeline", "--max-runs", "10", "E0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("complete system"), "{stderr}");
+}

@@ -18,7 +18,7 @@
 use crate::DecisionPair;
 use eba_kripke::StateSets;
 use eba_model::{ProcessorId, Time, Value};
-use eba_sim::{execute, GeneratedSystem, Protocol};
+use eba_sim::{execute_unchecked, GeneratedSystem, Protocol};
 use std::collections::HashMap;
 
 /// Lifts a message-level protocol to the decision pair of the
@@ -83,7 +83,7 @@ pub fn lift_protocol<P: Protocol>(system: &GeneratedSystem, protocol: &P) -> Dec
 
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(protocol, &record.config, &record.pattern, system.horizon());
+        let trace = execute_unchecked(protocol, &record.config, &record.pattern, system.horizon());
         for p in ProcessorId::all(n) {
             for time in Time::upto(system.horizon()) {
                 // A crashed processor's trace state freezes exactly like
@@ -136,7 +136,7 @@ mod tests {
         let d = FipDecisions::compute(&system, &lifted, "FIP(P0)");
         for run in system.run_ids() {
             let record = system.run(run);
-            let trace = execute(
+            let trace = execute_unchecked(
                 &Relay::p0(1),
                 &record.config,
                 &record.pattern,

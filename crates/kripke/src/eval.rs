@@ -5,11 +5,16 @@ use crate::cache::{KnowledgeCache, ReachKey};
 use crate::formula::Formula;
 use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
 use crate::uf::UnionFind;
-use eba_model::{ProcSet, ProcessorId, Time};
+use eba_model::{ModelError, ProcSet, ProcessorId, Time};
+use eba_sim::chaos::{supervised_indexed, FaultInjector, FaultSite, NoChaos};
 use eba_sim::{GeneratedSystem, RunId, ViewId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread;
+
+/// Ids interned by the evaluator are `u32`s; this is how many of each
+/// kind it can issue.
+const ID_CAPACITY: u128 = 1 << 32;
 
 /// Point count below which reachability edges are collected on the
 /// calling thread: spawning workers costs more than the scan saves.
@@ -112,6 +117,7 @@ pub struct Evaluator<'a> {
     cache: HashMap<Formula, Arc<Bitset>>,
     reach_cache: HashMap<NonRigidSet, Arc<Reachability>>,
     shared: KnowledgeCache,
+    chaos: Arc<dyn FaultInjector>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -143,6 +149,7 @@ impl<'a> Evaluator<'a> {
             cache: HashMap::new(),
             reach_cache: HashMap::new(),
             shared: cache,
+            chaos: Arc::new(NoChaos),
         }
     }
 
@@ -151,6 +158,14 @@ impl<'a> Evaluator<'a> {
     /// thread count.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Installs a fault injector ([`eba_sim::chaos`]) consulted once per
+    /// reachability worker item. An injected capacity fault at this site
+    /// degrades to a supervised panic (reachability itself is
+    /// infallible); panics and delays behave as at any other site.
+    pub fn set_chaos(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.chaos = injector;
     }
 
     /// The shared knowledge cache backing this evaluator (clone it to
@@ -174,18 +189,39 @@ impl<'a> Evaluator<'a> {
 
     /// Registers a state-set family for use in formulas.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] when the `u32` id space
+    /// for state-set families is full.
+    ///
     /// # Panics
     ///
     /// Panics if the family's processor count differs from the system's.
-    pub fn register_state_sets(&mut self, sets: StateSets) -> StateSetsId {
+    pub fn try_register_state_sets(&mut self, sets: StateSets) -> Result<StateSetsId, ModelError> {
         assert_eq!(
             sets.n(),
             self.n,
             "state-set family has the wrong processor count"
         );
-        let id = StateSetsId(u32::try_from(self.state_sets.len()).expect("id overflow"));
+        let id = u32::try_from(self.state_sets.len())
+            .map_err(|_| ModelError::capacity_exceeded("state-set family ids", ID_CAPACITY))?;
         self.state_sets.push(sets);
-        id
+        Ok(StateSetsId(id))
+    }
+
+    /// [`try_register_state_sets`](Evaluator::try_register_state_sets)
+    /// for callers without an error channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`ModelError::CapacityExceeded`] when the
+    /// id space is full, or if the family's processor count differs from
+    /// the system's.
+    pub fn register_state_sets(&mut self, sets: StateSets) -> StateSetsId {
+        match self.try_register_state_sets(sets) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The registered family behind an id.
@@ -200,35 +236,78 @@ impl<'a> Evaluator<'a> {
 
     /// Registers a per-run predicate for use in formulas.
     ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] when the `u32` id space
+    /// for run predicates is full.
+    ///
     /// # Panics
     ///
     /// Panics if the vector's length differs from the number of runs.
-    pub fn register_run_pred(&mut self, pred: Vec<bool>) -> RunPredId {
+    pub fn try_register_run_pred(&mut self, pred: Vec<bool>) -> Result<RunPredId, ModelError> {
         assert_eq!(
             pred.len(),
             self.system.num_runs(),
             "run predicate has the wrong length"
         );
-        let id = RunPredId(u32::try_from(self.run_preds.len()).expect("id overflow"));
+        let id = u32::try_from(self.run_preds.len())
+            .map_err(|_| ModelError::capacity_exceeded("run predicate ids", ID_CAPACITY))?;
         self.run_preds.push(pred);
-        id
+        Ok(RunPredId(id))
+    }
+
+    /// [`try_register_run_pred`](Evaluator::try_register_run_pred) for
+    /// callers without an error channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`ModelError::CapacityExceeded`] when the
+    /// id space is full, or if the vector's length differs from the
+    /// number of runs.
+    pub fn register_run_pred(&mut self, pred: Vec<bool>) -> RunPredId {
+        match self.try_register_run_pred(pred) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Registers a per-point predicate for use in formulas; the bitset is
     /// indexed by linear point index (see [`Evaluator::point_index`]).
     ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] when the `u32` id space
+    /// for point predicates is full — the realistic overflow site, since
+    /// fixpoint iteration registers one predicate per iteration.
+    ///
     /// # Panics
     ///
     /// Panics if the bitset's length differs from [`Evaluator::num_points`].
-    pub fn register_point_pred(&mut self, pred: Bitset) -> PointPredId {
+    pub fn try_register_point_pred(&mut self, pred: Bitset) -> Result<PointPredId, ModelError> {
         assert_eq!(
             pred.len(),
             self.num_points,
             "point predicate has the wrong length"
         );
-        let id = PointPredId(u32::try_from(self.point_preds.len()).expect("id overflow"));
+        let id = u32::try_from(self.point_preds.len())
+            .map_err(|_| ModelError::capacity_exceeded("point predicate ids", ID_CAPACITY))?;
         self.point_preds.push(Arc::new(pred));
-        id
+        Ok(PointPredId(id))
+    }
+
+    /// [`try_register_point_pred`](Evaluator::try_register_point_pred)
+    /// for callers without an error channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`ModelError::CapacityExceeded`] when the
+    /// id space is full, or if the bitset's length differs from
+    /// [`Evaluator::num_points`].
+    pub fn register_point_pred(&mut self, pred: Bitset) -> PointPredId {
+        match self.try_register_point_pred(pred) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The linear index of a point.
@@ -686,39 +765,35 @@ impl<'a> Evaluator<'a> {
         // Point-level union-find: two points are linked when some i ∈ S at
         // both has the same view at both. Bucket by (i's view). Edge
         // collection is independent per processor, so it fans out across
-        // worker threads; the unions are applied sequentially in processor
-        // order afterwards, giving the exact edge sequence of a
-        // single-threaded scan (and hence identical components) for every
-        // thread count.
+        // the supervised worker pool of `eba_sim::chaos`; the unions are
+        // applied sequentially in processor order afterwards, giving the
+        // exact edge sequence of a single-threaded scan (and hence
+        // identical components) for every thread count. A panicking
+        // worker item is retried and then recomputed sequentially —
+        // `collect_reach_edges` is pure, so recovery is transparent.
         let workers = self.threads.min(self.n);
         let per_proc_edges: Vec<Vec<(u32, u32)>> =
             if workers > 1 && self.num_points >= PARALLEL_POINTS_THRESHOLD {
                 let s_members_ref = &s_members;
-                let mut slots: Vec<Option<Vec<(u32, u32)>>> = Vec::new();
-                slots.resize_with(self.n, || None);
-                thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(workers);
-                    for worker in 0..workers {
-                        handles.push(scope.spawn(move || {
-                            (worker..self.n)
-                                .step_by(workers)
-                                .map(|i| {
-                                    let p = ProcessorId::new(i);
-                                    (i, self.collect_reach_edges(p, s_members_ref))
-                                })
-                                .collect::<Vec<_>>()
-                        }));
-                    }
-                    for handle in handles {
-                        for (i, edges) in handle.join().expect("reachability worker panicked") {
-                            slots[i] = Some(edges);
+                let chaos = &*self.chaos;
+                let supervised =
+                    supervised_indexed(self.n, workers, FaultSite::ReachabilityWorker, |i| {
+                        if let Err(e) = chaos.inject(FaultSite::ReachabilityWorker, i) {
+                            // Reachability is infallible, so an injected
+                            // capacity fault degrades to a supervised
+                            // panic here rather than a typed error.
+                            panic!("{e}");
                         }
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every processor is scanned"))
-                    .collect()
+                        self.collect_reach_edges(ProcessorId::new(i), s_members_ref)
+                    });
+                match supervised {
+                    Ok((edges, _faults)) => edges,
+                    // A processor that panics on the initial attempt, the
+                    // retry, and the sequential fallback is a
+                    // deterministic bug; surface the typed fault's
+                    // rendering rather than a bare join `expect`.
+                    Err(fault) => panic!("{fault}"),
+                }
             } else {
                 ProcessorId::all(self.n)
                     .map(|i| self.collect_reach_edges(i, &s_members))
@@ -1154,6 +1229,56 @@ mod tests {
                     "component of point {idx} under {s:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn try_register_issues_sequential_typed_ids() {
+        let system = crash_system();
+        let mut eval = Evaluator::new(&system);
+        let a = eval.try_register_state_sets(StateSets::empty(3)).unwrap();
+        let b = eval.try_register_state_sets(StateSets::empty(3)).unwrap();
+        assert_ne!(a, b);
+        let r = eval
+            .try_register_run_pred(vec![true; system.num_runs()])
+            .unwrap();
+        assert!(eval.valid(&Formula::RunPred(r)));
+        let pp = eval
+            .try_register_point_pred(Bitset::new_true(eval.num_points()))
+            .unwrap();
+        assert!(eval.valid(&Formula::PointPred(pp)));
+    }
+
+    #[test]
+    fn injected_reachability_panic_degrades_to_identical_result() {
+        use eba_sim::chaos::{ChaosPlan, FaultKind};
+        // Big enough to cross PARALLEL_POINTS_THRESHOLD, so the
+        // supervised pool actually runs and the injected panic lands in a
+        // worker, not on the calling thread.
+        let scenario = Scenario::new(3, 2, FailureMode::Crash, 3).unwrap();
+        let system = GeneratedSystem::exhaustive(&scenario);
+        assert!(system.num_points() >= PARALLEL_POINTS_THRESHOLD);
+        let mut baseline = Evaluator::new(&system);
+        baseline.set_threads(1);
+        let base = baseline.reachability(NonRigidSet::Nonfaulty);
+
+        let plan = Arc::new(ChaosPlan::new().with_fault(
+            FaultSite::ReachabilityWorker,
+            0,
+            FaultKind::Panic,
+        ));
+        let mut chaotic = Evaluator::new(&system);
+        chaotic.set_threads(4);
+        chaotic.set_chaos(Arc::clone(&plan) as Arc<dyn FaultInjector>);
+        let got = chaotic.reachability(NonRigidSet::Nonfaulty);
+        assert_eq!(plan.fired(), 1, "the planned panic must have fired");
+        assert_eq!(base.num_point_components(), got.num_point_components());
+        for idx in 0..system.num_points() {
+            assert_eq!(
+                base.point_component(idx),
+                got.point_component(idx),
+                "component of point {idx} after worker recovery"
+            );
         }
     }
 

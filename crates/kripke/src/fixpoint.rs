@@ -13,8 +13,30 @@
 
 use crate::bitset::Bitset;
 use crate::{Evaluator, Formula, NonRigidSet};
-use eba_model::Time;
+use eba_model::{ArmedBudget, BudgetHit, ModelError, RunBudget, Time};
+use std::fmt;
 use std::sync::Arc;
+
+/// Why a governed fixpoint iteration stopped before converging.
+#[derive(Clone, Debug)]
+pub enum GfpInterrupt {
+    /// The budget ran out mid-iteration (wall-clock deadline).
+    Budget(BudgetHit),
+    /// The evaluator could not intern another intermediate predicate
+    /// (point-predicate id space exhausted).
+    Model(ModelError),
+}
+
+impl fmt::Display for GfpInterrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfpInterrupt::Budget(hit) => write!(f, "fixpoint iteration stopped: {hit}"),
+            GfpInterrupt::Model(e) => write!(f, "fixpoint iteration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GfpInterrupt {}
 
 /// Computes `C_S φ` by greatest-fixed-point iteration of
 /// `X ← E_S(φ ∧ X)`, starting from `True`.
@@ -22,7 +44,12 @@ use std::sync::Arc;
 /// Returns the satisfaction bitset and the number of iterations needed
 /// (including the final confirming pass).
 pub fn common_by_gfp(eval: &mut Evaluator<'_>, s: NonRigidSet, phi: &Formula) -> (Bitset, usize) {
-    gfp(eval, phi, |inner| inner.everyone(s))
+    unlimited(gfp(
+        eval,
+        phi,
+        |inner| inner.everyone(s),
+        &RunBudget::unlimited().arm(),
+    ))
 }
 
 /// Computes `C□_S φ` by greatest-fixed-point iteration of
@@ -32,27 +59,84 @@ pub fn continual_common_by_gfp(
     s: NonRigidSet,
     phi: &Formula,
 ) -> (Bitset, usize) {
-    gfp(eval, phi, |inner| inner.everyone_box(s))
+    unlimited(gfp(
+        eval,
+        phi,
+        |inner| inner.everyone_box(s),
+        &RunBudget::unlimited().arm(),
+    ))
 }
 
-/// Iterates `X ← step(φ ∧ X)` from `X = True` until stable.
+/// [`common_by_gfp`] under a budget: the deadline is checked once per
+/// iteration, and intermediate-predicate interning surfaces typed
+/// capacity errors instead of aborting.
+///
+/// # Errors
+///
+/// Returns [`GfpInterrupt::Budget`] when the budget ran out and
+/// [`GfpInterrupt::Model`] when the evaluator's id space overflowed.
+pub fn common_by_gfp_governed(
+    eval: &mut Evaluator<'_>,
+    s: NonRigidSet,
+    phi: &Formula,
+    budget: &ArmedBudget,
+) -> Result<(Bitset, usize), GfpInterrupt> {
+    gfp(eval, phi, |inner| inner.everyone(s), budget)
+}
+
+/// [`continual_common_by_gfp`] under a budget; see
+/// [`common_by_gfp_governed`].
+///
+/// # Errors
+///
+/// Returns [`GfpInterrupt::Budget`] when the budget ran out and
+/// [`GfpInterrupt::Model`] when the evaluator's id space overflowed.
+pub fn continual_common_by_gfp_governed(
+    eval: &mut Evaluator<'_>,
+    s: NonRigidSet,
+    phi: &Formula,
+    budget: &ArmedBudget,
+) -> Result<(Bitset, usize), GfpInterrupt> {
+    gfp(eval, phi, |inner| inner.everyone_box(s), budget)
+}
+
+/// Unwraps a governed result produced under an unlimited budget, where
+/// interruption is impossible in practice (a budget never fires; id
+/// exhaustion needs 2³² iterations).
+fn unlimited(result: Result<(Bitset, usize), GfpInterrupt>) -> (Bitset, usize) {
+    match result {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Iterates `X ← step(φ ∧ X)` from `X = True` until stable, checking the
+/// budget's deadline cooperatively at each iteration.
 ///
 /// The intermediate `X` is injected into formulas as a registered point
 /// predicate, so each iteration is a single evaluator pass; the evaluator
 /// cache is still effective for the `φ` sub-evaluation.
-fn gfp<F>(eval: &mut Evaluator<'_>, phi: &Formula, step: F) -> (Bitset, usize)
+fn gfp<F>(
+    eval: &mut Evaluator<'_>,
+    phi: &Formula,
+    step: F,
+    budget: &ArmedBudget,
+) -> Result<(Bitset, usize), GfpInterrupt>
 where
     F: Fn(Formula) -> Formula,
 {
     let mut current = Bitset::new_true(eval.num_points());
     let mut iterations = 0;
     loop {
+        budget.check_deadline().map_err(GfpInterrupt::Budget)?;
         iterations += 1;
-        let x_id = eval.register_point_pred(current.clone());
+        let x_id = eval
+            .try_register_point_pred(current.clone())
+            .map_err(GfpInterrupt::Model)?;
         let formula = step(phi.clone().and(Formula::PointPred(x_id)));
         let next = Arc::unwrap_or_clone(eval.eval(&formula));
         if next == current {
-            return (current, iterations);
+            return Ok((current, iterations));
         }
         current = next;
     }
@@ -166,6 +250,48 @@ mod tests {
             }
             let deep = everyone_iterated(&mut eval, NonRigidSet::Nonfaulty, &phi, 64);
             assert_eq!(diff(&eval, &exact, &deep), None);
+        }
+    }
+
+    #[test]
+    fn governed_gfp_with_unlimited_budget_matches_ungoverned() {
+        for system in systems() {
+            for phi in formulas() {
+                let mut eval = Evaluator::new(&system);
+                let budget = eba_model::RunBudget::unlimited().arm();
+                let (plain, plain_iters) = common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
+                let (governed, governed_iters) =
+                    common_by_gfp_governed(&mut eval, NonRigidSet::Nonfaulty, &phi, &budget)
+                        .unwrap();
+                assert_eq!(plain, governed, "C_N({phi}) differs under a no-op budget");
+                assert_eq!(plain_iters, governed_iters);
+                let (plain_box, _) =
+                    continual_common_by_gfp(&mut eval, NonRigidSet::Nonfaulty, &phi);
+                let (governed_box, _) = continual_common_by_gfp_governed(
+                    &mut eval,
+                    NonRigidSet::Nonfaulty,
+                    &phi,
+                    &budget,
+                )
+                .unwrap();
+                assert_eq!(plain_box, governed_box);
+            }
+        }
+    }
+
+    #[test]
+    fn governed_gfp_honors_an_expired_deadline() {
+        let system = &systems()[0];
+        let mut eval = Evaluator::new(system);
+        let budget = eba_model::RunBudget::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .arm();
+        let phi = Formula::exists(Value::Zero);
+        let err =
+            common_by_gfp_governed(&mut eval, NonRigidSet::Nonfaulty, &phi, &budget).unwrap_err();
+        match err {
+            GfpInterrupt::Budget(eba_model::BudgetHit::Deadline { .. }) => {}
+            other => panic!("expected a deadline hit, got {other}"),
         }
     }
 

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod config;
 mod error;
 mod failure;
@@ -60,6 +61,7 @@ mod value;
 pub mod enumerate;
 pub mod sample;
 
+pub use budget::{ArmedBudget, BudgetHit, RunBudget};
 pub use config::InitialConfig;
 pub use error::ModelError;
 pub use failure::{FailureMode, FailurePattern, FaultyBehavior};

@@ -35,7 +35,7 @@ use eba_sim::Protocol;
 ///
 /// let protocol = ChainOmission::new(4);
 /// let config = InitialConfig::uniform(4, Value::One);
-/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(5));
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(5)).unwrap();
 /// // Failure-free all-ones: round 1 is quiet, decide 1 at time 1 = f+1.
 /// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(1)));
 /// ```
@@ -206,7 +206,7 @@ mod tests {
         enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario,
         Time,
     };
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

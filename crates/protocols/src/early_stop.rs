@@ -24,7 +24,7 @@ use eba_sim::Protocol;
 ///
 /// let protocol = EarlyStoppingCrash::new(2);
 /// let config = InitialConfig::uniform(4, Value::One);
-/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(4));
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(4), Time::new(4)).unwrap();
 /// // Failure-free: round 2 is already clean, beating t+1 = 3.
 /// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(2)));
 /// ```
@@ -127,7 +127,7 @@ mod tests {
     use eba_model::{
         enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, Scenario, Time,
     };
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

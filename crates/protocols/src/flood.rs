@@ -23,7 +23,7 @@ use eba_sim::Protocol;
 ///
 /// let protocol = FloodMin::new(1);
 /// let config = InitialConfig::from_bits(3, 0b101);
-/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3)).unwrap();
 /// // Everyone decides min = 0, simultaneously at t+1 = 2.
 /// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(2)));
 /// assert!(trace.satisfies_simultaneity());
@@ -103,7 +103,7 @@ impl Protocol for FloodMin {
 mod tests {
     use super::*;
     use eba_model::{enumerate, FailureMode, FailurePattern, InitialConfig, Scenario, Time};
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

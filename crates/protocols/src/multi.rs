@@ -577,7 +577,7 @@ mod tests {
         // decide-0 rule is identical); its decide-1 fallback is never
         // later than P0's t+1 timeout.
         use crate::Relay;
-        use eba_sim::execute;
+        use eba_sim::execute_unchecked as execute;
         let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
         let relay = Relay::p0(1);
         let multi = MultiRelay::new(1, vec![0, 1]);

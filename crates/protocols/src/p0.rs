@@ -25,7 +25,7 @@ use eba_sim::Protocol;
 ///
 /// let p0 = Relay::p0(1);
 /// let config = InitialConfig::from_bits(3, 0b110); // p1 holds 0
-/// let trace = execute(&p0, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// let trace = execute(&p0, &config, &FailurePattern::failure_free(3), Time::new(3)).unwrap();
 /// // The 0-holder decides at time 0; the others at time 1.
 /// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(0)));
 /// assert_eq!(trace.decision_time(ProcessorId::new(1)), Some(Time::new(1)));
@@ -139,7 +139,7 @@ impl Protocol for Relay {
 mod tests {
     use super::*;
     use eba_model::{FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Time};
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

@@ -40,7 +40,7 @@ use eba_sim::Protocol;
 ///
 /// let protocol = P0Opt::new(1);
 /// let config = InitialConfig::uniform(3, Value::One);
-/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3));
+/// let trace = execute(&protocol, &config, &FailurePattern::failure_free(3), Time::new(3)).unwrap();
 /// // Rule (a): after one failure-free round everyone knows all values
 /// // are 1 and decides — two rounds faster than P0's t+1 timeout.
 /// assert_eq!(trace.decision_time(ProcessorId::new(0)), Some(Time::new(1)));
@@ -212,7 +212,7 @@ impl Protocol for P0Opt {
 mod tests {
     use super::*;
     use eba_model::{FailurePattern, FaultyBehavior, InitialConfig, Time};
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

@@ -2,12 +2,13 @@
 //! sets, validating properties and collecting decision statistics.
 
 use eba_model::{enumerate, sample, FailurePattern, InitialConfig, Scenario, ScenarioSpace};
+use eba_sim::chaos::{supervised_indexed, EngineFault, FaultInjector, FaultSite, NoChaos};
 use eba_sim::stats::DecisionStats;
-use eba_sim::{execute, Protocol};
+use eba_sim::{execute_unchecked, Protocol};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
-use std::thread;
+use std::sync::Arc;
 
 /// Aggregate results of running one protocol over a set of runs.
 #[derive(Clone, Debug)]
@@ -95,7 +96,7 @@ pub fn run_campaign<P: Protocol>(
         messages_delivered: 0,
     };
     for (config, pattern) in runs {
-        let trace = execute(protocol, &config, &pattern, scenario.horizon());
+        let trace = execute_unchecked(protocol, &config, &pattern, scenario.horizon());
         report.runs += 1;
         report.stats.record_trace(&trace);
         report.agreement_violations += u64::from(!trace.satisfies_weak_agreement());
@@ -131,51 +132,61 @@ pub fn run_exhaustive_threaded<P: Protocol + Sync>(
     scenario: &Scenario,
     threads: usize,
 ) -> CampaignReport {
+    match run_exhaustive_supervised(protocol, scenario, threads, &(Arc::new(NoChaos) as _)) {
+        Ok(report) => report,
+        // Unreachable without an injector: supervision retries a panicked
+        // shard and falls back to sequential re-execution before erroring.
+        Err(fault) => panic!("{fault}"),
+    }
+}
+
+/// [`run_exhaustive_threaded`] with explicit worker supervision and fault
+/// injection: each campaign shard runs under `catch_unwind`, a panicked
+/// shard is retried once on a fresh thread and then recomputed
+/// sequentially, and only a persistently failing shard surfaces as a
+/// typed [`EngineFault`]. Aggregates merge in shard order, so the report
+/// is identical to the sequential one whenever `Ok` is returned — even
+/// when recovery paths were taken.
+///
+/// # Errors
+///
+/// Returns [`EngineFault::WorkerPanicked`] when a shard fails all
+/// supervision attempts (in practice only under an injector that fires
+/// three times at the same site).
+pub fn run_exhaustive_supervised<P: Protocol + Sync>(
+    protocol: &P,
+    scenario: &Scenario,
+    threads: usize,
+    chaos: &Arc<dyn FaultInjector>,
+) -> Result<CampaignReport, EngineFault> {
     let workers = threads.max(1);
     if workers == 1 {
-        return run_exhaustive(protocol, scenario);
+        return Ok(run_exhaustive(protocol, scenario));
     }
     let space = ScenarioSpace::new(*scenario);
     let shards = space.shards(workers * 4);
     let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(scenario.n()).collect();
-    let mut partials: Vec<Option<CampaignReport>> = Vec::new();
-    partials.resize_with(shards.len(), || None);
-    thread::scope(|scope| {
-        let shards = &shards;
-        let configs = &configs;
-        let mut handles = Vec::with_capacity(workers);
-        for worker in 0..workers {
-            handles.push(scope.spawn(move || {
-                shards
-                    .iter()
-                    .skip(worker)
-                    .step_by(workers)
-                    .map(|shard| {
-                        let runs = space.shard_patterns(*shard).flat_map(|pattern| {
-                            configs
-                                .iter()
-                                .cloned()
-                                .map(move |config| (config, pattern.clone()))
-                        });
-                        (shard.index(), run_campaign(protocol, scenario, runs))
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for handle in handles {
-            for (index, report) in handle.join().expect("campaign worker panicked") {
-                partials[index] = Some(report);
+    let (partials, _faults) =
+        supervised_indexed(shards.len(), workers, FaultSite::CampaignShard, |index| {
+            if let Err(e) = chaos.inject(FaultSite::CampaignShard, index) {
+                panic!("{e}");
             }
-        }
-    });
+            let runs = space.shard_patterns(shards[index]).flat_map(|pattern| {
+                configs
+                    .iter()
+                    .cloned()
+                    .map(move |config| (config, pattern.clone()))
+            });
+            run_campaign(protocol, scenario, runs)
+        })?;
     let mut merged: Option<CampaignReport> = None;
-    for partial in partials.into_iter().flatten() {
+    for partial in partials {
         match &mut merged {
             None => merged = Some(partial),
             Some(acc) => acc.merge(&partial),
         }
     }
-    merged.expect("a scenario always has at least one shard")
+    Ok(merged.expect("a scenario always has at least one shard"))
 }
 
 /// Runs `protocol` over `count` seeded random runs of the scenario.
@@ -260,6 +271,42 @@ mod tests {
         let scenario = Scenario::new(8, 3, FailureMode::Omission, 5).unwrap();
         let report = run_sampled(&ChainOmission::new(8), &scenario, 200, 11);
         assert!(report.live(), "{report}");
+    }
+
+    #[test]
+    fn injected_campaign_shard_panic_degrades_to_identical_report() {
+        use eba_sim::chaos::{ChaosPlan, FaultKind};
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let baseline = run_exhaustive(&Relay::p0(1), &scenario);
+        let plan = ChaosPlan::new().with_fault(FaultSite::CampaignShard, 0, FaultKind::Panic);
+        let plan = Arc::new(plan);
+        let chaos: Arc<dyn FaultInjector> = Arc::clone(&plan) as _;
+        let report = run_exhaustive_supervised(&Relay::p0(1), &scenario, 4, &chaos).unwrap();
+        assert_eq!(plan.fired(), 1, "the injected fault must actually fire");
+        assert_eq!(report.runs, baseline.runs);
+        assert_eq!(report.stats.histogram(), baseline.stats.histogram());
+        assert_eq!(report.messages_delivered, baseline.messages_delivered);
+        assert_eq!(report.non_simultaneous, baseline.non_simultaneous);
+    }
+
+    #[test]
+    fn persistent_campaign_shard_panic_is_a_typed_fault() {
+        use eba_sim::chaos::{ChaosPlan, FaultKind};
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let chaos: Arc<dyn FaultInjector> = Arc::new(ChaosPlan::new().with_recurring_fault(
+            FaultSite::CampaignShard,
+            2,
+            FaultKind::Panic,
+            3,
+        ));
+        let fault = run_exhaustive_supervised(&Relay::p0(1), &scenario, 4, &chaos).unwrap_err();
+        match fault {
+            EngineFault::WorkerPanicked { site, index, .. } => {
+                assert_eq!(site, FaultSite::CampaignShard);
+                assert_eq!(index, 2);
+            }
+            other => panic!("expected a worker fault, got {other}"),
+        }
     }
 
     #[test]

@@ -198,7 +198,7 @@ mod tests {
         enumerate, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, Scenario,
         Time,
     };
-    use eba_sim::execute;
+    use eba_sim::execute_unchecked as execute;
 
     fn p(i: usize) -> ProcessorId {
         ProcessorId::new(i)

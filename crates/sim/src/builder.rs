@@ -1,4 +1,4 @@
-//! Staged, shardable construction of generated systems.
+//! Staged, shardable, supervised construction of generated systems.
 //!
 //! [`SystemBuilder`] replaces the monolithic exhaustive generation loop
 //! with a three-stage pipeline:
@@ -19,13 +19,38 @@
 //! Downstream artifacts (decision tables, optimality verdicts, printed
 //! ids) therefore never depend on the machine's parallelism.
 //!
+//! # Robustness (DESIGN.md §4c)
+//!
+//! Shard workers run under the supervised pool of [`crate::chaos`]: a
+//! panicking shard is retried once and then rebuilt sequentially, and
+//! because [`build_shard`](SystemBuilder) is a pure function of its
+//! shard, the recovered system is bit-identical to an undisturbed one.
+//! Only a shard that panics on all three attempts surfaces — as a typed
+//! [`EngineFault`] from [`SystemBuilder::build_governed`].
+//!
+//! A [`RunBudget`] bounds the build cooperatively. The run bound is
+//! *planned statically* at shard granularity (each shard's run count is
+//! known before any work), so the set of built shards — and therefore the
+//! partial system — is deterministic. The wall-clock deadline is checked
+//! per pattern inside every shard and the view bound per pattern and per
+//! merged shard; exhaustion yields [`BuildOutcome::Partial`] carrying the
+//! longest contiguous prefix of completed shards, never a hang or a
+//! panic.
+//!
 //! Id-space overflows surface as [`ModelError::CapacityExceeded`] from
 //! [`SystemBuilder::build`] instead of panicking mid-generation.
 
+use crate::chaos::{
+    supervised_indexed, EngineFault, FaultInjector, FaultSite, NoChaos, WorkerFault,
+};
 use crate::system::{GeneratedSystem, RunId, RunRecord};
 use crate::view::{try_fip_views, ViewId, ViewTable};
-use eba_model::{InitialConfig, ModelError, Scenario, ScenarioSpace, Shard};
+use eba_model::{
+    ArmedBudget, BudgetHit, InitialConfig, ModelError, RunBudget, Scenario, ScenarioSpace, Shard,
+};
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
 use std::thread;
 
 /// The number of runs a [`GeneratedSystem`] can hold (`RunId` is a `u32`).
@@ -35,8 +60,9 @@ pub const RUN_CAPACITY: u128 = 1 << 32;
 /// threads lets fast shards backfill while slow ones finish.
 const SHARDS_PER_THREAD: usize = 4;
 
-/// Configurable, parallel builder for exhaustive [`GeneratedSystem`]s; see
-/// the module docs for the staging and the determinism guarantee.
+/// Configurable, parallel, supervised builder for exhaustive
+/// [`GeneratedSystem`]s; see the module docs for the staging, the
+/// determinism guarantee, and the robustness policy.
 ///
 /// # Example
 ///
@@ -51,16 +77,29 @@ const SHARDS_PER_THREAD: usize = 4;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct SystemBuilder {
     scenario: Scenario,
     threads: usize,
     shards: Option<usize>,
+    budget: RunBudget,
+    chaos: Arc<dyn FaultInjector>,
+}
+
+impl fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("scenario", &self.scenario)
+            .field("threads", &self.threads)
+            .field("shards", &self.shards)
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SystemBuilder {
     /// A builder for the exhaustive system of `scenario`, defaulting to
-    /// one worker per available CPU.
+    /// one worker per available CPU, no budget, and no fault injection.
     #[must_use]
     pub fn new(scenario: &Scenario) -> Self {
         let threads = thread::available_parallelism().map_or(1, |p| p.get());
@@ -68,6 +107,8 @@ impl SystemBuilder {
             scenario: *scenario,
             threads,
             shards: None,
+            budget: RunBudget::unlimited(),
+            chaos: Arc::new(NoChaos),
         }
     }
 
@@ -88,18 +129,72 @@ impl SystemBuilder {
         self
     }
 
-    /// Builds the exhaustive system: every initial configuration crossed
-    /// with every canonical failure pattern, in enumeration order.
+    /// Sets the resource budget honored by [`build_governed`].
+    ///
+    /// [`build_governed`]: SystemBuilder::build_governed
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a fault injector ([`crate::chaos`]) consulted once per
+    /// shard. Production builds keep the default [`NoChaos`].
+    #[must_use]
+    pub fn chaos(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.chaos = injector;
+        self
+    }
+
+    /// Builds the complete exhaustive system: every initial configuration
+    /// crossed with every canonical failure pattern, in enumeration
+    /// order. Any configured budget is ignored — this entry point always
+    /// runs to completion; use [`build_governed`] for bounded runs.
+    ///
+    /// [`build_governed`]: SystemBuilder::build_governed
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::CapacityExceeded`] when the scenario has more
     /// runs than `RunId` can index (checked up front, before any work) or
     /// more distinct views than `ViewId` can index.
-    pub fn build(self) -> Result<GeneratedSystem, ModelError> {
+    ///
+    /// # Panics
+    ///
+    /// Panics only when a shard defeats supervision by panicking on the
+    /// initial attempt, the retry, *and* the sequential fallback (see
+    /// [`crate::chaos::supervised_indexed`]) — with the fault's rendered
+    /// message, never a bare `expect`.
+    pub fn build(mut self) -> Result<GeneratedSystem, ModelError> {
+        self.budget = RunBudget::unlimited();
+        match self.build_governed() {
+            Ok(outcome) => Ok(outcome.into_system()),
+            Err(EngineFault::Model(e)) => Err(e),
+            Err(fault @ EngineFault::WorkerPanicked { .. }) => panic!("{fault}"),
+        }
+    }
+
+    /// Builds the exhaustive system under the configured budget and fault
+    /// injector, with supervised workers.
+    ///
+    /// Returns [`BuildOutcome::Complete`] when every shard was built and
+    /// merged, or [`BuildOutcome::Partial`] — the longest contiguous
+    /// prefix of completed shards plus the [`BudgetHit`] that stopped the
+    /// build — when the budget ran out. Worker faults the supervisor
+    /// absorbed along the way are listed in the outcome's
+    /// [`BuildReport`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineFault::Model`] for model-level failures (id-space
+    /// overflow, injected capacity faults) and
+    /// [`EngineFault::WorkerPanicked`] when a shard panicked on all three
+    /// supervision attempts.
+    pub fn build_governed(self) -> Result<BuildOutcome, EngineFault> {
+        let armed = self.budget.arm();
         let space = ScenarioSpace::new(self.scenario);
         if space.total_runs() > RUN_CAPACITY {
-            return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY));
+            return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY).into());
         }
         let configs: Vec<InitialConfig> = space.configs().collect();
         let shard_count = self.shards.unwrap_or_else(|| {
@@ -110,19 +205,168 @@ impl SystemBuilder {
             }
         });
         let shards = space.shards(shard_count);
+        let total_shards = shards.len();
 
-        let workers = self.threads.min(shards.len());
-        let parts: Vec<Result<ShardBuild, ModelError>> = if workers <= 1 {
-            shards
-                .iter()
-                .map(|&shard| build_shard(&space, &configs, shard))
-                .collect()
-        } else {
-            build_shards_parallel(&space, &configs, &shards, workers)
+        // Plan the run bound statically: shard k's run count is
+        // `shards[k].len() × |configs|` before any work happens, so the
+        // set of shards inside the budget — and hence the partial system —
+        // is deterministic, independent of timing and parallelism.
+        let (planned, mut hit) = plan_run_bound(&shards, configs.len() as u128, &armed);
+
+        let workers = self.threads.min(planned.len().max(1));
+        let chaos = &*self.chaos;
+        let (outcomes, worker_faults) =
+            supervised_indexed(planned.len(), workers, FaultSite::BuilderShard, |index| {
+                chaos
+                    .inject(FaultSite::BuilderShard, index)
+                    .map_err(ShardError::Model)?;
+                build_shard(&space, &configs, planned[index], &armed)
+            })?;
+
+        // The first stopped shard (in shard order) ends the usable prefix;
+        // a model-level error there is a hard failure, a budget stop is a
+        // graceful one.
+        let mut parts = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            match outcome {
+                Ok(part) => parts.push(part),
+                Err(ShardError::Model(e)) => return Err(EngineFault::Model(e)),
+                Err(ShardError::Budget(budget_hit)) => {
+                    hit = Some(budget_hit);
+                    break;
+                }
+            }
+        }
+
+        let (system, merged, merge_hit) = merge(self.scenario, parts, &armed)?;
+        if let Some(view_hit) = merge_hit {
+            hit = Some(view_hit);
+        }
+        let report = BuildReport {
+            worker_faults,
+            total_shards,
         };
-
-        merge(self.scenario, parts)
+        Ok(match hit {
+            None => BuildOutcome::Complete { system, report },
+            Some(budget_hit) => BuildOutcome::Partial {
+                system,
+                completed_shards: merged,
+                total_shards,
+                budget_hit,
+                report,
+            },
+        })
     }
+}
+
+/// What a supervised, governed build produced.
+#[derive(Debug)]
+pub enum BuildOutcome {
+    /// Every shard was built and merged.
+    Complete {
+        /// The complete exhaustive system.
+        system: GeneratedSystem,
+        /// Supervision summary (absorbed worker faults, shard count).
+        report: BuildReport,
+    },
+    /// The budget ran out; the longest contiguous prefix of completed
+    /// shards was merged. Run- and view-bound prefixes are deterministic
+    /// (statically planned / merge-order checked); a deadline prefix
+    /// depends on timing but the result is always a valid prefix system.
+    Partial {
+        /// The system of the completed shard prefix (possibly empty).
+        system: GeneratedSystem,
+        /// How many shards made it into `system`.
+        completed_shards: usize,
+        /// How many shards a complete build would have had.
+        total_shards: usize,
+        /// The bound that stopped the build.
+        budget_hit: BudgetHit,
+        /// Supervision summary (absorbed worker faults, shard count).
+        report: BuildReport,
+    },
+}
+
+impl BuildOutcome {
+    /// The generated (complete or prefix) system.
+    #[must_use]
+    pub fn system(&self) -> &GeneratedSystem {
+        match self {
+            BuildOutcome::Complete { system, .. } | BuildOutcome::Partial { system, .. } => system,
+        }
+    }
+
+    /// Consumes the outcome, returning the system.
+    #[must_use]
+    pub fn into_system(self) -> GeneratedSystem {
+        match self {
+            BuildOutcome::Complete { system, .. } | BuildOutcome::Partial { system, .. } => system,
+        }
+    }
+
+    /// The supervision report.
+    #[must_use]
+    pub fn report(&self) -> &BuildReport {
+        match self {
+            BuildOutcome::Complete { report, .. } | BuildOutcome::Partial { report, .. } => report,
+        }
+    }
+
+    /// The budget hit that stopped the build, if any.
+    #[must_use]
+    pub fn budget_hit(&self) -> Option<BudgetHit> {
+        match self {
+            BuildOutcome::Complete { .. } => None,
+            BuildOutcome::Partial { budget_hit, .. } => Some(*budget_hit),
+        }
+    }
+
+    /// Whether every shard completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BuildOutcome::Complete { .. })
+    }
+}
+
+/// Supervision summary of one governed build.
+#[derive(Clone, Default, Debug)]
+pub struct BuildReport {
+    /// Worker faults the supervisor absorbed (each recovered by retry or
+    /// sequential fallback); empty in an undisturbed build.
+    pub worker_faults: Vec<WorkerFault>,
+    /// The number of shards of a complete build.
+    pub total_shards: usize,
+}
+
+/// Why a shard stopped early.
+enum ShardError {
+    /// A real model-level failure (capacity overflow, injected fault).
+    Model(ModelError),
+    /// The shard hit the budget; the build degrades gracefully.
+    Budget(BudgetHit),
+}
+
+/// Keeps the longest shard prefix whose cumulative run count stays within
+/// the budget's run bound, returning the kept prefix and the hit (if the
+/// bound truncated anything).
+fn plan_run_bound(
+    shards: &[Shard],
+    num_configs: u128,
+    armed: &ArmedBudget,
+) -> (Vec<Shard>, Option<BudgetHit>) {
+    let Some(limit) = armed.budget().max_runs() else {
+        return (shards.to_vec(), None);
+    };
+    let mut planned = Vec::with_capacity(shards.len());
+    let mut runs: u128 = 0;
+    for &shard in shards {
+        runs += shard.len() * num_configs;
+        if runs > u128::from(limit) {
+            return (planned, Some(BudgetHit::MaxRuns { limit }));
+        }
+        planned.push(shard);
+    }
+    (planned, None)
 }
 
 /// The output of one shard: runs and views with *shard-local* view ids.
@@ -132,21 +376,32 @@ struct ShardBuild {
     runs: Vec<RunRecord>,
 }
 
+/// Builds one shard. Pure in `(space, configs, shard)` — re-running it
+/// (the supervisor's retry and fallback) yields identical output. The
+/// budget's deadline and view bound are checked once per pattern.
 fn build_shard(
     space: &ScenarioSpace,
     configs: &[InitialConfig],
     shard: Shard,
-) -> Result<ShardBuild, ModelError> {
+    armed: &ArmedBudget,
+) -> Result<ShardBuild, ShardError> {
     let scenario = space.scenario();
     let horizon = scenario.horizon();
     let mut table = ViewTable::new();
     let mut runs = Vec::new();
     let mut views = Vec::new();
     for pattern in space.shard_patterns(shard) {
+        armed.check_deadline().map_err(ShardError::Budget)?;
+        // Shard-local distinct views lower-bound the merged total, so a
+        // shard that exceeds the view bound by itself can stop early.
+        armed
+            .check_views(table.len() as u64)
+            .map_err(ShardError::Budget)?;
         debug_assert!(scenario.validate_pattern(&pattern).is_ok());
         let nonfaulty = pattern.nonfaulty_set();
         for config in configs {
-            let run_views = try_fip_views(config, &pattern, horizon, &mut table)?;
+            let run_views =
+                try_fip_views(config, &pattern, horizon, &mut table).map_err(ShardError::Model)?;
             for time_views in &run_views {
                 views.extend_from_slice(time_views);
             }
@@ -160,57 +415,28 @@ fn build_shard(
     Ok(ShardBuild { table, views, runs })
 }
 
-fn build_shards_parallel(
-    space: &ScenarioSpace,
-    configs: &[InitialConfig],
-    shards: &[Shard],
-    workers: usize,
-) -> Vec<Result<ShardBuild, ModelError>> {
-    let mut slots: Vec<Option<Result<ShardBuild, ModelError>>> = Vec::new();
-    slots.resize_with(shards.len(), || None);
-    thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for worker in 0..workers {
-            handles.push(scope.spawn(move || {
-                // Round-robin shard assignment; shard sizes are balanced,
-                // so striding keeps workers within one shard of each
-                // other.
-                shards
-                    .iter()
-                    .enumerate()
-                    .skip(worker)
-                    .step_by(workers)
-                    .map(|(index, &shard)| (index, build_shard(space, configs, shard)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for handle in handles {
-            for (index, part) in handle.join().expect("system builder worker panicked") {
-                slots[index] = Some(part);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every shard is assigned to exactly one worker"))
-        .collect()
-}
-
+/// Absorbs shard parts in shard order, checking the view bound after each
+/// shard. Returns the system, the number of shards merged, and the view
+/// hit that stopped the merge early (if any). The shard that crosses the
+/// view bound is the last one included — bounds are honored to within one
+/// shard, mirroring the cooperative per-loop-body deadline semantics.
 fn merge(
     scenario: Scenario,
-    parts: Vec<Result<ShardBuild, ModelError>>,
-) -> Result<GeneratedSystem, ModelError> {
+    parts: Vec<ShardBuild>,
+    armed: &ArmedBudget,
+) -> Result<(GeneratedSystem, usize, Option<BudgetHit>), EngineFault> {
     let mut table = ViewTable::new();
     let mut views = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut lookup = HashMap::new();
+    let mut merged = 0;
+    let mut hit = None;
     for part in parts {
-        let part = part?;
-        let remap = table.absorb(&part.table)?;
+        let remap = table.absorb(&part.table).map_err(EngineFault::Model)?;
         views.extend(part.views.iter().map(|v| remap[v.index()]));
         runs.reserve(part.runs.len());
         for record in part.runs {
-            let id = RunId::try_new(runs.len())?;
+            let id = RunId::try_new(runs.len()).map_err(EngineFault::Model)?;
             let prior = lookup.insert((record.config.to_bits(), record.pattern.clone()), id);
             debug_assert!(
                 prior.is_none(),
@@ -218,16 +444,22 @@ fn merge(
             );
             runs.push(record);
         }
+        merged += 1;
+        if let Err(view_hit) = armed.check_views(table.len() as u64) {
+            hit = Some(view_hit);
+            break;
+        }
     }
-    Ok(GeneratedSystem::from_parts(
-        scenario, runs, views, table, lookup,
-    ))
+    let system = GeneratedSystem::from_parts(scenario, runs, views, table, lookup);
+    Ok((system, merged, hit))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{ChaosPlan, FaultKind};
     use eba_model::{enumerate, FailureMode, ProcessorId, Time};
+    use std::time::Duration;
 
     fn scenario() -> Scenario {
         Scenario::new(3, 2, FailureMode::Crash, 2).unwrap()
@@ -330,5 +562,240 @@ mod tests {
         let clone = std::sync::Arc::clone(&shared);
         let runs = thread::spawn(move || clone.num_runs()).join().unwrap();
         assert_eq!(runs, shared.num_runs());
+    }
+
+    #[test]
+    fn injected_shard_panic_degrades_to_bit_identical_system() {
+        let scenario = scenario();
+        let baseline = SystemBuilder::new(&scenario)
+            .threads(1)
+            .shards(1)
+            .build()
+            .unwrap();
+        // Panic in shard 0 of a 4-shard parallel build; the supervisor's
+        // retry rebuilds the shard and the result must not change.
+        let plan =
+            Arc::new(ChaosPlan::new().with_fault(FaultSite::BuilderShard, 0, FaultKind::Panic));
+        let outcome = SystemBuilder::new(&scenario)
+            .threads(4)
+            .shards(4)
+            .chaos(Arc::clone(&plan) as Arc<dyn FaultInjector>)
+            .build_governed()
+            .unwrap();
+        assert!(outcome.is_complete());
+        assert_eq!(plan.fired(), 1);
+        let report = outcome.report().clone();
+        assert_eq!(report.worker_faults.len(), 1);
+        assert_eq!(report.worker_faults[0].index, 0);
+        assert_identical(&baseline, outcome.system());
+    }
+
+    #[test]
+    fn every_single_shard_panic_is_survivable() {
+        let scenario = scenario();
+        let baseline = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        for shard in 0..4 {
+            let plan = Arc::new(ChaosPlan::new().with_fault(
+                FaultSite::BuilderShard,
+                shard,
+                FaultKind::Panic,
+            ));
+            let outcome = SystemBuilder::new(&scenario)
+                .threads(4)
+                .shards(4)
+                .chaos(plan)
+                .build_governed()
+                .unwrap();
+            assert!(outcome.is_complete());
+            assert_identical(&baseline, outcome.system());
+        }
+    }
+
+    #[test]
+    fn persistent_shard_panic_falls_back_to_sequential_then_errors() {
+        let scenario = scenario();
+        // Two firings: initial + retry panic, sequential fallback succeeds.
+        let plan = Arc::new(ChaosPlan::new().with_recurring_fault(
+            FaultSite::BuilderShard,
+            1,
+            FaultKind::Panic,
+            2,
+        ));
+        let baseline = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        let outcome = SystemBuilder::new(&scenario)
+            .threads(4)
+            .shards(4)
+            .chaos(plan)
+            .build_governed()
+            .unwrap();
+        assert_eq!(outcome.report().worker_faults[0].attempts, 2);
+        assert_identical(&baseline, outcome.system());
+
+        // Three firings defeat all attempts: a typed fault, not an abort.
+        let hostile = Arc::new(ChaosPlan::new().with_recurring_fault(
+            FaultSite::BuilderShard,
+            1,
+            FaultKind::Panic,
+            3,
+        ));
+        let fault = SystemBuilder::new(&scenario)
+            .threads(4)
+            .shards(4)
+            .chaos(hostile)
+            .build_governed()
+            .unwrap_err();
+        assert!(matches!(
+            fault,
+            EngineFault::WorkerPanicked {
+                site: FaultSite::BuilderShard,
+                index: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn injected_capacity_fault_is_a_typed_model_error() {
+        let plan = Arc::new(ChaosPlan::new().with_fault(
+            FaultSite::BuilderShard,
+            2,
+            FaultKind::CapacityExhaustion,
+        ));
+        let fault = SystemBuilder::new(&scenario())
+            .threads(4)
+            .shards(4)
+            .chaos(plan)
+            .build_governed()
+            .unwrap_err();
+        assert!(matches!(
+            fault,
+            EngineFault::Model(ModelError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn run_budget_yields_deterministic_shard_prefix() {
+        let scenario = scenario();
+        let space = ScenarioSpace::new(scenario);
+        let shards = space.shards(4);
+        let num_configs = space.num_configs();
+        // Budget exactly covers the first two shards.
+        let two_shards = (shards[0].len() + shards[1].len()) * num_configs;
+        let outcome = SystemBuilder::new(&scenario)
+            .threads(4)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_max_runs(two_shards as u64))
+            .build_governed()
+            .unwrap();
+        let BuildOutcome::Partial {
+            system,
+            completed_shards,
+            total_shards,
+            budget_hit,
+            ..
+        } = outcome
+        else {
+            panic!("run budget must yield a partial outcome");
+        };
+        assert_eq!(completed_shards, 2);
+        assert_eq!(total_shards, 4);
+        assert_eq!(
+            budget_hit,
+            BudgetHit::MaxRuns {
+                limit: two_shards as u64
+            }
+        );
+        assert_eq!(system.num_runs() as u128, two_shards);
+
+        // The prefix is bit-identical to the same shards of a full build:
+        // partial results are usable, not garbage.
+        let full = SystemBuilder::new(&scenario)
+            .threads(1)
+            .shards(4)
+            .build()
+            .unwrap();
+        for r in system.run_ids() {
+            assert_eq!(system.run(r).config, full.run(r).config);
+            assert_eq!(system.run(r).pattern, full.run(r).pattern);
+        }
+    }
+
+    #[test]
+    fn zero_run_budget_yields_empty_partial() {
+        let outcome = SystemBuilder::new(&scenario())
+            .threads(2)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_max_runs(0))
+            .build_governed()
+            .unwrap();
+        assert_eq!(outcome.budget_hit(), Some(BudgetHit::MaxRuns { limit: 0 }));
+        let BuildOutcome::Partial {
+            system,
+            completed_shards,
+            ..
+        } = outcome
+        else {
+            panic!("expected partial");
+        };
+        assert_eq!(completed_shards, 0);
+        assert_eq!(system.num_runs(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_promptly_with_partial() {
+        let start = std::time::Instant::now();
+        let outcome = SystemBuilder::new(&scenario())
+            .threads(2)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_deadline(Duration::ZERO))
+            .build_governed()
+            .unwrap();
+        assert!(matches!(
+            outcome.budget_hit(),
+            Some(BudgetHit::Deadline { .. })
+        ));
+        // Termination well within 2× of any reasonable deadline: the
+        // checks fire at the first pattern of each shard.
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn view_budget_truncates_the_build() {
+        let scenario = scenario();
+        let full = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        // A one-view budget trips inside the very first shard.
+        let outcome = SystemBuilder::new(&scenario)
+            .threads(1)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_max_views(1))
+            .build_governed()
+            .unwrap();
+        let BuildOutcome::Partial {
+            system,
+            completed_shards,
+            budget_hit,
+            ..
+        } = outcome
+        else {
+            panic!("view budget must yield a partial outcome");
+        };
+        assert_eq!(budget_hit, BudgetHit::MaxViews { limit: 1 });
+        assert!(completed_shards < 4);
+        assert!(system.num_runs() < full.num_runs());
+    }
+
+    #[test]
+    fn unbudgeted_governed_build_is_complete_and_identical() {
+        let scenario = scenario();
+        let outcome = SystemBuilder::new(&scenario)
+            .threads(3)
+            .shards(5)
+            .build_governed()
+            .unwrap();
+        assert!(outcome.is_complete());
+        assert!(outcome.report().worker_faults.is_empty());
+        assert_eq!(outcome.report().total_shards, 5);
+        let baseline = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        assert_identical(&baseline, outcome.system());
     }
 }

@@ -1,0 +1,888 @@
+//! Fault injection, worker supervision, and adversarial schedules.
+//!
+//! The paper is a theory of computing *under failures*; this module makes
+//! the engine that reproduces it survive its own. It has three parts:
+//!
+//! 1. **Fault injection** — a [`FaultInjector`] is threaded through the
+//!    parallel stages of the engine (the [`SystemBuilder`] shard workers,
+//!    the `eba-kripke` reachability workers, the campaign runners) and is
+//!    consulted once per work item. [`ChaosPlan`] injects deterministic
+//!    engine faults — a worker panic in shard `k`, a synthetic capacity
+//!    exhaustion, an artificial delay — from an explicit or seeded plan,
+//!    so every degradation path is testable. [`NoChaos`] is the free
+//!    default.
+//!
+//! 2. **Supervision** — [`supervised_indexed`] is the worker pool used by
+//!    those stages: every work item runs under `catch_unwind`, a panicked
+//!    item is retried once on a fresh thread and then falls back to
+//!    sequential execution on the supervising thread, and only a fault
+//!    that defeats all three attempts surfaces — as a typed
+//!    [`EngineFault`], never as a poisoned `join().expect(...)`. Work
+//!    items are pure functions of their index, so a recovered run is
+//!    bit-identical to an undisturbed one.
+//!
+//! 3. **Adversarial schedules** — [`AdversarySchedule`] generates
+//!    worst-case failure patterns (latest-possible crashes, crash chains,
+//!    asymmetric omission sets) as a first-class run-set input alongside
+//!    exhaustive enumeration and seeded sampling, for scenarios too large
+//!    to enumerate but whose hardest corners are known.
+//!
+//! See DESIGN.md §4c for the supervision policy and the budget semantics
+//! that complement it ([`eba_model::RunBudget`]).
+//!
+//! [`SystemBuilder`]: crate::SystemBuilder
+
+use crate::system::GeneratedSystem;
+use eba_model::{
+    enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ModelError,
+    ProcSet, ProcessorId, Round, Scenario,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+use std::time::Duration;
+
+/// A parallel stage of the engine at which faults can be injected and
+/// workers are supervised.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultSite {
+    /// A [`SystemBuilder`](crate::SystemBuilder) shard worker; the item
+    /// index is the shard index.
+    BuilderShard,
+    /// An `eba-kripke` reachability edge-collection worker; the item index
+    /// is the processor index.
+    ReachabilityWorker,
+    /// An `eba-protocols` exhaustive-campaign worker; the item index is
+    /// the shard index.
+    CampaignShard,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::BuilderShard => write!(f, "builder shard"),
+            FaultSite::ReachabilityWorker => write!(f, "reachability worker"),
+            FaultSite::CampaignShard => write!(f, "campaign shard"),
+        }
+    }
+}
+
+/// The kind of engine fault a [`ChaosPlan`] injects at a site.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultKind {
+    /// The worker panics (exercises `catch_unwind` supervision).
+    Panic,
+    /// The worker reports a synthetic [`ModelError::CapacityExceeded`]
+    /// (exercises typed-error propagation out of a pool).
+    CapacityExhaustion,
+    /// The worker stalls for the given duration (exercises deadline
+    /// budgets and load-balance under slow shards).
+    Delay(Duration),
+}
+
+/// Deterministic injection of engine faults into supervised stages.
+///
+/// Implementations are consulted once per work item (`site`, `index`)
+/// and may panic, sleep, or return a synthetic error; returning `Ok(())`
+/// leaves the item undisturbed. Production code uses [`NoChaos`].
+pub trait FaultInjector: Send + Sync {
+    /// Called by a worker before processing item `index` of `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a synthetic [`ModelError`] when the plan injects a
+    /// capacity-exhaustion fault here.
+    fn inject(&self, site: FaultSite, index: usize) -> Result<(), ModelError>;
+}
+
+/// The default injector: never injects anything.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoChaos;
+
+impl FaultInjector for NoChaos {
+    fn inject(&self, _site: FaultSite, _index: usize) -> Result<(), ModelError> {
+        Ok(())
+    }
+}
+
+/// One planned fault: fires at (`site`, `index`) up to `fires` times.
+#[derive(Debug)]
+struct PlannedFault {
+    site: FaultSite,
+    index: usize,
+    kind: FaultKind,
+    fires: u32,
+    remaining: AtomicU32,
+}
+
+/// A deterministic, seedable plan of engine faults; see the module docs.
+///
+/// Each fault fires a bounded number of times (default once), so the
+/// supervisor's retry succeeds and degradation paths — not just failure
+/// paths — are exercised. A recurring fault (see
+/// [`ChaosPlan::with_recurring_fault`]) can defeat the retry and the
+/// sequential fallback too, driving the engine into its terminal
+/// [`EngineFault`].
+///
+/// # Example
+///
+/// ```
+/// use eba_sim::chaos::{ChaosPlan, FaultInjector, FaultKind, FaultSite};
+///
+/// let plan = ChaosPlan::new().with_fault(FaultSite::BuilderShard, 0, FaultKind::Panic);
+/// // The first visit to shard 0 panics; the retry goes through.
+/// assert!(std::panic::catch_unwind(|| plan.inject(FaultSite::BuilderShard, 0)).is_err());
+/// assert!(plan.inject(FaultSite::BuilderShard, 0).is_ok());
+/// assert_eq!(plan.fired(), 1);
+/// ```
+#[derive(Default, Debug)]
+pub struct ChaosPlan {
+    faults: Vec<PlannedFault>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (equivalent to [`NoChaos`]).
+    #[must_use]
+    pub fn new() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Adds a fault that fires exactly once at (`site`, `index`).
+    #[must_use]
+    pub fn with_fault(self, site: FaultSite, index: usize, kind: FaultKind) -> Self {
+        self.with_recurring_fault(site, index, kind, 1)
+    }
+
+    /// Adds a fault that fires on the first `fires` visits to
+    /// (`site`, `index`). With `fires >= 3` a panic fault defeats the
+    /// initial attempt, the retry, *and* the sequential fallback.
+    #[must_use]
+    pub fn with_recurring_fault(
+        mut self,
+        site: FaultSite,
+        index: usize,
+        kind: FaultKind,
+        fires: u32,
+    ) -> Self {
+        self.faults.push(PlannedFault {
+            site,
+            index,
+            kind,
+            fires,
+            remaining: AtomicU32::new(fires),
+        });
+        self
+    }
+
+    /// A seeded plan of `faults` random faults across the given sites and
+    /// item indices `0..max_index`. The same seed always yields the same
+    /// plan, so chaos campaigns are reproducible.
+    #[must_use]
+    pub fn seeded(seed: u64, sites: &[FaultSite], max_index: usize, faults: usize) -> Self {
+        assert!(
+            !sites.is_empty(),
+            "seeded chaos plan needs at least one site"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = ChaosPlan::new();
+        for _ in 0..faults {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let index = rng.gen_range(0..max_index.max(1));
+            let kind = match rng.gen_range(0..4u32) {
+                0 | 1 => FaultKind::Panic,
+                2 => FaultKind::CapacityExhaustion,
+                _ => FaultKind::Delay(Duration::from_millis(rng.gen_range(1..5u64))),
+            };
+            plan = plan.with_fault(site, index, kind);
+        }
+        plan
+    }
+
+    /// How many planned faults have fired so far.
+    #[must_use]
+    pub fn fired(&self) -> u32 {
+        self.faults
+            .iter()
+            .map(|f| f.fires - f.remaining.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl FaultInjector for ChaosPlan {
+    fn inject(&self, site: FaultSite, index: usize) -> Result<(), ModelError> {
+        for fault in &self.faults {
+            if fault.site != site || fault.index != index {
+                continue;
+            }
+            // Claim one firing; another thread may have used the last one.
+            let claimed = fault
+                .remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                .is_ok();
+            if !claimed {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::Panic => {
+                    panic!("chaos: injected panic at {site} #{index}")
+                }
+                FaultKind::CapacityExhaustion => {
+                    return Err(ModelError::capacity_exceeded("chaos-injected capacity", 0));
+                }
+                FaultKind::Delay(duration) => thread::sleep(duration),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A worker fault the supervisor absorbed: the stage still completed, and
+/// this record says what it survived.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WorkerFault {
+    /// The stage the fault occurred in.
+    pub site: FaultSite,
+    /// The index of the work item whose worker panicked.
+    pub index: usize,
+    /// How many attempts panicked before one succeeded (1 = the retry
+    /// succeeded, 2 = only the sequential fallback did).
+    pub attempts: u32,
+    /// The panic payload of the first failed attempt, as text.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} #{} panicked {} time(s) before recovery: {}",
+            self.site, self.index, self.attempts, self.message
+        )
+    }
+}
+
+/// A typed engine failure: what a supervised stage returns instead of
+/// aborting the process.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineFault {
+    /// A work item panicked on the initial attempt, the retry, *and* the
+    /// sequential fallback — the computation itself is broken (or a chaos
+    /// plan was configured to defeat supervision).
+    WorkerPanicked {
+        /// The stage the worker belonged to.
+        site: FaultSite,
+        /// The index of the work item.
+        index: usize,
+        /// The final panic payload, as text.
+        message: String,
+    },
+    /// A model-level error (invalid input, or a real or injected capacity
+    /// overflow) propagated out of a stage.
+    Model(ModelError),
+}
+
+impl fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineFault::WorkerPanicked {
+                site,
+                index,
+                message,
+            } => write!(
+                f,
+                "{site} #{index} panicked on every attempt (initial, retry, sequential): {message}"
+            ),
+            EngineFault::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineFault {}
+
+impl From<ModelError> for EngineFault {
+    fn from(e: ModelError) -> Self {
+        EngineFault::Model(e)
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// payloads in practice).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `job(i)` once per attempt on a fresh, isolated thread.
+fn attempt_on_fresh_thread<T, F>(job: &F, index: usize) -> Result<T, String>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    thread::scope(|scope| {
+        let handle = scope.spawn(move || catch_unwind(AssertUnwindSafe(|| job(index))));
+        match handle.join() {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
+            Err(payload) => Err(panic_message(payload.as_ref())),
+        }
+    })
+}
+
+/// The supervised worker pool behind every parallel stage of the engine.
+///
+/// Computes `job(0..count)` on up to `workers` threads with round-robin
+/// item assignment (item `i` goes to worker `i % workers`, matching the
+/// deterministic assignment the unsupervised pools used). Each item runs
+/// under `catch_unwind`; a panicked item is retried once on a fresh
+/// thread, then falls back to sequential execution on the calling thread.
+/// Items must be pure functions of their index for the recovery to be
+/// transparent — every stage in this workspace satisfies that.
+///
+/// Returns the results in item order together with the [`WorkerFault`]s
+/// that were absorbed along the way.
+///
+/// With `workers <= 1` (or a single item) the job runs sequentially on
+/// the calling thread with no supervision — a panic there propagates, as
+/// it would in any plain loop.
+///
+/// # Errors
+///
+/// Returns [`EngineFault::WorkerPanicked`] only when an item panicked on
+/// all three attempts.
+pub fn supervised_indexed<T, F>(
+    count: usize,
+    workers: usize,
+    site: FaultSite,
+    job: F,
+) -> Result<(Vec<T>, Vec<WorkerFault>), EngineFault>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return Ok(((0..count).map(&job).collect(), Vec::new()));
+    }
+    let workers = workers.min(count);
+    let mut slots: Vec<Option<Result<T, String>>> = Vec::new();
+    slots.resize_with(count, || None);
+    thread::scope(|scope| {
+        let job = &job;
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    (worker..count)
+                        .step_by(workers)
+                        .map(|index| {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| job(index)))
+                                .map_err(|payload| panic_message(payload.as_ref()));
+                            (index, outcome)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Panics inside items are caught above, so a worker thread
+            // itself dying is out-of-band (e.g. a panic while dropping a
+            // caught payload); its unreported items go through the retry
+            // path below like any other failed item.
+            if let Ok(items) = handle.join() {
+                for (index, outcome) in items {
+                    slots[index] = Some(outcome);
+                }
+            }
+        }
+    });
+
+    let mut results: Vec<T> = Vec::with_capacity(count);
+    let mut faults = Vec::new();
+    for (index, slot) in slots.into_iter().enumerate() {
+        let first_message = match slot {
+            Some(Ok(value)) => {
+                results.push(value);
+                continue;
+            }
+            Some(Err(message)) => message,
+            None => "worker thread died before reporting".to_owned(),
+        };
+        // One bounded retry on a fresh, isolated thread …
+        match attempt_on_fresh_thread(&job, index) {
+            Ok(value) => {
+                faults.push(WorkerFault {
+                    site,
+                    index,
+                    attempts: 1,
+                    message: first_message,
+                });
+                results.push(value);
+            }
+            // … then graceful fallback to sequential execution here.
+            Err(_) => match catch_unwind(AssertUnwindSafe(|| job(index))) {
+                Ok(value) => {
+                    faults.push(WorkerFault {
+                        site,
+                        index,
+                        attempts: 2,
+                        message: first_message,
+                    });
+                    results.push(value);
+                }
+                Err(payload) => {
+                    return Err(EngineFault::WorkerPanicked {
+                        site,
+                        index,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            },
+        }
+    }
+    Ok((results, faults))
+}
+
+/// A generator of worst-case failure patterns: the adversary's opening
+/// book, usable as a first-class run-set input alongside exhaustive
+/// enumeration ([`eba_model::enumerate::patterns`]) and seeded sampling.
+///
+/// Exhaustive systems grow exponentially; when a scenario is too large to
+/// enumerate, the schedules here cover the structurally hardest corners —
+/// crashes as late as possible, information chains, asymmetric omission
+/// sets — which drive the lower-bound arguments of the paper and its
+/// successors.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::{FailureMode, Scenario};
+/// use eba_sim::chaos::AdversarySchedule;
+///
+/// # fn main() -> Result<(), eba_model::ModelError> {
+/// let scenario = Scenario::new(4, 2, FailureMode::Crash, 3)?;
+/// let adversary = AdversarySchedule::new(&scenario);
+/// let system = adversary.system();
+/// assert!(system.num_runs() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarySchedule {
+    scenario: Scenario,
+}
+
+impl AdversarySchedule {
+    /// An adversary for the given scenario.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        AdversarySchedule {
+            scenario: *scenario,
+        }
+    }
+
+    /// The underlying scenario.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Latest-possible crashes (crash mode only; empty otherwise): for
+    /// every nonempty faulty set, (a) all members crash silently in the
+    /// final round, and (b) all members crash in the final round
+    /// delivering only to the lowest nonfaulty processor — the maximally
+    /// asymmetric late crash.
+    #[must_use]
+    pub fn latest_crashes(&self) -> Vec<FailurePattern> {
+        if self.scenario.mode() != FailureMode::Crash {
+            return Vec::new();
+        }
+        let n = self.scenario.n();
+        let last = Round::new(self.scenario.horizon().ticks());
+        let mut out = Vec::new();
+        for set in self.nonempty_faulty_sets() {
+            let victim = lowest_outside(set, n);
+            for receivers in [ProcSet::empty(), ProcSet::singleton(victim)] {
+                let mut pattern = FailurePattern::failure_free(n);
+                for member in set.iter() {
+                    pattern.set_behavior(
+                        member,
+                        FaultyBehavior::Crash {
+                            round: last,
+                            receivers,
+                        },
+                    );
+                }
+                debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+                out.push(pattern);
+            }
+        }
+        out
+    }
+
+    /// Crash chains (crash mode only; empty otherwise): for every nonempty
+    /// faulty set, member `k` (in id order) crashes in round `k + 1`
+    /// delivering only to member `k + 1` — the last member delivers only
+    /// to the lowest nonfaulty processor. This is the adversary behind the
+    /// `t + 1`-round lower bound: information about the failure trickles
+    /// one hop per round.
+    #[must_use]
+    pub fn crash_chains(&self) -> Vec<FailurePattern> {
+        if self.scenario.mode() != FailureMode::Crash {
+            return Vec::new();
+        }
+        let n = self.scenario.n();
+        let horizon = self.scenario.horizon().ticks();
+        let mut out = Vec::new();
+        for set in self.nonempty_faulty_sets() {
+            let members: Vec<ProcessorId> = set.iter().collect();
+            let mut pattern = FailurePattern::failure_free(n);
+            for (k, &member) in members.iter().enumerate() {
+                let round = Round::new((k as u16 + 1).min(horizon));
+                let receiver = members
+                    .get(k + 1)
+                    .copied()
+                    .unwrap_or_else(|| lowest_outside(set, n));
+                pattern.set_behavior(
+                    member,
+                    FaultyBehavior::Crash {
+                        round,
+                        receivers: ProcSet::singleton(receiver),
+                    },
+                );
+            }
+            debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+            out.push(pattern);
+        }
+        out
+    }
+
+    /// Asymmetric omission sets (omission modes only; empty otherwise):
+    /// for every nonempty faulty set, (a) all members omit to the lowest
+    /// nonfaulty processor in every round — one processor is starved of
+    /// all faulty input — and (b) all members omit to the even-indexed
+    /// non-members in every round, splitting the nonfaulty processors
+    /// into two informational halves.
+    #[must_use]
+    pub fn asymmetric_omissions(&self) -> Vec<FailurePattern> {
+        if self.scenario.mode() == FailureMode::Crash {
+            return Vec::new();
+        }
+        let n = self.scenario.n();
+        let rounds = self.scenario.horizon().index();
+        let mut out = Vec::new();
+        for set in self.nonempty_faulty_sets() {
+            let starved = ProcSet::singleton(lowest_outside(set, n));
+            let evens: ProcSet = ProcessorId::all(n)
+                .filter(|p| !set.contains(*p) && p.index() % 2 == 0)
+                .collect();
+            for omitted in [starved, evens] {
+                if omitted.is_empty() {
+                    continue;
+                }
+                let mut pattern = FailurePattern::failure_free(n);
+                for member in set.iter() {
+                    pattern.set_behavior(
+                        member,
+                        FaultyBehavior::Omission {
+                            omissions: vec![omitted - ProcSet::singleton(member); rounds],
+                        },
+                    );
+                }
+                debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+                out.push(pattern);
+            }
+        }
+        out
+    }
+
+    /// `count` seeded random patterns (any mode), for padding a worst-case
+    /// schedule with bulk coverage.
+    #[must_use]
+    pub fn sampled(&self, count: usize, seed: u64) -> Vec<FailurePattern> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sampler = sample::PatternSampler::new(self.scenario);
+        (0..count).map(|_| sampler.sample(&mut rng)).collect()
+    }
+
+    /// The mode-appropriate worst-case schedule: the failure-free pattern
+    /// (so corresponding failure-free runs are always present), then
+    /// latest crashes and crash chains (crash mode) or asymmetric
+    /// omissions (omission modes), deduplicated in order.
+    #[must_use]
+    pub fn worst_case(&self) -> Vec<FailurePattern> {
+        let mut out = vec![FailurePattern::failure_free(self.scenario.n())];
+        out.extend(self.latest_crashes());
+        out.extend(self.crash_chains());
+        out.extend(self.asymmetric_omissions());
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|p| seen.insert(p.clone()));
+        out
+    }
+
+    /// The generated system of the worst-case schedule: every initial
+    /// configuration crossed with every [`AdversarySchedule::worst_case`]
+    /// pattern. Polynomially sized where the exhaustive system is
+    /// exponential, yet containing the adversary's strongest plays.
+    #[must_use]
+    pub fn system(&self) -> GeneratedSystem {
+        let configs: Vec<InitialConfig> = InitialConfig::enumerate_all(self.scenario.n()).collect();
+        let mut specs = Vec::new();
+        for pattern in self.worst_case() {
+            for config in &configs {
+                specs.push((config.clone(), pattern.clone()));
+            }
+        }
+        GeneratedSystem::from_runs(&self.scenario, specs)
+    }
+
+    fn nonempty_faulty_sets(&self) -> impl Iterator<Item = ProcSet> {
+        enumerate::faulty_sets(self.scenario.n(), self.scenario.t())
+            .into_iter()
+            .filter(|s| !s.is_empty())
+    }
+}
+
+/// The lowest processor id outside `set` (some processor is always
+/// outside: faulty sets have at most `t < n` members).
+fn lowest_outside(set: ProcSet, n: usize) -> ProcessorId {
+    ProcessorId::all(n)
+        .find(|p| !set.contains(*p))
+        .expect("faulty sets leave at least one processor nonfaulty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eba_model::Time;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn no_chaos_injects_nothing() {
+        assert!(NoChaos.inject(FaultSite::BuilderShard, 0).is_ok());
+    }
+
+    #[test]
+    fn planned_panic_fires_exactly_once() {
+        let plan = ChaosPlan::new().with_fault(FaultSite::BuilderShard, 2, FaultKind::Panic);
+        assert!(plan.inject(FaultSite::BuilderShard, 1).is_ok());
+        let caught = catch_unwind(AssertUnwindSafe(|| plan.inject(FaultSite::BuilderShard, 2)));
+        assert!(caught.is_err());
+        // Second visit (the supervisor's retry) is clean.
+        assert!(plan.inject(FaultSite::BuilderShard, 2).is_ok());
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn capacity_fault_is_a_typed_error() {
+        let plan =
+            ChaosPlan::new().with_fault(FaultSite::BuilderShard, 0, FaultKind::CapacityExhaustion);
+        let err = plan.inject(FaultSite::BuilderShard, 0).unwrap_err();
+        assert!(matches!(err, ModelError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let sites = [FaultSite::BuilderShard, FaultSite::ReachabilityWorker];
+        let a = ChaosPlan::seeded(42, &sites, 8, 5);
+        let b = ChaosPlan::seeded(42, &sites, 8, 5);
+        assert_eq!(a.faults.len(), 5);
+        for (fa, fb) in a.faults.iter().zip(&b.faults) {
+            assert_eq!(fa.site, fb.site);
+            assert_eq!(fa.index, fb.index);
+            assert_eq!(
+                std::mem::discriminant(&fa.kind),
+                std::mem::discriminant(&fb.kind)
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_pool_computes_in_order_without_faults() {
+        let (out, faults) = supervised_indexed(17, 4, FaultSite::BuilderShard, |i| i * i).unwrap();
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn supervised_pool_recovers_from_a_single_panic() {
+        let attempts = AtomicUsize::new(0);
+        let (out, faults) = supervised_indexed(8, 4, FaultSite::BuilderShard, |i| {
+            if i == 3 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("boom in item 3");
+            }
+            i + 100
+        })
+        .unwrap();
+        assert_eq!(out, (100..108).collect::<Vec<_>>());
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].index, 3);
+        assert_eq!(faults[0].attempts, 1);
+        assert!(faults[0].message.contains("boom"));
+    }
+
+    #[test]
+    fn supervised_pool_falls_back_to_sequential() {
+        // Panic twice (initial + retry); only the sequential fallback on
+        // the supervising thread succeeds.
+        let attempts = AtomicUsize::new(0);
+        let supervisor = thread::current().id();
+        let (out, faults) = supervised_indexed(4, 2, FaultSite::ReachabilityWorker, |i| {
+            if i == 0
+                && thread::current().id() != supervisor
+                && attempts.fetch_add(1, Ordering::Relaxed) < 2
+            {
+                panic!("persistent worker fault");
+            }
+            i
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].attempts, 2);
+    }
+
+    #[test]
+    fn defeating_all_attempts_yields_a_typed_fault() {
+        let result: Result<(Vec<usize>, _), _> =
+            supervised_indexed(4, 2, FaultSite::CampaignShard, |i| {
+                if i == 1 {
+                    panic!("unrecoverable");
+                }
+                i
+            });
+        let fault = result.unwrap_err();
+        assert_eq!(
+            fault,
+            EngineFault::WorkerPanicked {
+                site: FaultSite::CampaignShard,
+                index: 1,
+                message: "unrecoverable".to_owned(),
+            }
+        );
+        assert!(fault.to_string().contains("campaign shard #1"));
+    }
+
+    #[test]
+    fn sequential_pool_has_no_supervision() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            supervised_indexed(3, 1, FaultSite::BuilderShard, |i| {
+                if i == 1 {
+                    panic!("sequential path propagates");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    fn crash_scenario() -> Scenario {
+        Scenario::new(4, 2, FailureMode::Crash, 3).unwrap()
+    }
+
+    #[test]
+    fn latest_crashes_are_valid_and_late() {
+        let scenario = crash_scenario();
+        let adversary = AdversarySchedule::new(&scenario);
+        let patterns = adversary.latest_crashes();
+        assert!(!patterns.is_empty());
+        for pattern in &patterns {
+            scenario.validate_pattern(pattern).unwrap();
+            for p in ProcessorId::all(4) {
+                if let Some(FaultyBehavior::Crash { round, .. }) = pattern.behavior(p) {
+                    assert_eq!(round.end(), Time::new(3), "crash is latest-possible");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_chains_escalate_rounds() {
+        let scenario = crash_scenario();
+        let adversary = AdversarySchedule::new(&scenario);
+        let patterns = adversary.crash_chains();
+        assert!(!patterns.is_empty());
+        for pattern in &patterns {
+            scenario.validate_pattern(pattern).unwrap();
+        }
+        // A 2-member chain: first member crashes in round 1 delivering
+        // only to the second member.
+        let two = patterns
+            .iter()
+            .find(|p| p.num_faulty() == 2)
+            .expect("t = 2 produces two-member chains");
+        let members: Vec<ProcessorId> = ProcessorId::all(4)
+            .filter(|&p| two.behavior(p).is_some())
+            .collect();
+        let Some(FaultyBehavior::Crash { round, receivers }) = two.behavior(members[0]) else {
+            panic!("chain member must crash");
+        };
+        assert_eq!(*round, Round::new(1));
+        assert_eq!(*receivers, ProcSet::singleton(members[1]));
+    }
+
+    #[test]
+    fn asymmetric_omissions_are_valid_and_asymmetric() {
+        let scenario = Scenario::new(4, 2, FailureMode::Omission, 3).unwrap();
+        let adversary = AdversarySchedule::new(&scenario);
+        let patterns = adversary.asymmetric_omissions();
+        assert!(!patterns.is_empty());
+        for pattern in &patterns {
+            scenario.validate_pattern(pattern).unwrap();
+            // Some message is omitted and some is delivered in round 1.
+            let faulty: Vec<ProcessorId> = ProcessorId::all(4)
+                .filter(|&p| pattern.behavior(p).is_some())
+                .collect();
+            let omitted_any = faulty
+                .iter()
+                .any(|&p| ProcessorId::all(4).any(|q| !pattern.delivers(p, q, Round::new(1))));
+            assert!(omitted_any);
+        }
+        // Crash mode yields none.
+        assert!(AdversarySchedule::new(&crash_scenario())
+            .asymmetric_omissions()
+            .is_empty());
+    }
+
+    #[test]
+    fn worst_case_schedule_is_deduplicated_and_starts_failure_free() {
+        let adversary = AdversarySchedule::new(&crash_scenario());
+        let patterns = adversary.worst_case();
+        assert_eq!(patterns[0].num_faulty(), 0);
+        let mut dedup = patterns.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), patterns.len());
+    }
+
+    #[test]
+    fn adversary_system_is_a_subsystem_of_the_exhaustive_one() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let adversary = AdversarySchedule::new(&scenario);
+        let system = adversary.system();
+        let exhaustive = GeneratedSystem::exhaustive(&scenario);
+        assert!(system.num_runs() > 0);
+        assert!(system.num_runs() < exhaustive.num_runs());
+        for run in system.run_ids() {
+            let record = system.run(run);
+            assert!(
+                exhaustive
+                    .find_run(&record.config, &record.pattern)
+                    .is_some(),
+                "adversarial run must exist in the exhaustive system"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_schedules_are_reproducible() {
+        let adversary = AdversarySchedule::new(&crash_scenario());
+        assert_eq!(adversary.sampled(10, 3), adversary.sampled(10, 3));
+    }
+}

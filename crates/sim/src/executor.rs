@@ -2,6 +2,61 @@
 
 use crate::{Decision, Protocol, Trace};
 use eba_model::{FailurePattern, InitialConfig, ProcessorId, Round, Time};
+use std::fmt;
+
+/// Why a checked execution ([`execute`]) rejected its inputs or the
+/// protocol's behavior.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The configuration and the failure pattern disagree on the number
+    /// of processors; together they do not describe a run.
+    ArityMismatch {
+        /// `n` according to the initial configuration.
+        config_n: usize,
+        /// `n` according to the failure pattern.
+        pattern_n: usize,
+    },
+    /// The protocol revoked or changed a decision. Decisions are
+    /// irreversible by definition (Section 2.2); a protocol that changes
+    /// its output violates the problem statement, not the model.
+    DecisionRevoked {
+        /// The processor whose decision changed.
+        processor: ProcessorId,
+        /// The time at which the changed output was observed.
+        time: Time,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ArityMismatch {
+                config_n,
+                pattern_n,
+            } => write!(
+                f,
+                "configuration ({config_n} processors) and failure pattern \
+                 ({pattern_n} processors) disagree on the number of processors"
+            ),
+            ExecError::DecisionRevoked { processor, time } => write!(
+                f,
+                "protocol revoked or changed the decision of {processor} at {time}; \
+                 decisions are irreversible"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// How strictly [`run`] polices the protocol's outputs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Checking {
+    /// Violations surface as [`ExecError`] ([`execute`]).
+    Strict,
+    /// Violations are `debug_assert`ed only ([`execute_unchecked`]).
+    Debug,
+}
 
 /// Executes `protocol` for `horizon` rounds under the given initial
 /// configuration and failure pattern, returning the complete [`Trace`].
@@ -17,11 +72,13 @@ use eba_model::{FailurePattern, InitialConfig, ProcessorId, Round, Time};
 /// * decisions are read off the output function at each time; the trace
 ///   records the first (irreversible) decision of each processor.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config` and `pattern` disagree on the number of processors.
-/// In debug builds, also panics if the protocol revokes or changes a
-/// decision (outputs are required to be irreversible).
+/// Returns [`ExecError::ArityMismatch`] when `config` and `pattern`
+/// disagree on the number of processors, and
+/// [`ExecError::DecisionRevoked`] when the protocol revokes or changes a
+/// decision (outputs are required to be irreversible). Hot paths with
+/// validated inputs can use [`execute_unchecked`] instead.
 ///
 /// # Example
 ///
@@ -40,24 +97,63 @@ use eba_model::{FailurePattern, InitialConfig, ProcessorId, Round, Time};
 /// #     fn transition(&self, s: &Value, _: ProcessorId, _: Round, _: &[Option<()>]) -> Value { *s }
 /// #     fn output(&self, s: &Value, _: ProcessorId) -> Option<Value> { Some(*s) }
 /// # }
+/// # fn main() -> Result<(), eba_sim::ExecError> {
 /// let config = InitialConfig::uniform(3, Value::One);
 /// let pattern = FailurePattern::failure_free(3);
-/// let trace = execute(&Echo, &config, &pattern, Time::new(2));
+/// let trace = execute(&Echo, &config, &pattern, Time::new(2))?;
 /// assert_eq!(trace.decided_value(ProcessorId::new(0)), Some(Value::One));
+/// # Ok(())
+/// # }
 /// ```
 pub fn execute<P: Protocol>(
     protocol: &P,
     config: &InitialConfig,
     pattern: &FailurePattern,
     horizon: Time,
+) -> Result<Trace<P::State>, ExecError> {
+    if config.n() != pattern.n() {
+        return Err(ExecError::ArityMismatch {
+            config_n: config.n(),
+            pattern_n: pattern.n(),
+        });
+    }
+    run(protocol, config, pattern, horizon, Checking::Strict)
+}
+
+/// [`execute`] without the checked contract, for hot paths whose inputs
+/// are validated upstream (e.g. runs drawn from a generated system, whose
+/// configs and patterns share the scenario's `n` by construction).
+///
+/// # Panics
+///
+/// Panics if `config` and `pattern` disagree on the number of processors.
+/// In debug builds, also panics if the protocol revokes or changes a
+/// decision; release builds skip that check entirely.
+pub fn execute_unchecked<P: Protocol>(
+    protocol: &P,
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
 ) -> Trace<P::State> {
-    let n = config.n();
     assert_eq!(
-        n,
+        config.n(),
         pattern.n(),
         "configuration and failure pattern disagree on the number of processors"
     );
+    match run(protocol, config, pattern, horizon, Checking::Debug) {
+        Ok(trace) => trace,
+        Err(e) => unreachable!("debug-mode execution never returns an error: {e}"),
+    }
+}
 
+fn run<P: Protocol>(
+    protocol: &P,
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+    horizon: Time,
+    checking: Checking,
+) -> Result<Trace<P::State>, ExecError> {
+    let n = config.n();
     let mut states: Vec<Vec<P::State>> = Vec::with_capacity(horizon.index() + 1);
     states.push(
         ProcessorId::all(n)
@@ -68,7 +164,7 @@ pub fn execute<P: Protocol>(
     let mut decisions: Vec<Option<Decision>> = vec![None; n];
     let mut messages_delivered = 0u64;
     let mut message_units = 0u64;
-    record_decisions(protocol, &states[0], Time::ZERO, &mut decisions);
+    record_decisions(protocol, &states[0], Time::ZERO, &mut decisions, checking)?;
 
     for round in Round::upto(horizon) {
         let prev = states
@@ -99,11 +195,11 @@ pub fn execute<P: Protocol>(
                 .collect();
             next.push(protocol.transition(&prev[receiver.index()], receiver, round, &received));
         }
-        record_decisions(protocol, &next, round.end(), &mut decisions);
+        record_decisions(protocol, &next, round.end(), &mut decisions, checking)?;
         states.push(next);
     }
 
-    Trace::new(
+    Ok(Trace::new(
         config.clone(),
         pattern.clone(),
         horizon,
@@ -111,7 +207,7 @@ pub fn execute<P: Protocol>(
         decisions,
         messages_delivered,
         message_units,
-    )
+    ))
 }
 
 fn record_decisions<P: Protocol>(
@@ -119,23 +215,31 @@ fn record_decisions<P: Protocol>(
     states: &[P::State],
     time: Time,
     decisions: &mut [Option<Decision>],
-) {
+    checking: Checking,
+) -> Result<(), ExecError> {
     for (idx, state) in states.iter().enumerate() {
-        let output = protocol.output(state, ProcessorId::new(idx));
+        let processor = ProcessorId::new(idx);
+        let output = protocol.output(state, processor);
         match (decisions[idx], output) {
             (None, Some(value)) => {
                 decisions[idx] = Some(Decision { value, time });
             }
             (Some(prior), new) => {
-                debug_assert_eq!(
-                    new,
-                    Some(prior.value),
-                    "protocol revoked or changed a decision at {time}"
-                );
+                if new != Some(prior.value) {
+                    match checking {
+                        Checking::Strict => {
+                            return Err(ExecError::DecisionRevoked { processor, time });
+                        }
+                        Checking::Debug => {
+                            debug_assert!(false, "protocol revoked or changed a decision at {time}")
+                        }
+                    }
+                }
             }
             (None, None) => {}
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -219,7 +323,7 @@ mod tests {
         let protocol = FloodMin { rounds: 2 };
         let config = InitialConfig::from_bits(3, 0b110); // p1 holds 0
         let pattern = FailurePattern::failure_free(3);
-        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        let trace = execute(&protocol, &config, &pattern, Time::new(3)).unwrap();
         for q in 0..3 {
             assert_eq!(trace.decided_value(p(q)), Some(Value::Zero));
             assert_eq!(trace.decision_time(p(q)), Some(Time::new(2)));
@@ -240,7 +344,7 @@ mod tests {
                 receivers: ProcSet::empty(),
             },
         );
-        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        let trace = execute(&protocol, &config, &pattern, Time::new(3)).unwrap();
         assert_eq!(trace.decided_value(p(1)), Some(Value::One));
         assert_eq!(trace.decided_value(p(2)), Some(Value::One));
         assert_eq!(trace.nonfaulty(), [p(1), p(2)].into_iter().collect());
@@ -260,7 +364,7 @@ mod tests {
                 receivers: ProcSet::singleton(p(1)),
             },
         );
-        let trace = execute(&protocol, &config, &pattern, Time::new(2));
+        let trace = execute(&protocol, &config, &pattern, Time::new(2)).unwrap();
         assert_eq!(trace.decided_value(p(1)), Some(Value::Zero));
         assert_eq!(trace.decided_value(p(2)), Some(Value::One));
         assert!(!trace.satisfies_weak_agreement());
@@ -277,7 +381,7 @@ mod tests {
                 receivers: ProcSet::empty(),
             },
         );
-        let trace = execute(&protocol, &config, &pattern, Time::new(3));
+        let trace = execute(&protocol, &config, &pattern, Time::new(3)).unwrap();
         assert_eq!(trace.state(p(0), Time::new(3)).round, 0);
         assert_eq!(trace.state(p(1), Time::new(3)).round, 3);
     }
@@ -287,8 +391,93 @@ mod tests {
         let protocol = FloodMin { rounds: 1 };
         let config = InitialConfig::uniform(2, Value::One);
         let pattern = FailurePattern::failure_free(2);
-        let trace = execute(&protocol, &config, &pattern, Time::new(1));
+        let trace = execute(&protocol, &config, &pattern, Time::new(1)).unwrap();
         // Two processors exchange one message each for one round.
         assert_eq!(trace.messages_delivered(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error() {
+        let protocol = FloodMin { rounds: 1 };
+        let config = InitialConfig::uniform(3, Value::One);
+        let pattern = FailurePattern::failure_free(4);
+        let err = execute(&protocol, &config, &pattern, Time::new(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::ArityMismatch {
+                config_n: 3,
+                pattern_n: 4,
+            }
+        );
+        assert!(err.to_string().contains("disagree"));
+    }
+
+    /// Decides 1 at time 0, then illegally flips to 0 — used to check the
+    /// revocation guard.
+    struct Fickle;
+
+    impl Protocol for Fickle {
+        type State = u16;
+        type Message = ();
+
+        fn name(&self) -> &str {
+            "fickle"
+        }
+
+        fn initial_state(&self, _p: ProcessorId, _n: usize, _v: Value) -> u16 {
+            0
+        }
+
+        fn message(&self, _: &u16, _: ProcessorId, _: ProcessorId, _: Round) -> Option<()> {
+            None
+        }
+
+        fn transition(&self, s: &u16, _: ProcessorId, _: Round, _: &[Option<()>]) -> u16 {
+            s + 1
+        }
+
+        fn output(&self, s: &u16, _p: ProcessorId) -> Option<Value> {
+            Some(if *s == 0 { Value::One } else { Value::Zero })
+        }
+    }
+
+    #[test]
+    fn decision_revocation_is_a_typed_error() {
+        let config = InitialConfig::uniform(2, Value::One);
+        let pattern = FailurePattern::failure_free(2);
+        let err = execute(&Fickle, &config, &pattern, Time::new(2)).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DecisionRevoked {
+                processor: p(0),
+                time: Time::new(1),
+            }
+        );
+        assert!(err.to_string().contains("irreversible"));
+    }
+
+    #[test]
+    fn unchecked_execution_matches_checked_on_valid_inputs() {
+        let protocol = FloodMin { rounds: 2 };
+        let config = InitialConfig::from_bits(3, 0b101);
+        let pattern = FailurePattern::failure_free(3);
+        let checked = execute(&protocol, &config, &pattern, Time::new(3)).unwrap();
+        let unchecked = execute_unchecked(&protocol, &config, &pattern, Time::new(3));
+        for q in 0..3 {
+            assert_eq!(checked.decided_value(p(q)), unchecked.decided_value(p(q)));
+            assert_eq!(
+                checked.state(p(q), Time::new(3)),
+                unchecked.state(p(q), Time::new(3))
+            );
+        }
+        assert_eq!(checked.messages_delivered(), unchecked.messages_delivered());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the number of processors")]
+    fn unchecked_execution_panics_on_arity_mismatch() {
+        let config = InitialConfig::uniform(3, Value::One);
+        let pattern = FailurePattern::failure_free(4);
+        let _ = execute_unchecked(&FloodMin { rounds: 1 }, &config, &pattern, Time::new(1));
     }
 }

@@ -173,7 +173,8 @@ mod tests {
                     &record.config,
                     &record.pattern,
                     scenario.horizon(),
-                );
+                )
+                .unwrap();
                 for time in Time::upto(scenario.horizon()) {
                     for p in ProcessorId::all(3) {
                         // The fast path freezes crashed views exactly like
@@ -199,7 +200,7 @@ mod tests {
         let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
         let config = eba_model::InitialConfig::uniform(3, Value::One);
         let pattern = eba_model::FailurePattern::failure_free(3);
-        let trace = execute(&FullInformation, &config, &pattern, scenario.horizon());
+        let trace = execute(&FullInformation, &config, &pattern, scenario.horizon()).unwrap();
         for time in Time::upto(scenario.horizon()) {
             assert_eq!(trace.state(ProcessorId::new(0), time).time(), time.ticks());
         }
@@ -211,8 +212,8 @@ mod tests {
         // up; P0opt's stay linear.
         let config = eba_model::InitialConfig::uniform(4, Value::One);
         let pattern = eba_model::FailurePattern::failure_free(4);
-        let short = execute(&FullInformation, &config, &pattern, Time::new(2));
-        let long = execute(&FullInformation, &config, &pattern, Time::new(4));
+        let short = execute(&FullInformation, &config, &pattern, Time::new(2)).unwrap();
+        let long = execute(&FullInformation, &config, &pattern, Time::new(4)).unwrap();
         // Unit growth from 2 to 4 rounds far exceeds the 2× of a linear
         // protocol.
         assert!(long.message_units() > short.message_units() * 8);
@@ -222,7 +223,7 @@ mod tests {
     fn full_information_never_decides() {
         let config = eba_model::InitialConfig::uniform(2, Value::Zero);
         let pattern = eba_model::FailurePattern::failure_free(2);
-        let trace = execute(&FullInformation, &config, &pattern, Time::new(2));
+        let trace = execute(&FullInformation, &config, &pattern, Time::new(2)).unwrap();
         assert_eq!(trace.decision(ProcessorId::new(0)), None);
     }
 }

@@ -16,7 +16,11 @@
 //!   protocol for a scenario (exhaustive or sampled), the object on which
 //!   all knowledge tests are evaluated;
 //! * [`SystemBuilder`] — staged, shard-parallel exhaustive generation
-//!   whose output is bit-identical for every thread/shard count.
+//!   whose output is bit-identical for every thread/shard count;
+//! * [`chaos`] — fault injection, `catch_unwind` worker supervision with
+//!   retry and sequential fallback, and adversarial failure schedules;
+//!   with [`eba_model::RunBudget`] this is the robustness substrate of
+//!   the engine (DESIGN.md §4c).
 //!
 //! # Example
 //!
@@ -43,10 +47,11 @@ mod system;
 mod trace;
 mod view;
 
+pub mod chaos;
 pub mod stats;
 
-pub use builder::{SystemBuilder, RUN_CAPACITY};
-pub use executor::execute;
+pub use builder::{BuildOutcome, BuildReport, SystemBuilder, RUN_CAPACITY};
+pub use executor::{execute, execute_unchecked, ExecError};
 pub use full_info::{FullInformation, View};
 pub use protocol::Protocol;
 pub use system::{GeneratedSystem, RunId, RunRecord};

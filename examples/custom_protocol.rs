@@ -115,7 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_gap = 0u16;
     for run in system.run_ids() {
         let record = system.run(run);
-        let trace = execute(&LazyRelay, &record.config, &record.pattern, Time::new(5));
+        let trace = execute(&LazyRelay, &record.config, &record.pattern, Time::new(5)).unwrap();
         for p in record.nonfaulty {
             let lazy = trace.decision_time(p).expect("decides by horizon 5");
             let opt = d_optimal

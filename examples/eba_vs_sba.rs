@@ -77,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..RUNS {
         let config = sample::random_config(N, &mut rng);
         let pattern = sampler.sample(&mut rng);
-        let eba = execute(&P0Opt::new(T), &config, &pattern, scenario.horizon());
-        let sba = execute(&SbaWaste::new(N, T), &config, &pattern, scenario.horizon());
+        let eba = execute(&P0Opt::new(T), &config, &pattern, scenario.horizon()).unwrap();
+        let sba = execute(&SbaWaste::new(N, T), &config, &pattern, scenario.horizon()).unwrap();
         eba_stats.record_trace(&eba);
         sba_stats.record_trace(&sba);
     }

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Sparse zeros so decide-1 (the f+1-bounded side) dominates.
             let config = sample::random_config_biased(N, 0.5 / N as f64, &mut rng);
             let pattern = sampler.sample(&mut rng);
-            let trace = execute(&protocol, &config, &pattern, scenario.horizon());
+            let trace = execute(&protocol, &config, &pattern, scenario.horizon()).unwrap();
             assert!(trace.satisfies_weak_agreement());
             assert!(trace.satisfies_weak_validity());
             for p in trace.nonfaulty() {
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut config_bits = (1u128 << N) - 1;
     config_bits &= !1; // processor 0 raises the alarm (value 0)
     let config = InitialConfig::from_bits(N, config_bits);
-    let trace = execute(&protocol, &config, &worst, scenario.horizon());
+    let trace = execute(&protocol, &config, &worst, scenario.horizon()).unwrap();
     let max = trace
         .last_nonfaulty_decision_time()
         .expect("all nonfaulty decide");

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut messages = 0u64;
             let mut table = Vec::with_capacity(runs.len());
             for (config, pattern) in &runs {
-                let trace = execute(&$protocol, config, pattern, scenario.horizon());
+                let trace = execute(&$protocol, config, pattern, scenario.horizon()).unwrap();
                 assert!(trace.satisfies_weak_agreement());
                 assert!(trace.satisfies_weak_validity());
                 stats.record_trace(&trace);

@@ -28,9 +28,13 @@ pub mod prelude {
         FipDecisions,
     };
     pub use eba_kripke::{Evaluator, Formula, NonRigidSet, StateSets};
+    pub use eba_model::{BudgetHit, RunBudget};
     pub use eba_model::{
         FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
         Scenario, Time, Value,
     };
-    pub use eba_sim::{execute, GeneratedSystem, Protocol, RunId, Trace};
+    pub use eba_sim::{
+        execute, execute_unchecked, BuildOutcome, ExecError, GeneratedSystem, Protocol, RunId,
+        SystemBuilder, Trace,
+    };
 }

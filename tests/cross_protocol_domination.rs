@@ -6,6 +6,7 @@
 
 use eba::prelude::*;
 use eba_protocols::{EarlyStoppingCrash, FloodMin, P0Opt, Relay};
+use eba_sim::execute_unchecked as execute;
 
 /// Decision times of every nonfaulty processor across every run of the
 /// scenario, as (run-key, per-processor times).

@@ -17,6 +17,7 @@ use eba::prelude::*;
 use eba_core::protocols::{f_lambda_2, zero_chain_pair};
 use eba_kripke::axioms;
 use eba_protocols::ChainOmission;
+use eba_sim::execute_unchecked as execute;
 
 fn general_omission_system() -> GeneratedSystem {
     let scenario = Scenario::new(3, 1, FailureMode::GeneralOmission, 2).unwrap();

@@ -8,6 +8,7 @@
 use eba::prelude::*;
 use eba_protocols::runner::run_exhaustive;
 use eba_protocols::Relay;
+use eba_sim::execute_unchecked as execute;
 
 fn decision_table(
     protocol: &Relay,

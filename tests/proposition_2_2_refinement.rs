@@ -7,6 +7,7 @@
 
 use eba::prelude::*;
 use eba_protocols::{ChainOmission, EarlyStoppingCrash, FloodMin, P0Opt, Relay};
+use eba_sim::execute_unchecked as execute;
 use std::collections::HashMap;
 use std::hash::Hash;
 

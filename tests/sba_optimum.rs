@@ -11,6 +11,7 @@
 use eba::prelude::*;
 use eba_core::protocols::sba_common_knowledge_pair;
 use eba_protocols::SbaWaste;
+use eba_sim::execute_unchecked as execute;
 
 fn check(n: usize, t: usize, horizon: u16) {
     let scenario = Scenario::new(n, t, FailureMode::Crash, horizon).unwrap();

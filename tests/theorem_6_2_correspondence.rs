@@ -9,6 +9,7 @@
 use eba::prelude::*;
 use eba_core::protocols::f_lambda_2;
 use eba_protocols::P0Opt;
+use eba_sim::execute_unchecked as execute;
 
 /// Executes P0opt on every run of `system` and compares every nonfaulty
 /// processor's (value, time) decision with the `F^{Λ,2}` decisions.
