@@ -31,6 +31,11 @@ OPTIONS:
                      exhaustive system
     --threads N      worker threads for system generation and knowledge
                      evaluation (default: all available cores)
+    --plan           evaluate via compiled plans: formulas are lowered to
+                     a deduplicated DAG of bitset kernels over the
+                     columnar point store (default)
+    --no-plan        evaluate with the recursive reference evaluator
+                     instead; results are bit-identical to --plan
     --shards K       split exhaustive generation into K shards (default:
                      4 per thread; the result is identical for any K)
     --deadline SECS  wall-clock budget for exhaustive generation; on
@@ -90,6 +95,7 @@ struct Options {
     max_runs: Option<u64>,
     witness: bool,
     quiet: bool,
+    plan: bool,
     timeline: bool,
     config: Option<String>,
     pattern: Option<String>,
@@ -109,6 +115,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_runs: None,
         witness: false,
         quiet: false,
+        plan: true,
         timeline: false,
         config: None,
         pattern: None,
@@ -175,6 +182,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--witness" => options.witness = true,
             "--quiet" => options.quiet = true,
+            "--plan" => options.plan = true,
+            "--no-plan" => options.plan = false,
             "--timeline" => options.timeline = true,
             "--config" => options.config = Some(take("--config")?),
             "--pattern" => options.pattern = Some(take("--pattern")?),
@@ -433,6 +442,7 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let mut eval = Evaluator::new(&system);
+    eval.set_plan_mode(options.plan);
     if let Some(threads) = options.threads {
         eval.set_threads(threads);
     }

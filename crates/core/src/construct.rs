@@ -17,6 +17,12 @@
 //! agreement protocol dominating `F` (an optimal EBA protocol when `F` is
 //! an EBA protocol). The test suites verify that a third step is a fixed
 //! point.
+//!
+//! The constructor's formulas are evaluated through the compiled-plan
+//! engine of `eba_kripke::plan` (the evaluator default); pass-through
+//! access via [`Constructor::evaluator`] +
+//! [`Evaluator::set_plan_mode`] selects the recursive reference path,
+//! which produces bit-identical decision sets.
 
 use crate::{DecisionPair, FipDecisions};
 use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};

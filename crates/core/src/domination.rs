@@ -165,8 +165,7 @@ mod tests {
     fn decide_one_at(system: &GeneratedSystem, at: u16) -> FipDecisions {
         let table = system.table();
         let mut one = StateSets::empty(3);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             if table.time(v) >= Time::new(at) {
                 one.insert(table.proc(v), v);
             }

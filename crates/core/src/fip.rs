@@ -177,8 +177,7 @@ mod tests {
         let table = system.table();
         let mut zero = StateSets::empty(3);
         let mut one = StateSets::empty(3);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             let owner = table.proc(v);
             match table.own_value(v) {
                 Value::Zero => zero.insert(owner, v),
@@ -224,8 +223,7 @@ mod tests {
         let table = system.table();
         let mut zero = StateSets::empty(3);
         let mut one = StateSets::empty(3);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             if table.proc(v) != p(0) {
                 continue;
             }
@@ -261,8 +259,7 @@ mod tests {
         // Put p0's every view in both sets.
         let mut zero = StateSets::empty(3);
         let mut one = StateSets::empty(3);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             if table.proc(v) == p(0) {
                 zero.insert(p(0), v);
                 one.insert(p(0), v);

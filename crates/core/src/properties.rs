@@ -195,8 +195,7 @@ mod tests {
         let table = system.table();
         let mut zero = StateSets::empty(3);
         let mut one = StateSets::empty(3);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             let owner = table.proc(v);
             match table.own_value(v) {
                 Value::Zero => zero.insert(owner, v),

@@ -159,6 +159,62 @@ impl Bitset {
         })
     }
 
+    /// In-place `self &= (¬antecedent ∨ consequent)` — intersects `self`
+    /// with the pointwise implication `antecedent → consequent`. This is
+    /// the word-level form of one conjunct of `E_S φ`: a point survives
+    /// unless the processor is in scope there (`antecedent`) and fails to
+    /// believe (`¬consequent`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_implication(&mut self, antecedent: &Bitset, consequent: &Bitset) {
+        assert_eq!(self.len, antecedent.len);
+        assert_eq!(self.len, consequent.len);
+        for ((w, a), c) in self
+            .words
+            .iter_mut()
+            .zip(&antecedent.words)
+            .zip(&consequent.words)
+        {
+            *w &= !a | c;
+        }
+        // `&=` cannot set bits, so canonical inputs stay canonical; the
+        // clear keeps that true even for a non-canonical `self`.
+        self.clear_tail();
+    }
+
+    /// In-place `self |= (a ∧ b)` — unions the pointwise conjunction into
+    /// `self`. This is the word-level form of one disjunct of `S_S φ`:
+    /// a point joins when the processor is in scope (`a`) and believes
+    /// (`b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn or_conjunction(&mut self, a: &Bitset, b: &Bitset) {
+        assert_eq!(self.len, a.len);
+        assert_eq!(self.len, b.len);
+        for ((w, a), b) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
+            *w |= a & b;
+        }
+    }
+
+    /// In-place `self ∧= ¬other` — removes every index set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn and_not(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        // `&=` cannot set bits, so canonical inputs stay canonical; the
+        // clear keeps that true even for a non-canonical `self`.
+        self.clear_tail();
+    }
+
     /// Whether `self ⊆ other` (as sets of `true` indices).
     ///
     /// # Panics
@@ -269,6 +325,52 @@ mod tests {
         assert_eq!(or.ones().collect::<Vec<_>>(), vec![1, 2, 3]);
         assert!(and.is_subset(&a));
         assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn and_implication_matches_bitwise_definition() {
+        // 70 bits so the tail word is partial: and_implication's `!a`
+        // must not resurrect tail bits.
+        let mut scope = Bitset::new_false(70);
+        let mut believes = Bitset::new_false(70);
+        for i in 0..70 {
+            if i % 2 == 0 {
+                scope.set(i, true);
+            }
+            if i % 3 == 0 {
+                believes.set(i, true);
+            }
+        }
+        let mut out = Bitset::new_true(70);
+        out.and_implication(&scope, &believes);
+        for i in 0..70 {
+            assert_eq!(out.get(i), !scope.get(i) || believes.get(i), "bit {i}");
+        }
+        // Canonical tail: equality with a reconstructed bitset holds.
+        let mut expect = Bitset::new_false(70);
+        for i in 0..70 {
+            expect.set(i, !scope.get(i) || believes.get(i));
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn or_conjunction_matches_bitwise_definition() {
+        let mut scope = Bitset::new_false(70);
+        let mut believes = Bitset::new_false(70);
+        for i in 0..70 {
+            if i % 2 == 1 {
+                scope.set(i, true);
+            }
+            if i % 5 == 0 {
+                believes.set(i, true);
+            }
+        }
+        let mut out = Bitset::new_false(70);
+        out.or_conjunction(&scope, &believes);
+        for i in 0..70 {
+            assert_eq!(out.get(i), scope.get(i) && believes.get(i), "bit {i}");
+        }
     }
 
     #[test]

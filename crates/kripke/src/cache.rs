@@ -10,17 +10,26 @@
 //! any number of evaluators, including the fresh evaluators the
 //! construction pipeline spins up per optimization step. Lookups take a
 //! mutex, but only on the first request per `(evaluator, set)` pair; after
-//! that the evaluator's local memo answers.
+//! that the evaluator's local memo answers. The compiled evaluation plans
+//! (`plan` module) share their per-processor *scope columns* here too,
+//! under the same content keys.
 //!
 //! A cache is only meaningful for evaluators over the **same generated
 //! system**: reachability indexes the system's points. Sharing one across
 //! systems is caught in debug builds (the point counts disagree) but is
 //! undefined behaviorally in release builds — make a new cache per system.
 
+use crate::bitset::Bitset;
 use crate::eval::Reachability;
 use eba_sim::ViewId;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Per-processor scope columns of a nonrigid set: entry `p` is the set of
+/// points at which processor `p` belongs to `S(r, k)`. Built once per
+/// `(system, set)` by the compiled-plan kernels and shared here alongside
+/// reachability, under the same content key.
+pub(crate) type ScopeColumns = Arc<Vec<Bitset>>;
 
 /// The content of a nonrigid set, independent of any evaluator's id
 /// numbering: the `NonfaultyAnd` variant carries the sorted per-processor
@@ -57,6 +66,7 @@ pub(crate) enum ReachKey {
 #[derive(Clone, Debug, Default)]
 pub struct KnowledgeCache {
     reach: Arc<Mutex<HashMap<ReachKey, Arc<Reachability>>>>,
+    scopes: Arc<Mutex<HashMap<ReachKey, ScopeColumns>>>,
 }
 
 impl KnowledgeCache {
@@ -90,6 +100,10 @@ impl KnowledgeCache {
     /// Panics if the cache mutex is poisoned.
     pub fn clear(&self) {
         self.reach.lock().expect("knowledge cache poisoned").clear();
+        self.scopes
+            .lock()
+            .expect("knowledge cache poisoned")
+            .clear();
     }
 
     pub(crate) fn get(&self, key: &ReachKey) -> Option<Arc<Reachability>> {
@@ -102,6 +116,21 @@ impl KnowledgeCache {
 
     pub(crate) fn insert(&self, key: ReachKey, value: Arc<Reachability>) {
         self.reach
+            .lock()
+            .expect("knowledge cache poisoned")
+            .insert(key, value);
+    }
+
+    pub(crate) fn get_scopes(&self, key: &ReachKey) -> Option<ScopeColumns> {
+        self.scopes
+            .lock()
+            .expect("knowledge cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn insert_scopes(&self, key: ReachKey, value: ScopeColumns) {
+        self.scopes
             .lock()
             .expect("knowledge cache poisoned")
             .insert(key, value);

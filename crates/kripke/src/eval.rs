@@ -1,16 +1,25 @@
 //! The memoizing formula evaluator over a generated system.
 
 use crate::bitset::Bitset;
-use crate::cache::{KnowledgeCache, ReachKey};
+use crate::cache::{KnowledgeCache, ReachKey, ScopeColumns};
 use crate::formula::Formula;
 use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
+use crate::plan::FormulaPlan;
 use crate::uf::UnionFind;
 use eba_model::{ModelError, ProcSet, ProcessorId, Time};
 use eba_sim::chaos::{supervised_indexed, FaultInjector, FaultSite, NoChaos};
 use eba_sim::{GeneratedSystem, RunId, ViewId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::sync::OnceLock;
 use std::thread;
+
+/// Available parallelism, probed once: it is a syscall, and evaluators
+/// are constructed in inner loops.
+fn default_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| thread::available_parallelism().map_or(1, |p| p.get()))
+}
 
 /// Ids interned by the evaluator are `u32`s; this is how many of each
 /// kind it can issue.
@@ -106,18 +115,20 @@ impl Reachability {
 /// # }
 /// ```
 pub struct Evaluator<'a> {
-    system: &'a GeneratedSystem,
-    n: usize,
-    times: usize,
-    num_points: usize,
+    pub(crate) system: &'a GeneratedSystem,
+    pub(crate) n: usize,
+    pub(crate) times: usize,
+    pub(crate) num_points: usize,
     threads: usize,
     state_sets: Vec<StateSets>,
     run_preds: Vec<Vec<bool>>,
     point_preds: Vec<Arc<Bitset>>,
-    cache: HashMap<Formula, Arc<Bitset>>,
+    pub(crate) cache: HashMap<Formula, Arc<Bitset>>,
     reach_cache: HashMap<NonRigidSet, Arc<Reachability>>,
+    scope_cache: HashMap<NonRigidSet, ScopeColumns>,
     shared: KnowledgeCache,
     chaos: Arc<dyn FaultInjector>,
+    plan_mode: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -142,15 +153,32 @@ impl<'a> Evaluator<'a> {
             n,
             times,
             num_points: system.num_runs() * times,
-            threads: thread::available_parallelism().map_or(1, |p| p.get()),
+            threads: default_threads(),
             state_sets: Vec::new(),
             run_preds: Vec::new(),
             point_preds: Vec::new(),
             cache: HashMap::new(),
             reach_cache: HashMap::new(),
+            scope_cache: HashMap::new(),
             shared: cache,
             chaos: Arc::new(NoChaos),
+            plan_mode: true,
         }
+    }
+
+    /// Switches between the compiled-plan evaluation pipeline (the
+    /// default) and the recursive reference evaluator. Both produce
+    /// bit-identical results; the recursive path is kept as the oracle
+    /// for differential testing and debugging.
+    pub fn set_plan_mode(&mut self, enabled: bool) {
+        self.plan_mode = enabled;
+    }
+
+    /// Whether formulas are evaluated through compiled plans (see
+    /// [`FormulaPlan`]).
+    #[must_use]
+    pub fn plan_mode(&self) -> bool {
+        self.plan_mode
     }
 
     /// Sets the number of worker threads used to collect reachability
@@ -343,13 +371,32 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates a formula, returning the set of points satisfying it.
+    ///
+    /// In plan mode (the default) the formula is lowered to a
+    /// [`FormulaPlan`] — a deduplicated DAG of dense-bitset kernels —
+    /// and executed over the system's columnar [`eba_sim::PointStore`];
+    /// otherwise the recursive reference evaluator runs. Both paths
+    /// produce bit-identical bitsets and share the same per-subformula
+    /// memo, so they can be mixed freely on one evaluator.
     pub fn eval(&mut self, formula: &Formula) -> Arc<Bitset> {
         if let Some(cached) = self.cache.get(formula) {
             return Arc::clone(cached);
         }
+        if self.plan_mode {
+            let plan = FormulaPlan::compile(formula);
+            return self.eval_plan(&plan);
+        }
         let result = Arc::new(self.compute(formula));
         self.cache.insert(formula.clone(), Arc::clone(&result));
         result
+    }
+
+    /// Executes a compiled plan, returning the extension of its root.
+    ///
+    /// Every cacheable node's result is recorded in (and served from)
+    /// the same formula-keyed memo that [`Evaluator::eval`] uses.
+    pub fn eval_plan(&mut self, plan: &FormulaPlan) -> Arc<Bitset> {
+        crate::plan::execute(self, plan)
     }
 
     /// Whether the formula holds at the given point.
@@ -378,22 +425,27 @@ impl<'a> Evaluator<'a> {
     /// `p` has that view.
     pub fn views_where(&mut self, p: ProcessorId, formula: &Formula) -> HashSet<ViewId> {
         let set = self.eval(formula);
-        let mut status: HashMap<ViewId, bool> = HashMap::new();
-        for run in self.system.run_ids() {
-            for time in Time::upto(self.system.horizon()) {
-                let idx = self.point_index(run, time);
-                let v = self.system.view(run, p, time);
-                let entry = status.entry(v).or_insert(true);
-                *entry &= set.get(idx);
-            }
+        // A view qualifies iff its bucket (the points where `p` has it)
+        // is nonempty and contains no point falsifying the formula, so
+        // walk the falsifying points and disqualify their buckets.
+        let store = self.system.points();
+        let column = store.column(p);
+        let (offsets, _) = store.buckets(p);
+        let table = self.system.table();
+        let mut bad = vec![false; table.len()];
+        let mut unsat = Bitset::clone(&set);
+        unsat.invert();
+        for pt in unsat.ones() {
+            bad[column[pt].index()] = true;
         }
-        status
-            .into_iter()
-            .filter_map(|(v, ok)| ok.then_some(v))
+        table
+            .ids()
+            .zip(offsets.windows(2))
+            .filter_map(|(v, w)| (w[0] != w[1] && !bad[v.index()]).then_some(v))
             .collect()
     }
 
-    fn broadcast_run_level<F: Fn(RunId) -> bool>(&self, f: F) -> Bitset {
+    pub(crate) fn broadcast_run_level<F: Fn(RunId) -> bool>(&self, f: F) -> Bitset {
         let mut out = Bitset::new_false(self.num_points);
         for run in self.system.run_ids() {
             if f(run) {
@@ -505,106 +557,164 @@ impl<'a> Evaluator<'a> {
             Formula::Common(s, inner) => {
                 let phi = self.eval(inner);
                 let reach = self.reachability(*s);
-                // comp_sat[c] = φ holds at every point of component c.
-                let mut comp_sat = vec![true; reach.num_point_comps];
-                for idx in 0..self.num_points {
-                    if let Some(c) = reach.point_component(idx) {
-                        if !phi.get(idx) {
-                            comp_sat[c as usize] = false;
-                        }
-                    }
-                }
-                let mut out = Bitset::new_false(self.num_points);
-                for idx in 0..self.num_points {
-                    let ok = match reach.point_component(idx) {
-                        None => true, // S empty here: E_S^k vacuous for all k
-                        Some(c) => comp_sat[c as usize],
-                    };
-                    out.set(idx, ok);
-                }
-                out
+                self.common_from_reach(&phi, &reach)
             }
             Formula::ContinualCommon(s, inner) => {
                 let phi = self.eval(inner);
                 let reach = self.reachability(*s);
-                // run_comp_sat[rc] = φ holds at every S-nonempty point of
-                // every run in run-component rc.
-                let num_run_comps = self
-                    .system
-                    .run_ids()
-                    .map(|r| reach.run_component(r) as usize + 1)
-                    .max()
-                    .unwrap_or(0);
-                let mut run_comp_sat = vec![true; num_run_comps];
-                for idx in 0..self.num_points {
-                    if reach.point_component(idx).is_some() && !phi.get(idx) {
-                        let (run, _) = self.point_of(idx);
-                        run_comp_sat[reach.run_component(run) as usize] = false;
-                    }
-                }
-                let mut out = Bitset::new_false(self.num_points);
-                for run in self.system.run_ids() {
-                    let ok = if reach.run_has_s_points(run) {
-                        run_comp_sat[reach.run_component(run) as usize]
-                    } else {
-                        true // no reachable points at all: vacuously true
-                    };
-                    if ok {
-                        for time in 0..self.times {
-                            out.set(run.index() * self.times + time, true);
-                        }
-                    }
-                }
-                out
+                self.continual_common_from_reach(&phi, &reach)
             }
             Formula::Always(inner) => {
                 let phi = self.eval(inner);
-                let mut out = Bitset::new_false(self.num_points);
-                for run in self.system.run_ids() {
-                    let base = run.index() * self.times;
-                    let mut suffix = true;
-                    for time in (0..self.times).rev() {
-                        suffix &= phi.get(base + time);
-                        out.set(base + time, suffix);
-                    }
-                }
-                out
+                self.always_of(&phi)
             }
             Formula::Eventually(inner) => {
                 let phi = self.eval(inner);
-                let mut out = Bitset::new_false(self.num_points);
-                for run in self.system.run_ids() {
-                    let base = run.index() * self.times;
-                    let mut suffix = false;
-                    for time in (0..self.times).rev() {
-                        suffix |= phi.get(base + time);
-                        out.set(base + time, suffix);
-                    }
-                }
-                out
+                self.eventually_of(&phi)
             }
             Formula::AlwaysAll(inner) => {
                 let phi = self.eval(inner);
-                self.broadcast_run_level(|run| {
-                    let base = run.index() * self.times;
-                    (0..self.times).all(|time| phi.get(base + time))
-                })
+                self.always_all_of(&phi)
             }
             Formula::SometimeAll(inner) => {
                 let phi = self.eval(inner);
-                self.broadcast_run_level(|run| {
-                    let base = run.index() * self.times;
-                    (0..self.times).any(|time| phi.get(base + time))
-                })
+                self.sometime_all_of(&phi)
             }
         }
+    }
+
+    /// `C_S φ` from a reachability structure: φ holds throughout the
+    /// point's component (vacuously where `S` is empty). Shared between
+    /// the recursive evaluator and the plan's `ReachClose` kernel.
+    pub(crate) fn common_from_reach(&self, phi: &Bitset, reach: &Reachability) -> Bitset {
+        // comp_sat[c] = φ holds at every point of component c.
+        let mut comp_sat = vec![true; reach.num_point_comps];
+        for idx in 0..self.num_points {
+            if let Some(c) = reach.point_component(idx) {
+                if !phi.get(idx) {
+                    comp_sat[c as usize] = false;
+                }
+            }
+        }
+        let mut out = Bitset::new_false(self.num_points);
+        for idx in 0..self.num_points {
+            let ok = match reach.point_component(idx) {
+                None => true, // S empty here: E_S^k vacuous for all k
+                Some(c) => comp_sat[c as usize],
+            };
+            out.set(idx, ok);
+        }
+        out
+    }
+
+    /// `C□_S φ` from a reachability structure: the run-component
+    /// projection of [`Evaluator::common_from_reach`].
+    pub(crate) fn continual_common_from_reach(&self, phi: &Bitset, reach: &Reachability) -> Bitset {
+        // run_comp_sat[rc] = φ holds at every S-nonempty point of
+        // every run in run-component rc.
+        let num_run_comps = self
+            .system
+            .run_ids()
+            .map(|r| reach.run_component(r) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut run_comp_sat = vec![true; num_run_comps];
+        for idx in 0..self.num_points {
+            if reach.point_component(idx).is_some() && !phi.get(idx) {
+                let (run, _) = self.point_of(idx);
+                run_comp_sat[reach.run_component(run) as usize] = false;
+            }
+        }
+        let mut out = Bitset::new_false(self.num_points);
+        for run in self.system.run_ids() {
+            let ok = if reach.run_has_s_points(run) {
+                run_comp_sat[reach.run_component(run) as usize]
+            } else {
+                true // no reachable points at all: vacuously true
+            };
+            if ok {
+                for time in 0..self.times {
+                    out.set(run.index() * self.times + time, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// `□φ` as a per-run suffix conjunction of the input bitset.
+    pub(crate) fn always_of(&self, phi: &Bitset) -> Bitset {
+        let mut out = Bitset::new_false(self.num_points);
+        for run in self.system.run_ids() {
+            let base = run.index() * self.times;
+            let mut suffix = true;
+            for time in (0..self.times).rev() {
+                suffix &= phi.get(base + time);
+                out.set(base + time, suffix);
+            }
+        }
+        out
+    }
+
+    /// `◇φ` as a per-run suffix disjunction of the input bitset.
+    pub(crate) fn eventually_of(&self, phi: &Bitset) -> Bitset {
+        let mut out = Bitset::new_false(self.num_points);
+        for run in self.system.run_ids() {
+            let base = run.index() * self.times;
+            let mut suffix = false;
+            for time in (0..self.times).rev() {
+                suffix |= phi.get(base + time);
+                out.set(base + time, suffix);
+            }
+        }
+        out
+    }
+
+    /// `□̄φ` (at all times of the run) broadcast to every point of the run.
+    pub(crate) fn always_all_of(&self, phi: &Bitset) -> Bitset {
+        self.broadcast_run_level(|run| {
+            let base = run.index() * self.times;
+            (0..self.times).all(|time| phi.get(base + time))
+        })
+    }
+
+    /// `◇̄φ` (at some time of the run) broadcast to every point of the run.
+    pub(crate) fn sometime_all_of(&self, phi: &Bitset) -> Bitset {
+        self.broadcast_run_level(|run| {
+            let base = run.index() * self.times;
+            (0..self.times).any(|time| phi.get(base + time))
+        })
+    }
+
+    /// Evaluates a leaf formula (no subformulas) directly; the plan's
+    /// `Load` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-leaf formula — the plan compiler only
+    /// emits `Load` for leaves.
+    pub(crate) fn compute_leaf(&mut self, formula: &Formula) -> Bitset {
+        debug_assert!(
+            matches!(
+                formula,
+                Formula::True
+                    | Formula::False
+                    | Formula::Exists(_)
+                    | Formula::Initial(..)
+                    | Formula::Nonfaulty(_)
+                    | Formula::StateIn(..)
+                    | Formula::RunPred(_)
+                    | Formula::PointPred(_)
+            ),
+            "Load kernel applied to a non-leaf formula"
+        );
+        self.compute(formula)
     }
 
     /// Shared implementation of `K_p` (with `restrict = None`) and `B^S_p`
     /// (with `restrict = Some(S)`): the result at a point depends only on
     /// `p`'s view there, and is the conjunction of `φ` over all points
     /// where `p` has that view (and, for `B`, belongs to `S`).
-    fn knowledge_like(
+    pub(crate) fn knowledge_like(
         &mut self,
         p: ProcessorId,
         phi: &Bitset,
@@ -645,7 +755,7 @@ impl<'a> Evaluator<'a> {
     /// `(S(p), members' views)`; `D` holds iff φ holds throughout the
     /// bucket. With `S(p)` empty every point is indistinguishable and the
     /// operator is vacuous (matching `E_S`'s convention).
-    fn distributed_knowledge(&mut self, s: NonRigidSet, phi: &Bitset) -> Bitset {
+    pub(crate) fn distributed_knowledge(&mut self, s: NonRigidSet, phi: &Bitset) -> Bitset {
         use std::collections::hash_map::Entry;
         let mut bucket_of: Vec<u32> = vec![u32::MAX; self.num_points];
         let mut sat: Vec<bool> = Vec::new();
@@ -730,22 +840,89 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// The per-processor scope columns of `s`: entry `p` is the bitset of
+    /// points at which `p ∈ S(r, k)` (the column form of
+    /// [`Evaluator::members`], used by the plan kernels).
+    ///
+    /// Lookup is staged like [`Evaluator::reachability`]: the local memo,
+    /// then the shared [`KnowledgeCache`] under the set's content key,
+    /// then a fresh columnar build over the [`eba_sim::PointStore`].
+    pub(crate) fn scope_columns(&mut self, s: NonRigidSet) -> ScopeColumns {
+        if let Some(cached) = self.scope_cache.get(&s) {
+            return Arc::clone(cached);
+        }
+        let key = self.reach_key(s);
+        let built = match self.shared.get_scopes(&key) {
+            Some(shared) => {
+                debug_assert!(
+                    shared.iter().all(|b| b.len() == self.num_points),
+                    "knowledge cache shared across different systems"
+                );
+                shared
+            }
+            None => {
+                let built = Arc::new(self.build_scope_columns(s));
+                self.shared.insert_scopes(key, Arc::clone(&built));
+                built
+            }
+        };
+        self.scope_cache.insert(s, Arc::clone(&built));
+        built
+    }
+
+    fn build_scope_columns(&self, s: NonRigidSet) -> Vec<Bitset> {
+        let store = self.system.points();
+        ProcessorId::all(self.n)
+            .map(|p| match s {
+                NonRigidSet::Everyone => Bitset::new_true(self.num_points),
+                NonRigidSet::Nonfaulty => {
+                    self.broadcast_run_level(|r| self.system.nonfaulty(r).contains(p))
+                }
+                NonRigidSet::NonfaultyAnd(id) => {
+                    let sets = &self.state_sets[id.0 as usize];
+                    // Membership test per interned view, then a column
+                    // scan — no hashing per point.
+                    let mut in_sets = vec![false; self.system.table().len()];
+                    for v in self.system.table().ids() {
+                        in_sets[v.index()] = sets.contains(p, v);
+                    }
+                    let mut out =
+                        self.broadcast_run_level(|r| self.system.nonfaulty(r).contains(p));
+                    for (idx, v) in store.column(p).iter().enumerate() {
+                        if !in_sets[v.index()] {
+                            out.set(idx, false);
+                        }
+                    }
+                    out
+                }
+            })
+            .collect()
+    }
+
     /// Collects the union edges contributed by processor `i`: one edge per
     /// `S`-containing point after the first per distinct view of `i`.
+    ///
+    /// Walks the precomputed CSR bucket partition of the
+    /// [`eba_sim::PointStore`] rather than rescanning and hashing views.
+    /// Buckets hold their points in increasing point order, so each
+    /// bucket's first `S`-containing point is exactly the root a
+    /// sequential point scan would pick — the edge *set* (and hence the
+    /// union-find partition) is identical to the scan-based reference.
     fn collect_reach_edges(&self, i: ProcessorId, s_members: &[ProcSet]) -> Vec<(u32, u32)> {
-        let mut first_by_view = vec![u32::MAX; self.system.table().len()];
+        let store = self.system.points();
+        let (offsets, items) = store.buckets(i);
         let mut edges = Vec::new();
-        for run in self.system.run_ids() {
-            for time in Time::upto(self.system.horizon()) {
-                let idx = self.point_index(run, time);
-                if !s_members[idx].contains(i) {
+        for b in offsets.windows(2) {
+            let bucket = &items[b[0] as usize..b[1] as usize];
+            let mut root = u32::MAX;
+            for &idx in bucket {
+                if !s_members[idx as usize].contains(i) {
                     continue;
                 }
-                let v = self.system.view(run, i, time).index();
-                if first_by_view[v] == u32::MAX {
-                    first_by_view[v] = idx as u32;
+                if root == u32::MAX {
+                    root = idx;
                 } else {
-                    edges.push((first_by_view[v], idx as u32));
+                    edges.push((root, idx));
                 }
             }
         }

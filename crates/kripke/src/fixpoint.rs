@@ -44,12 +44,7 @@ impl std::error::Error for GfpInterrupt {}
 /// Returns the satisfaction bitset and the number of iterations needed
 /// (including the final confirming pass).
 pub fn common_by_gfp(eval: &mut Evaluator<'_>, s: NonRigidSet, phi: &Formula) -> (Bitset, usize) {
-    unlimited(gfp(
-        eval,
-        phi,
-        |inner| inner.everyone(s),
-        &RunBudget::unlimited().arm(),
-    ))
+    unlimited(gfp(eval, phi, s, false, &RunBudget::unlimited().arm()))
 }
 
 /// Computes `C□_S φ` by greatest-fixed-point iteration of
@@ -59,12 +54,7 @@ pub fn continual_common_by_gfp(
     s: NonRigidSet,
     phi: &Formula,
 ) -> (Bitset, usize) {
-    unlimited(gfp(
-        eval,
-        phi,
-        |inner| inner.everyone_box(s),
-        &RunBudget::unlimited().arm(),
-    ))
+    unlimited(gfp(eval, phi, s, true, &RunBudget::unlimited().arm()))
 }
 
 /// [`common_by_gfp`] under a budget: the deadline is checked once per
@@ -81,7 +71,7 @@ pub fn common_by_gfp_governed(
     phi: &Formula,
     budget: &ArmedBudget,
 ) -> Result<(Bitset, usize), GfpInterrupt> {
-    gfp(eval, phi, |inner| inner.everyone(s), budget)
+    gfp(eval, phi, s, false, budget)
 }
 
 /// [`continual_common_by_gfp`] under a budget; see
@@ -97,7 +87,7 @@ pub fn continual_common_by_gfp_governed(
     phi: &Formula,
     budget: &ArmedBudget,
 ) -> Result<(Bitset, usize), GfpInterrupt> {
-    gfp(eval, phi, |inner| inner.everyone_box(s), budget)
+    gfp(eval, phi, s, true, budget)
 }
 
 /// Unwraps a governed result produced under an unlimited budget, where
@@ -110,21 +100,35 @@ fn unlimited(result: Result<(Bitset, usize), GfpInterrupt>) -> (Bitset, usize) {
     }
 }
 
-/// Iterates `X ← step(φ ∧ X)` from `X = True` until stable, checking the
-/// budget's deadline cooperatively at each iteration.
+/// Iterates `X ← E_S(φ ∧ X)` (boxed: `X ← □̄ E_S(φ ∧ X)`) from `X = True`
+/// until stable, checking the budget's deadline cooperatively at each
+/// iteration.
 ///
-/// The intermediate `X` is injected into formulas as a registered point
-/// predicate, so each iteration is a single evaluator pass; the evaluator
-/// cache is still effective for the `φ` sub-evaluation.
-fn gfp<F>(
+/// In plan mode (the evaluator default) the loop runs as the compiled
+/// `GfpIter` kernel — a native bitset iteration over the columnar point
+/// store that never constructs intermediate formulas (see
+/// [`crate::plan`]). Otherwise the intermediate `X` is injected into
+/// formulas as a registered point predicate, so each iteration is a
+/// single evaluator pass; the evaluator cache is still effective for the
+/// `φ` sub-evaluation. Both paths perform the same iteration sequence
+/// and return bit-identical results and iteration counts.
+fn gfp(
     eval: &mut Evaluator<'_>,
     phi: &Formula,
-    step: F,
+    s: NonRigidSet,
+    boxed: bool,
     budget: &ArmedBudget,
-) -> Result<(Bitset, usize), GfpInterrupt>
-where
-    F: Fn(Formula) -> Formula,
-{
+) -> Result<(Bitset, usize), GfpInterrupt> {
+    if eval.plan_mode() {
+        return crate::plan::gfp(eval, s, phi, boxed, budget);
+    }
+    let step = |inner: Formula| {
+        if boxed {
+            inner.everyone_box(s)
+        } else {
+            inner.everyone(s)
+        }
+    };
     let mut current = Bitset::new_true(eval.num_points());
     let mut iterations = 0;
     loop {

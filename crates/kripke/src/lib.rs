@@ -8,6 +8,10 @@
 //!   `S_S` (someone), `D_S` (distributed), `C_S`, `C□_S`, `□`, `◇`, `□̄`;
 //! * [`Evaluator`] — a memoizing model checker mapping each formula to the
 //!   exact set of points of a [`eba_sim::GeneratedSystem`] satisfying it;
+//! * [`FormulaPlan`] ([`plan`]) — formulas compiled to a deduplicated DAG
+//!   of dense-bitset kernels over the columnar [`eba_sim::PointStore`];
+//!   the evaluator's default engine, with the recursive walk kept as a
+//!   reference oracle ([`Evaluator::set_plan_mode`]);
 //! * [`StateSets`] / [`NonRigidSet`] — decision-set families and the
 //!   nonrigid sets `N`, `N ∧ A` they induce;
 //! * [`axioms`] — checkers for the S5 properties of `K_i`
@@ -54,10 +58,12 @@ pub mod axioms;
 pub mod explain;
 pub mod fixpoint;
 pub mod parse;
+pub mod plan;
 
 pub use bitset::Bitset;
 pub use cache::KnowledgeCache;
 pub use eval::{Evaluator, Reachability};
 pub use formula::Formula;
 pub use nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
+pub use plan::{FormulaPlan, Kernel, KnowKind, TemporalOp};
 pub use uf::UnionFind;

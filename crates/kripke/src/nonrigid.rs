@@ -162,8 +162,7 @@ impl StateSets {
     #[must_use]
     pub fn with_value_seen(table: &ViewTable, n: usize, value: Value) -> StateSets {
         let mut sets = StateSets::empty(n);
-        for idx in 0..table.len() {
-            let v = eba_sim::ViewId::from_index(idx);
+        for v in table.ids() {
             if table.exists_value(v, value) {
                 let owner = table.proc(v);
                 if owner.index() < n {

@@ -65,7 +65,7 @@ pub use budget::{ArmedBudget, BudgetHit, RunBudget};
 pub use config::InitialConfig;
 pub use error::ModelError;
 pub use failure::{FailureMode, FailurePattern, FaultyBehavior};
-pub use ids::ProcessorId;
+pub use ids::{PointId, ProcessorId, POINT_CAPACITY};
 pub use procset::{subsets as procset_subsets, ProcSet, Subsets};
 pub use scenario::Scenario;
 pub use space::{ScenarioSpace, Shard, ShardPatterns};

@@ -450,6 +450,9 @@ fn merge(
             break;
         }
     }
+    // `from_parts` finishes by building the columnar `PointStore` over the
+    // merged views, so even a budget-partial system carries its columns
+    // and CSR bucket partitions.
     let system = GeneratedSystem::from_parts(scenario, runs, views, table, lookup);
     Ok((system, merged, hit))
 }

@@ -17,6 +17,9 @@
 //!   all knowledge tests are evaluated;
 //! * [`SystemBuilder`] — staged, shard-parallel exhaustive generation
 //!   whose output is bit-identical for every thread/shard count;
+//! * [`PointStore`] — the columnar (struct-of-arrays) point store built
+//!   alongside every system: per-processor view columns and CSR bucket
+//!   partitions that back the compiled evaluation plans of `eba-kripke`;
 //! * [`chaos`] — fault injection, `catch_unwind` worker supervision with
 //!   retry and sequential fallback, and adversarial failure schedules;
 //!   with [`eba_model::RunBudget`] this is the robustness substrate of
@@ -42,6 +45,7 @@
 mod builder;
 mod executor;
 mod full_info;
+mod points;
 mod protocol;
 mod system;
 mod trace;
@@ -53,6 +57,7 @@ pub mod stats;
 pub use builder::{BuildOutcome, BuildReport, SystemBuilder, RUN_CAPACITY};
 pub use executor::{execute, execute_unchecked, ExecError};
 pub use full_info::{FullInformation, View};
+pub use points::PointStore;
 pub use protocol::Protocol;
 pub use system::{GeneratedSystem, RunId, RunRecord};
 pub use trace::{Decision, Trace};

@@ -1,11 +1,13 @@
 //! Generated systems: the set of runs of the full-information protocol.
 
 use crate::builder::{SystemBuilder, RUN_CAPACITY};
+use crate::points::PointStore;
 use crate::view::{fip_views, ViewId, ViewTable};
 use eba_model::{
     sample, FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Scenario, Time,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Identifies a run within a [`GeneratedSystem`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -83,6 +85,9 @@ pub struct GeneratedSystem {
     views: Vec<ViewId>,
     table: ViewTable,
     lookup: HashMap<(u128, FailurePattern), RunId>,
+    /// The columnar point store over the same views, built once at system
+    /// construction and shared by every clone of the system.
+    store: Arc<PointStore>,
 }
 
 impl GeneratedSystem {
@@ -167,17 +172,14 @@ impl GeneratedSystem {
             });
         }
 
-        GeneratedSystem {
-            scenario: *scenario,
-            runs,
-            views,
-            table,
-            lookup,
-        }
+        Self::from_parts(*scenario, runs, views, table, lookup)
     }
 
     /// Assembles a system from parts the [`SystemBuilder`] has already
-    /// validated (runs in enumeration order, views remapped to `table`).
+    /// validated (runs in enumeration order, views remapped to `table`),
+    /// finishing with the columnar [`PointStore`] — this is the single
+    /// point where the store is built, so every construction path
+    /// (exhaustive, sampled, sharded, budget-partial) carries one.
     pub(crate) fn from_parts(
         scenario: Scenario,
         runs: Vec<RunRecord>,
@@ -185,12 +187,21 @@ impl GeneratedSystem {
         table: ViewTable,
         lookup: HashMap<(u128, FailurePattern), RunId>,
     ) -> Self {
+        let times = scenario.horizon().index() + 1;
+        let store = Arc::new(PointStore::build(
+            scenario.n(),
+            times,
+            runs.len(),
+            &views,
+            &table,
+        ));
         GeneratedSystem {
             scenario,
             runs,
             views,
             table,
             lookup,
+            store,
         }
     }
 
@@ -254,6 +265,14 @@ impl GeneratedSystem {
     #[must_use]
     pub fn table(&self) -> &ViewTable {
         &self.table
+    }
+
+    /// The columnar point store: per-processor view columns and CSR
+    /// bucket partitions over this system's points (see
+    /// [`PointStore`]).
+    #[must_use]
+    pub fn points(&self) -> &PointStore {
+        &self.store
     }
 
     /// Finds the run with the given configuration and pattern, if present

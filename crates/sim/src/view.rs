@@ -132,6 +132,17 @@ impl ViewTable {
         self.nodes.is_empty()
     }
 
+    /// Iterates over every interned [`ViewId`] in interning order.
+    ///
+    /// This is the panic-free way to walk a table: indices below
+    /// [`ViewTable::len`] are ids the table itself issued, so no
+    /// [`ViewId::from_index`] conversion (with its overflow panic path)
+    /// is ever needed at call sites.
+    pub fn ids(&self) -> impl DoubleEndedIterator<Item = ViewId> + Clone {
+        // Interning bounds len to VIEW_CAPACITY, so the cast is lossless.
+        (0..self.nodes.len() as u32).map(ViewId)
+    }
+
     fn try_intern(&mut self, node: ViewNode, meta: ViewMeta) -> Result<ViewId, ModelError> {
         if let Some(&id) = self.index.get(&node) {
             return Ok(id);
@@ -626,6 +637,15 @@ mod tests {
     fn try_from_index_rejects_oversized_indices() {
         assert_eq!(ViewId::try_from_index(7), Some(ViewId::from_index(7)));
         assert_eq!(ViewId::try_from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn ids_walks_the_table_in_interning_order() {
+        let mut t = ViewTable::new();
+        let a = t.leaf(p(0), Value::Zero);
+        let b = t.leaf(p(1), Value::One);
+        assert_eq!(t.ids().collect::<Vec<_>>(), vec![a, b]);
+        assert!(t.ids().all(|v| v.index() < t.len()));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Differential suite for the compiled evaluation plans: on random
+//! formulas and across scenario spaces, the plan pipeline (CSR knowledge
+//! kernels, word-level `E_S`/`S_S`, native gfp iteration) must produce
+//! **bit-identical** extensions to the recursive reference evaluator —
+//! including on chaos-supervised reachability and on budget-partial
+//! systems.
+
+use eba::prelude::*;
+use eba_kripke::fixpoint;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn crash_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    })
+}
+
+fn omission_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    })
+}
+
+/// A sampled (non-exhaustive) scenario space: the plan kernels must not
+/// assume anything about which runs are present.
+fn sampled_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
+        GeneratedSystem::sampled(&scenario, 120, 0xEBA)
+    })
+}
+
+/// A generator of epistemic-temporal formulas over 3 processors (no
+/// registered ids, so formulas are portable across evaluators).
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        Just(Formula::exists(Value::Zero)),
+        Just(Formula::exists(Value::One)),
+        (0usize..3, prop_oneof![Just(Value::Zero), Just(Value::One)])
+            .prop_map(|(i, v)| Formula::Initial(ProcessorId::new(i), v)),
+        (0usize..3).prop_map(|i| Formula::Nonfaulty(ProcessorId::new(i))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (0usize..3, inner.clone()).prop_map(|(i, f)| f.known_by(ProcessorId::new(i))),
+            (0usize..3, inner.clone())
+                .prop_map(|(i, f)| { f.believed_by(ProcessorId::new(i), NonRigidSet::Nonfaulty) }),
+            inner
+                .clone()
+                .prop_map(|f| f.everyone(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.someone(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.distributed(NonRigidSet::Nonfaulty)),
+            inner.clone().prop_map(|f| f.common(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.continual_common(NonRigidSet::Nonfaulty)),
+            inner.clone().prop_map(Formula::always),
+            inner.clone().prop_map(Formula::eventually),
+            inner.clone().prop_map(Formula::always_all),
+            inner.prop_map(Formula::sometime_all),
+        ]
+    })
+}
+
+/// Evaluates `phi` twice over `system` — compiled plan vs recursive
+/// oracle — and asserts the extensions are bit-identical.
+fn assert_plan_matches_oracle(
+    system: &GeneratedSystem,
+    phi: &Formula,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let mut compiled = Evaluator::new(system);
+    let mut oracle = Evaluator::new(system);
+    oracle.set_plan_mode(false);
+    prop_assert!(compiled.plan_mode(), "plan mode must be the default");
+    let via_plan = compiled.eval(phi);
+    let via_rec = oracle.eval(phi);
+    prop_assert_eq!(
+        &*via_plan,
+        &*via_rec,
+        "compiled plan and recursive oracle disagree on {} over {}",
+        phi,
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core differential property: on random formulas, plan extensions
+    /// equal the recursive evaluator's on exhaustive crash and omission
+    /// systems and on a sampled scenario space.
+    #[test]
+    fn plan_matches_recursive_oracle(
+        phi in formula_strategy(),
+        which in 0usize..3,
+    ) {
+        let (system, label) = match which {
+            0 => (crash_system(), "crash (exhaustive)"),
+            1 => (omission_system(), "omission (exhaustive)"),
+            _ => (sampled_system(), "crash (sampled)"),
+        };
+        assert_plan_matches_oracle(system, &phi, label)?;
+    }
+
+    /// The native `GfpIter` loop (plan mode) matches the formula-iteration
+    /// loop (recursive mode) in result *and* iteration count, for both
+    /// `C_S` and `C□_S`.
+    #[test]
+    fn gfp_kernel_matches_formula_iteration(
+        phi in formula_strategy(),
+        crash in proptest::bool::ANY,
+        continual in proptest::bool::ANY,
+    ) {
+        let system = if crash { crash_system() } else { omission_system() };
+        let mut plan_eval = Evaluator::new(system);
+        let mut rec_eval = Evaluator::new(system);
+        rec_eval.set_plan_mode(false);
+        let s = NonRigidSet::Nonfaulty;
+        let ((a, ia), (b, ib)) = if continual {
+            (
+                fixpoint::continual_common_by_gfp(&mut plan_eval, s, &phi),
+                fixpoint::continual_common_by_gfp(&mut rec_eval, s, &phi),
+            )
+        } else {
+            (
+                fixpoint::common_by_gfp(&mut plan_eval, s, &phi),
+                fixpoint::common_by_gfp(&mut rec_eval, s, &phi),
+            )
+        };
+        prop_assert_eq!(&a, &b, "gfp engines disagree on {}", &phi);
+        prop_assert_eq!(ia, ib, "gfp iteration counts diverge on {}", &phi);
+    }
+}
+
+/// The optimization pipeline must produce the *same decision sets* either
+/// way: `optimize` under plans equals `optimize` under the recursive
+/// evaluator, down to the per-view decision tables.
+#[test]
+fn construction_decision_vectors_agree() {
+    let system = crash_system();
+    let bases = [
+        DecisionPair::empty(3),
+        eba_core::protocols::crash_rule(&mut Constructor::new(system)),
+    ];
+    for base in bases {
+        let mut plan_ctor = Constructor::new(system);
+        assert!(plan_ctor.evaluator().plan_mode());
+        let mut rec_ctor = Constructor::new(system);
+        rec_ctor.evaluator().set_plan_mode(false);
+        let optimized_plan = plan_ctor.optimize(&base);
+        let optimized_rec = rec_ctor.optimize(&base);
+        assert_eq!(
+            optimized_plan, optimized_rec,
+            "optimized decision pairs diverge between plan and recursive evaluation"
+        );
+        // And the run-level decision vectors they induce.
+        let d_plan = FipDecisions::compute(system, &optimized_plan, "plan");
+        let d_rec = FipDecisions::compute(system, &optimized_rec, "recursive");
+        for r in system.run_ids() {
+            for i in ProcessorId::all(3) {
+                let a = d_plan.decision(r, i).map(|d| (d.time, d.value));
+                let b = d_rec.decision(r, i).map(|d| (d.time, d.value));
+                assert_eq!(a, b, "decision of {i} in run {} diverges", r.index());
+            }
+        }
+    }
+}
+
+/// Chaos supervision must stay invisible to the plan pipeline: with a
+/// fault injected into a reachability worker, plan-mode evaluation still
+/// matches a fault-free recursive oracle bit for bit.
+#[test]
+fn plan_matches_oracle_under_chaos_supervision() {
+    use eba_sim::chaos::{ChaosPlan, FaultInjector, FaultKind, FaultSite};
+    use std::sync::Arc;
+    // Big enough that reachability edge collection fans out to the
+    // supervised worker pool, so the injected panic lands in a worker.
+    let scenario = Scenario::new(3, 2, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let phi = Formula::exists(Value::Zero);
+    let formula = phi
+        .clone()
+        .continual_common(NonRigidSet::Nonfaulty)
+        .or(phi.common(NonRigidSet::Everyone).not());
+
+    let mut oracle = Evaluator::new(&system);
+    oracle.set_plan_mode(false);
+    oracle.set_threads(1);
+    let want = oracle.eval(&formula);
+
+    let chaos =
+        Arc::new(ChaosPlan::new().with_fault(FaultSite::ReachabilityWorker, 0, FaultKind::Panic));
+    let mut chaotic = Evaluator::new(&system);
+    chaotic.set_threads(4);
+    chaotic.set_chaos(Arc::clone(&chaos) as Arc<dyn FaultInjector>);
+    let got = chaotic.eval(&formula);
+    assert_eq!(chaos.fired(), 1, "the planned worker panic must have fired");
+    assert_eq!(*got, *want, "chaos recovery changed a plan-mode extension");
+}
+
+/// Budget-partial systems (prefix of shards) still build their point
+/// store, and plan extensions on them equal the recursive oracle's.
+#[test]
+fn plan_matches_oracle_on_budget_partial_system() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let outcome = SystemBuilder::new(&scenario)
+        .threads(2)
+        .shards(8)
+        .budget(RunBudget::unlimited().with_max_runs(40))
+        .build_governed()
+        .expect("governed build failed");
+    let system = match outcome {
+        BuildOutcome::Partial { system, .. } => system,
+        BuildOutcome::Complete { .. } => {
+            panic!("max-runs budget should have cut the build short")
+        }
+    };
+    assert!(system.num_runs() > 0, "need a nonempty partial prefix");
+    let store = system.points();
+    assert_eq!(store.num_points(), system.num_points());
+
+    let phi = Formula::exists(Value::One);
+    for formula in [
+        phi.clone().everyone(NonRigidSet::Nonfaulty),
+        phi.clone().common(NonRigidSet::Nonfaulty),
+        phi.clone().continual_common(NonRigidSet::Nonfaulty).not(),
+        phi.clone().distributed(NonRigidSet::Everyone).eventually(),
+    ] {
+        let mut compiled = Evaluator::new(&system);
+        let mut oracle = Evaluator::new(&system);
+        oracle.set_plan_mode(false);
+        assert_eq!(
+            *compiled.eval(&formula),
+            *oracle.eval(&formula),
+            "partial-system extensions diverge on {formula}"
+        );
+    }
+}
