@@ -44,6 +44,9 @@ OPTIONS:
     --max-runs N     cap on generated runs, honored at shard granularity;
                      exceeding it also yields a PARTIAL prefix verdict
     --witness        also print a point where the formula holds
+    --cache-stats    after the verdict, print knowledge-cache counters
+                     (reachability and scope-column hits/misses, interned
+                     scope dedup) on a `cache:` line
     --quiet          print only the verdict line
     --timeline       timeline mode: print per-time truth values of the
                      FORMULAs along one run, selected with --config and
@@ -94,6 +97,7 @@ struct Options {
     deadline: Option<Duration>,
     max_runs: Option<u64>,
     witness: bool,
+    cache_stats: bool,
     quiet: bool,
     plan: bool,
     timeline: bool,
@@ -114,6 +118,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline: None,
         max_runs: None,
         witness: false,
+        cache_stats: false,
         quiet: false,
         plan: true,
         timeline: false,
@@ -181,6 +186,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.max_runs = Some(max);
             }
             "--witness" => options.witness = true,
+            "--cache-stats" => options.cache_stats = true,
             "--quiet" => options.quiet = true,
             "--plan" => options.plan = true,
             "--no-plan" => options.plan = false,
@@ -447,6 +453,12 @@ fn run() -> Result<ExitCode, String> {
         eval.set_threads(threads);
     }
 
+    let print_cache_stats = |eval: &Evaluator| {
+        if options.cache_stats {
+            println!("cache: {}", eval.knowledge_cache().stats());
+        }
+    };
+
     if let Some((config, pattern)) = timeline_run {
         let run = system
             .find_run(&config, &pattern)
@@ -454,6 +466,7 @@ fn run() -> Result<ExitCode, String> {
         println!("run: {config} under [{pattern}]");
         let timeline = Timeline::build(&mut eval, run, &formulas);
         println!("{timeline}");
+        print_cache_stats(&eval);
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -464,6 +477,7 @@ fn run() -> Result<ExitCode, String> {
 
     if holding == total {
         println!("VALID ({total} points)");
+        print_cache_stats(&eval);
         return Ok(ExitCode::SUCCESS);
     }
     println!("NOT VALID: holds at {holding}/{total} points");
@@ -479,6 +493,7 @@ fn run() -> Result<ExitCode, String> {
             None => println!("witness: none (formula is unsatisfiable here)"),
         }
     }
+    print_cache_stats(&eval);
     Ok(ExitCode::from(1))
 }
 

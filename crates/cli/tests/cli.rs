@@ -81,6 +81,31 @@ fn sampled_systems_work() {
 }
 
 #[test]
+fn cache_stats_flag_prints_counters() {
+    let (stdout, _, code) = run(&["--cache-stats", "CC(E0) -> C(E0)"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let cache_line = stdout
+        .lines()
+        .find(|l| l.starts_with("cache: "))
+        .unwrap_or_else(|| panic!("no cache line in {stdout}"));
+    assert!(cache_line.contains("reachability"), "{cache_line}");
+    assert!(cache_line.contains("scope columns"), "{cache_line}");
+    // CC and C over Everyone both need reachability, so the shared cache
+    // must have seen at least one reachability miss.
+    assert!(
+        !cache_line.contains("reachability 0 hits / 0 misses"),
+        "{cache_line}"
+    );
+}
+
+#[test]
+fn cache_stats_off_by_default() {
+    let (stdout, _, code) = run(&["CC(E0) -> C(E0)"]);
+    assert_eq!(code, Some(0));
+    assert!(!stdout.contains("cache:"), "{stdout}");
+}
+
+#[test]
 fn parse_errors_exit_two() {
     let (_, stderr, code) = run(&["E0 &"]);
     assert_eq!(code, Some(2));

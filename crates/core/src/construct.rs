@@ -25,7 +25,7 @@
 //! which produces bit-identical decision sets.
 
 use crate::{DecisionPair, FipDecisions};
-use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};
+use eba_kripke::{BatchBuilder, Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};
 use eba_model::{ProcessorId, Value};
 use eba_sim::GeneratedSystem;
 
@@ -99,9 +99,7 @@ impl<'a> Constructor<'a> {
         let mut sets = StateSets::empty(n);
         for i in ProcessorId::all(n) {
             let formula = make(i);
-            for v in self.eval.views_where(i, &formula) {
-                sets.insert(i, v);
-            }
+            self.eval.views_where_into(i, &formula, &mut sets);
         }
         sets
     }
@@ -116,17 +114,10 @@ impl<'a> Constructor<'a> {
     pub fn step_zero(&mut self, pair: &DecisionPair) -> DecisionPair {
         let o_id = self.eval.register_state_sets(pair.one().clone());
         let s = NonRigidSet::NonfaultyAnd(o_id);
+        self.prefetch_step_sets(s);
         let c0 = Formula::exists(Value::Zero).continual_common(s);
-        let zero = self.views_satisfying(|i| {
-            Formula::exists(Value::Zero)
-                .and(c0.clone())
-                .believed_by(i, NonRigidSet::Nonfaulty)
-        });
-        let one = self.views_satisfying(|i| {
-            Formula::exists(Value::One)
-                .and(c0.clone().not())
-                .believed_by(i, NonRigidSet::Nonfaulty)
-        });
+        let zero = self.views_believed(Formula::exists(Value::Zero).and(c0.clone()));
+        let one = self.views_believed(Formula::exists(Value::One).and(c0.not()));
         DecisionPair::new(zero, one)
     }
 
@@ -140,18 +131,43 @@ impl<'a> Constructor<'a> {
     pub fn step_one(&mut self, pair: &DecisionPair) -> DecisionPair {
         let z_id = self.eval.register_state_sets(pair.zero().clone());
         let s = NonRigidSet::NonfaultyAnd(z_id);
+        self.prefetch_step_sets(s);
         let c1 = Formula::exists(Value::One).continual_common(s);
-        let zero = self.views_satisfying(|i| {
-            Formula::exists(Value::Zero)
-                .and(c1.clone().not())
-                .believed_by(i, NonRigidSet::Nonfaulty)
-        });
-        let one = self.views_satisfying(|i| {
-            Formula::exists(Value::One)
-                .and(c1.clone())
-                .believed_by(i, NonRigidSet::Nonfaulty)
-        });
+        let zero = self.views_believed(Formula::exists(Value::Zero).and(c1.clone().not()));
+        let one = self.views_believed(Formula::exists(Value::One).and(c1));
         DecisionPair::new(zero, one)
+    }
+
+    /// Resolves everything an optimization step will ask of the knowledge
+    /// engine in one batched sweep: the `C□_S` closure needs `S`'s
+    /// reachability components, and every `B^N_i` extraction needs `N`'s
+    /// scope columns. Skipped in recursive (oracle) mode, which stays on
+    /// the per-set path.
+    fn prefetch_step_sets(&mut self, s: NonRigidSet) {
+        if !(self.eval.plan_mode() && self.eval.batch_mode()) {
+            return;
+        }
+        let mut batch = BatchBuilder::new();
+        batch.request_reachability(s);
+        batch.request_scopes(NonRigidSet::Nonfaulty);
+        batch.run(&mut self.eval);
+    }
+
+    /// The decision sets `{ v : B^N_i ψ throughout v }` for every
+    /// processor. In batched plan mode this is the fused all-processor
+    /// extraction ([`Evaluator::views_believing`]: `ψ` evaluated once,
+    /// one bucket sweep per processor); in oracle modes it evaluates the
+    /// explicit `B^N_i ψ` formulas per processor, preserving the per-set
+    /// reference path the differential tests compare against.
+    fn views_believed(&mut self, psi: Formula) -> StateSets {
+        if self.eval.plan_mode() && self.eval.batch_mode() {
+            let mut sets = StateSets::empty(self.system().n());
+            self.eval
+                .views_believing(NonRigidSet::Nonfaulty, &psi, &mut sets);
+            sets
+        } else {
+            self.views_satisfying(|i| psi.clone().believed_by(i, NonRigidSet::Nonfaulty))
+        }
     }
 
     /// The two-step construction of Theorem 5.2:

@@ -101,7 +101,17 @@ impl Bitset {
     /// Whether every bit is `true`.
     #[must_use]
     pub fn all(&self) -> bool {
-        self.count_ones() == self.len
+        if self.len == 0 {
+            return true;
+        }
+        let tail = self.len % 64;
+        let full = if tail == 0 {
+            self.words.len()
+        } else {
+            self.words.len() - 1
+        };
+        self.words[..full].iter().all(|&w| w == u64::MAX)
+            && (tail == 0 || self.words[full] == (1u64 << tail) - 1)
     }
 
     /// Whether any bit is `true`.
@@ -157,6 +167,61 @@ impl Bitset {
                 }
             })
         })
+    }
+
+    /// Iterates over the indices of `false` bits in increasing order,
+    /// word-parallel: whole `u64::MAX` words are skipped in one compare
+    /// and set bits are found with `trailing_zeros` on the complement.
+    pub fn zeros(&self) -> impl Iterator<Item = usize> + '_ {
+        let len = self.len;
+        self.words.iter().enumerate().flat_map(move |(k, &w)| {
+            // Complement, masking bits past `len` in the tail word so they
+            // do not show up as spurious zeros.
+            let mut w = !w;
+            let tail = len.saturating_sub(k * 64);
+            if tail < 64 {
+                w &= (1u64 << tail) - 1;
+            }
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(k * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Sets every bit in `start..end` to `true`, whole words at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return;
+        }
+        let (first, last) = (start / 64, (end - 1) / 64);
+        let head = !0u64 << (start % 64);
+        let tail = !0u64 >> (63 - (end - 1) % 64);
+        if first == last {
+            self.words[first] |= head & tail;
+        } else {
+            self.words[first] |= head;
+            for w in &mut self.words[first + 1..last] {
+                *w = u64::MAX;
+            }
+            self.words[last] |= tail;
+        }
+    }
+
+    /// Mutable access to the backing words. Callers must keep the
+    /// canonical-tail invariant: bits at and above `len` stay zero.
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
     }
 
     /// In-place `self &= (¬antecedent ∨ consequent)` — intersects `self`
@@ -378,5 +443,46 @@ mod tests {
     fn get_out_of_range_panics() {
         let s = Bitset::new_false(3);
         let _ = s.get(3);
+    }
+
+    #[test]
+    fn zeros_iterator_respects_tail() {
+        // 130 bits: two full words plus a 2-bit tail, so the complement
+        // must not leak phantom zeros past `len`.
+        let mut s = Bitset::new_true(130);
+        for i in [0, 63, 64, 129] {
+            s.set(i, false);
+        }
+        assert_eq!(s.zeros().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        let t = Bitset::new_true(130);
+        assert_eq!(t.zeros().count(), 0);
+        let f = Bitset::new_false(70);
+        assert_eq!(f.zeros().count(), 70);
+    }
+
+    #[test]
+    fn set_range_matches_per_bit_fill() {
+        for (start, end) in [(0, 0), (0, 64), (3, 7), (60, 70), (0, 200), (63, 129)] {
+            let mut fast = Bitset::new_false(200);
+            fast.set_range(start, end);
+            let mut slow = Bitset::new_false(200);
+            for i in start..end {
+                slow.set(i, true);
+            }
+            assert_eq!(fast, slow, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn all_is_word_exact() {
+        for len in [0, 1, 63, 64, 65, 128, 130] {
+            let t = Bitset::new_true(len);
+            assert!(t.all(), "all-true of length {len}");
+            if len > 0 {
+                let mut missing = Bitset::new_true(len);
+                missing.set(len - 1, false);
+                assert!(!missing.all(), "length {len} with last bit clear");
+            }
+        }
     }
 }

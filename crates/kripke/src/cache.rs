@@ -14,6 +14,24 @@
 //! (`plan` module) share their per-processor *scope columns* here too,
 //! under the same content keys.
 //!
+//! Content keys can be expensive to canonicalize and to hash (a
+//! `NonfaultyAnd` key carries every view of a state-set family), so the
+//! cache works with **pre-hashed** keys ([`HashedReachKey`]): the
+//! evaluator canonicalizes and hashes a set once, then reuses that digest
+//! across its staged reachability *and* scope lookups, and across the
+//! get/insert pair of a miss. Internally entries live in buckets keyed by
+//! the digest, with full-key equality resolving (astronomically unlikely)
+//! collisions.
+//!
+//! Scope columns are additionally **interned by content**: two distinct
+//! nonrigid sets that resolve to identical per-processor membership
+//! vectors (common in crash/omission sweeps that keep rebuilding
+//! `N − F(r, t)`-style sets under fresh state-set families) share one
+//! `Arc` instead of storing duplicate column vectors.
+//!
+//! [`KnowledgeCache::stats`] exposes hit/miss/dedup counters; the CLI
+//! prints them under `eba-check --cache-stats`.
+//!
 //! A cache is only meaningful for evaluators over the **same generated
 //! system**: reachability indexes the system's points. Sharing one across
 //! systems is caught in debug builds (the point counts disagree) but is
@@ -21,24 +39,136 @@
 
 use crate::bitset::Bitset;
 use crate::eval::Reachability;
-use eba_sim::ViewId;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Per-processor scope columns of a nonrigid set: entry `p` is the set of
 /// points at which processor `p` belongs to `S(r, k)`. Built once per
 /// `(system, set)` by the compiled-plan kernels and shared here alongside
 /// reachability, under the same content key.
-pub(crate) type ScopeColumns = Arc<Vec<Bitset>>;
+pub type ScopeColumns = Arc<Vec<Bitset>>;
 
 /// The content of a nonrigid set, independent of any evaluator's id
-/// numbering: the `NonfaultyAnd` variant carries the sorted per-processor
-/// view lists of the state-set family.
+/// numbering: the `NonfaultyAnd` variant carries the per-processor
+/// membership words of the state-set family
+/// ([`crate::nonrigid::ViewSet::words`], trimmed and therefore
+/// canonical).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) enum ReachKey {
     Everyone,
     Nonfaulty,
-    NonfaultyAnd(Vec<Box<[ViewId]>>),
+    NonfaultyAnd(Vec<Box<[u64]>>),
+}
+
+/// A [`ReachKey`] paired with its content digest, computed **once** at
+/// construction. Every cache operation — reachability get, reachability
+/// insert, scope get, scope insert — reuses the digest instead of
+/// re-hashing the (potentially large) key.
+#[derive(Clone, Debug)]
+pub(crate) struct HashedReachKey {
+    hash: u64,
+    key: ReachKey,
+}
+
+impl HashedReachKey {
+    pub(crate) fn new(key: ReachKey) -> Self {
+        // FNV-1a over the canonical content: one multiply-xor per
+        // membership *word* (64 views), not per view. Digests are
+        // deterministic, which is all an in-memory cache needs;
+        // collisions are resolved by full-key equality in the bucket
+        // maps.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            hash ^= x;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        match &key {
+            ReachKey::Everyone => mix(1),
+            ReachKey::Nonfaulty => mix(2),
+            ReachKey::NonfaultyAnd(families) => {
+                mix(3);
+                for words in families {
+                    mix(words.len() as u64);
+                    for &w in words.iter() {
+                        mix(w);
+                    }
+                }
+            }
+        }
+        HashedReachKey { hash, key }
+    }
+}
+
+/// Digest-keyed bucket map: entries whose keys share a digest live in one
+/// bucket and are resolved by full-key equality.
+type BucketMap<V> = HashMap<u64, Vec<(ReachKey, V)>>;
+
+fn bucket_get<V: Clone>(map: &BucketMap<V>, key: &HashedReachKey) -> Option<V> {
+    map.get(&key.hash)?
+        .iter()
+        .find(|(k, _)| *k == key.key)
+        .map(|(_, v)| v.clone())
+}
+
+fn bucket_insert<V>(map: &mut BucketMap<V>, key: &HashedReachKey, value: V) {
+    let bucket = map.entry(key.hash).or_default();
+    match bucket.iter_mut().find(|(k, _)| *k == key.key) {
+        Some(slot) => slot.1 = value,
+        None => bucket.push((key.key.clone(), value)),
+    }
+}
+
+/// Monotonic counters behind [`CacheStats`]; shared by all clones of a
+/// cache handle.
+#[derive(Debug, Default)]
+struct Counters {
+    reach_hits: AtomicU64,
+    reach_misses: AtomicU64,
+    scope_hits: AtomicU64,
+    scope_misses: AtomicU64,
+    scope_interned: AtomicU64,
+    scope_deduped: AtomicU64,
+}
+
+/// A snapshot of a [`KnowledgeCache`]'s counters; see
+/// [`KnowledgeCache::stats`]. Hits count both evaluator-local memo hits
+/// and shared-cache hits (the work was saved either way); misses count
+/// fresh computations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Reachability lookups answered from a memo or the shared cache.
+    pub reach_hits: u64,
+    /// Reachability structures computed fresh.
+    pub reach_misses: u64,
+    /// Scope-column lookups answered from a memo or the shared cache.
+    pub scope_hits: u64,
+    /// Scope-column vectors extracted fresh.
+    pub scope_misses: u64,
+    /// Distinct scope-column contents held by the interning pool.
+    pub scope_interned: u64,
+    /// Freshly extracted scope-column vectors that matched an interned
+    /// entry and were deduplicated to a shared `Arc`.
+    pub scope_deduped: u64,
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reachability {} hits / {} misses; scope columns {} hits / {} misses; \
+             interned scopes {} unique / {} deduped",
+            self.reach_hits,
+            self.reach_misses,
+            self.scope_hits,
+            self.scope_misses,
+            self.scope_interned,
+            self.scope_deduped,
+        )
+    }
 }
 
 /// A shareable, thread-safe memo of [`Reachability`] structures; see the
@@ -60,13 +190,23 @@ pub(crate) enum ReachKey {
 /// let mut second = Evaluator::with_cache(&system, cache.clone());
 /// second.reachability(NonRigidSet::Nonfaulty); // served from the cache
 /// assert_eq!(cache.len(), 1);
+/// assert_eq!(cache.stats().reach_misses, 1);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct KnowledgeCache {
-    reach: Arc<Mutex<HashMap<ReachKey, Arc<Reachability>>>>,
-    scopes: Arc<Mutex<HashMap<ReachKey, ScopeColumns>>>,
+    reach: Arc<Mutex<BucketMap<Arc<Reachability>>>>,
+    scopes: Arc<Mutex<ScopeStore>>,
+    counters: Arc<Counters>,
+}
+
+/// Scope-column storage: the key-addressed map plus the content-addressed
+/// interning pool (digest buckets of distinct column vectors).
+#[derive(Debug, Default)]
+struct ScopeStore {
+    by_key: BucketMap<ScopeColumns>,
+    pool: HashMap<u64, Vec<ScopeColumns>>,
 }
 
 impl KnowledgeCache {
@@ -83,7 +223,12 @@ impl KnowledgeCache {
     /// Panics if the cache mutex is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.reach.lock().expect("knowledge cache poisoned").len()
+        self.reach
+            .lock()
+            .expect("knowledge cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Whether nothing is cached yet.
@@ -92,47 +237,147 @@ impl KnowledgeCache {
         self.len() == 0
     }
 
+    /// A snapshot of the cache's hit/miss/interning counters. Counters
+    /// are monotonic over the cache's lifetime and survive [`clear`]
+    /// (which drops entries, not history).
+    ///
+    /// [`clear`]: KnowledgeCache::clear
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let c = &self.counters;
+        CacheStats {
+            reach_hits: c.reach_hits.load(Ordering::Relaxed),
+            reach_misses: c.reach_misses.load(Ordering::Relaxed),
+            scope_hits: c.scope_hits.load(Ordering::Relaxed),
+            scope_misses: c.scope_misses.load(Ordering::Relaxed),
+            scope_interned: c.scope_interned.load(Ordering::Relaxed),
+            scope_deduped: c.scope_deduped.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drops every cached structure (e.g. to bound memory between
-    /// scenarios when reusing one cache handle).
+    /// scenarios when reusing one cache handle). Counters are preserved.
     ///
     /// # Panics
     ///
     /// Panics if the cache mutex is poisoned.
     pub fn clear(&self) {
         self.reach.lock().expect("knowledge cache poisoned").clear();
-        self.scopes
-            .lock()
-            .expect("knowledge cache poisoned")
-            .clear();
+        let mut scopes = self.scopes.lock().expect("knowledge cache poisoned");
+        scopes.by_key.clear();
+        scopes.pool.clear();
     }
 
-    pub(crate) fn get(&self, key: &ReachKey) -> Option<Arc<Reachability>> {
-        self.reach
-            .lock()
-            .expect("knowledge cache poisoned")
-            .get(key)
-            .cloned()
+    /// Counts a lookup answered by an evaluator-local memo, so
+    /// [`stats`](KnowledgeCache::stats) reflects all saved work.
+    pub(crate) fn note_local_hit(&self, scope: bool) {
+        let counter = if scope {
+            &self.counters.scope_hits
+        } else {
+            &self.counters.reach_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn insert(&self, key: ReachKey, value: Arc<Reachability>) {
-        self.reach
-            .lock()
-            .expect("knowledge cache poisoned")
-            .insert(key, value);
+    pub(crate) fn get(&self, key: &HashedReachKey) -> Option<Arc<Reachability>> {
+        let found = bucket_get(&self.reach.lock().expect("knowledge cache poisoned"), key);
+        let counter = if found.is_some() {
+            &self.counters.reach_hits
+        } else {
+            &self.counters.reach_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
     }
 
-    pub(crate) fn get_scopes(&self, key: &ReachKey) -> Option<ScopeColumns> {
-        self.scopes
-            .lock()
-            .expect("knowledge cache poisoned")
-            .get(key)
-            .cloned()
+    pub(crate) fn insert(&self, key: &HashedReachKey, value: Arc<Reachability>) {
+        bucket_insert(
+            &mut self.reach.lock().expect("knowledge cache poisoned"),
+            key,
+            value,
+        );
     }
 
-    pub(crate) fn insert_scopes(&self, key: ReachKey, value: ScopeColumns) {
-        self.scopes
-            .lock()
-            .expect("knowledge cache poisoned")
-            .insert(key, value);
+    pub(crate) fn get_scopes(&self, key: &HashedReachKey) -> Option<ScopeColumns> {
+        let found = bucket_get(
+            &self.scopes.lock().expect("knowledge cache poisoned").by_key,
+            key,
+        );
+        let counter = if found.is_some() {
+            &self.counters.scope_hits
+        } else {
+            &self.counters.scope_misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Inserts freshly built scope columns under `key`, interning them by
+    /// content first: if an identical column vector is already pooled,
+    /// the shared `Arc` is stored (and returned) instead of `value`.
+    pub(crate) fn insert_scopes(&self, key: &HashedReachKey, value: ScopeColumns) -> ScopeColumns {
+        let mut hasher = DefaultHasher::new();
+        value.hash(&mut hasher);
+        let content = hasher.finish();
+        let mut store = self.scopes.lock().expect("knowledge cache poisoned");
+        let pooled = store.pool.entry(content).or_default();
+        let interned = match pooled.iter().find(|existing| ***existing == **value) {
+            Some(existing) => {
+                self.counters.scope_deduped.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(existing)
+            }
+            None => {
+                pooled.push(Arc::clone(&value));
+                self.counters.scope_interned.fetch_add(1, Ordering::Relaxed);
+                value
+            }
+        };
+        bucket_insert(&mut store.by_key, key, Arc::clone(&interned));
+        interned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_interning_dedupes_identical_columns() {
+        let cache = KnowledgeCache::new();
+        let cols = |bit: bool| {
+            let mut b = Bitset::new_false(10);
+            b.set(3, bit);
+            Arc::new(vec![b])
+        };
+        let key_a = HashedReachKey::new(ReachKey::Nonfaulty);
+        let key_b = HashedReachKey::new(ReachKey::NonfaultyAnd(vec![Box::from([])]));
+        let a = cache.insert_scopes(&key_a, cols(true));
+        let b = cache.insert_scopes(&key_b, cols(true));
+        assert!(Arc::ptr_eq(&a, &b), "equal contents must share one Arc");
+        let c = cache.insert_scopes(&key_a, cols(false));
+        assert!(!Arc::ptr_eq(&a, &c));
+        let stats = cache.stats();
+        assert_eq!(stats.scope_interned, 2);
+        assert_eq!(stats.scope_deduped, 1);
+        // Both keys resolve to the shared entry.
+        assert!(Arc::ptr_eq(&cache.get_scopes(&key_b).unwrap(), &b));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let cache = KnowledgeCache::new();
+        let key = HashedReachKey::new(ReachKey::Everyone);
+        assert!(cache.get_scopes(&key).is_none());
+        cache.insert_scopes(&key, Arc::new(Vec::new()));
+        assert!(cache.get_scopes(&key).is_some());
+        cache.note_local_hit(true);
+        let stats = cache.stats();
+        assert_eq!(stats.scope_misses, 1);
+        assert_eq!(stats.scope_hits, 2);
+        let rendered = stats.to_string();
+        assert!(
+            rendered.contains("scope columns 2 hits / 1 misses"),
+            "{rendered}"
+        );
     }
 }

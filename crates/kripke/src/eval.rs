@@ -1,15 +1,15 @@
 //! The memoizing formula evaluator over a generated system.
 
 use crate::bitset::Bitset;
-use crate::cache::{KnowledgeCache, ReachKey, ScopeColumns};
+use crate::cache::{HashedReachKey, KnowledgeCache, ReachKey, ScopeColumns};
 use crate::formula::Formula;
 use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
 use crate::plan::FormulaPlan;
 use crate::uf::UnionFind;
+use eba_model::fasthash::{FastMap, FastSet};
 use eba_model::{ModelError, ProcSet, ProcessorId, Time};
 use eba_sim::chaos::{supervised_indexed, FaultInjector, FaultSite, NoChaos};
 use eba_sim::{GeneratedSystem, RunId, ViewId};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::thread;
@@ -27,7 +27,7 @@ const ID_CAPACITY: u128 = 1 << 32;
 
 /// Point count below which reachability edges are collected on the
 /// calling thread: spawning workers costs more than the scan saves.
-const PARALLEL_POINTS_THRESHOLD: usize = 1 << 12;
+pub(crate) const PARALLEL_POINTS_THRESHOLD: usize = 1 << 12;
 
 /// The reachability structure of a nonrigid set `S` over a generated
 /// system: the point-level components behind `C_S` (the \[DM90\]
@@ -119,16 +119,20 @@ pub struct Evaluator<'a> {
     pub(crate) n: usize,
     pub(crate) times: usize,
     pub(crate) num_points: usize,
-    threads: usize,
+    pub(crate) threads: usize,
     state_sets: Vec<StateSets>,
     run_preds: Vec<Vec<bool>>,
     point_preds: Vec<Arc<Bitset>>,
-    pub(crate) cache: HashMap<Formula, Arc<Bitset>>,
-    reach_cache: HashMap<NonRigidSet, Arc<Reachability>>,
-    scope_cache: HashMap<NonRigidSet, ScopeColumns>,
-    shared: KnowledgeCache,
-    chaos: Arc<dyn FaultInjector>,
+    pub(crate) cache: FastMap<Formula, Arc<Bitset>>,
+    pub(crate) reach_cache: FastMap<NonRigidSet, Arc<Reachability>>,
+    pub(crate) scope_cache: FastMap<NonRigidSet, ScopeColumns>,
+    /// Content keys are canonicalized and hashed once per set, then
+    /// reused across the staged reachability *and* scope lookups.
+    key_memo: FastMap<NonRigidSet, Arc<HashedReachKey>>,
+    pub(crate) shared: KnowledgeCache,
+    pub(crate) chaos: Arc<dyn FaultInjector>,
     plan_mode: bool,
+    batch_mode: bool,
 }
 
 impl<'a> Evaluator<'a> {
@@ -157,12 +161,14 @@ impl<'a> Evaluator<'a> {
             state_sets: Vec::new(),
             run_preds: Vec::new(),
             point_preds: Vec::new(),
-            cache: HashMap::new(),
-            reach_cache: HashMap::new(),
-            scope_cache: HashMap::new(),
+            cache: FastMap::default(),
+            reach_cache: FastMap::default(),
+            scope_cache: FastMap::default(),
+            key_memo: FastMap::default(),
             shared: cache,
             chaos: Arc::new(NoChaos),
             plan_mode: true,
+            batch_mode: true,
         }
     }
 
@@ -179,6 +185,21 @@ impl<'a> Evaluator<'a> {
     #[must_use]
     pub fn plan_mode(&self) -> bool {
         self.plan_mode
+    }
+
+    /// Switches batched reachability (the default) on or off. When on,
+    /// plan execution prefetches every nonrigid set a plan needs through
+    /// one [`crate::reach::BatchBuilder`] sweep; when off, each set is
+    /// resolved on demand by the per-set path. Both are bit-identical;
+    /// the per-set path is kept as the differential-test oracle.
+    pub fn set_batch_mode(&mut self, enabled: bool) {
+        self.batch_mode = enabled;
+    }
+
+    /// Whether plan execution batch-prefetches reachability structures.
+    #[must_use]
+    pub fn batch_mode(&self) -> bool {
+        self.batch_mode
     }
 
     /// Sets the number of worker threads used to collect reachability
@@ -423,7 +444,66 @@ impl<'a> Evaluator<'a> {
     /// formula describes. For formulas that are not state-determined, a
     /// view is included only if the formula holds at *every* point where
     /// `p` has that view.
-    pub fn views_where(&mut self, p: ProcessorId, formula: &Formula) -> HashSet<ViewId> {
+    pub fn views_where(&mut self, p: ProcessorId, formula: &Formula) -> FastSet<ViewId> {
+        let mut views = FastSet::default();
+        self.for_each_view_where(p, formula, |v| {
+            views.insert(v);
+        });
+        views
+    }
+
+    /// Like [`Evaluator::views_where`], but inserts the qualifying views
+    /// of `p` straight into a [`StateSets`] family — the decision-set
+    /// extraction loop of an optimize step calls this once per
+    /// processor, and skipping the intermediate set materialization is
+    /// measurable there.
+    pub fn views_where_into(&mut self, p: ProcessorId, formula: &Formula, sets: &mut StateSets) {
+        self.for_each_view_where(p, formula, |v| {
+            sets.insert(p, v);
+        });
+    }
+
+    /// For every processor `i` at once, the views at which `B^S_i ψ`
+    /// holds, inserted into `sets` — value-identical to calling
+    /// [`Evaluator::views_where_into`] with `ψ.believed_by(i, scope)`
+    /// per processor, but `ψ` is evaluated **once** and each processor
+    /// costs one bucket sweep instead of a formula build, a plan
+    /// compile, and a closure kernel.
+    ///
+    /// The fusion is sound because `B^S_i ψ` is constant across a bucket
+    /// (all its points share `i`'s view): it fails somewhere in bucket
+    /// `v` iff `v`'s bucket contains an in-scope point falsifying `ψ`,
+    /// which is exactly the views-where disqualification rule. The
+    /// optimize steps use this for their decision-set extractions.
+    pub fn views_believing(&mut self, scope: NonRigidSet, psi: &Formula, sets: &mut StateSets) {
+        let psi_bits = self.eval(psi);
+        let scopes = self.scope_columns(scope);
+        let store = self.system.points();
+        let table = self.system.table();
+        let mut bad = vec![false; table.len()];
+        for p in ProcessorId::all(self.n) {
+            let column = store.column(p);
+            let (offsets, _) = store.buckets(p);
+            let mut viol = Bitset::clone(&scopes[p.index()]);
+            viol.and_not(&psi_bits);
+            bad.fill(false);
+            for pt in viol.ones() {
+                bad[column[pt].index()] = true;
+            }
+            for (v, w) in table.ids().zip(offsets.windows(2)) {
+                if w[0] != w[1] && !bad[v.index()] {
+                    sets.insert(p, v);
+                }
+            }
+        }
+    }
+
+    fn for_each_view_where(
+        &mut self,
+        p: ProcessorId,
+        formula: &Formula,
+        mut emit: impl FnMut(ViewId),
+    ) {
         let set = self.eval(formula);
         // A view qualifies iff its bucket (the points where `p` has it)
         // is nonempty and contains no point falsifying the formula, so
@@ -438,20 +518,19 @@ impl<'a> Evaluator<'a> {
         for pt in unsat.ones() {
             bad[column[pt].index()] = true;
         }
-        table
-            .ids()
-            .zip(offsets.windows(2))
-            .filter_map(|(v, w)| (w[0] != w[1] && !bad[v.index()]).then_some(v))
-            .collect()
+        for (v, w) in table.ids().zip(offsets.windows(2)) {
+            if w[0] != w[1] && !bad[v.index()] {
+                emit(v);
+            }
+        }
     }
 
     pub(crate) fn broadcast_run_level<F: Fn(RunId) -> bool>(&self, f: F) -> Bitset {
         let mut out = Bitset::new_false(self.num_points);
         for run in self.system.run_ids() {
             if f(run) {
-                for time in 0..self.times {
-                    out.set(run.index() * self.times + time, true);
-                }
+                let base = run.index() * self.times;
+                out.set_range(base, base + self.times);
             }
         }
         out
@@ -587,22 +666,25 @@ impl<'a> Evaluator<'a> {
     /// point's component (vacuously where `S` is empty). Shared between
     /// the recursive evaluator and the plan's `ReachClose` kernel.
     pub(crate) fn common_from_reach(&self, phi: &Bitset, reach: &Reachability) -> Bitset {
-        // comp_sat[c] = φ holds at every point of component c.
+        // comp_sat[c] = φ holds at every point of component c. Only the
+        // violations matter, so sweep φ's zero bits word-parallel.
         let mut comp_sat = vec![true; reach.num_point_comps];
-        for idx in 0..self.num_points {
-            if let Some(c) = reach.point_component(idx) {
-                if !phi.get(idx) {
-                    comp_sat[c as usize] = false;
-                }
+        for idx in phi.zeros() {
+            let c = reach.point_comp[idx];
+            if c != u32::MAX {
+                comp_sat[c as usize] = false;
             }
         }
+        // Assemble the output a word at a time: a point qualifies where
+        // S is empty (vacuous E_S^k for all k) or its component is clean.
         let mut out = Bitset::new_false(self.num_points);
-        for idx in 0..self.num_points {
-            let ok = match reach.point_component(idx) {
-                None => true, // S empty here: E_S^k vacuous for all k
-                Some(c) => comp_sat[c as usize],
-            };
-            out.set(idx, ok);
+        for (word, comps) in out.words_mut().iter_mut().zip(reach.point_comp.chunks(64)) {
+            let mut w = 0u64;
+            for (bit, &c) in comps.iter().enumerate() {
+                let ok = c == u32::MAX || comp_sat[c as usize];
+                w |= u64::from(ok) << bit;
+            }
+            *word = w;
         }
         out
     }
@@ -619,10 +701,10 @@ impl<'a> Evaluator<'a> {
             .max()
             .unwrap_or(0);
         let mut run_comp_sat = vec![true; num_run_comps];
-        for idx in 0..self.num_points {
-            if reach.point_component(idx).is_some() && !phi.get(idx) {
-                let (run, _) = self.point_of(idx);
-                run_comp_sat[reach.run_component(run) as usize] = false;
+        for idx in phi.zeros() {
+            if reach.point_comp[idx] != u32::MAX {
+                let run = idx / self.times;
+                run_comp_sat[reach.run_comp[run] as usize] = false;
             }
         }
         let mut out = Bitset::new_false(self.num_points);
@@ -633,9 +715,8 @@ impl<'a> Evaluator<'a> {
                 true // no reachable points at all: vacuously true
             };
             if ok {
-                for time in 0..self.times {
-                    out.set(run.index() * self.times + time, true);
-                }
+                let base = run.index() * self.times;
+                out.set_range(base, base + self.times);
             }
         }
         out
@@ -759,7 +840,7 @@ impl<'a> Evaluator<'a> {
         use std::collections::hash_map::Entry;
         let mut bucket_of: Vec<u32> = vec![u32::MAX; self.num_points];
         let mut sat: Vec<bool> = Vec::new();
-        let mut index: HashMap<(u128, Vec<ViewId>), u32> = HashMap::new();
+        let mut index: FastMap<(u128, Vec<ViewId>), u32> = FastMap::default();
         let mut all_empty_ok = true;
         for run in self.system.run_ids() {
             for time in Time::upto(self.system.horizon()) {
@@ -808,9 +889,10 @@ impl<'a> Evaluator<'a> {
     /// then a fresh computation, which is published to both.
     pub fn reachability(&mut self, s: NonRigidSet) -> Arc<Reachability> {
         if let Some(cached) = self.reach_cache.get(&s) {
+            self.shared.note_local_hit(false);
             return Arc::clone(cached);
         }
-        let key = self.reach_key(s);
+        let key = self.hashed_key(s);
         let built = match self.shared.get(&key) {
             Some(shared) => {
                 debug_assert_eq!(
@@ -822,7 +904,7 @@ impl<'a> Evaluator<'a> {
             }
             None => {
                 let built = Arc::new(self.build_reachability(s));
-                self.shared.insert(key, Arc::clone(&built));
+                self.shared.insert(&key, Arc::clone(&built));
                 built
             }
         };
@@ -830,14 +912,24 @@ impl<'a> Evaluator<'a> {
         built
     }
 
-    fn reach_key(&self, s: NonRigidSet) -> ReachKey {
-        match s {
+    /// The content key of `s`, canonicalized and hashed **once** per
+    /// `(evaluator, set)` and reused across every staged lookup — the
+    /// reachability get/insert pair and the scope-column get/insert pair
+    /// all share one digest instead of re-hashing the (potentially large)
+    /// canonical view lists.
+    pub(crate) fn hashed_key(&mut self, s: NonRigidSet) -> Arc<HashedReachKey> {
+        if let Some(key) = self.key_memo.get(&s) {
+            return Arc::clone(key);
+        }
+        let key = Arc::new(HashedReachKey::new(match s {
             NonRigidSet::Everyone => ReachKey::Everyone,
             NonRigidSet::Nonfaulty => ReachKey::Nonfaulty,
             NonRigidSet::NonfaultyAnd(id) => {
                 ReachKey::NonfaultyAnd(self.state_sets[id.0 as usize].canonical())
             }
-        }
+        }));
+        self.key_memo.insert(s, Arc::clone(&key));
+        key
     }
 
     /// The per-processor scope columns of `s`: entry `p` is the bitset of
@@ -847,11 +939,12 @@ impl<'a> Evaluator<'a> {
     /// Lookup is staged like [`Evaluator::reachability`]: the local memo,
     /// then the shared [`KnowledgeCache`] under the set's content key,
     /// then a fresh columnar build over the [`eba_sim::PointStore`].
-    pub(crate) fn scope_columns(&mut self, s: NonRigidSet) -> ScopeColumns {
+    pub fn scope_columns(&mut self, s: NonRigidSet) -> ScopeColumns {
         if let Some(cached) = self.scope_cache.get(&s) {
+            self.shared.note_local_hit(true);
             return Arc::clone(cached);
         }
-        let key = self.reach_key(s);
+        let key = self.hashed_key(s);
         let built = match self.shared.get_scopes(&key) {
             Some(shared) => {
                 debug_assert!(
@@ -860,11 +953,11 @@ impl<'a> Evaluator<'a> {
                 );
                 shared
             }
-            None => {
-                let built = Arc::new(self.build_scope_columns(s));
-                self.shared.insert_scopes(key, Arc::clone(&built));
-                built
-            }
+            // `insert_scopes` interns by content: the Arc it hands back
+            // may be an existing, identical column vector.
+            None => self
+                .shared
+                .insert_scopes(&key, Arc::new(self.build_scope_columns(s))),
         };
         self.scope_cache.insert(s, Arc::clone(&built));
         built
@@ -929,8 +1022,10 @@ impl<'a> Evaluator<'a> {
         edges
     }
 
-    fn build_reachability(&self, s: NonRigidSet) -> Reachability {
-        // Members of S at every point.
+    /// The members of `s` at every point, indexed linearly. Shared by the
+    /// per-set reachability build and the batched sweep
+    /// ([`crate::reach::BatchBuilder`]).
+    pub(crate) fn collect_s_members(&self, s: NonRigidSet) -> Vec<ProcSet> {
         let mut s_members = vec![ProcSet::empty(); self.num_points];
         for run in self.system.run_ids() {
             for time in Time::upto(self.system.horizon()) {
@@ -938,6 +1033,11 @@ impl<'a> Evaluator<'a> {
                 s_members[idx] = self.members(s, run, time);
             }
         }
+        s_members
+    }
+
+    fn build_reachability(&self, s: NonRigidSet) -> Reachability {
+        let s_members = self.collect_s_members(s);
 
         // Point-level union-find: two points are linked when some i ∈ S at
         // both has the same view at both. Bucket by (i's view). Edge
@@ -982,38 +1082,48 @@ impl<'a> Evaluator<'a> {
                 uf.union(a as usize, b as usize);
             }
         }
+        self.finish_reachability(s_members, &mut uf)
+    }
 
-        // Compact point components, restricted to S-nonempty points.
-        let (raw_ids, _) = uf.component_ids();
-        let mut comp_remap: HashMap<u32, u32> = HashMap::new();
+    /// Compacts a fully-unioned point partition into a [`Reachability`]:
+    /// component numbering, the run projection, and the `S`-emptiness
+    /// mask. Shared by the per-set build and the batched sweep; given the
+    /// same union sequence, the output is bit-identical either way.
+    pub(crate) fn finish_reachability(
+        &self,
+        s_members: Vec<ProcSet>,
+        uf: &mut UnionFind,
+    ) -> Reachability {
+        // Compact point components, restricted to S-nonempty points, and
+        // project onto runs (runs sharing a point component are merged)
+        // in the same pass. Numbering is by first-seen point order, so it
+        // only depends on the partition — not on the union order that
+        // produced it. Roots are point indices, so a flat remap table
+        // replaces hashing.
+        let num_runs = self.system.num_runs();
+        let mut comp_remap = vec![u32::MAX; self.num_points];
         let mut point_comp = vec![u32::MAX; self.num_points];
+        let mut run_uf = UnionFind::new(num_runs);
+        let mut first_run_of_comp: Vec<u32> = Vec::new();
+        let mut run_has_s_points = vec![false; num_runs];
         for idx in 0..self.num_points {
             if s_members[idx].is_empty() {
                 continue;
             }
-            let next_id = comp_remap.len() as u32;
-            let compact = *comp_remap.entry(raw_ids[idx]).or_insert(next_id);
-            point_comp[idx] = compact;
-        }
-        let num_point_comps = comp_remap.len();
-
-        // Project onto runs: runs sharing a point component are merged.
-        let num_runs = self.system.num_runs();
-        let mut run_uf = UnionFind::new(num_runs);
-        let mut first_run_of_comp = vec![u32::MAX; num_point_comps];
-        let mut run_has_s_points = vec![false; num_runs];
-        for (idx, &c) in point_comp.iter().enumerate() {
-            if c == u32::MAX {
-                continue;
-            }
+            let root = uf.find(idx);
             let run = idx / self.times;
             run_has_s_points[run] = true;
-            if first_run_of_comp[c as usize] == u32::MAX {
-                first_run_of_comp[c as usize] = run as u32;
+            let c = comp_remap[root];
+            if c == u32::MAX {
+                comp_remap[root] = first_run_of_comp.len() as u32;
+                point_comp[idx] = first_run_of_comp.len() as u32;
+                first_run_of_comp.push(run as u32);
             } else {
+                point_comp[idx] = c;
                 run_uf.union(first_run_of_comp[c as usize] as usize, run);
             }
         }
+        let num_point_comps = first_run_of_comp.len();
         let (run_comp, _) = run_uf.component_ids();
 
         Reachability {

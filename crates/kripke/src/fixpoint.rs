@@ -107,7 +107,10 @@ fn unlimited(result: Result<(Bitset, usize), GfpInterrupt>) -> (Bitset, usize) {
 /// In plan mode (the evaluator default) the loop runs as the compiled
 /// `GfpIter` kernel — a native bitset iteration over the columnar point
 /// store that never constructs intermediate formulas (see
-/// [`crate::plan`]). Otherwise the intermediate `X` is injected into
+/// [`crate::plan`]); with batch mode on, the iteration's scope columns
+/// and every nonrigid set of `φ`'s plan are resolved up front by one
+/// [`crate::reach::BatchBuilder`] sweep. Otherwise the intermediate `X`
+/// is injected into
 /// formulas as a registered point predicate, so each iteration is a
 /// single evaluator pass; the evaluator cache is still effective for the
 /// `φ` sub-evaluation. Both paths perform the same iteration sequence

@@ -59,11 +59,13 @@ pub mod explain;
 pub mod fixpoint;
 pub mod parse;
 pub mod plan;
+pub mod reach;
 
 pub use bitset::Bitset;
-pub use cache::KnowledgeCache;
+pub use cache::{CacheStats, KnowledgeCache, ScopeColumns};
 pub use eval::{Evaluator, Reachability};
 pub use formula::Formula;
-pub use nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
+pub use nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId, ViewSet};
 pub use plan::{FormulaPlan, Kernel, KnowKind, TemporalOp};
+pub use reach::BatchBuilder;
 pub use uf::UnionFind;

@@ -2,7 +2,126 @@
 
 use eba_model::{ProcessorId, Value};
 use eba_sim::{ViewId, ViewTable};
-use std::collections::HashSet;
+
+/// A set of [`ViewId`]s stored as a growable bitmask over view indices.
+///
+/// View ids are dense table indices, so a word per 64 views beats a hash
+/// set on every operation the engine runs hot: membership is one indexed
+/// load, subset/union/difference are word loops, equality is a `memcmp`,
+/// and the canonical content (for [`crate::KnowledgeCache`] keys) is the
+/// word vector itself — no sorting, no per-view hashing.
+///
+/// Trailing all-zero words are kept trimmed so that equal sets have equal
+/// word vectors regardless of insertion history.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ViewSet {
+    words: Vec<u64>,
+}
+
+impl ViewSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        ViewSet::default()
+    }
+
+    /// Adds `v`; returns `true` if newly added.
+    pub fn insert(&mut self, v: ViewId) -> bool {
+        let (word, bit) = (v.index() / 64, v.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Whether `v` is in the set.
+    #[must_use]
+    pub fn contains(&self, v: ViewId) -> bool {
+        self.words
+            .get(v.index() / 64)
+            .is_some_and(|w| w & (1 << (v.index() % 64)) != 0)
+    }
+
+    /// Number of views in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        // Trailing zero words are trimmed, so any word implies a bit.
+        self.words.is_empty()
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset(&self, other: &ViewSet) -> bool {
+        if self.words.len() > other.words.len() {
+            return false; // a set bit past `other`'s top word (invariant)
+        }
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The union `self ∪ other`.
+    #[must_use]
+    pub fn union(&self, other: &ViewSet) -> ViewSet {
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.clone();
+        for (w, s) in words.iter_mut().zip(short) {
+            *w |= s;
+        }
+        ViewSet { words }
+    }
+
+    /// The difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &ViewSet) -> ViewSet {
+        let mut words = self.words.clone();
+        for (w, o) in words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        ViewSet { words }
+    }
+
+    /// Iterates the views in increasing index order (word-parallel
+    /// `trailing_zeros` walk).
+    pub fn iter(&self) -> impl Iterator<Item = ViewId> + '_ {
+        self.words.iter().enumerate().flat_map(|(k, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(ViewId::from_index(k * 64 + bit))
+                }
+            })
+        })
+    }
+
+    /// The backing words (canonical: trailing zero words trimmed). Word
+    /// `k` holds views `64k..64k+64`, lowest index in bit 0.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
 
 /// A family of local-state sets, one per processor: `A = (A_1, …, A_n)`
 /// where `A_i` is a set of full-information views owned by processor `i`.
@@ -28,7 +147,7 @@ use std::collections::HashSet;
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StateSets {
-    per_proc: Vec<HashSet<ViewId>>,
+    per_proc: Vec<ViewSet>,
 }
 
 impl StateSets {
@@ -36,7 +155,7 @@ impl StateSets {
     #[must_use]
     pub fn empty(n: usize) -> Self {
         StateSets {
-            per_proc: vec![HashSet::new(); n],
+            per_proc: vec![ViewSet::new(); n],
         }
     }
 
@@ -54,25 +173,25 @@ impl StateSets {
     /// Whether `v ∈ A_p`.
     #[must_use]
     pub fn contains(&self, p: ProcessorId, v: ViewId) -> bool {
-        self.per_proc[p.index()].contains(&v)
+        self.per_proc[p.index()].contains(v)
     }
 
     /// The set `A_p`.
     #[must_use]
-    pub fn of(&self, p: ProcessorId) -> &HashSet<ViewId> {
+    pub fn of(&self, p: ProcessorId) -> &ViewSet {
         &self.per_proc[p.index()]
     }
 
     /// Total number of views across all processors.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.per_proc.iter().map(HashSet::len).sum()
+        self.per_proc.iter().map(ViewSet::len).sum()
     }
 
     /// Whether every `A_i` is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.per_proc.iter().all(HashSet::is_empty)
+        self.per_proc.iter().all(ViewSet::is_empty)
     }
 
     /// Whether `A_i ⊆ B_i` for every processor.
@@ -102,7 +221,7 @@ impl StateSets {
                 .per_proc
                 .iter()
                 .zip(&other.per_proc)
-                .map(|(a, b)| a.union(b).copied().collect())
+                .map(|(a, b)| a.union(b))
                 .collect(),
         }
     }
@@ -120,7 +239,7 @@ impl StateSets {
                 .per_proc
                 .iter()
                 .zip(&other.per_proc)
-                .map(|(a, b)| a.difference(b).copied().collect())
+                .map(|(a, b)| a.difference(b))
                 .collect(),
         }
     }
@@ -140,19 +259,18 @@ impl StateSets {
         sets
     }
 
-    /// The family's content in canonical form: per processor, the sorted
-    /// list of views. Equal families produce equal canonical forms, which
-    /// is what lets the shared [`crate::KnowledgeCache`] recognize the
-    /// same family across evaluators with different id numberings.
+    /// The family's content in canonical form: per processor, the
+    /// (trimmed) membership words of `A_i`. Equal families produce equal
+    /// canonical forms, which is what lets the shared
+    /// [`crate::KnowledgeCache`] recognize the same family across
+    /// evaluators with different id numberings — and since the backing
+    /// store *is* the bitmask, canonicalization is a clone, with no
+    /// sorting or per-view hashing.
     #[must_use]
-    pub fn canonical(&self) -> Vec<Box<[ViewId]>> {
+    pub fn canonical(&self) -> Vec<Box<[u64]>> {
         self.per_proc
             .iter()
-            .map(|views| {
-                let mut sorted: Vec<ViewId> = views.iter().copied().collect();
-                sorted.sort_unstable();
-                sorted.into_boxed_slice()
-            })
+            .map(|views| Box::from(views.words()))
             .collect()
     }
 

@@ -46,8 +46,8 @@ use crate::eval::Evaluator;
 use crate::fixpoint::GfpInterrupt;
 use crate::formula::Formula;
 use crate::nonrigid::NonRigidSet;
+use eba_model::fasthash::FastMap;
 use eba_model::{ArmedBudget, ProcessorId, RunBudget};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Which knowledge closure a [`Kernel::KnowClose`] computes.
@@ -183,7 +183,7 @@ impl FormulaPlan {
             kernels: Vec::new(),
             formulas: Vec::new(),
         };
-        let mut memo = HashMap::new();
+        let mut memo = FastMap::default();
         let root_id = plan.lower(root, &mut memo) as usize;
         debug_assert_eq!(root_id + 1, plan.kernels.len());
         // The root always participates in the evaluator's memo, even when
@@ -204,7 +204,7 @@ impl FormulaPlan {
             kernels: Vec::new(),
             formulas: Vec::new(),
         };
-        let mut memo = HashMap::new();
+        let mut memo = FastMap::default();
         let input = plan.lower(phi, &mut memo);
         plan.kernels.push(Kernel::GfpIter {
             set: s,
@@ -234,7 +234,7 @@ impl FormulaPlan {
         &self.kernels
     }
 
-    fn lower(&mut self, f: &Formula, memo: &mut HashMap<NodeKey, u32>) -> u32 {
+    fn lower(&mut self, f: &Formula, memo: &mut FastMap<NodeKey, u32>) -> u32 {
         // Children first, so the key is over already-deduplicated ids.
         // `memoize` marks nodes that participate in the evaluator's
         // formula-keyed result cache (see the module docs).
@@ -330,6 +330,13 @@ impl FormulaPlan {
 /// Executes a plan on an evaluator, serving and filling the evaluator's
 /// formula-keyed memo per node; returns the root's extension.
 pub(crate) fn execute(eval: &mut Evaluator<'_>, plan: &FormulaPlan) -> Arc<Bitset> {
+    if eval.batch_mode() {
+        let mut batch = crate::reach::BatchBuilder::new();
+        collect_plan_sets(plan, &mut batch);
+        if !batch.is_empty() {
+            batch.run(eval);
+        }
+    }
     let mut results: Vec<Option<Arc<Bitset>>> = vec![None; plan.kernels.len()];
     for i in 0..plan.kernels.len() {
         if let Some(f) = &plan.formulas[i] {
@@ -349,6 +356,33 @@ pub(crate) fn execute(eval: &mut Evaluator<'_>, plan: &FormulaPlan) -> Arc<Bitse
         .pop()
         .flatten()
         .expect("compiled plans have at least one kernel")
+}
+
+/// Scans a plan's kernels for every nonrigid set they will resolve —
+/// reachability for `ReachClose`, scope columns for scoped `KnowClose`
+/// and `GfpIter` — and adds the requests to `batch`, so one
+/// [`crate::reach::BatchBuilder`] sweep serves the whole plan before
+/// execution starts. Sets already memoized cost one staged lookup each;
+/// the rest share a single traversal of the point store instead of one
+/// per set.
+fn collect_plan_sets(plan: &FormulaPlan, batch: &mut crate::reach::BatchBuilder) {
+    for kernel in &plan.kernels {
+        match kernel {
+            Kernel::ReachClose { set, .. } => batch.request_reachability(*set),
+            Kernel::KnowClose { kind, .. } => match kind {
+                KnowKind::Believes(_, s) | KnowKind::Everyone(s) | KnowKind::Someone(s) => {
+                    batch.request_scopes(*s);
+                }
+                KnowKind::Knows(_) | KnowKind::Distributed(_) => {}
+            },
+            Kernel::GfpIter { set, .. } => batch.request_scopes(*set),
+            Kernel::Load
+            | Kernel::Not(_)
+            | Kernel::And(_)
+            | Kernel::Or(_)
+            | Kernel::Temporal { .. } => {}
+        }
+    }
 }
 
 fn run_kernel(
@@ -447,7 +481,16 @@ pub(crate) fn gfp(
     boxed: bool,
     budget: &ArmedBudget,
 ) -> Result<(Bitset, usize), GfpInterrupt> {
-    let phi_bits = eval.eval(phi);
+    // One batched sweep covers both the iteration's own scope columns
+    // and every set `φ`'s plan will resolve.
+    let plan = FormulaPlan::compile(phi);
+    if eval.batch_mode() {
+        let mut batch = crate::reach::BatchBuilder::new();
+        batch.request_scopes(s);
+        collect_plan_sets(&plan, &mut batch);
+        batch.run(eval);
+    }
+    let phi_bits = eval.eval_plan(&plan);
     gfp_over(eval, s, &phi_bits, boxed, budget)
 }
 

@@ -39,6 +39,16 @@ impl UnionFind {
         self.parent.len()
     }
 
+    /// Returns every element to its own singleton component without
+    /// reallocating, so batched sweeps can reuse one buffer across many
+    /// union sequences.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.size.fill(1);
+    }
+
     /// Whether the structure is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -69,6 +79,27 @@ impl UnionFind {
         self.parent[rb] = ra as u32;
         self.size[ra] += self.size[rb];
         true
+    }
+
+    /// Merges `b`'s component into the component whose **root** is `ra`,
+    /// returning the merged component's root. Callers must pass a current
+    /// root (the return of [`Self::find`] or a previous `union_root`);
+    /// skipping the second `find` makes chain unions — runs of edges
+    /// sharing one endpoint, as in bucket traversals — measurably
+    /// cheaper than repeated [`Self::union`] calls.
+    pub fn union_root(&mut self, ra: usize, b: usize) -> usize {
+        debug_assert_eq!(self.parent[ra], ra as u32, "union_root needs a root");
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (mut big, mut small) = (ra, rb);
+        if self.size[big] < self.size[small] {
+            std::mem::swap(&mut big, &mut small);
+        }
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        big
     }
 
     /// Whether `a` and `b` are in the same component.
@@ -130,6 +161,37 @@ mod tests {
         assert_eq!(ids[3], ids[4]);
         assert_ne!(ids[0], ids[3]);
         assert!(ids.iter().all(|&i| (i as usize) < count));
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.reset();
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.same(0, 1));
+        let (_, count) = uf.component_ids();
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn union_root_matches_union() {
+        let mut a = UnionFind::new(8);
+        let mut b = UnionFind::new(8);
+        // Chain {1, 3, 5, 7} through union vs union_root.
+        for x in [3, 5, 7] {
+            a.union(1, x);
+        }
+        let mut acc = b.find(1);
+        for x in [3, 5, 7] {
+            acc = b.union_root(acc, x);
+        }
+        let (ids_a, n_a) = a.component_ids();
+        let (ids_b, n_b) = b.component_ids();
+        assert_eq!(n_a, n_b);
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(b.find(acc), acc, "returned value is a root");
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! A fast, deterministic hasher for the small fixed-width keys that
+//! dominate the engine's hot paths (view ids, processor ids, formula
+//! trees).
+//!
+//! `std`'s default SipHash is keyed per process for HashDoS resistance,
+//! which the engine does not need: every map and set here is keyed by
+//! internally-generated ids or structural formula hashes, never by
+//! untrusted input. The multiplicative rotate-xor scheme below (the
+//! well-known `fxhash` recipe from rustc) hashes a `u32` in a couple of
+//! cycles, which turns the view-set constructions of decision-set
+//! extraction from the dominant cost of a warm optimize sweep into
+//! noise.
+//!
+//! Determinism across processes is a feature: knowledge-cache digests
+//! and test expectations never depend on a per-process random seed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The `fxhash` multiplier (a rounded fractional golden ratio, as used
+/// by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic [`Hasher`] for trusted, internally-generated
+/// keys; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use eba_model::fasthash::FastSet;
+///
+/// let mut views: FastSet<u32> = FastSet::default();
+/// views.insert(7);
+/// assert!(views.contains(&7));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FastHasher`] (zero-sized, default
+/// state).
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` using [`FastHasher`].
+pub type FastSet<T> = HashSet<T, FastBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FastBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"views"), hash_of(&"views"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: Vec<u64> = (0u32..64).map(|i| hash_of(&i)).collect();
+        let mut unique = hashes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_stream_matches_wordwise_padding() {
+        // write() folds 8-byte little-endian chunks; a 4-byte slice hashes
+        // like its zero-extended word.
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3, 4]);
+        let mut b = FastHasher::default();
+        b.write_u64(u64::from_le_bytes([1, 2, 3, 4, 0, 0, 0, 0]));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn set_and_map_aliases_work() {
+        let mut map: FastMap<u32, &str> = FastMap::default();
+        map.insert(1, "one");
+        assert_eq!(map.get(&1), Some(&"one"));
+        let set: FastSet<u32> = (0..100).collect();
+        assert_eq!(set.len(), 100);
+    }
+}

@@ -59,6 +59,7 @@ mod time;
 mod value;
 
 pub mod enumerate;
+pub mod fasthash;
 pub mod sample;
 
 pub use budget::{ArmedBudget, BudgetHit, RunBudget};

@@ -6,9 +6,9 @@
 //! systems.
 
 use eba::prelude::*;
-use eba_kripke::fixpoint;
+use eba_kripke::{fixpoint, BatchBuilder, Reachability};
 use proptest::prelude::*;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 fn crash_system() -> &'static GeneratedSystem {
     static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
@@ -146,6 +146,220 @@ proptest! {
         };
         prop_assert_eq!(&a, &b, "gfp engines disagree on {}", &phi);
         prop_assert_eq!(ia, ib, "gfp iteration counts diverge on {}", &phi);
+    }
+}
+
+/// A pseudo-random state-set family over `system`'s view table, derived
+/// deterministically from `seed` (splitmix64 per `(processor, view)`), so
+/// the same seed registers the same family on any evaluator.
+fn random_family(system: &GeneratedSystem, seed: u64, keep_mod: u64) -> StateSets {
+    let n = system.n();
+    let mut family = StateSets::empty(n);
+    for p in ProcessorId::all(n) {
+        for (k, v) in system.table().ids().enumerate() {
+            let mut x = seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + k as u64))
+                .wrapping_add(0x1000_0000 * p.index() as u64);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            if x.is_multiple_of(keep_mod) {
+                family.insert(p, v);
+            }
+        }
+    }
+    family
+}
+
+/// Asserts two reachability structures agree bit for bit: point
+/// components (and their count), per-point members, run components, and
+/// the `S`-emptiness mask.
+fn assert_reach_identical(
+    system: &GeneratedSystem,
+    want: &Reachability,
+    got: &Reachability,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        want.num_point_components(),
+        got.num_point_components(),
+        "component counts diverge under {}",
+        label
+    );
+    for idx in 0..system.num_points() {
+        prop_assert_eq!(
+            want.point_component(idx),
+            got.point_component(idx),
+            "component of point {} diverges under {}",
+            idx,
+            label
+        );
+        prop_assert_eq!(want.members(idx), got.members(idx));
+    }
+    for run in system.run_ids() {
+        prop_assert_eq!(
+            want.run_component(run),
+            got.run_component(run),
+            "run component of {} diverges under {}",
+            run.index(),
+            label
+        );
+        prop_assert_eq!(want.run_has_s_points(run), got.run_has_s_points(run));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batched reachability differential: random nonrigid-set families
+    /// resolved by one `BatchBuilder` sweep produce components, run
+    /// projections, *and* scope columns bit-identical to the per-set
+    /// path's, across the three scenario spaces.
+    #[test]
+    fn batched_reachability_matches_per_set_path(
+        seed in proptest::num::u64::ANY,
+        keep_mod in 1u64..5,
+        which in 0usize..3,
+    ) {
+        let (system, label) = match which {
+            0 => (crash_system(), "crash (exhaustive)"),
+            1 => (omission_system(), "omission (exhaustive)"),
+            _ => (sampled_system(), "crash (sampled)"),
+        };
+        let mut batched = Evaluator::new(system);
+        let mut per_set = Evaluator::new(system);
+        per_set.set_batch_mode(false);
+        let fam_a = random_family(system, seed, keep_mod);
+        let fam_b = random_family(system, seed ^ 0xABCD, keep_mod);
+        let a = batched.register_state_sets(fam_a.clone());
+        let b = batched.register_state_sets(fam_b.clone());
+        prop_assert_eq!(a, per_set.register_state_sets(fam_a));
+        prop_assert_eq!(b, per_set.register_state_sets(fam_b));
+        let family = [
+            NonRigidSet::Everyone,
+            NonRigidSet::Nonfaulty,
+            NonRigidSet::NonfaultyAnd(a),
+            NonRigidSet::NonfaultyAnd(b),
+        ];
+        // One sweep serves every reachability *and* scope request.
+        let mut batch = BatchBuilder::new();
+        for &s in &family {
+            batch.request_reachability(s);
+            batch.request_scopes(s);
+        }
+        batch.run(&mut batched);
+        for &s in &family {
+            let got = batched.reachability(s);
+            let want = per_set.reachability(s);
+            assert_reach_identical(system, &want, &got, &format!("{s:?} over {label}"))?;
+            prop_assert_eq!(
+                &*per_set.scope_columns(s),
+                &*batched.scope_columns(s),
+                "scope columns diverge under {:?} over {}",
+                s,
+                label
+            );
+        }
+    }
+
+}
+
+/// Scope-column interning: nonrigid sets with *distinct* content keys but
+/// identical membership vectors share one `Arc` in the shared cache, and
+/// the dedup is visible in the cache counters. `N ∧ A` with `A` the full
+/// view table resolves to exactly `N`'s membership — the `N − F(r, t)`
+/// shape crash/omission sweeps keep rebuilding.
+#[test]
+fn interned_scope_columns_dedup_identical_memberships() {
+    let system = crash_system();
+    let mut eval = Evaluator::new(system);
+    // Every view for every processor: the `A_i` test is vacuous.
+    let full = random_family(system, 0, 1);
+    let id = eval.register_state_sets(full);
+    let col_n = eval.scope_columns(NonRigidSet::Nonfaulty);
+    let col_full = eval.scope_columns(NonRigidSet::NonfaultyAnd(id));
+    assert!(
+        Arc::ptr_eq(&col_n, &col_full),
+        "identical membership vectors must intern to one Arc"
+    );
+    let stats = eval.knowledge_cache().stats();
+    assert!(
+        stats.scope_deduped >= 1,
+        "dedup counter must record the hit"
+    );
+    assert!(stats.scope_interned >= 1);
+}
+
+/// Chaos supervision must stay invisible to the batched sweep: with a
+/// panic injected into a parallel edge-collection worker, the batch still
+/// produces the per-set path's exact structures.
+#[test]
+fn batched_reachability_matches_per_set_under_chaos() {
+    use eba_sim::chaos::{ChaosPlan, FaultInjector, FaultKind, FaultSite};
+    // Big enough that the batch sweep fans out to the supervised worker
+    // pool, so the injected panic lands in a worker.
+    let scenario = Scenario::new(3, 2, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+
+    let mut per_set = Evaluator::new(&system);
+    per_set.set_batch_mode(false);
+    per_set.set_threads(1);
+
+    let chaos =
+        Arc::new(ChaosPlan::new().with_fault(FaultSite::ReachabilityWorker, 0, FaultKind::Panic));
+    let mut batched = Evaluator::new(&system);
+    batched.set_threads(4);
+    batched.set_chaos(Arc::clone(&chaos) as Arc<dyn FaultInjector>);
+
+    let family = [NonRigidSet::Everyone, NonRigidSet::Nonfaulty];
+    let got = batched.reachability_batch(&family);
+    assert_eq!(chaos.fired(), 1, "the planned worker panic must have fired");
+    for (&s, got) in family.iter().zip(got) {
+        let want = per_set.reachability(s);
+        assert_reach_identical(&system, &want, &got, &format!("{s:?} under chaos")).unwrap();
+    }
+}
+
+/// Budget-partial systems: the batched sweep over a prefix-of-shards
+/// system agrees with the per-set path on every requested set.
+#[test]
+fn batched_reachability_matches_per_set_on_budget_partial_system() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let outcome = SystemBuilder::new(&scenario)
+        .threads(2)
+        .shards(8)
+        .budget(RunBudget::unlimited().with_max_runs(40))
+        .build_governed()
+        .expect("governed build failed");
+    let system = match outcome {
+        BuildOutcome::Partial { system, .. } => system,
+        BuildOutcome::Complete { .. } => {
+            panic!("max-runs budget should have cut the build short")
+        }
+    };
+    assert!(system.num_runs() > 0, "need a nonempty partial prefix");
+
+    let mut batched = Evaluator::new(&system);
+    let mut per_set = Evaluator::new(&system);
+    per_set.set_batch_mode(false);
+    let fam = random_family(&system, 0xEBA, 2);
+    let a = batched.register_state_sets(fam.clone());
+    assert_eq!(a, per_set.register_state_sets(fam));
+    let family = [
+        NonRigidSet::Everyone,
+        NonRigidSet::Nonfaulty,
+        NonRigidSet::NonfaultyAnd(a),
+    ];
+    let got = batched.reachability_batch(&family);
+    for (&s, got) in family.iter().zip(got) {
+        let want = per_set.reachability(s);
+        assert_reach_identical(&system, &want, &got, &format!("{s:?} on partial system")).unwrap();
+        assert_eq!(
+            *per_set.scope_columns(s),
+            *batched.scope_columns(s),
+            "scope columns diverge under {s:?} on the partial system"
+        );
     }
 }
 

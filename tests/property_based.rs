@@ -234,12 +234,12 @@ fn delayed_crash_pair(
     let mut zero = StateSets::empty(n);
     let mut one = StateSets::empty(n);
     for i in ProcessorId::all(n) {
-        for &v in base.zero().of(i) {
+        for v in base.zero().of(i).iter() {
             if table.time(v).ticks() >= delays0[i.index()] {
                 zero.insert(i, v);
             }
         }
-        for &v in base.one().of(i) {
+        for v in base.one().of(i).iter() {
             if table.time(v).ticks() >= delays1[i.index()] {
                 one.insert(i, v);
             }
