@@ -15,7 +15,8 @@ fn sba_waste(c: &mut Criterion) {
     let mut group = c.benchmark_group("sba_waste_32runs");
     for n in [8usize, 32, 64] {
         let t = n / 4;
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let sampler = PatternSampler::new(scenario);
         let runs: Vec<_> = (0..32)
@@ -47,7 +48,8 @@ fn multi_valued(c: &mut Criterion) {
     let mut group = c.benchmark_group("multi_valued_32runs");
     for n in [8usize, 32] {
         let t = n / 4;
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(3 * n as u64);
         let sampler = PatternSampler::new(scenario);
         let domain = 5u8;

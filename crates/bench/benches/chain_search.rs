@@ -12,7 +12,7 @@ fn chain_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("exists_zero_star");
     group.sample_size(10);
     for (n, t, horizon) in [(3usize, 1usize, 2u16), (4, 1, 3)] {
-        let scenario = Scenario::new(n, t, FailureMode::Omission, horizon).unwrap();
+        let scenario = Scenario::new(n, t, FailureMode::Omission, horizon).expect("valid scenario");
         let system = GeneratedSystem::exhaustive(&scenario);
         group.bench_with_input(
             BenchmarkId::from_parameter(scenario),

@@ -1,0 +1,98 @@
+//! Incremental horizon sweeps (DESIGN.md §4f): an [`EngineSession`] grows
+//! one system across a range of horizons, reusing base view rows and
+//! epoch-fencing the knowledge cache, versus the cold path that rebuilds
+//! every horizon from scratch. The cold side is the differential oracle
+//! (`tests/incremental_equivalence.rs`), so both sides produce identical
+//! systems — the bench measures the cost of that identical output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eba_core::{Constructor, DecisionPair, EngineSession, FipDecisions, SessionScope};
+use eba_model::{FailureMode, Scenario};
+use eba_sim::GeneratedSystem;
+use std::hint::black_box;
+
+/// Pinned-run sweep at paper scale: n=5, t=2, crash, 400 sampled runs,
+/// horizon 2 grown through 6 (four extension steps). Generation only —
+/// the sim-layer reuse is what the session changes.
+fn pinned_sweep_generation(c: &mut Criterion) {
+    let scenario = Scenario::new(5, 2, FailureMode::Crash, 2).expect("valid scenario");
+    let base = GeneratedSystem::sampled(&scenario, 400, 0xEBA);
+    let horizons = [3u16, 4, 5, 6];
+
+    let mut group = c.benchmark_group("horizon_sweep_pinned_n5t2");
+    group.sample_size(10);
+
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut session = EngineSession::from_system(base.clone(), SessionScope::PinnedRuns);
+            for h in horizons {
+                session.extend_to(h).expect("horizon grows");
+                black_box(session.system().num_points());
+            }
+        });
+    });
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            for h in horizons {
+                let delta = scenario.extend_horizon(h).expect("horizon grows");
+                let specs: Vec<_> = base
+                    .run_ids()
+                    .map(|r| {
+                        let record = base.run(r);
+                        (record.config.clone(), delta.pad_pattern(&record.pattern))
+                    })
+                    .collect();
+                let target = scenario.with_horizon(h).expect("valid scenario");
+                let system = GeneratedSystem::from_runs(&target, specs);
+                black_box(system.num_points());
+            }
+        });
+    });
+
+    group.finish();
+}
+
+/// Full-space end-to-end sweep: exhaustive n=3, t=1 crash system grown
+/// from horizon 2 through 4, with the Theorem 5.2 optimization re-run at
+/// every horizon — the `eba-check --horizon-sweep` workload.
+fn full_space_sweep_end_to_end(c: &mut Criterion) {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).expect("valid scenario");
+    let base = GeneratedSystem::exhaustive(&scenario);
+    let horizons = [3u16, 4];
+
+    let mut group = c.benchmark_group("horizon_sweep_full_n3t1");
+    group.sample_size(10);
+
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut session = EngineSession::from_system(base.clone(), SessionScope::FullSpace);
+            for h in horizons {
+                session.extend_to(h).expect("horizon grows");
+                let pair = session.constructor().optimize(&DecisionPair::empty(3));
+                black_box(FipDecisions::compute(session.system(), &pair, "F^{Λ,2}"));
+            }
+        });
+    });
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            for h in horizons {
+                let target = scenario.with_horizon(h).expect("valid scenario");
+                let system = GeneratedSystem::exhaustive(&target);
+                let mut ctor = Constructor::new(&system);
+                let pair = ctor.optimize(&DecisionPair::empty(3));
+                black_box(FipDecisions::compute(&system, &pair, "F^{Λ,2}"));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = pinned_sweep_generation, full_space_sweep_end_to_end
+}
+criterion_main!(benches);

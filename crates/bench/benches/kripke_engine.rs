@@ -11,9 +11,9 @@ use std::hint::black_box;
 
 fn scenarios() -> Vec<Scenario> {
     vec![
-        Scenario::new(3, 1, FailureMode::Crash, 3).unwrap(),
-        Scenario::new(4, 1, FailureMode::Crash, 3).unwrap(),
-        Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
+        Scenario::new(3, 1, FailureMode::Crash, 3).expect("valid scenario"),
+        Scenario::new(4, 1, FailureMode::Crash, 3).expect("valid scenario"),
+        Scenario::new(3, 1, FailureMode::Omission, 2).expect("valid scenario"),
     ]
 }
 

@@ -57,8 +57,9 @@ fn bench_protocol<P: Protocol>(
 fn protocol_scaling(c: &mut Criterion) {
     for n in [8usize, 32, 64] {
         let t = n / 4;
-        let crash = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
-        let omission = Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).unwrap();
+        let crash = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
+        let omission =
+            Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).expect("valid scenario");
         bench_protocol(c, "crash_32runs", &Relay::p0(t), &crash);
         bench_protocol(c, "crash_32runs", &P0Opt::new(t), &crash);
         bench_protocol(c, "crash_32runs", &EarlyStoppingCrash::new(t), &crash);

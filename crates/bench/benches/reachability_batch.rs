@@ -28,12 +28,12 @@ use std::hint::black_box;
 fn systems() -> Vec<(String, GeneratedSystem)> {
     let mut out = Vec::new();
     for scenario in [
-        Scenario::new(3, 1, FailureMode::Crash, 3).unwrap(),
-        Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
+        Scenario::new(3, 1, FailureMode::Crash, 3).expect("valid scenario"),
+        Scenario::new(3, 1, FailureMode::Omission, 2).expect("valid scenario"),
     ] {
         out.push((scenario.to_string(), GeneratedSystem::exhaustive(&scenario)));
     }
-    let big = Scenario::new(5, 2, FailureMode::Crash, 3).unwrap();
+    let big = Scenario::new(5, 2, FailureMode::Crash, 3).expect("valid scenario");
     out.push((
         format!("{big} (sampled)"),
         GeneratedSystem::sampled(&big, 400, 0xEBA),

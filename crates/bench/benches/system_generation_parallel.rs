@@ -14,9 +14,9 @@ use std::thread;
 
 fn scenarios() -> Vec<Scenario> {
     vec![
-        Scenario::new(3, 1, FailureMode::Crash, 3).unwrap(),
-        Scenario::new(3, 1, FailureMode::Omission, 2).unwrap(),
-        Scenario::new(4, 1, FailureMode::Crash, 3).unwrap(),
+        Scenario::new(3, 1, FailureMode::Crash, 3).expect("valid scenario"),
+        Scenario::new(3, 1, FailureMode::Omission, 2).expect("valid scenario"),
+        Scenario::new(4, 1, FailureMode::Crash, 3).expect("valid scenario"),
     ]
 }
 
@@ -36,7 +36,7 @@ fn system_generation(c: &mut Criterion) {
                             SystemBuilder::new(scenario)
                                 .threads(threads)
                                 .build()
-                                .unwrap(),
+                                .expect("bench scenarios fit the run capacity"),
                         )
                     });
                 },
@@ -47,7 +47,7 @@ fn system_generation(c: &mut Criterion) {
 }
 
 fn knowledge_cache_reuse(c: &mut Criterion) {
-    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).expect("valid scenario");
     let system = GeneratedSystem::exhaustive(&scenario);
     let phi = Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty);
     let mut group = c.benchmark_group("knowledge_cache");

@@ -13,7 +13,8 @@ fn view_interning(c: &mut Criterion) {
     let mut group = c.benchmark_group("fip_views_one_run");
     for n in [4usize, 8, 16, 32] {
         let t = n / 4;
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(n as u64);
         let sampler = PatternSampler::new(scenario);
         let config = sample::random_config(n, &mut rng);
@@ -41,7 +42,7 @@ fn interning_shared_across_runs(c: &mut Criterion) {
     // Interning 100 runs into one shared table: measures hash-consing
     // efficiency (the dedup ratio is asserted in tests; here we time it).
     let n = 8;
-    let scenario = Scenario::new(n, 2, FailureMode::Crash, 4).unwrap();
+    let scenario = Scenario::new(n, 2, FailureMode::Crash, 4).expect("valid scenario");
     let mut rng = StdRng::seed_from_u64(5);
     let sampler = PatternSampler::new(scenario);
     let runs: Vec<_> = (0..100)

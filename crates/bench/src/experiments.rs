@@ -58,7 +58,8 @@ pub fn exp1() -> Vec<Table> {
     );
     for t in [1usize, 2, 3] {
         let n = t + 3;
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let chain: Vec<ProcessorId> = (0..t).map(ProcessorId::new).collect();
         let pattern = sample::silence_chain(&scenario, &chain);
         let config = one_zero_config(n);
@@ -121,7 +122,8 @@ pub fn exp2() -> Vec<Table> {
         (16, 4, 600, 2),
         (32, 8, 300, 3),
     ] {
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = PatternSampler::new(scenario);
         let mut earlier = 0u64;
@@ -356,7 +358,8 @@ pub fn exp5() -> Vec<Table> {
         &["n", "t", "f", "runs", "mean", "max", "bound f+1", "ok"],
     );
     for (n, t) in [(8usize, 3usize), (16, 6), (32, 8)] {
-        let scenario = Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(5);
         for f in [0, t / 2, t] {
             let sampler = PatternSampler::new(scenario).exact_faulty(f);
@@ -521,7 +524,8 @@ pub fn exp7b() -> Table {
         (16, 4, 400, 32),
         (32, 8, 200, 33),
     ] {
-        let scenario = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
+        let scenario =
+            Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = PatternSampler::new(scenario);
         let mut eba_stats = DecisionStats::new();
@@ -630,8 +634,9 @@ pub fn exp9() -> Vec<Table> {
     for &n in sizes {
         let t = n / 4;
         let runs = 200usize;
-        let crash = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).unwrap();
-        let omission = Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).unwrap();
+        let crash = Scenario::new(n, t, FailureMode::Crash, t as u16 + 2).expect("valid scenario");
+        let omission =
+            Scenario::new(n, t, FailureMode::Omission, t as u16 + 2).expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(n as u64);
 
         macro_rules! campaign {
@@ -836,7 +841,8 @@ pub fn exp11() -> Vec<Table> {
 
     // Message level: sampled ChainOmission campaigns now show violations.
     for (n, t, runs, seed) in [(4usize, 2usize, 2000usize, 21u64), (6, 2, 2000, 22)] {
-        let scenario = Scenario::new(n, t, FailureMode::GeneralOmission, t as u16 + 2).unwrap();
+        let scenario = Scenario::new(n, t, FailureMode::GeneralOmission, t as u16 + 2)
+            .expect("valid scenario");
         let mut rng = StdRng::seed_from_u64(seed);
         let sampler = PatternSampler::new(scenario).omission_density(0.4);
         let mut violations = 0u64;
@@ -881,7 +887,7 @@ pub fn exp12() -> Vec<Table> {
             "decision",
         ],
     );
-    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).expect("valid scenario");
     for domain in [2u8, 3, 4] {
         let configs: Vec<MultiConfig> = MultiConfig::enumerate_all(domain, 3).collect();
         macro_rules! campaign {
@@ -936,8 +942,12 @@ pub fn exp12() -> Vec<Table> {
                     let ta = execute_multi(&a, config, &pattern, scenario.horizon());
                     let tb = execute_multi(&b, config, &pattern, scenario.horizon());
                     for p in pattern.nonfaulty_set() {
-                        let (_, time_a) = ta.decision(p).unwrap();
-                        let (_, time_b) = tb.decision(p).unwrap();
+                        let (_, time_a) = ta
+                            .decision(p)
+                            .expect("relay decides for every nonfaulty processor");
+                        let (_, time_b) = tb
+                            .decision(p)
+                            .expect("relay decides for every nonfaulty processor");
                         a_earlier += u64::from(time_a < time_b);
                         b_earlier += u64::from(time_b < time_a);
                     }

@@ -5,9 +5,10 @@
 //! and counterexamples/witnesses. See `eba-check --help` for the formula
 //! syntax.
 
+use eba_core::{EngineSession, SessionScope};
 use eba_kripke::explain::Timeline;
 use eba_kripke::parse::parse_formula;
-use eba_kripke::{Evaluator, Formula};
+use eba_kripke::{Evaluator, Formula, KnowledgeCache};
 use eba_model::{
     FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
     RunBudget, Scenario, Time, Value,
@@ -43,6 +44,20 @@ OPTIONS:
                      prefix of shards and a PARTIAL banner is printed
     --max-runs N     cap on generated runs, honored at shard granularity;
                      exceeding it also yields a PARTIAL prefix verdict
+    --horizon-sweep A..B
+                     check FORMULA at every horizon A..=B out of ONE
+                     incremental engine session: the exhaustive system is
+                     built once at horizon A and grown append-only to each
+                     larger horizon, reusing interned views and carrying
+                     an epoch-scoped knowledge cache. Per-horizon output
+                     is bit-identical to independent cold runs of each
+                     horizon. Exhaustive only: conflicts with --horizon,
+                     --sampled, --timeline, and --deadline/--max-runs
+    --sweep-cold     with --horizon-sweep: rebuild every horizon from
+                     scratch instead of extending — the differential
+                     oracle for the incremental path; prints the same
+                     output (diagnostic `cache:`/`extend:` lines under
+                     --cache-stats excepted)
     --witness        also print a point where the formula holds
     --cache-stats    after the verdict, print knowledge-cache counters
                      (reachability and scope-column hits/misses, interned
@@ -82,8 +97,8 @@ EXAMPLES:
     eba-check --timeline --config 011 --pattern 'p1:crash@1->p2' \
         'B_2(E0)' 'B_3(E0)' 'C(E0)'
 
-EXIT CODE: 0 if valid (or timeline printed), 1 if not valid, 2 on usage
-errors.
+EXIT CODE: 0 if valid (at every swept horizon, for --horizon-sweep; or
+timeline printed), 1 if not valid, 2 on usage errors.
 ";
 
 struct Options {
@@ -91,6 +106,8 @@ struct Options {
     t: usize,
     mode: FailureMode,
     horizon: Option<u16>,
+    horizon_sweep: Option<(u16, u16)>,
+    sweep_cold: bool,
     sampled: Option<(usize, u64)>,
     threads: Option<usize>,
     shards: Option<usize>,
@@ -112,6 +129,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         t: 1,
         mode: FailureMode::Crash,
         horizon: None,
+        horizon_sweep: None,
+        sweep_cold: false,
         sampled: None,
         threads: None,
         shards: None,
@@ -141,6 +160,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--horizon" => {
                 options.horizon = Some(take("--horizon")?.parse().map_err(|_| "bad --horizon")?);
             }
+            "--horizon-sweep" => {
+                let spec = take("--horizon-sweep")?;
+                let (from, to) = spec
+                    .split_once("..")
+                    .ok_or("--horizon-sweep needs a range like 2..5")?;
+                let from: u16 = from.trim().parse().map_err(|_| "bad sweep start")?;
+                let to: u16 = to.trim().parse().map_err(|_| "bad sweep end")?;
+                if from == 0 {
+                    return Err("sweep horizons start at 1".to_owned());
+                }
+                if to < from {
+                    return Err(format!("--horizon-sweep range {from}..{to} is empty"));
+                }
+                options.horizon_sweep = Some((from, to));
+            }
+            "--sweep-cold" => options.sweep_cold = true,
             "--mode" => {
                 options.mode = match take("--mode")?.as_str() {
                     "crash" => FailureMode::Crash,
@@ -325,6 +360,123 @@ fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> 
     )
 }
 
+/// Builds the exhaustive system honoring the thread/shard knobs (the
+/// unbudgeted path; sweeps reject budgets up front).
+fn build_exhaustive(scenario: &Scenario, options: &Options) -> Result<GeneratedSystem, String> {
+    let mut builder = SystemBuilder::new(scenario);
+    if let Some(threads) = options.threads {
+        builder = builder.threads(threads);
+    }
+    if let Some(shards) = options.shards {
+        builder = builder.shards(shards);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Evaluates `formula` over every point of `system` and prints the
+/// verdict block (VALID/NOT VALID, counterexample, witness, cache line) —
+/// shared by the single-scenario path and each horizon of a sweep.
+/// Returns whether the formula is valid.
+fn check_valid(
+    system: &GeneratedSystem,
+    formula: &Formula,
+    options: &Options,
+    cache: Option<KnowledgeCache>,
+) -> bool {
+    let mut eval = match cache {
+        Some(cache) => Evaluator::with_cache(system, cache),
+        None => Evaluator::new(system),
+    };
+    eval.set_plan_mode(options.plan);
+    if let Some(threads) = options.threads {
+        eval.set_threads(threads);
+    }
+    let satisfied = eval.eval(formula);
+    let holding = satisfied.count_ones();
+    let total = satisfied.len();
+    let valid = holding == total;
+    if valid {
+        println!("VALID ({total} points)");
+    } else {
+        println!("NOT VALID: holds at {holding}/{total} points");
+        if let Some((run, time)) = eval.counterexample(formula) {
+            println!("counterexample: {}", describe_point(system, run, time));
+        }
+        if options.witness {
+            match satisfied.first_one() {
+                Some(idx) => {
+                    let (run, time) = eval.point_of(idx);
+                    println!("witness: {}", describe_point(system, run, time));
+                }
+                None => println!("witness: none (formula is unsatisfiable here)"),
+            }
+        }
+    }
+    if options.cache_stats {
+        println!("cache: {}", eval.knowledge_cache().stats());
+    }
+    valid
+}
+
+/// The per-horizon preamble of a sweep (always exhaustive, one formula).
+fn print_sweep_preamble(system: &GeneratedSystem, options: &Options, formula: &Formula) {
+    if options.quiet {
+        return;
+    }
+    println!(
+        "scenario {}: {} runs, {} points (exhaustive)",
+        system.scenario(),
+        system.num_runs(),
+        system.num_points(),
+    );
+    println!("formula: {formula}");
+}
+
+/// Checks one formula at every horizon `from..=to`, either out of one
+/// incremental [`EngineSession`] (the default) or via independent cold
+/// builds (`--sweep-cold`, the differential oracle). Both modes print
+/// identical per-horizon output — CI diffs them — except for the
+/// diagnostic `cache:`/`extend:` lines under `--cache-stats`.
+fn run_sweep(options: &Options, from: u16, to: u16) -> Result<ExitCode, String> {
+    let formula = parse_formula(&options.formulas[0]).map_err(|e| e.to_string())?;
+    let base_scenario =
+        Scenario::new(options.n, options.t, options.mode, from).map_err(|e| e.to_string())?;
+    let mut all_valid = true;
+    if options.sweep_cold {
+        for h in from..=to {
+            let scenario = base_scenario.with_horizon(h).map_err(|e| e.to_string())?;
+            let system = build_exhaustive(&scenario, options)?;
+            println!("== horizon {h} ==");
+            print_sweep_preamble(&system, options, &formula);
+            all_valid &= check_valid(&system, &formula, options, None);
+        }
+    } else {
+        let base = build_exhaustive(&base_scenario, options)?;
+        let mut session = EngineSession::from_system(base, SessionScope::FullSpace);
+        for h in from..=to {
+            if h > from {
+                let report = session.extend_to(h).map_err(|e| e.to_string())?;
+                if options.cache_stats {
+                    println!("extend: {report}");
+                }
+            }
+            println!("== horizon {h} ==");
+            print_sweep_preamble(session.system(), options, &formula);
+            all_valid &= check_valid(
+                session.system(),
+                &formula,
+                options,
+                Some(session.cache().clone()),
+            );
+        }
+    }
+    Ok(if all_valid {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let options = match parse_args(&args) {
@@ -335,6 +487,29 @@ fn run() -> Result<ExitCode, String> {
         }
         Err(message) => return Err(message),
     };
+
+    if options.sweep_cold && options.horizon_sweep.is_none() {
+        return Err("--sweep-cold needs --horizon-sweep".into());
+    }
+    if let Some((from, to)) = options.horizon_sweep {
+        if options.horizon.is_some() {
+            return Err(
+                "--horizon conflicts with --horizon-sweep (the sweep sets the horizons)".into(),
+            );
+        }
+        if options.sampled.is_some() {
+            return Err("--horizon-sweep needs the exhaustive system; drop --sampled".into());
+        }
+        if options.timeline {
+            return Err("--timeline checks one run at one horizon; drop --horizon-sweep".into());
+        }
+        if options.deadline.is_some() || options.max_runs.is_some() {
+            return Err(
+                "--deadline/--max-runs govern single builds; drop them for --horizon-sweep".into(),
+            );
+        }
+        return run_sweep(&options, from, to);
+    }
 
     let horizon = options.horizon.unwrap_or(options.t as u16 + 2);
     let scenario =
@@ -447,54 +622,29 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
-    let mut eval = Evaluator::new(&system);
-    eval.set_plan_mode(options.plan);
-    if let Some(threads) = options.threads {
-        eval.set_threads(threads);
-    }
-
-    let print_cache_stats = |eval: &Evaluator| {
-        if options.cache_stats {
-            println!("cache: {}", eval.knowledge_cache().stats());
-        }
-    };
-
     if let Some((config, pattern)) = timeline_run {
+        let mut eval = Evaluator::new(&system);
+        eval.set_plan_mode(options.plan);
+        if let Some(threads) = options.threads {
+            eval.set_threads(threads);
+        }
         let run = system
             .find_run(&config, &pattern)
             .ok_or("run not in the generated system")?;
         println!("run: {config} under [{pattern}]");
         let timeline = Timeline::build(&mut eval, run, &formulas);
         println!("{timeline}");
-        print_cache_stats(&eval);
-        return Ok(ExitCode::SUCCESS);
-    }
-
-    let formula = &formulas[0].1;
-    let satisfied = eval.eval(formula);
-    let holding = satisfied.count_ones();
-    let total = satisfied.len();
-
-    if holding == total {
-        println!("VALID ({total} points)");
-        print_cache_stats(&eval);
-        return Ok(ExitCode::SUCCESS);
-    }
-    println!("NOT VALID: holds at {holding}/{total} points");
-    if let Some((run, time)) = eval.counterexample(formula) {
-        println!("counterexample: {}", describe_point(&system, run, time));
-    }
-    if options.witness {
-        match satisfied.first_one() {
-            Some(idx) => {
-                let (run, time) = eval.point_of(idx);
-                println!("witness: {}", describe_point(&system, run, time));
-            }
-            None => println!("witness: none (formula is unsatisfiable here)"),
+        if options.cache_stats {
+            println!("cache: {}", eval.knowledge_cache().stats());
         }
+        return Ok(ExitCode::SUCCESS);
     }
-    print_cache_stats(&eval);
-    Ok(ExitCode::from(1))
+
+    if check_valid(&system, &formulas[0].1, &options, None) {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::from(1))
+    }
 }
 
 fn main() -> ExitCode {

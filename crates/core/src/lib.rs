@@ -18,6 +18,10 @@
 //!   `F^{Λ,2}`, the crash rule `FIP(Z^cr, O^cr)` of Theorem 6.1, the
 //!   0-chain protocol `FIP(Z⁰, O⁰)` and `F*` of Section 6.2, and the
 //!   common-knowledge SBA rule;
+//! * [`EngineSession`] — incremental engine sessions: one system grown
+//!   in place by append-only horizon extension, with epoch-scoped
+//!   knowledge caches, serving constructors and evaluators at every
+//!   horizon;
 //! * [`chains`] — 0-chains and the `∃0*` predicate;
 //! * [`analysis`] — decision-time breakdowns by failure count and
 //!   configuration class.
@@ -54,6 +58,7 @@ mod fip;
 mod lift;
 mod optimality;
 mod properties;
+mod session;
 
 pub mod analysis;
 pub mod chains;
@@ -68,3 +73,4 @@ pub use optimality::{check_optimality, ConditionCheck, OptimalityReport};
 pub use properties::{
     decision_profile, strict_validity_violations, verify_properties, PropertyReport,
 };
+pub use session::{EngineSession, SessionScope};

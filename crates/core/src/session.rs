@@ -1,0 +1,255 @@
+//! Incremental engine sessions: one growing system, many queries.
+//!
+//! The classic pipeline treats every scenario as a cold start: generate
+//! the system, evaluate, throw everything away. Horizon sweeps — the
+//! paper's own methodology for checking that a horizon is large enough
+//! (decision times stabilize once `T ≥ t + 2`; see DESIGN.md §2 and the
+//! EXP10 ablation) — pay that full cost at every horizon even though a
+//! horizon-`T+1` system *contains* the horizon-`T` system: runs only gain
+//! rounds, and base-horizon views are append-only artifacts of the past.
+//!
+//! [`EngineSession`] exploits that structure. It owns one
+//! [`GeneratedSystem`] and one shared [`KnowledgeCache`] and grows the
+//! system in place via [`EngineSession::extend_to`]:
+//!
+//! * **model** — [`eba_model::Scenario::extend_horizon`] produces the
+//!   delta spec and the pattern translation rules;
+//! * **sim** — [`SystemBuilder::extend`] (or
+//!   [`SystemBuilder::extend_pinned`] for sampled/partial bases) reuses
+//!   every surviving base view row and simulates only appended rounds;
+//! * **kripke** — [`KnowledgeCache::advance_epoch`] invalidates the
+//!   point-indexed knowledge artifacts (reachability bitsets, scope
+//!   columns), which are sized to the old point set and must never hit
+//!   across horizons, while the cache handle and its statistics survive;
+//! * **core** — [`EngineSession::constructor`] /
+//!   [`EngineSession::evaluator`] hand out optimization and evaluation
+//!   frontends wired to the session's current system and cache, so the
+//!   Theorem 5.2 construction and the Theorem 5.3 optimality check can be
+//!   re-run at each horizon.
+//!
+//! Incremental growth is **equivalence-checked against cold builds**: the
+//! full-space path re-enumerates the extended pattern space in canonical
+//! order, so run ids, run order, and every decision/optimality artifact
+//! are bit-identical to generating the extended scenario from scratch
+//! (`tests/incremental_equivalence.rs` enforces this differentially).
+//!
+//! # Example
+//!
+//! ```
+//! use eba_core::{DecisionPair, EngineSession};
+//! use eba_model::{FailureMode, Scenario};
+//!
+//! # fn main() -> Result<(), eba_model::ModelError> {
+//! let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)?;
+//! let mut session = EngineSession::exhaustive(&scenario)?;
+//! let at_h2 = session.constructor().optimize(&DecisionPair::empty(3));
+//! let report = session.extend_to(3)?;
+//! assert!(report.reused_runs > 0);
+//! let at_h3 = session.constructor().optimize(&DecisionPair::empty(3));
+//! # let _ = (at_h2, at_h3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::Constructor;
+use eba_kripke::{Evaluator, KnowledgeCache};
+use eba_model::{ModelError, Scenario, Time};
+use eba_sim::{ExtendReport, GeneratedSystem, SystemBuilder};
+
+/// How a session's system tracks its scenario's run space across
+/// extensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionScope {
+    /// The system is the **exhaustive** system of its scenario and stays
+    /// exhaustive: extension re-enumerates the grown pattern space
+    /// ([`SystemBuilder::extend`]), adding fresh runs for patterns that
+    /// only exist at the larger horizon.
+    FullSpace,
+    /// The system is a fixed set of runs (sampled, budget-partial, or
+    /// hand-picked) and extension pads exactly those runs to the larger
+    /// horizon ([`SystemBuilder::extend_pinned`]); the run count never
+    /// changes.
+    PinnedRuns,
+}
+
+/// An incremental engine session; see the module docs.
+#[derive(Debug)]
+pub struct EngineSession {
+    system: GeneratedSystem,
+    cache: KnowledgeCache,
+    scope: SessionScope,
+    extensions: Vec<ExtendReport>,
+}
+
+impl EngineSession {
+    /// Opens a [`SessionScope::FullSpace`] session on the exhaustive
+    /// system of `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] when the scenario
+    /// overflows the run or view id space.
+    pub fn exhaustive(scenario: &Scenario) -> Result<Self, ModelError> {
+        let system = SystemBuilder::new(scenario).build()?;
+        Ok(Self::from_system(system, SessionScope::FullSpace))
+    }
+
+    /// Opens a session on an existing system. `scope` must reflect how
+    /// the system was built: [`SessionScope::FullSpace`] only for
+    /// exhaustive systems (the extension path re-enumerates the full
+    /// pattern space and cross-checks run counts), and
+    /// [`SessionScope::PinnedRuns`] for anything else.
+    #[must_use]
+    pub fn from_system(system: GeneratedSystem, scope: SessionScope) -> Self {
+        EngineSession {
+            system,
+            cache: KnowledgeCache::new(),
+            scope,
+            extensions: Vec::new(),
+        }
+    }
+
+    /// Grows the session's system to `horizon`, reusing base view rows
+    /// per the session's [`SessionScope`], and advances the knowledge
+    /// cache's epoch so no stale point-indexed artifact survives. Returns
+    /// the reuse accounting of this step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] unless `horizon` strictly
+    /// exceeds the current one, and [`ModelError::CapacityExceeded`] on
+    /// id-space overflow of the extended system.
+    pub fn extend_to(&mut self, horizon: u16) -> Result<ExtendReport, ModelError> {
+        let target = self.system.scenario().with_horizon(horizon)?;
+        let builder = SystemBuilder::new(&target);
+        let (system, report) = match self.scope {
+            SessionScope::FullSpace => builder.extend(&self.system)?,
+            SessionScope::PinnedRuns => builder.extend_pinned(&self.system)?,
+        };
+        self.system = system;
+        self.cache.advance_epoch();
+        self.extensions.push(report);
+        Ok(report)
+    }
+
+    /// The session's current system.
+    #[must_use]
+    pub fn system(&self) -> &GeneratedSystem {
+        &self.system
+    }
+
+    /// The session's current scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        self.system.scenario()
+    }
+
+    /// The session's current horizon.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.system.horizon()
+    }
+
+    /// The session's scope.
+    #[must_use]
+    pub fn scope(&self) -> SessionScope {
+        self.scope
+    }
+
+    /// The shared knowledge cache (clone it to share with ad-hoc
+    /// evaluators over the session's current system).
+    #[must_use]
+    pub fn cache(&self) -> &KnowledgeCache {
+        &self.cache
+    }
+
+    /// The cache epoch — equals the number of extensions performed.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
+    /// The reuse accounting of every extension performed so far, in
+    /// order.
+    #[must_use]
+    pub fn extensions(&self) -> &[ExtendReport] {
+        &self.extensions
+    }
+
+    /// A [`Constructor`] over the session's current system, wired to the
+    /// session cache. The borrow ends before the next
+    /// [`extend_to`](EngineSession::extend_to) — the borrow checker
+    /// enforces that no evaluator built for an old horizon outlives the
+    /// extension that invalidates it.
+    #[must_use]
+    pub fn constructor(&self) -> Constructor<'_> {
+        Constructor::with_cache(&self.system, self.cache.clone())
+    }
+
+    /// An [`Evaluator`] over the session's current system, wired to the
+    /// session cache; same borrow discipline as
+    /// [`constructor`](EngineSession::constructor).
+    #[must_use]
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::with_cache(&self.system, self.cache.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_optimality, DecisionPair, FipDecisions};
+    use eba_model::FailureMode;
+
+    fn scenario() -> Scenario {
+        Scenario::new(3, 1, FailureMode::Crash, 2).unwrap()
+    }
+
+    #[test]
+    fn session_growth_matches_cold_builds() {
+        let mut session = EngineSession::exhaustive(&scenario()).unwrap();
+        for h in [3u16, 4] {
+            session.extend_to(h).unwrap();
+            let pair = session.constructor().optimize(&DecisionPair::empty(3));
+
+            let cold_scenario = scenario().with_horizon(h).unwrap();
+            let cold_system = GeneratedSystem::exhaustive(&cold_scenario);
+            let mut cold_ctor = Constructor::new(&cold_system);
+            let cold_pair = cold_ctor.optimize(&DecisionPair::empty(3));
+
+            // Run ids are aligned by construction, so decisions compare
+            // directly, run by run.
+            let warm = FipDecisions::compute(session.system(), &pair, "warm");
+            let cold = FipDecisions::compute(&cold_system, &cold_pair, "cold");
+            assert_eq!(session.system().num_runs(), cold_system.num_runs());
+            for r in cold_system.run_ids() {
+                for p in eba_model::ProcessorId::all(3) {
+                    assert_eq!(warm.decision(r, p), cold.decision(r, p), "run {r:?} {p}");
+                }
+            }
+            assert!(check_optimality(&mut session.constructor(), &pair).is_optimal());
+        }
+        assert_eq!(session.epoch(), 2);
+        assert_eq!(session.extensions().len(), 2);
+    }
+
+    #[test]
+    fn extend_to_rejects_non_growth() {
+        let mut session = EngineSession::exhaustive(&scenario()).unwrap();
+        assert!(session.extend_to(2).is_err());
+        assert!(session.extend_to(1).is_err());
+        assert_eq!(session.epoch(), 0, "failed extensions must not advance");
+    }
+
+    #[test]
+    fn pinned_sessions_keep_their_run_set() {
+        let base = GeneratedSystem::sampled(&scenario(), 20, 7);
+        let runs = base.num_runs();
+        let mut session = EngineSession::from_system(base, SessionScope::PinnedRuns);
+        let report = session.extend_to(4).unwrap();
+        assert_eq!(session.system().num_runs(), runs);
+        assert_eq!(report.fresh_runs, 0);
+        assert_eq!(report.reused_runs, runs);
+        assert_eq!(session.horizon(), Time::new(4));
+    }
+}

@@ -34,8 +34,14 @@
 //!
 //! A cache is only meaningful for evaluators over the **same generated
 //! system**: reachability indexes the system's points. Sharing one across
-//! systems is caught in debug builds (the point counts disagree) but is
-//! undefined behaviorally in release builds — make a new cache per system.
+//! unrelated systems is caught in debug builds (the point counts
+//! disagree) but is undefined behaviorally in release builds — make a new
+//! cache per system. The one sanctioned way to carry a cache handle
+//! across systems is the incremental engine's **epoch** mechanism: when a
+//! session extends its system's horizon it calls
+//! [`KnowledgeCache::advance_epoch`], which invalidates every
+//! point-indexed entry (they are sized to the old system) while
+//! preserving the handle, its clones, and its counters.
 
 use crate::bitset::Bitset;
 use crate::eval::Reachability;
@@ -104,21 +110,26 @@ impl HashedReachKey {
 }
 
 /// Digest-keyed bucket map: entries whose keys share a digest live in one
-/// bucket and are resolved by full-key equality.
-type BucketMap<V> = HashMap<u64, Vec<(ReachKey, V)>>;
+/// bucket and are resolved by full-key equality. Every entry is tagged
+/// with the cache **epoch** it was inserted under; lookups only serve
+/// entries of the current epoch (see [`KnowledgeCache::advance_epoch`]).
+type BucketMap<V> = HashMap<u64, Vec<(ReachKey, u64, V)>>;
 
-fn bucket_get<V: Clone>(map: &BucketMap<V>, key: &HashedReachKey) -> Option<V> {
+fn bucket_get<V: Clone>(map: &BucketMap<V>, key: &HashedReachKey, epoch: u64) -> Option<V> {
     map.get(&key.hash)?
         .iter()
-        .find(|(k, _)| *k == key.key)
-        .map(|(_, v)| v.clone())
+        .find(|(k, e, _)| *e == epoch && *k == key.key)
+        .map(|(_, _, v)| v.clone())
 }
 
-fn bucket_insert<V>(map: &mut BucketMap<V>, key: &HashedReachKey, value: V) {
+fn bucket_insert<V>(map: &mut BucketMap<V>, key: &HashedReachKey, epoch: u64, value: V) {
     let bucket = map.entry(key.hash).or_default();
-    match bucket.iter_mut().find(|(k, _)| *k == key.key) {
-        Some(slot) => slot.1 = value,
-        None => bucket.push((key.key.clone(), value)),
+    match bucket.iter_mut().find(|(k, _, _)| *k == key.key) {
+        Some(slot) => {
+            slot.1 = epoch;
+            slot.2 = value;
+        }
+        None => bucket.push((key.key.clone(), epoch, value)),
     }
 }
 
@@ -132,6 +143,7 @@ struct Counters {
     scope_misses: AtomicU64,
     scope_interned: AtomicU64,
     scope_deduped: AtomicU64,
+    epoch_invalidated: AtomicU64,
 }
 
 /// A snapshot of a [`KnowledgeCache`]'s counters; see
@@ -153,6 +165,12 @@ pub struct CacheStats {
     /// Freshly extracted scope-column vectors that matched an interned
     /// entry and were deduplicated to a shared `Arc`.
     pub scope_deduped: u64,
+    /// The cache's current epoch (how many times
+    /// [`KnowledgeCache::advance_epoch`] has run).
+    pub epoch: u64,
+    /// Point-indexed entries dropped by epoch advances over the cache's
+    /// lifetime.
+    pub invalidated: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -160,13 +178,15 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "reachability {} hits / {} misses; scope columns {} hits / {} misses; \
-             interned scopes {} unique / {} deduped",
+             interned scopes {} unique / {} deduped; epoch {} ({} invalidated)",
             self.reach_hits,
             self.reach_misses,
             self.scope_hits,
             self.scope_misses,
             self.scope_interned,
             self.scope_deduped,
+            self.epoch,
+            self.invalidated,
         )
     }
 }
@@ -199,6 +219,9 @@ pub struct KnowledgeCache {
     reach: Arc<Mutex<BucketMap<Arc<Reachability>>>>,
     scopes: Arc<Mutex<ScopeStore>>,
     counters: Arc<Counters>,
+    /// The current epoch; entries inserted under an older epoch are never
+    /// served (see [`KnowledgeCache::advance_epoch`]).
+    epoch: Arc<AtomicU64>,
 }
 
 /// Scope-column storage: the key-addressed map plus the content-addressed
@@ -252,7 +275,48 @@ impl KnowledgeCache {
             scope_misses: c.scope_misses.load(Ordering::Relaxed),
             scope_interned: c.scope_interned.load(Ordering::Relaxed),
             scope_deduped: c.scope_deduped.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            invalidated: c.epoch_invalidated.load(Ordering::Relaxed),
         }
+    }
+
+    /// The cache's current epoch. All entries served by the cache were
+    /// inserted under this epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Starts a new epoch, invalidating every **point-indexed** entry:
+    /// reachability structures and scope columns are bitsets over the
+    /// points of one generated system, so when that system grows (the
+    /// incremental engine's horizon extension) they are dimensionally
+    /// stale — crucially including the content-independent keys
+    /// (`Everyone`, `Nonfaulty`), which would otherwise silently hit
+    /// across horizons. Purged entries are counted in
+    /// [`CacheStats::invalidated`]; hit/miss history, the cache handle,
+    /// and its clones all survive. Pure-past artifacts of the wider
+    /// engine (interned sim-layer views) are untouched by design — they
+    /// live outside this cache precisely because horizon growth preserves
+    /// them.
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    pub fn advance_epoch(&self) -> u64 {
+        let mut reach = self.reach.lock().expect("knowledge cache poisoned");
+        let mut scopes = self.scopes.lock().expect("knowledge cache poisoned");
+        let dropped = reach.values().map(Vec::len).sum::<usize>()
+            + scopes.by_key.values().map(Vec::len).sum::<usize>();
+        reach.clear();
+        scopes.by_key.clear();
+        scopes.pool.clear();
+        self.counters
+            .epoch_invalidated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Drops every cached structure (e.g. to bound memory between
@@ -280,7 +344,11 @@ impl KnowledgeCache {
     }
 
     pub(crate) fn get(&self, key: &HashedReachKey) -> Option<Arc<Reachability>> {
-        let found = bucket_get(&self.reach.lock().expect("knowledge cache poisoned"), key);
+        let found = bucket_get(
+            &self.reach.lock().expect("knowledge cache poisoned"),
+            key,
+            self.epoch(),
+        );
         let counter = if found.is_some() {
             &self.counters.reach_hits
         } else {
@@ -294,6 +362,7 @@ impl KnowledgeCache {
         bucket_insert(
             &mut self.reach.lock().expect("knowledge cache poisoned"),
             key,
+            self.epoch(),
             value,
         );
     }
@@ -302,6 +371,7 @@ impl KnowledgeCache {
         let found = bucket_get(
             &self.scopes.lock().expect("knowledge cache poisoned").by_key,
             key,
+            self.epoch(),
         );
         let counter = if found.is_some() {
             &self.counters.scope_hits
@@ -332,7 +402,7 @@ impl KnowledgeCache {
                 value
             }
         };
-        bucket_insert(&mut store.by_key, key, Arc::clone(&interned));
+        bucket_insert(&mut store.by_key, key, self.epoch(), Arc::clone(&interned));
         interned
     }
 }
@@ -361,6 +431,37 @@ mod tests {
         assert_eq!(stats.scope_deduped, 1);
         // Both keys resolve to the shared entry.
         assert!(Arc::ptr_eq(&cache.get_scopes(&key_b).unwrap(), &b));
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_point_indexed_entries() {
+        let cache = KnowledgeCache::new();
+        assert_eq!(cache.epoch(), 0);
+        let key = HashedReachKey::new(ReachKey::Everyone);
+        cache.insert_scopes(&key, Arc::new(vec![Bitset::new_false(8)]));
+        assert!(cache.get_scopes(&key).is_some());
+
+        assert_eq!(cache.advance_epoch(), 1);
+        assert_eq!(cache.epoch(), 1);
+        // The content-independent key must NOT hit across epochs: the old
+        // columns are sized to the old system.
+        assert!(cache.get_scopes(&key).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.invalidated, 1);
+
+        // Fresh inserts under the new epoch serve normally.
+        cache.insert_scopes(&key, Arc::new(vec![Bitset::new_false(16)]));
+        assert!(cache.get_scopes(&key).is_some());
+    }
+
+    #[test]
+    fn epoch_is_shared_by_clones() {
+        let cache = KnowledgeCache::new();
+        let clone = cache.clone();
+        cache.advance_epoch();
+        assert_eq!(clone.epoch(), 1);
+        assert_eq!(clone.stats().epoch, 1);
     }
 
     #[test]

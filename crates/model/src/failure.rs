@@ -171,6 +171,75 @@ impl FaultyBehavior {
         let others = ProcSet::full(n) - ProcSet::singleton(me);
         Round::upto(horizon).find(|&r| others.iter().any(|q| !self.delivers(r, q)))
     }
+
+    /// Restricts this behavior (of processor `me` in a system of `n`) to a
+    /// smaller `horizon`, returning the **canonical** base-horizon behavior
+    /// that produces identical deliveries, receptions, and crash freezes in
+    /// every round up to `horizon` — or `None` when no canonical behavior
+    /// does.
+    ///
+    /// The `None` case is a crash in round `horizon` that delivers to every
+    /// other processor: within `horizon` it deviates nowhere *visible to
+    /// others*, so the canonical enumeration of the base horizon skips it,
+    /// yet it is not equivalent to `Clean` either — the crashed processor's
+    /// own view freezes at `horizon` where a clean processor's keeps
+    /// growing. This is the inverse of horizon extension: a run whose
+    /// behavior truncates to `Some(b)` has, up to `horizon`, exactly the
+    /// views of the base run with behavior `b` (see
+    /// [`crate::Scenario::extend_horizon`]).
+    #[must_use]
+    pub fn truncated_to(&self, me: ProcessorId, n: usize, horizon: Time) -> Option<FaultyBehavior> {
+        match self {
+            FaultyBehavior::Clean => Some(FaultyBehavior::Clean),
+            FaultyBehavior::Crash { round, receivers } => {
+                if round.end() > horizon {
+                    // The crash happens after the base horizon: inside it
+                    // the processor delivers, receives, and extends its
+                    // view exactly like a clean one.
+                    Some(FaultyBehavior::Clean)
+                } else if round.end() == horizon
+                    && *receivers == ProcSet::full(n) - ProcSet::singleton(me)
+                {
+                    None
+                } else {
+                    Some(self.clone())
+                }
+            }
+            FaultyBehavior::Omission { omissions } => Some(FaultyBehavior::Omission {
+                omissions: omissions[..horizon.index().min(omissions.len())].to_vec(),
+            }),
+            FaultyBehavior::GeneralOmission { send, receive } => {
+                Some(FaultyBehavior::GeneralOmission {
+                    send: send[..horizon.index().min(send.len())].to_vec(),
+                    receive: receive[..horizon.index().min(receive.len())].to_vec(),
+                })
+            }
+        }
+    }
+
+    /// Re-encodes this behavior for a larger `horizon` without changing
+    /// any delivery inside the original one: crash rounds are preserved
+    /// and omission vectors are padded with empty rounds (the processor
+    /// deviates nowhere in the added rounds). The inverse direction of
+    /// [`FaultyBehavior::truncated_to`].
+    #[must_use]
+    pub fn padded_to(&self, horizon: Time) -> FaultyBehavior {
+        let pad = |v: &[ProcSet]| {
+            let mut v = v.to_vec();
+            v.resize(horizon.index(), ProcSet::empty());
+            v
+        };
+        match self {
+            FaultyBehavior::Clean | FaultyBehavior::Crash { .. } => self.clone(),
+            FaultyBehavior::Omission { omissions } => FaultyBehavior::Omission {
+                omissions: pad(omissions),
+            },
+            FaultyBehavior::GeneralOmission { send, receive } => FaultyBehavior::GeneralOmission {
+                send: pad(send),
+                receive: pad(receive),
+            },
+        }
+    }
 }
 
 impl fmt::Display for FaultyBehavior {
@@ -331,6 +400,41 @@ impl FailurePattern {
             Some(FaultyBehavior::Crash { round, .. }) => round.end() <= time,
             _ => false,
         }
+    }
+
+    /// Restricts the pattern to a smaller `horizon`, keeping the faulty
+    /// set intact: every behavior is truncated by
+    /// [`FaultyBehavior::truncated_to`]. Returns `None` when any behavior
+    /// has no canonical base-horizon counterpart (a crash in round
+    /// `horizon` delivering to all others) — such a run's view prefix
+    /// cannot be looked up in a base-horizon system and must be computed
+    /// from scratch by the horizon-extension path.
+    #[must_use]
+    pub fn truncated_to(&self, horizon: Time) -> Option<FailurePattern> {
+        let n = self.n();
+        let mut out = FailurePattern::failure_free(n);
+        for p in ProcessorId::all(n) {
+            if let Some(behavior) = self.behavior(p) {
+                out.set_behavior(p, behavior.truncated_to(p, n, horizon)?);
+            }
+        }
+        Some(out)
+    }
+
+    /// Re-encodes the pattern for a larger `horizon` without changing any
+    /// delivery inside the original one; see [`FaultyBehavior::padded_to`].
+    /// Padding is injective on valid patterns, so distinct base runs stay
+    /// distinct after extension.
+    #[must_use]
+    pub fn padded_to(&self, horizon: Time) -> FailurePattern {
+        let n = self.n();
+        let mut out = FailurePattern::failure_free(n);
+        for p in ProcessorId::all(n) {
+            if let Some(behavior) = self.behavior(p) {
+                out.set_behavior(p, behavior.padded_to(horizon));
+            }
+        }
+        out
     }
 
     /// Validates the pattern against a failure mode, bound `t`, and
@@ -576,6 +680,130 @@ mod tests {
         assert!(pat
             .validate(FailureMode::Omission, 1, Time::new(1))
             .is_err());
+    }
+
+    #[test]
+    fn truncation_follows_the_canonical_rules() {
+        let h = Time::new(2);
+        let others = ProcSet::full(3) - ProcSet::singleton(p(0));
+        // Clean stays clean.
+        assert_eq!(
+            FaultyBehavior::Clean.truncated_to(p(0), 3, h),
+            Some(FaultyBehavior::Clean)
+        );
+        // A crash inside the base horizon is kept verbatim.
+        let early = FaultyBehavior::Crash {
+            round: Round::new(1),
+            receivers: ProcSet::empty(),
+        };
+        assert_eq!(early.truncated_to(p(0), 3, h), Some(early.clone()));
+        // A crash after the base horizon is invisible inside it.
+        let late = FaultyBehavior::Crash {
+            round: Round::new(3),
+            receivers: ProcSet::empty(),
+        };
+        assert_eq!(late.truncated_to(p(0), 3, h), Some(FaultyBehavior::Clean));
+        // A crash at the base horizon delivering to all others has no
+        // canonical counterpart (the crashed view freezes, Clean's grows).
+        let boundary = FaultyBehavior::Crash {
+            round: Round::new(2),
+            receivers: others,
+        };
+        assert_eq!(boundary.truncated_to(p(0), 3, h), None);
+        // …but delivering to a strict subset keeps the crash.
+        let partial = FaultyBehavior::Crash {
+            round: Round::new(2),
+            receivers: ProcSet::singleton(p(1)),
+        };
+        assert_eq!(partial.truncated_to(p(0), 3, h), Some(partial.clone()));
+        // Omission vectors are cut to the base horizon.
+        let omit = FaultyBehavior::Omission {
+            omissions: vec![
+                ProcSet::singleton(p(1)),
+                ProcSet::empty(),
+                ProcSet::singleton(p(2)),
+            ],
+        };
+        assert_eq!(
+            omit.truncated_to(p(0), 3, h),
+            Some(FaultyBehavior::Omission {
+                omissions: vec![ProcSet::singleton(p(1)), ProcSet::empty()],
+            })
+        );
+    }
+
+    #[test]
+    fn padding_round_trips_through_truncation() {
+        let base = Time::new(2);
+        let extended = Time::new(4);
+        let behaviors = [
+            FaultyBehavior::Clean,
+            FaultyBehavior::Crash {
+                round: Round::new(2),
+                receivers: ProcSet::singleton(p(1)),
+            },
+            FaultyBehavior::Omission {
+                omissions: vec![ProcSet::singleton(p(2)), ProcSet::empty()],
+            },
+            FaultyBehavior::GeneralOmission {
+                send: vec![ProcSet::singleton(p(1)), ProcSet::empty()],
+                receive: vec![ProcSet::empty(), ProcSet::singleton(p(2))],
+            },
+        ];
+        for behavior in behaviors {
+            let padded = behavior.padded_to(extended);
+            // Padding never changes deliveries inside the base horizon …
+            for r in 1..=2u16 {
+                for q in 0..3 {
+                    assert_eq!(
+                        behavior.delivers(Round::new(r), p(q)),
+                        padded.delivers(Round::new(r), p(q))
+                    );
+                }
+            }
+            // … and truncation undoes it exactly.
+            assert_eq!(padded.truncated_to(p(0), 3, base), Some(behavior));
+        }
+    }
+
+    #[test]
+    fn pattern_truncation_preserves_the_faulty_set() {
+        let pattern = FailurePattern::failure_free(3)
+            .with_behavior(
+                p(0),
+                FaultyBehavior::Crash {
+                    round: Round::new(3),
+                    receivers: ProcSet::empty(),
+                },
+            )
+            .with_behavior(p(2), FaultyBehavior::Clean);
+        let truncated = pattern.truncated_to(Time::new(2)).unwrap();
+        assert_eq!(truncated.faulty_set(), pattern.faulty_set());
+        assert_eq!(truncated.behavior(p(0)), Some(&FaultyBehavior::Clean));
+        // A single non-truncatable behavior poisons the whole pattern.
+        let poisoned = pattern.with_behavior(
+            p(1),
+            FaultyBehavior::Crash {
+                round: Round::new(2),
+                receivers: ProcSet::full(3) - ProcSet::singleton(p(1)),
+            },
+        );
+        assert_eq!(poisoned.truncated_to(Time::new(2)), None);
+    }
+
+    #[test]
+    fn pattern_padding_is_valid_at_the_larger_horizon() {
+        let pattern = FailurePattern::failure_free(3).with_behavior(
+            p(1),
+            FaultyBehavior::Omission {
+                omissions: vec![ProcSet::singleton(p(0))],
+            },
+        );
+        let padded = pattern.padded_to(Time::new(3));
+        padded
+            .validate(FailureMode::Omission, 1, Time::new(3))
+            .unwrap();
+        assert_eq!(padded.truncated_to(Time::new(1)), Some(pattern));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use error::ModelError;
 pub use failure::{FailureMode, FailurePattern, FaultyBehavior};
 pub use ids::{PointId, ProcessorId, POINT_CAPACITY};
 pub use procset::{subsets as procset_subsets, ProcSet, Subsets};
-pub use scenario::Scenario;
+pub use scenario::{HorizonDelta, Scenario};
 pub use space::{ScenarioSpace, Shard, ShardPatterns};
 pub use time::{Round, Time};
 pub use value::Value;

@@ -125,6 +125,47 @@ impl Scenario {
         Scenario::new(self.n, self.t, self.mode, horizon)
     }
 
+    /// Produces the delta spec of an **append-only horizon extension**:
+    /// the same `(n, t, mode)` simulated for more rounds. The returned
+    /// [`HorizonDelta`] is what the incremental engine consumes — it
+    /// carries both scenarios plus the pattern translation helpers
+    /// (truncate a pattern of the extended space to the base space, pad a
+    /// base pattern into the extended space) that let
+    /// `SystemBuilder::extend` reuse base-horizon view prefixes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] if `horizon` does not
+    /// strictly exceed the current one.
+    pub fn extend_horizon(&self, horizon: u16) -> Result<HorizonDelta, ModelError> {
+        if Time::new(horizon) <= self.horizon {
+            return Err(ModelError::invalid_scenario(format!(
+                "extended horizon {horizon} must exceed the current horizon {}",
+                self.horizon.ticks()
+            )));
+        }
+        Ok(HorizonDelta {
+            base: *self,
+            extended: self.with_horizon(horizon)?,
+        })
+    }
+
+    /// Like [`Scenario::extend_horizon`], but validated against a full
+    /// target scenario — the form the incremental builder uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] unless `target` has the
+    /// same `n`, `t`, and mode and a strictly larger horizon.
+    pub fn extend_into(&self, target: &Scenario) -> Result<HorizonDelta, ModelError> {
+        if self.n != target.n || self.t != target.t || self.mode != target.mode {
+            return Err(ModelError::invalid_scenario(format!(
+                "cannot extend {self} into {target}: only the horizon may change"
+            )));
+        }
+        self.extend_horizon(target.horizon.ticks())
+    }
+
     /// Validates a failure pattern against this scenario.
     ///
     /// # Errors
@@ -140,6 +181,69 @@ impl Scenario {
             )));
         }
         pattern.validate(self.mode, self.t, self.horizon)
+    }
+}
+
+/// The delta spec of an append-only horizon extension: a base scenario
+/// and the same scenario with a strictly larger horizon (see
+/// [`Scenario::extend_horizon`]).
+///
+/// Growing the horizon grows a scenario along **two** axes at once: every
+/// existing run gains `added_rounds` new time steps, and the pattern
+/// space itself grows (new crash rounds, longer omission vectors). The
+/// translation helpers below relate the two spaces: a pattern of the
+/// extended space whose truncation is found in the base space shares its
+/// entire base-horizon view prefix with that base run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HorizonDelta {
+    base: Scenario,
+    extended: Scenario,
+}
+
+impl HorizonDelta {
+    /// The scenario being extended.
+    #[must_use]
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The scenario after extension (same `n`, `t`, mode; larger horizon).
+    #[must_use]
+    pub fn extended(&self) -> &Scenario {
+        &self.extended
+    }
+
+    /// How many rounds the extension appends.
+    #[must_use]
+    pub fn added_rounds(&self) -> u16 {
+        self.extended.horizon().ticks() - self.base.horizon().ticks()
+    }
+
+    /// Truncates a pattern of the extended space to the base space; see
+    /// [`FailurePattern::truncated_to`]. `None` means the pattern's
+    /// base-horizon prefix matches no canonical base pattern and must be
+    /// simulated from scratch.
+    #[must_use]
+    pub fn truncate_pattern(&self, pattern: &FailurePattern) -> Option<FailurePattern> {
+        pattern.truncated_to(self.base.horizon())
+    }
+
+    /// Pads a pattern of the base space into the extended space; see
+    /// [`FailurePattern::padded_to`].
+    #[must_use]
+    pub fn pad_pattern(&self, pattern: &FailurePattern) -> FailurePattern {
+        pattern.padded_to(self.extended.horizon())
+    }
+}
+
+impl fmt::Display for HorizonDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} extended to T={}",
+            self.base,
+            self.extended.horizon().ticks()
+        )
     }
 }
 
@@ -211,5 +315,33 @@ mod tests {
     fn display() {
         let s = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
         assert_eq!(s.to_string(), "n=4 t=1 mode=crash T=3");
+    }
+
+    #[test]
+    fn extend_horizon_requires_strict_growth() {
+        let s = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        assert!(s.extend_horizon(3).is_err());
+        assert!(s.extend_horizon(2).is_err());
+        let delta = s.extend_horizon(5).unwrap();
+        assert_eq!(delta.base(), &s);
+        assert_eq!(delta.extended().horizon(), Time::new(5));
+        assert_eq!(delta.extended().n(), 3);
+        assert_eq!(delta.added_rounds(), 2);
+        assert_eq!(delta.to_string(), "n=3 t=1 mode=crash T=3 extended to T=5");
+    }
+
+    #[test]
+    fn delta_pattern_helpers_translate_both_ways() {
+        let s = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let delta = s.extend_horizon(3).unwrap();
+        let base_pattern = FailurePattern::failure_free(3).with_behavior(
+            ProcessorId::new(1),
+            FaultyBehavior::Omission {
+                omissions: vec![crate::ProcSet::singleton(ProcessorId::new(0)); 2],
+            },
+        );
+        let padded = delta.pad_pattern(&base_pattern);
+        delta.extended().validate_pattern(&padded).unwrap();
+        assert_eq!(delta.truncate_pattern(&padded), Some(base_pattern));
     }
 }

@@ -44,9 +44,10 @@ use crate::chaos::{
     supervised_indexed, EngineFault, FaultInjector, FaultSite, NoChaos, WorkerFault,
 };
 use crate::system::{GeneratedSystem, RunId, RunRecord};
-use crate::view::{try_fip_views, ViewId, ViewTable};
+use crate::view::{try_fip_step, try_fip_views, ViewId, ViewTable};
 use eba_model::{
-    ArmedBudget, BudgetHit, InitialConfig, ModelError, RunBudget, Scenario, ScenarioSpace, Shard,
+    enumerate, ArmedBudget, BudgetHit, HorizonDelta, InitialConfig, ModelError, Round, RunBudget,
+    Scenario, ScenarioSpace, Shard,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -172,6 +173,175 @@ impl SystemBuilder {
             Err(EngineFault::Model(e)) => Err(e),
             Err(fault @ EngineFault::WorkerPanicked { .. }) => panic!("{fault}"),
         }
+    }
+
+    /// Extends `base` — an **exhaustive** system of the same `(n, t,
+    /// mode)` at a strictly smaller horizon — into the exhaustive system
+    /// of this builder's scenario, reusing every base-horizon view prefix
+    /// that survives the pattern-space growth.
+    ///
+    /// The extended pattern space is re-enumerated in canonical order
+    /// (pattern-outer, configuration-inner), so run ids, run order, and
+    /// view *content* are bit-identical to a cold
+    /// [`build`](SystemBuilder::build) of the same scenario; only the
+    /// internal `ViewId` numbering may differ (base-table ids come first),
+    /// which is never observable through the system's API. For each
+    /// extended pattern whose base-horizon truncation
+    /// ([`FailurePattern::truncated_to`]) names a canonical base pattern,
+    /// the base run is located via [`GeneratedSystem::find_run`] and its
+    /// flattened view row is copied verbatim; only the appended rounds are
+    /// simulated. Patterns with no base counterpart (failures scheduled in
+    /// the new rounds, or crash patterns the base horizon canonicalized
+    /// away) are simulated from scratch.
+    ///
+    /// Extension is sequential: the builder's thread/shard/budget/chaos
+    /// knobs apply to cold builds only and are ignored here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] unless `base` has the same
+    /// `n`, `t`, and mode and a strictly smaller horizon, and
+    /// [`ModelError::CapacityExceeded`] when the extended scenario
+    /// overflows the run or view id space.
+    pub fn extend(
+        self,
+        base: &GeneratedSystem,
+    ) -> Result<(GeneratedSystem, ExtendReport), ModelError> {
+        let delta = self.extension_delta(base)?;
+        let space = ScenarioSpace::new(self.scenario);
+        if space.total_runs() > RUN_CAPACITY {
+            return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY));
+        }
+        let horizon = self.scenario.horizon();
+        let n = self.scenario.n();
+        let configs: Vec<InitialConfig> = space.configs().collect();
+        let slots_per_run = (horizon.index() + 1) * n;
+
+        let mut table = base.table().clone();
+        let mut runs = Vec::new();
+        let mut views: Vec<ViewId> = Vec::new();
+        let mut lookup = HashMap::new();
+        let mut report = ExtendReport::default();
+
+        for pattern in enumerate::patterns(&self.scenario) {
+            debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+            let nonfaulty = pattern.nonfaulty_set();
+            let truncated = delta.truncate_pattern(&pattern);
+            for config in &configs {
+                let base_run = truncated
+                    .as_ref()
+                    .and_then(|trunc| base.find_run(config, trunc));
+                match base_run {
+                    Some(r) => {
+                        let row = base.views_row(r);
+                        views.extend_from_slice(row);
+                        let mut prev = row[row.len() - n..].to_vec();
+                        for round in Round::upto(horizon) {
+                            if round.end() <= delta.base().horizon() {
+                                continue;
+                            }
+                            let now = try_fip_step(&pattern, round, &prev, &mut table)?;
+                            views.extend_from_slice(&now);
+                            prev = now;
+                        }
+                        report.reused_runs += 1;
+                        report.reused_slots += row.len();
+                        report.computed_slots += slots_per_run - row.len();
+                    }
+                    None => {
+                        let run_views = try_fip_views(config, &pattern, horizon, &mut table)?;
+                        for time_views in &run_views {
+                            views.extend_from_slice(time_views);
+                        }
+                        report.fresh_runs += 1;
+                        report.computed_slots += slots_per_run;
+                    }
+                }
+                let id = RunId::try_new(runs.len())?;
+                let prior = lookup.insert((config.to_bits(), pattern.clone()), id);
+                debug_assert!(
+                    prior.is_none(),
+                    "exhaustive enumeration yielded a duplicate run"
+                );
+                runs.push(RunRecord {
+                    config: config.clone(),
+                    pattern: pattern.clone(),
+                    nonfaulty,
+                });
+            }
+        }
+        let system = GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup);
+        Ok((system, report))
+    }
+
+    /// Extends `base` — **any** system of the same `(n, t, mode)` at a
+    /// strictly smaller horizon, including sampled and budget-partial ones
+    /// — by padding each of its runs into this builder's scenario
+    /// ([`FailurePattern::padded_to`]: the pattern unchanged inside the
+    /// base horizon, no new deviations in the appended rounds) and
+    /// simulating only the appended rounds on top of the reused rows.
+    ///
+    /// Unlike [`extend`](SystemBuilder::extend) this does *not* grow the
+    /// run set: the result has exactly `base.num_runs()` runs, in base
+    /// order, and equals `GeneratedSystem::from_runs` over the padded
+    /// specs (padding is injective, so base deduplication carries over).
+    /// Every run is a reuse; the report's `fresh_runs` is always 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] unless `base` has the same
+    /// `n`, `t`, and mode and a strictly smaller horizon, and
+    /// [`ModelError::CapacityExceeded`] on view id overflow.
+    pub fn extend_pinned(
+        self,
+        base: &GeneratedSystem,
+    ) -> Result<(GeneratedSystem, ExtendReport), ModelError> {
+        let delta = self.extension_delta(base)?;
+        let horizon = self.scenario.horizon();
+        let n = self.scenario.n();
+        let slots_per_run = (horizon.index() + 1) * n;
+
+        let mut table = base.table().clone();
+        let mut runs = Vec::with_capacity(base.num_runs());
+        let mut views: Vec<ViewId> = Vec::with_capacity(base.num_runs() * slots_per_run);
+        let mut lookup = HashMap::new();
+        let mut report = ExtendReport::default();
+
+        for r in base.run_ids() {
+            let record = base.run(r);
+            let pattern = delta.pad_pattern(&record.pattern);
+            debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+            let row = base.views_row(r);
+            views.extend_from_slice(row);
+            let mut prev = row[row.len() - n..].to_vec();
+            for round in Round::upto(horizon) {
+                if round.end() <= delta.base().horizon() {
+                    continue;
+                }
+                let now = try_fip_step(&pattern, round, &prev, &mut table)?;
+                views.extend_from_slice(&now);
+                prev = now;
+            }
+            report.reused_runs += 1;
+            report.reused_slots += row.len();
+            report.computed_slots += slots_per_run - row.len();
+            let id = RunId::try_new(runs.len())?;
+            let prior = lookup.insert((record.config.to_bits(), pattern.clone()), id);
+            debug_assert!(prior.is_none(), "padding is injective on base patterns");
+            runs.push(RunRecord {
+                config: record.config.clone(),
+                pattern,
+                nonfaulty: record.nonfaulty,
+            });
+        }
+        let system = GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup);
+        Ok((system, report))
+    }
+
+    /// Validates that `base` can be extended into this builder's scenario:
+    /// identical `(n, t, mode)`, strictly larger horizon.
+    fn extension_delta(&self, base: &GeneratedSystem) -> Result<HorizonDelta, ModelError> {
+        base.scenario().extend_into(&self.scenario)
     }
 
     /// Builds the exhaustive system under the configured budget and fault
@@ -338,6 +508,59 @@ pub struct BuildReport {
     pub total_shards: usize,
 }
 
+/// What one horizon extension reused versus recomputed (see
+/// [`SystemBuilder::extend`] / [`SystemBuilder::extend_pinned`]).
+///
+/// A *slot* is one `(run, time, processor)` view entry of the flattened
+/// system; `reused_slots + computed_slots` is the extended system's total
+/// slot count.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct ExtendReport {
+    /// Runs whose base-horizon view rows were copied from the base system
+    /// (only appended rounds simulated).
+    pub reused_runs: usize,
+    /// Runs simulated from scratch (no base counterpart).
+    pub fresh_runs: usize,
+    /// View slots copied verbatim from the base system.
+    pub reused_slots: usize,
+    /// View slots produced by simulation during the extension.
+    pub computed_slots: usize,
+}
+
+impl ExtendReport {
+    /// Total runs of the extended system.
+    #[must_use]
+    pub fn total_runs(&self) -> usize {
+        self.reused_runs + self.fresh_runs
+    }
+
+    /// Fraction of the extended system's view slots that were reused,
+    /// in `[0, 1]`; 0 for an empty system.
+    #[must_use]
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.reused_slots + self.computed_slots;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused_slots as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ExtendReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reused {} runs / simulated {} fresh; {} of {} view slots reused ({:.0}%)",
+            self.reused_runs,
+            self.fresh_runs,
+            self.reused_slots,
+            self.reused_slots + self.computed_slots,
+            self.reuse_fraction() * 100.0
+        )
+    }
+}
+
 /// Why a shard stopped early.
 enum ShardError {
     /// A real model-level failure (capacity overflow, injected fault).
@@ -481,6 +704,33 @@ mod tests {
                     assert_eq!(
                         a.view(r, p, Time::new(time as u16)),
                         b.view(r, p, Time::new(time as u16)),
+                        "run {r:?}, time {time}, processor {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Content equivalence across systems whose `ViewId` numbering may
+    /// differ (the extension paths clone the base table, so their ids are
+    /// a permutation of a cold build's): same runs in the same order,
+    /// same interned-view total, and structurally equal views at every
+    /// point.
+    fn assert_equivalent(a: &GeneratedSystem, b: &GeneratedSystem) {
+        assert_eq!(a.num_runs(), b.num_runs());
+        assert_eq!(a.table().len(), b.table().len());
+        assert_eq!(a.horizon(), b.horizon());
+        let n = a.n();
+        for r in a.run_ids() {
+            assert_eq!(a.run(r).config, b.run(r).config);
+            assert_eq!(a.run(r).pattern, b.run(r).pattern);
+            assert_eq!(a.nonfaulty(r), b.nonfaulty(r));
+            for time in 0..=a.horizon().index() {
+                for p in ProcessorId::all(n) {
+                    let t = Time::new(time as u16);
+                    assert_eq!(
+                        a.table().render(a.view(r, p, t)),
+                        b.table().render(b.view(r, p, t)),
                         "run {r:?}, time {time}, processor {p}"
                     );
                 }
@@ -785,6 +1035,136 @@ mod tests {
         assert_eq!(budget_hit, BudgetHit::MaxViews { limit: 1 });
         assert!(completed_shards < 4);
         assert!(system.num_runs() < full.num_runs());
+    }
+
+    #[test]
+    fn extend_matches_cold_build_exactly() {
+        let base_scenario = scenario();
+        let base = SystemBuilder::new(&base_scenario)
+            .threads(1)
+            .build()
+            .unwrap();
+        for h in [3u16, 4] {
+            let extended_scenario = base_scenario.with_horizon(h).unwrap();
+            let (extended, report) = SystemBuilder::new(&extended_scenario)
+                .extend(&base)
+                .unwrap();
+            let cold = SystemBuilder::new(&extended_scenario)
+                .threads(1)
+                .shards(1)
+                .build()
+                .unwrap();
+            assert_equivalent(&cold, &extended);
+            assert_eq!(report.total_runs(), cold.num_runs());
+            assert!(report.reused_runs > 0, "failure-free runs always reuse");
+            assert!(report.fresh_runs > 0, "new crash rounds need fresh runs");
+        }
+    }
+
+    #[test]
+    fn extend_chains_compose() {
+        // extend(h2 → h3) then extend(h3 → h4) equals extend(h2 → h4).
+        let base_scenario = scenario();
+        let base = SystemBuilder::new(&base_scenario)
+            .threads(1)
+            .build()
+            .unwrap();
+        let s3 = base_scenario.with_horizon(3).unwrap();
+        let s4 = base_scenario.with_horizon(4).unwrap();
+        let (mid, _) = SystemBuilder::new(&s3).extend(&base).unwrap();
+        let (stepped, _) = SystemBuilder::new(&s4).extend(&mid).unwrap();
+        let (direct, _) = SystemBuilder::new(&s4).extend(&base).unwrap();
+        assert_equivalent(&direct, &stepped);
+    }
+
+    #[test]
+    fn extend_handles_omission_mode() {
+        let base_scenario = Scenario::new(3, 1, FailureMode::Omission, 1).unwrap();
+        let base = SystemBuilder::new(&base_scenario)
+            .threads(1)
+            .build()
+            .unwrap();
+        let extended_scenario = base_scenario.with_horizon(2).unwrap();
+        let (extended, report) = SystemBuilder::new(&extended_scenario)
+            .extend(&base)
+            .unwrap();
+        let cold = SystemBuilder::new(&extended_scenario)
+            .threads(1)
+            .build()
+            .unwrap();
+        assert_equivalent(&cold, &extended);
+        // Every base omission pattern pads canonically, so a large share
+        // of the extended space reuses base rows.
+        assert!(report.reused_runs >= base.num_runs());
+    }
+
+    #[test]
+    fn extend_rejects_incompatible_bases() {
+        let base = SystemBuilder::new(&scenario()).threads(1).build().unwrap();
+        // Same horizon: not an extension.
+        assert!(SystemBuilder::new(&scenario()).extend(&base).is_err());
+        // Smaller horizon.
+        let smaller = Scenario::new(3, 2, FailureMode::Crash, 1).unwrap();
+        assert!(SystemBuilder::new(&smaller).extend(&base).is_err());
+        // Different parameters.
+        let other_t = Scenario::new(3, 1, FailureMode::Crash, 4).unwrap();
+        assert!(SystemBuilder::new(&other_t).extend(&base).is_err());
+        let other_mode = Scenario::new(3, 2, FailureMode::Omission, 4).unwrap();
+        assert!(SystemBuilder::new(&other_mode).extend(&base).is_err());
+    }
+
+    #[test]
+    fn extend_pinned_matches_from_runs_over_padded_specs() {
+        let base_scenario = Scenario::new(4, 2, FailureMode::Crash, 2).unwrap();
+        let base = GeneratedSystem::sampled(&base_scenario, 40, 0xEBA);
+        let extended_scenario = base_scenario.with_horizon(4).unwrap();
+        let delta = base_scenario.extend_horizon(4).unwrap();
+        let (extended, report) = SystemBuilder::new(&extended_scenario)
+            .extend_pinned(&base)
+            .unwrap();
+        let specs: Vec<_> = base
+            .run_ids()
+            .map(|r| {
+                let record = base.run(r);
+                (record.config.clone(), delta.pad_pattern(&record.pattern))
+            })
+            .collect();
+        let cold = GeneratedSystem::from_runs(&extended_scenario, specs);
+        assert_equivalent(&cold, &extended);
+        assert_eq!(report.fresh_runs, 0);
+        assert_eq!(report.reused_runs, base.num_runs());
+        assert!(report.reuse_fraction() > 0.5);
+    }
+
+    #[test]
+    fn extend_pinned_preserves_budget_partial_prefixes() {
+        let base_scenario = scenario();
+        let space = ScenarioSpace::new(base_scenario);
+        let shards = space.shards(4);
+        let two_shards = (shards[0].len() + shards[1].len()) * space.num_configs();
+        let outcome = SystemBuilder::new(&base_scenario)
+            .threads(2)
+            .shards(4)
+            .budget(RunBudget::unlimited().with_max_runs(two_shards as u64))
+            .build_governed()
+            .unwrap();
+        let base = outcome.into_system();
+        let extended_scenario = base_scenario.with_horizon(3).unwrap();
+        let (extended, _) = SystemBuilder::new(&extended_scenario)
+            .extend_pinned(&base)
+            .unwrap();
+        assert_eq!(extended.num_runs(), base.num_runs());
+        // Base-horizon views of every run are untouched by the extension.
+        for r in base.run_ids() {
+            for time in 0..=base.horizon().index() {
+                for p in ProcessorId::all(base.n()) {
+                    let t = Time::new(time as u16);
+                    let a = base.table().render(base.view(r, p, t));
+                    let b = extended.table().render(extended.view(r, p, t));
+                    assert_eq!(a, b, "run {r:?} time {time} proc {p}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod view;
 pub mod chaos;
 pub mod stats;
 
-pub use builder::{BuildOutcome, BuildReport, SystemBuilder, RUN_CAPACITY};
+pub use builder::{BuildOutcome, BuildReport, ExtendReport, SystemBuilder, RUN_CAPACITY};
 pub use executor::{execute, execute_unchecked, ExecError};
 pub use full_info::{FullInformation, View};
 pub use points::PointStore;

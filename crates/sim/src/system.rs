@@ -261,6 +261,15 @@ impl GeneratedSystem {
         self.views[r.index() * slots_per_run + time.index() * n + p.index()]
     }
 
+    /// The flattened view row of run `r`: `(horizon + 1) × n` entries,
+    /// time-major then processor-major. The horizon-extension path copies
+    /// these rows verbatim into the extended system (the extended table
+    /// starts as a clone of this system's table, so the ids stay valid).
+    pub(crate) fn views_row(&self, r: RunId) -> &[ViewId] {
+        let slots_per_run = (self.horizon().index() + 1) * self.n();
+        &self.views[r.index() * slots_per_run..(r.index() + 1) * slots_per_run]
+    }
+
     /// The view table holding all interned views.
     #[must_use]
     pub fn table(&self) -> &ViewTable {

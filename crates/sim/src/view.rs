@@ -366,6 +366,34 @@ impl ViewTable {
         }
     }
 
+    /// Renders the full structural content of a view as a canonical
+    /// string — a **table-independent** fingerprint: two views, possibly
+    /// interned in different tables, render equally exactly when they
+    /// encode the same FIP local state. Within one table equal `ViewId`s
+    /// already mean equal content; `render` exists for cross-table
+    /// comparison — chiefly asserting that incrementally extended systems
+    /// ([`crate::SystemBuilder::extend`]) match cold builds, whose
+    /// `ViewId` numbering differs.
+    #[must_use]
+    pub fn render(&self, id: ViewId) -> String {
+        match self.node(id) {
+            ViewNode::Leaf { proc, value } => format!("{}:{}", proc.index(), value),
+            ViewNode::Node { prev, received } => {
+                let mut out = String::from("(");
+                out.push_str(&self.render(*prev));
+                for slot in received.iter() {
+                    out.push('|');
+                    match slot {
+                        Some(v) => out.push_str(&self.render(*v)),
+                        None => out.push('_'),
+                    }
+                }
+                out.push(')');
+                out
+            }
+        }
+    }
+
     /// The owner's view at an earlier time `time ≤ time(id)`.
     ///
     /// # Panics
@@ -426,25 +454,44 @@ pub fn try_fip_views(
     }
     views.push(leaves);
     for round in Round::upto(horizon) {
-        let prev_views = views.last().expect("time 0 is always present").clone();
-        let mut now: Vec<ViewId> = Vec::with_capacity(n);
-        for receiver in ProcessorId::all(n) {
-            if pattern.crashed_by(receiver, round.end()) {
-                now.push(prev_views[receiver.index()]);
-                continue;
-            }
-            let received: Vec<Option<ViewId>> = ProcessorId::all(n)
-                .map(|sender| {
-                    pattern
-                        .delivers(sender, receiver, round)
-                        .then(|| prev_views[sender.index()])
-                })
-                .collect();
-            now.push(table.try_extend(prev_views[receiver.index()], received)?);
-        }
+        let prev_views = views.last().expect("time 0 is always present");
+        let now = try_fip_step(pattern, round, prev_views, table)?;
         views.push(now);
     }
     Ok(views)
+}
+
+/// Advances every processor's full-information view by one round:
+/// `prev_views[p]` is `p`'s view at `round.start()`, the result is the
+/// views at `round.end()`. This is the shared kernel of [`try_fip_views`]
+/// and of the horizon-extension path ([`crate::SystemBuilder::extend`]),
+/// which replays only the appended rounds on top of reused base-horizon
+/// prefixes — sharing the loop body is what makes extension bit-identical
+/// in view *content* to a cold build.
+pub(crate) fn try_fip_step(
+    pattern: &FailurePattern,
+    round: Round,
+    prev_views: &[ViewId],
+    table: &mut ViewTable,
+) -> Result<Vec<ViewId>, ModelError> {
+    let n = pattern.n();
+    debug_assert_eq!(n, prev_views.len());
+    let mut now: Vec<ViewId> = Vec::with_capacity(n);
+    for receiver in ProcessorId::all(n) {
+        if pattern.crashed_by(receiver, round.end()) {
+            now.push(prev_views[receiver.index()]);
+            continue;
+        }
+        let received: Vec<Option<ViewId>> = ProcessorId::all(n)
+            .map(|sender| {
+                pattern
+                    .delivers(sender, receiver, round)
+                    .then(|| prev_views[sender.index()])
+            })
+            .collect();
+        now.push(table.try_extend(prev_views[receiver.index()], received)?);
+    }
+    Ok(now)
 }
 
 #[cfg(test)]

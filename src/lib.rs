@@ -25,16 +25,16 @@ pub use eba_sim as sim;
 pub mod prelude {
     pub use eba_core::{
         check_optimality, dominates, lift_protocol, verify_properties, Constructor, DecisionPair,
-        FipDecisions,
+        EngineSession, FipDecisions, SessionScope,
     };
-    pub use eba_kripke::{Evaluator, Formula, NonRigidSet, StateSets};
+    pub use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};
     pub use eba_model::{BudgetHit, RunBudget};
     pub use eba_model::{
-        FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
-        Scenario, Time, Value,
+        FailureMode, FailurePattern, FaultyBehavior, HorizonDelta, InitialConfig, ProcSet,
+        ProcessorId, Round, Scenario, Time, Value,
     };
     pub use eba_sim::{
-        execute, execute_unchecked, BuildOutcome, ExecError, GeneratedSystem, Protocol, RunId,
-        SystemBuilder, Trace,
+        execute, execute_unchecked, BuildOutcome, ExecError, ExtendReport, GeneratedSystem,
+        Protocol, RunId, SystemBuilder, Trace,
     };
 }

@@ -36,7 +36,7 @@ fn compare_horizons(
         // Patterns valid at the small horizon are valid at the large one
         // except for the re-encoding of omission vectors, which must be
         // padded with empty rounds.
-        let padded = pad_pattern(&record.pattern, mode, large);
+        let padded = record.pattern.padded_to(Time::new(large));
         let Some(run_large) = sys_large.find_run(&record.config, &padded) else {
             continue;
         };
@@ -53,24 +53,6 @@ fn compare_horizons(
         }
     }
     assert!(compared > 0, "no shared runs compared");
-}
-
-fn pad_pattern(pattern: &FailurePattern, mode: FailureMode, horizon: u16) -> FailurePattern {
-    let mut out = FailurePattern::failure_free(pattern.n());
-    for p in ProcessorId::all(pattern.n()) {
-        if let Some(behavior) = pattern.behavior(p) {
-            let padded = match (mode, behavior) {
-                (FailureMode::Omission, FaultyBehavior::Omission { omissions }) => {
-                    let mut omissions = omissions.clone();
-                    omissions.resize(horizon as usize, ProcSet::empty());
-                    FaultyBehavior::Omission { omissions }
-                }
-                _ => behavior.clone(),
-            };
-            out.set_behavior(p, padded);
-        }
-    }
-    out
 }
 
 #[test]
