@@ -1,0 +1,72 @@
+//! The limited-information exchange versus the full-information wall.
+//!
+//! Two workloads, both on the omission family where full-information
+//! view growth is steepest:
+//!
+//! * `exchange_build` — exhaustive system generation under each
+//!   exchange, inside the shared contact window (T=4, identical state
+//!   partitions) and past it (T=5, where the digest's forgetting starts
+//!   collapsing states);
+//! * `exchange_gfp` — the continual-common-knowledge fixpoint over a
+//!   digest system versus the full-information system of the same
+//!   scenario, confirming the kripke layer is exchange-agnostic in cost
+//!   when the partitions coincide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_kripke::{Evaluator, Formula, NonRigidSet};
+use eba_model::{ExchangeKind, FailureMode, Scenario, Value};
+use eba_sim::{GeneratedSystem, SystemBuilder};
+use std::hint::black_box;
+
+fn digest_of(scenario: &Scenario) -> Scenario {
+    scenario
+        .with_exchange(ExchangeKind::Digest { bits: 0 })
+        .expect("digest:0 is always a valid exchange")
+}
+
+fn exchange_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_build");
+    group.sample_size(10);
+    for horizon in [4u16, 5] {
+        let full = Scenario::new(3, 1, FailureMode::Omission, horizon).expect("valid scenario");
+        for scenario in [full, digest_of(&full)] {
+            group.bench_with_input(
+                BenchmarkId::new(scenario.exchange().to_string(), format!("T={horizon}")),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| {
+                        black_box(
+                            SystemBuilder::new(scenario)
+                                .build()
+                                .expect("bench scenarios fit the run capacity"),
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn exchange_gfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_gfp");
+    let base = Scenario::new(3, 1, FailureMode::Omission, 3).expect("valid scenario");
+    let phi = Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty);
+    for scenario in [base, digest_of(&base)] {
+        let system = GeneratedSystem::exhaustive(&scenario);
+        group.bench_with_input(
+            BenchmarkId::new(scenario.exchange().to_string(), scenario),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let mut eval = Evaluator::new(system);
+                    black_box(eval.eval(&phi).count_ones())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exchange_build, exchange_gfp);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Runs the entire experiment suite (EXP1–EXP10) in sequence.
+//! Runs the entire experiment suite (EXP1–EXP13) in sequence.
 use eba_bench::experiments as exp;
 
 fn main() {
@@ -15,6 +15,7 @@ fn main() {
         ("EXP10", exp::exp10()),
         ("EXP11", exp::exp11()),
         ("EXP12", exp::exp12()),
+        ("EXP13", exp::exp13()),
     ];
     for (name, tables) in suites {
         eprintln!("[{name}] done");

@@ -1,0 +1,6 @@
+//! Experiment EXP13; see `eba_bench::experiments::exp13`.
+fn main() {
+    for table in eba_bench::experiments::exp13() {
+        table.print();
+    }
+}

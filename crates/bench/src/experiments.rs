@@ -965,6 +965,120 @@ pub fn exp12() -> Vec<Table> {
     vec![table, no_optimum]
 }
 
+/// EXP13 — the limited-information exchange (DESIGN.md §4g): `digest:0`
+/// is differentially lossless on the small spaces the suite validates
+/// (identical state partition, decisions, and optimality verdicts as the
+/// full-information oracle), while past its contact window the digest
+/// state space grows linearly in the horizon where full information
+/// grows ~4× per round — so under a shared view budget the digest
+/// completes exhaustive builds the full-information engine cannot.
+pub fn exp13() -> Vec<Table> {
+    use eba_model::{ExchangeKind, RunBudget, Time};
+    use eba_sim::{GeneratedSystem, SystemBuilder};
+
+    let digest_of = |scenario: &Scenario| {
+        scenario
+            .with_exchange(ExchangeKind::Digest { bits: 0 })
+            .expect("digest:0 is always a valid exchange")
+    };
+
+    let mut oracle = Table::new(
+        "EXP13a: digest:0 vs the full-information oracle (lossless spaces)",
+        &[
+            "scenario",
+            "runs",
+            "full states",
+            "digest states",
+            "partition identical",
+            "decisions identical",
+            "both optimal",
+        ],
+    );
+    for (mode, horizon) in [
+        (FailureMode::Crash, 3u16),
+        (FailureMode::Omission, 2),
+        (FailureMode::GeneralOmission, 2),
+    ] {
+        let scenario = Scenario::new(3, 1, mode, horizon).expect("valid scenario");
+        let full = GeneratedSystem::exhaustive(&scenario);
+        let digest = GeneratedSystem::exhaustive(&digest_of(&scenario));
+        // State partitions coincide when the full→digest slot map is a
+        // bijection over every (run, time, processor) slot.
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        let mut bijective = full.num_runs() == digest.num_runs();
+        for run in full.run_ids() {
+            for time in 0..=full.horizon().index() {
+                for p in ProcessorId::all(3) {
+                    let f = full.view(run, p, Time::new(time as u16));
+                    let d = digest.view(run, p, Time::new(time as u16));
+                    bijective &= *fwd.entry(f).or_insert(d) == d;
+                    bijective &= *bwd.entry(d).or_insert(f) == f;
+                }
+            }
+        }
+        let pair_full = Constructor::new(&full).optimize(&DecisionPair::empty(3));
+        let pair_digest = Constructor::new(&digest).optimize(&DecisionPair::empty(3));
+        let d_full = FipDecisions::compute(&full, &pair_full, "full");
+        let d_digest = FipDecisions::compute(&digest, &pair_digest, "digest:0");
+        let decisions_match = full
+            .run_ids()
+            .all(|r| ProcessorId::all(3).all(|p| d_full.decision(r, p) == d_digest.decision(r, p)));
+        let both_optimal = check_optimality(&mut Constructor::new(&full), &pair_full).is_optimal()
+            && check_optimality(&mut Constructor::new(&digest), &pair_digest).is_optimal();
+        oracle.row([
+            scenario.to_string(),
+            full.num_runs().to_string(),
+            full.table().len().to_string(),
+            digest.table().len().to_string(),
+            bijective.to_string(),
+            decisions_match.to_string(),
+            both_optimal.to_string(),
+        ]);
+    }
+
+    let mut growth = Table::new(
+        "EXP13b: state growth past the contact window (omission n=3 t=1)",
+        &["T", "runs", "full states", "digest states", "full/digest"],
+    );
+    let top = if full_mode() { 7 } else { 6 };
+    for horizon in 4..=top {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, horizon).expect("valid scenario");
+        let full = GeneratedSystem::exhaustive(&scenario);
+        let digest = GeneratedSystem::exhaustive(&digest_of(&scenario));
+        growth.row([
+            horizon.to_string(),
+            full.num_runs().to_string(),
+            full.table().len().to_string(),
+            digest.table().len().to_string(),
+            fmt_f64(Some(
+                full.table().len() as f64 / digest.table().len() as f64,
+            )),
+        ]);
+    }
+
+    let mut wall = Table::new(
+        "EXP13c: shared view budget, omission n=3 t=1 T=6 (max 100k states)",
+        &["exchange", "outcome", "runs built", "states"],
+    );
+    let tall = Scenario::new(3, 1, FailureMode::Omission, 6).expect("valid scenario");
+    for scenario in [tall, digest_of(&tall)] {
+        let outcome = SystemBuilder::new(&scenario)
+            .budget(RunBudget::unlimited().with_max_views(100_000))
+            .build_governed()
+            .unwrap_or_else(|fault| panic!("{fault}"));
+        wall.row([
+            scenario.exchange().to_string(),
+            outcome
+                .budget_hit()
+                .map_or_else(|| "complete".into(), |hit| format!("partial: {hit}")),
+            outcome.system().num_runs().to_string(),
+            outcome.system().table().len().to_string(),
+        ]);
+    }
+    vec![oracle, growth, wall]
+}
+
 /// EXP-extra — Proposition 6.6 at message level is hard; as a stand-in,
 /// `F*` vs `FIP(Z⁰,O⁰)` improvement counts per scenario.
 pub fn exp6b_f_star_gain() -> Table {
@@ -1038,6 +1152,23 @@ mod tests {
                 .collect();
             assert_eq!(&cells[cells.len() - 2..], &["true", "false"], "{line}");
         }
+    }
+
+    #[test]
+    fn exp13_digest_matches_oracle_and_beats_the_wall() {
+        let tables = exp13();
+        // EXP13a: bijectivity, decision equality, and optimality must
+        // all hold on every validated space.
+        assert!(
+            !tables[0].render().contains("false"),
+            "{}",
+            tables[0].render()
+        );
+        // EXP13c: the same budget stops the full-information build and
+        // lets the digest complete.
+        let wall = tables[2].render();
+        assert!(wall.contains("partial"), "{wall}");
+        assert!(wall.contains("complete"), "{wall}");
     }
 
     #[test]

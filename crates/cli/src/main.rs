@@ -10,8 +10,8 @@ use eba_kripke::explain::Timeline;
 use eba_kripke::parse::parse_formula;
 use eba_kripke::{Evaluator, Formula, KnowledgeCache};
 use eba_model::{
-    FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId, Round,
-    RunBudget, Scenario, Time, Value,
+    ExchangeKind, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
+    Round, RunBudget, Scenario, Time, Value,
 };
 use eba_sim::{BuildOutcome, GeneratedSystem, SystemBuilder};
 use std::process::ExitCode;
@@ -28,6 +28,16 @@ OPTIONS:
     --t T            failure bound               (default 1)
     --mode MODE      crash | omission | general-omission   (default crash)
     --horizon H      rounds simulated            (default t + 2)
+    --exchange SPEC  information exchange the processors run:
+                       full          full-information views (default)
+                       digest:<bits> bounded who-heard-what digests with a
+                                     content fingerprint truncated to
+                                     0..=64 bits; the interned state space
+                                     is bounded in the horizon, unlocking
+                                     scales the full-information engine
+                                     cannot enumerate. digest:0 (pure
+                                     summary) also supports --horizon-sweep;
+                                     fingerprinted digests are rebuild-only
     --sampled R S    use R seeded random runs (seed S) instead of the
                      exhaustive system
     --threads N      worker threads for system generation and knowledge
@@ -105,6 +115,7 @@ struct Options {
     n: usize,
     t: usize,
     mode: FailureMode,
+    exchange: ExchangeKind,
     horizon: Option<u16>,
     horizon_sweep: Option<(u16, u16)>,
     sweep_cold: bool,
@@ -128,6 +139,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         n: 3,
         t: 1,
         mode: FailureMode::Crash,
+        exchange: ExchangeKind::FullInformation,
         horizon: None,
         horizon_sweep: None,
         sweep_cold: false,
@@ -176,6 +188,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.horizon_sweep = Some((from, to));
             }
             "--sweep-cold" => options.sweep_cold = true,
+            "--exchange" => {
+                options.exchange =
+                    ExchangeKind::parse(&take("--exchange")?).map_err(|e| e.to_string())?;
+            }
             "--mode" => {
                 options.mode = match take("--mode")?.as_str() {
                     "crash" => FailureMode::Crash,
@@ -439,8 +455,9 @@ fn print_sweep_preamble(system: &GeneratedSystem, options: &Options, formula: &F
 /// diagnostic `cache:`/`extend:` lines under `--cache-stats`.
 fn run_sweep(options: &Options, from: u16, to: u16) -> Result<ExitCode, String> {
     let formula = parse_formula(&options.formulas[0]).map_err(|e| e.to_string())?;
-    let base_scenario =
-        Scenario::new(options.n, options.t, options.mode, from).map_err(|e| e.to_string())?;
+    let base_scenario = Scenario::new(options.n, options.t, options.mode, from)
+        .and_then(|s| s.with_exchange(options.exchange))
+        .map_err(|e| e.to_string())?;
     let mut all_valid = true;
     if options.sweep_cold {
         for h in from..=to {
@@ -492,6 +509,16 @@ fn run() -> Result<ExitCode, String> {
         return Err("--sweep-cold needs --horizon-sweep".into());
     }
     if let Some((from, to)) = options.horizon_sweep {
+        // Gate before any heavy work, in the PR 2 knob-validation style:
+        // the session-extension path is only certified for exchanges that
+        // support it (and --sweep-cold's contract is to mirror that path).
+        if !options.exchange.supports_session_extension() {
+            return Err(format!(
+                "--horizon-sweep needs an exchange supporting session extension; \
+                 `{}` is rebuild-only (use full or digest:0, or check horizons individually)",
+                options.exchange
+            ));
+        }
         if options.horizon.is_some() {
             return Err(
                 "--horizon conflicts with --horizon-sweep (the sweep sets the horizons)".into(),
@@ -512,8 +539,9 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let horizon = options.horizon.unwrap_or(options.t as u16 + 2);
-    let scenario =
-        Scenario::new(options.n, options.t, options.mode, horizon).map_err(|e| e.to_string())?;
+    let scenario = Scenario::new(options.n, options.t, options.mode, horizon)
+        .and_then(|s| s.with_exchange(options.exchange))
+        .map_err(|e| e.to_string())?;
 
     if options.timeline && options.sampled.is_some() {
         return Err("--timeline needs the exhaustive system; drop --sampled".into());

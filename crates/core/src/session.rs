@@ -114,6 +114,12 @@ impl EngineSession {
     /// cache's epoch so no stale point-indexed artifact survives. Returns
     /// the reuse accounting of this step.
     ///
+    /// Extension is gated on the scenario's exchange
+    /// ([`eba_model::ExchangeKind::supports_session_extension`]):
+    /// full-information and `digest:0` sessions extend; fingerprinted
+    /// digest sessions (`digest:<bits>` with `bits > 0`) fail typed here
+    /// and must be rebuilt at the target horizon.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidScenario`] unless `horizon` strictly
@@ -238,6 +244,25 @@ mod tests {
         let mut session = EngineSession::exhaustive(&scenario()).unwrap();
         assert!(session.extend_to(2).is_err());
         assert!(session.extend_to(1).is_err());
+        assert_eq!(session.epoch(), 0, "failed extensions must not advance");
+    }
+
+    #[test]
+    fn extend_to_rejects_unsupported_exchange() {
+        use eba_model::ExchangeKind;
+        // digest:0 sessions extend like full-information ones…
+        let d0 = scenario()
+            .with_exchange(ExchangeKind::Digest { bits: 0 })
+            .unwrap();
+        let mut session = EngineSession::exhaustive(&d0).unwrap();
+        assert!(session.extend_to(4).is_ok());
+        // …fingerprinted digests are rebuild-only and fail typed.
+        let d32 = scenario()
+            .with_exchange(ExchangeKind::Digest { bits: 32 })
+            .unwrap();
+        let mut session = EngineSession::exhaustive(&d32).unwrap();
+        let err = session.extend_to(4).unwrap_err();
+        assert!(err.to_string().contains("session extension"), "{err}");
         assert_eq!(session.epoch(), 0, "failed extensions must not advance");
     }
 

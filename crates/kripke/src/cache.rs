@@ -59,12 +59,26 @@ use std::sync::{Arc, Mutex};
 pub type ScopeColumns = Arc<Vec<Bitset>>;
 
 /// The content of a nonrigid set, independent of any evaluator's id
-/// numbering: the `NonfaultyAnd` variant carries the per-processor
-/// membership words of the state-set family
+/// numbering, qualified by the **exchange fingerprint** of the system it
+/// was evaluated over ([`eba_model::ExchangeKind::fingerprint`]): a view
+/// membership word is only meaningful relative to the interned state
+/// space, and full-info and digest systems over the same scenario shape
+/// have unrelated state spaces — without the fingerprint their
+/// content-independent keys (`Everyone`, `Nonfaulty`) would collide.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct ReachKey {
+    /// The exchange fingerprint of the generated system.
+    pub(crate) exchange: u64,
+    /// Which nonrigid set, by content.
+    pub(crate) sel: ReachSel,
+}
+
+/// The selector half of a [`ReachKey`]: the `NonfaultyAnd` variant
+/// carries the per-processor membership words of the state-set family
 /// ([`crate::nonrigid::ViewSet::words`], trimmed and therefore
 /// canonical).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub(crate) enum ReachKey {
+pub(crate) enum ReachSel {
     Everyone,
     Nonfaulty,
     NonfaultyAnd(Vec<Box<[u64]>>),
@@ -92,10 +106,13 @@ impl HashedReachKey {
             hash ^= x;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         };
-        match &key {
-            ReachKey::Everyone => mix(1),
-            ReachKey::Nonfaulty => mix(2),
-            ReachKey::NonfaultyAnd(families) => {
+        // The exchange fingerprint is mixed first so the selector tags
+        // below stay distinct per exchange.
+        mix(key.exchange);
+        match &key.sel {
+            ReachSel::Everyone => mix(1),
+            ReachSel::Nonfaulty => mix(2),
+            ReachSel::NonfaultyAnd(families) => {
                 mix(3);
                 for words in families {
                     mix(words.len() as u64);
@@ -411,6 +428,15 @@ impl KnowledgeCache {
 mod tests {
     use super::*;
 
+    /// A key under the full-information exchange fingerprint (the tests'
+    /// default system shape).
+    fn key(sel: ReachSel) -> HashedReachKey {
+        HashedReachKey::new(ReachKey {
+            exchange: eba_model::ExchangeKind::FullInformation.fingerprint(),
+            sel,
+        })
+    }
+
     #[test]
     fn scope_interning_dedupes_identical_columns() {
         let cache = KnowledgeCache::new();
@@ -419,8 +445,8 @@ mod tests {
             b.set(3, bit);
             Arc::new(vec![b])
         };
-        let key_a = HashedReachKey::new(ReachKey::Nonfaulty);
-        let key_b = HashedReachKey::new(ReachKey::NonfaultyAnd(vec![Box::from([])]));
+        let key_a = key(ReachSel::Nonfaulty);
+        let key_b = key(ReachSel::NonfaultyAnd(vec![Box::from([])]));
         let a = cache.insert_scopes(&key_a, cols(true));
         let b = cache.insert_scopes(&key_b, cols(true));
         assert!(Arc::ptr_eq(&a, &b), "equal contents must share one Arc");
@@ -437,7 +463,7 @@ mod tests {
     fn advance_epoch_invalidates_point_indexed_entries() {
         let cache = KnowledgeCache::new();
         assert_eq!(cache.epoch(), 0);
-        let key = HashedReachKey::new(ReachKey::Everyone);
+        let key = key(ReachSel::Everyone);
         cache.insert_scopes(&key, Arc::new(vec![Bitset::new_false(8)]));
         assert!(cache.get_scopes(&key).is_some());
 
@@ -467,7 +493,7 @@ mod tests {
     #[test]
     fn stats_count_hits_and_misses() {
         let cache = KnowledgeCache::new();
-        let key = HashedReachKey::new(ReachKey::Everyone);
+        let key = key(ReachSel::Everyone);
         assert!(cache.get_scopes(&key).is_none());
         cache.insert_scopes(&key, Arc::new(Vec::new()));
         assert!(cache.get_scopes(&key).is_some());

@@ -1,7 +1,7 @@
 //! The memoizing formula evaluator over a generated system.
 
 use crate::bitset::Bitset;
-use crate::cache::{HashedReachKey, KnowledgeCache, ReachKey, ScopeColumns};
+use crate::cache::{HashedReachKey, KnowledgeCache, ReachKey, ReachSel, ScopeColumns};
 use crate::formula::Formula;
 use crate::nonrigid::{NonRigidSet, PointPredId, RunPredId, StateSets, StateSetsId};
 use crate::plan::FormulaPlan;
@@ -921,12 +921,20 @@ impl<'a> Evaluator<'a> {
         if let Some(key) = self.key_memo.get(&s) {
             return Arc::clone(key);
         }
-        let key = Arc::new(HashedReachKey::new(match s {
-            NonRigidSet::Everyone => ReachKey::Everyone,
-            NonRigidSet::Nonfaulty => ReachKey::Nonfaulty,
-            NonRigidSet::NonfaultyAnd(id) => {
-                ReachKey::NonfaultyAnd(self.state_sets[id.0 as usize].canonical())
-            }
+        // Keys carry the system's exchange fingerprint: full-info and
+        // digest systems have unrelated interned state spaces, so their
+        // entries must never be interchangeable even when a cache handle
+        // is (legally) shared across same-shape systems.
+        let exchange = self.system.scenario().exchange().fingerprint();
+        let key = Arc::new(HashedReachKey::new(ReachKey {
+            exchange,
+            sel: match s {
+                NonRigidSet::Everyone => ReachSel::Everyone,
+                NonRigidSet::Nonfaulty => ReachSel::Nonfaulty,
+                NonRigidSet::NonfaultyAnd(id) => {
+                    ReachSel::NonfaultyAnd(self.state_sets[id.0 as usize].canonical())
+                }
+            },
         }));
         self.key_memo.insert(s, Arc::clone(&key));
         key

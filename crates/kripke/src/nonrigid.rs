@@ -109,6 +109,11 @@ impl ViewSet {
                 } else {
                     let bit = w.trailing_zeros() as usize;
                     w &= w - 1;
+                    // Raw-index round trip, audited for the generalized
+                    // (exchange-agnostic) table: every set bit was put
+                    // here by `insert(ViewId)`, whose index came from a
+                    // `u32` id, so `k * 64 + bit` always fits and the
+                    // `from_index` panic path is unreachable.
                     Some(ViewId::from_index(k * 64 + bit))
                 }
             })

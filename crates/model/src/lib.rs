@@ -50,6 +50,7 @@
 mod budget;
 mod config;
 mod error;
+mod exchange;
 mod failure;
 mod ids;
 mod procset;
@@ -65,6 +66,7 @@ pub mod sample;
 pub use budget::{ArmedBudget, BudgetHit, RunBudget};
 pub use config::InitialConfig;
 pub use error::ModelError;
+pub use exchange::{ExchangeKind, MAX_DIGEST_BITS};
 pub use failure::{FailureMode, FailurePattern, FaultyBehavior};
 pub use ids::{PointId, ProcessorId, POINT_CAPACITY};
 pub use procset::{subsets as procset_subsets, ProcSet, Subsets};

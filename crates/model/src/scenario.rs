@@ -1,6 +1,6 @@
 //! Finite system scenarios.
 
-use crate::{FailureMode, FailurePattern, ModelError, Time};
+use crate::{ExchangeKind, FailureMode, FailurePattern, ModelError, Time};
 use std::fmt;
 
 /// A fully-specified finite instance of the paper's model: `n` processors,
@@ -36,6 +36,7 @@ pub struct Scenario {
     t: usize,
     mode: FailureMode,
     horizon: Time,
+    exchange: ExchangeKind,
 }
 
 impl Scenario {
@@ -70,6 +71,7 @@ impl Scenario {
             t,
             mode,
             horizon: Time::new(horizon),
+            exchange: ExchangeKind::FullInformation,
         })
     }
 
@@ -104,6 +106,14 @@ impl Scenario {
         self.mode
     }
 
+    /// The information exchange the scenario's processors run
+    /// ([`ExchangeKind::FullInformation`] unless overridden by
+    /// [`Scenario::with_exchange`]).
+    #[must_use]
+    pub fn exchange(&self) -> ExchangeKind {
+        self.exchange
+    }
+
     /// The horizon: generated runs cover times `0..=horizon`.
     #[must_use]
     pub fn horizon(&self) -> Time {
@@ -116,13 +126,34 @@ impl Scenario {
         Time::new(self.t as u16 + 2)
     }
 
-    /// Returns a copy of this scenario with a different horizon.
+    /// Returns a copy of this scenario with a different horizon (the
+    /// exchange and every other parameter are preserved).
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidScenario`] if `horizon < 1`.
     pub fn with_horizon(self, horizon: u16) -> Result<Self, ModelError> {
-        Scenario::new(self.n, self.t, self.mode, horizon)
+        Scenario::new(self.n, self.t, self.mode, horizon).map(|s| Scenario {
+            exchange: self.exchange,
+            ..s
+        })
+    }
+
+    /// Returns a copy of this scenario running a different information
+    /// exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidScenario`] for a digest fingerprint
+    /// width above 64 bits.
+    pub fn with_exchange(self, exchange: ExchangeKind) -> Result<Self, ModelError> {
+        if let ExchangeKind::Digest { bits } = exchange {
+            // Re-validate: the enum's fields are public, so a width that
+            // bypassed `ExchangeKind::digest` is caught here before it
+            // can reach a generated system.
+            ExchangeKind::digest(bits)?;
+        }
+        Ok(Scenario { exchange, ..self })
     }
 
     /// Produces the delta spec of an **append-only horizon extension**:
@@ -138,6 +169,13 @@ impl Scenario {
     /// Returns [`ModelError::InvalidScenario`] if `horizon` does not
     /// strictly exceed the current one.
     pub fn extend_horizon(&self, horizon: u16) -> Result<HorizonDelta, ModelError> {
+        if !self.exchange.supports_session_extension() {
+            return Err(ModelError::invalid_scenario(format!(
+                "exchange `{}` does not support session extension \
+                 (see ExchangeKind::supports_session_extension); rebuild at the target horizon",
+                self.exchange
+            )));
+        }
         if Time::new(horizon) <= self.horizon {
             return Err(ModelError::invalid_scenario(format!(
                 "extended horizon {horizon} must exceed the current horizon {}",
@@ -156,9 +194,13 @@ impl Scenario {
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidScenario`] unless `target` has the
-    /// same `n`, `t`, and mode and a strictly larger horizon.
+    /// same `n`, `t`, mode, and exchange and a strictly larger horizon.
     pub fn extend_into(&self, target: &Scenario) -> Result<HorizonDelta, ModelError> {
-        if self.n != target.n || self.t != target.t || self.mode != target.mode {
+        if self.n != target.n
+            || self.t != target.t
+            || self.mode != target.mode
+            || self.exchange != target.exchange
+        {
             return Err(ModelError::invalid_scenario(format!(
                 "cannot extend {self} into {target}: only the horizon may change"
             )));
@@ -256,7 +298,13 @@ impl fmt::Display for Scenario {
             self.t,
             self.mode,
             self.horizon.ticks()
-        )
+        )?;
+        // Full information is the paper's default and stays implicit, so
+        // every pre-exchange rendering (and test expectation) is stable.
+        if !self.exchange.is_full() {
+            write!(f, " exchange={}", self.exchange)?;
+        }
+        Ok(())
     }
 }
 
@@ -315,6 +363,51 @@ mod tests {
     fn display() {
         let s = Scenario::new(4, 1, FailureMode::Crash, 3).unwrap();
         assert_eq!(s.to_string(), "n=4 t=1 mode=crash T=3");
+    }
+
+    #[test]
+    fn with_exchange_threads_through_horizon_changes() {
+        let s = Scenario::new(4, 1, FailureMode::Crash, 3)
+            .unwrap()
+            .with_exchange(ExchangeKind::Digest { bits: 0 })
+            .unwrap();
+        assert_eq!(s.exchange(), ExchangeKind::Digest { bits: 0 });
+        assert_eq!(s.to_string(), "n=4 t=1 mode=crash T=3 exchange=digest:0");
+        // `with_horizon` routes through `Scenario::new`; the exchange must
+        // survive the round trip.
+        let s2 = s.with_horizon(5).unwrap();
+        assert_eq!(s2.exchange(), ExchangeKind::Digest { bits: 0 });
+        // Out-of-range widths are rejected even when the enum is built
+        // directly (its fields are public).
+        assert!(Scenario::new(4, 1, FailureMode::Crash, 3)
+            .unwrap()
+            .with_exchange(ExchangeKind::Digest { bits: 65 })
+            .is_err());
+    }
+
+    #[test]
+    fn extension_respects_exchange_policy() {
+        let full = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        // digest:0 extends like full information…
+        let d0 = full
+            .with_exchange(ExchangeKind::Digest { bits: 0 })
+            .unwrap();
+        let delta = d0.extend_horizon(4).unwrap();
+        assert_eq!(
+            delta.extended().exchange(),
+            ExchangeKind::Digest { bits: 0 }
+        );
+        // …fingerprinted digests are rebuild-only…
+        let d32 = full
+            .with_exchange(ExchangeKind::Digest { bits: 32 })
+            .unwrap();
+        let err = d32.extend_horizon(4).unwrap_err();
+        assert!(err.to_string().contains("session extension"), "{err}");
+        // …and a base never extends into a target with a different
+        // exchange, even when both support extension on their own.
+        let full_t4 = full.with_horizon(4).unwrap();
+        assert!(d0.extend_into(&full_t4).is_err());
+        assert!(full.extend_into(&full_t4).is_ok());
     }
 
     #[test]

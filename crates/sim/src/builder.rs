@@ -43,8 +43,9 @@
 use crate::chaos::{
     supervised_indexed, EngineFault, FaultInjector, FaultSite, NoChaos, WorkerFault,
 };
+use crate::exchange::{try_exchange_views, AnyExchange, Exchange};
 use crate::system::{GeneratedSystem, RunId, RunRecord};
-use crate::view::{try_fip_step, try_fip_views, ViewId, ViewTable};
+use crate::view::{ViewId, ViewTable};
 use eba_model::{
     enumerate, ArmedBudget, BudgetHit, HorizonDelta, InitialConfig, ModelError, Round, RunBudget,
     Scenario, ScenarioSpace, Shard,
@@ -214,6 +215,9 @@ impl SystemBuilder {
         }
         let horizon = self.scenario.horizon();
         let n = self.scenario.n();
+        // `extension_delta` already enforced the exchange's extension
+        // policy (Scenario::extend_into), so dispatching here is sound.
+        let exchange = AnyExchange::for_scenario(&self.scenario);
         let configs: Vec<InitialConfig> = space.configs().collect();
         let slots_per_run = (horizon.index() + 1) * n;
 
@@ -240,7 +244,7 @@ impl SystemBuilder {
                             if round.end() <= delta.base().horizon() {
                                 continue;
                             }
-                            let now = try_fip_step(&pattern, round, &prev, &mut table)?;
+                            let now = exchange.try_step(&mut table, &pattern, round, &prev)?;
                             views.extend_from_slice(&now);
                             prev = now;
                         }
@@ -249,7 +253,8 @@ impl SystemBuilder {
                         report.computed_slots += slots_per_run - row.len();
                     }
                     None => {
-                        let run_views = try_fip_views(config, &pattern, horizon, &mut table)?;
+                        let run_views =
+                            try_exchange_views(&exchange, config, &pattern, horizon, &mut table)?;
                         for time_views in &run_views {
                             views.extend_from_slice(time_views);
                         }
@@ -299,6 +304,7 @@ impl SystemBuilder {
         let delta = self.extension_delta(base)?;
         let horizon = self.scenario.horizon();
         let n = self.scenario.n();
+        let exchange = AnyExchange::for_scenario(&self.scenario);
         let slots_per_run = (horizon.index() + 1) * n;
 
         let mut table = base.table().clone();
@@ -318,7 +324,7 @@ impl SystemBuilder {
                 if round.end() <= delta.base().horizon() {
                     continue;
                 }
-                let now = try_fip_step(&pattern, round, &prev, &mut table)?;
+                let now = exchange.try_step(&mut table, &pattern, round, &prev)?;
                 views.extend_from_slice(&now);
                 prev = now;
             }
@@ -610,6 +616,7 @@ fn build_shard(
 ) -> Result<ShardBuild, ShardError> {
     let scenario = space.scenario();
     let horizon = scenario.horizon();
+    let exchange = AnyExchange::for_scenario(&scenario);
     let mut table = ViewTable::new();
     let mut runs = Vec::new();
     let mut views = Vec::new();
@@ -623,8 +630,8 @@ fn build_shard(
         debug_assert!(scenario.validate_pattern(&pattern).is_ok());
         let nonfaulty = pattern.nonfaulty_set();
         for config in configs {
-            let run_views =
-                try_fip_views(config, &pattern, horizon, &mut table).map_err(ShardError::Model)?;
+            let run_views = try_exchange_views(&exchange, config, &pattern, horizon, &mut table)
+                .map_err(ShardError::Model)?;
             for time_views in &run_views {
                 views.extend_from_slice(time_views);
             }

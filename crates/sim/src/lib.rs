@@ -20,6 +20,10 @@
 //! * [`PointStore`] — the columnar (struct-of-arrays) point store built
 //!   alongside every system: per-processor view columns and CSR bucket
 //!   partitions that back the compiled evaluation plans of `eba-kripke`;
+//! * [`Exchange`] / [`AnyExchange`] — the information-exchange
+//!   abstraction (DESIGN.md §4g): the builder simulates whichever
+//!   exchange the scenario declares; [`DigestExchange`] is the bounded
+//!   who-heard-what alternative to full information;
 //! * [`chaos`] — fault injection, `catch_unwind` worker supervision with
 //!   retry and sequential fallback, and adversarial failure schedules;
 //!   with [`eba_model::RunBudget`] this is the robustness substrate of
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod exchange;
 mod executor;
 mod full_info;
 mod points;
@@ -55,6 +60,10 @@ pub mod chaos;
 pub mod stats;
 
 pub use builder::{BuildOutcome, BuildReport, ExtendReport, SystemBuilder, RUN_CAPACITY};
+pub use exchange::{
+    try_exchange_views, AnyExchange, DigestExchange, DigestState, Exchange, FullInfoExchange,
+    CONTACT_WINDOW,
+};
 pub use executor::{execute, execute_unchecked, ExecError};
 pub use full_info::{FullInformation, View};
 pub use points::PointStore;

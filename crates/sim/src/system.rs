@@ -1,8 +1,9 @@
 //! Generated systems: the set of runs of the full-information protocol.
 
 use crate::builder::{SystemBuilder, RUN_CAPACITY};
+use crate::exchange::{try_exchange_views, AnyExchange};
 use crate::points::PointStore;
-use crate::view::{fip_views, ViewId, ViewTable};
+use crate::view::{ViewId, ViewTable};
 use eba_model::{
     sample, FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Scenario, Time,
 };
@@ -144,6 +145,7 @@ impl GeneratedSystem {
         let n = scenario.n();
         let horizon = scenario.horizon();
         let slots_per_run = (horizon.index() + 1) * n;
+        let exchange = AnyExchange::for_scenario(scenario);
 
         let mut table = ViewTable::new();
         let mut runs = Vec::new();
@@ -160,7 +162,8 @@ impl GeneratedSystem {
             }
             let id = RunId::new(runs.len());
             lookup.insert(key, id);
-            let run_views = fip_views(&config, &pattern, horizon, &mut table);
+            let run_views = try_exchange_views(&exchange, &config, &pattern, horizon, &mut table)
+                .expect("view table overflow");
             for time_views in &run_views {
                 views.extend_from_slice(time_views);
             }

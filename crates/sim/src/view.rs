@@ -16,11 +16,26 @@
 //! The table caches derived attributes per view (does a 0 appear anywhere?
 //! which processors' initial values are known? who was heard from in the
 //! last round?) so protocol decision rules run in O(1) per view.
+//!
+//! # Beyond full information
+//!
+//! Since the exchange abstraction (DESIGN.md §4g) the table interns the
+//! local state of *any* [`crate::Exchange`], not just FIP view trees:
+//! [`ViewNode::Digest`] holds the bounded who-heard-what state of the
+//! digest exchanges. Everything the downstream layers rely on is
+//! unchanged — equal `ViewId`s still mean identical local state, and the
+//! cached per-view attributes are derived from the digest's knowledge
+//! sets instead of a tree walk. Only the structural tree accessors
+//! ([`ViewTable::prev`], [`ViewTable::received_from`],
+//! [`ViewTable::at_time`]) are FIP-specific; they return `None` (or are
+//! documented to panic) on digest states.
 
 use eba_model::{
     FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Round, Time, Value,
 };
 use std::collections::HashMap;
+
+pub use crate::exchange::DigestState;
 
 /// The number of views a [`ViewTable`] can hold (`ViewId` is a `u32`).
 pub const VIEW_CAPACITY: u128 = 1 << 32;
@@ -78,6 +93,11 @@ pub enum ViewNode {
         /// (`received[owner]` is always `None`; own memory is `prev`).
         received: Box<[Option<ViewId>]>,
     },
+    /// The bounded local state of a digest exchange (see
+    /// [`crate::DigestExchange`]). Unlike [`ViewNode::Node`] it holds its
+    /// full content by value and references no other table entries, so
+    /// [`ViewTable::absorb`] clones it without remapping.
+    Digest(DigestState),
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -169,7 +189,10 @@ impl ViewTable {
         let mut remap: Vec<ViewId> = Vec::with_capacity(other.len());
         for (node, meta) in other.nodes.iter().zip(&other.meta) {
             let translated = match node {
-                ViewNode::Leaf { .. } => node.clone(),
+                // Leaves and digest states are self-contained: their
+                // content (and hence their hash-cons identity) carries no
+                // table-local ids, so absorption is a plain clone.
+                ViewNode::Leaf { .. } | ViewNode::Digest(_) => node.clone(),
                 ViewNode::Node { prev, received } => ViewNode::Node {
                     prev: remap[prev.index()],
                     received: received
@@ -274,6 +297,41 @@ impl ViewTable {
         )
     }
 
+    /// Interns the bounded local state of a digest exchange. The cached
+    /// attributes ([`ViewTable::exists_zero`], [`ViewTable::known_procs`],
+    /// …) are derived from the state's knowledge sets: a 0 exists in the
+    /// state iff some processor is known to have started with 0, a 1 iff
+    /// some known processor is *not* known to have started with 0.
+    ///
+    /// Overflow surfaces as a typed [`ModelError::CapacityExceeded`] —
+    /// the digest path has no panicking intern (satellite audit of the
+    /// raw-index constructors: only [`ViewId::try_from_index`] is used
+    /// here, via `try_intern`).
+    pub fn try_digest(&mut self, state: DigestState) -> Result<ViewId, ModelError> {
+        let known_ones = state.known_procs - state.known_zeros;
+        let meta = ViewMeta {
+            proc: state.proc,
+            time: state.time,
+            own_value: state.own_value,
+            exists_zero: !state.known_zeros.is_empty(),
+            exists_one: !known_ones.is_empty(),
+            known_procs: state.known_procs,
+            known_zeros: state.known_zeros,
+            heard_from: state.heard_from,
+        };
+        self.try_intern(ViewNode::Digest(state), meta)
+    }
+
+    /// The digest state of view `id`, or `None` for a full-information
+    /// view.
+    #[must_use]
+    pub fn digest_state(&self, id: ViewId) -> Option<&DigestState> {
+        match self.node(id) {
+            ViewNode::Digest(state) => Some(state),
+            _ => None,
+        }
+    }
+
     /// The structure of view `id`.
     #[must_use]
     pub fn node(&self, id: ViewId) -> &ViewNode {
@@ -347,21 +405,23 @@ impl ViewTable {
         self.meta[id.index()].heard_from
     }
 
-    /// The owner's view at the previous time, or `None` for a leaf.
+    /// The owner's view at the previous time, or `None` for a leaf or a
+    /// digest state (digest states are self-contained; they reference no
+    /// earlier table entries).
     #[must_use]
     pub fn prev(&self, id: ViewId) -> Option<ViewId> {
         match self.node(id) {
-            ViewNode::Leaf { .. } => None,
+            ViewNode::Leaf { .. } | ViewNode::Digest(_) => None,
             ViewNode::Node { prev, .. } => Some(*prev),
         }
     }
 
-    /// The view received from `j` in the last round, or `None` for a leaf
-    /// or an undelivered message.
+    /// The view received from `j` in the last round, or `None` for a leaf,
+    /// a digest state, or an undelivered message.
     #[must_use]
     pub fn received_from(&self, id: ViewId, j: ProcessorId) -> Option<ViewId> {
         match self.node(id) {
-            ViewNode::Leaf { .. } => None,
+            ViewNode::Leaf { .. } | ViewNode::Digest(_) => None,
             ViewNode::Node { received, .. } => received[j.index()],
         }
     }
@@ -378,6 +438,7 @@ impl ViewTable {
     pub fn render(&self, id: ViewId) -> String {
         match self.node(id) {
             ViewNode::Leaf { proc, value } => format!("{}:{}", proc.index(), value),
+            ViewNode::Digest(state) => state.render(),
             ViewNode::Node { prev, received } => {
                 let mut out = String::from("(");
                 out.push_str(&self.render(*prev));
@@ -394,11 +455,14 @@ impl ViewTable {
         }
     }
 
-    /// The owner's view at an earlier time `time ≤ time(id)`.
+    /// The owner's view at an earlier time `time ≤ time(id)` — a
+    /// full-information tree walk.
     ///
     /// # Panics
     ///
-    /// Panics if `time > time(id)`.
+    /// Panics if `time > time(id)`, or on a digest state with
+    /// `time < time(id)` (digest states keep no predecessor chain; this
+    /// accessor is only reachable from full-information call paths).
     #[must_use]
     pub fn at_time(&self, id: ViewId, time: Time) -> ViewId {
         let mut current = id;

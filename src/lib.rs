@@ -30,8 +30,8 @@ pub mod prelude {
     pub use eba_kripke::{Evaluator, Formula, KnowledgeCache, NonRigidSet, StateSets};
     pub use eba_model::{BudgetHit, RunBudget};
     pub use eba_model::{
-        FailureMode, FailurePattern, FaultyBehavior, HorizonDelta, InitialConfig, ProcSet,
-        ProcessorId, Round, Scenario, Time, Value,
+        ExchangeKind, FailureMode, FailurePattern, FaultyBehavior, HorizonDelta, InitialConfig,
+        ProcSet, ProcessorId, Round, Scenario, Time, Value,
     };
     pub use eba_sim::{
         execute, execute_unchecked, BuildOutcome, ExecError, ExtendReport, GeneratedSystem,
