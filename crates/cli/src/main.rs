@@ -10,11 +10,13 @@ use eba_kripke::explain::Timeline;
 use eba_kripke::parse::parse_formula;
 use eba_kripke::{Evaluator, Formula, KnowledgeCache};
 use eba_model::{
-    ExchangeKind, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet, ProcessorId,
-    Round, RunBudget, Scenario, Time, Value,
+    BudgetHit, ExchangeKind, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet,
+    ProcessorId, Round, RunBudget, Scenario, Time, Value,
 };
+use eba_serve::install_sigint;
 use eba_sim::{BuildOutcome, GeneratedSystem, SystemBuilder};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -109,6 +111,10 @@ EXAMPLES:
 
 EXIT CODE: 0 if valid (at every swept horizon, for --horizon-sweep; or
 timeline printed), 1 if not valid, 2 on usage errors.
+
+Ctrl-C is cooperative: an exhaustive build stops at the next shard
+checkpoint and the verdict covers the completed prefix (the same PARTIAL
+banner as --deadline); a --horizon-sweep stops before its next horizon.
 ";
 
 struct Options {
@@ -377,16 +383,23 @@ fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> 
 }
 
 /// Builds the exhaustive system honoring the thread/shard knobs (the
-/// unbudgeted path; sweeps reject budgets up front).
-fn build_exhaustive(scenario: &Scenario, options: &Options) -> Result<GeneratedSystem, String> {
-    let mut builder = SystemBuilder::new(scenario);
+/// unbudgeted path; sweeps reject budgets up front). The build is still
+/// governed by an interrupt-only budget so Ctrl-C stops it at the next
+/// shard checkpoint instead of being ignored until completion.
+fn build_exhaustive(
+    scenario: &Scenario,
+    options: &Options,
+    interrupt: &'static AtomicBool,
+) -> Result<BuildOutcome, String> {
+    let mut builder =
+        SystemBuilder::new(scenario).budget(RunBudget::unlimited().with_interrupt(interrupt));
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
     }
     if let Some(shards) = options.shards {
         builder = builder.shards(shards);
     }
-    builder.build().map_err(|e| e.to_string())
+    builder.build_governed().map_err(|e| e.to_string())
 }
 
 /// Evaluates `formula` over every point of `system` and prints the
@@ -453,7 +466,12 @@ fn print_sweep_preamble(system: &GeneratedSystem, options: &Options, formula: &F
 /// builds (`--sweep-cold`, the differential oracle). Both modes print
 /// identical per-horizon output — CI diffs them — except for the
 /// diagnostic `cache:`/`extend:` lines under `--cache-stats`.
-fn run_sweep(options: &Options, from: u16, to: u16) -> Result<ExitCode, String> {
+fn run_sweep(
+    options: &Options,
+    from: u16,
+    to: u16,
+    interrupt: &'static AtomicBool,
+) -> Result<ExitCode, String> {
     let formula = parse_formula(&options.formulas[0]).map_err(|e| e.to_string())?;
     let base_scenario = Scenario::new(options.n, options.t, options.mode, from)
         .and_then(|s| s.with_exchange(options.exchange))
@@ -461,17 +479,37 @@ fn run_sweep(options: &Options, from: u16, to: u16) -> Result<ExitCode, String> 
     let mut all_valid = true;
     if options.sweep_cold {
         for h in from..=to {
+            if h > from && interrupt.load(Ordering::Relaxed) {
+                println!("PARTIAL: interrupted; sweep stopped before horizon {h}");
+                break;
+            }
             let scenario = base_scenario.with_horizon(h).map_err(|e| e.to_string())?;
-            let system = build_exhaustive(&scenario, options)?;
+            let system = match build_exhaustive(&scenario, options, interrupt)? {
+                BuildOutcome::Complete { system, .. } => system,
+                BuildOutcome::Partial { budget_hit, .. } => {
+                    println!("PARTIAL: {budget_hit}; sweep stopped before horizon {h}");
+                    break;
+                }
+            };
             println!("== horizon {h} ==");
             print_sweep_preamble(&system, options, &formula);
             all_valid &= check_valid(&system, &formula, options, None);
         }
     } else {
-        let base = build_exhaustive(&base_scenario, options)?;
+        let base = match build_exhaustive(&base_scenario, options, interrupt)? {
+            BuildOutcome::Complete { system, .. } => system,
+            BuildOutcome::Partial { budget_hit, .. } => {
+                println!("PARTIAL: {budget_hit}; sweep stopped before horizon {from}");
+                return Ok(ExitCode::SUCCESS);
+            }
+        };
         let mut session = EngineSession::from_system(base, SessionScope::FullSpace);
         for h in from..=to {
             if h > from {
+                if interrupt.load(Ordering::Relaxed) {
+                    println!("PARTIAL: interrupted; sweep stopped before horizon {h}");
+                    break;
+                }
                 let report = session.extend_to(h).map_err(|e| e.to_string())?;
                 if options.cache_stats {
                     println!("extend: {report}");
@@ -504,6 +542,10 @@ fn run() -> Result<ExitCode, String> {
         }
         Err(message) => return Err(message),
     };
+    // Ctrl-C sets a flag that every governed build polls at its shard
+    // checkpoints; the run then finishes with a PARTIAL prefix verdict
+    // instead of being killed mid-write.
+    let interrupt = install_sigint();
 
     if options.sweep_cold && options.horizon_sweep.is_none() {
         return Err("--sweep-cold needs --horizon-sweep".into());
@@ -535,7 +577,7 @@ fn run() -> Result<ExitCode, String> {
                 "--deadline/--max-runs govern single builds; drop them for --horizon-sweep".into(),
             );
         }
-        return run_sweep(&options, from, to);
+        return run_sweep(&options, from, to, interrupt);
     }
 
     let horizon = options.horizon.unwrap_or(options.t as u16 + 2);
@@ -587,50 +629,57 @@ fn run() -> Result<ExitCode, String> {
     let system = match options.sampled {
         Some((runs, seed)) => GeneratedSystem::sampled(&scenario, runs, seed),
         None => {
-            let mut builder = SystemBuilder::new(&scenario);
+            // Every exhaustive build is governed: even without
+            // --deadline/--max-runs the budget carries the Ctrl-C flag,
+            // so an interrupted build degrades to the same PARTIAL
+            // prefix verdict a deadline would produce.
+            let mut budget = RunBudget::unlimited().with_interrupt(interrupt);
+            if let Some(deadline) = options.deadline {
+                budget = budget.with_deadline(deadline);
+            }
+            if let Some(max_runs) = options.max_runs {
+                budget = budget.with_max_runs(max_runs);
+            }
+            let mut builder = SystemBuilder::new(&scenario).budget(budget);
             if let Some(threads) = options.threads {
                 builder = builder.threads(threads);
             }
             if let Some(shards) = options.shards {
                 builder = builder.shards(shards);
             }
-            if budgeted {
-                let mut budget = RunBudget::unlimited();
-                if let Some(deadline) = options.deadline {
-                    budget = budget.with_deadline(deadline);
-                }
-                if let Some(max_runs) = options.max_runs {
-                    budget = budget.with_max_runs(max_runs);
-                }
-                match builder
-                    .budget(budget)
-                    .build_governed()
-                    .map_err(|e| e.to_string())?
-                {
-                    BuildOutcome::Complete { system, .. } => system,
-                    BuildOutcome::Partial {
-                        system,
-                        completed_shards,
-                        total_shards,
-                        budget_hit,
-                        ..
-                    } => {
-                        if system.num_runs() == 0 {
-                            return Err(format!(
+            match builder.build_governed().map_err(|e| e.to_string())? {
+                BuildOutcome::Complete { system, .. } => system,
+                BuildOutcome::Partial {
+                    system,
+                    completed_shards,
+                    total_shards,
+                    budget_hit,
+                    ..
+                } => {
+                    if system.num_runs() == 0 {
+                        return Err(match budget_hit {
+                            BudgetHit::Interrupted => {
+                                "interrupted before any shard completed; no partial verdict"
+                                    .to_owned()
+                            }
+                            _ => format!(
                                 "budget exhausted before any shard completed ({budget_hit}); \
                                  raise --deadline/--max-runs"
-                            ));
-                        }
-                        println!(
-                            "PARTIAL: {budget_hit}; verdict covers {completed_shards}/{total_shards} \
-                             shards ({} runs)",
-                            system.num_runs(),
-                        );
-                        system
+                            ),
+                        });
                     }
+                    if options.timeline {
+                        return Err(format!(
+                            "{budget_hit} mid-build; --timeline needs the complete system"
+                        ));
+                    }
+                    println!(
+                        "PARTIAL: {budget_hit}; verdict covers {completed_shards}/{total_shards} \
+                         shards ({} runs)",
+                        system.num_runs(),
+                    );
+                    system
                 }
-            } else {
-                builder.build().map_err(|e| e.to_string())?
             }
         }
     };

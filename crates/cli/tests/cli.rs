@@ -271,3 +271,67 @@ fn budget_flags_conflict_with_sampled_and_timeline() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("complete system"), "{stderr}");
 }
+
+#[test]
+fn sigint_degrades_to_a_partial_prefix_verdict() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    // A build that runs for minutes on any host, split into many small
+    // shards so a prefix completes quickly and the interrupt flag is
+    // polled often.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eba-check"))
+        .args([
+            "--n",
+            "5",
+            "--t",
+            "2",
+            "--mode",
+            "crash",
+            "--horizon",
+            "3",
+            "--shards",
+            "256",
+            "--quiet",
+            "true",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+
+    std::thread::sleep(Duration::from_secs(3));
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill -INT failed");
+
+    // Cooperative shutdown: the build must stop at the next shard
+    // checkpoint, not run to completion (which takes minutes) and not
+    // die mid-write (which would lose the exit status).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let output = loop {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => break child.wait_with_output().expect("output"),
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("SIGINT was not honored within 60s");
+            }
+            None => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // Either a nonempty shard prefix completed (PARTIAL banner + prefix
+    // verdict) or the signal landed before the first checkpoint (typed
+    // error); both are graceful exits, never a signal death.
+    assert!(
+        output.status.code().is_some(),
+        "process was killed by a signal instead of exiting: {stderr}"
+    );
+    assert!(
+        stdout.contains("PARTIAL: interrupted") || stderr.contains("interrupted"),
+        "no interrupt acknowledgement.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+}

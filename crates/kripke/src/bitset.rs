@@ -98,6 +98,12 @@ impl Bitset {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Approximate resident heap bytes of the backing word vector.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// Whether every bit is `true`.
     #[must_use]
     pub fn all(&self) -> bool {

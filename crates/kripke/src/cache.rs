@@ -188,6 +188,14 @@ pub struct CacheStats {
     /// Point-indexed entries dropped by epoch advances over the cache's
     /// lifetime.
     pub invalidated: u64,
+    /// Approximate resident heap bytes of the currently cached
+    /// structures: every live reachability structure plus every
+    /// *distinct* interned scope-column vector (shared `Arc`s count
+    /// once). Computed on demand by walking the cache, so it reflects
+    /// the moment of the [`KnowledgeCache::stats`] call; the serve
+    /// pool's eviction budget is driven by this figure plus
+    /// `GeneratedSystem::approx_resident_bytes`.
+    pub resident_bytes: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -195,7 +203,8 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "reachability {} hits / {} misses; scope columns {} hits / {} misses; \
-             interned scopes {} unique / {} deduped; epoch {} ({} invalidated)",
+             interned scopes {} unique / {} deduped; epoch {} ({} invalidated); \
+             resident ~{} bytes",
             self.reach_hits,
             self.reach_misses,
             self.scope_hits,
@@ -204,6 +213,7 @@ impl fmt::Display for CacheStats {
             self.scope_deduped,
             self.epoch,
             self.invalidated,
+            self.resident_bytes,
         )
     }
 }
@@ -294,7 +304,41 @@ impl KnowledgeCache {
             scope_deduped: c.scope_deduped.load(Ordering::Relaxed),
             epoch: self.epoch.load(Ordering::Relaxed),
             invalidated: c.epoch_invalidated.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes() as u64,
         }
+    }
+
+    /// Approximate resident heap bytes of the currently cached
+    /// structures; see [`CacheStats::resident_bytes`]. Stale-epoch
+    /// entries are already purged eagerly by
+    /// [`advance_epoch`](KnowledgeCache::advance_epoch), so everything
+    /// resident is counted. Interned scope columns shared by several
+    /// keys are counted once, by `Arc` identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex is poisoned.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let reach: usize = self
+            .reach
+            .lock()
+            .expect("knowledge cache poisoned")
+            .values()
+            .flatten()
+            .map(|(_, _, r)| r.approx_bytes())
+            .sum();
+        let scopes = self.scopes.lock().expect("knowledge cache poisoned");
+        // The pool holds every distinct column vector exactly once (all
+        // by_key entries alias pool Arcs), so walking it counts shared
+        // columns once.
+        let columns: usize = scopes
+            .pool
+            .values()
+            .flatten()
+            .map(|cols| cols.iter().map(Bitset::approx_bytes).sum::<usize>())
+            .sum();
+        reach + columns
     }
 
     /// The cache's current epoch. All entries served by the cache were
@@ -488,6 +532,28 @@ mod tests {
         cache.advance_epoch();
         assert_eq!(clone.epoch(), 1);
         assert_eq!(clone.stats().epoch, 1);
+    }
+
+    #[test]
+    fn resident_bytes_track_live_entries_and_share_interned_columns() {
+        let cache = KnowledgeCache::new();
+        assert_eq!(cache.resident_bytes(), 0);
+        let cols = Arc::new(vec![Bitset::new_false(1024)]);
+        let per_vector = cols.iter().map(Bitset::approx_bytes).sum::<usize>();
+        cache.insert_scopes(&key(ReachSel::Nonfaulty), Arc::clone(&cols));
+        // A second key with identical content shares the interned Arc:
+        // resident bytes must not double.
+        cache.insert_scopes(
+            &key(ReachSel::NonfaultyAnd(vec![Box::from([])])),
+            Arc::new(vec![Bitset::new_false(1024)]),
+        );
+        assert_eq!(cache.resident_bytes(), per_vector);
+        assert_eq!(cache.stats().resident_bytes, per_vector as u64);
+        // Epoch advance purges everything point-indexed.
+        cache.advance_epoch();
+        assert_eq!(cache.resident_bytes(), 0);
+        let rendered = cache.stats().to_string();
+        assert!(rendered.contains("resident ~0 bytes"), "{rendered}");
     }
 
     #[test]

@@ -87,6 +87,17 @@ impl Reachability {
     pub fn num_points(&self) -> usize {
         self.s_members.len()
     }
+
+    /// Approximate resident heap bytes of the structure's per-point and
+    /// per-run vectors (for the knowledge cache's memory accounting).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.point_comp.len() * size_of::<u32>()
+            + self.run_comp.len() * size_of::<u32>()
+            + self.run_has_s_points.len()
+            + self.s_members.len() * size_of::<ProcSet>()
+    }
 }
 
 /// A memoizing evaluator of [`Formula`]s over a [`GeneratedSystem`].

@@ -1,0 +1,417 @@
+//! Query execution: one [`Request`] in, one response frame out.
+//!
+//! The same execution path serves the concurrent daemon and the
+//! single-threaded [`oracle`] — byte-identity between the two is the
+//! daemon's core correctness contract, enforced by the chaos suite.
+//! Responses therefore carry **no** timing, host, or pool-state fields:
+//! a response is a pure function of the request (given a deterministic
+//! budget; wall-clock deadlines are inherently timing-dependent and the
+//! suite pins budgets with `max_runs`/`shards` instead).
+//!
+//! Budgeted checks bypass the pool (a partial prefix system must never
+//! be pooled) and run through [`SessionPool::build_budgeted`]; a
+//! deadline or drain interrupt yields the same deterministic `partial`
+//! verdict shape as `eba-check --deadline`'s PARTIAL banner.
+
+use crate::json::Json;
+use crate::pool::{PoolKey, RetryPolicy, SessionPool};
+use crate::protocol::{CheckRequest, Request, ScenarioSpec, ServeError, SweepRequest};
+use eba_core::{check_optimality, DecisionPair, EngineSession, SessionScope};
+use eba_kripke::parse::parse_formula;
+use eba_kripke::{Evaluator, Formula};
+use eba_model::{RunBudget, Time};
+use eba_sim::{BuildOutcome, GeneratedSystem};
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+/// Everything a query needs besides the request itself.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryContext<'a> {
+    /// The warm-session pool.
+    pub pool: &'a SessionPool,
+    /// Drain flag: set when the server is shutting down; in-flight
+    /// builds stop at their next cooperative checkpoint with a
+    /// deterministic `partial` verdict.
+    pub interrupt: Option<&'static AtomicBool>,
+    /// Worker threads for builds and evaluation (`None` = all cores).
+    /// Any value yields bit-identical results.
+    pub threads: Option<usize>,
+}
+
+/// Executes one request. `Err` values map 1:1 onto typed error frames.
+///
+/// # Errors
+///
+/// Any [`ServeError`]; the caller renders it with
+/// [`ServeError::to_frame`].
+pub fn execute(req: &Request, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
+    match req {
+        Request::Ping => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("pong".into())),
+        ])),
+        Request::Check(check) => run_check(check, ctx),
+        Request::Optimize(spec) => run_optimize(spec, ctx),
+        Request::Sweep(sweep) => run_sweep(sweep, ctx),
+        Request::Stats => Ok(render_stats(ctx.pool)),
+        Request::Evict(spec) => {
+            let evicted = ctx.pool.evict(spec.map(|spec| PoolKey { spec }));
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("evict".into())),
+                ("evicted", Json::Int(evicted as i64)),
+            ]))
+        }
+    }
+}
+
+/// The single-threaded cold oracle: answers `req` with a fresh
+/// unbounded pool, no chaos, one worker thread. The chaos suite asserts
+/// the concurrent daemon's frames are byte-identical to this.
+#[must_use]
+pub fn oracle(req: &Request) -> String {
+    let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+    let ctx = QueryContext {
+        pool: &pool,
+        interrupt: None,
+        threads: Some(1),
+    };
+    match execute(req, &ctx) {
+        Ok(frame) => frame.to_line(),
+        Err(e) => e.to_frame().to_line(),
+    }
+}
+
+fn parse_checked_formula(text: &str) -> Result<Formula, ServeError> {
+    parse_formula(text).map_err(|e| ServeError::BadRequest(e.to_string()))
+}
+
+fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> String {
+    let record = system.run(run);
+    format!(
+        "run {} at {time}: config {} under [{}] (nonfaulty {})",
+        run.index(),
+        record.config,
+        record.pattern,
+        record.nonfaulty,
+    )
+}
+
+/// The VALID/NOT-VALID core shared by checks and sweep horizons:
+/// evaluates `formula` over every point and appends the verdict fields.
+fn verdict_fields(
+    eval: &mut Evaluator<'_>,
+    system: &GeneratedSystem,
+    formula: &Formula,
+    witness: bool,
+    fields: &mut Vec<(&'static str, Json)>,
+) -> bool {
+    let satisfied = eval.eval(formula);
+    let holds = satisfied.count_ones();
+    let points = satisfied.len();
+    let valid = holds == points;
+    fields.push(("valid", Json::Bool(valid)));
+    fields.push(("holds", Json::Int(holds as i64)));
+    fields.push(("points", Json::Int(points as i64)));
+    if !valid {
+        if let Some((run, time)) = eval.counterexample(formula) {
+            fields.push((
+                "counterexample",
+                Json::Str(describe_point(system, run, time)),
+            ));
+        }
+    }
+    if witness {
+        match satisfied.first_one() {
+            Some(idx) => {
+                let (run, time) = eval.point_of(idx);
+                fields.push(("witness", Json::Str(describe_point(system, run, time))));
+            }
+            None => fields.push(("witness", Json::Null)),
+        }
+    }
+    valid
+}
+
+fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
+    let formula = parse_checked_formula(&check.formula)?;
+    let scenario = check.spec.scenario()?;
+    let budgeted = check.deadline_ms.is_some() || check.max_runs.is_some();
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("check".into())),
+        ("scenario", Json::Str(scenario.to_string())),
+    ];
+
+    if budgeted {
+        // Budgeted checks bypass the pool: a prefix system is a valid
+        // object to check but must never be served to later queries.
+        let mut budget = RunBudget::unlimited();
+        if let Some(ms) = check.deadline_ms {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(max) = check.max_runs {
+            budget = budget.with_max_runs(max);
+        }
+        let outcome = ctx.pool.build_budgeted(
+            &check.spec,
+            budget,
+            ctx.interrupt,
+            check.shards,
+            ctx.threads,
+        )?;
+        let (system, partial) = match outcome {
+            BuildOutcome::Complete { system, .. } => (system, None),
+            BuildOutcome::Partial {
+                system,
+                completed_shards,
+                total_shards,
+                budget_hit,
+                ..
+            } => {
+                if system.num_runs() == 0 {
+                    return Err(ServeError::BudgetExhausted(format!(
+                        "budget exhausted before any shard completed ({budget_hit}); \
+                         raise deadline_ms/max_runs"
+                    )));
+                }
+                (system, Some((budget_hit, completed_shards, total_shards)))
+            }
+        };
+        fields.push(("runs", Json::Int(system.num_runs() as i64)));
+        if let Some((hit, completed, total)) = partial {
+            fields.push((
+                "partial",
+                Json::obj([
+                    ("reason", Json::Str(hit.to_string())),
+                    ("completed_shards", Json::Int(completed as i64)),
+                    ("total_shards", Json::Int(total as i64)),
+                ]),
+            ));
+        }
+        let mut eval = Evaluator::new(&system);
+        if let Some(threads) = ctx.threads {
+            eval.set_threads(threads);
+        }
+        verdict_fields(&mut eval, &system, &formula, check.witness, &mut fields);
+        return Ok(Json::obj(fields));
+    }
+
+    let (session, _hit) = ctx.pool.checkout(PoolKey { spec: check.spec })?;
+    fields.push(("runs", Json::Int(session.system().num_runs() as i64)));
+    let mut eval = session.evaluator();
+    if let Some(threads) = ctx.threads {
+        eval.set_threads(threads);
+    }
+    verdict_fields(
+        &mut eval,
+        session.system(),
+        &formula,
+        check.witness,
+        &mut fields,
+    );
+    Ok(Json::obj(fields))
+}
+
+fn run_optimize(spec: &ScenarioSpec, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
+    let scenario = spec.scenario()?;
+    let (session, _hit) = ctx.pool.checkout(PoolKey { spec: *spec })?;
+    let mut ctor = session.constructor();
+    let pair = ctor.optimize(&DecisionPair::empty(spec.n));
+    let optimal = check_optimality(&mut ctor, &pair).is_optimal();
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("optimize".into())),
+        ("scenario", Json::Str(scenario.to_string())),
+        ("runs", Json::Int(session.system().num_runs() as i64)),
+        ("points", Json::Int(session.system().num_points() as i64)),
+        ("optimal", Json::Bool(optimal)),
+    ]))
+}
+
+fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
+    let formula = parse_checked_formula(&sweep.formula)?;
+    let mut base_spec = sweep.spec;
+    base_spec.horizon = sweep.from;
+    base_spec.sampled = None;
+    let scenario = base_spec.scenario()?;
+
+    // Warm start: clone the pooled base system (cheap — the point store
+    // is behind an Arc) into a private session that this query alone
+    // extends. The pooled entry stays immutable at its own horizon.
+    let (base, _hit) = ctx.pool.checkout(PoolKey { spec: base_spec })?;
+    let mut session = EngineSession::from_system(base.system().clone(), SessionScope::FullSpace);
+
+    let mut horizons = Vec::new();
+    let mut all_valid = true;
+    let mut interrupted = false;
+    for h in sweep.from..=sweep.to {
+        if let Some(flag) = ctx.interrupt {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                interrupted = true;
+                break;
+            }
+        }
+        if h > sweep.from {
+            session
+                .extend_to(h)
+                .map_err(|e| ServeError::InvalidScenario(e.to_string()))?;
+        }
+        let mut fields: Vec<(&'static str, Json)> = vec![("horizon", Json::Int(i64::from(h)))];
+        fields.push(("runs", Json::Int(session.system().num_runs() as i64)));
+        let mut eval = session.evaluator();
+        if let Some(threads) = ctx.threads {
+            eval.set_threads(threads);
+        }
+        all_valid &= verdict_fields(&mut eval, session.system(), &formula, false, &mut fields);
+        horizons.push(Json::Obj(
+            fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        ));
+    }
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("sweep".into())),
+        ("scenario", Json::Str(scenario.to_string())),
+        ("horizons", Json::Arr(horizons)),
+        ("valid", Json::Bool(all_valid)),
+    ];
+    if interrupted {
+        fields.push(("partial", Json::Str("interrupted".into())));
+    }
+    Ok(Json::obj(fields))
+}
+
+fn render_stats(pool: &SessionPool) -> Json {
+    let stats = pool.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("stats".into())),
+        ("sessions", Json::Int(stats.sessions as i64)),
+        ("resident_bytes", Json::Int(stats.resident_bytes as i64)),
+        ("hits", Json::Int(stats.hits as i64)),
+        ("misses", Json::Int(stats.misses as i64)),
+        ("evictions", Json::Int(stats.evictions as i64)),
+        ("retries", Json::Int(stats.retries as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(pool: &'a SessionPool) -> QueryContext<'a> {
+        QueryContext {
+            pool,
+            interrupt: None,
+            threads: Some(1),
+        }
+    }
+
+    fn run(pool: &SessionPool, line: &str) -> String {
+        let req = match Request::from_line(line) {
+            Ok(req) => req,
+            Err(e) => return e.to_frame().to_line(),
+        };
+        match execute(&req, &ctx_with(pool)) {
+            Ok(frame) => frame.to_line(),
+            Err(e) => e.to_frame().to_line(),
+        }
+    }
+
+    #[test]
+    fn check_valid_and_invalid_formulas() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let valid = run(&pool, r#"{"op":"check","formula":"CC(E0) -> C(E0)"}"#);
+        assert!(valid.contains(r#""valid":true"#), "{valid}");
+        let invalid = run(&pool, r#"{"op":"check","formula":"C(E0) -> CC(E0)"}"#);
+        assert!(invalid.contains(r#""valid":false"#), "{invalid}");
+        assert!(invalid.contains("counterexample"), "{invalid}");
+        // Both answers came off one pooled session.
+        assert_eq!(pool.stats().sessions, 1);
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn responses_are_deterministic_and_match_the_oracle() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        for line in [
+            r#"{"op":"check","formula":"CC(E0) -> C(E0)","witness":true}"#,
+            r#"{"op":"check","formula":"C(E0) -> CC(E0)","mode":"omission","horizon":2}"#,
+            r#"{"op":"optimize","n":3,"t":1,"mode":"crash","horizon":3}"#,
+            r#"{"op":"sweep","formula":"CC(E0) -> C(E0)","from":2,"to":3}"#,
+        ] {
+            let warm = run(&pool, line);
+            let again = run(&pool, line);
+            let cold = oracle(&Request::from_line(line).unwrap());
+            assert_eq!(warm, again, "non-deterministic: {line}");
+            assert_eq!(warm, cold, "oracle mismatch: {line}");
+        }
+    }
+
+    #[test]
+    fn budgeted_check_returns_a_deterministic_partial() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let line = r#"{"op":"check","formula":"true","mode":"omission","horizon":2,
+                       "shards":64,"max_runs":50}"#;
+        let a = run(&pool, line);
+        let b = oracle(&Request::from_line(line).unwrap());
+        assert_eq!(a, b);
+        assert!(
+            a.contains(r#""partial":{"reason":"run budget of 50 exhausted""#),
+            "{a}"
+        );
+        assert!(
+            pool.stats().sessions == 0,
+            "partial systems must not be pooled"
+        );
+    }
+
+    #[test]
+    fn budget_exhausted_before_any_shard_is_a_typed_error() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        // max_runs=1 with one shard: the single shard exceeds the budget.
+        let line = r#"{"op":"check","formula":"true","shards":1,"max_runs":1}"#;
+        let resp = run(&pool, line);
+        assert!(resp.contains(r#""error":"budget-exhausted""#), "{resp}");
+    }
+
+    #[test]
+    fn sweep_horizons_match_individual_checks() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let sweep = run(
+            &pool,
+            r#"{"op":"sweep","formula":"CC(E0) -> C(E0)","from":2,"to":4}"#,
+        );
+        assert!(sweep.contains(r#""valid":true"#), "{sweep}");
+        // Each horizon's runs/points must equal a direct check's.
+        for h in 2..=4 {
+            let single = run(
+                &pool,
+                &format!(r#"{{"op":"check","formula":"CC(E0) -> C(E0)","horizon":{h}}}"#),
+            );
+            let runs = single
+                .split(r#""runs":"#)
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .unwrap()
+                .to_owned();
+            assert!(
+                sweep.contains(&format!(r#""horizon":{h},"runs":{runs}"#)),
+                "horizon {h}: {sweep} vs {single}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_and_evict_round_trip() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        run(&pool, r#"{"op":"check","formula":"true"}"#);
+        let stats = run(&pool, r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""sessions":1"#), "{stats}");
+        assert!(stats.contains(r#""resident_bytes":"#), "{stats}");
+        let evicted = run(&pool, r#"{"op":"evict"}"#);
+        assert!(evicted.contains(r#""evicted":1"#), "{evicted}");
+        let stats = run(&pool, r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""sessions":0"#), "{stats}");
+    }
+}

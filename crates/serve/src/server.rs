@@ -1,0 +1,523 @@
+//! The TCP daemon: admission control, panic isolation, graceful drain.
+//!
+//! One thread per connection, one line-delimited JSON frame per query
+//! (see [`crate::protocol`]). Robustness mechanics:
+//!
+//! * **admission control / load shedding** — a bounded gate of
+//!   `max_active` running queries plus `max_waiting` queued ones; a
+//!   query arriving past both bounds is shed immediately with an
+//!   `overloaded` frame carrying a `retry_after_ms` hint, instead of
+//!   growing an unbounded queue;
+//! * **panic isolation** — each query runs under `catch_unwind`; a
+//!   panicking query yields an `internal-panic` frame and the
+//!   connection (and daemon) live on. Pool locks recover from
+//!   poisoning, so a panic cannot wedge other queries;
+//! * **slow-loris defense** — a per-connection read timeout and a
+//!   maximum frame length; a stalled or oversized sender is
+//!   disconnected without holding any server resource beyond its own
+//!   thread;
+//! * **graceful drain** — setting the drain flag (SIGINT in the
+//!   binary, [`Server::drain_flag`] in tests) stops the accept loop,
+//!   interrupts in-flight *builds* at their next cooperative budget
+//!   checkpoint (deterministic `partial` verdicts), answers subsequent
+//!   frames with `shutting-down`, joins every connection thread, and
+//!   returns the final stats snapshot.
+
+use crate::json::Json;
+use crate::pool::{RetryPolicy, SessionPool};
+use crate::protocol::{Request, ServeError, DEFAULT_RETRY_AFTER_MS};
+use crate::query::{execute, QueryContext};
+use eba_sim::chaos::FaultInjector;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Server configuration; [`ServeConfig::default`] is suitable for
+/// tests (loopback, ephemeral port).
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878`; port 0 picks one.
+    pub addr: String,
+    /// Queries allowed to run concurrently.
+    pub max_active: usize,
+    /// Queries allowed to wait for a slot; arrivals beyond this shed.
+    pub max_waiting: usize,
+    /// Pool memory budget (approximate resident bytes).
+    pub mem_budget_bytes: u64,
+    /// Per-connection read timeout (slow-loris bound).
+    pub read_timeout: Duration,
+    /// Maximum accepted frame length in bytes.
+    pub max_frame_bytes: usize,
+    /// Transient build fault retry policy.
+    pub retry: RetryPolicy,
+    /// Worker threads per query (`None` = all cores).
+    pub threads_per_query: Option<usize>,
+    /// Chaos injector applied to every build (self-chaos hook).
+    pub chaos: Option<Arc<dyn FaultInjector>>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("max_active", &self.max_active)
+            .field("max_waiting", &self.max_waiting)
+            .field("mem_budget_bytes", &self.mem_budget_bytes)
+            .field("chaos", &self.chaos.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_active: 8,
+            max_waiting: 32,
+            mem_budget_bytes: 256 * 1024 * 1024,
+            read_timeout: Duration::from_secs(30),
+            max_frame_bytes: 1 << 20,
+            retry: RetryPolicy::default(),
+            threads_per_query: None,
+            chaos: None,
+        }
+    }
+}
+
+/// Monotonic counters, flushed as the final stats line on drain.
+#[derive(Default, Debug)]
+pub struct ServerStats {
+    /// Accepted connections.
+    pub connections: AtomicU64,
+    /// Frames answered (success or error).
+    pub queries: AtomicU64,
+    /// Error frames sent.
+    pub errors: AtomicU64,
+    /// Queries shed by admission control.
+    pub shed: AtomicU64,
+    /// Queries that panicked (and were isolated).
+    pub panics: AtomicU64,
+    /// Connections dropped by the read timeout or oversize frames.
+    pub bad_connections: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`] plus pool figures.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct StatsSnapshot {
+    /// Accepted connections.
+    pub connections: u64,
+    /// Frames answered.
+    pub queries: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Queries that panicked.
+    pub panics: u64,
+    /// Connections dropped for protocol abuse.
+    pub bad_connections: u64,
+    /// Pool counters at snapshot time.
+    pub pool: crate::pool::PoolStats,
+}
+
+/// Bounded admission: at most `max_active` running and `max_waiting`
+/// queued queries; everyone else is shed.
+struct Gate {
+    max_active: usize,
+    max_waiting: usize,
+    state: Mutex<(usize, usize)>, // (active, waiting)
+    cv: Condvar,
+}
+
+struct Permit<'a>(&'a Gate);
+
+impl Gate {
+    fn new(max_active: usize, max_waiting: usize) -> Self {
+        Gate {
+            max_active: max_active.max(1),
+            max_waiting,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn admit(&self) -> Result<Permit<'_>, ServeError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.0 < self.max_active {
+            state.0 += 1;
+            return Ok(Permit(self));
+        }
+        if state.1 >= self.max_waiting {
+            return Err(ServeError::Overloaded {
+                retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            });
+        }
+        state.1 += 1;
+        while state.0 >= self.max_active {
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+        state.1 -= 1;
+        state.0 += 1;
+        Ok(Permit(self))
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.0 -= 1;
+        drop(state);
+        self.0.cv.notify_one();
+    }
+}
+
+/// The daemon; see the module docs.
+pub struct Server {
+    listener: TcpListener,
+    pool: Arc<SessionPool>,
+    gate: Arc<Gate>,
+    stats: Arc<ServerStats>,
+    drain: &'static AtomicBool,
+    read_timeout: Duration,
+    max_frame_bytes: usize,
+    threads_per_query: Option<usize>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and assembles the daemon.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding `config.addr`.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let pool = Arc::new(SessionPool::new(
+            config.mem_budget_bytes,
+            config.retry,
+            config.chaos.clone(),
+        ));
+        // Per-instance leaked flag: `RunBudget` carries `&'static
+        // AtomicBool` so armed budgets stay `Copy` across worker fans.
+        let drain: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        Ok(Server {
+            listener,
+            pool,
+            gate: Arc::new(Gate::new(config.max_active, config.max_waiting)),
+            stats: Arc::new(ServerStats::default()),
+            drain,
+            read_timeout: config.read_timeout,
+            max_frame_bytes: config.max_frame_bytes,
+            threads_per_query: config.threads_per_query,
+        })
+    }
+
+    /// The bound address (port resolved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's error, if any.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The drain flag: store `true` to initiate graceful shutdown.
+    /// (The binary bridges SIGINT to this; tests call it directly.)
+    #[must_use]
+    pub fn drain_flag(&self) -> &'static AtomicBool {
+        self.drain
+    }
+
+    /// The pool, for out-of-band inspection in tests.
+    #[must_use]
+    pub fn pool(&self) -> Arc<SessionPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Accepts and serves connections until the drain flag is set, then
+    /// joins every connection thread and returns the final snapshot.
+    pub fn run(self) -> StatsSnapshot {
+        let mut handles = Vec::new();
+        // Live connections, keyed by a connection id. Each connection
+        // removes itself when it ends, so a finished connection's
+        // socket closes immediately (the peer sees FIN) and a
+        // long-running daemon does not accumulate dead FDs.
+        let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut next_id: u64 = 0;
+        while !self.drain.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                    let id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        registry
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(id, clone);
+                    }
+                    let conn = ConnShared {
+                        pool: Arc::clone(&self.pool),
+                        gate: Arc::clone(&self.gate),
+                        stats: Arc::clone(&self.stats),
+                        drain: self.drain,
+                        read_timeout: self.read_timeout,
+                        max_frame_bytes: self.max_frame_bytes,
+                        threads_per_query: self.threads_per_query,
+                    };
+                    let unregister = Unregister {
+                        registry: Arc::clone(&registry),
+                        id,
+                    };
+                    handles.push(std::thread::spawn(move || {
+                        let _unregister = unregister;
+                        conn.serve(stream);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+            handles.retain(|h| !h.is_finished());
+        }
+        // Drain: no new connections. Shutting down the read half of
+        // every live connection unblocks threads parked in `read_until`
+        // (they see EOF) without cutting off responses still being
+        // written; in-flight builds stop at their next cooperative
+        // budget checkpoint via the drain interrupt.
+        for half in registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            let _ = half.shutdown(Shutdown::Read);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        StatsSnapshot {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            queries: self.stats.queries.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            bad_connections: self.stats.bad_connections.load(Ordering::Relaxed),
+            pool: self.pool.stats(),
+        }
+    }
+}
+
+/// Drop guard removing a connection from the live registry when its
+/// thread ends — by return or by unwind — so the socket's last clone is
+/// dropped and the peer sees the connection close.
+struct Unregister {
+    registry: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    id: u64,
+}
+
+impl Drop for Unregister {
+    fn drop(&mut self) {
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
+    }
+}
+
+struct ConnShared {
+    pool: Arc<SessionPool>,
+    gate: Arc<Gate>,
+    stats: Arc<ServerStats>,
+    drain: &'static AtomicBool,
+    read_timeout: Duration,
+    max_frame_bytes: usize,
+    threads_per_query: Option<usize>,
+}
+
+impl ConnShared {
+    fn serve(&self, stream: TcpStream) {
+        if stream.set_read_timeout(Some(self.read_timeout)).is_err() {
+            return;
+        }
+        // One frame per round-trip: Nagle+delayed-ACK would add ~40ms
+        // to every response otherwise.
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            return;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        let mut line = Vec::new();
+        loop {
+            line.clear();
+            // Bounded read: at most max_frame_bytes+1 per frame; a frame
+            // that fills the cap without a newline is protocol abuse.
+            let mut limited = (&mut reader).take(self.max_frame_bytes as u64 + 1);
+            match limited.read_until(b'\n', &mut line) {
+                Ok(0) => return, // EOF
+                Ok(_) if !line.ends_with(b"\n") && line.len() > self.max_frame_bytes => {
+                    self.stats.bad_connections.fetch_add(1, Ordering::Relaxed);
+                    let _ = Self::write_frame(
+                        &mut writer,
+                        &ServeError::BadFrame("frame too long".into()).to_frame(),
+                    );
+                    return;
+                }
+                Ok(_) if !line.ends_with(b"\n") => return, // EOF mid-line
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Slow-loris: the peer stalled mid-frame (or idled
+                    // past the timeout); drop them.
+                    self.stats.bad_connections.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(_) => return,
+            }
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let frame = self.answer(text);
+            self.stats.queries.fetch_add(1, Ordering::Relaxed);
+            if frame.get("ok") == Some(&Json::Bool(false)) {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if Self::write_frame(&mut writer, &frame).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// One frame in, one frame out; never panics, never blocks forever.
+    fn answer(&self, text: &str) -> Json {
+        if self.drain.load(Ordering::Relaxed) {
+            return ServeError::ShuttingDown.to_frame();
+        }
+        let request = match Request::from_line(text) {
+            Ok(req) => req,
+            Err(e) => return e.to_frame(),
+        };
+        let permit = match self.gate.admit() {
+            Ok(permit) => permit,
+            Err(e) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return e.to_frame();
+            }
+        };
+        // Re-check after possibly waiting in the admission queue.
+        if self.drain.load(Ordering::Relaxed) {
+            return ServeError::ShuttingDown.to_frame();
+        }
+        let ctx = QueryContext {
+            pool: &self.pool,
+            interrupt: Some(self.drain),
+            threads: self.threads_per_query,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| execute(&request, &ctx)));
+        drop(permit);
+        match result {
+            Ok(Ok(frame)) => frame,
+            Ok(Err(e)) => e.to_frame(),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_owned());
+                ServeError::Panic(message).to_frame()
+            }
+        }
+    }
+
+    fn write_frame(writer: &mut TcpStream, frame: &Json) -> std::io::Result<()> {
+        let mut bytes = frame.to_line().into_bytes();
+        bytes.push(b'\n');
+        writer.write_all(&bytes)?;
+        writer.flush()
+    }
+}
+
+/// Renders a drained server's final stats, one `key=value` list — the
+/// line the binary prints on exit.
+#[must_use]
+pub fn render_stats_line(snapshot: &StatsSnapshot) -> String {
+    format!(
+        "drained: connections={} queries={} errors={} shed={} panics={} bad_connections={} \
+         pool_sessions={} pool_resident_bytes={} pool_hits={} pool_misses={} pool_evictions={} \
+         pool_retries={}",
+        snapshot.connections,
+        snapshot.queries,
+        snapshot.errors,
+        snapshot.shed,
+        snapshot.panics,
+        snapshot.bad_connections,
+        snapshot.pool.sessions,
+        snapshot.pool.resident_bytes,
+        snapshot.pool.hits,
+        snapshot.pool.misses,
+        snapshot.pool.evictions,
+        snapshot.pool.retries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_admits_up_to_active_and_sheds_past_waiting() {
+        let gate = Gate::new(1, 0);
+        let first = gate.admit().expect("first query fits");
+        let second = gate.admit();
+        assert!(matches!(
+            second,
+            Err(ServeError::Overloaded { retry_after_ms: _ })
+        ));
+        drop(first);
+        assert!(gate.admit().is_ok(), "slot frees on drop");
+    }
+
+    #[test]
+    fn gate_queues_waiters_and_wakes_them() {
+        let gate = Arc::new(Gate::new(1, 4));
+        let first = gate.admit().unwrap();
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let permit = g2.admit();
+            assert!(permit.is_ok());
+        });
+        // Give the waiter time to enqueue, then free the slot.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(first);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn stats_line_is_complete() {
+        let line = render_stats_line(&StatsSnapshot::default());
+        for key in [
+            "connections=",
+            "queries=",
+            "shed=",
+            "panics=",
+            "pool_resident_bytes=",
+        ] {
+            assert!(line.contains(key), "{line}");
+        }
+    }
+}

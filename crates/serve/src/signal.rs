@@ -1,0 +1,96 @@
+//! Cooperative SIGINT handling without external crates.
+//!
+//! The whole workspace forbids unsafe code; this module is the single,
+//! audited exception (`#[allow(unsafe_code)]` below, against the
+//! workspace-level `deny`). It registers a minimal `signal(2)` handler
+//! that sets one static [`AtomicBool`] — the only async-signal-safe
+//! action a handler can take — and everything downstream is ordinary
+//! cooperative cancellation: `eba-check` attaches the flag to its
+//! [`eba_model::RunBudget`] (Ctrl-C then yields the same deterministic
+//! PARTIAL banner as `--deadline`), and `eba-serve` bridges it to the
+//! server's drain flag.
+//!
+//! On non-Unix targets [`install_sigint`] returns a flag nothing ever
+//! sets; Ctrl-C falls back to the platform default.
+
+use std::sync::atomic::AtomicBool;
+
+/// The process-wide SIGINT flag; set by the handler, never cleared.
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Installs the SIGINT handler (idempotent) and returns the flag it
+/// sets. Callers poll the flag or attach it to a
+/// [`eba_model::RunBudget`] via `with_interrupt`.
+#[must_use]
+pub fn install_sigint() -> &'static AtomicBool {
+    imp::install();
+    &SIGINT_FLAG
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SIGINT_FLAG;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    /// POSIX SIGINT number (identical on every Unix this builds for).
+    const SIGINT: c_int = 2;
+
+    extern "C" {
+        /// `man 2 signal`; the return value (the previous handler) is a
+        /// function pointer we never inspect, declared as `usize` to
+        /// avoid pretending we can call it.
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    /// The handler: one relaxed atomic store, the canonical
+    /// async-signal-safe operation.
+    extern "C" fn on_sigint(_signum: c_int) {
+        SIGINT_FLAG.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX libc symbol with the declared
+        // prototype; `on_sigint` is an `extern "C" fn(c_int)` that only
+        // performs an atomic store, which is async-signal-safe. The
+        // returned previous handler is discarded, never invoked.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+#[cfg(all(test, unix))]
+#[allow(unsafe_code)]
+mod tests {
+    use super::*;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        /// `man 3 raise` — used to deliver a real SIGINT to ourselves.
+        fn raise(signum: c_int) -> c_int;
+    }
+
+    #[test]
+    fn sigint_sets_the_flag_instead_of_killing_the_process() {
+        let flag = install_sigint();
+        assert!(!flag.load(Ordering::Relaxed));
+        // SAFETY: `raise` delivers SIGINT to this process; our handler
+        // (installed above) turns it into an atomic store, so the test
+        // harness survives.
+        unsafe {
+            raise(2);
+        }
+        assert!(flag.load(Ordering::Relaxed), "handler must set the flag");
+        // Reset for any other test in this process (the flag is
+        // process-global by design).
+        flag.store(false, Ordering::Relaxed);
+    }
+}

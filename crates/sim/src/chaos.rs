@@ -351,8 +351,10 @@ where
 /// that were absorbed along the way.
 ///
 /// With `workers <= 1` (or a single item) the job runs sequentially on
-/// the calling thread with no supervision — a panic there propagates, as
-/// it would in any plain loop.
+/// the calling thread, but still under supervision: panicked items go
+/// through the same retry ladder as in the parallel case. A daemon on a
+/// single-core host keeps the same fault-isolation guarantees as one on
+/// a many-core host.
 ///
 /// # Errors
 ///
@@ -368,12 +370,17 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    if workers <= 1 || count <= 1 {
-        return Ok(((0..count).map(&job).collect(), Vec::new()));
-    }
-    let workers = workers.min(count);
+    let workers = workers.min(count).max(1);
     let mut slots: Vec<Option<Result<T, String>>> = Vec::new();
     slots.resize_with(count, || None);
+    if workers <= 1 || count <= 1 {
+        for (index, slot) in slots.iter_mut().enumerate() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| job(index)))
+                .map_err(|payload| panic_message(payload.as_ref()));
+            *slot = Some(outcome);
+        }
+        return settle(slots, site, &job);
+    }
     thread::scope(|scope| {
         let job = &job;
         let handles: Vec<_> = (0..workers)
@@ -402,8 +409,23 @@ where
             }
         }
     });
+    settle(slots, site, &job)
+}
 
-    let mut results: Vec<T> = Vec::with_capacity(count);
+/// The shared retry ladder: resolve every failed or unreported slot with
+/// one bounded retry on a fresh thread, then a final sequential attempt
+/// on the calling thread; only an item that defeats all three attempts
+/// surfaces as [`EngineFault::WorkerPanicked`].
+fn settle<T, F>(
+    slots: Vec<Option<Result<T, String>>>,
+    site: FaultSite,
+    job: &F,
+) -> Result<(Vec<T>, Vec<WorkerFault>), EngineFault>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut results: Vec<T> = Vec::with_capacity(slots.len());
     let mut faults = Vec::new();
     for (index, slot) in slots.into_iter().enumerate() {
         let first_message = match slot {
@@ -415,7 +437,7 @@ where
             None => "worker thread died before reporting".to_owned(),
         };
         // One bounded retry on a fresh, isolated thread …
-        match attempt_on_fresh_thread(&job, index) {
+        match attempt_on_fresh_thread(job, index) {
             Ok(value) => {
                 faults.push(WorkerFault {
                     site,
@@ -563,12 +585,31 @@ impl AdversarySchedule {
         out
     }
 
+    /// Wraps per-round send-omission sets in the scenario mode's
+    /// **canonical** behavior encoding: `Omission` under sending
+    /// omissions, `GeneralOmission` with an all-empty receive vector
+    /// under general omissions. Using the canonical encoding keeps
+    /// worst-case patterns `find_run`-compatible with exhaustively
+    /// enumerated systems (the enumerators never emit an `Omission`
+    /// behavior in general-omission mode).
+    fn send_omission_behavior(&self, omissions: Vec<ProcSet>) -> FaultyBehavior {
+        match self.scenario.mode() {
+            FailureMode::GeneralOmission => FaultyBehavior::GeneralOmission {
+                receive: vec![ProcSet::empty(); omissions.len()],
+                send: omissions,
+            },
+            _ => FaultyBehavior::Omission { omissions },
+        }
+    }
+
     /// Asymmetric omission sets (omission modes only; empty otherwise):
     /// for every nonempty faulty set, (a) all members omit to the lowest
     /// nonfaulty processor in every round — one processor is starved of
     /// all faulty input — and (b) all members omit to the even-indexed
     /// non-members in every round, splitting the nonfaulty processors
-    /// into two informational halves.
+    /// into two informational halves. Behaviors use the mode's canonical
+    /// encoding (see [`AdversarySchedule::deaf_receivers`] for the
+    /// receive-side plays general omission adds).
     #[must_use]
     pub fn asymmetric_omissions(&self) -> Vec<FailurePattern> {
         if self.scenario.mode() == FailureMode::Crash {
@@ -590,8 +631,46 @@ impl AdversarySchedule {
                 for member in set.iter() {
                     pattern.set_behavior(
                         member,
-                        FaultyBehavior::Omission {
-                            omissions: vec![omitted - ProcSet::singleton(member); rounds],
+                        self.send_omission_behavior(vec![
+                            omitted - ProcSet::singleton(member);
+                            rounds
+                        ]),
+                    );
+                }
+                debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+                out.push(pattern);
+            }
+        }
+        out
+    }
+
+    /// Receive-side starvation (general omission only; empty otherwise):
+    /// for every nonempty faulty set, (a) every member is *deaf* — it
+    /// receives no message from anyone in any round, the receive-side
+    /// dual of silence — and (b) every member refuses exactly the
+    /// messages of the lowest nonfaulty processor, so one correct
+    /// processor's information never enters the faulty set. These plays
+    /// only exist under general omission, where the adversary controls
+    /// reception; they are the schedules the sending-omission worst case
+    /// can never exercise.
+    #[must_use]
+    pub fn deaf_receivers(&self) -> Vec<FailurePattern> {
+        if self.scenario.mode() != FailureMode::GeneralOmission {
+            return Vec::new();
+        }
+        let n = self.scenario.n();
+        let rounds = self.scenario.horizon().index();
+        let mut out = Vec::new();
+        for set in self.nonempty_faulty_sets() {
+            let victim = ProcSet::singleton(lowest_outside(set, n));
+            for refused in [ProcSet::full(n), victim] {
+                let mut pattern = FailurePattern::failure_free(n);
+                for member in set.iter() {
+                    pattern.set_behavior(
+                        member,
+                        FaultyBehavior::GeneralOmission {
+                            send: vec![ProcSet::empty(); rounds],
+                            receive: vec![refused - ProcSet::singleton(member); rounds],
                         },
                     );
                 }
@@ -613,14 +692,16 @@ impl AdversarySchedule {
 
     /// The mode-appropriate worst-case schedule: the failure-free pattern
     /// (so corresponding failure-free runs are always present), then
-    /// latest crashes and crash chains (crash mode) or asymmetric
-    /// omissions (omission modes), deduplicated in order.
+    /// latest crashes and crash chains (crash mode), asymmetric
+    /// omissions (omission modes), and deaf receivers (general omission
+    /// only), deduplicated in order.
     #[must_use]
     pub fn worst_case(&self) -> Vec<FailurePattern> {
         let mut out = vec![FailurePattern::failure_free(self.scenario.n())];
         out.extend(self.latest_crashes());
         out.extend(self.crash_chains());
         out.extend(self.asymmetric_omissions());
+        out.extend(self.deaf_receivers());
         let mut seen = std::collections::HashSet::new();
         out.retain(|p| seen.insert(p.clone()));
         out
@@ -770,16 +851,40 @@ mod tests {
     }
 
     #[test]
-    fn sequential_pool_has_no_supervision() {
-        let caught = catch_unwind(AssertUnwindSafe(|| {
+    fn sequential_pool_keeps_the_supervision_contract() {
+        // A single-core host (workers == 1) must absorb a transient
+        // panic exactly like the parallel pool: one retry, same results.
+        let attempts = AtomicUsize::new(0);
+        let (out, faults) = supervised_indexed(3, 1, FaultSite::BuilderShard, |i| {
+            if i == 1 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient fault on a single-core host");
+            }
+            i * 10
+        })
+        .unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].index, 1);
+        assert!(faults[0].message.contains("transient fault"));
+    }
+
+    #[test]
+    fn sequential_pool_surfaces_a_persistent_panic_as_a_typed_fault() {
+        let result: Result<(Vec<usize>, _), _> =
             supervised_indexed(3, 1, FaultSite::BuilderShard, |i| {
                 if i == 1 {
-                    panic!("sequential path propagates");
+                    panic!("unrecoverable");
                 }
                 i
-            })
-        }));
-        assert!(caught.is_err());
+            });
+        assert!(matches!(
+            result.unwrap_err(),
+            EngineFault::WorkerPanicked {
+                site: FaultSite::BuilderShard,
+                index: 1,
+                ..
+            }
+        ));
     }
 
     fn crash_scenario() -> Scenario {
@@ -859,6 +964,134 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), patterns.len());
+    }
+
+    fn general_omission_scenario() -> Scenario {
+        Scenario::new(4, 2, FailureMode::GeneralOmission, 3).unwrap()
+    }
+
+    #[test]
+    fn general_omission_worst_case_is_valid_and_nonempty() {
+        let scenario = general_omission_scenario();
+        let adversary = AdversarySchedule::new(&scenario);
+        let patterns = adversary.worst_case();
+        // Failure-free first, then asymmetric omissions (crash schedules
+        // are crash-mode-only and must not leak in).
+        assert_eq!(patterns[0].num_faulty(), 0);
+        assert!(patterns.len() > 1, "general omission has adversarial plays");
+        assert!(adversary.latest_crashes().is_empty());
+        assert!(adversary.crash_chains().is_empty());
+        for pattern in &patterns {
+            scenario.validate_pattern(pattern).unwrap();
+        }
+        // Deduplicated, like every worst-case schedule.
+        let mut dedup = patterns.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), patterns.len());
+    }
+
+    #[test]
+    fn general_omission_worst_case_extends_the_omission_shape() {
+        // The asymmetric-omission generators are shared by both omission
+        // modes, but general omission re-encodes them canonically (so
+        // they stay `find_run`-compatible with exhaustive enumeration)
+        // and adds receive-side plays no sending-omission schedule has.
+        let go = AdversarySchedule::new(&general_omission_scenario()).worst_case();
+        let so = AdversarySchedule::new(&Scenario::new(4, 2, FailureMode::Omission, 3).unwrap())
+            .worst_case();
+        for pattern in &so {
+            let canonical = reencode_general(pattern);
+            assert!(
+                go.contains(&canonical),
+                "send-omission worst case missing from general omission"
+            );
+        }
+        assert!(
+            go.len() > so.len(),
+            "general omission should add receive-side schedules"
+        );
+        // Every extra pattern refuses at least one reception.
+        let send_side: std::collections::HashSet<_> = so.iter().map(reencode_general).collect();
+        for pattern in go.iter().filter(|p| !send_side.contains(*p)) {
+            let hears_less = ProcessorId::all(4).any(|p| {
+                matches!(
+                    pattern.behavior(p),
+                    Some(FaultyBehavior::GeneralOmission { receive, .. })
+                        if receive.iter().any(|r| !r.is_empty())
+                )
+            });
+            assert!(hears_less, "extra general-omission pattern is send-only");
+        }
+    }
+
+    /// Re-encodes every sending-omission behavior in `pattern` as the
+    /// canonical general-omission behavior with empty receive sets.
+    fn reencode_general(pattern: &FailurePattern) -> FailurePattern {
+        let n = pattern.n();
+        let mut out = FailurePattern::failure_free(n);
+        for p in ProcessorId::all(n) {
+            match pattern.behavior(p) {
+                None => {}
+                Some(FaultyBehavior::Omission { omissions }) => out.set_behavior(
+                    p,
+                    FaultyBehavior::GeneralOmission {
+                        send: omissions.clone(),
+                        receive: vec![ProcSet::empty(); omissions.len()],
+                    },
+                ),
+                Some(other) => out.set_behavior(p, other.clone()),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn general_omission_adversary_system_embeds_in_the_exhaustive_one() {
+        // Small enough to enumerate exhaustively: every worst-case run
+        // must exist in the exhaustive general-omission system.
+        let scenario = Scenario::new(3, 1, FailureMode::GeneralOmission, 2).unwrap();
+        let adversary = AdversarySchedule::new(&scenario);
+        let system = adversary.system();
+        let exhaustive = GeneratedSystem::exhaustive(&scenario);
+        assert!(system.num_runs() > 0);
+        assert!(system.num_runs() < exhaustive.num_runs());
+        for run in system.run_ids() {
+            let record = system.run(run);
+            assert!(
+                exhaustive
+                    .find_run(&record.config, &record.pattern)
+                    .is_some(),
+                "worst-case run missing from the exhaustive general-omission system"
+            );
+        }
+    }
+
+    #[test]
+    fn general_omission_asymmetric_schedules_starve_a_receiver() {
+        let scenario = general_omission_scenario();
+        let patterns = AdversarySchedule::new(&scenario).asymmetric_omissions();
+        assert!(!patterns.is_empty());
+        // The starved-receiver family must contain, for every nonempty
+        // faulty set, a pattern where some nonfaulty processor receives
+        // no message from any faulty processor in any round.
+        let starving = patterns.iter().filter(|pattern| {
+            let faulty = pattern.faulty_set();
+            ProcessorId::all(4).any(|victim| {
+                !faulty.contains(victim)
+                    && faulty.iter().all(|sender| {
+                        (1..=scenario.horizon().ticks())
+                            .all(|r| !pattern.delivers(sender, victim, Round::new(r)))
+                    })
+            })
+        });
+        let faulty_sets: std::collections::HashSet<ProcSet> =
+            starving.map(FailurePattern::faulty_set).collect();
+        let expected: std::collections::HashSet<ProcSet> = enumerate::faulty_sets(4, 2)
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .collect();
+        assert_eq!(faulty_sets, expected);
     }
 
     #[test]

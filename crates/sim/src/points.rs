@@ -151,6 +151,25 @@ impl PointStore {
         self.num_points
     }
 
+    /// Approximate resident heap bytes of the store: the run/time
+    /// columns, the processor-major view columns, and the CSR bucket
+    /// partitions. Counts lengths rather than capacities (the store is
+    /// built once and never grows, so the two agree up to allocator
+    /// rounding); used by the serve pool's memory-budgeted eviction.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.run_col.len() * size_of::<u32>()
+            + self.time_col.len() * size_of::<u16>()
+            + self.view_cols.len() * size_of::<ViewId>()
+            + self
+                .bucket_offsets
+                .iter()
+                .chain(self.bucket_items.iter())
+                .map(|v| v.len() * size_of::<u32>())
+                .sum::<usize>()
+    }
+
     /// The dense id of the point `(run, time)`.
     #[must_use]
     pub fn point_id(&self, run: RunId, time: Time) -> PointId {

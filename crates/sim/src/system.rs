@@ -238,6 +238,50 @@ impl GeneratedSystem {
         self.num_runs() * (self.horizon().index() + 1)
     }
 
+    /// Approximate resident heap bytes of the system: run records, the
+    /// flattened view matrix, the interned view table, the run-lookup
+    /// index, and the columnar point store. Like
+    /// [`PointStore::approx_bytes`] this counts lengths, not allocator
+    /// capacities — it is a relative figure for memory budgeting (the
+    /// serve pool evicts least-recently-used sessions against it), not
+    /// an exact heap profile.
+    #[must_use]
+    pub fn approx_resident_bytes(&self) -> usize {
+        use eba_model::FaultyBehavior;
+        use std::mem::size_of;
+        let n = self.n();
+        let pattern_heap = |pat: &FailurePattern| -> usize {
+            ProcessorId::all(n)
+                .map(|p| match pat.behavior(p) {
+                    Some(FaultyBehavior::Omission { omissions }) => {
+                        omissions.len() * size_of::<ProcSet>()
+                    }
+                    _ => 0,
+                })
+                .sum::<usize>()
+                + n * size_of::<Option<FaultyBehavior>>()
+        };
+        let runs: usize = self
+            .runs
+            .iter()
+            .map(|r| {
+                size_of::<RunRecord>()
+                    + r.config.n() * size_of::<eba_model::Value>()
+                    + pattern_heap(&r.pattern)
+            })
+            .sum();
+        // Lookup keys hold a second clone of each pattern.
+        let lookup: usize = self
+            .lookup
+            .keys()
+            .map(|(_, pattern)| size_of::<u128>() + pattern_heap(pattern) + size_of::<RunId>())
+            .sum();
+        runs + lookup
+            + self.views.len() * size_of::<ViewId>()
+            + self.table.approx_bytes()
+            + self.store.approx_bytes()
+    }
+
     /// Iterates over all run ids.
     pub fn run_ids(&self) -> impl DoubleEndedIterator<Item = RunId> + Clone {
         (0..self.runs.len()).map(RunId::new)

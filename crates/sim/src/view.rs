@@ -152,6 +152,34 @@ impl ViewTable {
         self.nodes.is_empty()
     }
 
+    /// Approximate resident heap bytes of the table: node rows (plus
+    /// their boxed payloads), meta rows, and the hash-consing index.
+    /// Counts lengths rather than capacities, so it is a stable lower
+    /// bound usable for relative memory budgeting (the serve pool's LRU
+    /// eviction); it is not an allocator-exact figure.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let payload = |node: &ViewNode| match node {
+            ViewNode::Leaf { .. } => 0,
+            ViewNode::Node { received, .. } => received.len() * size_of::<Option<ViewId>>(),
+            ViewNode::Digest(d) => {
+                (d.knowledge.len() + d.zero_knowledge.len()) * size_of::<ProcSet>()
+                    + d.contact.len() * size_of::<u64>()
+            }
+        };
+        // Every node is stored twice (row + index key) and its boxed
+        // payload is shared by neither, so payloads count twice too.
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| 2 * (size_of::<ViewNode>() + payload(n)))
+            .sum();
+        let meta = self.meta.len() * size_of::<ViewMeta>();
+        let index_overhead = self.index.len() * size_of::<ViewId>();
+        nodes + meta + index_overhead
+    }
+
     /// Iterates over every interned [`ViewId`] in interning order.
     ///
     /// This is the panic-free way to walk a table: indices below
