@@ -1,0 +1,104 @@
+//! Symmetry-quotient speedup: the reduced engine (one representative
+//! failure pattern per `Sym(n)` orbit, orbit-canonical knowledge
+//! kernels) against the unreduced oracle, on the observables the
+//! differential suite proves bit-identical — `CC(E0)` evaluation and
+//! the full two-step optimization + Theorem 5.3 check. The
+//! `BENCH_engine.json` `symmetry-quotient` record is regenerated from
+//! these groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::{check_optimality, Constructor, DecisionPair};
+use eba_kripke::{Evaluator, Formula, NonRigidSet};
+use eba_model::{FailureMode, Scenario, Value};
+use eba_sim::{GeneratedSystem, SystemBuilder};
+use std::hint::black_box;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::new(4, 1, FailureMode::Omission, 2).expect("valid scenario"),
+        Scenario::new(4, 1, FailureMode::Crash, 3).expect("valid scenario"),
+    ]
+}
+
+/// The large space: 10 401 crash patterns quotient to 183 orbits
+/// (56.8x), so the unreduced side dominates this group's wall time.
+fn large_scenario() -> Scenario {
+    Scenario::new(5, 2, FailureMode::Crash, 2).expect("valid scenario")
+}
+
+fn reduced(scenario: &Scenario) -> GeneratedSystem {
+    SystemBuilder::new(scenario)
+        .symmetry(true)
+        .build()
+        .expect("scenario fits id capacity")
+}
+
+fn quotient_vs_unreduced_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_quotient_cc");
+    group.sample_size(10);
+    for scenario in scenarios().into_iter().chain([large_scenario()]) {
+        for (label, system) in [
+            ("unreduced", GeneratedSystem::exhaustive(&scenario)),
+            ("quotient", reduced(&scenario)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, scenario), &system, |b, system| {
+                b.iter(|| {
+                    // Fresh evaluator per iteration: measure the
+                    // reachability + gfp work, not a cache hit.
+                    let mut eval = Evaluator::new(system);
+                    let f = Formula::exists(Value::Zero).continual_common(NonRigidSet::Nonfaulty);
+                    black_box(eval.eval(&f));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn quotient_vs_unreduced_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_quotient_optimize");
+    group.sample_size(10);
+    for scenario in scenarios() {
+        for (label, system) in [
+            ("unreduced", GeneratedSystem::exhaustive(&scenario)),
+            ("quotient", reduced(&scenario)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, scenario), &system, |b, system| {
+                b.iter(|| {
+                    let mut ctor = Constructor::new(system);
+                    let pair = ctor.optimize(&DecisionPair::empty(system.n()));
+                    black_box(check_optimality(&mut ctor, &pair).is_optimal());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn quotient_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_quotient_build");
+    group.sample_size(10);
+    for scenario in scenarios().into_iter().chain([large_scenario()]) {
+        for label in ["unreduced", "quotient"] {
+            group.bench_with_input(
+                BenchmarkId::new(label, scenario),
+                &scenario,
+                |b, scenario| {
+                    b.iter(|| match label {
+                        "quotient" => black_box(reduced(scenario)),
+                        _ => black_box(GeneratedSystem::exhaustive(scenario)),
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    quotient_vs_unreduced_cc,
+    quotient_vs_unreduced_optimize,
+    quotient_build
+);
+criterion_main!(benches);

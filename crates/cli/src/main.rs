@@ -42,6 +42,18 @@ OPTIONS:
                                      fingerprinted digests are rebuild-only
     --sampled R S    use R seeded random runs (seed S) instead of the
                      exhaustive system
+    --symmetry on|off
+                     processor-relabeling quotient (default off): simulate
+                     one representative failure pattern per Sym(n) orbit
+                     and evaluate knowledge through orbit-canonical view
+                     classes; verdicts over the quotient equal the
+                     unreduced system's for processor-symmetric formulas.
+                     A formula naming a specific processor (K_i, B_i,
+                     init(i), N(i)) is checked on the unreduced system
+                     with a notice. Requires the full exchange; conflicts
+                     with --sampled and --timeline. `off` keeps today's
+                     unreduced path, the differential oracle CI diffs
+                     against
     --threads N      worker threads for system generation and knowledge
                      evaluation (default: all available cores)
     --plan           evaluate via compiled plans: formulas are lowered to
@@ -126,6 +138,7 @@ struct Options {
     horizon_sweep: Option<(u16, u16)>,
     sweep_cold: bool,
     sampled: Option<(usize, u64)>,
+    symmetry: bool,
     threads: Option<usize>,
     shards: Option<usize>,
     deadline: Option<Duration>,
@@ -150,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         horizon_sweep: None,
         sweep_cold: false,
         sampled: None,
+        symmetry: false,
         threads: None,
         shards: None,
         deadline: None,
@@ -213,6 +227,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--sampled needs at least 1 run".to_owned());
                 }
                 options.sampled = Some((runs, seed));
+            }
+            "--symmetry" => {
+                options.symmetry = match take("--symmetry")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--symmetry needs on|off, got `{other}`")),
+                };
             }
             "--threads" => {
                 let threads: usize = take("--threads")?.parse().map_err(|_| "bad --threads")?;
@@ -389,10 +410,12 @@ fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> 
 fn build_exhaustive(
     scenario: &Scenario,
     options: &Options,
+    quotient: bool,
     interrupt: &'static AtomicBool,
 ) -> Result<BuildOutcome, String> {
-    let mut builder =
-        SystemBuilder::new(scenario).budget(RunBudget::unlimited().with_interrupt(interrupt));
+    let mut builder = SystemBuilder::new(scenario)
+        .budget(RunBudget::unlimited().with_interrupt(interrupt))
+        .symmetry(quotient);
     if let Some(threads) = options.threads {
         builder = builder.threads(threads);
     }
@@ -400,6 +423,39 @@ fn build_exhaustive(
         builder = builder.shards(shards);
     }
     builder.build_governed().map_err(|e| e.to_string())
+}
+
+/// Whether `--symmetry` applies to `formula`: the quotient preserves
+/// verdicts only for processor-symmetric formulas (DESIGN.md §4i), so a
+/// formula naming specific processors falls back to the unreduced
+/// system, with a notice unless `--quiet`.
+fn quotient_eligible(options: &Options, formula: &Formula) -> bool {
+    if !options.symmetry {
+        return false;
+    }
+    // Parsed formulas cannot reference engine-registered state-set
+    // families, so the family orbit-closure oracle is never consulted.
+    let eligible = formula.symmetric_under_relabeling(&mut |_| true);
+    if !eligible && !options.quiet {
+        println!("symmetry: formula names specific processors; checking the unreduced system");
+    }
+    eligible
+}
+
+/// The `symmetry:` preamble line of a quotiented check.
+fn print_symmetry_line(system: &GeneratedSystem, options: &Options) {
+    if options.quiet {
+        return;
+    }
+    if let Some(info) = system.symmetry() {
+        println!(
+            "symmetry: {} orbits cover {}/{} patterns ({:.2}x reduction)",
+            info.num_orbits(),
+            info.raw_patterns_covered(),
+            info.raw_pattern_total(),
+            info.reduction_ratio(),
+        );
+    }
 }
 
 /// Evaluates `formula` over every point of `system` and prints the
@@ -459,6 +515,7 @@ fn print_sweep_preamble(system: &GeneratedSystem, options: &Options, formula: &F
         system.num_points(),
     );
     println!("formula: {formula}");
+    print_symmetry_line(system, options);
 }
 
 /// Checks one formula at every horizon `from..=to`, either out of one
@@ -476,6 +533,7 @@ fn run_sweep(
     let base_scenario = Scenario::new(options.n, options.t, options.mode, from)
         .and_then(|s| s.with_exchange(options.exchange))
         .map_err(|e| e.to_string())?;
+    let quotient = quotient_eligible(options, &formula);
     let mut all_valid = true;
     if options.sweep_cold {
         for h in from..=to {
@@ -484,7 +542,7 @@ fn run_sweep(
                 break;
             }
             let scenario = base_scenario.with_horizon(h).map_err(|e| e.to_string())?;
-            let system = match build_exhaustive(&scenario, options, interrupt)? {
+            let system = match build_exhaustive(&scenario, options, quotient, interrupt)? {
                 BuildOutcome::Complete { system, .. } => system,
                 BuildOutcome::Partial { budget_hit, .. } => {
                     println!("PARTIAL: {budget_hit}; sweep stopped before horizon {h}");
@@ -496,7 +554,7 @@ fn run_sweep(
             all_valid &= check_valid(&system, &formula, options, None);
         }
     } else {
-        let base = match build_exhaustive(&base_scenario, options, interrupt)? {
+        let base = match build_exhaustive(&base_scenario, options, quotient, interrupt)? {
             BuildOutcome::Complete { system, .. } => system,
             BuildOutcome::Partial { budget_hit, .. } => {
                 println!("PARTIAL: {budget_hit}; sweep stopped before horizon {from}");
@@ -550,6 +608,23 @@ fn run() -> Result<ExitCode, String> {
     if options.sweep_cold && options.horizon_sweep.is_none() {
         return Err("--sweep-cold needs --horizon-sweep".into());
     }
+    if options.symmetry {
+        // Knob validation before any heavy work, mirroring the builder's
+        // own `check_symmetry_supported` but with CLI-level phrasing.
+        if options.sampled.is_some() {
+            return Err("--symmetry quotients the exhaustive system; drop --sampled".into());
+        }
+        if options.timeline {
+            return Err("--timeline pins one concrete run; drop --symmetry".into());
+        }
+        if !options.exchange.is_full() {
+            return Err(format!(
+                "--symmetry needs the full-information exchange; `{}` bakes processor \
+                 labels into its bounded states",
+                options.exchange
+            ));
+        }
+    }
     if let Some((from, to)) = options.horizon_sweep {
         // Gate before any heavy work, in the PR 2 knob-validation style:
         // the session-extension path is only certified for exchanges that
@@ -598,6 +673,7 @@ fn run() -> Result<ExitCode, String> {
                 .map_err(|e| e.to_string())
         })
         .collect::<Result<_, _>>()?;
+    let quotient = quotient_eligible(&options, &formulas[0].1);
 
     // Validate the timeline run selection before doing any heavy work or
     // printing the preamble.
@@ -640,7 +716,9 @@ fn run() -> Result<ExitCode, String> {
             if let Some(max_runs) = options.max_runs {
                 budget = budget.with_max_runs(max_runs);
             }
-            let mut builder = SystemBuilder::new(&scenario).budget(budget);
+            let mut builder = SystemBuilder::new(&scenario)
+                .budget(budget)
+                .symmetry(quotient);
             if let Some(threads) = options.threads {
                 builder = builder.threads(threads);
             }
@@ -697,6 +775,7 @@ fn run() -> Result<ExitCode, String> {
         for (_, f) in &formulas {
             println!("formula: {f}");
         }
+        print_symmetry_line(&system, &options);
     }
 
     if let Some((config, pattern)) = timeline_run {

@@ -1,7 +1,7 @@
 //! The optimality characterization of Theorem 5.3.
 
 use crate::{Constructor, DecisionPair};
-use eba_kripke::{BatchBuilder, Formula, NonRigidSet};
+use eba_kripke::{BatchBuilder, Formula, NonRigidSet, StateSetsId};
 use eba_model::{ProcessorId, Time, Value};
 use eba_sim::RunId;
 use std::fmt;
@@ -110,6 +110,10 @@ pub fn check_optimality(ctor: &mut Constructor<'_>, pair: &DecisionPair) -> Opti
     let c0 = Formula::exists(Value::Zero).continual_common(NonRigidSet::NonfaultyAnd(o_id));
     let c1 = Formula::exists(Value::One).continual_common(NonRigidSet::NonfaultyAnd(z_id));
 
+    if ctor.system().symmetry().is_some() {
+        return check_optimality_quotient(ctor, n, z_id, o_id, &c0, &c1);
+    }
+
     let mut checks = Vec::with_capacity(2 * n);
     for i in ProcessorId::all(n) {
         let decide0 = Formula::StateIn(i, z_id);
@@ -135,6 +139,80 @@ pub fn check_optimality(ctor: &mut Constructor<'_>, pair: &DecisionPair) -> Opti
                 proc: i,
                 value,
                 holds: counterexample.is_none(),
+                counterexample,
+            });
+        }
+    }
+    OptimalityReport { checks }
+}
+
+/// The Theorem 5.3 check over a symmetry-quotiented system.
+///
+/// The per-processor conditions are *equivariant*, not symmetric:
+/// relabeling by `σ` maps processor `i`'s condition onto `σ(i)`'s. Two
+/// consequences (DESIGN.md §4i):
+///
+/// * the belief kernels must be twisted family-wise — processor `q`'s
+///   view at a falsifying point is checked against `ψ_q`, not `ψ_i` —
+///   which is what [`eba_kripke::Evaluator::family_believes`] computes;
+/// * full-system validity of any one processor's condition is the
+///   conjunction over the *whole family* of representative-validity, so
+///   the per-processor verdicts coincide. A check whose own condition
+///   holds on representatives but whose family fails reports the first
+///   failing member's representative counterexample (the full-system
+///   failing point for `i` is a relabeling of it).
+fn check_optimality_quotient(
+    ctor: &mut Constructor<'_>,
+    n: usize,
+    z_id: StateSetsId,
+    o_id: StateSetsId,
+    c0: &Formula,
+    c1: &Formula,
+) -> OptimalityReport {
+    type FamilyFailures = Vec<Option<(RunId, Time)>>;
+    let mut per_value: Vec<(Value, FamilyFailures)> = Vec::with_capacity(2);
+    for (value, decide_id, other_id, closure) in
+        [(Value::Zero, z_id, o_id, c0), (Value::One, o_id, z_id, c1)]
+    {
+        let psi: Vec<Formula> = ProcessorId::all(n)
+            .map(|j| {
+                Formula::exists(value)
+                    .and(closure.clone())
+                    .and(Formula::StateIn(j, other_id).not())
+            })
+            .collect();
+        let eval = ctor.evaluator();
+        let believes = eval.family_believes(NonRigidSet::Nonfaulty, &psi);
+        let fails: Vec<Option<(RunId, Time)>> = ProcessorId::all(n)
+            .zip(&believes)
+            .map(|(j, b)| {
+                // Nonfaulty(j) ⇒ (StateIn(j, decide) ⇔ B^N_j ψ_j),
+                // folded on bitsets: a violation is an in-scope point
+                // where exactly one side holds.
+                let lhs = eval.eval(&Formula::StateIn(j, decide_id));
+                let nf = eval.eval(&Formula::Nonfaulty(j));
+                let mut bad = (*lhs).clone();
+                bad.and_not(b);
+                let mut missing = b.clone();
+                missing.and_not(&lhs);
+                bad |= &missing;
+                bad &= &nf;
+                let first = bad.ones().next();
+                first.map(|idx| eval.point_of(idx))
+            })
+            .collect();
+        per_value.push((value, fails));
+    }
+    let mut checks = Vec::with_capacity(2 * n);
+    for i in ProcessorId::all(n) {
+        for (value, fails) in &per_value {
+            let holds = fails.iter().all(Option::is_none);
+            let counterexample =
+                fails[i.index()].or_else(|| fails.iter().flatten().next().copied());
+            checks.push(ConditionCheck {
+                proc: i,
+                value: *value,
+                holds,
                 counterexample,
             });
         }

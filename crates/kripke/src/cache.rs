@@ -69,6 +69,15 @@ pub type ScopeColumns = Arc<Vec<Bitset>>;
 pub(crate) struct ReachKey {
     /// The exchange fingerprint of the generated system.
     pub(crate) exchange: u64,
+    /// The symmetry fence: `0` for an unreduced system, the
+    /// [`eba_sim::symmetry::ViewClasses::fingerprint`] of the quotiented
+    /// system otherwise. A quotiented system and the unreduced system of
+    /// the same scenario share exchange fingerprints but index entirely
+    /// different point spaces (and their reachability partitions answer
+    /// different questions), so their entries must never be
+    /// interchangeable even when one cache handle is shared across both
+    /// (the session's asymmetric-formula fallback does exactly that).
+    pub(crate) symmetry: u64,
     /// Which nonrigid set, by content.
     pub(crate) sel: ReachSel,
 }
@@ -106,9 +115,11 @@ impl HashedReachKey {
             hash ^= x;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         };
-        // The exchange fingerprint is mixed first so the selector tags
-        // below stay distinct per exchange.
+        // The exchange and symmetry fingerprints are mixed first so the
+        // selector tags below stay distinct per (exchange, symmetry)
+        // combination.
         mix(key.exchange);
+        mix(key.symmetry);
         match &key.sel {
             ReachSel::Everyone => mix(1),
             ReachSel::Nonfaulty => mix(2),
@@ -477,8 +488,26 @@ mod tests {
     fn key(sel: ReachSel) -> HashedReachKey {
         HashedReachKey::new(ReachKey {
             exchange: eba_model::ExchangeKind::FullInformation.fingerprint(),
+            symmetry: 0,
             sel,
         })
+    }
+
+    #[test]
+    fn symmetry_fence_separates_quotient_and_unreduced_entries() {
+        let cache = KnowledgeCache::new();
+        let unreduced = key(ReachSel::Nonfaulty);
+        let quotient = HashedReachKey::new(ReachKey {
+            exchange: eba_model::ExchangeKind::FullInformation.fingerprint(),
+            symmetry: 0xdead_beef,
+            sel: ReachSel::Nonfaulty,
+        });
+        cache.insert_scopes(&unreduced, Arc::new(vec![Bitset::new_false(8)]));
+        assert!(cache.get_scopes(&unreduced).is_some());
+        assert!(
+            cache.get_scopes(&quotient).is_none(),
+            "quotient keys must not hit unreduced entries"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::uf::UnionFind;
 use eba_model::fasthash::{FastMap, FastSet};
 use eba_model::{ModelError, ProcSet, ProcessorId, Time};
 use eba_sim::chaos::{supervised_indexed, FaultInjector, FaultSite, NoChaos};
+use eba_sim::symmetry::{SymmetryInfo, ViewClasses};
 use eba_sim::{GeneratedSystem, RunId, ViewId};
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -140,6 +141,16 @@ pub struct Evaluator<'a> {
     /// Content keys are canonicalized and hashed once per set, then
     /// reused across the staged reachability *and* scope lookups.
     key_memo: FastMap<NonRigidSet, Arc<HashedReachKey>>,
+    /// The symmetry metadata of a quotiented system (`None` on unreduced
+    /// systems). Present, every knowledge kernel evaluates under the
+    /// orbit twist: a point is disqualified by the *view-orbit classes*
+    /// of the falsifying points rather than by raw views, which makes
+    /// the reduced system answer full-space questions exactly for
+    /// symmetric formulas (DESIGN.md §4i).
+    symmetry: Option<&'a SymmetryInfo>,
+    /// Orbit-closure verdicts per registered state-set family, memoized
+    /// (the check is O(occurring views)).
+    family_closed_memo: FastMap<u32, bool>,
     pub(crate) shared: KnowledgeCache,
     pub(crate) chaos: Arc<dyn FaultInjector>,
     plan_mode: bool,
@@ -176,6 +187,8 @@ impl<'a> Evaluator<'a> {
             reach_cache: FastMap::default(),
             scope_cache: FastMap::default(),
             key_memo: FastMap::default(),
+            symmetry: system.symmetry(),
+            family_closed_memo: FastMap::default(),
             shared: cache,
             chaos: Arc::new(NoChaos),
             plan_mode: true,
@@ -491,6 +504,24 @@ impl<'a> Evaluator<'a> {
         let scopes = self.scope_columns(scope);
         let store = self.system.points();
         let table = self.system.table();
+        if let Some(classes) = self.classes() {
+            // Orbit twist: a view is disqualified when its *class* is
+            // falsified from any in-scope processor anywhere (see
+            // `knowledge_like_quotient`); emission stays per-processor
+            // over the occurring (nonempty) buckets, so the extracted
+            // family is orbit-closed over occurring views by
+            // construction.
+            let class_ok = self.class_ok_scoped(&psi_bits, &scopes, classes);
+            for p in ProcessorId::all(self.n) {
+                let (offsets, _) = store.buckets(p);
+                for (v, w) in table.ids().zip(offsets.windows(2)) {
+                    if w[0] != w[1] && class_ok[classes.class(v) as usize] {
+                        sets.insert(p, v);
+                    }
+                }
+            }
+            return;
+        }
         let mut bad = vec![false; table.len()];
         for p in ProcessorId::all(self.n) {
             let column = store.column(p);
@@ -507,6 +538,115 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+    }
+
+    /// For an *equivariant family* `(ψ_i)` — one where `ψ_{σ(i)}` holds
+    /// at a relabeled point exactly when `ψ_i` holds at the original —
+    /// the per-processor belief columns `B^S_i ψ_i`, indexed by `i`.
+    ///
+    /// On an unreduced system this is `n` independent belief
+    /// evaluations. On a quotient the falsified orbit classes are
+    /// collected **once** across the whole family (processor `q`'s
+    /// in-scope `¬ψ_q` points mark the class of `q`'s view) and then
+    /// projected per processor; by equivariance that is exactly the full
+    /// system's answer restricted to representatives even though each
+    /// `ψ_i` alone is asymmetric (DESIGN.md §4i). The optimality checker
+    /// uses this to fold its per-processor decision conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi.len()` differs from the processor count.
+    pub fn family_believes(&mut self, scope: NonRigidSet, psi: &[Formula]) -> Vec<Bitset> {
+        assert_eq!(
+            psi.len(),
+            self.n,
+            "equivariant family must have one formula per processor"
+        );
+        let psi_bits: Vec<Arc<Bitset>> = psi.iter().map(|f| self.eval(f)).collect();
+        if let Some(classes) = self.classes() {
+            let scopes = self.scope_columns(scope);
+            let store = self.system.points();
+            let mut class_ok = vec![true; classes.num_classes()];
+            for q in ProcessorId::all(self.n) {
+                let column = store.column(q);
+                let mut viol = Bitset::clone(&scopes[q.index()]);
+                viol.and_not(&psi_bits[q.index()]);
+                for pt in viol.ones() {
+                    class_ok[classes.class(column[pt]) as usize] = false;
+                }
+            }
+            return ProcessorId::all(self.n)
+                .map(|p| self.project_class_ok(p, &class_ok, classes))
+                .collect();
+        }
+        psi_bits
+            .iter()
+            .zip(ProcessorId::all(self.n))
+            .map(|(phi, p)| self.knowledge_like(p, phi, Some(scope)))
+            .collect()
+    }
+
+    /// Whether a registered family is *orbit-closed* over the occurring
+    /// views: membership `v ∈ A_p` is constant across each view orbit,
+    /// restricted to views that actually occur for their owner. Families
+    /// extracted by [`Evaluator::views_believing`] on a quotient are
+    /// closed by construction; this check guards externally supplied
+    /// families before they may scope a quotient evaluation. Memoized
+    /// per id; vacuously `true` on unreduced systems.
+    pub fn family_orbit_closed(&mut self, id: StateSetsId) -> bool {
+        let Some(classes) = self.classes() else {
+            return true;
+        };
+        if let Some(&ok) = self.family_closed_memo.get(&id.0) {
+            return ok;
+        }
+        let sets = &self.state_sets[id.0 as usize];
+        let store = self.system.points();
+        let table = self.system.table();
+        // 0 = class unseen, 1 = seen excluded, 2 = seen included.
+        let mut verdict = vec![0u8; classes.num_classes()];
+        let mut ok = true;
+        'scan: for p in ProcessorId::all(self.n) {
+            let (offsets, _) = store.buckets(p);
+            for (v, w) in table.ids().zip(offsets.windows(2)) {
+                if w[0] == w[1] {
+                    continue;
+                }
+                let c = classes.class(v) as usize;
+                let seen = if sets.contains(p, v) { 2 } else { 1 };
+                if verdict[c] == 0 {
+                    verdict[c] = seen;
+                } else if verdict[c] != seen {
+                    ok = false;
+                    break 'scan;
+                }
+            }
+        }
+        self.family_closed_memo.insert(id.0, ok);
+        ok
+    }
+
+    /// Whether the formula is *fully symmetric* — invariant under every
+    /// processor relabeling — so its full-system validity can be decided
+    /// on a quotiented system directly. `NonfaultyAnd` scopes
+    /// additionally require the referenced family to be orbit-closed
+    /// (checked via [`Evaluator::family_orbit_closed`]).
+    pub fn formula_symmetric(&mut self, f: &Formula) -> bool {
+        let mut family_ok = |id: StateSetsId| self.family_orbit_closed(id);
+        f.symmetric_under_relabeling(&mut family_ok)
+    }
+
+    /// Whether every knowledge operator in the formula has a symmetric
+    /// body and scope, so each kernel's orbit twist is pointwise-exact on
+    /// representatives. Weaker than [`Evaluator::formula_symmetric`]
+    /// (asymmetric leaves like `StateIn` may appear *outside* knowledge
+    /// operators); such formulas evaluate correctly **at** representative
+    /// points but their quotient validity is not full-system validity —
+    /// the optimality checker folds the whole equivariant family for
+    /// that.
+    pub fn quotient_compatible(&mut self, f: &Formula) -> bool {
+        let mut family_ok = |id: StateSetsId| self.family_orbit_closed(id);
+        f.quotient_compatible(&mut family_ok)
     }
 
     fn for_each_view_where(
@@ -802,6 +942,99 @@ impl<'a> Evaluator<'a> {
         self.compute(formula)
     }
 
+    /// The view-orbit classes of a quotiented system, or `None` on an
+    /// unreduced one. The reference outlives `&self` (it is computed
+    /// lazily inside the system's [`SymmetryInfo`]), so callers can hold
+    /// it across subsequent `&mut self` calls.
+    pub(crate) fn classes(&self) -> Option<&'a ViewClasses> {
+        self.symmetry
+            .map(|si| si.classes(self.system.table(), self.n))
+    }
+
+    /// The surviving orbit classes for an *unscoped* knowledge kernel:
+    /// class `c` stays `true` unless some processor's view at some
+    /// `¬φ` point falls in `c`.
+    pub(crate) fn class_ok_unscoped(&self, phi: &Bitset, classes: &ViewClasses) -> Vec<bool> {
+        let store = self.system.points();
+        let mut class_ok = vec![true; classes.num_classes()];
+        let mut viol = phi.clone();
+        viol.invert();
+        for q in ProcessorId::all(self.n) {
+            let column = store.column(q);
+            for pt in viol.ones() {
+                class_ok[classes.class(column[pt]) as usize] = false;
+            }
+        }
+        class_ok
+    }
+
+    /// The surviving orbit classes for a *scoped* knowledge kernel:
+    /// class `c` is falsified by processor `q`'s view at a `¬φ` point
+    /// only where `q` is in scope there (`scopes` are the per-processor
+    /// scope columns of the nonrigid set).
+    pub(crate) fn class_ok_scoped(
+        &self,
+        phi: &Bitset,
+        scopes: &[Bitset],
+        classes: &ViewClasses,
+    ) -> Vec<bool> {
+        let store = self.system.points();
+        let mut class_ok = vec![true; classes.num_classes()];
+        for q in ProcessorId::all(self.n) {
+            let column = store.column(q);
+            let mut viol = Bitset::clone(&scopes[q.index()]);
+            viol.and_not(phi);
+            for pt in viol.ones() {
+                class_ok[classes.class(column[pt]) as usize] = false;
+            }
+        }
+        class_ok
+    }
+
+    /// Projects a per-class verdict onto processor `p`'s point column:
+    /// bit `idx` holds the verdict of the orbit class of `p`'s view at
+    /// point `idx`.
+    pub(crate) fn project_class_ok(
+        &self,
+        p: ProcessorId,
+        class_ok: &[bool],
+        classes: &ViewClasses,
+    ) -> Bitset {
+        let column = self.system.points().column(p);
+        let mut out = Bitset::new_false(self.num_points);
+        for (idx, &v) in column.iter().enumerate() {
+            if class_ok[classes.class(v) as usize] {
+                out.set(idx, true);
+            }
+        }
+        out
+    }
+
+    /// The orbit twist of [`Evaluator::knowledge_like`]: on a quotiented
+    /// system a point is disqualified when the *orbit class* of its view
+    /// equals the class of some falsifying point's view — taken over
+    /// **every** processor `q` there (restricted to `q ∈ S` for `B`).
+    /// Full-information views encode their owner, so cross-processor
+    /// class equality already carries the witnessing relabeling, which
+    /// makes the per-class marking answer the full system's question
+    /// exactly for symmetric `φ` (DESIGN.md §4i).
+    fn knowledge_like_quotient(
+        &mut self,
+        p: ProcessorId,
+        phi: &Bitset,
+        restrict: Option<NonRigidSet>,
+        classes: &ViewClasses,
+    ) -> Bitset {
+        let class_ok = match restrict {
+            None => self.class_ok_unscoped(phi, classes),
+            Some(s) => {
+                let scopes = self.scope_columns(s);
+                self.class_ok_scoped(phi, &scopes, classes)
+            }
+        };
+        self.project_class_ok(p, &class_ok, classes)
+    }
+
     /// Shared implementation of `K_p` (with `restrict = None`) and `B^S_p`
     /// (with `restrict = Some(S)`): the result at a point depends only on
     /// `p`'s view there, and is the conjunction of `φ` over all points
@@ -812,6 +1045,9 @@ impl<'a> Evaluator<'a> {
         phi: &Bitset,
         restrict: Option<NonRigidSet>,
     ) -> Bitset {
+        if let Some(classes) = self.classes() {
+            return self.knowledge_like_quotient(p, phi, restrict, classes);
+        }
         let table_len = self.system.table().len();
         let mut view_ok = vec![true; table_len];
         for run in self.system.run_ids() {
@@ -849,6 +1085,9 @@ impl<'a> Evaluator<'a> {
     /// operator is vacuous (matching `E_S`'s convention).
     pub(crate) fn distributed_knowledge(&mut self, s: NonRigidSet, phi: &Bitset) -> Bitset {
         use std::collections::hash_map::Entry;
+        if self.symmetry.is_some() {
+            return self.distributed_knowledge_quotient(s, phi);
+        }
         let mut bucket_of: Vec<u32> = vec![u32::MAX; self.num_points];
         let mut sat: Vec<bool> = Vec::new();
         let mut index: FastMap<(u128, Vec<ViewId>), u32> = FastMap::default();
@@ -883,6 +1122,69 @@ impl<'a> Evaluator<'a> {
             let ok = if bucket == u32::MAX {
                 // S empty here: every point (with S empty) is jointly
                 // indistinguishable from this one.
+                all_empty_ok
+            } else {
+                sat[bucket as usize]
+            };
+            out.set(idx, ok);
+        }
+        out
+    }
+
+    /// The orbit twist of [`Evaluator::distributed_knowledge`]: points
+    /// are bucketed by a *canonical joint key* — the minimum over all
+    /// relabelings `π` of a slot-ascending mix of the members'
+    /// `π`-relabeled view hashes (slot `j` holds processor `π⁻¹(j)`;
+    /// non-members contribute a fixed marker). Two representative points
+    /// get equal keys exactly when some relabeling maps one's
+    /// membership-and-views profile onto the other's, which is joint
+    /// indistinguishability in the full system, so the bucket verdicts
+    /// answer the full system's `D_S` for symmetric `φ` (DESIGN.md §4i).
+    fn distributed_knowledge_quotient(&mut self, s: NonRigidSet, phi: &Bitset) -> Bitset {
+        use eba_sim::symmetry::{for_each_permuted_hashes, mix};
+        let s_members = self.collect_s_members(s);
+        let store = self.system.points();
+        let n = self.n;
+        let mut keys = vec![u128::MAX; self.num_points];
+        for_each_permuted_hashes(self.system.table(), n, |perm, hashes| {
+            let inv = perm.inverse();
+            for (idx, members) in s_members.iter().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                let mut h = 3u128;
+                for j in 0..n {
+                    let q = inv.apply(ProcessorId::new(j));
+                    h = if members.contains(q) {
+                        mix(h, hashes[store.column(q)[idx].index()])
+                    } else {
+                        mix(h, u128::MAX - 2)
+                    };
+                }
+                if h < keys[idx] {
+                    keys[idx] = h;
+                }
+            }
+        });
+        let mut bucket_of: Vec<u32> = vec![u32::MAX; self.num_points];
+        let mut sat: Vec<bool> = Vec::new();
+        let mut index: FastMap<u128, u32> = FastMap::default();
+        let mut all_empty_ok = true;
+        for (idx, members) in s_members.iter().enumerate() {
+            if members.is_empty() {
+                all_empty_ok &= phi.get(idx);
+                continue;
+            }
+            let bucket = *index.entry(keys[idx]).or_insert_with(|| {
+                sat.push(true);
+                (sat.len() - 1) as u32
+            });
+            bucket_of[idx] = bucket;
+            sat[bucket as usize] &= phi.get(idx);
+        }
+        let mut out = Bitset::new_false(self.num_points);
+        for (idx, &bucket) in bucket_of.iter().enumerate() {
+            let ok = if bucket == u32::MAX {
                 all_empty_ok
             } else {
                 sat[bucket as usize]
@@ -939,6 +1241,10 @@ impl<'a> Evaluator<'a> {
         let exchange = self.system.scenario().exchange().fingerprint();
         let key = Arc::new(HashedReachKey::new(ReachKey {
             exchange,
+            // Quotiented structures answer the same *question* but over a
+            // different point space, so they must never collide with
+            // unreduced entries even on a legally shared cache handle.
+            symmetry: self.classes().map_or(0, ViewClasses::fingerprint),
             sel: match s {
                 NonRigidSet::Everyone => ReachSel::Everyone,
                 NonRigidSet::Nonfaulty => ReachSel::Nonfaulty,
@@ -1055,8 +1361,46 @@ impl<'a> Evaluator<'a> {
         s_members
     }
 
+    /// Applies the quotient edge rule to a fresh union-find: points
+    /// whose in-scope views share an *orbit class* are linked (first
+    /// point seen per class acts as the class root). The resulting
+    /// partition can be coarser than the full system's components
+    /// restricted to representatives, but the per-component clean/dirty
+    /// verdict — all that `C_S`/`C□_S` ever read — agrees for symmetric
+    /// `φ`: full-system chains project onto class chains, and a class
+    /// chain lifts to a full-system chain into a relabeled copy of the
+    /// same component (DESIGN.md §4i). Shared with the batched sweep.
+    pub(crate) fn union_quotient_reach_edges(
+        &self,
+        s_members: &[ProcSet],
+        classes: &ViewClasses,
+        uf: &mut UnionFind,
+    ) {
+        let store = self.system.points();
+        let mut root = vec![u32::MAX; classes.num_classes()];
+        for (idx, members) in s_members.iter().enumerate() {
+            for q in members.iter() {
+                let c = classes.class(store.column(q)[idx]) as usize;
+                if root[c] == u32::MAX {
+                    root[c] = idx as u32;
+                } else {
+                    uf.union(idx, root[c] as usize);
+                }
+            }
+        }
+    }
+
     fn build_reachability(&self, s: NonRigidSet) -> Reachability {
         let s_members = self.collect_s_members(s);
+
+        if let Some(classes) = self.classes() {
+            // The quotient sweep touches every (point, member) pair once
+            // and is far smaller than the unreduced edge collection, so
+            // it always runs sequentially.
+            let mut uf = UnionFind::new(self.num_points);
+            self.union_quotient_reach_edges(&s_members, classes, &mut uf);
+            return self.finish_reachability(s_members, &mut uf);
+        }
 
         // Point-level union-find: two points are linked when some i ∈ S at
         // both has the same view at both. Bucket by (i's view). Edge

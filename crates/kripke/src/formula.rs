@@ -246,6 +246,102 @@ impl Formula {
         Formula::Or(iter.into_iter().collect())
     }
 
+    /// Whether the formula is invariant under every processor
+    /// relabeling, so that validity over a symmetry-quotiented system
+    /// equals validity over the full system (DESIGN.md §4i).
+    ///
+    /// The check is syntactic and conservative: run-level atoms that
+    /// mention no processor (`⊤`, `⊥`, `∃v`) are symmetric; anything
+    /// naming a processor (`init(p)`, `p∈N`, `StateIn`, `K_p`, `B_p`) or
+    /// referencing an opaque registered predicate is not. Group
+    /// operators are symmetric when their scope is and their body is;
+    /// `NonfaultyAnd` scopes defer to `family_ok`, which the evaluator
+    /// wires to its orbit-closure check for the referenced family.
+    pub fn symmetric_under_relabeling(
+        &self,
+        family_ok: &mut dyn FnMut(StateSetsId) -> bool,
+    ) -> bool {
+        fn set_ok(s: &NonRigidSet, family_ok: &mut dyn FnMut(StateSetsId) -> bool) -> bool {
+            match s {
+                NonRigidSet::Everyone | NonRigidSet::Nonfaulty => true,
+                NonRigidSet::NonfaultyAnd(id) => family_ok(*id),
+            }
+        }
+        match self {
+            Formula::True | Formula::False | Formula::Exists(_) => true,
+            Formula::Initial(..)
+            | Formula::Nonfaulty(_)
+            | Formula::StateIn(..)
+            | Formula::RunPred(_)
+            | Formula::PointPred(_)
+            | Formula::Knows(..)
+            | Formula::Believes(..) => false,
+            Formula::Not(f)
+            | Formula::Always(f)
+            | Formula::Eventually(f)
+            | Formula::AlwaysAll(f)
+            | Formula::SometimeAll(f) => f.symmetric_under_relabeling(family_ok),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().all(|f| f.symmetric_under_relabeling(family_ok))
+            }
+            Formula::Everyone(s, f)
+            | Formula::Someone(s, f)
+            | Formula::Distributed(s, f)
+            | Formula::Common(s, f)
+            | Formula::ContinualCommon(s, f) => {
+                set_ok(s, family_ok) && f.symmetric_under_relabeling(family_ok)
+            }
+        }
+    }
+
+    /// Whether every knowledge operator in the formula has a fully
+    /// symmetric body (and scope), which is what each kernel's orbit
+    /// twist requires to be pointwise-exact on representative points.
+    ///
+    /// Strictly weaker than
+    /// [`symmetric_under_relabeling`](Formula::symmetric_under_relabeling):
+    /// processor-naming atoms may appear *outside* knowledge operators
+    /// (e.g. the optimality conditions `p∈N ⇒ (StateIn(p,·) ⇔ B^N_p ψ_p)`),
+    /// in which case the formula evaluates correctly at each
+    /// representative point but its quotient validity is not full-system
+    /// validity — deciding that takes folding the whole equivariant
+    /// family, as the optimality checker does.
+    pub fn quotient_compatible(&self, family_ok: &mut dyn FnMut(StateSetsId) -> bool) -> bool {
+        fn set_ok(s: &NonRigidSet, family_ok: &mut dyn FnMut(StateSetsId) -> bool) -> bool {
+            match s {
+                NonRigidSet::Everyone | NonRigidSet::Nonfaulty => true,
+                NonRigidSet::NonfaultyAnd(id) => family_ok(*id),
+            }
+        }
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Exists(_)
+            | Formula::Initial(..)
+            | Formula::Nonfaulty(_)
+            | Formula::StateIn(..)
+            | Formula::RunPred(_)
+            | Formula::PointPred(_) => true,
+            Formula::Not(f)
+            | Formula::Always(f)
+            | Formula::Eventually(f)
+            | Formula::AlwaysAll(f)
+            | Formula::SometimeAll(f) => f.quotient_compatible(family_ok),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().all(|f| f.quotient_compatible(family_ok))
+            }
+            Formula::Knows(_, f) => f.symmetric_under_relabeling(family_ok),
+            Formula::Believes(_, s, f)
+            | Formula::Everyone(s, f)
+            | Formula::Someone(s, f)
+            | Formula::Distributed(s, f)
+            | Formula::Common(s, f)
+            | Formula::ContinualCommon(s, f) => {
+                set_ok(s, family_ok) && f.symmetric_under_relabeling(family_ok)
+            }
+        }
+    }
+
     /// The number of nodes of the formula tree (used for reporting).
     #[must_use]
     pub fn size(&self) -> usize {

@@ -502,6 +502,7 @@ fn gfp_over(
     budget: &ArmedBudget,
 ) -> Result<(Bitset, usize), GfpInterrupt> {
     let scopes = eval.scope_columns(s);
+    let classes = eval.classes();
     let mut current = Bitset::new_true(eval.num_points);
     let mut iterations = 0;
     loop {
@@ -510,9 +511,24 @@ fn gfp_over(
         let mut conj = phi_bits.clone();
         conj &= &current;
         let mut next = Bitset::new_true(eval.num_points);
-        for p in ProcessorId::all(eval.n) {
-            let believes = know_close(eval, p, &conj, Some(&scopes[p.index()]));
-            next.and_implication(&scopes[p.index()], &believes);
+        if let Some(classes) = classes {
+            // Orbit twist: the falsified classes of this iterate are
+            // collected once across all processors and projected per
+            // processor — the same `E_S` step the unreduced loop takes,
+            // evaluated on representatives (DESIGN.md §4i). Iteration
+            // counts agree with the unreduced loop because each iterate
+            // is a symmetric set, determined by its restriction to
+            // representatives.
+            let class_ok = eval.class_ok_scoped(&conj, &scopes, classes);
+            for p in ProcessorId::all(eval.n) {
+                let believes = eval.project_class_ok(p, &class_ok, classes);
+                next.and_implication(&scopes[p.index()], &believes);
+            }
+        } else {
+            for p in ProcessorId::all(eval.n) {
+                let believes = know_close(eval, p, &conj, Some(&scopes[p.index()]));
+                next.and_implication(&scopes[p.index()], &believes);
+            }
         }
         if boxed {
             next = eval.always_all_of(&next);
@@ -524,7 +540,55 @@ fn gfp_over(
     }
 }
 
+/// The orbit twist of [`know_close_kind`]: every closure goes through a
+/// per-class verdict shared across processors (see
+/// `Evaluator::class_ok_scoped`), so the bucket sweep of [`know_close`]
+/// is replaced by class projection. Results are bit-identical to the
+/// recursive evaluator's quotient kernels.
+fn know_close_kind_quotient(
+    eval: &mut Evaluator<'_>,
+    kind: KnowKind,
+    phi: &Bitset,
+    classes: &eba_sim::symmetry::ViewClasses,
+) -> Bitset {
+    match kind {
+        KnowKind::Knows(p) => {
+            let class_ok = eval.class_ok_unscoped(phi, classes);
+            eval.project_class_ok(p, &class_ok, classes)
+        }
+        KnowKind::Believes(p, s) => {
+            let scopes = eval.scope_columns(s);
+            let class_ok = eval.class_ok_scoped(phi, &scopes, classes);
+            eval.project_class_ok(p, &class_ok, classes)
+        }
+        KnowKind::Everyone(s) => {
+            let scopes = eval.scope_columns(s);
+            let class_ok = eval.class_ok_scoped(phi, &scopes, classes);
+            let mut out = Bitset::new_true(eval.num_points);
+            for p in ProcessorId::all(eval.n) {
+                let believes = eval.project_class_ok(p, &class_ok, classes);
+                out.and_implication(&scopes[p.index()], &believes);
+            }
+            out
+        }
+        KnowKind::Someone(s) => {
+            let scopes = eval.scope_columns(s);
+            let class_ok = eval.class_ok_scoped(phi, &scopes, classes);
+            let mut out = Bitset::new_false(eval.num_points);
+            for p in ProcessorId::all(eval.n) {
+                let believes = eval.project_class_ok(p, &class_ok, classes);
+                out.or_conjunction(&scopes[p.index()], &believes);
+            }
+            out
+        }
+        KnowKind::Distributed(s) => eval.distributed_knowledge(s, phi),
+    }
+}
+
 fn know_close_kind(eval: &mut Evaluator<'_>, kind: KnowKind, phi: &Bitset) -> Bitset {
+    if let Some(classes) = eval.classes() {
+        return know_close_kind_quotient(eval, kind, phi, classes);
+    }
     match kind {
         KnowKind::Knows(p) => know_close(eval, p, phi, None),
         KnowKind::Believes(p, s) => {

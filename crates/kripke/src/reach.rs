@@ -216,7 +216,22 @@ impl BatchBuilder {
             .collect();
         let mut replay: Option<Vec<SlotEdges>> = None;
         let mut seq_ufs: Vec<UnionFind> = Vec::new();
-        if !specs.is_empty() {
+        if let Some(classes) = eval.classes() {
+            // Quotient sweep: per pending set, class-root unions over the
+            // membership vectors (see
+            // `Evaluator::union_quotient_reach_edges`) — one pass over
+            // (point, member) pairs, small enough to always run
+            // sequentially. Identical partitions to the per-set quotient
+            // path by construction.
+            seq_ufs = (0..edge_slots)
+                .map(|_| UnionFind::new(eval.num_points()))
+                .collect();
+            for (entry, mems) in pending.iter().zip(&members) {
+                if entry.need_reach {
+                    eval.union_quotient_reach_edges(mems, classes, &mut seq_ufs[entry.edge_slot]);
+                }
+            }
+        } else if !specs.is_empty() {
             if parallel {
                 replay = Some(collect_edges_parallel(eval, workers, &specs));
             } else {

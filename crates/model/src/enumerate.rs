@@ -16,8 +16,8 @@
 
 use crate::procset::subsets;
 use crate::{
-    ArmedBudget, BudgetHit, FailureMode, FailurePattern, FaultyBehavior, ProcSet, ProcessorId,
-    Round, Scenario, Time,
+    ArmedBudget, BudgetHit, FailureMode, FailurePattern, FaultyBehavior, ModelError, ProcSet,
+    ProcessorId, Round, Scenario, Time,
 };
 
 /// Enumerates all crash-mode faulty behaviors of processor `p` in a system
@@ -198,19 +198,28 @@ impl Patterns {
                 self.finished = true;
                 return;
             }
-            let block = per_proc.pow(self.faulty_sets[self.set_idx].len() as u32);
-            if index < block {
-                break;
+            let width = u32::try_from(self.faulty_sets[self.set_idx].len())
+                .expect("a faulty set holds at most 128 processors");
+            // A block larger than `u128::MAX` trivially contains any
+            // in-range index, so a checked-pow overflow means "stop here"
+            // rather than wrapping into a bogus skip distance.
+            match per_proc.checked_pow(width) {
+                Some(block) if index >= block => {
+                    index -= block;
+                    self.set_idx += 1;
+                }
+                _ => break,
             }
-            index -= block;
-            self.set_idx += 1;
         }
         self.load_set();
         // Mixed-radix decomposition of the within-set offset; the first
-        // member is the fastest-moving digit, matching `advance`.
+        // member is the fastest-moving digit, matching `advance`. Each
+        // digit is a remainder modulo a `Vec` length, so the narrowing is
+        // lossless by construction.
         for k in 0..self.odometer.len() {
             let len = self.behavior_lists[k].len() as u128;
-            self.odometer[k] = (index % len) as usize;
+            self.odometer[k] =
+                usize::try_from(index % len).expect("remainder is below a vector length");
             index /= len;
         }
         debug_assert_eq!(index, 0, "seek offset exceeded the faulty set's block");
@@ -291,32 +300,61 @@ pub fn patterns(scenario: &Scenario) -> Patterns {
 }
 
 /// Computes the number of patterns [`patterns`] will yield, without
-/// enumerating them.
-#[must_use]
-pub fn count_patterns(scenario: &Scenario) -> u128 {
+/// enumerating them; every intermediate product is checked, so a scenario
+/// whose pattern count outgrows `u128` surfaces a typed
+/// [`ModelError::CapacityExceeded`] instead of wrapping.
+///
+/// # Errors
+///
+/// Returns [`ModelError::CapacityExceeded`] when the count overflows
+/// `u128` (the pattern-index arithmetic of [`Patterns::seek`] and the
+/// sharding of [`crate::ScenarioSpace`] both key on this width).
+pub fn try_count_patterns(scenario: &Scenario) -> Result<u128, ModelError> {
     let n = scenario.n();
     let horizon = scenario.horizon();
+    let overflow = || ModelError::capacity_exceeded("pattern enumeration indices", u128::MAX);
+    let subsets_of_others = 1u128
+        .checked_shl(u32::try_from(n - 1).expect("scenario widths fit u32"))
+        .ok_or_else(overflow)?;
     // All per-processor behavior lists have the same length (they differ
     // only in which processor is excluded from receiver sets).
     let per_proc: u128 = match scenario.mode() {
         FailureMode::Crash => {
             // Clean + T·2^(n−1) crash behaviors, minus the one skipped
             // (last round, all receivers).
-            1 + u128::from(horizon.ticks()) * (1u128 << (n - 1)) - 1
+            u128::from(horizon.ticks())
+                .checked_mul(subsets_of_others)
+                .ok_or_else(overflow)?
         }
-        FailureMode::Omission => {
-            let per_round = 1u128 << (n - 1);
-            per_round.pow(u32::from(horizon.ticks()))
-        }
-        FailureMode::GeneralOmission => {
-            let per_round = 1u128 << (n - 1);
-            per_round.pow(u32::from(horizon.ticks())).pow(2)
-        }
+        FailureMode::Omission => subsets_of_others
+            .checked_pow(u32::from(horizon.ticks()))
+            .ok_or_else(overflow)?,
+        FailureMode::GeneralOmission => subsets_of_others
+            .checked_pow(u32::from(horizon.ticks()))
+            .and_then(|v| v.checked_pow(2))
+            .ok_or_else(overflow)?,
     };
-    faulty_sets(n, scenario.t())
-        .iter()
-        .map(|s| per_proc.pow(s.len() as u32))
-        .sum()
+    let mut total: u128 = 0;
+    for s in faulty_sets(n, scenario.t()) {
+        let width = u32::try_from(s.len()).expect("a faulty set holds at most 128 processors");
+        let block = per_proc.checked_pow(width).ok_or_else(overflow)?;
+        total = total.checked_add(block).ok_or_else(overflow)?;
+    }
+    Ok(total)
+}
+
+/// [`try_count_patterns`] for callers without an error channel.
+///
+/// # Panics
+///
+/// Panics with the rendered [`ModelError::CapacityExceeded`] when the
+/// count overflows `u128`.
+#[must_use]
+pub fn count_patterns(scenario: &Scenario) -> u128 {
+    match try_count_patterns(scenario) {
+        Ok(count) => count,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]

@@ -733,6 +733,97 @@ mod tests {
     }
 
     #[test]
+    fn general_omission_truncation_cuts_both_axes() {
+        // Truncation of a general-omission behavior cuts the send *and*
+        // receive vectors independently to the base horizon — neither axis
+        // leaks rounds of the other.
+        let behavior = FaultyBehavior::GeneralOmission {
+            send: vec![
+                ProcSet::singleton(p(1)),
+                ProcSet::empty(),
+                ProcSet::singleton(p(2)),
+            ],
+            receive: vec![
+                ProcSet::empty(),
+                ProcSet::singleton(p(2)),
+                ProcSet::singleton(p(1)),
+            ],
+        };
+        assert_eq!(
+            behavior.truncated_to(p(0), 3, Time::new(2)),
+            Some(FaultyBehavior::GeneralOmission {
+                send: vec![ProcSet::singleton(p(1)), ProcSet::empty()],
+                receive: vec![ProcSet::empty(), ProcSet::singleton(p(2))],
+            })
+        );
+        // Unlike a boundary crash, general omission always has a canonical
+        // truncation — even when every message of the final round is lost.
+        let everything_lost = FaultyBehavior::GeneralOmission {
+            send: vec![
+                ProcSet::empty(),
+                ProcSet::full(3) - ProcSet::singleton(p(0)),
+            ],
+            receive: vec![
+                ProcSet::empty(),
+                ProcSet::full(3) - ProcSet::singleton(p(0)),
+            ],
+        };
+        assert_eq!(
+            everything_lost.truncated_to(p(0), 3, Time::new(1)),
+            Some(FaultyBehavior::GeneralOmission {
+                send: vec![ProcSet::empty()],
+                receive: vec![ProcSet::empty()],
+            })
+        );
+    }
+
+    #[test]
+    fn general_omission_truncate_after_pad_is_identity_on_all_patterns() {
+        // `truncate ∘ pad = id` over the *entire* canonical general-omission
+        // enumeration of a small scenario, and padding never disturbs
+        // deliveries or receptions inside the base horizon.
+        let base = Time::new(2);
+        let extended = Time::new(4);
+        let scenario = crate::Scenario::new(3, 1, FailureMode::GeneralOmission, 2).unwrap();
+        let mut checked = 0usize;
+        for pattern in crate::enumerate::patterns(&scenario) {
+            let padded = pattern.padded_to(extended);
+            padded
+                .validate(FailureMode::GeneralOmission, 1, extended)
+                .unwrap();
+            for q in 0..3 {
+                let Some(behavior) = pattern.behavior(p(q)) else {
+                    continue;
+                };
+                let grown = padded.behavior(p(q)).unwrap();
+                for r in 1..=2u16 {
+                    for other in (0..3).filter(|&o| o != q) {
+                        assert_eq!(
+                            behavior.delivers(Round::new(r), p(other)),
+                            grown.delivers(Round::new(r), p(other)),
+                            "{pattern}: send side moved inside the base horizon"
+                        );
+                        assert_eq!(
+                            behavior.receives(Round::new(r), p(other)),
+                            grown.receives(Round::new(r), p(other)),
+                            "{pattern}: receive side moved inside the base horizon"
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                padded.truncated_to(base),
+                Some(pattern),
+                "truncation failed to undo padding"
+            );
+            checked += 1;
+        }
+        // The sweep really covered the general-omission space (1 failure-free
+        // pattern plus 3 · 4^2 · 4^2 single-faulty behaviors).
+        assert_eq!(checked, 769);
+    }
+
+    #[test]
     fn padding_round_trips_through_truncation() {
         let base = Time::new(2);
         let extended = Time::new(4);

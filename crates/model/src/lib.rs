@@ -62,6 +62,7 @@ mod value;
 pub mod enumerate;
 pub mod fasthash;
 pub mod sample;
+pub mod symmetry;
 
 pub use budget::{ArmedBudget, BudgetHit, RunBudget};
 pub use config::InitialConfig;

@@ -11,7 +11,8 @@
 //! assign identical ids regardless of worker count.
 
 use crate::enumerate::{self, Patterns};
-use crate::{InitialConfig, Scenario};
+use crate::symmetry;
+use crate::{FailurePattern, InitialConfig, ModelError, Scenario};
 
 /// The enumeration space of a scenario: all `(config, pattern)` pairs.
 #[derive(Clone, Copy, Debug)]
@@ -22,12 +23,32 @@ pub struct ScenarioSpace {
 
 impl ScenarioSpace {
     /// The space of the given scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the rendered [`ModelError::CapacityExceeded`] when the
+    /// scenario's pattern count overflows `u128`; see
+    /// [`ScenarioSpace::try_new`] for the typed-error form.
     #[must_use]
     pub fn new(scenario: Scenario) -> Self {
-        ScenarioSpace {
-            scenario,
-            num_patterns: enumerate::count_patterns(&scenario),
+        match ScenarioSpace::try_new(scenario) {
+            Ok(space) => space,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// The space of the given scenario, surfacing a typed
+    /// [`ModelError::CapacityExceeded`] when the pattern count overflows
+    /// the `u128` index arithmetic the space's sharding is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CapacityExceeded`] on overflow.
+    pub fn try_new(scenario: Scenario) -> Result<Self, ModelError> {
+        Ok(ScenarioSpace {
+            scenario,
+            num_patterns: enumerate::try_count_patterns(&scenario)?,
+        })
     }
 
     /// The underlying scenario.
@@ -98,6 +119,28 @@ impl ScenarioSpace {
             inner,
             remaining: shard.len(),
         }
+    }
+
+    /// One representative per `Sym(n)` orbit of the pattern axis, with its
+    /// multiplicity (orbit size), in enumeration order of the
+    /// representatives — the pattern stream the symmetry-quotiented
+    /// builder simulates. Every representative is its own canonical form
+    /// (`symmetry::is_canonical`), and the multiplicities sum back to
+    /// [`ScenarioSpace::num_patterns`] because the enumeration's canonical
+    /// behavior conventions are themselves permutation-invariant.
+    pub fn orbit_representatives(&self) -> impl Iterator<Item = (FailurePattern, u64)> + '_ {
+        enumerate::patterns(&self.scenario).filter_map(|pattern| {
+            let canon = symmetry::canonicalize(&pattern);
+            (canon.canonical == pattern).then_some((pattern, canon.orbit_size))
+        })
+    }
+
+    /// The number of pattern orbits under `Sym(n)` (the quotiented
+    /// engine's pattern-axis size). Enumerates the space once; intended
+    /// for reporting, not hot paths.
+    #[must_use]
+    pub fn count_orbits(&self) -> u128 {
+        self.orbit_representatives().count() as u128
     }
 }
 

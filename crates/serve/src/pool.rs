@@ -88,6 +88,29 @@ struct Entry {
     stamp: u64,
 }
 
+/// One pooled session's identity and symmetry accounting, as reported
+/// by the `stats` frame.
+#[derive(Clone, Debug)]
+pub struct SessionInfo {
+    /// The session's pool key.
+    pub key: PoolKey,
+    /// Runs in the (possibly quotiented) system.
+    pub runs: usize,
+    /// Orbit accounting for quotiented sessions, `None` for unreduced.
+    pub symmetry: Option<SymmetrySnapshot>,
+}
+
+/// Orbit accounting of one quotiented session.
+#[derive(Clone, Copy, Debug)]
+pub struct SymmetrySnapshot {
+    /// Failure-pattern orbits (= representative patterns simulated).
+    pub orbits: usize,
+    /// Raw patterns those orbits stand for.
+    pub raw_patterns: u128,
+    /// `raw_patterns / orbits`, the pattern-axis reduction.
+    pub reduction: f64,
+}
+
 #[derive(Default)]
 struct Inner {
     map: HashMap<PoolKey, Entry>,
@@ -268,6 +291,40 @@ impl SessionPool {
         dropped
     }
 
+    /// Snapshots every pooled session's identity and symmetry
+    /// accounting, in deterministic (scenario-rendered) order.
+    #[must_use]
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        let inner = self.lock();
+        let mut infos: Vec<SessionInfo> = inner
+            .map
+            .iter()
+            .map(|(key, entry)| {
+                let system = entry.session.system();
+                SessionInfo {
+                    key: *key,
+                    runs: system.num_runs(),
+                    symmetry: system.symmetry().map(|info| SymmetrySnapshot {
+                        orbits: info.num_orbits(),
+                        raw_patterns: info.raw_patterns_covered(),
+                        reduction: info.reduction_ratio(),
+                    }),
+                }
+            })
+            .collect();
+        infos.sort_by_key(|info| {
+            (
+                format!(
+                    "{}",
+                    info.key.spec.scenario().expect("pooled specs are valid")
+                ),
+                info.key.spec.sampled,
+                info.key.spec.symmetry,
+            )
+        });
+        infos
+    }
+
     /// Current counters and footprint.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
@@ -299,7 +356,7 @@ impl SessionPool {
                 self.lock().retries += 1;
                 std::thread::sleep(self.retry.base_backoff * (1u32 << (attempt - 1)));
             }
-            let mut builder = SystemBuilder::new(&scenario);
+            let mut builder = SystemBuilder::new(&scenario).symmetry(key.spec.symmetry);
             if let Some(chaos) = &self.chaos {
                 builder = builder.chaos(Arc::clone(chaos));
             }
@@ -357,7 +414,9 @@ impl SessionPool {
                 self.lock().retries += 1;
                 std::thread::sleep(self.retry.base_backoff * (1u32 << (attempt - 1)));
             }
-            let mut builder = SystemBuilder::new(&scenario).budget(budget);
+            let mut builder = SystemBuilder::new(&scenario)
+                .budget(budget)
+                .symmetry(spec.symmetry);
             if let Some(shards) = shards {
                 builder = builder.shards(shards);
             }
@@ -396,6 +455,7 @@ mod tests {
             exchange: ExchangeKind::FullInformation,
             horizon,
             sampled: None,
+            symmetry: false,
         }
     }
 

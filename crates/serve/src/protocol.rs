@@ -63,6 +63,11 @@ pub struct ScenarioSpec {
     /// `Some((runs, seed))` for a sampled system instead of the
     /// exhaustive one.
     pub sampled: Option<(usize, u64)>,
+    /// Build the symmetry-quotiented system: one representative failure
+    /// pattern per `Sym(n)` orbit, with knowledge evaluated through
+    /// orbit-canonical view classes. Part of the pool key, so quotiented
+    /// and unreduced sessions for the same scenario never alias.
+    pub symmetry: bool,
 }
 
 impl ScenarioSpec {
@@ -275,6 +280,20 @@ fn parse_spec(frame: &Json) -> Result<ScenarioSpec, ServeError> {
             ));
         }
     };
+    let symmetry = field_bool(frame, "symmetry")?;
+    if symmetry {
+        if sampled.is_some() {
+            return Err(ServeError::BadRequest(
+                "the symmetry quotient needs the exhaustive system; drop `sampled`".into(),
+            ));
+        }
+        if !exchange.is_full() {
+            return Err(ServeError::BadRequest(format!(
+                "the symmetry quotient requires the full exchange; `{exchange}` bakes \
+                 processor labels into its bounded states"
+            )));
+        }
+    }
     Ok(ScenarioSpec {
         n,
         t,
@@ -282,6 +301,7 @@ fn parse_spec(frame: &Json) -> Result<ScenarioSpec, ServeError> {
         exchange,
         horizon,
         sampled,
+        symmetry,
     })
 }
 
@@ -474,5 +494,15 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(rebuild_only.kind(), "bad-request");
+        let sampled_symmetry = Request::from_line(
+            r#"{"op":"check","formula":"true","symmetry":true,"sampled":[5,1]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(sampled_symmetry.kind(), "bad-request");
+        let digest_symmetry = Request::from_line(
+            r#"{"op":"check","formula":"true","symmetry":true,"exchange":"digest:0"}"#,
+        )
+        .unwrap_err();
+        assert_eq!(digest_symmetry.kind(), "bad-request");
     }
 }

@@ -86,6 +86,47 @@ fn parse_checked_formula(text: &str) -> Result<Formula, ServeError> {
     parse_formula(text).map_err(|e| ServeError::BadRequest(e.to_string()))
 }
 
+/// Downgrades a `symmetry:true` spec to unreduced when the formula is
+/// not processor-symmetric (the quotient only preserves verdicts for
+/// symmetric formulas — DESIGN.md §4i), noting the fallback in the
+/// response. Parsed formulas cannot reference engine-registered state
+/// sets, so the family orbit-closure oracle is never consulted.
+fn effective_spec(
+    spec: &ScenarioSpec,
+    formula: &Formula,
+    fields: &mut Vec<(&'static str, Json)>,
+) -> ScenarioSpec {
+    let mut spec = *spec;
+    if spec.symmetry && !formula.symmetric_under_relabeling(&mut |_| true) {
+        spec.symmetry = false;
+        fields.push((
+            "symmetry",
+            Json::Str("formula names specific processors; checked unreduced".into()),
+        ));
+    }
+    spec
+}
+
+/// Appends the orbit-accounting field for quotiented systems.
+fn symmetry_fields(system: &GeneratedSystem, fields: &mut Vec<(&'static str, Json)>) {
+    if let Some(info) = system.symmetry() {
+        fields.push((
+            "symmetry",
+            Json::obj([
+                ("orbits", Json::Int(info.num_orbits() as i64)),
+                (
+                    "raw_patterns",
+                    Json::Int(info.raw_patterns_covered() as i64),
+                ),
+                (
+                    "reduction",
+                    Json::Str(format!("{:.2}", info.reduction_ratio())),
+                ),
+            ]),
+        ));
+    }
+}
+
 fn describe_point(system: &GeneratedSystem, run: eba_sim::RunId, time: Time) -> String {
     let record = system.run(run);
     format!(
@@ -142,6 +183,7 @@ fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
         ("op", Json::Str("check".into())),
         ("scenario", Json::Str(scenario.to_string())),
     ];
+    let spec = effective_spec(&check.spec, &formula, &mut fields);
 
     if budgeted {
         // Budgeted checks bypass the pool: a prefix system is a valid
@@ -153,13 +195,9 @@ fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
         if let Some(max) = check.max_runs {
             budget = budget.with_max_runs(max);
         }
-        let outcome = ctx.pool.build_budgeted(
-            &check.spec,
-            budget,
-            ctx.interrupt,
-            check.shards,
-            ctx.threads,
-        )?;
+        let outcome =
+            ctx.pool
+                .build_budgeted(&spec, budget, ctx.interrupt, check.shards, ctx.threads)?;
         let (system, partial) = match outcome {
             BuildOutcome::Complete { system, .. } => (system, None),
             BuildOutcome::Partial {
@@ -179,6 +217,7 @@ fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
             }
         };
         fields.push(("runs", Json::Int(system.num_runs() as i64)));
+        symmetry_fields(&system, &mut fields);
         if let Some((hit, completed, total)) = partial {
             fields.push((
                 "partial",
@@ -197,8 +236,9 @@ fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
         return Ok(Json::obj(fields));
     }
 
-    let (session, _hit) = ctx.pool.checkout(PoolKey { spec: check.spec })?;
+    let (session, _hit) = ctx.pool.checkout(PoolKey { spec })?;
     fields.push(("runs", Json::Int(session.system().num_runs() as i64)));
+    symmetry_fields(session.system(), &mut fields);
     let mut eval = session.evaluator();
     if let Some(threads) = ctx.threads {
         eval.set_threads(threads);
@@ -215,18 +255,24 @@ fn run_check(check: &CheckRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
 
 fn run_optimize(spec: &ScenarioSpec, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
     let scenario = spec.scenario()?;
+    // The optimization and the Theorem 5.3 check are processor-covariant
+    // end to end (the engine twists its belief kernels family-wise under
+    // the quotient), so `symmetry:true` needs no formula-eligibility
+    // fallback here.
     let (session, _hit) = ctx.pool.checkout(PoolKey { spec: *spec })?;
     let mut ctor = session.constructor();
     let pair = ctor.optimize(&DecisionPair::empty(spec.n));
     let optimal = check_optimality(&mut ctor, &pair).is_optimal();
-    Ok(Json::obj([
+    let mut fields = vec![
         ("ok", Json::Bool(true)),
         ("op", Json::Str("optimize".into())),
         ("scenario", Json::Str(scenario.to_string())),
         ("runs", Json::Int(session.system().num_runs() as i64)),
         ("points", Json::Int(session.system().num_points() as i64)),
-        ("optimal", Json::Bool(optimal)),
-    ]))
+    ];
+    symmetry_fields(session.system(), &mut fields);
+    fields.push(("optimal", Json::Bool(optimal)));
+    Ok(Json::obj(fields))
 }
 
 fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, ServeError> {
@@ -235,6 +281,8 @@ fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
     base_spec.horizon = sweep.from;
     base_spec.sampled = None;
     let scenario = base_spec.scenario()?;
+    let mut notice: Vec<(&'static str, Json)> = Vec::new();
+    let base_spec = effective_spec(&base_spec, &formula, &mut notice);
 
     // Warm start: clone the pooled base system (cheap — the point store
     // is behind an Arc) into a private session that this query alone
@@ -259,6 +307,7 @@ fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
         }
         let mut fields: Vec<(&'static str, Json)> = vec![("horizon", Json::Int(i64::from(h)))];
         fields.push(("runs", Json::Int(session.system().num_runs() as i64)));
+        symmetry_fields(session.system(), &mut fields);
         let mut eval = session.evaluator();
         if let Some(threads) = ctx.threads {
             eval.set_threads(threads);
@@ -272,9 +321,10 @@ fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
         ("ok", Json::Bool(true)),
         ("op", Json::Str("sweep".into())),
         ("scenario", Json::Str(scenario.to_string())),
-        ("horizons", Json::Arr(horizons)),
-        ("valid", Json::Bool(all_valid)),
     ];
+    fields.extend(notice);
+    fields.push(("horizons", Json::Arr(horizons)));
+    fields.push(("valid", Json::Bool(all_valid)));
     if interrupted {
         fields.push(("partial", Json::Str("interrupted".into())));
     }
@@ -283,6 +333,30 @@ fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
 
 fn render_stats(pool: &SessionPool) -> Json {
     let stats = pool.stats();
+    let pooled: Vec<Json> = pool
+        .sessions()
+        .into_iter()
+        .map(|info| {
+            let scenario = info
+                .key
+                .spec
+                .scenario()
+                .expect("pooled specs are validated at build");
+            let symmetry = match info.symmetry {
+                Some(snap) => Json::obj([
+                    ("orbits", Json::Int(snap.orbits as i64)),
+                    ("raw_patterns", Json::Int(snap.raw_patterns as i64)),
+                    ("reduction", Json::Str(format!("{:.2}", snap.reduction))),
+                ]),
+                None => Json::Null,
+            };
+            Json::obj([
+                ("scenario", Json::Str(scenario.to_string())),
+                ("runs", Json::Int(info.runs as i64)),
+                ("symmetry", symmetry),
+            ])
+        })
+        .collect();
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::Str("stats".into())),
@@ -292,6 +366,7 @@ fn render_stats(pool: &SessionPool) -> Json {
         ("misses", Json::Int(stats.misses as i64)),
         ("evictions", Json::Int(stats.evictions as i64)),
         ("retries", Json::Int(stats.retries as i64)),
+        ("pooled", Json::Arr(pooled)),
     ])
 }
 
@@ -400,6 +475,70 @@ mod tests {
                 "horizon {h}: {sweep} vs {single}"
             );
         }
+    }
+
+    #[test]
+    fn symmetry_quotient_matches_the_unreduced_verdict_and_reports_orbits() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let line = r#"{"op":"check","formula":"C(E0) -> CC(E0)","mode":"omission","horizon":2"#;
+        let quotiented = run(&pool, &format!(r#"{line},"symmetry":true}}"#));
+        let unreduced = run(&pool, &format!("{line}}}"));
+        assert!(quotiented.contains(r#""valid":false"#), "{quotiented}");
+        assert!(unreduced.contains(r#""valid":false"#), "{unreduced}");
+        assert!(
+            quotiented.contains(r#""symmetry":{"orbits":"#),
+            "{quotiented}"
+        );
+        assert!(
+            pool.stats().sessions == 2,
+            "quotiented and unreduced sessions must not alias"
+        );
+        // The stats frame carries the per-session orbit accounting.
+        let stats = run(&pool, r#"{"op":"stats"}"#);
+        assert!(stats.contains(r#""pooled":["#), "{stats}");
+        assert!(stats.contains(r#""orbits":"#), "{stats}");
+        assert!(stats.contains(r#""reduction":"#), "{stats}");
+        assert!(stats.contains(r#""symmetry":null"#), "{stats}");
+    }
+
+    #[test]
+    fn asymmetric_formulas_fall_back_to_the_unreduced_system() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let resp = run(
+            &pool,
+            r#"{"op":"check","formula":"K_1(E0) -> E0","symmetry":true}"#,
+        );
+        assert!(resp.contains("checked unreduced"), "{resp}");
+        assert!(resp.contains(r#""valid":true"#), "{resp}");
+        // The pooled session is the unreduced one — a later unreduced
+        // query for the same scenario hits it.
+        let (_, hit) = pool
+            .checkout(PoolKey {
+                spec: ScenarioSpec {
+                    n: 3,
+                    t: 1,
+                    mode: eba_model::FailureMode::Crash,
+                    exchange: eba_model::ExchangeKind::FullInformation,
+                    horizon: 3,
+                    sampled: None,
+                    symmetry: false,
+                },
+            })
+            .unwrap();
+        assert!(hit);
+    }
+
+    #[test]
+    fn quotiented_optimize_agrees_with_the_unreduced_verdict() {
+        let pool = SessionPool::new(u64::MAX, RetryPolicy::default(), None);
+        let quotiented = run(&pool, r#"{"op":"optimize","symmetry":true}"#);
+        let unreduced = run(&pool, r#"{"op":"optimize"}"#);
+        assert!(quotiented.contains(r#""optimal":true"#), "{quotiented}");
+        assert!(unreduced.contains(r#""optimal":true"#), "{unreduced}");
+        assert!(
+            quotiented.contains(r#""symmetry":{"orbits":"#),
+            "{quotiented}"
+        );
     }
 
     #[test]

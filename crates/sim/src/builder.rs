@@ -44,8 +44,10 @@ use crate::chaos::{
     supervised_indexed, EngineFault, FaultInjector, FaultSite, NoChaos, WorkerFault,
 };
 use crate::exchange::{try_exchange_views, AnyExchange, Exchange};
+use crate::symmetry::SymmetryInfo;
 use crate::system::{GeneratedSystem, RunId, RunRecord};
 use crate::view::{ViewId, ViewTable};
+use eba_model::symmetry::{canonicalize, MAX_SYMMETRY_N};
 use eba_model::{
     enumerate, ArmedBudget, BudgetHit, HorizonDelta, InitialConfig, ModelError, Round, RunBudget,
     Scenario, ScenarioSpace, Shard,
@@ -86,6 +88,7 @@ pub struct SystemBuilder {
     shards: Option<usize>,
     budget: RunBudget,
     chaos: Arc<dyn FaultInjector>,
+    symmetry: bool,
 }
 
 impl fmt::Debug for SystemBuilder {
@@ -95,6 +98,7 @@ impl fmt::Debug for SystemBuilder {
             .field("threads", &self.threads)
             .field("shards", &self.shards)
             .field("budget", &self.budget)
+            .field("symmetry", &self.symmetry)
             .finish_non_exhaustive()
     }
 }
@@ -111,7 +115,24 @@ impl SystemBuilder {
             shards: None,
             budget: RunBudget::unlimited(),
             chaos: Arc::new(NoChaos),
+            symmetry: false,
         }
+    }
+
+    /// Turns the symmetry quotient on or off (off by default). A
+    /// quotiented build simulates one representative pattern per
+    /// `Sym(n)` orbit — the canonical form of
+    /// [`eba_model::symmetry::canonicalize`] — crossed with every
+    /// initial configuration, and attaches the orbit accounting
+    /// ([`crate::symmetry::SymmetryInfo`]) to the system. Queries about
+    /// skipped runs are answered by relabeling
+    /// ([`GeneratedSystem::resolve_run`]). Requires the full-information
+    /// exchange and `n ≤ MAX_SYMMETRY_N`; violations surface as
+    /// [`ModelError::InvalidScenario`] from the build entry points.
+    #[must_use]
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
     }
 
     /// Sets the number of worker threads (clamped to at least 1). One
@@ -226,9 +247,24 @@ impl SystemBuilder {
         let mut views: Vec<ViewId> = Vec::new();
         let mut lookup = HashMap::new();
         let mut report = ExtendReport::default();
+        // A symmetric base extends into a symmetric system: the extended
+        // enumeration is filtered to canonical patterns exactly like a
+        // cold quotiented build. (Truncation does not preserve
+        // canonicality, so a canonical extended pattern may truncate to a
+        // non-representative base pattern; `find_run` then misses and the
+        // run is simulated fresh — reuse degrades, correctness doesn't.)
+        let symmetric = base.symmetry().is_some();
+        let mut orbit_sizes = Vec::new();
 
         for pattern in enumerate::patterns(&self.scenario) {
             debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
+            if symmetric {
+                let canon = canonicalize(&pattern);
+                if canon.canonical != pattern {
+                    continue;
+                }
+                orbit_sizes.push(canon.orbit_size);
+            }
             let nonfaulty = pattern.nonfaulty_set();
             let truncated = delta.truncate_pattern(&pattern);
             for config in &configs {
@@ -275,7 +311,10 @@ impl SystemBuilder {
                 });
             }
         }
-        let system = GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup);
+        let symmetry =
+            symmetric.then(|| Arc::new(SymmetryInfo::new(orbit_sizes, space.num_patterns())));
+        let system =
+            GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup, symmetry);
         Ok((system, report))
     }
 
@@ -340,7 +379,22 @@ impl SystemBuilder {
                 nonfaulty: record.nonfaulty,
             });
         }
-        let system = GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup);
+        // Padding is order-preserving on behaviors and commutes with
+        // relabeling, so it maps canonical patterns to canonical patterns
+        // with identical stabilizers: a symmetric base stays symmetric
+        // with its orbit sizes carried over verbatim.
+        let symmetry = match base.symmetry() {
+            Some(info) => {
+                let total = ScenarioSpace::try_new(self.scenario)?.num_patterns();
+                Some(Arc::new(SymmetryInfo::new(
+                    info.orbit_sizes().to_vec(),
+                    total,
+                )))
+            }
+            None => None,
+        };
+        let system =
+            GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup, symmetry);
         Ok((system, report))
     }
 
@@ -348,6 +402,24 @@ impl SystemBuilder {
     /// identical `(n, t, mode)`, strictly larger horizon.
     fn extension_delta(&self, base: &GeneratedSystem) -> Result<HorizonDelta, ModelError> {
         base.scenario().extend_into(&self.scenario)
+    }
+
+    /// Rejects scenarios the symmetry quotient cannot serve: the view
+    /// relabeling machinery is specific to full-information local states
+    /// (digest states bake processor labels into bounded summaries), and
+    /// permutation enumeration is capped at `MAX_SYMMETRY_N`.
+    fn check_symmetry_supported(&self) -> Result<(), ModelError> {
+        if !self.scenario.exchange().is_full() {
+            return Err(ModelError::InvalidScenario {
+                reason: "the symmetry quotient requires the full-information exchange".into(),
+            });
+        }
+        if self.scenario.n() > MAX_SYMMETRY_N {
+            return Err(ModelError::InvalidScenario {
+                reason: format!("the symmetry quotient supports n ≤ {MAX_SYMMETRY_N}"),
+            });
+        }
+        Ok(())
     }
 
     /// Builds the exhaustive system under the configured budget and fault
@@ -372,6 +444,10 @@ impl SystemBuilder {
         if space.total_runs() > RUN_CAPACITY {
             return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY).into());
         }
+        if self.symmetry {
+            self.check_symmetry_supported()
+                .map_err(EngineFault::Model)?;
+        }
         let configs: Vec<InitialConfig> = space.configs().collect();
         let shard_count = self.shards.unwrap_or_else(|| {
             if self.threads == 1 {
@@ -391,12 +467,13 @@ impl SystemBuilder {
 
         let workers = self.threads.min(planned.len().max(1));
         let chaos = &*self.chaos;
+        let symmetry = self.symmetry;
         let (outcomes, worker_faults) =
             supervised_indexed(planned.len(), workers, FaultSite::BuilderShard, |index| {
                 chaos
                     .inject(FaultSite::BuilderShard, index)
                     .map_err(ShardError::Model)?;
-                build_shard(&space, &configs, planned[index], &armed)
+                build_shard(&space, &configs, planned[index], &armed, symmetry)
             })?;
 
         // The first stopped shard (in shard order) ends the usable prefix;
@@ -414,7 +491,8 @@ impl SystemBuilder {
             }
         }
 
-        let (system, merged, merge_hit) = merge(self.scenario, parts, &armed)?;
+        let symmetry_total = self.symmetry.then(|| space.num_patterns());
+        let (system, merged, merge_hit) = merge(self.scenario, parts, &armed, symmetry_total)?;
         if let Some(view_hit) = merge_hit {
             hit = Some(view_hit);
         }
@@ -598,21 +676,29 @@ fn plan_run_bound(
     (planned, None)
 }
 
-/// The output of one shard: runs and views with *shard-local* view ids.
+/// The output of one shard: runs and views with *shard-local* view ids,
+/// plus (under the symmetry quotient) the orbit size of every built
+/// representative pattern, in enumeration order.
 struct ShardBuild {
     table: ViewTable,
     views: Vec<ViewId>,
     runs: Vec<RunRecord>,
+    orbit_sizes: Vec<u64>,
 }
 
-/// Builds one shard. Pure in `(space, configs, shard)` — re-running it
-/// (the supervisor's retry and fallback) yields identical output. The
-/// budget's deadline and view bound are checked once per pattern.
+/// Builds one shard. Pure in `(space, configs, shard, symmetry)` —
+/// re-running it (the supervisor's retry and fallback) yields identical
+/// output. The budget's deadline and view bound are checked once per
+/// pattern. Under the symmetry quotient, non-canonical patterns are
+/// skipped (never simulated) and each kept pattern records its orbit
+/// size; skipping is a pure per-pattern predicate, so determinism and
+/// shard-count independence are untouched.
 fn build_shard(
     space: &ScenarioSpace,
     configs: &[InitialConfig],
     shard: Shard,
     armed: &ArmedBudget,
+    symmetry: bool,
 ) -> Result<ShardBuild, ShardError> {
     let scenario = space.scenario();
     let horizon = scenario.horizon();
@@ -620,6 +706,7 @@ fn build_shard(
     let mut table = ViewTable::new();
     let mut runs = Vec::new();
     let mut views = Vec::new();
+    let mut orbit_sizes = Vec::new();
     for pattern in space.shard_patterns(shard) {
         armed.check_deadline().map_err(ShardError::Budget)?;
         // Shard-local distinct views lower-bound the merged total, so a
@@ -628,6 +715,13 @@ fn build_shard(
             .check_views(table.len() as u64)
             .map_err(ShardError::Budget)?;
         debug_assert!(scenario.validate_pattern(&pattern).is_ok());
+        if symmetry {
+            let canon = canonicalize(&pattern);
+            if canon.canonical != pattern {
+                continue;
+            }
+            orbit_sizes.push(canon.orbit_size);
+        }
         let nonfaulty = pattern.nonfaulty_set();
         for config in configs {
             let run_views = try_exchange_views(&exchange, config, &pattern, horizon, &mut table)
@@ -642,7 +736,12 @@ fn build_shard(
             });
         }
     }
-    Ok(ShardBuild { table, views, runs })
+    Ok(ShardBuild {
+        table,
+        views,
+        runs,
+        orbit_sizes,
+    })
 }
 
 /// Absorbs shard parts in shard order, checking the view bound after each
@@ -654,16 +753,19 @@ fn merge(
     scenario: Scenario,
     parts: Vec<ShardBuild>,
     armed: &ArmedBudget,
+    symmetry_total: Option<u128>,
 ) -> Result<(GeneratedSystem, usize, Option<BudgetHit>), EngineFault> {
     let mut table = ViewTable::new();
     let mut views = Vec::new();
     let mut runs: Vec<RunRecord> = Vec::new();
     let mut lookup = HashMap::new();
+    let mut orbit_sizes = Vec::new();
     let mut merged = 0;
     let mut hit = None;
     for part in parts {
         let remap = table.absorb(&part.table).map_err(EngineFault::Model)?;
         views.extend(part.views.iter().map(|v| remap[v.index()]));
+        orbit_sizes.extend_from_slice(&part.orbit_sizes);
         runs.reserve(part.runs.len());
         for record in part.runs {
             let id = RunId::try_new(runs.len()).map_err(EngineFault::Model)?;
@@ -680,10 +782,11 @@ fn merge(
             break;
         }
     }
+    let symmetry = symmetry_total.map(|total| Arc::new(SymmetryInfo::new(orbit_sizes, total)));
     // `from_parts` finishes by building the columnar `PointStore` over the
     // merged views, so even a budget-partial system carries its columns
     // and CSR bucket partitions.
-    let system = GeneratedSystem::from_parts(scenario, runs, views, table, lookup);
+    let system = GeneratedSystem::from_parts(scenario, runs, views, table, lookup, symmetry);
     Ok((system, merged, hit))
 }
 
@@ -1172,6 +1275,140 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn symmetry_build_keeps_one_representative_per_orbit() {
+        use eba_model::symmetry::{is_canonical, orbit_members};
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let full = SystemBuilder::new(&scenario).threads(1).build().unwrap();
+        let reduced = SystemBuilder::new(&scenario)
+            .threads(2)
+            .shards(5)
+            .symmetry(true)
+            .build()
+            .unwrap();
+        let info = reduced
+            .symmetry()
+            .expect("quotient builds carry accounting");
+        // Every built pattern is canonical, each exactly once per config.
+        let space = ScenarioSpace::new(scenario);
+        assert_eq!(
+            reduced.num_runs() as u128,
+            space.count_orbits() * space.num_configs()
+        );
+        for r in reduced.run_ids() {
+            assert!(is_canonical(&reduced.run(r).pattern));
+        }
+        // Orbit sizes align with the run layout and sum to the raw count.
+        let configs = space.num_configs() as usize;
+        for (k, &size) in info.orbit_sizes().iter().enumerate() {
+            let r = RunId::new(k * configs);
+            assert_eq!(
+                orbit_members(&reduced.run(r).pattern).len() as u64,
+                size,
+                "orbit size misaligned at representative {k}"
+            );
+        }
+        assert_eq!(info.raw_patterns_covered(), space.num_patterns());
+        assert_eq!(info.raw_pattern_total(), space.num_patterns());
+        assert!(info.reduction_ratio() > 1.0);
+        // Every raw run resolves through a witness onto a representative
+        // whose relabeled record matches.
+        for r in full.run_ids() {
+            let record = full.run(r);
+            let (rep, witness) = reduced
+                .resolve_run(&record.config, &record.pattern)
+                .expect("complete quotients resolve every raw run");
+            let rep_record = reduced.run(rep);
+            assert_eq!(witness.apply_config(&record.config), rep_record.config);
+            assert_eq!(witness.apply_pattern(&record.pattern), rep_record.pattern);
+        }
+        // The unreduced build carries no accounting.
+        assert!(full.symmetry().is_none());
+    }
+
+    #[test]
+    fn symmetry_build_is_shard_and_thread_independent() {
+        let scenario = Scenario::new(4, 1, FailureMode::Crash, 2).unwrap();
+        let base = SystemBuilder::new(&scenario)
+            .threads(1)
+            .shards(1)
+            .symmetry(true)
+            .build()
+            .unwrap();
+        for (threads, shards) in [(2, 3), (4, 9), (3, 1000)] {
+            let other = SystemBuilder::new(&scenario)
+                .threads(threads)
+                .shards(shards)
+                .symmetry(true)
+                .build()
+                .unwrap();
+            assert_identical(&base, &other);
+            assert_eq!(
+                base.symmetry().unwrap().orbit_sizes(),
+                other.symmetry().unwrap().orbit_sizes()
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_extend_matches_cold_quotient_build() {
+        let base_scenario = Scenario::new(3, 2, FailureMode::Crash, 2).unwrap();
+        let base = SystemBuilder::new(&base_scenario)
+            .threads(1)
+            .symmetry(true)
+            .build()
+            .unwrap();
+        let extended_scenario = base_scenario.with_horizon(3).unwrap();
+        let (extended, _) = SystemBuilder::new(&extended_scenario)
+            .extend(&base)
+            .unwrap();
+        let cold = SystemBuilder::new(&extended_scenario)
+            .threads(1)
+            .symmetry(true)
+            .build()
+            .unwrap();
+        assert_equivalent(&cold, &extended);
+        assert_eq!(
+            cold.symmetry().unwrap().orbit_sizes(),
+            extended.symmetry().unwrap().orbit_sizes()
+        );
+    }
+
+    #[test]
+    fn symmetry_extend_pinned_carries_orbit_sizes() {
+        let base_scenario = Scenario::new(3, 1, FailureMode::Omission, 1).unwrap();
+        let base = SystemBuilder::new(&base_scenario)
+            .threads(1)
+            .symmetry(true)
+            .build()
+            .unwrap();
+        let extended_scenario = base_scenario.with_horizon(2).unwrap();
+        let (extended, report) = SystemBuilder::new(&extended_scenario)
+            .extend_pinned(&base)
+            .unwrap();
+        assert_eq!(report.fresh_runs, 0);
+        let info = extended.symmetry().unwrap();
+        assert_eq!(info.orbit_sizes(), base.symmetry().unwrap().orbit_sizes());
+        // Padded canonical patterns stay canonical.
+        for r in extended.run_ids() {
+            assert!(eba_model::symmetry::is_canonical(&extended.run(r).pattern));
+        }
+    }
+
+    #[test]
+    fn symmetry_rejects_digest_exchanges() {
+        use eba_model::ExchangeKind;
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2)
+            .unwrap()
+            .with_exchange(ExchangeKind::digest(16).unwrap())
+            .unwrap();
+        let err = SystemBuilder::new(&scenario)
+            .symmetry(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidScenario { .. }));
     }
 
     #[test]

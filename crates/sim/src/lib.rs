@@ -58,6 +58,7 @@ mod view;
 
 pub mod chaos;
 pub mod stats;
+pub mod symmetry;
 
 pub use builder::{BuildOutcome, BuildReport, ExtendReport, SystemBuilder, RUN_CAPACITY};
 pub use exchange::{

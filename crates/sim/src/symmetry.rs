@@ -1,0 +1,443 @@
+//! Symmetry metadata of quotiented systems: orbit accounting, run
+//! resolution through witness permutations, and view orbit classes.
+//!
+//! A symmetry-quotiented [`GeneratedSystem`](crate::GeneratedSystem)
+//! contains one run per `Sym(n)`-orbit of the pattern axis (the canonical
+//! pattern, crossed with **every** initial configuration; see
+//! `eba_model::symmetry`). This module holds everything the quotient
+//! needs beyond the runs themselves:
+//!
+//! * [`SymmetryInfo`] — per-representative orbit sizes and the raw
+//!   pattern counts they stand for, attached to the system by the
+//!   builder;
+//! * run resolution — answering a query about a *non-representative*
+//!   run `(c, q)` by canonicalizing `q`, relabeling `c` through the
+//!   witness permutation, and pointing at the representative run
+//!   ([`crate::GeneratedSystem::resolve_run`]);
+//! * [`ViewClasses`] — the partition of the interned views into
+//!   relabeling orbits (`class(v) = class(w)` iff some permutation
+//!   carries `v`'s content onto `w`'s), which is what lets the knowledge
+//!   kernels of `eba-kripke` evaluate symmetric formulas on the reduced
+//!   system exactly (DESIGN.md §4i).
+//!
+//! View classes are computed by hashing, for every permutation `π`, the
+//! relabeled content of every view bottom-up (children have smaller ids
+//! under hash-consing, so a single in-order pass per `π` suffices) and
+//! taking the minimum over `π` as the orbit key. The 128-bit mixing keeps
+//! accidental collisions out of reach of any feasible space; the
+//! differential suite cross-checks the resulting semantics against the
+//! unreduced oracle bit for bit.
+
+use crate::view::{ViewId, ViewNode, ViewTable};
+use eba_model::fasthash::FastMap;
+use eba_model::symmetry::{canonicalize, Perm};
+use eba_model::{FailurePattern, InitialConfig};
+use std::hash::Hasher;
+use std::sync::OnceLock;
+
+/// Orbit accounting of a symmetry-quotiented system, attached by the
+/// builder and surfaced through
+/// [`crate::GeneratedSystem::symmetry`].
+#[derive(Debug, Default)]
+pub struct SymmetryInfo {
+    /// `orbit_sizes[k]` is the orbit size of the `k`-th representative
+    /// pattern, in enumeration order — aligned with the run layout
+    /// (representative `k` owns runs `k·2^n .. (k+1)·2^n`).
+    orbit_sizes: Vec<u64>,
+    /// Raw patterns the representatives stand for (`Σ orbit_sizes`).
+    raw_covered: u128,
+    /// Raw pattern count of the full (unreduced) space; equals
+    /// `raw_covered` for a complete build, larger for budget prefixes and
+    /// pinned extensions.
+    raw_total: u128,
+    /// Lazily computed view orbit classes (first symmetric knowledge
+    /// query pays for them once per system).
+    classes: OnceLock<ViewClasses>,
+}
+
+impl Clone for SymmetryInfo {
+    fn clone(&self) -> Self {
+        SymmetryInfo {
+            orbit_sizes: self.orbit_sizes.clone(),
+            raw_covered: self.raw_covered,
+            raw_total: self.raw_total,
+            classes: OnceLock::new(),
+        }
+    }
+}
+
+impl SymmetryInfo {
+    /// Assembles the accounting from per-representative orbit sizes and
+    /// the raw pattern count of the full space.
+    #[must_use]
+    pub fn new(orbit_sizes: Vec<u64>, raw_total: u128) -> Self {
+        let raw_covered = orbit_sizes.iter().map(|&s| u128::from(s)).sum();
+        SymmetryInfo {
+            orbit_sizes,
+            raw_covered,
+            raw_total,
+            classes: OnceLock::new(),
+        }
+    }
+
+    /// Number of pattern-orbit representatives the system holds.
+    #[must_use]
+    pub fn num_orbits(&self) -> usize {
+        self.orbit_sizes.len()
+    }
+
+    /// Orbit sizes per representative, in enumeration (= run layout)
+    /// order.
+    #[must_use]
+    pub fn orbit_sizes(&self) -> &[u64] {
+        &self.orbit_sizes
+    }
+
+    /// Raw patterns the built representatives stand for.
+    #[must_use]
+    pub fn raw_patterns_covered(&self) -> u128 {
+        self.raw_covered
+    }
+
+    /// Raw pattern count of the full unreduced space.
+    #[must_use]
+    pub fn raw_pattern_total(&self) -> u128 {
+        self.raw_total
+    }
+
+    /// Raw patterns per built representative — the symmetry reduction
+    /// factor of the pattern axis (1.0 when nothing was reduced).
+    #[must_use]
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.orbit_sizes.is_empty() {
+            1.0
+        } else {
+            self.raw_covered as f64 / self.orbit_sizes.len() as f64
+        }
+    }
+
+    /// The view orbit classes of `table`, computed on first use and
+    /// cached for the system's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table holds digest states — the builder only
+    /// attaches symmetry metadata to full-information systems.
+    pub fn classes(&self, table: &ViewTable, n: usize) -> &ViewClasses {
+        self.classes.get_or_init(|| ViewClasses::compute(table, n))
+    }
+}
+
+/// Resolves a run query through the symmetry quotient: canonicalize the
+/// pattern, relabel the configuration through the witness, and look the
+/// representative up in `find_run`. Returns the representative's id and
+/// the witness `σ` with `σ·(config, pattern) = representative`; the
+/// identity permutation when the run is present verbatim.
+pub(crate) fn resolve_run(
+    find_run: impl Fn(&InitialConfig, &FailurePattern) -> Option<crate::RunId>,
+    n: usize,
+    config: &InitialConfig,
+    pattern: &FailurePattern,
+) -> Option<(crate::RunId, Perm)> {
+    if let Some(r) = find_run(config, pattern) {
+        return Some((r, Perm::identity(n)));
+    }
+    let canon = canonicalize(pattern);
+    let relabeled = canon.witness.apply_config(config);
+    find_run(&relabeled, &canon.canonical).map(|r| (r, canon.witness))
+}
+
+/// The partition of a [`ViewTable`]'s views into relabeling orbits:
+/// `class(v) = class(w)` iff some processor permutation carries `v`'s
+/// full-information content onto `w`'s. Two views in the same class are
+/// exactly the local states that some relabeled run maps onto each other,
+/// which is the indistinguishability the quotiented knowledge kernels
+/// aggregate over.
+#[derive(Clone, Debug)]
+pub struct ViewClasses {
+    class_of: Vec<u32>,
+    num_classes: u32,
+    fingerprint: u64,
+}
+
+/// 128-bit multiplicative rotate-xor mix (the `fxhash` recipe widened to
+/// `u128`); deterministic and dependency-free. Public so the quotiented
+/// distributed-knowledge kernel of `eba-kripke` can fold the per-view
+/// hashes of [`for_each_permuted_hashes`] into joint keys with the same
+/// collision margin.
+#[inline]
+#[must_use]
+pub fn mix(h: u128, word: u128) -> u128 {
+    const SEED: u128 = 0x9e37_79b9_7f4a_7c15_f39c_c060_5ced_c835;
+    (h.rotate_left(7) ^ word).wrapping_mul(SEED)
+}
+
+/// Calls `f(π, hashes)` for every permutation `π` of `Sym(n)` with the
+/// content hash of every view of `table` relabeled through `π`
+/// (`hashes[v] = h(π·v)`). Two views relabel onto each other under `π`
+/// exactly when their hashes match (up to the 128-bit collision margin);
+/// this is the primitive behind [`ViewClasses::compute`] and the
+/// canonical joint keys of quotiented distributed knowledge.
+///
+/// # Panics
+///
+/// Panics on digest states (symmetry is gated to the full-information
+/// exchange) and when `n` exceeds
+/// [`eba_model::symmetry::MAX_SYMMETRY_N`].
+pub fn for_each_permuted_hashes(table: &ViewTable, n: usize, mut f: impl FnMut(&Perm, &[u128])) {
+    let len = table.len();
+    let mut cur = vec![0u128; len];
+    for perm in Perm::all(n) {
+        let inv = perm.inverse();
+        for id in table.ids() {
+            let h = match table.node(id) {
+                ViewNode::Leaf { proc, value } => {
+                    let h = mix(1, u128::from(perm.apply(*proc).index() as u64));
+                    mix(h, u128::from(*value as u64))
+                }
+                ViewNode::Node { prev, received } => {
+                    let mut h = mix(2, cur[prev.index()]);
+                    for slot in
+                        (0..n).map(|j| received[inv.apply(eba_model::ProcessorId::new(j)).index()])
+                    {
+                        h = match slot {
+                            Some(v) => mix(h, cur[v.index()]),
+                            None => mix(h, u128::MAX - 1),
+                        };
+                    }
+                    h
+                }
+                ViewNode::Digest(_) => {
+                    panic!("symmetry quotient requires the full-information exchange")
+                }
+            };
+            cur[id.index()] = h;
+        }
+        f(&perm, &cur);
+    }
+}
+
+impl ViewClasses {
+    /// Computes the orbit classes of every view in `table` under
+    /// `Sym(n)`: one bottom-up pass per permutation hashing the relabeled
+    /// content, minimum over permutations as the orbit key, then a dense
+    /// first-encounter renumbering (deterministic for a deterministic
+    /// table).
+    ///
+    /// # Panics
+    ///
+    /// As [`for_each_permuted_hashes`].
+    #[must_use]
+    pub fn compute(table: &ViewTable, n: usize) -> ViewClasses {
+        let len = table.len();
+        let mut min_hash = vec![u128::MAX; len];
+        for_each_permuted_hashes(table, n, |_, cur| {
+            for (slot, &h) in min_hash.iter_mut().zip(cur) {
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        });
+        let mut renumber: FastMap<u128, u32> = FastMap::default();
+        let mut class_of = Vec::with_capacity(len);
+        for &key in &min_hash {
+            let next = renumber.len() as u32;
+            class_of.push(*renumber.entry(key).or_insert(next));
+        }
+        let num_classes = renumber.len() as u32;
+        let mut hasher = eba_model::fasthash::FastHasher::default();
+        hasher.write_usize(n);
+        hasher.write_u32(num_classes);
+        for &c in &class_of {
+            hasher.write_u32(c);
+        }
+        ViewClasses {
+            class_of,
+            num_classes,
+            fingerprint: hasher.finish() | 1,
+        }
+    }
+
+    /// The orbit class of view `v`.
+    #[must_use]
+    pub fn class(&self, v: ViewId) -> u32 {
+        self.class_of[v.index()]
+    }
+
+    /// Number of distinct classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes as usize
+    }
+
+    /// A nonzero digest of the whole partition, used to fence knowledge
+    /// caches: entries computed under one partition never answer queries
+    /// under another (0 is reserved for "no symmetry").
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::fip_views;
+    use eba_model::symmetry::orbit_members;
+    use eba_model::{enumerate, FailureMode, ProcessorId, Scenario, Value};
+
+    fn p(i: usize) -> ProcessorId {
+        ProcessorId::new(i)
+    }
+
+    type RunRows = Vec<(InitialConfig, FailurePattern, Vec<Vec<ViewId>>)>;
+
+    /// Builds the views of every `(config, pattern)` run of the scenario
+    /// into one table, returning `(table, views[run_key] = rows)`.
+    fn all_views(scenario: &Scenario) -> (ViewTable, RunRows) {
+        let mut table = ViewTable::new();
+        let mut rows = Vec::new();
+        for pattern in enumerate::patterns(scenario) {
+            for config in InitialConfig::enumerate_all(scenario.n()) {
+                let views = fip_views(&config, &pattern, scenario.horizon(), &mut table);
+                rows.push((config, pattern.clone(), views));
+            }
+        }
+        (table, rows)
+    }
+
+    #[test]
+    fn view_classes_identify_relabeled_views() {
+        // π carries the view of q at (c, pat) onto the view of π(q) at
+        // (π·c, π·pat); the class partition must identify exactly those.
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let (table, rows) = all_views(&scenario);
+        let classes = ViewClasses::compute(&table, 3);
+        for (config, pattern, views) in &rows {
+            for perm in Perm::all(3) {
+                let rc = perm.apply_config(config);
+                let rp = perm.apply_pattern(pattern);
+                let (_, _, relabeled) = rows
+                    .iter()
+                    .find(|(c, q, _)| *c == rc && *q == rp)
+                    .expect("the full space is closed under relabeling");
+                for time in 0..=2usize {
+                    for q in 0..3 {
+                        let a = views[time][q];
+                        let b = relabeled[time][perm.apply(p(q)).index()];
+                        assert_eq!(
+                            classes.class(a),
+                            classes.class(b),
+                            "relabeled views must share a class"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_classes_do_not_merge_distinct_orbits() {
+        // Within one run, views with different content classes must stay
+        // apart unless a permutation really maps them: check the simplest
+        // separator — class-mates always share time and own-value
+        // multiset properties that are permutation-invariant.
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        let (table, _) = all_views(&scenario);
+        let classes = ViewClasses::compute(&table, 3);
+        for a in table.ids() {
+            for b in table.ids() {
+                if classes.class(a) == classes.class(b) {
+                    assert_eq!(table.time(a), table.time(b));
+                    assert_eq!(table.own_value(a), table.own_value(b));
+                    assert_eq!(table.known_procs(a).len(), table.known_procs(b).len());
+                    assert_eq!(table.exists_zero(a), table.exists_zero(b));
+                    assert_eq!(table.exists_one(a), table.exists_one(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_classes_collapse_processor_identity_only() {
+        let mut table = ViewTable::new();
+        let a = table.leaf(p(0), Value::Zero);
+        let b = table.leaf(p(2), Value::Zero);
+        let c = table.leaf(p(1), Value::One);
+        let classes = ViewClasses::compute(&table, 3);
+        assert_eq!(classes.class(a), classes.class(b));
+        assert_ne!(classes.class(a), classes.class(c));
+        assert_eq!(classes.num_classes(), 2);
+        assert_ne!(classes.fingerprint(), 0);
+    }
+
+    #[test]
+    fn fingerprints_differ_across_partitions() {
+        let mut small = ViewTable::new();
+        small.leaf(p(0), Value::Zero);
+        let mut large = ViewTable::new();
+        large.leaf(p(0), Value::Zero);
+        large.leaf(p(1), Value::One);
+        let a = ViewClasses::compute(&small, 3);
+        let b = ViewClasses::compute(&large, 3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn symmetry_info_accounting() {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+        let mut sizes = Vec::new();
+        let mut raw = 0u128;
+        for pattern in enumerate::patterns(&scenario) {
+            raw += 1;
+            if eba_model::symmetry::is_canonical(&pattern) {
+                sizes.push(orbit_members(&pattern).len() as u64);
+            }
+        }
+        let info = SymmetryInfo::new(sizes.clone(), raw);
+        assert_eq!(info.num_orbits(), sizes.len());
+        assert_eq!(info.raw_patterns_covered(), raw);
+        assert_eq!(info.raw_pattern_total(), raw);
+        assert!(info.reduction_ratio() > 1.0);
+    }
+
+    #[test]
+    fn class_count_matches_brute_force_orbits() {
+        // Brute force: group views by their orbit of rendered relabeled
+        // content; the hashed partition must agree exactly.
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 1).unwrap();
+        let (table, rows) = all_views(&scenario);
+        let classes = ViewClasses::compute(&table, 3);
+        // Render every relabeled run and map each view id to the set of
+        // renders of its orbit; the minimum render is an exact orbit key.
+        let mut orbit_key: Vec<Option<String>> = vec![None; table.len()];
+        for (config, pattern, views) in &rows {
+            for perm in Perm::all(3) {
+                let rc = perm.apply_config(config);
+                let rp = perm.apply_pattern(pattern);
+                let (_, _, relabeled) = rows.iter().find(|(c, q, _)| *c == rc && *q == rp).unwrap();
+                for time in 0..=1usize {
+                    for q in 0..3 {
+                        let orig = views[time][q];
+                        let image = relabeled[time][perm.apply(p(q)).index()];
+                        let render = table.render(image);
+                        let slot = &mut orbit_key[orig.index()];
+                        match slot {
+                            Some(best) if *best <= render => {}
+                            _ => *slot = Some(render),
+                        }
+                    }
+                }
+            }
+        }
+        for a in table.ids() {
+            for b in table.ids() {
+                assert_eq!(
+                    classes.class(a) == classes.class(b),
+                    orbit_key[a.index()] == orbit_key[b.index()],
+                    "hashed partition disagrees with brute force on {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -3,7 +3,9 @@
 use crate::builder::{SystemBuilder, RUN_CAPACITY};
 use crate::exchange::{try_exchange_views, AnyExchange};
 use crate::points::PointStore;
+use crate::symmetry::{self, SymmetryInfo};
 use crate::view::{ViewId, ViewTable};
+use eba_model::symmetry::Perm;
 use eba_model::{
     sample, FailurePattern, InitialConfig, ModelError, ProcSet, ProcessorId, Scenario, Time,
 };
@@ -89,6 +91,9 @@ pub struct GeneratedSystem {
     /// The columnar point store over the same views, built once at system
     /// construction and shared by every clone of the system.
     store: Arc<PointStore>,
+    /// Orbit accounting of a symmetry-quotiented build; `None` for
+    /// unreduced systems (the default).
+    symmetry: Option<Arc<SymmetryInfo>>,
 }
 
 impl GeneratedSystem {
@@ -175,7 +180,7 @@ impl GeneratedSystem {
             });
         }
 
-        Self::from_parts(*scenario, runs, views, table, lookup)
+        Self::from_parts(*scenario, runs, views, table, lookup, None)
     }
 
     /// Assembles a system from parts the [`SystemBuilder`] has already
@@ -189,6 +194,7 @@ impl GeneratedSystem {
         views: Vec<ViewId>,
         table: ViewTable,
         lookup: HashMap<(u128, FailurePattern), RunId>,
+        symmetry: Option<Arc<SymmetryInfo>>,
     ) -> Self {
         let times = scenario.horizon().index() + 1;
         let store = Arc::new(PointStore::build(
@@ -205,6 +211,7 @@ impl GeneratedSystem {
             table,
             lookup,
             store,
+            symmetry,
         }
     }
 
@@ -338,6 +345,30 @@ impl GeneratedSystem {
         self.lookup
             .get(&(config.to_bits(), pattern.clone()))
             .copied()
+    }
+
+    /// The orbit accounting of a symmetry-quotiented build, or `None`
+    /// for an unreduced system.
+    #[must_use]
+    pub fn symmetry(&self) -> Option<&SymmetryInfo> {
+        self.symmetry.as_deref()
+    }
+
+    /// Resolves a `(config, pattern)` query through the symmetry
+    /// quotient: the run itself when present, otherwise the
+    /// representative run of the pattern's orbit together with the
+    /// witness permutation `σ` carrying the query onto it
+    /// (`σ·(config, pattern)` is the representative; the answer about
+    /// processor `p` of the queried run lives at processor `σ(p)` of the
+    /// representative). Returns `None` when the orbit is absent (sampled
+    /// or budget-partial systems).
+    #[must_use]
+    pub fn resolve_run(
+        &self,
+        config: &InitialConfig,
+        pattern: &FailurePattern,
+    ) -> Option<(RunId, Perm)> {
+        symmetry::resolve_run(|c, q| self.find_run(c, q), self.n(), config, pattern)
     }
 }
 
