@@ -54,8 +54,13 @@ OPTIONS:
                      with --sampled and --timeline. `off` keeps today's
                      unreduced path, the differential oracle CI diffs
                      against
-    --threads N      worker threads for system generation and knowledge
-                     evaluation (default: all available cores)
+    --threads N|auto worker threads for system generation, horizon
+                     extension, and knowledge evaluation (default: all
+                     available cores). `auto` resolves to
+                     std::thread::available_parallelism() and prints the
+                     resolved count on a `threads:` preamble line; an
+                     explicit N never prints it, so output stays
+                     byte-identical across explicit thread counts
     --plan           evaluate via compiled plans: formulas are lowered to
                      a deduplicated DAG of bitset kernels over the
                      columnar point store (default)
@@ -85,7 +90,10 @@ OPTIONS:
     --witness        also print a point where the formula holds
     --cache-stats    after the verdict, print knowledge-cache counters
                      (reachability and scope-column hits/misses, interned
-                     scope dedup) on a `cache:` line
+                     scope dedup) on a `cache:` line, and the
+                     work-stealing pool counters (pool runs, items,
+                     steals, last run's per-worker item counts and busy
+                     spans) on a `scheduler:` line
     --quiet          print only the verdict line
     --timeline       timeline mode: print per-time truth values of the
                      FORMULAs along one run, selected with --config and
@@ -140,6 +148,8 @@ struct Options {
     sampled: Option<(usize, u64)>,
     symmetry: bool,
     threads: Option<usize>,
+    /// Whether `--threads auto` was given (prints the resolved count).
+    threads_auto: bool,
     shards: Option<usize>,
     deadline: Option<Duration>,
     max_runs: Option<u64>,
@@ -165,6 +175,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sampled: None,
         symmetry: false,
         threads: None,
+        threads_auto: false,
         shards: None,
         deadline: None,
         max_runs: None,
@@ -236,11 +247,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--threads" => {
-                let threads: usize = take("--threads")?.parse().map_err(|_| "bad --threads")?;
-                if threads == 0 {
-                    return Err("--threads must be at least 1".to_owned());
+                let spec = take("--threads")?;
+                if spec == "auto" {
+                    let resolved = std::thread::available_parallelism().map_or(1, |p| p.get());
+                    options.threads = Some(resolved);
+                    options.threads_auto = true;
+                } else {
+                    let threads: usize = spec.parse().map_err(|_| "bad --threads")?;
+                    if threads == 0 {
+                        return Err("--threads must be at least 1".to_owned());
+                    }
+                    options.threads = Some(threads);
+                    options.threads_auto = false;
                 }
-                options.threads = Some(threads);
             }
             "--shards" => {
                 let shards: usize = take("--shards")?.parse().map_err(|_| "bad --shards")?;
@@ -499,6 +518,7 @@ fn check_valid(
     }
     if options.cache_stats {
         println!("cache: {}", eval.knowledge_cache().stats());
+        println!("scheduler: {}", eba_sim::scheduler_stats());
     }
     valid
 }
@@ -562,6 +582,9 @@ fn run_sweep(
             }
         };
         let mut session = EngineSession::from_system(base, SessionScope::FullSpace);
+        if let Some(threads) = options.threads {
+            session.set_threads(threads);
+        }
         for h in from..=to {
             if h > from {
                 if interrupt.load(Ordering::Relaxed) {
@@ -604,6 +627,15 @@ fn run() -> Result<ExitCode, String> {
     // checkpoints; the run then finishes with a PARTIAL prefix verdict
     // instead of being killed mid-write.
     let interrupt = install_sigint();
+
+    // Only `--threads auto` prints the resolution, so explicit thread
+    // counts keep byte-identical output (the parallel-equivalence CI job
+    // diffs runs at --threads 1/2/8).
+    if options.threads_auto && !options.quiet {
+        if let Some(threads) = options.threads {
+            println!("threads: {threads} (auto)");
+        }
+    }
 
     if options.sweep_cold && options.horizon_sweep.is_none() {
         return Err("--sweep-cold needs --horizon-sweep".into());
@@ -792,6 +824,7 @@ fn run() -> Result<ExitCode, String> {
         println!("{timeline}");
         if options.cache_stats {
             println!("cache: {}", eval.knowledge_cache().stats());
+            println!("scheduler: {}", eba_sim::scheduler_stats());
         }
         return Ok(ExitCode::SUCCESS);
     }

@@ -79,6 +79,7 @@ pub struct EngineSession {
     cache: KnowledgeCache,
     scope: SessionScope,
     extensions: Vec<ExtendReport>,
+    threads: Option<usize>,
 }
 
 impl EngineSession {
@@ -106,7 +107,16 @@ impl EngineSession {
             cache: KnowledgeCache::new(),
             scope,
             extensions: Vec::new(),
+            threads: None,
         }
+    }
+
+    /// Pins the worker-thread count used by subsequent
+    /// [`extend_to`](EngineSession::extend_to) calls. Unset, extensions
+    /// use the builder's default (all available cores). The extended
+    /// system is bit-identical either way — this is a throughput knob.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = Some(threads.max(1));
     }
 
     /// Grows the session's system to `horizon`, reusing base view rows
@@ -127,7 +137,10 @@ impl EngineSession {
     /// id-space overflow of the extended system.
     pub fn extend_to(&mut self, horizon: u16) -> Result<ExtendReport, ModelError> {
         let target = self.system.scenario().with_horizon(horizon)?;
-        let builder = SystemBuilder::new(&target);
+        let mut builder = SystemBuilder::new(&target);
+        if let Some(threads) = self.threads {
+            builder = builder.threads(threads);
+        }
         let (system, report) = match self.scope {
             SessionScope::FullSpace => builder.extend(&self.system)?,
             SessionScope::PinnedRuns => builder.extend_pinned(&self.system)?,

@@ -1,5 +1,12 @@
 //! Dense bitsets over point indices.
+//!
+//! The streaming set operations run on the 4-wide unrolled word-block
+//! kernels of [`crate::kernels`] (the stable-Rust shape LLVM
+//! auto-vectorizes), with this module keeping the bit-level semantics:
+//! length checks and the canonical-tail invariant (bits at and above
+//! `len` stay zero).
 
+use crate::kernels;
 use std::fmt;
 use std::ops::{BitAndAssign, BitOrAssign};
 
@@ -95,7 +102,7 @@ impl Bitset {
     /// Number of `true` bits.
     #[must_use]
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones(&self.words)
     }
 
     /// Approximate resident heap bytes of the backing word vector.
@@ -123,14 +130,12 @@ impl Bitset {
     /// Whether any bit is `true`.
     #[must_use]
     pub fn any(&self) -> bool {
-        self.words.iter().any(|&w| w != 0)
+        kernels::any(&self.words)
     }
 
     /// Flips every bit in place.
     pub fn invert(&mut self) {
-        for w in &mut self.words {
-            *w = !*w;
-        }
+        kernels::not_assign(&mut self.words);
         self.clear_tail();
     }
 
@@ -242,14 +247,7 @@ impl Bitset {
     pub fn and_implication(&mut self, antecedent: &Bitset, consequent: &Bitset) {
         assert_eq!(self.len, antecedent.len);
         assert_eq!(self.len, consequent.len);
-        for ((w, a), c) in self
-            .words
-            .iter_mut()
-            .zip(&antecedent.words)
-            .zip(&consequent.words)
-        {
-            *w &= !a | c;
-        }
+        kernels::and_implication(&mut self.words, &antecedent.words, &consequent.words);
         // `&=` cannot set bits, so canonical inputs stay canonical; the
         // clear keeps that true even for a non-canonical `self`.
         self.clear_tail();
@@ -266,9 +264,7 @@ impl Bitset {
     pub fn or_conjunction(&mut self, a: &Bitset, b: &Bitset) {
         assert_eq!(self.len, a.len);
         assert_eq!(self.len, b.len);
-        for ((w, a), b) in self.words.iter_mut().zip(&a.words).zip(&b.words) {
-            *w |= a & b;
-        }
+        kernels::or_conjunction(&mut self.words, &a.words, &b.words);
     }
 
     /// In-place `self ∧= ¬other` — removes every index set in `other`.
@@ -278,9 +274,7 @@ impl Bitset {
     /// Panics if the lengths differ.
     pub fn and_not(&mut self, other: &Bitset) {
         assert_eq!(self.len, other.len);
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w &= !o;
-        }
+        kernels::andnot_assign(&mut self.words, &other.words);
         // `&=` cannot set bits, so canonical inputs stay canonical; the
         // clear keeps that true even for a non-canonical `self`.
         self.clear_tail();
@@ -294,28 +288,21 @@ impl Bitset {
     #[must_use]
     pub fn is_subset(&self, other: &Bitset) -> bool {
         assert_eq!(self.len, other.len);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words)
     }
 }
 
 impl BitAndAssign<&Bitset> for Bitset {
     fn bitand_assign(&mut self, rhs: &Bitset) {
         assert_eq!(self.len, rhs.len);
-        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
-            *a &= b;
-        }
+        kernels::and_assign(&mut self.words, &rhs.words);
     }
 }
 
 impl BitOrAssign<&Bitset> for Bitset {
     fn bitor_assign(&mut self, rhs: &Bitset) {
         assert_eq!(self.len, rhs.len);
-        for (a, b) in self.words.iter_mut().zip(&rhs.words) {
-            *a |= b;
-        }
+        kernels::or_assign(&mut self.words, &rhs.words);
     }
 }
 

@@ -51,6 +51,7 @@ mod bitset;
 mod cache;
 mod eval;
 mod formula;
+mod kernels;
 mod nonrigid;
 mod uf;
 

@@ -1,5 +1,11 @@
 //! State sets and nonrigid sets of processors.
+//!
+//! The word-streaming set operations (union, difference, subset, count)
+//! run on the 4-wide unrolled block kernels of [`crate::kernels`]; this
+//! module keeps the set semantics, including the trailing-zero-word
+//! trimming invariant that makes equal sets word-for-word equal.
 
+use crate::kernels;
 use eba_model::{ProcessorId, Value};
 use eba_sim::{ViewId, ViewTable};
 
@@ -48,7 +54,7 @@ impl ViewSet {
     /// Number of views in the set.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones(&self.words)
     }
 
     /// Whether the set is empty.
@@ -64,10 +70,7 @@ impl ViewSet {
         if self.words.len() > other.words.len() {
             return false; // a set bit past `other`'s top word (invariant)
         }
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        kernels::is_subset(&self.words, &other.words[..self.words.len()])
     }
 
     /// The union `self ∪ other`.
@@ -79,9 +82,7 @@ impl ViewSet {
             (&other.words, &self.words)
         };
         let mut words = long.clone();
-        for (w, s) in words.iter_mut().zip(short) {
-            *w |= s;
-        }
+        kernels::or_assign(&mut words[..short.len()], short);
         ViewSet { words }
     }
 
@@ -89,9 +90,8 @@ impl ViewSet {
     #[must_use]
     pub fn difference(&self, other: &ViewSet) -> ViewSet {
         let mut words = self.words.clone();
-        for (w, o) in words.iter_mut().zip(&other.words) {
-            *w &= !o;
-        }
+        let overlap = words.len().min(other.words.len());
+        kernels::andnot_assign(&mut words[..overlap], &other.words[..overlap]);
         while words.last() == Some(&0) {
             words.pop();
         }

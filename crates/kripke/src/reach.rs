@@ -379,6 +379,7 @@ fn fill_nonfaulty_and_members(
             continue;
         }
         let table = in_view[k].as_ref().expect("table built above");
+        let member_vec = &mut members[k];
         for p in ProcessorId::all(n) {
             let row = &table[p.index() * table_len..(p.index() + 1) * table_len];
             let col = columns[p.index()];
@@ -386,10 +387,15 @@ fn fill_nonfaulty_and_members(
                 if !system.nonfaulty(run).contains(p) {
                     continue;
                 }
+                // Zip the run's column and membership slices so the
+                // sweep streams both without per-point bounds checks —
+                // the shape LLVM unrolls into word blocks.
                 let base = run.index() * times;
-                for idx in base..base + times {
-                    if row[col[idx].index()] {
-                        members[k][idx].insert(p);
+                let col_run = &col[base..base + times];
+                let mem_run = &mut member_vec[base..base + times];
+                for (m, v) in mem_run.iter_mut().zip(col_run) {
+                    if row[v.index()] {
+                        m.insert(p);
                     }
                 }
             }

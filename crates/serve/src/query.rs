@@ -289,6 +289,9 @@ fn run_sweep(sweep: &SweepRequest, ctx: &QueryContext<'_>) -> Result<Json, Serve
     // extends. The pooled entry stays immutable at its own horizon.
     let (base, _hit) = ctx.pool.checkout(PoolKey { spec: base_spec })?;
     let mut session = EngineSession::from_system(base.system().clone(), SessionScope::FullSpace);
+    if let Some(threads) = ctx.threads {
+        session.set_threads(threads);
+    }
 
     let mut horizons = Vec::new();
     let mut all_valid = true;
@@ -357,6 +360,17 @@ fn render_stats(pool: &SessionPool) -> Json {
             ])
         })
         .collect();
+    let sched = eba_sim::scheduler_stats();
+    let scheduler = Json::obj([
+        ("pools", Json::Int(sched.pools as i64)),
+        ("items", Json::Int(sched.items as i64)),
+        ("steals", Json::Int(sched.steals as i64)),
+        ("last_workers", Json::Int(sched.last_workers as i64)),
+        ("last_items_max", Json::Int(sched.last_items_max as i64)),
+        ("last_items_min", Json::Int(sched.last_items_min as i64)),
+        ("last_span_max_us", Json::Int(sched.last_span_max_us as i64)),
+        ("last_span_min_us", Json::Int(sched.last_span_min_us as i64)),
+    ]);
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::Str("stats".into())),
@@ -366,6 +380,7 @@ fn render_stats(pool: &SessionPool) -> Json {
         ("misses", Json::Int(stats.misses as i64)),
         ("evictions", Json::Int(stats.evictions as i64)),
         ("retries", Json::Int(stats.retries as i64)),
+        ("scheduler", scheduler),
         ("pooled", Json::Arr(pooled)),
     ])
 }
@@ -548,6 +563,7 @@ mod tests {
         let stats = run(&pool, r#"{"op":"stats"}"#);
         assert!(stats.contains(r#""sessions":1"#), "{stats}");
         assert!(stats.contains(r#""resident_bytes":"#), "{stats}");
+        assert!(stats.contains(r#""scheduler":{"pools":"#), "{stats}");
         let evicted = run(&pool, r#"{"op":"evict"}"#);
         assert!(evicted.contains(r#""evicted":1"#), "{evicted}");
         let stats = run(&pool, r#"{"op":"stats"}"#);

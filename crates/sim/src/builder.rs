@@ -49,8 +49,8 @@ use crate::system::{GeneratedSystem, RunId, RunRecord};
 use crate::view::{ViewId, ViewTable};
 use eba_model::symmetry::{canonicalize, MAX_SYMMETRY_N};
 use eba_model::{
-    enumerate, ArmedBudget, BudgetHit, HorizonDelta, InitialConfig, ModelError, Round, RunBudget,
-    Scenario, ScenarioSpace, Shard,
+    ArmedBudget, BudgetHit, FailurePattern, HorizonDelta, InitialConfig, ModelError, Round,
+    RunBudget, Scenario, ScenarioSpace, Shard,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -63,6 +63,12 @@ pub const RUN_CAPACITY: u128 = 1 << 32;
 /// How many shards each worker thread gets by default; more shards than
 /// threads lets fast shards backfill while slow ones finish.
 const SHARDS_PER_THREAD: usize = 4;
+
+/// How many extension blocks each worker thread gets by default. Lower
+/// than [`SHARDS_PER_THREAD`] because every extension block clones the
+/// base view table, so oversubscription costs memory, and the
+/// work-stealing pool rebalances stragglers anyway.
+const EXTEND_BLOCKS_PER_THREAD: usize = 2;
 
 /// Configurable, parallel, supervised builder for exhaustive
 /// [`GeneratedSystem`]s; see the module docs for the staging, the
@@ -216,8 +222,19 @@ impl SystemBuilder {
     /// the new rounds, or crash patterns the base horizon canonicalized
     /// away) are simulated from scratch.
     ///
-    /// Extension is sequential: the builder's thread/shard/budget/chaos
-    /// knobs apply to cold builds only and are ignored here.
+    /// Extension runs the appended-round pattern blocks through the same
+    /// supervised work-stealing pool as a cold build: the pattern axis is
+    /// split into contiguous blocks, each block clones the base table and
+    /// simulates its slice, and the block tables are absorbed back in
+    /// block order (the canonical re-interning merge). Because a block
+    /// table is the base table plus the block's new views in enumeration
+    /// order, absorbing into a merged table that starts as a base clone
+    /// maps every base id to itself — so run ids, view ids, and view
+    /// content are bit-identical for every thread/block count, and
+    /// identical to a sequential extension. The builder's `threads`,
+    /// `shards`, and `chaos` knobs are honored (chaos is consulted once
+    /// per block at [`FaultSite::BuilderShard`]); the budget applies to
+    /// cold builds only and is ignored here.
     ///
     /// # Errors
     ///
@@ -225,6 +242,14 @@ impl SystemBuilder {
     /// `n`, `t`, and mode and a strictly smaller horizon, and
     /// [`ModelError::CapacityExceeded`] when the extended scenario
     /// overflows the run or view id space.
+    ///
+    /// # Panics
+    ///
+    /// Panics only when a block defeats supervision by panicking on all
+    /// three attempts (see [`crate::chaos::supervised_indexed`]), with
+    /// the fault's rendered message — mirroring [`build`].
+    ///
+    /// [`build`]: SystemBuilder::build
     pub fn extend(
         self,
         base: &GeneratedSystem,
@@ -234,19 +259,7 @@ impl SystemBuilder {
         if space.total_runs() > RUN_CAPACITY {
             return Err(ModelError::capacity_exceeded("run ids", RUN_CAPACITY));
         }
-        let horizon = self.scenario.horizon();
-        let n = self.scenario.n();
-        // `extension_delta` already enforced the exchange's extension
-        // policy (Scenario::extend_into), so dispatching here is sound.
-        let exchange = AnyExchange::for_scenario(&self.scenario);
         let configs: Vec<InitialConfig> = space.configs().collect();
-        let slots_per_run = (horizon.index() + 1) * n;
-
-        let mut table = base.table().clone();
-        let mut runs = Vec::new();
-        let mut views: Vec<ViewId> = Vec::new();
-        let mut lookup = HashMap::new();
-        let mut report = ExtendReport::default();
         // A symmetric base extends into a symmetric system: the extended
         // enumeration is filtered to canonical patterns exactly like a
         // cold quotiented build. (Truncation does not preserve
@@ -254,68 +267,27 @@ impl SystemBuilder {
         // non-representative base pattern; `find_run` then misses and the
         // run is simulated fresh — reuse degrades, correctness doesn't.)
         let symmetric = base.symmetry().is_some();
-        let mut orbit_sizes = Vec::new();
 
-        for pattern in enumerate::patterns(&self.scenario) {
-            debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
-            if symmetric {
-                let canon = canonicalize(&pattern);
-                if canon.canonical != pattern {
-                    continue;
-                }
-                orbit_sizes.push(canon.orbit_size);
-            }
-            let nonfaulty = pattern.nonfaulty_set();
-            let truncated = delta.truncate_pattern(&pattern);
-            for config in &configs {
-                let base_run = truncated
-                    .as_ref()
-                    .and_then(|trunc| base.find_run(config, trunc));
-                match base_run {
-                    Some(r) => {
-                        let row = base.views_row(r);
-                        views.extend_from_slice(row);
-                        let mut prev = row[row.len() - n..].to_vec();
-                        for round in Round::upto(horizon) {
-                            if round.end() <= delta.base().horizon() {
-                                continue;
-                            }
-                            let now = exchange.try_step(&mut table, &pattern, round, &prev)?;
-                            views.extend_from_slice(&now);
-                            prev = now;
-                        }
-                        report.reused_runs += 1;
-                        report.reused_slots += row.len();
-                        report.computed_slots += slots_per_run - row.len();
-                    }
-                    None => {
-                        let run_views =
-                            try_exchange_views(&exchange, config, &pattern, horizon, &mut table)?;
-                        for time_views in &run_views {
-                            views.extend_from_slice(time_views);
-                        }
-                        report.fresh_runs += 1;
-                        report.computed_slots += slots_per_run;
-                    }
-                }
-                let id = RunId::try_new(runs.len())?;
-                let prior = lookup.insert((config.to_bits(), pattern.clone()), id);
-                debug_assert!(
-                    prior.is_none(),
-                    "exhaustive enumeration yielded a duplicate run"
-                );
-                runs.push(RunRecord {
-                    config: config.clone(),
-                    pattern: pattern.clone(),
-                    nonfaulty,
-                });
-            }
-        }
-        let symmetry =
-            symmetric.then(|| Arc::new(SymmetryInfo::new(orbit_sizes, space.num_patterns())));
-        let system =
-            GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup, symmetry);
-        Ok((system, report))
+        let blocks = space.shards(self.extend_blocks());
+        let workers = self.threads.min(blocks.len().max(1));
+        let chaos = &*self.chaos;
+        let outcomes = run_extend_pool(blocks.len(), workers, |index| {
+            chaos.inject(FaultSite::BuilderShard, index)?;
+            extend_block(base, &delta, &space, &configs, blocks[index], symmetric)
+        });
+        let merged = merge_extend_parts(base, outcomes)?;
+
+        let symmetry = symmetric
+            .then(|| Arc::new(SymmetryInfo::new(merged.orbit_sizes, space.num_patterns())));
+        let system = GeneratedSystem::from_parts(
+            self.scenario,
+            merged.runs,
+            merged.views,
+            merged.table,
+            merged.lookup,
+            symmetry,
+        );
+        Ok((system, merged.report))
     }
 
     /// Extends `base` — **any** system of the same `(n, t, mode)` at a
@@ -331,71 +303,83 @@ impl SystemBuilder {
     /// specs (padding is injective, so base deduplication carries over).
     /// Every run is a reuse; the report's `fresh_runs` is always 0.
     ///
+    /// Like [`extend`](SystemBuilder::extend), the appended rounds run as
+    /// contiguous base-run blocks through the supervised work-stealing
+    /// pool and merge by canonical re-interning, so the result is
+    /// bit-identical for every thread/block count.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::InvalidScenario`] unless `base` has the same
     /// `n`, `t`, and mode and a strictly smaller horizon, and
     /// [`ModelError::CapacityExceeded`] on view id overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics only when a block defeats supervision by panicking on all
+    /// three attempts (see [`crate::chaos::supervised_indexed`]), with
+    /// the fault's rendered message — mirroring [`build`].
+    ///
+    /// [`build`]: SystemBuilder::build
     pub fn extend_pinned(
         self,
         base: &GeneratedSystem,
     ) -> Result<(GeneratedSystem, ExtendReport), ModelError> {
         let delta = self.extension_delta(base)?;
-        let horizon = self.scenario.horizon();
-        let n = self.scenario.n();
-        let exchange = AnyExchange::for_scenario(&self.scenario);
-        let slots_per_run = (horizon.index() + 1) * n;
 
-        let mut table = base.table().clone();
-        let mut runs = Vec::with_capacity(base.num_runs());
-        let mut views: Vec<ViewId> = Vec::with_capacity(base.num_runs() * slots_per_run);
-        let mut lookup = HashMap::new();
-        let mut report = ExtendReport::default();
-
-        for r in base.run_ids() {
-            let record = base.run(r);
-            let pattern = delta.pad_pattern(&record.pattern);
-            debug_assert!(self.scenario.validate_pattern(&pattern).is_ok());
-            let row = base.views_row(r);
-            views.extend_from_slice(row);
-            let mut prev = row[row.len() - n..].to_vec();
-            for round in Round::upto(horizon) {
-                if round.end() <= delta.base().horizon() {
-                    continue;
-                }
-                let now = exchange.try_step(&mut table, &pattern, round, &prev)?;
-                views.extend_from_slice(&now);
-                prev = now;
-            }
-            report.reused_runs += 1;
-            report.reused_slots += row.len();
-            report.computed_slots += slots_per_run - row.len();
-            let id = RunId::try_new(runs.len())?;
-            let prior = lookup.insert((record.config.to_bits(), pattern.clone()), id);
-            debug_assert!(prior.is_none(), "padding is injective on base patterns");
-            runs.push(RunRecord {
-                config: record.config.clone(),
-                pattern,
-                nonfaulty: record.nonfaulty,
-            });
-        }
+        let total = base.num_runs();
+        let block_count = self.extend_blocks().clamp(1, total.max(1));
+        let block_len = total.div_ceil(block_count).max(1);
+        let bounds: Vec<std::ops::Range<usize>> = (0..total)
+            .step_by(block_len)
+            .map(|start| start..(start + block_len).min(total))
+            .collect();
+        let workers = self.threads.min(bounds.len().max(1));
+        let chaos = &*self.chaos;
+        let scenario = self.scenario;
+        let outcomes = run_extend_pool(bounds.len(), workers, |index| {
+            chaos.inject(FaultSite::BuilderShard, index)?;
+            extend_pinned_block(base, &delta, scenario, bounds[index].clone())
+        });
+        let merged = merge_extend_parts(base, outcomes)?;
         // Padding is order-preserving on behaviors and commutes with
         // relabeling, so it maps canonical patterns to canonical patterns
         // with identical stabilizers: a symmetric base stays symmetric
         // with its orbit sizes carried over verbatim.
         let symmetry = match base.symmetry() {
             Some(info) => {
-                let total = ScenarioSpace::try_new(self.scenario)?.num_patterns();
+                let patterns = ScenarioSpace::try_new(self.scenario)?.num_patterns();
                 Some(Arc::new(SymmetryInfo::new(
                     info.orbit_sizes().to_vec(),
-                    total,
+                    patterns,
                 )))
             }
             None => None,
         };
-        let system =
-            GeneratedSystem::from_parts(self.scenario, runs, views, table, lookup, symmetry);
-        Ok((system, report))
+        let system = GeneratedSystem::from_parts(
+            self.scenario,
+            merged.runs,
+            merged.views,
+            merged.table,
+            merged.lookup,
+            symmetry,
+        );
+        Ok((system, merged.report))
+    }
+
+    /// How many blocks the extension paths split their work into: the
+    /// explicit `shards` knob when set, otherwise two per worker thread.
+    /// Each block clones the base table, so the oversubscription factor
+    /// is kept below the cold build's to bound peak memory; the result is
+    /// identical for every block count.
+    fn extend_blocks(&self) -> usize {
+        self.shards.unwrap_or_else(|| {
+            if self.threads == 1 {
+                1
+            } else {
+                self.threads * EXTEND_BLOCKS_PER_THREAD
+            }
+        })
     }
 
     /// Validates that `base` can be extended into this builder's scenario:
@@ -788,6 +772,213 @@ fn merge(
     // and CSR bucket partitions.
     let system = GeneratedSystem::from_parts(scenario, runs, views, table, lookup, symmetry);
     Ok((system, merged, hit))
+}
+
+/// The output of one extension block: the base table clone grown by the
+/// block's appended-round views, plus the block's runs, flattened view
+/// rows (mixing base ids and block-local ids, both valid in `table`),
+/// orbit sizes, and reuse accounting.
+struct ExtendBlock {
+    table: ViewTable,
+    views: Vec<ViewId>,
+    runs: Vec<RunRecord>,
+    orbit_sizes: Vec<u64>,
+    report: ExtendReport,
+}
+
+/// Everything [`merge_extend_parts`] folds the blocks into, ready for
+/// `GeneratedSystem::from_parts`.
+struct MergedExtend {
+    table: ViewTable,
+    views: Vec<ViewId>,
+    runs: Vec<RunRecord>,
+    lookup: HashMap<(u128, FailurePattern), RunId>,
+    orbit_sizes: Vec<u64>,
+    report: ExtendReport,
+}
+
+/// Runs the extension blocks through the supervised work-stealing pool.
+/// Blocks are pure functions of their index, so absorbed worker faults
+/// are transparent; a block that defeats all three supervision attempts
+/// panics with the fault's rendered message, mirroring
+/// [`SystemBuilder::build`].
+fn run_extend_pool<F>(count: usize, workers: usize, job: F) -> Vec<Result<ExtendBlock, ModelError>>
+where
+    F: Fn(usize) -> Result<ExtendBlock, ModelError> + Sync,
+{
+    match supervised_indexed(count, workers, FaultSite::BuilderShard, job) {
+        Ok((outcomes, _recovered)) => outcomes,
+        Err(EngineFault::Model(e)) => vec![Err(e)],
+        Err(fault @ EngineFault::WorkerPanicked { .. }) => panic!("{fault}"),
+    }
+}
+
+/// Simulates one contiguous slice of the extended pattern enumeration on
+/// top of a base table clone. Pure in its arguments — re-running it (the
+/// supervisor's retry and fallback) yields identical output.
+fn extend_block(
+    base: &GeneratedSystem,
+    delta: &HorizonDelta,
+    space: &ScenarioSpace,
+    configs: &[InitialConfig],
+    block: Shard,
+    symmetric: bool,
+) -> Result<ExtendBlock, ModelError> {
+    let scenario = space.scenario();
+    let horizon = scenario.horizon();
+    let n = scenario.n();
+    // `extension_delta` already enforced the exchange's extension policy
+    // (Scenario::extend_into), so dispatching here is sound.
+    let exchange = AnyExchange::for_scenario(&scenario);
+    let slots_per_run = (horizon.index() + 1) * n;
+    let mut part = ExtendBlock {
+        table: base.table().clone(),
+        views: Vec::new(),
+        runs: Vec::new(),
+        orbit_sizes: Vec::new(),
+        report: ExtendReport::default(),
+    };
+    for pattern in space.shard_patterns(block) {
+        debug_assert!(scenario.validate_pattern(&pattern).is_ok());
+        if symmetric {
+            let canon = canonicalize(&pattern);
+            if canon.canonical != pattern {
+                continue;
+            }
+            part.orbit_sizes.push(canon.orbit_size);
+        }
+        let nonfaulty = pattern.nonfaulty_set();
+        let truncated = delta.truncate_pattern(&pattern);
+        for config in configs {
+            let base_run = truncated
+                .as_ref()
+                .and_then(|trunc| base.find_run(config, trunc));
+            match base_run {
+                Some(r) => {
+                    let row = base.views_row(r);
+                    part.views.extend_from_slice(row);
+                    let mut prev = row[row.len() - n..].to_vec();
+                    for round in Round::upto(horizon) {
+                        if round.end() <= delta.base().horizon() {
+                            continue;
+                        }
+                        let now = exchange.try_step(&mut part.table, &pattern, round, &prev)?;
+                        part.views.extend_from_slice(&now);
+                        prev = now;
+                    }
+                    part.report.reused_runs += 1;
+                    part.report.reused_slots += row.len();
+                    part.report.computed_slots += slots_per_run - row.len();
+                }
+                None => {
+                    let run_views =
+                        try_exchange_views(&exchange, config, &pattern, horizon, &mut part.table)?;
+                    for time_views in &run_views {
+                        part.views.extend_from_slice(time_views);
+                    }
+                    part.report.fresh_runs += 1;
+                    part.report.computed_slots += slots_per_run;
+                }
+            }
+            part.runs.push(RunRecord {
+                config: config.clone(),
+                pattern: pattern.clone(),
+                nonfaulty,
+            });
+        }
+    }
+    Ok(part)
+}
+
+/// Pads and extends one contiguous slice of the base run list on top of a
+/// base table clone. Pure in its arguments, like [`extend_block`].
+fn extend_pinned_block(
+    base: &GeneratedSystem,
+    delta: &HorizonDelta,
+    scenario: Scenario,
+    bounds: std::ops::Range<usize>,
+) -> Result<ExtendBlock, ModelError> {
+    let horizon = scenario.horizon();
+    let n = scenario.n();
+    let exchange = AnyExchange::for_scenario(&scenario);
+    let slots_per_run = (horizon.index() + 1) * n;
+    let mut part = ExtendBlock {
+        table: base.table().clone(),
+        views: Vec::with_capacity(bounds.len() * slots_per_run),
+        runs: Vec::with_capacity(bounds.len()),
+        orbit_sizes: Vec::new(),
+        report: ExtendReport::default(),
+    };
+    for index in bounds {
+        let r = RunId::try_new(index)?;
+        let record = base.run(r);
+        let pattern = delta.pad_pattern(&record.pattern);
+        debug_assert!(scenario.validate_pattern(&pattern).is_ok());
+        let row = base.views_row(r);
+        part.views.extend_from_slice(row);
+        let mut prev = row[row.len() - n..].to_vec();
+        for round in Round::upto(horizon) {
+            if round.end() <= delta.base().horizon() {
+                continue;
+            }
+            let now = exchange.try_step(&mut part.table, &pattern, round, &prev)?;
+            part.views.extend_from_slice(&now);
+            prev = now;
+        }
+        part.report.reused_runs += 1;
+        part.report.reused_slots += row.len();
+        part.report.computed_slots += slots_per_run - row.len();
+        part.runs.push(RunRecord {
+            config: record.config.clone(),
+            pattern,
+            nonfaulty: record.nonfaulty,
+        });
+    }
+    Ok(part)
+}
+
+/// Absorbs extension blocks in block order into a merged table that
+/// starts as a base clone. A block table is the base table plus the
+/// block's new views in first-encounter order, so re-interning maps
+/// every base id to itself and appends new views exactly where a
+/// sequential extension would have interned them: block boundaries are
+/// invisible to the final `ViewId` numbering, whatever the thread/block
+/// count. The first failed block (in block order) surfaces as the error,
+/// keeping error reporting schedule-independent too.
+fn merge_extend_parts(
+    base: &GeneratedSystem,
+    outcomes: Vec<Result<ExtendBlock, ModelError>>,
+) -> Result<MergedExtend, ModelError> {
+    let mut merged = MergedExtend {
+        table: base.table().clone(),
+        views: Vec::new(),
+        runs: Vec::new(),
+        lookup: HashMap::new(),
+        orbit_sizes: Vec::new(),
+        report: ExtendReport::default(),
+    };
+    for outcome in outcomes {
+        let part = outcome?;
+        let remap = merged.table.absorb(&part.table)?;
+        merged
+            .views
+            .extend(part.views.iter().map(|v| remap[v.index()]));
+        merged.orbit_sizes.extend_from_slice(&part.orbit_sizes);
+        merged.runs.reserve(part.runs.len());
+        for record in part.runs {
+            let id = RunId::try_new(merged.runs.len())?;
+            let prior = merged
+                .lookup
+                .insert((record.config.to_bits(), record.pattern.clone()), id);
+            debug_assert!(prior.is_none(), "extension blocks yielded a duplicate run");
+            merged.runs.push(record);
+        }
+        merged.report.reused_runs += part.report.reused_runs;
+        merged.report.fresh_runs += part.report.fresh_runs;
+        merged.report.reused_slots += part.report.reused_slots;
+        merged.report.computed_slots += part.report.computed_slots;
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]

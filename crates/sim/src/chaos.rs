@@ -32,6 +32,7 @@
 //!
 //! [`SystemBuilder`]: crate::SystemBuilder
 
+use crate::sched;
 use crate::system::GeneratedSystem;
 use eba_model::{
     enumerate, sample, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ModelError,
@@ -44,7 +45,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parallel stage of the engine at which faults can be injected and
 /// workers are supervised.
@@ -339,13 +340,20 @@ where
 
 /// The supervised worker pool behind every parallel stage of the engine.
 ///
-/// Computes `job(0..count)` on up to `workers` threads with round-robin
-/// item assignment (item `i` goes to worker `i % workers`, matching the
-/// deterministic assignment the unsupervised pools used). Each item runs
-/// under `catch_unwind`; a panicked item is retried once on a fresh
-/// thread, then falls back to sequential execution on the calling thread.
-/// Items must be pure functions of their index for the recovery to be
-/// transparent — every stage in this workspace satisfies that.
+/// Computes `job(0..count)` on up to `workers` threads under a
+/// work-stealing scheduler ([`crate::sched`]): the item index space is
+/// chunked onto a shared injector, each worker drains its own deque from
+/// the front, and idle workers steal half of a victim's deque from the
+/// back. Which thread runs an item is therefore *not* part of the
+/// contract — the contract is **item-indexed determinism under any
+/// schedule**: items must be pure functions of their index (every stage
+/// in this workspace satisfies that), results are scattered into
+/// index-keyed slots, and fault injection keys on the item index, so any
+/// schedule produces output identical to the sequential one.
+///
+/// Each item runs under `catch_unwind`; a panicked item is retried once
+/// on a fresh thread, then falls back to sequential execution on the
+/// calling thread.
 ///
 /// Returns the results in item order together with the [`WorkerFault`]s
 /// that were absorbed along the way.
@@ -355,6 +363,21 @@ where
 /// through the same retry ladder as in the parallel case. A daemon on a
 /// single-core host keeps the same fault-isolation guarantees as one on
 /// a many-core host.
+///
+/// # Example
+///
+/// The worker count never changes the output:
+///
+/// ```
+/// use eba_sim::chaos::{supervised_indexed, FaultSite};
+///
+/// let job = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+/// let (sequential, _) =
+///     supervised_indexed(64, 1, FaultSite::CampaignShard, job).unwrap();
+/// let (stolen, _) =
+///     supervised_indexed(64, 4, FaultSite::CampaignShard, job).unwrap();
+/// assert_eq!(sequential, stolen);
+/// ```
 ///
 /// # Errors
 ///
@@ -381,33 +404,40 @@ where
         }
         return settle(slots, site, &job);
     }
+    let queues = sched::WorkQueues::new(count, workers);
     thread::scope(|scope| {
         let job = &job;
+        let queues = &queues;
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 scope.spawn(move || {
-                    (worker..count)
-                        .step_by(workers)
-                        .map(|index| {
-                            let outcome = catch_unwind(AssertUnwindSafe(|| job(index)))
-                                .map_err(|payload| panic_message(payload.as_ref()));
-                            (index, outcome)
-                        })
-                        .collect::<Vec<_>>()
+                    let started = Instant::now();
+                    let mut items = Vec::new();
+                    while let Some(index) = queues.next(worker) {
+                        let outcome = catch_unwind(AssertUnwindSafe(|| job(index)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                        items.push((index, outcome));
+                    }
+                    (items, started.elapsed())
                 })
             })
             .collect();
-        for handle in handles {
+        let mut per_worker = vec![0usize; workers];
+        let mut spans = vec![Duration::ZERO; workers];
+        for (worker, handle) in handles.into_iter().enumerate() {
             // Panics inside items are caught above, so a worker thread
             // itself dying is out-of-band (e.g. a panic while dropping a
             // caught payload); its unreported items go through the retry
             // path below like any other failed item.
-            if let Ok(items) = handle.join() {
+            if let Ok((items, span)) = handle.join() {
+                per_worker[worker] = items.len();
+                spans[worker] = span;
                 for (index, outcome) in items {
                     slots[index] = Some(outcome);
                 }
             }
         }
+        sched::record_run(&per_worker, &spans, queues.steals());
     });
     settle(slots, site, &job)
 }

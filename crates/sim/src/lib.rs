@@ -57,6 +57,7 @@ mod trace;
 mod view;
 
 pub mod chaos;
+pub mod sched;
 pub mod stats;
 pub mod symmetry;
 
@@ -69,6 +70,7 @@ pub use executor::{execute, execute_unchecked, ExecError};
 pub use full_info::{FullInformation, View};
 pub use points::PointStore;
 pub use protocol::Protocol;
+pub use sched::{scheduler_stats, SchedulerStats};
 pub use system::{GeneratedSystem, RunId, RunRecord};
 pub use trace::{Decision, Trace};
 pub use view::{fip_views, try_fip_views, ViewId, ViewNode, ViewTable, VIEW_CAPACITY};
