@@ -1,0 +1,135 @@
+//! Set-representation backends under the optimize-sweep workload: what
+//! the hash-consed node table costs in time and buys in residency.
+//!
+//! Workload shape is the acceptance scenario, n=5 t=2 omission (sampled
+//! at 400 runs so the sweep fits a bench iteration): a two-step
+//! optimality sweep plus a 16-step candidate-family trajectory — each
+//! family differing from its predecessor by one view, the shape an
+//! optimize step's decision sets actually walk. The trajectory is where
+//! compression lives: dense scope columns for near-identical families
+//! are distinct word vectors, while the shared backend's node table
+//! collapses their common subtrees.
+//!
+//! The `setrepr_residency:` line printed at the end is the source of the
+//! BENCH_engine.json `set-repr` record (dense vs shared resident bytes
+//! for the registered families, node dedup ratio, memo hits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eba_core::{Constructor, DecisionPair};
+use eba_kripke::{Evaluator, KnowledgeCache, NonRigidSet, SetReprKind, StateSets};
+use eba_model::{FailureMode, ProcessorId, Scenario, Value};
+use eba_sim::GeneratedSystem;
+use std::hint::black_box;
+
+fn bench_system() -> (String, GeneratedSystem) {
+    let scenario = Scenario::new(5, 2, FailureMode::Omission, 2).expect("valid scenario");
+    (
+        format!("{scenario} (sampled)"),
+        GeneratedSystem::sampled(&scenario, 400, 0xEBA),
+    )
+}
+
+/// A 16-step candidate-family trajectory: start from the value-seen
+/// family and grow it by one `(processor, view)` membership per step,
+/// mirroring how an optimize sweep's decision sets evolve by small
+/// deltas. Deterministic, so both backends intern the same sequence.
+fn family_trajectory(system: &GeneratedSystem) -> Vec<StateSets> {
+    let n = system.n();
+    let views: Vec<_> = system.table().ids().collect();
+    let mut family = StateSets::with_value_seen(system.table(), n, Value::Zero);
+    let mut out = vec![family.clone()];
+    let mut x = 0xEBAu64;
+    for _ in 0..15 {
+        // Draw candidates until one actually grows the family, so every
+        // trajectory step is a distinct near-identical set.
+        loop {
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            let p = ProcessorId::new((x % n as u64) as usize);
+            let v = views[(x >> 8) as usize % views.len()];
+            if family.insert(p, v) {
+                break;
+            }
+        }
+        out.push(family.clone());
+    }
+    out
+}
+
+/// Registers every trajectory family on a fresh evaluator over `cache`
+/// and materializes its `N ∧ A` scope columns, populating the cache's
+/// scope store (dense columns or node-table roots, per the backend).
+fn intern_trajectory(
+    system: &GeneratedSystem,
+    trajectory: &[StateSets],
+    cache: &KnowledgeCache,
+) {
+    let mut eval = Evaluator::with_cache(system, cache.clone());
+    for family in trajectory {
+        let id = eval.register_state_sets(family.clone());
+        black_box(eval.scope_columns(NonRigidSet::NonfaultyAnd(id)));
+    }
+}
+
+fn scope_interning(c: &mut Criterion) {
+    let (label, system) = bench_system();
+    let trajectory = family_trajectory(&system);
+    let mut group = c.benchmark_group("setrepr_scope_interning");
+    for repr in [SetReprKind::Dense, SetReprKind::Shared] {
+        group.bench_with_input(BenchmarkId::new(repr.as_str(), &label), &system, |b, system| {
+            b.iter(|| {
+                let cache = KnowledgeCache::with_repr(repr);
+                intern_trajectory(system, &trajectory, &cache);
+                black_box(cache.resident_bytes());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn optimize_sweep(c: &mut Criterion) {
+    let (label, system) = bench_system();
+    let mut group = c.benchmark_group("setrepr_optimize");
+    group.sample_size(10);
+    for repr in [SetReprKind::Dense, SetReprKind::Shared] {
+        group.bench_with_input(BenchmarkId::new(repr.as_str(), &label), &system, |b, system| {
+            b.iter(|| {
+                let mut ctor =
+                    Constructor::with_cache(system, KnowledgeCache::with_repr(repr));
+                black_box(ctor.optimize(&DecisionPair::empty(system.n())));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Not a timing: measures the resident footprint of the registered
+/// family store under each backend for the same trajectory workload and
+/// prints the comparison consumed by BENCH_engine.json.
+fn residency_report(c: &mut Criterion) {
+    // Touch the harness so the bench registers even if filtered.
+    let _ = c;
+    let (label, system) = bench_system();
+    let trajectory = family_trajectory(&system);
+    let mut figures = Vec::new();
+    for repr in [SetReprKind::Dense, SetReprKind::Shared] {
+        let cache = KnowledgeCache::with_repr(repr);
+        intern_trajectory(&system, &trajectory, &cache);
+        figures.push((cache.resident_bytes(), cache.stats()));
+    }
+    let (dense_bytes, _) = &figures[0];
+    let (shared_bytes, shared_stats) = &figures[1];
+    println!(
+        "setrepr_residency: {label}: {} families; dense {dense_bytes} bytes, shared \
+         {shared_bytes} bytes ({:.2}x reduction); {} nodes, {:.2} dedup ratio, {} memo hits",
+        trajectory.len(),
+        *dense_bytes as f64 / (*shared_bytes).max(1) as f64,
+        shared_stats.nodes,
+        shared_stats.node_dedup_ratio(),
+        shared_stats.node_memo_hits,
+    );
+}
+
+criterion_group!(benches, scope_interning, optimize_sweep, residency_report);
+criterion_main!(benches);

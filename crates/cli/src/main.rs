@@ -8,7 +8,7 @@
 use eba_core::{EngineSession, SessionScope};
 use eba_kripke::explain::Timeline;
 use eba_kripke::parse::parse_formula;
-use eba_kripke::{Evaluator, Formula, KnowledgeCache};
+use eba_kripke::{Evaluator, Formula, KnowledgeCache, SetReprKind};
 use eba_model::{
     BudgetHit, ExchangeKind, FailureMode, FailurePattern, FaultyBehavior, InitialConfig, ProcSet,
     ProcessorId, Round, RunBudget, Scenario, Time, Value,
@@ -66,6 +66,20 @@ OPTIONS:
                      columnar point store (default)
     --no-plan        evaluate with the recursive reference evaluator
                      instead; results are bit-identical to --plan
+    --set-repr dense|shared
+                     set-representation backend of the knowledge cache
+                     (default dense). `dense` stores cached reachability
+                     and scope columns as word-block bitsets. `shared`
+                     interns them into a hash-consed node table so that
+                     near-identical sets (the common case across horizon
+                     sweeps and candidate families) share structure, and
+                     combines interned sets through a memoized apply
+                     cache. Verdicts, counterexamples, and fixpoint
+                     iteration counts are bit-identical across backends —
+                     the setrepr-equivalence CI job diffs them — only
+                     memory residency and the --cache-stats counters
+                     change. `shared` prints a `set-repr: shared`
+                     preamble line
     --shards K       split exhaustive generation into K shards (default:
                      4 per thread; the result is identical for any K)
     --deadline SECS  wall-clock budget for exhaustive generation; on
@@ -90,10 +104,11 @@ OPTIONS:
     --witness        also print a point where the formula holds
     --cache-stats    after the verdict, print knowledge-cache counters
                      (reachability and scope-column hits/misses, interned
-                     scope dedup) on a `cache:` line, and the
-                     work-stealing pool counters (pool runs, items,
-                     steals, last run's per-worker item counts and busy
-                     spans) on a `scheduler:` line
+                     scope dedup; under --set-repr shared also node-table
+                     size, dedup ratio, and memo hits) on a `cache:`
+                     line, and the work-stealing pool counters (pool
+                     runs, items, steals, last run's per-worker item
+                     counts and busy spans) on a `scheduler:` line
     --quiet          print only the verdict line
     --timeline       timeline mode: print per-time truth values of the
                      FORMULAs along one run, selected with --config and
@@ -157,6 +172,7 @@ struct Options {
     cache_stats: bool,
     quiet: bool,
     plan: bool,
+    set_repr: SetReprKind,
     timeline: bool,
     config: Option<String>,
     pattern: Option<String>,
@@ -183,6 +199,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         cache_stats: false,
         quiet: false,
         plan: true,
+        set_repr: SetReprKind::Dense,
         timeline: false,
         config: None,
         pattern: None,
@@ -287,6 +304,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quiet" => options.quiet = true,
             "--plan" => options.plan = true,
             "--no-plan" => options.plan = false,
+            "--set-repr" => {
+                let spec = take("--set-repr")?;
+                options.set_repr = SetReprKind::parse(&spec)
+                    .ok_or_else(|| format!("--set-repr needs dense|shared, got `{spec}`"))?;
+            }
             "--timeline" => options.timeline = true,
             "--config" => options.config = Some(take("--config")?),
             "--pattern" => options.pattern = Some(take("--pattern")?),
@@ -489,7 +511,7 @@ fn check_valid(
 ) -> bool {
     let mut eval = match cache {
         Some(cache) => Evaluator::with_cache(system, cache),
-        None => Evaluator::new(system),
+        None => Evaluator::with_cache(system, KnowledgeCache::with_repr(options.set_repr)),
     };
     eval.set_plan_mode(options.plan);
     if let Some(threads) = options.threads {
@@ -581,7 +603,8 @@ fn run_sweep(
                 return Ok(ExitCode::SUCCESS);
             }
         };
-        let mut session = EngineSession::from_system(base, SessionScope::FullSpace);
+        let mut session =
+            EngineSession::from_system_with_repr(base, SessionScope::FullSpace, options.set_repr);
         if let Some(threads) = options.threads {
             session.set_threads(threads);
         }
@@ -635,6 +658,12 @@ fn run() -> Result<ExitCode, String> {
         if let Some(threads) = options.threads {
             println!("threads: {threads} (auto)");
         }
+    }
+    // Only the non-default backend prints, so dense output stays
+    // byte-identical to previous releases (and the setrepr-equivalence
+    // CI job diffs dense vs shared under --quiet, where neither prints).
+    if options.set_repr == SetReprKind::Shared && !options.quiet {
+        println!("set-repr: {}", options.set_repr);
     }
 
     if options.sweep_cold && options.horizon_sweep.is_none() {
@@ -811,7 +840,8 @@ fn run() -> Result<ExitCode, String> {
     }
 
     if let Some((config, pattern)) = timeline_run {
-        let mut eval = Evaluator::new(&system);
+        let mut eval =
+            Evaluator::with_cache(&system, KnowledgeCache::with_repr(options.set_repr));
         eval.set_plan_mode(options.plan);
         if let Some(threads) = options.threads {
             eval.set_threads(threads);

@@ -1249,7 +1249,22 @@ impl<'a> Evaluator<'a> {
                 NonRigidSet::Everyone => ReachSel::Everyone,
                 NonRigidSet::Nonfaulty => ReachSel::Nonfaulty,
                 NonRigidSet::NonfaultyAnd(id) => {
-                    ReachSel::NonfaultyAnd(self.state_sets[id.0 as usize].canonical())
+                    let families = self.state_sets[id.0 as usize].canonical();
+                    match self.shared.node_table() {
+                        // Shared backend: the registered family's
+                        // membership words live (deduplicated) in the
+                        // node table and the key carries only roots —
+                        // content equality is root equality because the
+                        // key can only ever meet the cache whose table
+                        // issued the roots.
+                        Some(table) => {
+                            let mut table = table.lock().expect("node table poisoned");
+                            ReachSel::SharedFamily(
+                                families.iter().map(|w| table.intern_words(w)).collect(),
+                            )
+                        }
+                        None => ReachSel::NonfaultyAnd(families),
+                    }
                 }
             },
         }));

@@ -42,7 +42,7 @@
 //! ```
 //! use eba_kripke::parse::parse_formula;
 //!
-//! let f = parse_formula("B_1(E0 & CC(E0))").unwrap();
+//! let f = parse_formula("B_1(E0 & CC(E0))").expect("example formula is well-formed");
 //! assert!(f.to_string().contains("C□_N"));
 //! assert!(parse_formula("E0 &").is_err());
 //! ```

@@ -1,0 +1,602 @@
+//! Pluggable set representations: the dense word-block backend and the
+//! shared hash-consed node-table backend.
+//!
+//! Every set the knowledge engine manipulates — satisfaction bitsets,
+//! per-processor scope columns, the membership words of registered
+//! state-set families — is ultimately a `u64` word vector. The **dense**
+//! backend (the default) stores each vector outright; it is today's
+//! word-block representation, untouched. The **shared** backend stores
+//! vectors in one [`NodeTable`]: a hash-consed binary tree over the word
+//! index axis, where leaves are interned words and branches are interned
+//! `(lo, hi)` pairs covering power-of-two word ranges (vectors are
+//! conceptually zero-padded to the next power of two, and all-zero
+//! subtrees collapse into one shared ladder). Structural hash-consing
+//! makes the representation **canonical** — equal content yields equal
+//! root ids — so the thousands of near-identical reachability, scope,
+//! and decision-family sets a sweep produces share their common subtrees
+//! instead of each owning a full bitmask, and content equality is one id
+//! compare.
+//!
+//! # Memoization discipline (why results stay bit-identical)
+//!
+//! The shared backend never *computes* differently: plan kernels, the
+//! gfp fixpoint, and reachability assembly all run on dense words
+//! exactly as before, so decisions, optimality verdicts, and iteration
+//! counts are bit-identical by construction (`tests/setrepr_equivalence.rs`
+//! enforces this differentially). Sharing engages at the **storage**
+//! layer — [`crate::KnowledgeCache`] keys and scope columns, plus the
+//! plan executor's per-node interning — and at the boolean-combination
+//! layer, where `And`/`Or` plan nodes whose operands are already interned
+//! are combined by the memoized [`NodeTable::apply`] (one memo entry per
+//! distinct `(op, lo, hi)` sub-combination) and the result is provably
+//! the same node the dense result would intern to, because zero padding
+//! is closed under `and`/`or`/`and-not` and consing is canonical.
+//!
+//! The table is monotonic: nodes are never garbage-collected
+//! individually. Its lifetime is the cache's epoch — horizon extension
+//! ([`crate::KnowledgeCache::advance_epoch`]) and [`clear`](NodeTable::clear)
+//! drop the whole table (every root interned under the old point space
+//! is stale anyway), and the serve pool reclaims it by evicting the
+//! owning session. [`NodeTable::approx_bytes`] feeds
+//! [`crate::CacheStats::resident_bytes`] so LRU eviction stays honest.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which set-representation backend a [`crate::KnowledgeCache`] (and
+/// everything wired to it) runs; see the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SetReprKind {
+    /// Explicit word-block bitsets — today's representation, the
+    /// differential-oracle default.
+    #[default]
+    Dense,
+    /// Hash-consed node-table storage with an operation memo cache;
+    /// bit-identical results, shared structure.
+    Shared,
+}
+
+impl SetReprKind {
+    /// Parses a CLI/protocol spelling (`"dense"` / `"shared"`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dense" => Some(SetReprKind::Dense),
+            "shared" => Some(SetReprKind::Shared),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (`"dense"` / `"shared"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SetReprKind::Dense => "dense",
+            SetReprKind::Shared => "shared",
+        }
+    }
+}
+
+impl fmt::Display for SetReprKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Tag bit separating branch ids from leaf ids inside a [`NodeId`].
+const BRANCH_BIT: u32 = 1 << 31;
+
+/// A node of a [`NodeTable`]: an interned leaf word or an interned
+/// `(lo, hi)` branch. The high bit of the raw id is the discriminant,
+/// leaving 2³¹ ids per kind — far beyond any real table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    fn leaf(index: u32) -> Self {
+        debug_assert_eq!(index & BRANCH_BIT, 0, "leaf id space exhausted");
+        NodeId(index)
+    }
+
+    fn branch(index: u32) -> Self {
+        debug_assert_eq!(index & BRANCH_BIT, 0, "branch id space exhausted");
+        NodeId(index | BRANCH_BIT)
+    }
+
+    fn is_leaf(self) -> bool {
+        self.0 & BRANCH_BIT == 0
+    }
+
+    fn index(self) -> usize {
+        (self.0 & !BRANCH_BIT) as usize
+    }
+
+    /// The raw tagged id (for key digests).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// A handle to a word vector interned in a [`NodeTable`]: the root node
+/// plus the (untrimmed) word length. Within one table, two handles are
+/// equal **iff** their vectors are word-for-word equal — consing is
+/// canonical — so handle equality replaces content comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SharedWords {
+    root: NodeId,
+    len: u32,
+}
+
+impl SharedWords {
+    /// The interned vector's word length.
+    #[must_use]
+    pub fn len_words(self) -> usize {
+        self.len as usize
+    }
+
+    /// The root node id.
+    #[must_use]
+    pub fn root(self) -> NodeId {
+        self.root
+    }
+}
+
+/// A binary word-lane operation combinable through [`NodeTable::apply`].
+/// All three preserve all-zero padding (`0 op 0 = 0`), which is what
+/// keeps native combination canonical; complement does not and must go
+/// through dense recomputation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeOp {
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a & !b`.
+    AndNot,
+}
+
+impl NodeOp {
+    fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            NodeOp::And => a & b,
+            NodeOp::Or => a | b,
+            NodeOp::AndNot => a & !b,
+        }
+    }
+}
+
+/// A snapshot of a [`NodeTable`]'s size and counters; see
+/// [`NodeTable::stats`]. The hit/miss counters are monotonic over the
+/// table's lifetime and survive [`NodeTable::clear`]; `nodes` and
+/// `bytes` reflect current residency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SetReprStats {
+    /// Nodes currently resident (leaves plus branches).
+    pub nodes: u64,
+    /// Word vectors interned over the table's lifetime.
+    pub interned_sets: u64,
+    /// Cons requests answered by an existing node (structure shared).
+    pub dedup_hits: u64,
+    /// Cons requests that created a fresh node.
+    pub fresh_nodes: u64,
+    /// [`NodeTable::apply`] sub-combinations served from the memo.
+    pub memo_hits: u64,
+    /// [`NodeTable::apply`] sub-combinations computed fresh.
+    pub memo_misses: u64,
+    /// Approximate resident heap bytes of the table.
+    pub bytes: u64,
+}
+
+impl SetReprStats {
+    /// Fraction of cons requests answered structurally (`0.0` on an
+    /// untouched table).
+    #[must_use]
+    pub fn dedup_ratio(&self) -> f64 {
+        let total = self.dedup_hits + self.fresh_nodes;
+        if total == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The shared backend's hash-consed node table; see the module docs.
+#[derive(Debug, Default)]
+pub struct NodeTable {
+    /// Interned leaf words, by leaf index.
+    leaves: Vec<u64>,
+    leaf_map: HashMap<u64, u32>,
+    /// Interned `(lo, hi)` branches, by branch index. A branch at height
+    /// `h` covers `2^h` word slots; its children cover the halves.
+    branches: Vec<(NodeId, NodeId)>,
+    branch_map: HashMap<(NodeId, NodeId), u32>,
+    /// The `apply` operation memo: `(op, a, b) → result`, one entry per
+    /// distinct sub-combination ever computed.
+    memo: HashMap<(NodeOp, NodeId, NodeId), NodeId>,
+    /// `zero_ladder[h]` is the all-zero subtree of height `h` — the
+    /// shared padding every non-power-of-two vector hangs off.
+    zero_ladder: Vec<NodeId>,
+    interned_sets: u64,
+    dedup_hits: u64,
+    fresh_nodes: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+}
+
+impl NodeTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        NodeTable::default()
+    }
+
+    /// Nodes currently resident (leaves plus branches).
+    #[must_use]
+    pub fn len_nodes(&self) -> usize {
+        self.leaves.len() + self.branches.len()
+    }
+
+    /// Approximate resident heap bytes: node payloads plus memo entries
+    /// (hash-map overhead is ignored, matching the dense side's
+    /// accounting, which ignores `Vec` overhead).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.leaves.len() * size_of::<u64>()
+            + self.branches.len() * size_of::<(NodeId, NodeId)>()
+            + self.memo.len() * size_of::<((NodeOp, NodeId, NodeId), NodeId)>()
+    }
+
+    /// A snapshot of the table's counters.
+    #[must_use]
+    pub fn stats(&self) -> SetReprStats {
+        SetReprStats {
+            nodes: self.len_nodes() as u64,
+            interned_sets: self.interned_sets,
+            dedup_hits: self.dedup_hits,
+            fresh_nodes: self.fresh_nodes,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
+            bytes: self.approx_bytes() as u64,
+        }
+    }
+
+    /// Drops every node and memo entry (counters survive). All
+    /// outstanding [`SharedWords`] handles become invalid; the knowledge
+    /// cache calls this exactly when it also purges every entry holding
+    /// such a handle (epoch advance and [`crate::KnowledgeCache::clear`]).
+    pub fn clear(&mut self) {
+        self.leaves.clear();
+        self.leaf_map.clear();
+        self.branches.clear();
+        self.branch_map.clear();
+        self.memo.clear();
+        self.zero_ladder.clear();
+    }
+
+    fn leaf(&mut self, word: u64) -> NodeId {
+        if let Some(&index) = self.leaf_map.get(&word) {
+            self.dedup_hits += 1;
+            return NodeId::leaf(index);
+        }
+        self.fresh_nodes += 1;
+        let index = u32::try_from(self.leaves.len()).expect("node-table leaf id space exhausted");
+        self.leaves.push(word);
+        self.leaf_map.insert(word, index);
+        NodeId::leaf(index)
+    }
+
+    fn branch(&mut self, lo: NodeId, hi: NodeId) -> NodeId {
+        if let Some(&index) = self.branch_map.get(&(lo, hi)) {
+            self.dedup_hits += 1;
+            return NodeId::branch(index);
+        }
+        self.fresh_nodes += 1;
+        let index =
+            u32::try_from(self.branches.len()).expect("node-table branch id space exhausted");
+        self.branches.push((lo, hi));
+        self.branch_map.insert((lo, hi), index);
+        NodeId::branch(index)
+    }
+
+    /// The all-zero subtree of `height` (0 = the zero leaf).
+    fn zero(&mut self, height: usize) -> NodeId {
+        while self.zero_ladder.len() <= height {
+            let next = match self.zero_ladder.last() {
+                None => self.leaf(0),
+                Some(&z) => self.branch(z, z),
+            };
+            self.zero_ladder.push(next);
+        }
+        self.zero_ladder[height]
+    }
+
+    /// Interns a word vector, sharing every identical subtree already in
+    /// the table. Two calls with word-for-word equal input return equal
+    /// handles (canonicity); the input is **not** trimmed or otherwise
+    /// normalized, so callers must pass canonical vectors if they want
+    /// logical-set equality (bitsets over one point space and trimmed
+    /// `ViewSet` words both qualify).
+    pub fn intern_words(&mut self, words: &[u64]) -> SharedWords {
+        self.interned_sets += 1;
+        let len = u32::try_from(words.len()).expect("node-table vectors are bounded by u32 words");
+        if words.is_empty() {
+            let root = self.zero(0);
+            return SharedWords { root, len };
+        }
+        let mut level: Vec<NodeId> = Vec::with_capacity(words.len());
+        for &w in words {
+            let id = self.leaf(w);
+            level.push(id);
+        }
+        let mut height = 0;
+        while level.len() > 1 {
+            if level.len() % 2 == 1 {
+                let pad = self.zero(height);
+                level.push(pad);
+            }
+            let mut parents = Vec::with_capacity(level.len() / 2);
+            for pair in 0..level.len() / 2 {
+                let id = self.branch(level[2 * pair], level[2 * pair + 1]);
+                parents.push(id);
+            }
+            level = parents;
+            height += 1;
+        }
+        SharedWords {
+            root: level[0],
+            len,
+        }
+    }
+
+    /// Writes the interned vector back into `out` (which must have
+    /// exactly `set.len_words()` slots). Every in-range slot is written,
+    /// so `out` need not be zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the handle's word length, or if
+    /// the handle was not produced by this table (detected structurally
+    /// in the best case; handles must never cross tables).
+    pub fn materialize_into(&self, set: SharedWords, out: &mut [u64]) {
+        assert_eq!(
+            out.len(),
+            set.len_words(),
+            "materialization buffer length must match the interned vector"
+        );
+        if out.is_empty() {
+            return;
+        }
+        let height = usize::try_from(usize::BITS - (out.len() - 1).leading_zeros())
+            .expect("height fits usize");
+        self.fill(set.root, height, 0, out);
+    }
+
+    fn fill(&self, node: NodeId, height: usize, base: usize, out: &mut [u64]) {
+        if base >= out.len() {
+            return; // zero-padding region past the vector's end
+        }
+        if height == 0 {
+            out[base] = self.leaves[node.index()];
+        } else {
+            let (lo, hi) = self.branches[node.index()];
+            let half = 1usize << (height - 1);
+            self.fill(lo, height - 1, base, out);
+            self.fill(hi, height - 1, base + half, out);
+        }
+    }
+
+    /// Combines two same-length interned vectors natively, memoizing
+    /// every sub-combination. The result handle is exactly what interning
+    /// the dense word-wise result would produce (padding is closed under
+    /// every [`NodeOp`] and consing is canonical), so callers may use it
+    /// interchangeably — the differential suite asserts this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different word lengths.
+    pub fn apply(&mut self, op: NodeOp, a: SharedWords, b: SharedWords) -> SharedWords {
+        assert_eq!(
+            a.len, b.len,
+            "apply requires same-length operands (same point space)"
+        );
+        if a.len == 0 {
+            return a;
+        }
+        let root = self.apply_node(op, a.root, b.root);
+        SharedWords { root, len: a.len }
+    }
+
+    fn apply_node(&mut self, op: NodeOp, a: NodeId, b: NodeId) -> NodeId {
+        if a == b && matches!(op, NodeOp::And | NodeOp::Or) {
+            return a; // idempotent on identical subtrees
+        }
+        debug_assert_eq!(
+            a.is_leaf(),
+            b.is_leaf(),
+            "apply operands must have equal height (handles from one table, same length)"
+        );
+        if a.is_leaf() {
+            let word = op.eval(self.leaves[a.index()], self.leaves[b.index()]);
+            return self.leaf(word);
+        }
+        if let Some(&cached) = self.memo.get(&(op, a, b)) {
+            self.memo_hits += 1;
+            return cached;
+        }
+        self.memo_misses += 1;
+        let (a_lo, a_hi) = self.branches[a.index()];
+        let (b_lo, b_hi) = self.branches[b.index()];
+        let lo = self.apply_node(op, a_lo, b_lo);
+        let hi = self.apply_node(op, a_hi, b_hi);
+        let result = self.branch(lo, hi);
+        self.memo.insert((op, a, b), result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic word soup (same generator as the kernel tests).
+    fn soup(seed: u64, len: usize) -> Vec<u64> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                state
+            })
+            .collect()
+    }
+
+    #[test]
+    fn intern_round_trips_across_lengths() {
+        let mut table = NodeTable::new();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+            let words = soup(len as u64 + 1, len);
+            let handle = table.intern_words(&words);
+            assert_eq!(handle.len_words(), len);
+            let mut out = vec![u64::MAX; len];
+            table.materialize_into(handle, &mut out);
+            assert_eq!(out, words, "round trip at {len} words");
+        }
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut table = NodeTable::new();
+        let words = soup(9, 13);
+        let a = table.intern_words(&words);
+        let nodes_after_first = table.len_nodes();
+        let b = table.intern_words(&words);
+        assert_eq!(a, b, "equal content must yield equal handles");
+        assert_eq!(
+            table.len_nodes(),
+            nodes_after_first,
+            "re-interning must create no nodes"
+        );
+        let mut different = words.clone();
+        different[5] ^= 1;
+        assert_ne!(table.intern_words(&different), a);
+        assert!(table.stats().dedup_hits > 0);
+    }
+
+    #[test]
+    fn shared_structure_dedups_across_vectors() {
+        let mut table = NodeTable::new();
+        let base = soup(3, 64);
+        let _ = table.intern_words(&base);
+        let nodes_before = table.len_nodes();
+        // One word flipped: only the path to the root is fresh — at most
+        // one leaf plus log2(64) branches.
+        let mut variant = base.clone();
+        variant[17] = !variant[17];
+        let _ = table.intern_words(&variant);
+        assert!(
+            table.len_nodes() <= nodes_before + 1 + 6,
+            "a one-word variant must share all off-path structure \
+             ({} -> {})",
+            nodes_before,
+            table.len_nodes()
+        );
+    }
+
+    #[test]
+    fn apply_matches_dense_word_ops() {
+        let mut table = NodeTable::new();
+        for len in [1usize, 3, 8, 11, 64] {
+            let a_words = soup(0xA, len);
+            let b_words = soup(0xB, len);
+            let a = table.intern_words(&a_words);
+            let b = table.intern_words(&b_words);
+            for op in [NodeOp::And, NodeOp::Or, NodeOp::AndNot] {
+                let native = table.apply(op, a, b);
+                let dense: Vec<u64> = a_words
+                    .iter()
+                    .zip(&b_words)
+                    .map(|(&x, &y)| op.eval(x, y))
+                    .collect();
+                let reinterned = table.intern_words(&dense);
+                assert_eq!(
+                    native, reinterned,
+                    "apply({op:?}) must equal interning the dense result at {len} words"
+                );
+            }
+        }
+        let stats = table.stats();
+        assert!(stats.memo_misses > 0);
+    }
+
+    #[test]
+    fn apply_memoizes_repeated_combinations() {
+        let mut table = NodeTable::new();
+        let a = table.intern_words(&soup(0xC, 32));
+        let b = table.intern_words(&soup(0xD, 32));
+        let first = table.apply(NodeOp::And, a, b);
+        let misses = table.stats().memo_misses;
+        let second = table.apply(NodeOp::And, a, b);
+        assert_eq!(first, second);
+        assert_eq!(
+            table.stats().memo_misses,
+            misses,
+            "repeat combination must be fully memo-served"
+        );
+        assert!(table.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn zero_padding_is_shared() {
+        let mut table = NodeTable::new();
+        // Two different odd lengths both hang off the shared zero ladder.
+        let _ = table.intern_words(&soup(1, 5));
+        let nodes = table.len_nodes();
+        let _ = table.intern_words(&soup(2, 9));
+        // The 9-word tree needs its own leaves/branches but no new zero
+        // subtrees beyond one taller ladder rung.
+        assert!(table.len_nodes() > nodes);
+        let rendered = format!("{:?}", table.stats());
+        assert!(rendered.contains("dedup_hits"));
+    }
+
+    #[test]
+    fn clear_drops_nodes_but_keeps_history() {
+        let mut table = NodeTable::new();
+        let _ = table.intern_words(&soup(5, 16));
+        assert!(table.len_nodes() > 0);
+        let interned = table.stats().interned_sets;
+        table.clear();
+        assert_eq!(table.len_nodes(), 0);
+        assert_eq!(table.approx_bytes(), 0);
+        assert_eq!(table.stats().interned_sets, interned);
+        // The table is reusable after a clear.
+        let h = table.intern_words(&[7, 8]);
+        let mut out = [0u64; 2];
+        table.materialize_into(h, &mut out);
+        assert_eq!(out, [7, 8]);
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        assert_eq!(SetReprKind::parse("dense"), Some(SetReprKind::Dense));
+        assert_eq!(SetReprKind::parse("shared"), Some(SetReprKind::Shared));
+        assert_eq!(SetReprKind::parse("bdd"), None);
+        assert_eq!(SetReprKind::default(), SetReprKind::Dense);
+        assert_eq!(SetReprKind::Shared.to_string(), "shared");
+    }
+
+    #[test]
+    fn dedup_ratio_is_well_defined() {
+        let empty = SetReprStats::default();
+        assert_eq!(empty.dedup_ratio(), 0.0);
+        let mut table = NodeTable::new();
+        let words = soup(11, 32);
+        let _ = table.intern_words(&words);
+        let _ = table.intern_words(&words);
+        let ratio = table.stats().dedup_ratio();
+        assert!(ratio > 0.0 && ratio < 1.0, "{ratio}");
+    }
+}

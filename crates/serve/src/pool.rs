@@ -30,6 +30,7 @@
 
 use crate::protocol::{ScenarioSpec, ServeError};
 use eba_core::{EngineSession, SessionScope};
+use eba_kripke::CacheStats;
 use eba_model::RunBudget;
 use eba_sim::chaos::{EngineFault, FaultInjector};
 use eba_sim::{BuildOutcome, GeneratedSystem, SystemBuilder};
@@ -98,6 +99,10 @@ pub struct SessionInfo {
     pub runs: usize,
     /// Orbit accounting for quotiented sessions, `None` for unreduced.
     pub symmetry: Option<SymmetrySnapshot>,
+    /// The session cache's counters at snapshot time — includes the
+    /// set-representation backend and, for shared sessions, the
+    /// node-table size, dedup, and memo-hit figures.
+    pub cache: CacheStats,
 }
 
 /// Orbit accounting of one quotiented session.
@@ -309,6 +314,7 @@ impl SessionPool {
                         raw_patterns: info.raw_patterns_covered(),
                         reduction: info.reduction_ratio(),
                     }),
+                    cache: entry.session.cache().stats(),
                 }
             })
             .collect();
@@ -347,7 +353,11 @@ impl SessionPool {
             // The sampled generator is deterministic in (runs, seed) and
             // not chaos-instrumented; no retry loop needed.
             let system = GeneratedSystem::sampled(&scenario, runs, seed);
-            return Ok(EngineSession::from_system(system, SessionScope::PinnedRuns));
+            return Ok(EngineSession::from_system_with_repr(
+                system,
+                SessionScope::PinnedRuns,
+                key.spec.set_repr,
+            ));
         }
         let attempts = self.retry.attempts.max(1);
         let mut last_fault = None;
@@ -367,7 +377,11 @@ impl SessionPool {
                     let BuildOutcome::Complete { system, .. } = outcome else {
                         unreachable!("unbudgeted build cannot be partial");
                     };
-                    return Ok(EngineSession::from_system(system, SessionScope::FullSpace));
+                    return Ok(EngineSession::from_system_with_repr(
+                        system,
+                        SessionScope::FullSpace,
+                        key.spec.set_repr,
+                    ));
                 }
                 Err(EngineFault::Model(e)) => {
                     // Model errors are deterministic — unless chaos is
@@ -456,6 +470,7 @@ mod tests {
             horizon,
             sampled: None,
             symmetry: false,
+            set_repr: eba_kripke::SetReprKind::Dense,
         }
     }
 
@@ -494,6 +509,50 @@ mod tests {
         let f = eba_kripke::parse::parse_formula("CC(E0) -> C(E0)").unwrap();
         let sat = eval.eval(&f);
         assert_eq!(sat.count_ones(), sat.len());
+    }
+
+    #[test]
+    fn shared_node_table_growth_counts_against_the_memory_budget() {
+        let shared_spec = |horizon| {
+            let mut s = spec(horizon);
+            s.set_repr = eba_kripke::SetReprKind::Shared;
+            s
+        };
+        // Probe the insert-time footprint of a cold shared session.
+        let probe = unbounded_pool();
+        let k2 = PoolKey {
+            spec: shared_spec(2),
+        };
+        let (cold, _) = probe.checkout(k2).unwrap();
+        let cold_bytes = session_resident_bytes(&cold);
+        drop((cold, probe));
+
+        // A pool budgeted at exactly that footprint admits the cold
+        // session. Warming its cache grows the node table, and the
+        // checkout-time footprint refresh must see that growth so the
+        // next insert pushes the warmed entry out.
+        let pool = SessionPool::new(cold_bytes, RetryPolicy::default(), None);
+        let (warm, _) = pool.checkout(k2).unwrap();
+        let mut eval = warm.evaluator();
+        let f = eba_kripke::parse::parse_formula("CC(E0) -> C(E0)").unwrap();
+        let sat = eval.eval(&f);
+        assert_eq!(sat.count_ones(), sat.len());
+        let warm_bytes = session_resident_bytes(&warm);
+        assert!(
+            warm_bytes > cold_bytes,
+            "warming must grow the node-table residency: {warm_bytes} vs {cold_bytes}"
+        );
+        let (_, hit) = pool.checkout(k2).unwrap(); // refreshes entry.bytes
+        assert!(hit);
+        pool.checkout(PoolKey {
+            spec: shared_spec(3),
+        })
+        .unwrap();
+        let stats = pool.stats();
+        assert!(
+            stats.evictions >= 1,
+            "node-table growth crossed the budget but nothing was evicted: {stats:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Differential suite for the set-representation backends: on random
+//! formulas and across scenario spaces, the shared (hash-consed
+//! node-table) backend must produce **bit-identical** results to the
+//! dense word-block backend — extensions, decisions, optimality
+//! verdicts, and gfp iteration counts — including on symmetry-quotiented
+//! systems, chaos-disturbed builds, budget-partial systems, and across
+//! horizon extensions of one incremental session.
+//!
+//! The backends share all computation (every sweep and fixpoint runs on
+//! dense words in both modes; the shared backend is a storage and
+//! combination layer behind the knowledge cache), so equality here is by
+//! construction — which is exactly what makes this suite cheap to keep
+//! exhaustive: any divergence means the interning layer leaked into
+//! semantics.
+
+use eba::prelude::*;
+use eba_kripke::fixpoint;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn crash_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    })
+}
+
+fn omission_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(3, 1, FailureMode::Omission, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    })
+}
+
+fn general_omission_system() -> &'static GeneratedSystem {
+    static SYSTEM: OnceLock<GeneratedSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let scenario = Scenario::new(3, 1, FailureMode::GeneralOmission, 2).unwrap();
+        GeneratedSystem::exhaustive(&scenario)
+    })
+}
+
+/// An evaluator over `system` with a private cache on the given backend.
+fn evaluator(system: &GeneratedSystem, repr: SetReprKind) -> Evaluator<'_> {
+    Evaluator::with_cache(system, KnowledgeCache::with_repr(repr))
+}
+
+/// A generator of epistemic-temporal formulas over 3 processors (no
+/// registered ids, so formulas are portable across evaluators).
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        Just(Formula::exists(Value::Zero)),
+        Just(Formula::exists(Value::One)),
+        (0usize..3, prop_oneof![Just(Value::Zero), Just(Value::One)])
+            .prop_map(|(i, v)| Formula::Initial(ProcessorId::new(i), v)),
+        (0usize..3).prop_map(|i| Formula::Nonfaulty(ProcessorId::new(i))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (0usize..3, inner.clone()).prop_map(|(i, f)| f.known_by(ProcessorId::new(i))),
+            (0usize..3, inner.clone())
+                .prop_map(|(i, f)| { f.believed_by(ProcessorId::new(i), NonRigidSet::Nonfaulty) }),
+            inner
+                .clone()
+                .prop_map(|f| f.everyone(NonRigidSet::Nonfaulty)),
+            inner.clone().prop_map(|f| f.common(NonRigidSet::Nonfaulty)),
+            inner
+                .clone()
+                .prop_map(|f| f.continual_common(NonRigidSet::Nonfaulty)),
+            inner.clone().prop_map(Formula::always),
+            inner.clone().prop_map(Formula::eventually),
+            inner.clone().prop_map(Formula::always_all),
+            inner.prop_map(Formula::sometime_all),
+        ]
+    })
+}
+
+/// Evaluates `phi` on both backends over `system` and asserts the
+/// extensions are bit-identical. Evaluates twice on the shared side so
+/// the second pass is served through interned cache artifacts.
+fn assert_backends_agree(
+    system: &GeneratedSystem,
+    phi: &Formula,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let mut dense = evaluator(system, SetReprKind::Dense);
+    let mut shared = evaluator(system, SetReprKind::Shared);
+    let want = dense.eval(phi);
+    let got = shared.eval(phi);
+    prop_assert_eq!(
+        &*want,
+        &*got,
+        "dense and shared backends disagree on {} over {}",
+        phi,
+        label
+    );
+    // A second evaluation from a fresh evaluator over the same (warm)
+    // shared cache: reachability and scope columns now come back
+    // through the node table.
+    let warm_cache = shared.knowledge_cache().clone();
+    let mut rewarmed = Evaluator::with_cache(system, warm_cache);
+    let again = rewarmed.eval(phi);
+    prop_assert_eq!(
+        &*want,
+        &*again,
+        "a warm shared cache changed the extension of {} over {}",
+        phi,
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core differential property: on random formulas, shared-backend
+    /// extensions equal dense ones on exhaustive crash, omission, and
+    /// general-omission systems — cold and through a warm shared cache.
+    #[test]
+    fn shared_matches_dense_on_random_formulas(
+        phi in formula_strategy(),
+        which in 0usize..3,
+    ) {
+        let (system, label) = match which {
+            0 => (crash_system(), "crash (exhaustive)"),
+            1 => (omission_system(), "omission (exhaustive)"),
+            _ => (general_omission_system(), "general-omission (exhaustive)"),
+        };
+        assert_backends_agree(system, &phi, label)?;
+    }
+
+    /// Gfp fixpoints agree in result *and* iteration count across
+    /// backends, for both `C_S` and `C□_S`: the iteration always runs
+    /// dense, so the counts must be identical by construction.
+    #[test]
+    fn gfp_iteration_counts_are_identical_across_backends(
+        phi in formula_strategy(),
+        which in 0usize..3,
+        continual in proptest::bool::ANY,
+    ) {
+        let system = match which {
+            0 => crash_system(),
+            1 => omission_system(),
+            _ => general_omission_system(),
+        };
+        let mut dense = evaluator(system, SetReprKind::Dense);
+        let mut shared = evaluator(system, SetReprKind::Shared);
+        let s = NonRigidSet::Nonfaulty;
+        let ((a, ia), (b, ib)) = if continual {
+            (
+                fixpoint::continual_common_by_gfp(&mut dense, s, &phi),
+                fixpoint::continual_common_by_gfp(&mut shared, s, &phi),
+            )
+        } else {
+            (
+                fixpoint::common_by_gfp(&mut dense, s, &phi),
+                fixpoint::common_by_gfp(&mut shared, s, &phi),
+            )
+        };
+        prop_assert_eq!(&a, &b, "gfp results diverge across backends on {}", &phi);
+        prop_assert_eq!(ia, ib, "gfp iteration counts diverge across backends on {}", &phi);
+    }
+
+    /// Symmetry on/off × backend: the quotiented system evaluated under
+    /// the shared backend equals its dense evaluation, and likewise for
+    /// the unreduced system (processor-symmetric formulas only, as the
+    /// quotient requires).
+    #[test]
+    fn shared_matches_dense_on_quotiented_systems(
+        phi in formula_strategy(),
+    ) {
+        let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+        let reduced = SystemBuilder::new(&scenario).symmetry(true).build().unwrap();
+        assert_backends_agree(&reduced, &phi, "crash (quotiented)")?;
+        assert_backends_agree(crash_system(), &phi, "crash (unreduced)")?;
+    }
+}
+
+/// A pseudo-random state-set family over `system`'s view table, derived
+/// deterministically from `seed` (splitmix64 per `(processor, view)`), so
+/// the same seed registers the same family on any evaluator.
+fn random_family(system: &GeneratedSystem, seed: u64, keep_mod: u64) -> StateSets {
+    let n = system.n();
+    let mut family = StateSets::empty(n);
+    for p in ProcessorId::all(n) {
+        for (k, v) in system.table().ids().enumerate() {
+            let mut x = seed
+                .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + k as u64))
+                .wrapping_add(0x1000_0000 * p.index() as u64);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            x ^= x >> 31;
+            if x.is_multiple_of(keep_mod) {
+                family.insert(p, v);
+            }
+        }
+    }
+    family
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Registered `N ∧ A` families flow through the shared backend's
+    /// node-table cache keys (interned family roots instead of raw word
+    /// vectors); the served knowledge must not notice.
+    #[test]
+    fn registered_families_agree_across_backends(
+        seed in proptest::num::u64::ANY,
+        keep_mod in 1u64..5,
+    ) {
+        let system = omission_system();
+        let mut dense = evaluator(system, SetReprKind::Dense);
+        let mut shared = evaluator(system, SetReprKind::Shared);
+        let fam = random_family(system, seed, keep_mod);
+        let a = dense.register_state_sets(fam.clone());
+        prop_assert_eq!(a, shared.register_state_sets(fam));
+        let phi = Formula::exists(Value::Zero);
+        for formula in [
+            phi.clone().common(NonRigidSet::NonfaultyAnd(a)),
+            phi.clone().continual_common(NonRigidSet::NonfaultyAnd(a)),
+            phi.clone()
+                .believed_by(ProcessorId::new(1), NonRigidSet::NonfaultyAnd(a))
+                .eventually(),
+        ] {
+            prop_assert_eq!(
+                &*dense.eval(&formula),
+                &*shared.eval(&formula),
+                "backends disagree on registered-family formula {}",
+                &formula
+            );
+        }
+        // The shared cache actually interned the family and columns: the
+        // node table must be non-empty after serving those queries.
+        let stats = shared.knowledge_cache().stats();
+        prop_assert!(stats.nodes > 0, "shared backend served without interning: {}", stats);
+    }
+}
+
+/// Chaos supervision must stay invisible to the shared backend: with a
+/// panic injected into a reachability worker, shared-backend evaluation
+/// still matches a fault-free dense oracle bit for bit.
+#[test]
+fn shared_matches_dense_under_chaos_supervision() {
+    use eba_sim::chaos::{ChaosPlan, FaultInjector, FaultKind, FaultSite};
+    use std::sync::Arc;
+    // Big enough that reachability edge collection fans out to the
+    // supervised worker pool, so the injected panic lands in a worker.
+    let scenario = Scenario::new(3, 2, FailureMode::Crash, 3).unwrap();
+    let system = GeneratedSystem::exhaustive(&scenario);
+    let phi = Formula::exists(Value::Zero);
+    let formula = phi
+        .clone()
+        .continual_common(NonRigidSet::Nonfaulty)
+        .or(phi.common(NonRigidSet::Everyone).not());
+
+    let mut dense = evaluator(&system, SetReprKind::Dense);
+    dense.set_threads(1);
+    let want = dense.eval(&formula);
+
+    let chaos =
+        Arc::new(ChaosPlan::new().with_fault(FaultSite::ReachabilityWorker, 0, FaultKind::Panic));
+    let mut chaotic = evaluator(&system, SetReprKind::Shared);
+    chaotic.set_threads(4);
+    chaotic.set_chaos(Arc::clone(&chaos) as Arc<dyn FaultInjector>);
+    let got = chaotic.eval(&formula);
+    assert_eq!(chaos.fired(), 1, "the planned worker panic must have fired");
+    assert_eq!(*got, *want, "chaos recovery changed a shared-backend extension");
+}
+
+/// Budget-partial systems (prefix of shards): shared-backend extensions
+/// on them equal the dense backend's.
+#[test]
+fn shared_matches_dense_on_budget_partial_system() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 3).unwrap();
+    let outcome = SystemBuilder::new(&scenario)
+        .threads(2)
+        .shards(8)
+        .budget(RunBudget::unlimited().with_max_runs(40))
+        .build_governed()
+        .expect("governed build failed");
+    let system = match outcome {
+        BuildOutcome::Partial { system, .. } => system,
+        BuildOutcome::Complete { .. } => {
+            panic!("max-runs budget should have cut the build short")
+        }
+    };
+    assert!(system.num_runs() > 0, "need a nonempty partial prefix");
+
+    let phi = Formula::exists(Value::One);
+    for formula in [
+        phi.clone().everyone(NonRigidSet::Nonfaulty),
+        phi.clone().common(NonRigidSet::Nonfaulty),
+        phi.clone().continual_common(NonRigidSet::Nonfaulty).not(),
+        phi.clone().distributed(NonRigidSet::Everyone).eventually(),
+    ] {
+        let mut dense = evaluator(&system, SetReprKind::Dense);
+        let mut shared = evaluator(&system, SetReprKind::Shared);
+        assert_eq!(
+            *dense.eval(&formula),
+            *shared.eval(&formula),
+            "partial-system extensions diverge across backends on {formula}"
+        );
+    }
+}
+
+/// The optimization pipeline must produce the same decision sets and the
+/// same Theorem 5.3 optimality verdict on both backends, down to the
+/// per-run decision tables.
+#[test]
+fn decisions_and_optimality_verdicts_agree_across_backends() {
+    let system = omission_system();
+    let mut dense_ctor = Constructor::with_cache(system, KnowledgeCache::new());
+    let mut shared_ctor =
+        Constructor::with_cache(system, KnowledgeCache::with_repr(SetReprKind::Shared));
+    let base = DecisionPair::empty(3);
+    let optimized_dense = dense_ctor.optimize(&base);
+    let optimized_shared = shared_ctor.optimize(&base);
+    assert_eq!(
+        optimized_dense, optimized_shared,
+        "optimized decision pairs diverge across backends"
+    );
+    let d_dense = FipDecisions::compute(system, &optimized_dense, "dense");
+    let d_shared = FipDecisions::compute(system, &optimized_shared, "shared");
+    for r in system.run_ids() {
+        for i in ProcessorId::all(3) {
+            let a = d_dense.decision(r, i).map(|d| (d.time, d.value));
+            let b = d_shared.decision(r, i).map(|d| (d.time, d.value));
+            assert_eq!(a, b, "decision of {i} in run {} diverges", r.index());
+        }
+    }
+    let v_dense = check_optimality(&mut dense_ctor, &optimized_dense).is_optimal();
+    let v_shared = check_optimality(&mut shared_ctor, &optimized_shared).is_optimal();
+    assert_eq!(v_dense, v_shared, "optimality verdicts diverge across backends");
+}
+
+/// Horizon extension: one incremental session per backend, grown through
+/// the same horizons; per-horizon extensions and reuse accounting must be
+/// identical, and the shared session's node table must be purged at each
+/// epoch (stale roots can never be served across extensions).
+#[test]
+fn incremental_sessions_agree_across_backends() {
+    let scenario = Scenario::new(3, 1, FailureMode::Crash, 2).unwrap();
+    let mut dense = EngineSession::exhaustive(&scenario).unwrap();
+    let mut shared = EngineSession::exhaustive_with_repr(&scenario, SetReprKind::Shared).unwrap();
+    assert_eq!(dense.set_repr(), SetReprKind::Dense);
+    assert_eq!(shared.set_repr(), SetReprKind::Shared);
+    let phi = Formula::exists(Value::Zero);
+    let formula = phi
+        .clone()
+        .continual_common(NonRigidSet::Nonfaulty)
+        .or(phi.common(NonRigidSet::Nonfaulty).not());
+    for h in [2u16, 3, 4] {
+        if h > 2 {
+            let a = dense.extend_to(h).unwrap();
+            let b = shared.extend_to(h).unwrap();
+            assert_eq!(a, b, "extension reuse accounting diverges at horizon {h}");
+        }
+        let mut dense_eval = dense.evaluator();
+        let mut shared_eval = shared.evaluator();
+        assert_eq!(
+            *dense_eval.eval(&formula),
+            *shared_eval.eval(&formula),
+            "extensions diverge across backends at horizon {h}"
+        );
+        let stats = shared.cache().stats();
+        assert_eq!(stats.set_repr, SetReprKind::Shared);
+        assert!(
+            stats.nodes > 0,
+            "the shared session must re-intern after each extension: {stats}"
+        );
+    }
+    assert_eq!(dense.epoch(), shared.epoch());
+}
